@@ -1,0 +1,35 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures
+through ``pytest-benchmark``.  The *wall time* pytest-benchmark
+measures is the cost of running the simulation; the scientific output
+(the regenerated rows) is printed and attached to
+``benchmark.extra_info`` so ``--benchmark-json`` captures it.
+
+By default benchmarks run in *quick* mode (scaled-down workloads /
+fewer rounds) so the whole suite finishes in minutes; set
+``REPRO_BENCH_FULL=1`` for the full-scale configurations.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture
+def quick() -> bool:
+    """Whether to run the scaled-down (quick) configuration."""
+    return not full_scale()
+
+
+def attach(benchmark, result) -> None:
+    """Print a regenerated table and attach it to the benchmark JSON."""
+    text = result.format()
+    print()
+    print(text)
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["table"] = text

@@ -1,0 +1,85 @@
+"""Benchmarks for the design-choice ablations (see
+repro.experiments.ablations for what each one isolates)."""
+
+from conftest import attach
+
+from repro.experiments import ablations
+
+
+def test_ablation_cni_optimizations(benchmark, quick):
+    result = benchmark.pedantic(
+        ablations.run_cni_optimizations, kwargs={"quick": quick},
+        rounds=1, iterations=1,
+    )
+    attach(benchmark, result)
+    # Disabling lazy pointer + valid bit + sense reverse must cost
+    # latency at every size (extra pointer-block ping-ponging).
+    for row in result.rows:
+        with_opts, without = float(row[1]), float(row[2])
+        assert without > with_opts
+
+
+def test_ablation_cni32qm_improvements(benchmark, quick):
+    result = benchmark.pedantic(
+        ablations.run_cni32qm_improvements, kwargs={"quick": quick},
+        rounds=1, iterations=1,
+    )
+    attach(benchmark, result)
+    # Neither ablated variant may *beat* the full design by more than
+    # noise; at least one configuration must show a real cost.
+    deltas = [float(row[4].rstrip("%")) for row in result.rows]
+    assert min(deltas) < 0.0
+    assert all(d < 5.0 for d in deltas)
+
+
+def test_ablation_throttle_everywhere(benchmark, quick):
+    result = benchmark.pedantic(
+        ablations.run_throttle_everywhere, kwargs={"quick": quick},
+        rounds=1, iterations=1,
+    )
+    attach(benchmark, result)
+    gains = {row[0]: float(row[3].rstrip("%")) for row in result.rows}
+    # The paper: throttling significantly helps only CNI_32Qm.
+    assert gains["CNI_32Qm"] == max(gains.values())
+    assert gains["CNI_32Qm"] > 5.0
+    others = [g for ni, g in gains.items() if ni != "CNI_32Qm"]
+    assert all(g < gains["CNI_32Qm"] for g in others)
+
+
+def test_ablation_udma_breakeven(benchmark, quick):
+    result = benchmark.pedantic(
+        ablations.run_udma_breakeven, kwargs={"quick": quick},
+        rounds=1, iterations=1,
+    )
+    attach(benchmark, result)
+    crossover = result.extras["crossover"]
+    # Paper: UDMA pays off only above ~96 bytes.
+    assert crossover is not None
+    assert 64 <= crossover <= 128
+
+
+def test_ablation_memory_banking(benchmark, quick):
+    result = benchmark.pedantic(
+        ablations.run_memory_banking, kwargs={"quick": quick},
+        rounds=1, iterations=1,
+    )
+    attach(benchmark, result)
+    # Pipelined memory hides the gap; banking recovers CNI_512Q's
+    # Table 5 bandwidth advantage over the memory-steered StarT-JR.
+    pipelined = float(result.rows[0][3].rstrip("%"))
+    banked = float(result.rows[1][3].rstrip("%"))
+    assert abs(pipelined) < 5.0
+    assert banked > 10.0
+
+
+def test_ablation_coherent_fcb_insensitivity(benchmark, quick):
+    result = benchmark.pedantic(
+        ablations.run_coherent_fcb_insensitivity, kwargs={"quick": quick},
+        rounds=1, iterations=1,
+    )
+    attach(benchmark, result)
+    # "Largely insensitive": even on the buffering-bound workloads,
+    # CNI_32Qm loses little at fcb=1 (contrast Figure 3a's fifo NIs).
+    for row in result.rows:
+        slowdown = float(row[3].rstrip("%"))
+        assert slowdown < 15.0

@@ -1,0 +1,112 @@
+"""Benchmarks regenerating Tables 1-5 of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark's
+printed output is the regenerated table; paper values are embedded in
+the output for side-by-side comparison (see EXPERIMENTS.md).
+"""
+
+from conftest import attach
+
+from repro.experiments import table1, table2, table3, table4, table5
+
+
+def test_table1_switch_buffering(benchmark, quick):
+    result = benchmark.pedantic(
+        table1.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    attach(benchmark, result)
+    assert len(result.rows) == 5
+
+
+def test_table2_ni_taxonomy(benchmark, quick):
+    result = benchmark.pedantic(
+        table2.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    attach(benchmark, result)
+    assert len(result.rows) == 7
+
+
+def test_table3_system_parameters(benchmark, quick):
+    result = benchmark.pedantic(
+        table3.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    attach(benchmark, result)
+    assert result.cell("Main memory access time", "Value") == "120 ns"
+
+
+def test_table4_message_sizes(benchmark, quick):
+    result = benchmark.pedantic(
+        table4.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    attach(benchmark, result)
+    measured = result.extras["measured"]
+    # The headline peaks of Table 4 appear in every workload's mix.
+    assert any(size == 20 for size, _ in measured["em3d"])      # updates
+    assert any(size == 20 for size, _ in measured["spsolve"])   # edges
+    assert any(size == 140 for size, _ in measured["barnes"])   # bodies
+    assert any(size == 32 for size, _ in measured["appbt"])     # blocks
+    assert any(size >= 3000 for size, _ in measured["moldyn"])  # bulk rows
+
+
+def test_table5_round_trip_latency(benchmark, quick):
+    result = benchmark.pedantic(
+        table5.run_latency, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    attach(benchmark, result)
+
+    def rt(ni_label, col):
+        return float(result.cell(ni_label, col))
+
+    # The paper's headline orderings (Section 6.1.1).
+    for col in ("RT 8B (us)", "RT 64B (us)", "RT 256B (us)"):
+        # CNI_32Qm offers the best round-trip latency ...
+        assert rt("CNI_32Qm", col) == min(
+            rt(row[0], col) for row in result.rows
+        )
+        # ... and CNI_512Q outperforms the StarT-JR-like NI.
+        assert rt("CNI_512Q", col) < rt("Start-JR-like NI", col)
+    # UDMA loses to CM-5 below the breakeven, wins above it.
+    assert rt("Udma-based NI", "RT 8B (us)") > rt("CM-5-like NI", "RT 8B (us)")
+    assert rt("Udma-based NI", "RT 256B (us)") < rt("CM-5-like NI", "RT 256B (us)")
+    # StarT-JR beats AP3000 at 8B; by 256B the gap has closed to (at
+    # worst) a near-tie — the crossover of Section 6.1.1.  (Known
+    # deviation, see EXPERIMENTS.md: the paper has AP3000 clearly
+    # ahead at 256B; we allow a 2% tie band.)
+    assert rt("Start-JR-like NI", "RT 8B (us)") < rt("AP3000-like NI", "RT 8B (us)")
+    assert (rt("AP3000-like NI", "RT 256B (us)")
+            < rt("Start-JR-like NI", "RT 256B (us)") * 1.02)
+    # The relative gap must have moved AP3000's way with size.
+    assert (rt("AP3000-like NI", "RT 256B (us)")
+            / rt("Start-JR-like NI", "RT 256B (us)")
+            < rt("AP3000-like NI", "RT 8B (us)")
+            / rt("Start-JR-like NI", "RT 8B (us)"))
+    # CM-5 is the worst at 256B.
+    assert rt("CM-5-like NI", "RT 256B (us)") == max(
+        rt(row[0], "RT 256B (us)") for row in result.rows
+    )
+
+
+def test_table5_bandwidth(benchmark, quick):
+    result = benchmark.pedantic(
+        table5.run_bandwidth, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    attach(benchmark, result)
+
+    def bw(ni_label, col):
+        return float(result.cell(ni_label, col))
+
+    big = "BW 4096B (MB/s)"
+    # CM-5 has the lowest large-message bandwidth.
+    assert bw("CM-5-like NI", big) == min(
+        bw(row[0], big) for row in result.rows
+    )
+    # AP3000 has the highest unthrottled fifo bandwidth and beats the
+    # memory-steered StarT-JR-like NI.
+    assert bw("AP3000-like NI", big) > bw("Start-JR-like NI", big)
+    # Without throttling, CNI_32Qm's receive cache overflows: its
+    # bandwidth falls below AP3000's.
+    assert bw("CNI_32Qm", big) < bw("AP3000-like NI", big)
+    # With throttling it beats every other NI (the paper's 351 MB/s).
+    assert bw("CNI_32Qm+Throttle", big) == max(
+        bw(row[0], big) for row in result.rows
+    )

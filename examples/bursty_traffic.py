@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Buffering under bursty fine-grain traffic (the em3d/spsolve story).
+
+Runs the em3d macrobenchmark — bursts of 20-byte updates that outrun
+the receiving processor — on a fifo-based NI and on a coherent NI,
+sweeping the number of flow-control buffers.  This is the heart of the
+paper's buffering argument (Figures 1, 3a and 4): a fifo NI holds each
+incoming message in an NI buffer until the *processor* pops it, so
+with few buffers the network bounces messages back to their senders;
+a coherent NI drains arrivals into main memory by itself and barely
+notices the buffer count.
+
+Run:  python examples/bursty_traffic.py
+"""
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.workloads.registry import make_workload
+
+FCB_LEVELS = (1, 2, 8, None)
+NIS = ("cm5", "ap3000", "cni32qm")
+
+
+def main() -> None:
+    print("em3d (bursty 20-byte updates), 16 nodes")
+    print()
+    header = f"{'NI':<12}" + "".join(
+        f"fcb={'inf' if f is None else f:>3}   " for f in FCB_LEVELS
+    ) + "bounces@1"
+    print(header)
+    print("-" * len(header))
+
+    for ni_name in NIS:
+        cells = []
+        bounces_at_1 = 0
+        for fcb in FCB_LEVELS:
+            params = DEFAULT_PARAMS.replace(flow_control_buffers=fcb)
+            result = make_workload("em3d").run(
+                params=params, costs=DEFAULT_COSTS, ni_name=ni_name
+            )
+            cells.append(result.elapsed_us)
+            if fcb == 1:
+                bounces_at_1 = result.bounces
+        base = cells[-1]  # infinite buffering
+        row = f"{ni_name:<12}"
+        for value in cells:
+            row += f"{value / base:>7.2f}x  "
+        row += f"{bounces_at_1:>8}"
+        print(row)
+
+    print()
+    print("Each cell is execution time relative to the same NI with")
+    print("infinite flow-control buffering.  The fifo NIs (cm5, ap3000)")
+    print("pay heavily at 1-2 buffers — every bounced message costs a")
+    print("network round trip plus a retry — while cni32qm's NI-managed")
+    print("buffering in main memory makes it nearly flat.")
+
+
+if __name__ == "__main__":
+    main()

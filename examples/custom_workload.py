@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Build a custom workload on the public API.
+
+Shows the three Tempest layers an application can mix, exactly as the
+paper's macrobenchmarks do:
+
+1. raw active messages (a work-stealing ping between nodes),
+2. the invalidation-based software shared memory (a read-mostly
+   lookup table with one writer),
+3. a virtual channel (bulk result shipping), plus barriers.
+
+The workload subclasses :class:`repro.workloads.base.Workload`, so it
+gets the same measurement machinery as the built-in macrobenchmarks —
+state breakdown, message-size histogram, bounce counts — and can be
+run against any NI.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.tempest import Barrier, SharedMemory, VirtualChannel
+from repro.workloads.base import Workload
+
+
+class PipelineWorkload(Workload):
+    """A three-stage pipeline across the machine.
+
+    Stage 1 (all nodes): read a shared configuration table from node 0
+    via the DSM.  Stage 2: each node processes work items, signalling
+    the next node with small active messages.  Stage 3: everyone ships
+    a bulk result block to node 0 over a virtual channel.
+    """
+
+    name = "pipeline"
+
+    def __init__(self, items_per_node: int = 20, result_bytes: int = 2000):
+        self.items_per_node = items_per_node
+        self.result_bytes = result_bytes
+
+    def prepare(self, machine) -> None:
+        self.barrier = Barrier(machine, name="pipe_bar")
+        self.table = SharedMemory(machine, block_payload_bytes=48,
+                                  name="pipe_table")
+        self.results = {
+            node.node_id: VirtualChannel(machine, node.node_id, 0,
+                                         name=f"pipe_res{node.node_id}")
+            for node in machine if node.node_id != 0
+        }
+        self.tokens_seen = [0] * len(machine)
+
+        def on_token(rt, msg):
+            self.tokens_seen[rt.node.node_id] += 1
+
+        for node in machine:
+            node.runtime.register_handler("pipe_token", on_token)
+
+    def node_main(self, machine, node):
+        me = node.node_id
+        n = len(machine)
+
+        # Stage 1: everyone reads 8 config blocks homed at node 0.
+        for block in range(8):
+            yield from self.table.read(node, home=0, block=block)
+        yield from self.barrier.wait(node)
+
+        # Stage 2: process items; signal the downstream neighbour with
+        # a 12-byte token after each item.
+        downstream = (me + 1) % n
+        for _ in range(self.items_per_node):
+            yield from node.compute(1_500)
+            yield from node.runtime.send(downstream, "pipe_token", 4)
+        yield from node.runtime.wait_for(
+            lambda: self.tokens_seen[me] >= self.items_per_node
+        )
+        yield from self.barrier.wait(node)
+
+        # Stage 3: ship results to node 0 in bulk.
+        if me != 0:
+            yield from self.results[me].send(self.result_bytes)
+        else:
+            for channel in self.results.values():
+                yield from channel.wait_transfers(1)
+        yield from self.shutdown(machine, node, self.barrier)
+
+
+def main() -> None:
+    for ni_name in ("ap3000", "cni32qm"):
+        result = PipelineWorkload().run(
+            params=DEFAULT_PARAMS, costs=DEFAULT_COSTS, ni_name=ni_name
+        )
+        print(f"{ni_name}: {result.elapsed_us:.1f} us, "
+              f"{result.messages_sent} messages, "
+              f"{result.bounces} bounces")
+        for state, share in sorted(result.breakdown().items()):
+            print(f"    {state:<14} {share * 100:5.1f}%")
+    print()
+    print("Same program, two NIs: the coherent NI wins on the")
+    print("fine-grain stages, the block-transfer NI closes the gap on")
+    print("the bulk stage — the relative-importance point of Section 6.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""A guided tour of the paper's five design parameters.
+
+One small experiment per parameter, each isolating that parameter with
+the NIs that differ on it — the whole argument of the paper in five
+measurements:
+
+1. size of transfer            (uncached words vs 64-byte blocks)
+2. who manages the transfer    (processor occupancy via LogP)
+3. source/destination          (who supplies the consumer's loads)
+4. location of NI buffers      (flow-control sensitivity)
+5. processor involvement in buffering (who pays for bounced messages)
+
+Run:  python examples/design_space_tour.py
+"""
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.workloads.logp import LogPProbe
+from repro.workloads.micro import PingPong, StreamBandwidth
+from repro.workloads.registry import make_workload
+
+
+def machine_for(ni_name, fcb=8):
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=fcb)
+    return Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
+
+
+def rt(ni_name, payload):
+    workload = PingPong(payload_bytes=payload, rounds=60)
+    return workload.run(machine=machine_for(ni_name)).extras["round_trip_us"]
+
+
+def logp(ni_name):
+    workload = LogPProbe(payload_bytes=56, samples=15, stream=40)
+    return workload.run(machine=machine_for(ni_name)).extras["logp"]
+
+
+def section(title):
+    print()
+    print(title)
+    print("-" * len(title))
+
+
+def main() -> None:
+    print("The five NI design parameters (Mukherjee & Hill, HPCA 1998)")
+
+    section("1. Size of transfer: words vs blocks (248B payload)")
+    cm5 = rt("cm5", 248)
+    ap = rt("ap3000", 248)
+    print(f"  NI_2w (8B uncached words):      {cm5:.2f} us round trip")
+    print(f"  NI_16w+Blkbuf (64B blocks):     {ap:.2f} us round trip")
+    print(f"  -> wide transfers win by {cm5 / ap:.1f}x on large messages")
+
+    section("2. Who manages the transfer: processor occupancy per message")
+    ap_sample = logp("ap3000")
+    cni_sample = logp("cni32qm")
+    print(f"  AP3000 (processor-managed): o = {ap_sample.total_overhead_ns:.0f} ns,"
+          f" L = {ap_sample.latency_ns:.0f} ns")
+    print(f"  CNI_32Qm (NI-managed):      o = {cni_sample.total_overhead_ns:.0f} ns,"
+          f" L = {cni_sample.latency_ns:.0f} ns")
+    print("  -> the NI-managed design moves the bytes off the processor;")
+    print("     the freed cycles are compute the application keeps.")
+
+    section("3. Source/destination: who answers the consumer's loads")
+    for ni_name in ("startjr", "cni32qm"):
+        machine = machine_for(ni_name)
+        StreamBandwidth(payload_bytes=248, transfers=60).run(machine=machine)
+        bus = machine.node(1).bus
+        from_memory = bus.counters["flow:memory->cache"]
+        from_ni_cache = bus.counters["flow:ni_cache->cache"]
+        print(f"  {ni_name:9s}: {from_memory:4d} blocks from main memory, "
+              f"{from_ni_cache:4d} from the NI cache")
+    print("  -> CNI_32Qm steers messages cache-to-cache (85 ns) instead of")
+    print("     through 120 ns DRAM; that is the receive-latency gap.")
+
+    section("4. Location of NI buffers: flow-control sensitivity (em3d)")
+    for ni_name in ("cm5", "cni32qm"):
+        times = {}
+        for fcb in (1, None):
+            params = DEFAULT_PARAMS.replace(flow_control_buffers=fcb)
+            result = make_workload("em3d", iterations=1).run(
+                params=params, costs=DEFAULT_COSTS, ni_name=ni_name
+            )
+            times[fcb] = result.elapsed_us
+        penalty = times[1] / times[None]
+        print(f"  {ni_name:9s}: fcb=1 costs {penalty:.2f}x vs infinite buffering")
+    print("  -> buffering in NI fifos is scarce; buffering in main memory")
+    print("     is plentiful, so the coherent NI barely notices.")
+
+    section("5. Processor involvement in buffering: who pays for bounces")
+    for ni_name in ("cm5", "cni32qm"):
+        params = DEFAULT_PARAMS.replace(flow_control_buffers=1)
+        machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
+        result = make_workload("em3d", iterations=1).run(machine=machine)
+        retries = sum(n.ni.counters["processor_retries"] for n in machine)
+        buffering_us = sum(
+            n.timer.total("buffering") for n in machine
+        ) / 1000
+        print(f"  {ni_name:9s}: {result.bounces:5d} bounces, "
+              f"{retries:5d} retried by the processor, "
+              f"{buffering_us:7.1f} us of processor buffering time")
+    print("  -> on the fifo NI the processor itself re-pushes bounced")
+    print("     messages; the coherent NI's engine does it for free.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Probe NIs with parametric traffic patterns.
+
+Uses the synthetic traffic generator to stress two NI designs with the
+classic evaluation patterns — uniform random, hotspot (everyone piles
+onto node 0), a fixed permutation, ring neighbour, and transpose — and
+prints execution time plus the buffering tell-tales (bounces,
+processor retries).  Hotspot is where the buffering parameters bite:
+the fifo NI's receive buffers at the hot node recycle only as fast as
+its processor pops, while the coherent NI drains into main memory.
+
+Run:  python examples/synthetic_probe.py
+"""
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.workloads.synthetic import PATTERNS, SyntheticTraffic
+
+
+def run(pattern: str, ni_name: str):
+    workload = SyntheticTraffic(
+        pattern=pattern, payload_bytes=56, messages_per_node=60,
+        burst=10, compute_ns=1_000, handler_ns=200,
+    )
+    result = workload.run(
+        params=DEFAULT_PARAMS.replace(flow_control_buffers=2),
+        costs=DEFAULT_COSTS, ni_name=ni_name,
+    )
+    return result
+
+
+def main() -> None:
+    nis = ("cm5", "cni32qm")
+    header = f"{'pattern':<12}" + "".join(
+        f"{ni + ' us':>12}{ni + ' bounces':>16}" for ni in nis
+    )
+    print("16 nodes, 60 x 56B messages per node, fcb=2")
+    print(header)
+    print("-" * len(header))
+    for pattern in PATTERNS:
+        row = f"{pattern:<12}"
+        for ni_name in nis:
+            result = run(pattern, ni_name)
+            row += f"{result.elapsed_us:>12.1f}{result.bounces:>16d}"
+        print(row)
+    print()
+    print("Notice hotspot: the fifo NI's bounce count explodes and its")
+    print("time with it, while the coherent NI sheds the same burst")
+    print("into main memory.  Permutation (pairwise streams) is the")
+    print("gentlest pattern for everyone.")
+
+
+if __name__ == "__main__":
+    main()

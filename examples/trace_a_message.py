@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Follow one message through two different NIs, nanosecond by
+nanosecond.
+
+Enables the machine-wide trace, sends a single 64-byte-payload message
+on the CM-5-like NI and on CNI_32Qm, and prints each message's life —
+the most concrete way to see the data-transfer parameters at work:
+where the CM-5 burns its time (33 uncached accesses inside
+``send_done``/``extracted``) versus where the CNI does (a short
+composition, then NI-managed motion that never shows up as processor
+time).
+
+Run:  python examples/trace_a_message.py
+"""
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.tools import format_timeline
+from repro.tools.timeline import sent_message_uids
+
+
+def trace_one(ni_name: str, payload: int = 64) -> None:
+    params = DEFAULT_PARAMS.replace(tracing=True)
+    machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
+    got = []
+    machine.node(1).runtime.register_handler(
+        "work", lambda rt, msg: got.append(msg)
+    )
+
+    def sender(node):
+        yield from node.runtime.send(1, "work", payload)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: got)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+
+    uid = sent_message_uids(machine, node_id=0)[0]
+    print(f"=== {machine.node(0).ni.paper_name} "
+          f"({machine.node(0).ni.description}) ===")
+    print(format_timeline(machine, uid))
+    print()
+
+
+def main() -> None:
+    for ni_name in ("cm5", "cni32qm"):
+        trace_one(ni_name)
+    print("Compare the two 'send_done' deltas (the processor-side data")
+    print("transfer) and the gap between 'wire' and 'extracted' (the")
+    print("NI-managed part): the same bytes, moved by different hands.")
+
+
+if __name__ == "__main__":
+    main()

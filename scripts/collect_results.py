@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Collect the paper-vs-measured record for EXPERIMENTS.md.
+
+Runs every experiment (quick mode by default; --full for full scale)
+and prints the regenerated tables in a form suitable for pasting into
+EXPERIMENTS.md.  This is a maintenance helper, not part of the public
+API.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    cni_family,
+    costmodel_check,
+    contention,
+    figure1,
+    figure3,
+    figure4,
+    logp,
+    multiprogramming,
+    stability,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+SECTIONS = (
+    ("Table 1", table1.run),
+    ("Table 2", table2.run),
+    ("Table 3", table3.run),
+    ("Table 4", table4.run),
+    ("Table 5 (latency)", table5.run_latency),
+    ("Table 5 (bandwidth)", table5.run_bandwidth),
+    ("Figure 1", figure1.run),
+    ("Figure 3a", figure3.run_figure3a),
+    ("Figure 3b", figure3.run_figure3b),
+    ("Figure 4", figure4.run),
+    ("Ablations", ablations.run),
+    ("LogP (extension)", logp.run),
+    ("Contention (extension)", contention.run),
+    ("Multiprogramming (extension)", multiprogramming.run),
+    ("CNI family sweep (extension)", cni_family.run),
+    ("Seed stability (extension)", stability.run),
+    ("Cost-model validation (extension)", costmodel_check.run),
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="substring filters on section names")
+    args = parser.parse_args()
+    quick = not args.full
+    for name, fn in SECTIONS:
+        if args.only and not any(o.lower() in name.lower()
+                                 for o in args.only):
+            continue
+        start = time.time()
+        result = fn(quick=quick)
+        print(f"## {name}  ({time.time() - start:.0f}s)")
+        print()
+        print("```")
+        print(result.format())
+        print("```")
+        print()
+        sys.stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

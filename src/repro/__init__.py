@@ -1,0 +1,49 @@
+"""repro — reproduction of Mukherjee & Hill, "The Impact of Data
+Transfer and Buffering Alternatives on Network Interface Design"
+(HPCA 1998).
+
+A from-scratch discrete-event simulation of memory-bus network
+interfaces: seven NI designs spanning the paper's data-transfer and
+buffering design space, evaluated on a 16-node machine with a MOESI
+memory bus, return-to-sender flow control, a Tempest-like messaging
+substrate, and models of the paper's two microbenchmarks and seven
+macrobenchmarks.
+
+Quickstart::
+
+    from repro import Machine, DEFAULT_PARAMS, DEFAULT_COSTS
+    from repro.workloads.micro import PingPong
+
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cni32qm", num_nodes=2)
+    result = PingPong(payload_bytes=64, rounds=100).run(machine)
+    print(result.round_trip_us)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.config import (
+    DEFAULT_COSTS,
+    DEFAULT_PARAMS,
+    SoftwareCosts,
+    SystemParams,
+)
+from repro.node import Machine, Node
+from repro.ni import ALL_NI_NAMES, COHERENT_NI_NAMES, FIFO_NI_NAMES, make_ni, ni_class
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_NI_NAMES",
+    "COHERENT_NI_NAMES",
+    "DEFAULT_COSTS",
+    "DEFAULT_PARAMS",
+    "FIFO_NI_NAMES",
+    "Machine",
+    "Node",
+    "SoftwareCosts",
+    "SystemParams",
+    "__version__",
+    "make_ni",
+    "ni_class",
+]

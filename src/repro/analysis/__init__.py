@@ -1,0 +1,5 @@
+"""Post-run analysis: analytical cost models and validation."""
+
+from repro.analysis.costmodel import CostModel, predict
+
+__all__ = ["CostModel", "predict"]

@@ -1,0 +1,26 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+One module per artefact:
+
+- :mod:`~repro.experiments.table1` — switch/router buffering survey.
+- :mod:`~repro.experiments.table2` — NI taxonomy (from the NI classes).
+- :mod:`~repro.experiments.table3` — system parameters.
+- :mod:`~repro.experiments.table4` — macrobenchmark message-size mixes.
+- :mod:`~repro.experiments.table5` — round-trip latency and bandwidth.
+- :mod:`~repro.experiments.figure1` — execution-time breakdown,
+  CM-5-like NI at 1 flow-control buffer.
+- :mod:`~repro.experiments.figure3` — fifo NIs vs flow-control
+  buffering (3a) and the coherent NIs (3b).
+- :mod:`~repro.experiments.figure4` — single-cycle NI_2w vs CNI_32Qm.
+- :mod:`~repro.experiments.ablations` — design-choice ablations
+  (CNI queue optimizations, CNI_32Qm improvements, send throttling,
+  UDMA threshold).
+
+Each module exposes ``run(quick=False)`` returning a result object
+with a ``format()`` method, and the CLI (``repro-experiments``) runs
+any subset.  EXPERIMENTS.md records paper-vs-measured for all of them.
+"""
+
+from repro.experiments import runner  # noqa: F401 (CLI entry)
+
+__all__ = ["runner"]

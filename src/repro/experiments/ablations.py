@@ -1,0 +1,288 @@
+"""Ablations of the design choices the paper calls out.
+
+1. **CNI queue optimizations** (lazy pointer + valid bit + sense
+   reverse, Mukherjee et al. [29]) — disable them on CNI_32Qm and
+   measure the extra pointer traffic's cost.
+2. **CNI_32Qm improvements** (Section 4): receive-cache bypass when
+   full of live messages, and head-update-on-flush (drop dead blocks
+   without writebacks) — disable each and measure streaming.
+3. **Send throttling for every NI** — the paper notes "send throttling
+   does not significantly change the bandwidth attained by any other
+   NI"; verify.
+4. **UDMA payload threshold** — locate the round-trip breakeven
+   between pure-UDMA and the CM-5-like word path (paper: ~96 bytes).
+5. **Coherent-NI flow-control insensitivity** — CNI_32Qm at 1 vs 8
+   flow-control buffers on the buffering-bound workloads.
+"""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_COSTS
+from repro.experiments.common import (
+    ExperimentResult,
+    default_params,
+    label,
+    workload_kwargs,
+)
+from repro.experiments.table5 import (
+    _machine,
+    measure_bandwidth,
+    measure_latency,
+)
+from repro.ni.registry import ALL_NI_NAMES, variant
+from repro.node import Machine
+from repro.workloads.micro import PingPong, StreamBandwidth
+from repro.workloads.registry import make_workload
+
+
+def _run_micro_on(ni_name: str, workload) -> dict:
+    params = default_params(flow_control_buffers=8)
+    machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
+    return workload.run(machine=machine).extras
+
+
+def run_cni_optimizations(quick: bool = False) -> ExperimentResult:
+    """Ablation 1: queue optimizations on/off (CNI_32Qm)."""
+    rounds = 20 if quick else 100
+    noopt = variant("cni32qm", "noopt", use_optimizations=False)
+    rows = []
+    for payload in (8, 64, 248):
+        on = _run_micro_on(
+            "cni32qm", PingPong(payload_bytes=payload, rounds=rounds)
+        )["round_trip_us"]
+        off = _run_micro_on(
+            noopt, PingPong(payload_bytes=payload, rounds=rounds)
+        )["round_trip_us"]
+        rows.append([
+            f"{payload}B", f"{on:.2f}", f"{off:.2f}",
+            f"{(off / on - 1) * 100:+.1f}%",
+        ])
+    return ExperimentResult(
+        experiment="Ablation: CNI queue optimizations "
+                    "(lazy pointer + valid bit + sense reverse)",
+        headers=["Payload", "RT with opts (us)", "RT without (us)",
+                 "cost of disabling"],
+        rows=rows,
+        notes=["Without the optimizations every enqueue/dequeue "
+               "ping-pongs a shared pointer block between the "
+               "processor and the NI."],
+    )
+
+
+def run_cni32qm_improvements(quick: bool = False) -> ExperimentResult:
+    """Ablation 2: the two Section 4 improvements, via streaming."""
+    transfers = 40 if quick else 150
+    no_bypass = variant("cni32qm", "nobypass", bypass_when_full=False)
+    no_drop = variant("cni32qm", "nodrop", drop_dead_blocks=False)
+    rows = []
+    for payload in (64, 248):
+        base = measure_bandwidth("cni32qm", payload, transfers)
+        for name, tag in ((no_bypass, "no receive-cache bypass"),
+                          (no_drop, "no head-update-on-flush")):
+            workload = StreamBandwidth(payload_bytes=payload,
+                                       transfers=transfers)
+            params = default_params(flow_control_buffers=8)
+            machine = Machine(params, DEFAULT_COSTS, name, num_nodes=2)
+            mb = workload.run(machine=machine).extras["bandwidth_mb_s"]
+            rows.append([
+                f"{payload}B", tag, f"{base:.0f}", f"{mb:.0f}",
+                f"{(mb / base - 1) * 100:+.1f}%",
+            ])
+    return ExperimentResult(
+        experiment="Ablation: CNI_32Qm receive-cache improvements",
+        headers=["Payload", "Disabled improvement", "baseline MB/s",
+                 "ablated MB/s", "delta"],
+        rows=rows,
+    )
+
+
+def run_throttle_everywhere(quick: bool = False) -> ExperimentResult:
+    """Ablation 3: throttling senders on every NI (paper: only
+    CNI_32Qm benefits significantly)."""
+    transfers = 40 if quick else 120
+    payload = 248
+    rows = []
+    for ni_name in ALL_NI_NAMES:
+        plain = measure_bandwidth(ni_name, payload, transfers)
+        best = plain
+        best_throttle = 0
+        for throttle in (200, 400, 800):
+            mb = measure_bandwidth(ni_name, payload, transfers,
+                                   throttle_ns=throttle)
+            if mb > best:
+                best, best_throttle = mb, throttle
+        rows.append([
+            label(ni_name), f"{plain:.0f}", f"{best:.0f}",
+            f"{(best / plain - 1) * 100:+.1f}%", best_throttle,
+        ])
+    return ExperimentResult(
+        experiment="Ablation: send throttling on every NI "
+                    "(248B payload streaming)",
+        headers=["NI", "unthrottled MB/s", "best throttled MB/s",
+                 "gain", "throttle ns"],
+        rows=rows,
+        notes=["The paper: throttling helps CNI_32Qm (receive cache "
+               "stops overflowing) and no other NI significantly."],
+    )
+
+
+def run_udma_breakeven(quick: bool = False) -> ExperimentResult:
+    """Ablation 4: UDMA-vs-uncached round-trip breakeven (~96B)."""
+    rounds = 10 if quick else 50
+    payloads = (8, 32, 64, 96, 128, 192, 248)
+    rows = []
+    crossover = None
+    for payload in payloads:
+        cm5 = measure_latency("cm5", payload, rounds)
+        udma = measure_latency("udma", payload, rounds)  # always-UDMA
+        winner = "UDMA" if udma < cm5 else "uncached"
+        if crossover is None and udma < cm5:
+            crossover = payload
+        rows.append([f"{payload}B", f"{cm5:.2f}", f"{udma:.2f}", winner])
+    return ExperimentResult(
+        experiment="Ablation: UDMA initiation-overhead breakeven",
+        headers=["Payload", "CM-5-like RT (us)", "pure-UDMA RT (us)",
+                 "winner"],
+        rows=rows,
+        notes=[f"measured crossover at ~{crossover}B payload "
+               "(paper: ~96B)"],
+        extras={"crossover": crossover},
+    )
+
+
+def run_coherent_fcb_insensitivity(quick: bool = False) -> ExperimentResult:
+    """Ablation 5: coherent NIs vs flow-control buffers (Figure 3b's
+    'largely insensitive' claim) on the buffering-bound workloads."""
+    rows = []
+    for workload_name in ("em3d", "spsolve"):
+        kwargs = workload_kwargs(workload_name, quick)
+        times = {}
+        for fcb in (1, 8):
+            result = make_workload(workload_name, **kwargs).run(
+                params=default_params(flow_control_buffers=fcb),
+                costs=DEFAULT_COSTS, ni_name="cni32qm",
+            )
+            times[fcb] = result.elapsed_us
+        rows.append([
+            workload_name, f"{times[1]:.1f}", f"{times[8]:.1f}",
+            f"{(times[1] / times[8] - 1) * 100:+.1f}%",
+        ])
+    return ExperimentResult(
+        experiment="Ablation: CNI_32Qm sensitivity to flow-control "
+                    "buffers (buffering-bound workloads)",
+        headers=["Benchmark", "T fcb=1 (us)", "T fcb=8 (us)",
+                 "slowdown at fcb=1"],
+        rows=rows,
+        notes=["Contrast with Figure 3a, where the fifo NIs lose tens "
+               "of percent at fcb=1 on these workloads."],
+    )
+
+
+def run_memory_banking(quick: bool = False) -> ExperimentResult:
+    """Ablation 6: DRAM bank occupancy (extension).
+
+    The paper's bus model (and our default) treats memory arrays as
+    infinitely pipelined, which hides the cost of steering received
+    messages *through* main memory: Table 5 gives CNI_512Q a clear
+    bandwidth edge over the StarT-JR-like NI (259 vs 221 MB/s) that the
+    default model cannot show.  With bank occupancy on, StarT-JR's
+    deposit writes contend with the consuming processor's reads while
+    CNI_512Q's NI-homed queues leave main memory alone.
+    """
+    # Long streams: short ones decouple the deposit and consume phases
+    # through the 256-block receive queue and hide the contention.
+    transfers = 150 if quick else 300
+    warmup = 40 if quick else 60
+    payload = 248
+    rows = []
+    for banked in (False, True):
+        params = default_params(flow_control_buffers=8).replace(
+            memory_banking=banked
+        )
+        values = {}
+        for ni_name in ("startjr", "cni512q"):
+            machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
+            workload = StreamBandwidth(payload_bytes=payload,
+                                       transfers=transfers, warmup=warmup)
+            values[ni_name] = workload.run(
+                machine=machine
+            ).extras["bandwidth_mb_s"]
+        rows.append([
+            "banked" if banked else "pipelined (default)",
+            f"{values['startjr']:.0f}",
+            f"{values['cni512q']:.0f}",
+            f"{(values['cni512q'] / values['startjr'] - 1) * 100:+.1f}%",
+        ])
+    return ExperimentResult(
+        experiment="Ablation: DRAM bank occupancy "
+                    "(248B payload streaming)",
+        headers=["memory model", "StarT-JR MB/s", "CNI_512Q MB/s",
+                 "CNI_512Q advantage"],
+        rows=rows,
+        notes=["Paper Table 5: CNI_512Q 259 vs StarT-JR 221 MB/s "
+               "(+17%); banking recovers the direction of that gap."],
+    )
+
+
+def run_coherence_protocol(quick: bool = False) -> ExperimentResult:
+    """Ablation 7: MOESI vs MESI (extension).
+
+    Table 3 specifies MOESI; the Owned state is what lets a CNI (or a
+    processor cache) *supply* a dirty block to a reader cache-to-cache.
+    Under MESI the dirty holder flushes and the reader goes to memory —
+    removing exactly the transfer the coherent NIs are built around.
+    """
+    rounds = 20 if quick else 60
+    rows = []
+    for ni_name in ("cni32qm", "cni512q", "cm5"):
+        values = {}
+        for protocol in ("MOESI", "MESI"):
+            params = default_params(flow_control_buffers=8).replace(
+                coherence_protocol=protocol
+            )
+            machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
+            workload = PingPong(payload_bytes=248, rounds=rounds)
+            values[protocol] = workload.run(
+                machine=machine
+            ).extras["round_trip_us"]
+        rows.append([
+            label(ni_name),
+            f"{values['MOESI']:.2f}", f"{values['MESI']:.2f}",
+            f"{(values['MESI'] / values['MOESI'] - 1) * 100:+.1f}%",
+        ])
+    return ExperimentResult(
+        experiment="Ablation: MOESI vs MESI coherence "
+                    "(248B round trip, fcb=8)",
+        headers=["NI", "MOESI RT (us)", "MESI RT (us)",
+                 "cost of losing Owned"],
+        rows=rows,
+        notes=[
+            "The coherent NIs lose their cache-to-cache message "
+            "steering under MESI; the CM-5-like NI, which never uses "
+            "coherent transfers, is unaffected — why Table 3's bus is "
+            "MOESI.",
+        ],
+    )
+
+
+ALL_ABLATIONS = {
+    "cni-optimizations": run_cni_optimizations,
+    "cni32qm-improvements": run_cni32qm_improvements,
+    "throttle-everywhere": run_throttle_everywhere,
+    "udma-breakeven": run_udma_breakeven,
+    "coherent-fcb": run_coherent_fcb_insensitivity,
+    "memory-banking": run_memory_banking,
+    "coherence-protocol": run_coherence_protocol,
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    parts = {name: fn(quick) for name, fn in ALL_ABLATIONS.items()}
+    combined = ExperimentResult(
+        experiment="Ablations", headers=["section"], rows=[],
+        extras=parts,
+    )
+    combined.format = lambda: "\n\n".join(  # type: ignore[method-assign]
+        part.format() for part in parts.values()
+    )
+    return combined

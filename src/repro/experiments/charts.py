@@ -1,0 +1,109 @@
+"""Plain-text chart rendering for the figure experiments.
+
+The paper's Figures 1, 3 and 4 are bar charts; these helpers render
+the same shapes in monospace text so `repro-experiments figure3a`
+produces a *figure*, not only a table.  No plotting dependency needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Fill characters for stacked segments, in stacking order.
+SEGMENT_CHARS = ("#", "=", "-", ".", "~")
+BAR_CHAR = "#"
+
+
+def hbar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bars, one per (label, value) row.
+
+    ``reference`` (default: the max value) maps to full width; a
+    vertical mark is drawn at the reference if it is not the max.
+    """
+    if not rows:
+        return "(no data)"
+    top = max(value for _, value in rows)
+    scale = reference if reference else top
+    scale = max(scale, top) or 1.0
+    label_w = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        filled = int(round(width * value / scale))
+        bar = BAR_CHAR * filled
+        if reference and reference < top:
+            ref_col = int(round(width * reference / scale))
+            if ref_col < len(bar):
+                bar = bar[:ref_col] + "|" + bar[ref_col + 1:]
+            else:
+                bar = bar.ljust(ref_col) + "|"
+        lines.append(
+            f"{label.ljust(label_w)}  {bar.ljust(width)}  "
+            f"{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_chart(
+    rows: Sequence[Tuple[str, Mapping[str, float]]],
+    segments: Sequence[str],
+    width: int = 40,
+) -> str:
+    """Stacked horizontal bars (fractions per named segment).
+
+    Each row's segment values should sum to <= 1.0; segments render in
+    the given order with distinct fill characters, plus a legend.
+    """
+    if not rows:
+        return "(no data)"
+    label_w = max(len(label) for label, _ in rows)
+    lines = []
+    for label, parts in rows:
+        bar = ""
+        for i, segment in enumerate(segments):
+            fraction = max(0.0, parts.get(segment, 0.0))
+            bar += SEGMENT_CHARS[i % len(SEGMENT_CHARS)] * int(
+                round(width * fraction)
+            )
+        lines.append(f"{label.ljust(label_w)}  {bar[:width].ljust(width)}")
+    legend = "  ".join(
+        f"{SEGMENT_CHARS[i % len(SEGMENT_CHARS)]}={segment}"
+        for i, segment in enumerate(segments)
+    )
+    lines.append(f"{''.ljust(label_w)}  [{legend}]")
+    return "\n".join(lines)
+
+
+def grouped_chart(
+    groups: Sequence[Tuple[str, Sequence[Tuple[str, float]]]],
+    width: int = 40,
+    reference: float = 1.0,
+) -> str:
+    """Groups of labelled bars (e.g. per-benchmark NI comparisons),
+    with a reference line at ``reference`` (the normalization point)."""
+    out: List[str] = []
+    scale = max(
+        (value for _, rows in groups for _, value in rows),
+        default=1.0,
+    )
+    scale = max(scale, reference)
+    for group, rows in groups:
+        out.append(f"{group}:")
+        label_w = max(len(label) for label, _ in rows)
+        ref_col = int(round(width * reference / scale))
+        for label, value in rows:
+            filled = int(round(width * value / scale))
+            bar = BAR_CHAR * filled
+            if ref_col >= len(bar):
+                bar = bar.ljust(ref_col) + "|"
+            else:
+                bar = bar[:ref_col] + "|" + bar[ref_col + 1:]
+            out.append(
+                f"  {label.ljust(label_w)}  {bar.ljust(width + 1)} "
+                f"{value:.2f}"
+            )
+    return "\n".join(out)

@@ -1,0 +1,87 @@
+"""CNI design-family sweep (extension experiment).
+
+The paper's NI taxonomy is parameterized — ``CNI_iQ_m`` is a *family*
+indexed by the NI cache size i, of which the paper evaluates one point
+(i=32) against the cacheless CNI_512Q.  "Like Mukherjee, et al. [29],
+we find that CNI_32Qm is competitive with CNI_512Q with much less
+memory."  This experiment sweeps i to show where that competitiveness
+comes from and where it saturates:
+
+- round-trip latency is insensitive to i (one in-flight message always
+  fits);
+- streaming bandwidth rises with i until the cache covers the
+  receiver's in-flight window, then flattens — with the receive-cache
+  bypass keeping even tiny caches from collapsing;
+- the em3d burst workload shows the macro-level effect.
+"""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_COSTS
+from repro.experiments.common import (
+    ExperimentResult,
+    default_params,
+    workload_kwargs,
+)
+from repro.ni.registry import variant
+from repro.node import Machine
+from repro.workloads.micro import PingPong, StreamBandwidth
+from repro.workloads.registry import make_workload
+
+CACHE_SIZES = (4, 8, 16, 32, 64, 128)
+
+
+def _ni_for(entries: int) -> str:
+    return variant("cni32qm", f"i{entries}", cache_entries=entries)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    rounds = 20 if quick else 60
+    transfers = 60 if quick else 150
+    rows = []
+    series = {}
+    em3d_kwargs = workload_kwargs("em3d", quick)
+    for entries in CACHE_SIZES:
+        ni_name = _ni_for(entries)
+        params = default_params(flow_control_buffers=8)
+
+        machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
+        rt = PingPong(payload_bytes=56, rounds=rounds).run(
+            machine=machine
+        ).extras["round_trip_us"]
+
+        machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
+        bw_result = StreamBandwidth(
+            payload_bytes=248, transfers=transfers
+        ).run(machine=machine)
+        bw = bw_result.extras["bandwidth_mb_s"]
+        bypassed = machine.node(1).ni.counters["deposits_bypassed"]
+        cached = machine.node(1).ni.counters["deposits_cached"]
+
+        em3d = make_workload("em3d", **em3d_kwargs).run(
+            params=params, costs=DEFAULT_COSTS, ni_name=ni_name
+        ).elapsed_us
+
+        series[entries] = {
+            "rt_us": rt, "bw_mb_s": bw, "em3d_us": em3d,
+            "bypass_share": bypassed / max(1, bypassed + cached),
+        }
+        rows.append([
+            f"CNI_{entries}Q_m", f"{rt:.2f}", f"{bw:.0f}",
+            f"{series[entries]['bypass_share'] * 100:.0f}%",
+            f"{em3d:.0f}",
+        ])
+    return ExperimentResult(
+        experiment="CNI_iQ_m family sweep: NI cache size i "
+                    "(fcb=8; RT at 56B, streaming at 248B)",
+        headers=["Design point", "RT (us)", "BW (MB/s)",
+                 "deposits bypassed", "em3d (us)"],
+        rows=rows,
+        notes=[
+            "The paper evaluates i=32; the sweep shows latency is flat "
+            "in i while streaming needs the cache to cover the "
+            "receiver's in-flight window — the 'competitive with much "
+            "less memory' claim, mapped out.",
+        ],
+        extras={"series": series},
+    )

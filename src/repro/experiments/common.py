@@ -1,0 +1,101 @@
+"""Shared utilities for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS, SoftwareCosts, SystemParams
+
+#: Human-readable labels used in the paper's result tables/figures.
+NI_LABELS = {
+    "cm5": "CM-5-like NI",
+    "udma": "Udma-based NI",
+    "ap3000": "AP3000-like NI",
+    "startjr": "Start-JR-like NI",
+    "memchannel": "Memory Channel-like NI",
+    "cni512q": "CNI_512Q",
+    "cni32qm": "CNI_32Qm",
+    "cm5-1cyc": "single-cycle NI_2w",
+}
+
+#: Workload-size overrides for quick (smoke) runs of the experiments.
+QUICK_WORKLOAD_KWARGS: Dict[str, Dict[str, Any]] = {
+    "appbt": {"iterations": 2},
+    "barnes": {"iterations": 2},
+    "dsmc": {"iterations": 2},
+    "em3d": {"iterations": 2},
+    "moldyn": {"iterations": 1},
+    "spsolve": {"levels": 5},
+    "unstructured": {"iterations": 2},
+}
+
+
+def workload_kwargs(name: str, quick: bool) -> Dict[str, Any]:
+    return dict(QUICK_WORKLOAD_KWARGS.get(name, {})) if quick else {}
+
+
+def label(ni_name: str) -> str:
+    return NI_LABELS.get(ni_name, ni_name)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Plain-text table with aligned columns."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Generic container: an id, table data, and free-form notes."""
+
+    experiment: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: List[str] = field(default_factory=list)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        out = format_table(self.headers, self.rows, title=self.experiment)
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+    def cell(self, row_key: Any, col: str) -> Any:
+        """Look up a value by first-column key and column header."""
+        col_index = self.headers.index(col)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[col_index]
+        raise KeyError(row_key)
+
+
+def default_params(
+    flow_control_buffers: Any = "default",
+) -> SystemParams:
+    if flow_control_buffers == "default":
+        return DEFAULT_PARAMS
+    return DEFAULT_PARAMS.replace(flow_control_buffers=flow_control_buffers)
+
+
+def default_costs() -> SoftwareCosts:
+    return DEFAULT_COSTS
+
+
+def fcb_label(fcb) -> str:
+    return "inf" if fcb is None else str(fcb)

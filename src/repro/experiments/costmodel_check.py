@@ -1,0 +1,61 @@
+"""Cost-model cross-validation (extension experiment).
+
+Prints, per NI and payload, the closed-form prediction of processor
+send/receive occupancy next to the simulator's LogP measurement.
+Agreement means the simulator implements exactly the arithmetic
+written in :mod:`repro.analysis.costmodel` — no stray or missing bus
+transactions anywhere on the message path.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import predict
+from repro.config import DEFAULT_COSTS
+from repro.experiments.common import (
+    ExperimentResult,
+    default_params,
+    label,
+)
+from repro.node import Machine
+from repro.workloads.logp import LogPProbe
+
+MODELED_NIS = ("cm5", "ap3000", "startjr", "cni512q", "cni32qm")
+PAYLOADS = (8, 120, 248)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    samples = 10 if quick else 30
+    rows = []
+    worst_error = 0.0
+    for ni_name in MODELED_NIS:
+        for payload in PAYLOADS:
+            prediction = predict(ni_name, payload)
+            machine = Machine(default_params(flow_control_buffers=8),
+                              DEFAULT_COSTS, ni_name, num_nodes=2)
+            sample = LogPProbe(
+                payload_bytes=payload, samples=samples, stream=30
+            ).run(machine=machine).extras["logp"]
+            send_err = (sample.o_send_ns - prediction.o_send_ns) / max(
+                1.0, prediction.o_send_ns
+            )
+            recv_err = (sample.o_recv_ns - prediction.o_recv_ns) / max(
+                1.0, prediction.o_recv_ns
+            )
+            worst_error = max(worst_error, abs(send_err), abs(recv_err))
+            rows.append([
+                label(ni_name), f"{payload}B",
+                f"{prediction.o_send_ns:.0f}", f"{sample.o_send_ns:.0f}",
+                f"{send_err * 100:+.1f}%",
+                f"{prediction.o_recv_ns:.0f}", f"{sample.o_recv_ns:.0f}",
+                f"{recv_err * 100:+.1f}%",
+            ])
+    return ExperimentResult(
+        experiment="Cost-model validation: closed-form vs simulated "
+                    "per-message processor occupancy",
+        headers=["NI", "payload",
+                 "o_send pred", "o_send sim", "err",
+                 "o_recv pred", "o_recv sim", "err"],
+        rows=rows,
+        notes=[f"worst |error| = {worst_error * 100:.1f}%"],
+        extras={"worst_error": worst_error},
+    )

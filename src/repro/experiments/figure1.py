@@ -1,0 +1,106 @@
+"""Figure 1: impact of data transfer and buffering on execution time.
+
+The paper's figure shows, for the CM-5-like NI with one flow-control
+buffer, how much of each macrobenchmark's execution time is
+attributable to data transfer and to buffering ("upto 42% and 58%
+respectively").
+
+Measurement (differential, matching the figure's framing):
+
+- run each macrobenchmark on the CM-5-like NI at fcb=1 (T1) and at
+  infinite flow-control buffering (Tinf);
+- **buffering share** = (T1 - Tinf) / T1 — the execution time that
+  exists only because buffering is insufficient;
+- **data-transfer share** = the processor time spent moving data
+  to/from the NI in the infinite-buffering run, scaled into the fcb=1
+  run: dt_state_fraction(Tinf) * Tinf / T1;
+- the remainder is compute (including idle waiting).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    default_costs,
+    default_params,
+    workload_kwargs,
+)
+from repro.workloads.registry import MACRO_NAMES, make_workload
+
+
+def breakdown_for(name: str, quick: bool, ni_name: str = "cm5") -> dict:
+    costs = default_costs()
+    kwargs = workload_kwargs(name, quick)
+    run_1 = make_workload(name, **kwargs).run(
+        params=default_params(flow_control_buffers=1),
+        costs=costs, ni_name=ni_name,
+    )
+    run_inf = make_workload(name, **kwargs).run(
+        params=default_params(flow_control_buffers=None),
+        costs=costs, ni_name=ni_name,
+    )
+    t1 = run_1.elapsed_ns
+    tinf = run_inf.elapsed_ns
+    buffering = max(0.0, (t1 - tinf) / t1)
+    dt_states = run_inf.states
+    total_states = sum(dt_states.values()) or 1
+    dt_fraction_inf = (
+        dt_states.get("send", 0) + dt_states.get("receive", 0)
+    ) / total_states
+    data_transfer = dt_fraction_inf * tinf / t1
+    compute = max(0.0, 1.0 - buffering - data_transfer)
+    return {
+        "workload": name,
+        "t1_us": t1 / 1000.0,
+        "tinf_us": tinf / 1000.0,
+        "buffering": buffering,
+        "data_transfer": data_transfer,
+        "compute": compute,
+        "bounces_fcb1": run_1.bounces,
+    }
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    rows = []
+    results = {}
+    for name in MACRO_NAMES:
+        b = breakdown_for(name, quick)
+        results[name] = b
+        rows.append([
+            name,
+            f"{b['compute'] * 100:.1f}%",
+            f"{b['data_transfer'] * 100:.1f}%",
+            f"{b['buffering'] * 100:.1f}%",
+            f"{b['t1_us']:.1f}",
+            f"{b['tinf_us']:.1f}",
+        ])
+    max_dt = max(r["data_transfer"] for r in results.values())
+    max_buf = max(r["buffering"] for r in results.values())
+    from repro.experiments.charts import stacked_chart
+
+    chart = stacked_chart(
+        [
+            (name, {
+                "compute": results[name]["compute"],
+                "data_transfer": results[name]["data_transfer"],
+                "buffering": results[name]["buffering"],
+            })
+            for name in MACRO_NAMES
+        ],
+        segments=("compute", "data_transfer", "buffering"),
+    )
+    return ExperimentResult(
+        experiment="Figure 1: execution-time breakdown "
+                    "(CM-5-like NI, flow-control buffers = 1)",
+        headers=["Benchmark", "Compute", "Data transfer", "Buffering",
+                 "T(fcb=1) us", "T(fcb=inf) us"],
+        rows=rows,
+        notes=[
+            f"max data-transfer share = {max_dt * 100:.0f}% "
+            "(paper: up to 42%)",
+            f"max buffering share = {max_buf * 100:.0f}% "
+            "(paper: up to 58%)",
+            "\n" + chart,
+        ],
+        extras={"results": results, "chart": chart},
+    )

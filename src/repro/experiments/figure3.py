@@ -1,0 +1,134 @@
+"""Figure 3: macrobenchmark execution times across the seven NIs.
+
+- **Figure 3a**: the three fifo-based NIs (CM-5-like, Udma-based,
+  AP3000-like) at 1, 2, 8 and infinite flow-control buffers.
+- **Figure 3b**: the four partially/fully coherent NIs (Memory
+  Channel-like, StarT-JR-like, CNI_512Q, CNI_32Qm), which provide
+  NI-managed plentiful buffering and are largely insensitive to the
+  flow-control buffer count.
+
+Everything is normalized to the AP3000-like NI with 8 flow-control
+buffers, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentResult,
+    default_costs,
+    default_params,
+    fcb_label,
+    label,
+    workload_kwargs,
+)
+from repro.ni.registry import COHERENT_NI_NAMES, FIFO_NI_NAMES
+from repro.workloads.registry import MACRO_NAMES, make_workload
+
+FCB_LEVELS: Tuple[Optional[int], ...] = (1, 2, 8, None)
+
+
+def run_matrix(
+    ni_names,
+    fcb_levels,
+    quick: bool = False,
+    workloads=MACRO_NAMES,
+) -> Dict[Tuple[str, str, Optional[int]], float]:
+    """elapsed_us for each (workload, ni, fcb) combination."""
+    out = {}
+    costs = default_costs()
+    for workload_name in workloads:
+        kwargs = workload_kwargs(workload_name, quick)
+        for ni_name in ni_names:
+            for fcb in fcb_levels:
+                result = make_workload(workload_name, **kwargs).run(
+                    params=default_params(flow_control_buffers=fcb),
+                    costs=costs, ni_name=ni_name,
+                )
+                out[(workload_name, ni_name, fcb)] = result.elapsed_us
+    return out
+
+
+def _normalize(matrix, baseline):
+    return {k: v / baseline[k[0]] for k, v in matrix.items()}
+
+
+def run_figure3a(quick: bool = False, workloads=MACRO_NAMES) -> ExperimentResult:
+    matrix = run_matrix(FIFO_NI_NAMES, FCB_LEVELS, quick, workloads)
+    baseline = {
+        w: matrix[(w, "ap3000", 8)] for w in workloads
+    }
+    normalized = _normalize(matrix, baseline)
+    rows = []
+    for w in workloads:
+        for ni_name in FIFO_NI_NAMES:
+            cells = [
+                f"{normalized[(w, ni_name, fcb)]:.2f}" for fcb in FCB_LEVELS
+            ]
+            rows.append([w, label(ni_name), *cells])
+    from repro.experiments.charts import grouped_chart
+
+    chart = grouped_chart([
+        (w, [
+            (f"{label(ni)} fcb={fcb_label(f)}", normalized[(w, ni, f)])
+            for ni in FIFO_NI_NAMES for f in FCB_LEVELS
+        ])
+        for w in workloads
+    ])
+    return ExperimentResult(
+        experiment="Figure 3a: fifo-based NIs vs flow-control buffering "
+                    "(normalized to AP3000-like NI, fcb=8)",
+        headers=["Benchmark", "NI",
+                 *(f"fcb={fcb_label(f)}" for f in FCB_LEVELS)],
+        rows=rows,
+        notes=["\n" + chart],
+        extras={"matrix": matrix, "normalized": normalized,
+                "baseline_us": baseline, "chart": chart},
+    )
+
+
+def run_figure3b(quick: bool = False, workloads=MACRO_NAMES) -> ExperimentResult:
+    # Coherent NIs at the paper's fcb=8 (their insensitivity to fcb is
+    # asserted separately by the ablation benchmark / tests).
+    matrix = run_matrix(COHERENT_NI_NAMES, (8,), quick, workloads)
+    # The AP3000@8 baseline comes from the fifo matrix.
+    fifo = run_matrix(("ap3000",), (8,), quick, workloads)
+    baseline = {w: fifo[(w, "ap3000", 8)] for w in workloads}
+    rows = []
+    normalized = {}
+    for w in workloads:
+        cells = []
+        for ni_name in COHERENT_NI_NAMES:
+            value = matrix[(w, ni_name, 8)] / baseline[w]
+            normalized[(w, ni_name)] = value
+            cells.append(f"{value:.2f}")
+        rows.append([w, *cells])
+    from repro.experiments.charts import grouped_chart
+
+    chart = grouped_chart([
+        (w, [
+            (label(ni), normalized[(w, ni)]) for ni in COHERENT_NI_NAMES
+        ])
+        for w in workloads
+    ])
+    return ExperimentResult(
+        experiment="Figure 3b: coherent NIs, fcb=8 "
+                    "(normalized to AP3000-like NI, fcb=8)",
+        headers=["Benchmark", *(label(n) for n in COHERENT_NI_NAMES)],
+        rows=rows,
+        notes=["\n" + chart],
+        extras={"matrix": matrix, "normalized": normalized,
+                "baseline_us": baseline, "chart": chart},
+    )
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    a = run_figure3a(quick)
+    b = run_figure3b(quick)
+    combined = ExperimentResult(
+        experiment="Figure 3", headers=["section"], rows=[],
+        extras={"a": a, "b": b},
+    )
+    combined.format = lambda: a.format() + "\n\n" + b.format()  # type: ignore
+    return combined

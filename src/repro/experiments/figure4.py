@@ -1,0 +1,70 @@
+"""Figure 4: single-cycle (register-mapped) NI_2w vs CNI_32Qm.
+
+The single-cycle NI_2w approximates a processor-register-mapped NI:
+every NI access costs one cycle and no bus traffic — but buffering
+still comes out of the (precious, small) register file, so the paper
+varies its flow-control buffers while CNI_32Qm, with plentiful
+NI-managed buffering, is run once and used as the normalization
+baseline.  The paper's headline: with few buffers the register-mapped
+NI *loses* to CNI_32Qm on the buffering-bound applications (spsolve
+breakeven at ~32 buffers, em3d at ~2) and is within ~15% elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentResult,
+    default_costs,
+    default_params,
+    fcb_label,
+    workload_kwargs,
+)
+from repro.workloads.registry import MACRO_NAMES, make_workload
+
+FCB_LEVELS: Tuple[Optional[int], ...] = (1, 2, 8, 32, None)
+
+
+def run(quick: bool = False, workloads=MACRO_NAMES) -> ExperimentResult:
+    costs = default_costs()
+    rows = []
+    normalized = {}
+    for workload_name in workloads:
+        kwargs = workload_kwargs(workload_name, quick)
+        baseline = make_workload(workload_name, **kwargs).run(
+            params=default_params(flow_control_buffers=8),
+            costs=costs, ni_name="cni32qm",
+        ).elapsed_us
+        cells = []
+        for fcb in FCB_LEVELS:
+            elapsed = make_workload(workload_name, **kwargs).run(
+                params=default_params(flow_control_buffers=fcb),
+                costs=costs, ni_name="cm5-1cyc",
+            ).elapsed_us
+            value = elapsed / baseline
+            normalized[(workload_name, fcb)] = value
+            cells.append(f"{value:.2f}")
+        rows.append([workload_name, *cells])
+    from repro.experiments.charts import grouped_chart
+
+    chart = grouped_chart([
+        (w, [
+            (f"fcb={fcb_label(f)}", normalized[(w, f)]) for f in FCB_LEVELS
+        ])
+        for w in workloads
+    ])
+    return ExperimentResult(
+        experiment="Figure 4: single-cycle NI_2w vs CNI_32Qm "
+                    "(normalized to CNI_32Qm; >1 means the "
+                    "register-mapped NI is slower)",
+        headers=["Benchmark",
+                 *(f"fcb={fcb_label(f)}" for f in FCB_LEVELS)],
+        rows=rows,
+        notes=[
+            "CNI_32Qm is independent of flow-control buffering "
+            "(plentiful buffering in main memory).",
+            "\n" + chart,
+        ],
+        extras={"normalized": normalized, "chart": chart},
+    )

@@ -1,0 +1,109 @@
+"""Command-line runner for the experiments.
+
+Usage::
+
+    repro-experiments all            # every table and figure
+    repro-experiments table5 figure3 --quick
+    repro-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    cni_family,
+    costmodel_check,
+    contention,
+    figure1,
+    figure3,
+    figure4,
+    logp,
+    multiprogramming,
+    stability,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table5-latency": table5.run_latency,
+    "table5-bandwidth": table5.run_bandwidth,
+    "figure1": figure1.run,
+    "figure3": figure3.run,
+    "figure3a": figure3.run_figure3a,
+    "figure3b": figure3.run_figure3b,
+    "figure4": figure4.run,
+    "ablations": ablations.run,
+    "logp": logp.run,
+    "contention": contention.run,
+    "multiprogramming": multiprogramming.run,
+    "cni-family": cni_family.run,
+    "stability": stability.run,
+    "costmodel": costmodel_check.run,
+}
+
+#: What "all" means (composite entries subsume the split ones).
+ALL_ORDER = (
+    "table1", "table2", "table3", "table4", "table5",
+    "figure1", "figure3", "figure4", "ablations", "logp",
+    "contention", "multiprogramming", "cni-family", "stability",
+    "costmodel",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment names (or 'all'); see --list",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads / fewer rounds (smoke run)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(ALL_ORDER)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    for name in names:
+        start = time.time()
+        result = EXPERIMENTS[name](quick=args.quick)
+        elapsed = time.time() - start
+        print(result.format())
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

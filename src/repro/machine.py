@@ -1,0 +1,10 @@
+"""Convenience re-export: the parallel machine lives with the node
+assembly in :mod:`repro.node`; import it from either place.
+
+``from repro.machine import Machine`` mirrors the layout sketched in
+DESIGN.md.
+"""
+
+from repro.node import Machine, Node
+
+__all__ = ["Machine", "Node"]

@@ -1,0 +1,53 @@
+"""Memory-system substrate: bus, coherence, caches, and responders.
+
+Models the node-local memory system of Figure 2 of the paper: a
+split-transaction, snooping memory bus (256 bits @ 250 MHz, MOESI
+protocol per Table 3) connecting the processor's direct-mapped cache,
+main memory, and the network interface.
+
+Key pieces:
+
+- :class:`~repro.memory.bus.MemoryBus` — arbitrated address and data
+  phases, snoop broadcast, home routing, transaction accounting.
+- :class:`~repro.memory.cache.Cache` — a direct-mapped MOESI cache with
+  generator-style timed ``load``/``store`` used by the processor model
+  and (with a smaller geometry) by the CNI receive cache.
+- :class:`~repro.memory.responders.MainMemory` /
+  :class:`~repro.memory.responders.DeviceMemory` — home responders with
+  the 120 ns / 60 ns access times of Table 3.
+- :class:`~repro.memory.address.AddressMap` — carves the node's
+  physical address space into main memory, NI register, and NI queue
+  regions.
+
+Data transport note: caches model *state and timing* only.  Actual
+message payloads travel at the message/queue object level (see
+``repro.network.message`` and ``repro.ni.queue``); the coherence
+machinery decides how long those transfers take and which agent
+supplies each block.
+"""
+
+from repro.memory.address import AddressMap, Region
+from repro.memory.bus import BusTransaction, MemoryBus, TransactionResult
+from repro.memory.cache import Cache
+from repro.memory.responders import DeviceMemory, MainMemory
+from repro.memory.types import (
+    BusAgent,
+    BusOp,
+    CoherenceState,
+    SnoopReply,
+)
+
+__all__ = [
+    "AddressMap",
+    "BusAgent",
+    "BusOp",
+    "BusTransaction",
+    "Cache",
+    "CoherenceState",
+    "DeviceMemory",
+    "MainMemory",
+    "MemoryBus",
+    "Region",
+    "SnoopReply",
+    "TransactionResult",
+]

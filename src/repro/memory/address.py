@@ -1,0 +1,103 @@
+"""Node-local physical address map.
+
+Each node's bus decodes addresses into regions: ordinary main memory,
+the NI's uncached register window (fifo head/tail, status, doorbells),
+and — for coherent NIs — the cachable NI queue region whose *home* may
+be the NI itself (CNI_iQ) or main memory (CNI_iQ_m).  The home of an
+address is "the I/O device or memory module that services requests to
+that address when the address is not cached" (paper, Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, half-open address range ``[base, base + size)``."""
+
+    name: str
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region {self.name!r} has non-positive size")
+        if self.base < 0:
+            raise ValueError(f"region {self.name!r} has negative base")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def offset(self, addr: int) -> int:
+        if not self.contains(addr):
+            raise ValueError(f"{addr:#x} not in region {self.name!r}")
+        return addr - self.base
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+# Conventional layout used by every node.  Generous, non-overlapping
+# windows; nothing depends on the absolute values.
+MAIN_MEMORY_BASE = 0x0000_0000
+MAIN_MEMORY_SIZE = 0x4000_0000          # 1 GB of main memory
+NI_REGISTER_BASE = 0x8000_0000
+NI_REGISTER_SIZE = 0x0001_0000          # uncached NI register window
+NI_SEND_QUEUE_BASE = 0x9000_0000
+NI_RECV_QUEUE_BASE = 0xA000_0000
+NI_QUEUE_SIZE = 0x0010_0000             # 1 MB per queue window
+
+
+class AddressMap:
+    """The set of regions a node's bus decodes, with lookup by address."""
+
+    def __init__(self) -> None:
+        self._regions: Dict[str, Region] = {}
+
+    @classmethod
+    def standard(cls) -> "AddressMap":
+        """The layout every node in the simulated machine uses."""
+        amap = cls()
+        amap.add(Region("main_memory", MAIN_MEMORY_BASE, MAIN_MEMORY_SIZE))
+        amap.add(Region("ni_registers", NI_REGISTER_BASE, NI_REGISTER_SIZE))
+        amap.add(Region("ni_send_queue", NI_SEND_QUEUE_BASE, NI_QUEUE_SIZE))
+        amap.add(Region("ni_recv_queue", NI_RECV_QUEUE_BASE, NI_QUEUE_SIZE))
+        return amap
+
+    def add(self, region: Region) -> Region:
+        for existing in self._regions.values():
+            if existing.overlaps(region):
+                raise ValueError(
+                    f"region {region.name!r} overlaps {existing.name!r}"
+                )
+        if region.name in self._regions:
+            raise ValueError(f"duplicate region name {region.name!r}")
+        self._regions[region.name] = region
+        return region
+
+    def __getitem__(self, name: str) -> Region:
+        return self._regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions.values())
+
+    def find(self, addr: int) -> Optional[Region]:
+        """The region containing ``addr``, or ``None``."""
+        for region in self._regions.values():
+            if region.contains(addr):
+                return region
+        return None
+
+    def region_name(self, addr: int) -> str:
+        region = self.find(addr)
+        return region.name if region else "unmapped"

@@ -1,0 +1,253 @@
+"""A direct-mapped, write-allocate, write-back MOESI cache.
+
+This models the processor's 1 MB direct-mapped cache (Table 3) and,
+with a smaller geometry, the 32-entry receive/send caches of CNI_32Qm.
+Only coherence state and timing are modelled; payloads travel at the
+message level (see :mod:`repro.memory`).
+
+All timed operations are generators, composed into processes with
+``yield from``.  Untimed inspection (``state_of``, ``is_hit``) is free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.config import SystemParams
+from repro.memory.bus import BusTransaction, MemoryBus
+from repro.memory.types import (
+    BlockLine,
+    BusOp,
+    CoherenceState,
+    SnoopReply,
+    Supplier,
+)
+from repro.sim import Counter, Simulator
+
+#: Default latency for one cache to supply a block to another over the
+#: bus (tag check + SRAM read).  Not in Table 3; chosen between the
+#: processor hit time and the 60 ns NI SRAM.
+CACHE_SUPPLY_NS = 30
+
+
+class Cache:
+    """Direct-mapped MOESI cache attached to a :class:`MemoryBus`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: MemoryBus,
+        params: SystemParams,
+        name: str = "cache",
+        num_sets: Optional[int] = None,
+        hit_ns: Optional[int] = None,
+        supply_ns: int = CACHE_SUPPLY_NS,
+        kind: str = "cache",
+    ):
+        self.sim = sim
+        self.bus = bus
+        self.params = params
+        self.name = name
+        self.kind = kind
+        self.block_bytes = params.cache_block_bytes
+        self.num_sets = num_sets if num_sets is not None else params.cache_sets
+        if self.num_sets < 1:
+            raise ValueError("cache must have at least one set")
+        self.hit_ns = hit_ns if hit_ns is not None else params.cycle_ns
+        self.supply_ns = supply_ns
+        #: "MOESI" (Table 3) or "MESI" (ablation — no Owned state, so
+        #: dirty blocks snooped by reads are flushed to memory and the
+        #: reader fetches from there; no cache-to-cache supply).
+        self.protocol = params.coherence_protocol
+        self._lines: Dict[int, BlockLine] = {}
+        self.counters = Counter()
+        bus.attach(self)
+
+    # -- geometry -------------------------------------------------------
+
+    def _index_tag(self, addr: int) -> Tuple[int, int]:
+        block = addr // self.block_bytes
+        return block % self.num_sets, block // self.num_sets
+
+    def block_addr(self, addr: int) -> int:
+        return (addr // self.block_bytes) * self.block_bytes
+
+    def _line(self, index: int) -> BlockLine:
+        line = self._lines.get(index)
+        if line is None:
+            line = BlockLine()
+            self._lines[index] = line
+        return line
+
+    # -- inspection (untimed) --------------------------------------------
+
+    def state_of(self, addr: int) -> CoherenceState:
+        index, tag = self._index_tag(addr)
+        line = self._lines.get(index)
+        if line is None or not line.matches(tag):
+            return CoherenceState.INVALID
+        return line.state
+
+    def is_hit(self, addr: int) -> bool:
+        return self.state_of(addr).is_valid
+
+    @property
+    def valid_blocks(self) -> int:
+        return sum(1 for line in self._lines.values() if line.state.is_valid)
+
+    # -- timed operations --------------------------------------------------
+
+    def load(self, addr: int) -> Generator:
+        """Timed load of one word at ``addr``; returns "hit" or "miss"."""
+        index, tag = self._index_tag(addr)
+        line = self._line(index)
+        if line.matches(tag):
+            self.counters.add("load_hit")
+            yield self.sim.timeout(self.hit_ns)
+            return "hit"
+        self.counters.add("load_miss")
+        yield from self._evict(line, index)
+        result = yield from self.bus.transaction(
+            BusOp.READ, self.block_addr(addr), self.block_bytes, requester=self
+        )
+        line.tag = tag
+        if result.shared or result.supplier.kind != "memory":
+            line.state = CoherenceState.SHARED
+        else:
+            line.state = CoherenceState.EXCLUSIVE
+        yield self.sim.timeout(self.hit_ns)
+        return "miss"
+
+    def store(self, addr: int) -> Generator:
+        """Timed store of one word at ``addr``; returns "hit"/"upgrade"/"miss"."""
+        index, tag = self._index_tag(addr)
+        line = self._line(index)
+        if line.matches(tag):
+            if line.state is CoherenceState.MODIFIED:
+                self.counters.add("store_hit")
+                yield self.sim.timeout(self.hit_ns)
+                return "hit"
+            if line.state is CoherenceState.EXCLUSIVE:
+                # Silent E -> M upgrade.
+                line.state = CoherenceState.MODIFIED
+                self.counters.add("store_hit")
+                yield self.sim.timeout(self.hit_ns)
+                return "hit"
+            # S or O: must invalidate other copies.
+            self.counters.add("store_upgrade")
+            yield from self.bus.transaction(
+                BusOp.UPGRADE, self.block_addr(addr), self.block_bytes,
+                requester=self,
+            )
+            if not line.matches(tag):
+                # A racing writer invalidated us while we arbitrated:
+                # the upgrade became a miss, fetch with ownership.
+                self.counters.add("upgrade_races")
+                yield from self.bus.transaction(
+                    BusOp.READ_EXCLUSIVE, self.block_addr(addr),
+                    self.block_bytes, requester=self,
+                )
+                line.tag = tag
+            line.state = CoherenceState.MODIFIED
+            yield self.sim.timeout(self.hit_ns)
+            return "upgrade"
+        self.counters.add("store_miss")
+        yield from self._evict(line, index)
+        yield from self.bus.transaction(
+            BusOp.READ_EXCLUSIVE, self.block_addr(addr), self.block_bytes,
+            requester=self,
+        )
+        line.tag = tag
+        line.state = CoherenceState.MODIFIED
+        yield self.sim.timeout(self.hit_ns)
+        return "miss"
+
+    def flush(self, addr: int) -> Generator:
+        """Write back (if dirty) and invalidate the block holding ``addr``."""
+        index, tag = self._index_tag(addr)
+        line = self._lines.get(index)
+        if line is None or not line.matches(tag):
+            return False
+        if line.state.is_dirty:
+            yield from self.bus.transaction(
+                BusOp.WRITEBACK, self.block_addr(addr), self.block_bytes,
+                requester=self,
+            )
+            self.counters.add("writeback")
+        line.state = CoherenceState.INVALID
+        line.tag = None
+        return True
+
+    def _evict(self, line: BlockLine, index: int) -> Generator:
+        """Write back the victim in ``line`` (at set ``index``) if dirty."""
+        if line.state.is_dirty:
+            victim_addr = (line.tag * self.num_sets + index) * self.block_bytes
+            yield from self.bus.transaction(
+                BusOp.WRITEBACK, victim_addr, self.block_bytes, requester=self
+            )
+            self.counters.add("writeback")
+        line.state = CoherenceState.INVALID
+        line.tag = None
+
+    # -- untimed state injection (for tests and warm starts) --------------
+
+    def install(self, addr: int, state: CoherenceState) -> None:
+        """Force a block into ``state`` without timing (test helper,
+        warm starts, and application writes that happened as abstract
+        compute)."""
+        index, tag = self._index_tag(addr)
+        line = self._line(index)
+        line.tag = tag
+        line.state = state
+
+    def install_modified(self, addr: int) -> None:
+        """Mark a block dirty-exclusive without timing: stands in for
+        application stores that occurred inside abstract compute time
+        (e.g. composing a message buffer before a UDMA send)."""
+        self.install(addr, CoherenceState.MODIFIED)
+
+    def invalidate_all(self) -> None:
+        for line in self._lines.values():
+            line.state = CoherenceState.INVALID
+            line.tag = None
+
+    # -- bus agent protocol -------------------------------------------------
+
+    def snoop(self, txn: BusTransaction) -> SnoopReply:
+        if not txn.op.is_coherent:
+            return SnoopReply()
+        index, tag = self._index_tag(txn.addr)
+        line = self._lines.get(index)
+        if line is None or not line.matches(tag):
+            return SnoopReply()
+        state = line.state
+        if txn.op is BusOp.READ:
+            if self.protocol == "MESI":
+                # No Owned state: a dirty holder flushes to memory and
+                # downgrades; the reader is supplied by memory, not by
+                # this cache.
+                if state is CoherenceState.MODIFIED:
+                    self.counters.add("mesi_flushes")
+                line.state = CoherenceState.SHARED
+                return SnoopReply(shared=True)
+            if state is CoherenceState.MODIFIED:
+                line.state = CoherenceState.OWNED
+                return SnoopReply(supplies=True, shared=True)
+            if state is CoherenceState.EXCLUSIVE:
+                line.state = CoherenceState.SHARED
+                return SnoopReply(supplies=True, shared=True)
+            if state is CoherenceState.OWNED:
+                return SnoopReply(supplies=True, shared=True)
+            return SnoopReply(shared=True)  # SHARED
+        if txn.op in (BusOp.READ_EXCLUSIVE, BusOp.UPGRADE):
+            supplies = (
+                txn.op is BusOp.READ_EXCLUSIVE and state.can_supply
+            )
+            line.state = CoherenceState.INVALID
+            line.tag = None
+            self.counters.add("snoop_invalidate")
+            return SnoopReply(supplies=supplies)
+        return SnoopReply()  # WRITEBACK: nothing to do
+
+    def supplier(self) -> Supplier:
+        return Supplier(self.name, self.supply_ns, self.kind)

@@ -1,0 +1,140 @@
+"""Home responders: main memory and NI device memory.
+
+A responder services bus transactions to addresses it is the *home*
+for, when no cache supplies the data.  Main memory is 120 ns DRAM;
+NI memory is 60 ns SRAM — except CNI_512Q's queue memory, which the
+paper assumes is commodity DRAM (120 ns) because of its size.
+
+**Bank occupancy (optional extension).**  By default a responder's
+array is infinitely pipelined: reads cost ``access_ns`` of latency and
+posted writes are absorbed for free.  With banking enabled (attach a
+:class:`BankModel`), every access — including posted writes — occupies
+the bank for ``access_ns``, so a receive path that steers messages
+*through* main memory (StarT-JR, UDMA) contends with the consuming
+processor's reads of the same memory, while an NI-homed design
+(CNI_512Q) leaves main memory alone.  The banking ablation benchmark
+shows this recovers the CNI_512Q-over-StarT-JR bandwidth gap of
+Table 5.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.config import SystemParams
+from repro.memory.types import Supplier
+from repro.sim import Counter, Resource, Simulator, Store
+
+
+class BankModel:
+    """Occupancy model for a memory array: one access at a time.
+
+    ``read_access`` (timed, generator) waits for the bank and holds it
+    for the access time.  ``post_write`` enqueues a write into a small
+    write buffer that drains through the same bank: the write itself is
+    off the writer's critical path, but when the buffer is full the
+    writer stalls — real memory controllers back-pressure, they do not
+    absorb unbounded posted traffic.
+    """
+
+    #: Posted-write buffer depth (entries).
+    WRITE_BUFFER = 8
+
+    def __init__(self, sim: Simulator, access_ns: int):
+        self.sim = sim
+        self.access_ns = access_ns
+        self._bank = Resource(sim, capacity=1)
+        self._write_slots = Store(sim, capacity=self.WRITE_BUFFER)
+        self.counters = Counter()
+
+    def read_access(self) -> Generator:
+        """Wait for the bank, then occupy it for one access."""
+        start = self.sim.now
+        grant = self._bank.request()
+        yield grant
+        waited = self.sim.now - start
+        if waited:
+            self.counters.add("read_wait_ns", waited)
+        yield self.sim.timeout(self.access_ns)
+        self._bank.release(grant)
+        self.counters.add("reads")
+
+    def post_write(self) -> Generator:
+        """Enqueue one posted write (stalls only if the buffer is full)."""
+        start = self.sim.now
+        yield self._write_slots.put(1)
+        waited = self.sim.now - start
+        if waited:
+            self.counters.add("write_stall_ns", waited)
+        self.counters.add("writes")
+        self.sim.process(self._drain_one())
+
+    def _drain_one(self) -> Generator:
+        grant = self._bank.request()
+        yield grant
+        yield self.sim.timeout(self.access_ns)
+        self._bank.release(grant)
+        self._write_slots.try_get()
+
+
+class MainMemory:
+    """The node's DRAM main memory (default home for all of
+    ``main_memory`` and, for CNI_iQ_m designs, the NI queues)."""
+
+    kind = "memory"
+
+    def __init__(self, params: SystemParams, name: str = "main_memory"):
+        self.params = params
+        self.name = name
+        self.access_ns = params.mem_access_ns
+        self.counters = Counter()
+        #: Optional bank-occupancy model (see module docstring).
+        self.bank: Optional[BankModel] = None
+
+    def enable_banking(self, sim: Simulator) -> BankModel:
+        """Turn on bank-occupancy modelling for this memory."""
+        self.bank = BankModel(sim, self.access_ns)
+        return self.bank
+
+    def supplier(self) -> Supplier:
+        self.counters.add("supplies")
+        return Supplier(self.name, self.access_ns, self.kind)
+
+    def __repr__(self) -> str:
+        return f"<MainMemory {self.name} {self.access_ns}ns>"
+
+
+class DeviceMemory:
+    """Memory on an I/O device (the NI's fifos, registers, or queue RAM).
+
+    ``access_ns`` defaults to the 60 ns NI SRAM of Table 3; pass
+    ``params.mem_access_ns`` for DRAM-sized NI memory (CNI_512Q).
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        name: str = "ni_memory",
+        access_ns: int = None,  # type: ignore[assignment]
+        kind: str = "ni",
+    ):
+        self.params = params
+        self.name = name
+        self.access_ns = (
+            access_ns if access_ns is not None else params.ni_mem_access_ns
+        )
+        self.kind = kind
+        self.counters = Counter()
+        #: Optional bank-occupancy model (see module docstring).
+        self.bank: Optional[BankModel] = None
+
+    def enable_banking(self, sim: Simulator) -> BankModel:
+        self.bank = BankModel(sim, self.access_ns)
+        return self.bank
+
+    def supplier(self) -> Supplier:
+        self.counters.add("supplies")
+        return Supplier(self.name, self.access_ns, self.kind)
+
+    def __repr__(self) -> str:
+        return f"<DeviceMemory {self.name} {self.access_ns}ns>"

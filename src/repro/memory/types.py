@@ -1,0 +1,136 @@
+"""Shared types for the memory system: states, bus operations, agents."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, runtime_checkable
+
+
+class CoherenceState(enum.Enum):
+    """MOESI cache-block states (Table 3: "Memory bus coherence
+    protocol: MOESI")."""
+
+    MODIFIED = "M"   #: dirty, exclusive
+    OWNED = "O"      #: dirty, shared; this cache supplies on reads
+    EXCLUSIVE = "E"  #: clean, exclusive
+    SHARED = "S"     #: clean, shared
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not CoherenceState.INVALID
+
+    @property
+    def is_dirty(self) -> bool:
+        return self in (CoherenceState.MODIFIED, CoherenceState.OWNED)
+
+    @property
+    def can_supply(self) -> bool:
+        """Whether a holder in this state supplies data on a snoop hit."""
+        return self in (
+            CoherenceState.MODIFIED,
+            CoherenceState.OWNED,
+            CoherenceState.EXCLUSIVE,
+        )
+
+    @property
+    def writable(self) -> bool:
+        return self is CoherenceState.MODIFIED
+
+
+class BusOp(enum.Enum):
+    """Memory-bus transaction kinds."""
+
+    #: Coherent read for sharing (load miss).
+    READ = "BusRd"
+    #: Coherent read for ownership (store miss).
+    READ_EXCLUSIVE = "BusRdX"
+    #: Ownership upgrade without data (store hit in S/O).
+    UPGRADE = "BusUpgr"
+    #: Dirty block flushed to its home.
+    WRITEBACK = "BusWB"
+    #: Uncached device read (CM-5-style NI register/fifo access,
+    #: UDMA initiation load, status polls).
+    UNCACHED_READ = "UncRd"
+    #: Uncached device write (fifo pushes, doorbells, UDMA init store).
+    UNCACHED_WRITE = "UncWr"
+    #: Uncached 64-byte block transfer (UltraSPARC block load).
+    BLOCK_READ = "BlkRd"
+    #: Uncached 64-byte block transfer (UltraSPARC block store).
+    BLOCK_WRITE = "BlkWr"
+
+    @property
+    def is_coherent(self) -> bool:
+        """Whether caches must snoop this operation."""
+        return self in (
+            BusOp.READ,
+            BusOp.READ_EXCLUSIVE,
+            BusOp.UPGRADE,
+            BusOp.WRITEBACK,
+        )
+
+    @property
+    def carries_data_to_requester(self) -> bool:
+        return self in (BusOp.READ, BusOp.READ_EXCLUSIVE,
+                        BusOp.UNCACHED_READ, BusOp.BLOCK_READ)
+
+
+@dataclass
+class SnoopReply:
+    """One agent's response to a snooped transaction."""
+
+    #: The agent will supply the data (it held the block M/O/E).
+    supplies: bool = False
+    #: The agent held a valid copy (drives the "shared" wire).
+    shared: bool = False
+
+
+@runtime_checkable
+class BusAgent(Protocol):
+    """Anything that snoops the memory bus (caches, CNIs)."""
+
+    name: str
+
+    def snoop(self, txn: "BusTransaction") -> SnoopReply:  # noqa: F821
+        """Observe a transaction issued by another agent.
+
+        Must update internal coherence state *immediately* (snooping is
+        part of the address phase) and say whether this agent supplies
+        the data and whether it retains a shared copy.
+        """
+        ...
+
+
+@dataclass
+class Supplier:
+    """Where the data for a transaction came from, with access latency."""
+
+    name: str
+    latency_ns: int
+    #: Classification used by experiment accounting:
+    #: "memory", "cache", "ni", "ni_cache".
+    kind: str = "memory"
+
+
+@dataclass
+class HomeResponder:
+    """A device that services requests to an address range by default."""
+
+    name: str = "home"
+    access_ns: int = 0
+    kind: str = "memory"
+
+    def supplier(self) -> Supplier:
+        return Supplier(self.name, self.access_ns, self.kind)
+
+
+@dataclass
+class BlockLine:
+    """One cache line's bookkeeping (state machine only; no payload)."""
+
+    tag: Optional[int] = None
+    state: CoherenceState = CoherenceState.INVALID
+
+    def matches(self, tag: int) -> bool:
+        return self.state.is_valid and self.tag == tag

@@ -1,0 +1,27 @@
+"""Network substrate: messages, fabric, and end-to-end flow control.
+
+Per Section 5.1.2 of the paper, the network itself is abstract: no
+topology, a constant 40 ns latency from injection of the last byte at
+the source to arrival of the first byte at the destination, and
+messages of at most 256 bytes (8-byte header + payload).
+
+Reliability is provided by the *return-to-sender* end-to-end flow
+control scheme: the sending NI reserves one of its flow-control
+buffers, the receiving NI either accepts the message (freeing the
+sender's buffer with an acknowledgment) or bounces it back; bounced
+messages are retried.  Returned messages and acks travel on a second,
+always-accepted channel, which is the guaranteed return path the paper
+requires for deadlock freedom.
+"""
+
+from repro.network.fabric import Network
+from repro.network.flowcontrol import FlowControlUnit
+from repro.network.message import Message, MessageKind, fragment_payload
+
+__all__ = [
+    "FlowControlUnit",
+    "Message",
+    "MessageKind",
+    "Network",
+    "fragment_payload",
+]

@@ -1,0 +1,111 @@
+"""The abstract network fabric.
+
+"All of our simulations ignore network topology.  We assume messages
+take 40 nanoseconds to traverse the network from injection of the last
+byte at the source to arrival of the first at the destination."
+(paper, Section 5.1.2)
+
+The fabric therefore models a constant per-message latency and
+unbounded bandwidth; all throughput limits come from the NIs and buses.
+Two logical channels exist: the data channel (subject to flow control
+at the endpoints) and the control channel used by acknowledgments and
+returned messages, which is always accepted — the "second network
+(either virtual or physical)" the return-to-sender scheme requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.config import SystemParams
+from repro.network.message import Message, MessageKind
+from repro.sim import Counter, Simulator
+from repro.sim.trace import Tracer
+
+#: Signature of an endpoint's arrival hook: called at delivery time.
+ArrivalHook = Callable[[Message], None]
+
+
+class Network:
+    """Interconnect between NIs.
+
+    Default: the paper's constant-latency, contention-free model.  An
+    optional ``fabric`` (e.g. :class:`repro.network.topology.MeshFabric`)
+    routes *data* messages through a real topology with link
+    contention; acks and returned messages always use the constant-
+    latency control channel (the guaranteed second network the
+    return-to-sender scheme requires).
+    """
+
+    def __init__(self, sim: Simulator, params: SystemParams, fabric=None):
+        self.sim = sim
+        self.params = params
+        self.fabric = fabric
+        #: Machine-wide tracer (message life cycles); enabled by
+        #: ``SystemParams.tracing``.
+        self.tracer = Tracer(sim, enabled=params.tracing)
+        self._data_endpoints: Dict[int, ArrivalHook] = {}
+        self._control_endpoints: Dict[int, ArrivalHook] = {}
+        self.counters = Counter()
+
+    # -- wiring ---------------------------------------------------------
+
+    def register(
+        self,
+        node_id: int,
+        on_data: ArrivalHook,
+        on_control: ArrivalHook,
+    ) -> None:
+        """Attach a node's NI: ``on_data`` receives flow-controlled
+        messages, ``on_control`` receives acks and returned messages."""
+        if node_id in self._data_endpoints:
+            raise ValueError(f"node {node_id} already registered")
+        self._data_endpoints[node_id] = on_data
+        self._control_endpoints[node_id] = on_control
+
+    @property
+    def node_ids(self) -> tuple:
+        return tuple(sorted(self._data_endpoints))
+
+    # -- injection -------------------------------------------------------
+
+    def inject(self, msg: Message) -> None:
+        """Send ``msg`` toward its destination (fire-and-forget).
+
+        Delivery happens ``network_latency_ns`` later by invoking the
+        destination's arrival hook.
+        """
+        if msg.size > self.params.network_message_bytes:
+            raise ValueError(
+                f"{msg!r} exceeds the {self.params.network_message_bytes}-byte "
+                "network message limit; fragment it first"
+            )
+        if msg.dst not in self._data_endpoints:
+            raise ValueError(f"destination node {msg.dst} not registered")
+        msg.sent_at = self.sim.now
+        self.tracer.log(f"net", "wire", uid=msg.uid, kind=msg.kind.value,
+                        src=msg.src, dst=msg.dst, size=msg.size)
+        control = msg.kind in (MessageKind.ACK, MessageKind.RETURN)
+        table = self._control_endpoints if control else self._data_endpoints
+        hook = table[msg.dst]
+        self.counters.add("injected")
+        self.counters.add(f"kind:{msg.kind.value}")
+        if not control:
+            self.counters.add("data_bytes", msg.size)
+
+        if self.fabric is not None and not control:
+            def _fabric_arrive(message: Message) -> None:
+                self.counters.add("delivered")
+                hook(message)
+
+            self.sim.process(self.fabric.deliver(msg, _fabric_arrive))
+            return
+
+        deliver = self.sim.event()
+
+        def _arrive(_event) -> None:
+            self.counters.add("delivered")
+            hook(msg)
+
+        deliver.add_callback(_arrive)
+        deliver.succeed(delay=self.params.network_latency_ns)

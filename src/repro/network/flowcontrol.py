@@ -1,0 +1,224 @@
+"""Return-to-sender end-to-end flow control (paper, Section 5.1.2).
+
+Each NI owns one :class:`FlowControlUnit` with ``flow_control_buffers``
+outgoing and incoming buffers (Table caption: "flow control buffers = 4
+implies four outgoing and four incoming network message buffers").
+
+Protocol:
+
+1. The sender allocates an outgoing buffer (``acquire_send_buffer``;
+   blocking here is the "buffering" stall the paper measures) and
+   injects the message.
+2. The receiver, on arrival, tries to allocate an incoming buffer.
+
+   - Success: the message is accepted into the inbound queue and an
+     acknowledgment goes back, which frees the sender's outgoing
+     buffer.
+   - Failure: the message is *returned to the sender* on the
+     guaranteed control channel.  The sender consumes it back into the
+     still-allocated outgoing buffer and retries after a backoff.
+3. The incoming buffer is freed (``release_receive_buffer``) once the
+   message has been moved out of the NI's network buffers — by the
+   processor for fifo-based NIs, by the NI itself for coherent NIs.
+
+The scheme is scalable because buffer count is independent of machine
+size, and deadlock-free because returns/acks are always accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.config import SoftwareCosts, SystemParams
+from repro.network.fabric import Network
+from repro.network.message import Message, MessageKind
+from repro.sim import Counter, Resource, Simulator, Store, TokenPool
+
+
+class FlowControlUnit:
+    """Per-NI sender/receiver buffer management with return-to-sender."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        params: SystemParams,
+        costs: SoftwareCosts,
+        name: Optional[str] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.params = params
+        self.costs = costs
+        self.name = name or f"fcu{node_id}"
+        #: Optional hook invoked (untimed) whenever a message is
+        #: accepted into the inbound queue; NIs use it to wake pollers.
+        self.on_accept = None
+        #: Who retries returned messages.  ``False`` (default): the NI
+        #: re-injects after a backoff (coherent NIs — Table 2 buffering
+        #: "Processor involved? No").  ``True``: returned messages are
+        #: parked in :attr:`returned` and the *processor* must re-push
+        #: them (fifo NIs — "Processor involved? Yes"); the NI pulses
+        #: ``on_return`` so pollers notice.
+        self.processor_retries = False
+        self.on_return = None
+        #: Returned messages awaiting a processor-managed retry.
+        self.returned = Store(sim)
+        buffers = params.flow_control_buffers
+        self.send_buffers = TokenPool(sim, buffers)
+        self.recv_buffers = TokenPool(sim, buffers)
+        #: Messages accepted from the network, waiting for the NI (or
+        #: processor) to drain them out of the flow-control buffers.
+        self.inbound = Store(sim)
+        #: The NI's network port.  Bouncing a message back to its
+        #: sender and re-injecting a returned message both occupy it —
+        #: return-to-sender is not free: rejected traffic consumes NI
+        #: resources at both ends, which is why insufficient buffering
+        #: "clogs up the network" (Section 3).
+        self._port = Resource(sim, capacity=1)
+        self.counters = Counter()
+        network.register(node_id, self._on_data, self._on_control)
+
+    def _port_time(self, msg: Message) -> int:
+        """Port occupancy to move one message through the NI port."""
+        return (
+            2 * self.params.bus_cycle_ns
+            + self.params.data_cycles(msg.size) * self.params.bus_cycle_ns
+        )
+
+    # -- sender side -----------------------------------------------------
+
+    def acquire_send_buffer(self):
+        """Reserve one outgoing buffer (event; may block).
+
+        The caller attributes the wait time — this is the send-side
+        "buffering" component of Figure 1.
+        """
+        return self.send_buffers.acquire()
+
+    def try_acquire_send_buffer(self) -> bool:
+        return self.send_buffers.try_acquire()
+
+    def inject(self, msg: Message) -> None:
+        """Put an already-buffered message on the wire (instantaneous;
+        the NI's bus/copy costs happen before this call)."""
+        self.counters.add("sent")
+        self.network.inject(msg)
+
+    def send(self, msg: Message) -> Generator:
+        """Convenience: acquire a buffer, then inject.  Returns the
+        time (ns) spent blocked waiting for an outgoing buffer."""
+        start = self.sim.now
+        yield self.acquire_send_buffer()
+        blocked = self.sim.now - start
+        if blocked:
+            self.counters.add("send_block_ns", blocked)
+        self.inject(msg)
+        return blocked
+
+    # -- receiver side -----------------------------------------------------
+
+    def _on_data(self, msg: Message) -> None:
+        if self.recv_buffers.try_acquire():
+            self.counters.add("accepted")
+            self.network.tracer.log(self.name, "accept", uid=msg.uid)
+            self.inbound.try_put(msg)
+            if self.on_accept is not None:
+                self.on_accept(msg)
+            ack = Message(
+                src=self.node_id, dst=msg.src, size=self.params.header_bytes,
+                kind=MessageKind.ACK, body=msg.uid,
+            )
+            self.network.inject(ack)
+        else:
+            # No free incoming buffer: bounce the whole message back,
+            # which occupies this NI's port for the message's length.
+            self.counters.add("returned")
+            self.network.tracer.log(self.name, "bounce", uid=msg.uid,
+                                    bounces=msg.bounces + 1)
+            msg.bounces += 1
+            self.sim.process(self._bounce(msg))
+
+    def _bounce(self, msg: Message) -> Generator:
+        grant = self._port.request()
+        yield grant
+        yield self.sim.timeout(self._port_time(msg))
+        self._port.release(grant)
+        bounce = Message(
+            src=self.node_id, dst=msg.src, size=msg.size,
+            kind=MessageKind.RETURN, body=msg,
+        )
+        self.network.inject(bounce)
+
+    def _on_control(self, msg: Message) -> None:
+        if msg.kind is MessageKind.ACK:
+            self.counters.add("acked")
+            self.send_buffers.release()
+        elif msg.kind is MessageKind.RETURN:
+            # The original message is back in our (still-held) outgoing
+            # buffer.
+            self.counters.add("bounced_back")
+            if self.processor_retries:
+                self.returned.try_put((self.sim.now, msg.body))
+                if self.on_return is not None:
+                    self.on_return(msg.body)
+            else:
+                self.sim.process(self._retry(msg.body))
+        else:
+            raise ValueError(f"unexpected control message {msg!r}")
+
+    def retry_delay(self, msg: Message) -> int:
+        """Backoff before re-injecting a bounced message.
+
+        Linear in the bounce count (capped): a message that keeps
+        bouncing backs off harder, which stops mid-sized buffer pools
+        from thrashing in bounce storms.
+        """
+        return self.costs.retry_backoff * min(max(msg.bounces, 1), 6)
+
+    def _retry(self, original: Message) -> Generator:
+        # Consume the returned message into the still-held outgoing
+        # buffer (port occupancy), back off, then re-inject (port
+        # occupancy again).
+        grant = self._port.request()
+        yield grant
+        yield self.sim.timeout(self._port_time(original))
+        self._port.release(grant)
+        yield self.sim.timeout(self.retry_delay(original))
+        grant = self._port.request()
+        yield grant
+        yield self.sim.timeout(self._port_time(original))
+        self._port.release(grant)
+        self.counters.add("retried")
+        self.network.inject(original)
+
+    def reinject(self, msg: Message) -> None:
+        """Processor-managed retry: put a returned message back on the
+        wire (the processor has already paid the re-push cost)."""
+        self.counters.add("retried")
+        self.network.inject(msg)
+
+    @property
+    def pending_returns(self) -> int:
+        return len(self.returned)
+
+    def release_receive_buffer(self) -> None:
+        """Free one incoming buffer after its message left the NI."""
+        self.recv_buffers.release()
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def pending_inbound(self) -> int:
+        """Accepted messages not yet drained from the NI buffers."""
+        return len(self.inbound)
+
+    @property
+    def send_buffers_in_use(self) -> int:
+        return self.send_buffers.in_use
+
+    @property
+    def bounce_count(self) -> int:
+        return self.counters["returned"]

@@ -1,0 +1,107 @@
+"""Network messages.
+
+A :class:`Message` is what crosses the wire: an 8-byte header plus up
+to 248 bytes of payload (Table 3: 256-byte network messages).  The
+payload itself is carried as an opaque Python object — the caches and
+queues model *where the bytes are and how long they take to move*,
+while the object rides along so end-to-end delivery can be verified
+exactly.
+
+Bulk transfers larger than one network message (e.g. moldyn's 1.5 KB
+reduction rows, unstructured's batched updates) are fragmented by
+:func:`fragment_payload` into maximum-size messages, as the Tempest
+virtual-channel layer would.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, List, Optional
+
+_SEQUENCE = itertools.count()
+
+
+class MessageKind(Enum):
+    """Classification for accounting and dispatch."""
+
+    ACTIVE_MESSAGE = "am"          #: user-level active message
+    DATA = "data"                  #: bulk-channel fragment
+    ACK = "ack"                    #: flow-control acknowledgment
+    RETURN = "return"              #: bounced message (return-to-sender)
+
+
+@dataclass
+class Message:
+    """One network message (header + payload)."""
+
+    src: int
+    dst: int
+    #: Total wire size in bytes, header included.
+    size: int
+    kind: MessageKind = MessageKind.ACTIVE_MESSAGE
+    #: Handler identifier for active messages (resolved by the
+    #: destination's Tempest runtime).
+    handler: Optional[str] = None
+    #: Opaque payload object delivered to the handler.
+    body: Any = None
+    #: Monotonic id (assigned automatically; unique per process).
+    uid: int = field(default_factory=lambda: next(_SEQUENCE))
+    #: Injection timestamp, stamped by the sending NI (ns).
+    sent_at: Optional[int] = None
+    #: Retries this message suffered from return-to-sender bounces.
+    bounces: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"message size must be positive, got {self.size}")
+        if self.src == self.dst:
+            raise ValueError(
+                f"loopback message {self.src} -> {self.dst} not supported"
+            )
+
+    @property
+    def payload_bytes(self) -> int:
+        """Payload size excluding the 8-byte header (never negative)."""
+        return max(0, self.size - 8)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Message#{self.uid} {self.kind.value} {self.src}->{self.dst} "
+            f"{self.size}B handler={self.handler}>"
+        )
+
+
+def message_size(payload_bytes: int, header_bytes: int = 8) -> int:
+    """Wire size for a payload (header added)."""
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be non-negative")
+    return header_bytes + payload_bytes
+
+
+def fragment_payload(
+    total_payload_bytes: int,
+    max_message_bytes: int = 256,
+    header_bytes: int = 8,
+) -> List[int]:
+    """Split a bulk payload into per-message payload sizes.
+
+    Returns the payload byte count of each fragment, ordered.  Every
+    fragment carries its own header, so a 1.5 KB transfer over 256-byte
+    messages becomes ceil(1536 / 248) = 7 fragments.
+    """
+    if total_payload_bytes < 0:
+        raise ValueError("total_payload_bytes must be non-negative")
+    max_payload = max_message_bytes - header_bytes
+    if max_payload <= 0:
+        raise ValueError("max_message_bytes must exceed header_bytes")
+    if total_payload_bytes == 0:
+        return [0]
+    sizes = []
+    remaining = total_payload_bytes
+    while remaining > 0:
+        chunk = min(remaining, max_payload)
+        sizes.append(chunk)
+        remaining -= chunk
+    return sizes

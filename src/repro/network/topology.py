@@ -1,0 +1,132 @@
+"""Optional network topology with link contention (extension).
+
+The paper deliberately ignores topology: "we assume messages take 40
+nanoseconds to traverse the network ... our abstract network model
+frees us from the idiosyncrasies of a particular network
+implementation", while citing Dai and Panda's result that network
+contention can significantly degrade shared-memory performance.  This
+module provides the concrete fabric the paper abstracted away, so the
+contention-sensitivity experiment can measure exactly what the
+abstraction hides.
+
+:class:`MeshFabric` models a 2D mesh with dimension-order (X-then-Y)
+routing and virtual cut-through switching: a message's head moves one
+hop per ``hop_ns`` while its body occupies each traversed link for its
+serialization time — so two messages crossing the same link genuinely
+queue.  Acks and returned messages stay on the paper's guaranteed
+second network (constant latency), as return-to-sender requires.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Generator, List, Tuple
+
+from repro.config import SystemParams
+from repro.network.message import Message
+from repro.sim import Counter, Resource, Simulator
+
+#: Per-hop head latency, ns (switch + wire).
+DEFAULT_HOP_NS = 10
+#: Link serialization time for 32 bytes, ns (≈ 3.2 GB/s links).
+DEFAULT_LINK_NS_PER_32B = 10
+
+Link = Tuple[int, int]
+
+
+class MeshFabric:
+    """A width x height 2D mesh of nodes with contended links."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: SystemParams,
+        num_nodes: int,
+        hop_ns: int = DEFAULT_HOP_NS,
+        link_ns_per_32b: int = DEFAULT_LINK_NS_PER_32B,
+    ):
+        self.sim = sim
+        self.params = params
+        self.num_nodes = num_nodes
+        self.hop_ns = hop_ns
+        self.link_ns_per_32b = link_ns_per_32b
+        self.width = max(1, int(math.isqrt(num_nodes)))
+        self.height = -(-num_nodes // self.width)
+        self._links: Dict[Link, Resource] = {}
+        self.counters = Counter()
+
+    # -- geometry -------------------------------------------------------
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        return node % self.width, node // self.width
+
+    def route(self, src: int, dst: int) -> List[Link]:
+        """Dimension-order route: X first, then Y; unit-step links."""
+        if src == dst:
+            return []
+        x0, y0 = self.coords(src)
+        x1, y1 = self.coords(dst)
+        hops: List[Link] = []
+        here = src
+        x, y = x0, y0
+        while x != x1:
+            x += 1 if x1 > x else -1
+            nxt = y * self.width + x
+            hops.append((here, nxt))
+            here = nxt
+        while y != y1:
+            y += 1 if y1 > y else -1
+            nxt = y * self.width + x
+            hops.append((here, nxt))
+            here = nxt
+        return hops
+
+    def _link(self, link: Link) -> Resource:
+        resource = self._links.get(link)
+        if resource is None:
+            resource = Resource(self.sim, capacity=1)
+            self._links[link] = resource
+        return resource
+
+    def serialization_ns(self, msg: Message) -> int:
+        beats = max(1, -(-msg.size // 32))
+        return beats * self.link_ns_per_32b
+
+    # -- delivery ----------------------------------------------------------
+
+    def deliver(
+        self, msg: Message, arrive: Callable[[Message], None]
+    ) -> Generator:
+        """Route ``msg`` hop by hop, then invoke ``arrive``.
+
+        Virtual cut-through: each link is held for the message's
+        serialization time; the head advances one ``hop_ns`` per hop.
+        Waiting for a busy link is the contention the abstract model
+        ignores.
+        """
+        start = self.sim.now
+        ser = self.serialization_ns(msg)
+        for link in self.route(msg.src, msg.dst):
+            resource = self._link(link)
+            grant = resource.request()
+            yield grant
+            yield self.sim.timeout(self.hop_ns)
+            # Hold the link for the body's serialization in the
+            # background (cut-through: the head moves on).
+            self.sim.process(self._hold(resource, grant, ser))
+            self.counters.add("link_traversals")
+        yield self.sim.timeout(ser)  # tail arrives behind the head
+        self.counters.add("delivered")
+        self.counters.add("total_delay_ns", self.sim.now - start)
+        arrive(msg)
+
+    def _hold(self, resource: Resource, grant, ser: int) -> Generator:
+        yield self.sim.timeout(ser)
+        resource.release(grant)
+
+    @property
+    def mean_delay_ns(self) -> float:
+        delivered = self.counters["delivered"]
+        if not delivered:
+            return 0.0
+        return self.counters["total_delay_ns"] / delivered

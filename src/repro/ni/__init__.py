@@ -1,0 +1,51 @@
+"""Network interface models.
+
+This package implements the seven memory-bus NIs of Table 2 of the
+paper (plus the single-cycle register-mapped NI_2w of Section 6.3):
+
+- :class:`~repro.ni.ni2w.CM5NI` — ``NI_2w``, uncached word accesses.
+- :class:`~repro.ni.ni2w.SingleCycleNI` — register-mapped ``NI_2w``.
+- :class:`~repro.ni.udma.UdmaNI` — ``NI_64w+Udma``.
+- :class:`~repro.ni.blkbuf.AP3000NI` — ``NI_16w+Blkbuf``.
+- :class:`~repro.ni.cni0qm.StartJrNI` — ``CNI_0Q_m``.
+- :class:`~repro.ni.memchannel.MemoryChannelNI` —
+  ``(NI_16w+Blkbuf)_S (CNI_0Q_m)_R``.
+- :class:`~repro.ni.cni512q.CNI512Q` — CNI with 512-block NI-homed
+  queues and no cache.
+- :class:`~repro.ni.cni32qm.CNI32Qm` — CNI with 32-entry send/receive
+  caches over memory-homed queues.
+
+All share :class:`~repro.ni.base.NetworkInterface`, which owns the
+flow-control unit, the NI register window, and the processor-context
+helpers.  :mod:`~repro.ni.registry` maps short names ("cm5",
+"cni32qm", ...) to factories and is what experiments use.
+"""
+
+from repro.ni.base import NetworkInterface
+from repro.ni.blkbuf import AP3000NI
+from repro.ni.cni0qm import StartJrNI
+from repro.ni.cni32qm import CNI32Qm
+from repro.ni.cni512q import CNI512Q
+from repro.ni.memchannel import MemoryChannelNI
+from repro.ni.ni2w import CM5NI, SingleCycleNI
+from repro.ni.registry import ALL_NI_NAMES, FIFO_NI_NAMES, COHERENT_NI_NAMES, make_ni, ni_class
+from repro.ni.taxonomy import Taxonomy
+from repro.ni.udma import UdmaNI
+
+__all__ = [
+    "ALL_NI_NAMES",
+    "AP3000NI",
+    "CM5NI",
+    "CNI32Qm",
+    "CNI512Q",
+    "COHERENT_NI_NAMES",
+    "FIFO_NI_NAMES",
+    "MemoryChannelNI",
+    "NetworkInterface",
+    "SingleCycleNI",
+    "StartJrNI",
+    "Taxonomy",
+    "UdmaNI",
+    "make_ni",
+    "ni_class",
+]

@@ -1,0 +1,259 @@
+"""The abstract network interface.
+
+A :class:`NetworkInterface` lives on one node's memory bus and owns:
+
+- the node's :class:`~repro.network.flowcontrol.FlowControlUnit`
+  (outgoing/incoming flow-control buffers, return-to-sender);
+- the uncached NI register window (status, fifo head/tail, doorbells),
+  homed at 60 ns NI SRAM;
+- an arrival :class:`~repro.sim.Gate` used by the runtime to sleep
+  until a message becomes extractable instead of spin-polling.
+
+Subclasses implement the three processor-context operations the
+Tempest runtime drives:
+
+- ``send_message(msg)`` — the complete processor-side send path.  What
+  this costs is exactly the paper's *data transfer* parameters: how
+  big the bus transfers are, whether the processor or the NI manages
+  them, and where the data goes.  Time blocked on flow-control buffers
+  must be attributed to the ``"buffering"`` timer state (the paper's
+  *buffering* component).
+- ``receive_message()`` — extract the next message (or ``None``),
+  again with NI-specific transfer costs.
+- ``has_message()`` — untimed availability check.
+
+Processor-context operations run inside the node processor's process
+and charge time through ``node.timer``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Generator, Optional
+
+from repro.memory.bus import BusOp
+from repro.memory.responders import DeviceMemory
+from repro.network.flowcontrol import FlowControlUnit
+from repro.network.message import Message
+from repro.ni.taxonomy import Taxonomy
+from repro.sim import Counter, Gate
+
+
+class NIRequester:
+    """Bus-requester identity for NI-mastered transactions (used when
+    the NI masters the bus without being a snooping cache)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.kind = "ni"
+
+
+class NetworkInterface(ABC):
+    """Base class for all seven NI models."""
+
+    #: Short registry name ("cm5", "cni32qm", ...).
+    ni_name: ClassVar[str] = "abstract"
+    #: The paper's notation ("NI_2w", "CNI_32Q_m", ...).
+    paper_name: ClassVar[str] = "?"
+    #: The paper's "simple description" column.
+    description: ClassVar[str] = "?"
+    #: Table 2 row for this NI.
+    taxonomy: ClassVar[Optional[Taxonomy]] = None
+
+    def __init__(self, node) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.params = node.params
+        self.costs = node.costs
+        self.bus = node.bus
+        self.counters = Counter()
+        #: Pulsed whenever a message becomes extractable.
+        self.arrival_gate = Gate(self.sim)
+        #: Optional send throttling (ns of forced gap after each send);
+        #: used by the CNI_32Qm+Throttle bandwidth configuration.
+        self.throttle_ns = 0
+
+        self.fcu = FlowControlUnit(
+            self.sim, node.network, node.node_id, self.params, self.costs,
+            name=f"{self.ni_name}{node.node_id}",
+        )
+        # The NI register window (uncached accesses land here).
+        self.reg_memory = DeviceMemory(
+            self.params, name=f"{self.ni_name}{node.node_id}.regs"
+        )
+        self._reg_base = self.bus.address_map["ni_registers"].base
+        self.bus.set_home(self.bus.address_map["ni_registers"], self.reg_memory)
+        self._setup()
+
+    def _setup(self) -> None:
+        """Subclass hook: engines, queue homes, warm state."""
+
+    # ------------------------------------------------------------------
+    # processor-context API (driven by the Tempest runtime)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def send_message(self, msg: Message) -> Generator:
+        """Complete processor-side send of ``msg`` (timed generator)."""
+
+    @abstractmethod
+    def receive_message(self) -> Generator:
+        """Extract the next available message (timed generator).
+
+        Returns the :class:`Message`, or ``None`` when nothing is
+        available.
+        """
+
+    @abstractmethod
+    def has_message(self) -> bool:
+        """Untimed: is a message extractable right now?"""
+
+    def wait_signal(self):
+        """Event that fires when a new message becomes extractable."""
+        return self.arrival_gate.wait()
+
+    def process_buffering_work(self) -> Generator:
+        """Processor-side buffer-management work (returned-message
+        retries for fifo NIs).  Default: none (NI-managed buffering).
+        Returns how many work items were handled."""
+        return 0
+        yield  # pragma: no cover
+
+    def has_processor_work(self) -> bool:
+        """Untimed: is buffer-management work pending for the
+        processor (e.g. returned messages awaiting re-push)?"""
+        return False
+
+    def idle(self) -> bool:
+        """Whether the NI has fully drained (used by shutdown checks)."""
+        return self.fcu.pending_inbound == 0 and not self.has_message()
+
+    # ------------------------------------------------------------------
+    # shared timed primitives (processor context)
+    # ------------------------------------------------------------------
+
+    def _uncached_read(self, size: int = 8, offset: int = 0) -> Generator:
+        """Uncached load from the NI register window (e.g. status,
+        fifo head words): full bus round trip including NI SRAM."""
+        self.counters.add("uncached_reads")
+        yield from self.bus.transaction(
+            BusOp.UNCACHED_READ, self._reg_base + offset, size
+        )
+
+    def _uncached_write(self, size: int = 8, offset: int = 0) -> Generator:
+        """Uncached (posted) store to the NI register window."""
+        self.counters.add("uncached_writes")
+        yield from self.bus.transaction(
+            BusOp.UNCACHED_WRITE, self._reg_base + offset, size
+        )
+
+    def _block_read(self, size: Optional[int] = None, offset: int = 0) -> Generator:
+        """Uncached block load (UltraSPARC-style) from NI memory."""
+        self.counters.add("block_reads")
+        yield from self.bus.transaction(
+            BusOp.BLOCK_READ,
+            self._reg_base + offset,
+            size or self.params.cache_block_bytes,
+        )
+
+    def _block_write(self, size: Optional[int] = None, offset: int = 0) -> Generator:
+        """Uncached block store (UltraSPARC-style) into NI memory."""
+        self.counters.add("block_writes")
+        yield from self.bus.transaction(
+            BusOp.BLOCK_WRITE,
+            self._reg_base + offset,
+            size or self.params.cache_block_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # size helpers
+    # ------------------------------------------------------------------
+
+    def _words(self, msg: Message) -> int:
+        """8-byte words needed for the whole message (header included)."""
+        return max(1, -(-msg.size // 8))
+
+    def _chunks(self, msg: Message) -> list:
+        """64-byte chunk sizes covering the whole message."""
+        block = self.params.cache_block_bytes
+        sizes = []
+        remaining = msg.size
+        while remaining > 0:
+            sizes.append(min(block, remaining))
+            remaining -= block
+        return sizes or [msg.size]
+
+    def _blocks_for(self, nbytes: int) -> int:
+        return self.params.blocks_for(nbytes)
+
+    # ------------------------------------------------------------------
+    # flow-control helpers
+    # ------------------------------------------------------------------
+
+    #: Period of the blocked-send polling loop's sleep slice, ns.
+    BLOCKED_POLL_INTERVAL = 200
+
+    def _blocked_poll(self) -> Generator:
+        """One iteration of status monitoring while blocked on flow
+        control.
+
+        Subclasses whose status lives in NI registers override this
+        with a timed (uncached) status read: the paper's point that
+        "limited buffering forces a processor to constantly monitor NI
+        status changes", burning processor and bus time even when
+        nothing has arrived.  Default: free (coherent NIs poll a
+        cachable location, a 1-cycle hit folded into the noise).
+        """
+        return
+        yield  # pragma: no cover
+
+    def _acquire_send_buffer_blocking(self) -> Generator:
+        """Reserve an outgoing flow-control buffer in processor context.
+
+        While blocked, the processor keeps polling: draining incoming
+        messages (deferring their handlers) — the classic
+        poll-while-sending discipline that avoids fetch-deadlock on
+        fifo NIs [CM-5] — and paying the NI-specific status-monitoring
+        cost each loop.  All blocked time lands in the ``"buffering"``
+        timer state.
+        """
+        if self.fcu.try_acquire_send_buffer():
+            return
+        timer = self.node.timer
+        timer.push("buffering")
+        self.counters.add("send_buffer_stalls")
+        try:
+            while True:
+                absorbed = yield from self.node.runtime.absorb_pending()
+                if self.fcu.try_acquire_send_buffer():
+                    return
+                if absorbed:
+                    continue
+                # Nothing to drain: burn a status poll, then sleep a
+                # slice (or until a buffer frees / a message arrives).
+                yield from self._blocked_poll()
+                if self.fcu.try_acquire_send_buffer():
+                    return
+                token = self.fcu.send_buffers.acquire()
+                arrival = self.arrival_gate.wait()
+                pause = self.sim.timeout(self.BLOCKED_POLL_INTERVAL)
+                yield self.sim.any_of([token, arrival, pause])
+                if token.triggered:
+                    return  # we own a buffer
+                self.fcu.send_buffers.cancel(token)
+        finally:
+            timer.pop()
+
+    def _inject(self, msg: Message) -> None:
+        """Hand an already-buffered message to the wire."""
+        self.counters.add("messages_sent")
+        self.counters.add("bytes_sent", msg.size)
+        self.fcu.inject(msg)
+
+    def _signal_arrival(self) -> None:
+        self.arrival_gate.pulse()
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} node={self.node.node_id}>"

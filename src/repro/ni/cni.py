@@ -1,0 +1,263 @@
+"""Coherent network interface (CNI) base machinery.
+
+A CNI decouples the processor and the NI through memory-mapped,
+cachable queues (Section 4 of the paper, following Mukherjee et al.
+[29]):
+
+- **Send**: the processor composes the message with *cached stores*
+  into the send queue — in steady state a 16 ns upgrade per 64-byte
+  block plus the copy loop, and the processor is then done (transfer is
+  NI-managed).  The NI send engine fetches the blocks with coherent bus
+  reads (the processor's cache supplies cache-to-cache), reserves an
+  outgoing flow-control buffer *in NI context* (the processor never
+  stalls on flow control), and injects.
+- **Receive**: the NI receive engine drains arriving messages out of
+  the flow-control buffers into the receive queue immediately — this
+  NI-managed, plentiful buffering is why coherent NIs are insensitive
+  to the flow-control buffer count (Figure 3b) — and the processor
+  later extracts them with cached loads.  Where those loads are
+  supplied from (main memory, NI memory, or an NI cache) is exactly
+  what distinguishes CNI_0Qm, CNI_512Q and CNI_32Qm.
+
+The three queue optimizations (lazy pointer, valid bit, sense reverse)
+are on by default: polling is a cached load of the head slot and no
+pointer blocks ping-pong between processor and NI.  Setting
+``use_optimizations = False`` restores explicit shared-pointer traffic
+(the ablation benchmark uses this).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Generator, List, Optional
+
+from repro.memory.bus import BusOp
+from repro.memory.responders import DeviceMemory
+from repro.memory.types import CoherenceState
+from repro.network.message import Message
+from repro.ni.base import NetworkInterface, NIRequester
+from repro.ni.queue import RECV_SLOT_OFFSET, CoherentQueue, POINTER_OFFSET
+from repro.sim import Store
+
+
+class CoherentNI(NetworkInterface):
+    """Shared send/receive machinery for the coherent NIs."""
+
+    #: Queue capacities in 64-byte blocks.
+    send_queue_blocks: ClassVar[int] = 256
+    recv_queue_blocks: ClassVar[int] = 256
+    #: Whether the NI observes the processor's read-exclusive traffic
+    #: and prefetches composed blocks before the message commits
+    #: (CNI_512Q / CNI_32Qm yes; the StarT-JR-like NI no).
+    prefetch: ClassVar[bool] = True
+    #: Lazy pointer + valid bit + sense reverse (see module docstring).
+    use_optimizations: ClassVar[bool] = True
+    #: Send-side discovery latency for NIs that must *poll* the shared
+    #: tail location instead of observing coherence traffic (StarT-JR).
+    #: Models the mean delay until the NI's next poll notices a commit.
+    discovery_ns: ClassVar[int] = 0
+    #: Where the queue addresses are homed: "memory" (CNI_iQ_m) or
+    #: "ni" (CNI_iQ, dedicated NI queue RAM).
+    queue_home: ClassVar[str] = "memory"
+    #: Access time of dedicated NI queue RAM, when ``queue_home="ni"``.
+    ni_queue_access_ns: ClassVar[Optional[int]] = None
+
+    def _setup(self) -> None:
+        node = self.node
+        self._requester = NIRequester(f"{self.ni_name}{node.node_id}")
+        send_region = self.bus.address_map["ni_send_queue"]
+        recv_region = self.bus.address_map["ni_recv_queue"]
+        self.send_queue = CoherentQueue(
+            self.sim, send_region.base, self.send_queue_blocks,
+            self.params.cache_block_bytes, name=f"sendq{node.node_id}",
+            pointer_offset=POINTER_OFFSET,
+        )
+        self.recv_queue = CoherentQueue(
+            self.sim, recv_region.base + RECV_SLOT_OFFSET,
+            self.recv_queue_blocks, self.params.cache_block_bytes,
+            name=f"recvq{node.node_id}", pointer_offset=POINTER_OFFSET + 64,
+        )
+        if self.queue_home == "ni":
+            access = self.ni_queue_access_ns
+            if access is None:
+                access = self.params.ni_mem_access_ns
+            self.queue_memory = DeviceMemory(
+                self.params, name=f"{self.ni_name}{node.node_id}.queues",
+                access_ns=access,
+            )
+            if self.params.memory_banking:
+                self.queue_memory.enable_banking(self.sim)
+            self.bus.set_home(send_region, self.queue_memory)
+            self.bus.set_home(recv_region, self.queue_memory)
+        else:
+            self.queue_memory = None  # homed in main memory (default)
+
+        # Warm start: the send-queue slots begin exclusive in the
+        # processor cache, as they would be in steady state.
+        for i in range(self.send_queue_blocks):
+            node.cache.install(self.send_queue.addr_of(i),
+                               CoherenceState.EXCLUSIVE)
+
+        #: Producer -> send-engine channel: ('block', addr) entries for
+        #: prefetching, ('msg', message, addrs) commit entries.
+        self._feed = Store(self.sim)
+        self.sim.process(self._send_engine())
+        self.sim.process(self._recv_engine())
+
+    # ------------------------------------------------------------------
+    # processor-context send
+    # ------------------------------------------------------------------
+
+    def send_message(self, msg: Message) -> Generator:
+        nblocks = self._blocks_for(msg.size)
+        if not self.send_queue.can_reserve(nblocks):
+            # Send queue full: NI engine is behind (e.g. out of
+            # flow-control buffers for long enough).  This is the
+            # *only* way flow control back-pressures a CNI's processor.
+            self.node.timer.push("buffering")
+            self.counters.add("send_queue_stalls")
+            while not self.send_queue.can_reserve(nblocks):
+                yield self.send_queue.space_gate.wait()
+            self.node.timer.pop()
+        addrs = self.send_queue.reserve(nblocks)
+        if not self.use_optimizations:
+            # Explicit tail-pointer update: a store to the shared
+            # pointer block the NI polls (ping-pongs every message).
+            yield from self.node.cache.store(self.send_queue.pointer_addr)
+        remaining = msg.size
+        for addr in addrs:
+            in_block = min(self.params.cache_block_bytes, remaining)
+            remaining -= in_block
+            words = max(1, -(-in_block // 8))
+            # One coherence action per block (upgrade in steady state),
+            # then the per-word copy loop; the valid bit rides in the
+            # last word for free.
+            yield from self.node.cache.store(addr)
+            yield self.sim.timeout(max(0, words - 1) * self.costs.copy_word)
+            if self.prefetch:
+                self._feed.try_put(("block", addr))
+        self.send_queue.commit(msg, addrs)
+        self.counters.add("messages_composed")
+        self._feed.try_put(("msg", msg, addrs))
+
+    # ------------------------------------------------------------------
+    # processor-context receive
+    # ------------------------------------------------------------------
+
+    def has_message(self) -> bool:
+        return self.recv_queue.front is not None
+
+    def receive_message(self) -> Generator:
+        front = self.recv_queue.front
+        if front is None:
+            # Poll = cached load of the head slot's valid bit.  In
+            # steady state this hits (1 cycle) until the NI's deposit
+            # invalidates it — the whole point of the cachable queue.
+            yield from self.node.cache.load(self.recv_queue.head_addr)
+            if not self.use_optimizations:
+                yield from self.node.cache.load(self.recv_queue.pointer_addr)
+            return None
+        msg, addrs = front
+        if not self.use_optimizations:
+            yield from self.node.cache.load(self.recv_queue.pointer_addr)
+        remaining = msg.size
+        for addr in addrs:
+            in_block = min(self.params.cache_block_bytes, remaining)
+            remaining -= in_block
+            words = max(1, -(-in_block // 8))
+            yield from self.node.cache.load(addr)
+            yield self.sim.timeout(max(0, words - 1) * self.costs.copy_word)
+        self.recv_queue.pop()
+        if not self.use_optimizations:
+            # Explicit head-pointer update visible to the NI.
+            yield from self.node.cache.store(self.recv_queue.pointer_addr)
+        self._after_consume(msg, addrs)
+        self.counters.add("messages_received")
+        return msg
+
+    def _after_consume(self, msg: Message, addrs: List[int]) -> None:
+        """Subclass hook (CNI_32Qm dead-block accounting)."""
+
+    # ------------------------------------------------------------------
+    # NI send engine
+    # ------------------------------------------------------------------
+
+    def _send_engine(self) -> Generator:
+        prefetched = set()
+        while True:
+            item = yield self._feed.get()
+            if item[0] == "block":
+                addr = item[1]
+                yield from self._fetch_block(addr)
+                prefetched.add(addr)
+                self.counters.add("blocks_prefetched")
+                continue
+            _tag, msg, addrs = item
+            if not self.prefetch and self.discovery_ns:
+                # Polling NI: the commit is noticed at the next poll.
+                yield self.sim.timeout(self.discovery_ns)
+            if not self.use_optimizations:
+                # No lazy pointer: the NI reads the explicit tail
+                # pointer before every message, yanking the block out
+                # of the producer's cache (the ping-pong the
+                # optimization removes).
+                yield from self._fetch_block(self.send_queue.pointer_addr)
+            for addr in addrs:
+                if addr in prefetched:
+                    prefetched.discard(addr)
+                else:
+                    yield from self._fetch_block(addr)
+            # Flow control in NI context: the processor is already gone.
+            yield self.fcu.acquire_send_buffer()
+            self._inject(msg)
+            popped, _ = self.send_queue.pop()
+            assert popped is msg, "send queue ordering violated"
+
+    def _fetch_block(self, addr: int) -> Generator:
+        """Coherent read of one composed block (cache supplies)."""
+        yield from self.bus.transaction(
+            BusOp.READ, addr, self.params.cache_block_bytes,
+            requester=self._requester,
+        )
+        self.counters.add("blocks_fetched")
+
+    # ------------------------------------------------------------------
+    # NI receive engine
+    # ------------------------------------------------------------------
+
+    def _recv_engine(self) -> Generator:
+        while True:
+            msg = yield self.fcu.inbound.get()
+            nblocks = self._blocks_for(msg.size)
+            while not self.recv_queue.can_reserve(nblocks):
+                self.counters.add("recv_queue_stalls")
+                yield self.recv_queue.space_gate.wait()
+            addrs = self.recv_queue.reserve(nblocks)
+            if not self.use_optimizations:
+                # No lazy pointer: check the consumer's head pointer
+                # before depositing (free-space check), ping-ponging
+                # that block too.
+                yield from self._fetch_block(self.recv_queue.pointer_addr)
+            yield from self._deposit_blocks(msg, addrs)
+            self.recv_queue.commit(msg, addrs)
+            # The message has left the network buffers: free the
+            # incoming flow-control buffer *without* processor help.
+            self.fcu.release_receive_buffer()
+            self.counters.add("messages_deposited")
+            self._signal_arrival()
+
+    def _deposit_blocks(self, msg: Message, addrs: List[int]) -> Generator:
+        """Move an arrived message into the receive queue (timed).
+
+        Default: invalidate stale cached copies and post each block to
+        the queue's home.  Subclasses change where the blocks land.
+        """
+        for addr in addrs:
+            yield from self.bus.transaction(
+                BusOp.UPGRADE, addr, self.params.cache_block_bytes,
+                requester=self._requester,
+            )
+            yield from self.bus.transaction(
+                BusOp.WRITEBACK, addr, self.params.cache_block_bytes,
+                requester=self._requester,
+            )
+            self.counters.add("blocks_deposited")

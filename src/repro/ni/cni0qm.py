@@ -1,0 +1,49 @@
+"""CNI_0Qm — the MIT StarT-JR-like network interface.
+
+Message queues live in main memory and the NI caches nothing ("the
+'0' indicates that CNI_0Qm does not cache any message in the NI").
+Arriving messages are deposited straight into DRAM by the NI, so the
+consuming processor's loads miss all the way to the 120 ns main
+memory; composed messages are fetched by the NI only after the whole
+message commits, because this NI does not watch coherence traffic and
+therefore cannot prefetch (Section 6.1.1, the CNI_512Q comparison).
+
+Buffering is plentiful (main memory) and entirely NI-managed —
+Table 2's "Memory / No" row — which is what makes this NI and its
+derivatives insensitive to the flow-control buffer count.
+
+Note: the real StarT-JR sits on the I/O bus and lacks the lazy-pointer
+and sense-reverse optimizations; as in the paper, this model keeps the
+optimizations and the memory-bus attachment for a uniform comparison.
+"""
+
+from __future__ import annotations
+
+from repro.ni.cni import CoherentNI
+from repro.ni.taxonomy import Taxonomy
+
+
+class StartJrNI(CoherentNI):
+    """``CNI_0Qm``: queues in main memory, nothing cached on the NI."""
+
+    ni_name = "startjr"
+    paper_name = "CNI_0Q_m"
+    description = "MIT StarT-JR-like"
+    taxonomy = Taxonomy(
+        send_size="Block",
+        send_manager="NI",
+        send_source="Cache/Memory",
+        recv_size="Block",
+        recv_manager="NI",
+        recv_destination="Memory",
+        buffer_location="Memory",
+        processor_buffers=False,
+    )
+
+    send_queue_blocks = 256
+    recv_queue_blocks = 256
+    prefetch = False          # does not react to coherence signals
+    discovery_ns = 60         # mean tail-poll delay before a send is seen
+    queue_home = "memory"
+    # _deposit_blocks: inherited default — invalidate + posted write to
+    # main memory, the defining receive path of this NI.

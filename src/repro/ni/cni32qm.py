@@ -1,0 +1,255 @@
+"""CNI_32Qm — the Wisconsin CNI with a cache (the paper's winner).
+
+Queues are homed in main memory (plentiful buffering) but the NI
+treats its on-board SRAM as a 32-entry cache over them.  In the common
+case an arriving message is written into the NI cache and later
+supplied to the processor by a fast NI-cache-to-processor-cache
+transfer; only when the cache is full of *live* (unconsumed) messages
+does the NI fall back to main memory.
+
+The two improvements of Section 4 are modelled explicitly and can be
+disabled for ablations:
+
+- ``bypass_when_full`` — "if the receive cache is full with valid
+  messages pending consumption, then the CNI bypasses the receive
+  cache and writes fresh incoming messages directly into main
+  memory", keeping the queue *head* readable via fast cache-to-cache
+  transfers.
+- ``drop_dead_blocks`` — the NI updates the head pointer whenever it
+  flushes, so it can tell *dead* messages (already consumed) from live
+  ones and silently drop them instead of wasting writebacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.config import SystemParams
+from repro.memory.bus import BusOp, BusTransaction, MemoryBus
+from repro.memory.types import CoherenceState, SnoopReply, Supplier
+from repro.network.message import Message
+from repro.ni.cni import CoherentNI
+from repro.ni.taxonomy import Taxonomy
+from repro.sim import Counter, Simulator
+
+
+class CNIReceiveCache:
+    """The NI's small direct-mapped cache over receive-queue slots.
+
+    A genuine bus agent: it snoops the processor's reads and supplies
+    blocks it holds dirty, which is what turns a 145 ns memory fetch
+    into an ~85 ns cache-to-cache transfer.
+    """
+
+    kind = "ni_cache"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: MemoryBus,
+        params: SystemParams,
+        name: str,
+        entries: int = 32,
+        is_dead=None,
+        drop_dead: bool = True,
+    ):
+        self.sim = sim
+        self.bus = bus
+        self.params = params
+        self.name = name
+        self.entries = entries
+        self.block_bytes = params.cache_block_bytes
+        self.write_ns = params.ni_mem_access_ns
+        self.supply_ns = params.ni_mem_access_ns
+        #: Predicate: is the block at this address a dead message block?
+        self.is_dead = is_dead or (lambda addr: True)
+        self.drop_dead = drop_dead
+        self._lines: Dict[int, Tuple[Optional[int], CoherenceState]] = {}
+        self.counters = Counter()
+        bus.attach(self)
+
+    # -- geometry -------------------------------------------------------
+
+    def _index_tag(self, addr: int) -> Tuple[int, int]:
+        block = addr // self.block_bytes
+        return block % self.entries, block // self.entries
+
+    def _addr_of(self, index: int, tag: int) -> int:
+        return (tag * self.entries + index) * self.block_bytes
+
+    def holds(self, addr: int) -> bool:
+        index, tag = self._index_tag(addr)
+        line_tag, state = self._lines.get(index, (None, CoherenceState.INVALID))
+        return state.is_valid and line_tag == tag
+
+    def line_blocks_live_victim(self, addr: int) -> bool:
+        """Would writing ``addr`` evict a *live* (unconsumed) block?"""
+        index, tag = self._index_tag(addr)
+        line_tag, state = self._lines.get(index, (None, CoherenceState.INVALID))
+        if not state.is_valid or line_tag == tag:
+            return False
+        return not self.is_dead(self._addr_of(index, line_tag))
+
+    def drop(self, addr: int) -> None:
+        """Silently invalidate a block (no bus traffic)."""
+        index, tag = self._index_tag(addr)
+        line_tag, state = self._lines.get(index, (None, CoherenceState.INVALID))
+        if state.is_valid and line_tag == tag:
+            self._lines[index] = (None, CoherenceState.INVALID)
+            self.counters.add("dropped")
+
+    @property
+    def valid_blocks(self) -> int:
+        return sum(
+            1 for _tag, state in self._lines.values() if state.is_valid
+        )
+
+    # -- NI-engine write path ----------------------------------------------
+
+    def write_block(self, addr: int) -> Generator:
+        """Write one arriving block into the cache (timed).
+
+        Handles victim disposal (drop or writeback), invalidation of
+        stale copies elsewhere, and the internal SRAM write.
+        """
+        index, tag = self._index_tag(addr)
+        line_tag, state = self._lines.get(index, (None, CoherenceState.INVALID))
+        if state.is_valid and line_tag == tag:
+            if state is not CoherenceState.MODIFIED:
+                # O (processor read it earlier): regain exclusivity.
+                yield from self.bus.transaction(
+                    BusOp.UPGRADE, addr, self.block_bytes, requester=self
+                )
+        else:
+            if state.is_valid:
+                victim_addr = self._addr_of(index, line_tag)
+                dead = self.is_dead(victim_addr)
+                if dead and self.drop_dead:
+                    self.counters.add("victims_dropped")
+                else:
+                    # Flush the victim to its main-memory home.  With
+                    # head-update-on-flush disabled this wastes a
+                    # writeback even on dead messages — the exact cost
+                    # the paper's second improvement removes.
+                    yield from self.bus.transaction(
+                        BusOp.WRITEBACK, victim_addr, self.block_bytes,
+                        requester=self,
+                    )
+                    self.counters.add("victims_written_back")
+                self._lines[index] = (None, CoherenceState.INVALID)
+            # Invalidate any stale processor copy of the slot.
+            yield from self.bus.transaction(
+                BusOp.UPGRADE, addr, self.block_bytes, requester=self
+            )
+        # The SRAM array write itself is pipelined (posted) behind the
+        # invalidate, like any memory absorbing a write off the
+        # critical path; one cycle of engine occupancy remains.
+        yield self.sim.timeout(self.params.bus_cycle_ns)
+        self._lines[index] = (tag, CoherenceState.MODIFIED)
+        self.counters.add("writes")
+
+    # -- bus agent protocol ---------------------------------------------------
+
+    def snoop(self, txn: BusTransaction) -> SnoopReply:
+        if not txn.op.is_coherent:
+            return SnoopReply()
+        index, tag = self._index_tag(txn.addr)
+        line_tag, state = self._lines.get(index, (None, CoherenceState.INVALID))
+        if not state.is_valid or line_tag != tag:
+            return SnoopReply()
+        if txn.op is BusOp.READ:
+            if self.params.coherence_protocol == "MESI":
+                # Ablation: without Owned, the NI cache cannot supply;
+                # it flushes and the processor reads from memory.
+                self._lines[index] = (tag, CoherenceState.INVALID)
+                self.counters.add("mesi_flushes")
+                return SnoopReply()
+            if state in (CoherenceState.MODIFIED, CoherenceState.OWNED):
+                self._lines[index] = (tag, CoherenceState.OWNED)
+                self.counters.add("supplied")
+                return SnoopReply(supplies=True, shared=True)
+            return SnoopReply(shared=True)
+        if txn.op in (BusOp.READ_EXCLUSIVE, BusOp.UPGRADE):
+            supplies = (
+                txn.op is BusOp.READ_EXCLUSIVE and state.can_supply
+            )
+            self._lines[index] = (None, CoherenceState.INVALID)
+            return SnoopReply(supplies=supplies)
+        return SnoopReply()
+
+    def supplier(self) -> Supplier:
+        return Supplier(self.name, self.supply_ns, self.kind)
+
+
+class CNI32Qm(CoherentNI):
+    """``CNI_32Qm``: memory-homed queues cached in 32-entry NI caches."""
+
+    ni_name = "cni32qm"
+    paper_name = "CNI_32Q_m"
+    description = "Wisconsin CNI with cache"
+    taxonomy = Taxonomy(
+        send_size="Block",
+        send_manager="NI",
+        send_source="Cache/Memory",
+        recv_size="Block",
+        recv_manager="NI",
+        recv_destination="Processor Cache",
+        buffer_location="NI Cache / Memory",
+        processor_buffers=False,
+    )
+
+    send_queue_blocks = 256
+    recv_queue_blocks = 256
+    prefetch = True
+    queue_home = "memory"
+    #: NI cache entries ("32-entry caches with 64 byte cache blocks").
+    cache_entries = 32
+    #: Section 4 improvement 1: bypass to memory when full of live data.
+    bypass_when_full = True
+    #: Section 4 improvement 2: update head on flush => drop dead blocks.
+    drop_dead_blocks = True
+
+    def _setup(self) -> None:
+        self._live_addrs: Set[int] = set()
+        self._live_cached_blocks = 0
+        self._msg_location: Dict[int, str] = {}
+        super()._setup()
+        self.recv_cache = CNIReceiveCache(
+            self.sim, self.bus, self.params,
+            name=f"cni32qm{self.node.node_id}.rcache",
+            entries=self.cache_entries,
+            is_dead=lambda addr: addr not in self._live_addrs,
+            drop_dead=self.drop_dead_blocks,
+        )
+
+    # -- receive: deposit into the NI cache, or bypass ---------------------
+
+    def _deposit_blocks(self, msg: Message, addrs: List[int]) -> Generator:
+        fits = (
+            self._live_cached_blocks + len(addrs) <= self.cache_entries
+            and not any(
+                self.recv_cache.line_blocks_live_victim(a) for a in addrs
+            )
+        )
+        if fits or not self.bypass_when_full:
+            for addr in addrs:
+                yield from self.recv_cache.write_block(addr)
+                self._live_addrs.add(addr)
+            self._live_cached_blocks += len(addrs)
+            self._msg_location[msg.uid] = "cache"
+            self.counters.add("deposits_cached")
+        else:
+            # Bypass: write straight to main memory so the queue head
+            # stays fast; drop any stale NI-cache copies of these slots.
+            for addr in addrs:
+                self.recv_cache.drop(addr)
+            yield from super()._deposit_blocks(msg, addrs)
+            self._msg_location[msg.uid] = "memory"
+            self.counters.add("deposits_bypassed")
+
+    def _after_consume(self, msg: Message, addrs: List[int]) -> None:
+        location = self._msg_location.pop(msg.uid, "memory")
+        if location == "cache":
+            self._live_cached_blocks -= len(addrs)
+            for addr in addrs:
+                self._live_addrs.discard(addr)

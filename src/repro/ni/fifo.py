@@ -1,0 +1,153 @@
+"""Base class for fifo-based NIs (CM-5-like, AP3000-like, Udma-based).
+
+These three NIs buffer incoming network messages in dedicated NI fifo
+memory — the flow-control buffers themselves — and rely on the
+*processor* to drain them (Table 2: "Processor involved? Yes").  An
+incoming flow-control buffer is therefore held until the processor
+pops the message, which is why these NIs are so sensitive to the
+number of flow-control buffers (Figure 3a).
+
+Subclasses provide the push/pop data-transfer mechanics:
+
+- :class:`~repro.ni.ni2w.CM5NI` pushes/pops 8-byte words with
+  uncached stores/loads;
+- :class:`~repro.ni.blkbuf.AP3000NI` moves 64-byte chunks through an
+  on-chip block buffer with block load/store instructions;
+- :class:`~repro.ni.udma.UdmaNI` falls back on the word path for small
+  messages and uses user-level DMA for large ones.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.network.message import Message
+from repro.ni.base import NetworkInterface
+
+
+class FifoNI(NetworkInterface):
+    """Shared send/receive skeleton for the three fifo-based NIs."""
+
+    def _setup(self) -> None:
+        # Wake pollers the moment the fifo accepts a message.
+        self.fcu.on_accept = lambda msg: self._signal_arrival()
+        # Table 2, "Processor involved [in buffering]? Yes": bounced
+        # messages are retried by the *processor*, which must notice
+        # the return and re-push the message — real work that scales
+        # with the bounce count and vanishes with plentiful buffering.
+        self.fcu.processor_retries = True
+        self.fcu.on_return = lambda msg: self._signal_arrival()
+
+    def has_processor_work(self) -> bool:
+        return self.fcu.pending_returns > 0
+
+    def process_buffering_work(self) -> Generator:
+        """Re-push returned messages (processor context).
+
+        Returns the number of retries performed.  Two safeguards keep
+        this from starving message extraction (which is what frees the
+        receive buffers everyone else is bouncing off):
+
+        - the batch is bounded by the returns pending at entry, so
+          freshly-bounced messages wait for the next service point;
+        - each message sits out ``retry_backoff`` after coming back, so
+          a still-full destination is not hammered.
+        """
+        budget = self.fcu.pending_returns
+        count = 0
+        now = self.sim.now
+        while count < budget and self.fcu.pending_returns:
+            returned_at, head = self.fcu.returned.items[0]
+            if now - returned_at < self.fcu.retry_delay(head):
+                break  # pace: too fresh, revisit at the next service
+            _, msg = self.fcu.returned.try_get()
+            timer = self.node.timer
+            timer.push("buffering")
+            try:
+                # Notice the return (status read) and re-inject it from
+                # the still-allocated buffer (doorbell): the data never
+                # left the NI, so the retry costs bookkeeping, not a
+                # re-push of the payload.
+                yield from self._status_check()
+                yield from self._doorbell(msg)
+            finally:
+                timer.pop()
+            self.counters.add("processor_retries")
+            self.fcu.reinject(msg)
+            count += 1
+        return count
+
+    # -- send ------------------------------------------------------------
+
+    def send_message(self, msg: Message) -> Generator:
+        """Reserve a fifo slot, push the message, ring the doorbell."""
+        yield from self._acquire_send_buffer_blocking()
+        yield from self._push_fifo(msg)
+        yield from self._doorbell(msg)
+        self._inject(msg)
+
+    def _push_fifo(self, msg: Message) -> Generator:
+        """Move ``msg`` from the processor into the NI send fifo
+        (subclass-specific data transfer)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _doorbell(self, msg: Message) -> Generator:
+        """Commit the message for injection (one uncached store)."""
+        yield from self._uncached_write(8)
+
+    # -- receive -----------------------------------------------------------
+
+    def has_message(self) -> bool:
+        return self.fcu.pending_inbound > 0
+
+    def receive_message(self) -> Generator:
+        """Pop the fifo head: status check, data transfer, buffer free."""
+        if not self.has_message():
+            # An (uncached) status poll that found nothing.
+            yield from self._status_check()
+            return None
+        yield from self._status_check()
+        msg = self.fcu.inbound.try_get()
+        assert msg is not None
+        yield from self._pop_fifo(msg)
+        # The message has left the NI's network buffers: free the
+        # incoming flow-control buffer.
+        self.fcu.release_receive_buffer()
+        self.counters.add("messages_received")
+        return msg
+
+    def _status_check(self) -> Generator:
+        """Read the NI status register (arrival poll)."""
+        yield from self._uncached_read(8)
+
+    def _blocked_poll(self) -> Generator:
+        # Monitoring the fifo NI's status while blocked costs a real
+        # uncached register read per loop.
+        yield from self._status_check()
+        yield self.sim.timeout(self.costs.poll_loop)
+
+    def _pop_fifo(self, msg: Message) -> Generator:
+        """Move ``msg`` from the NI receive fifo to the processor
+        (subclass-specific data transfer)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- shared word-at-a-time data path (CM-5 style) ---------------------
+
+    def _push_words(self, msg: Message) -> Generator:
+        """Uncached-store the message into the fifo, word by word."""
+        words = self._words(msg)
+        yield self.sim.timeout(words * self.costs.copy_word)
+        for _ in range(words):
+            yield from self._uncached_write(8)
+        self.counters.add("words_pushed", words)
+
+    def _pop_words(self, msg: Message) -> Generator:
+        """Uncached-load the message out of the fifo, word by word."""
+        words = self._words(msg)
+        for _ in range(words):
+            yield from self._uncached_read(8)
+        yield self.sim.timeout(words * self.costs.copy_word)
+        self.counters.add("words_popped", words)
+

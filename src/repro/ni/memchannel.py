@@ -1,0 +1,68 @@
+"""(NI_16w+Blkbuf)_S (CNI_0Qm)_R — the DEC Memory Channel-like NI.
+
+A hybrid: the *send* interface is the AP3000's (the processor pushes
+64-byte chunks through its block buffer into the NI with block
+stores), while the *receive* interface is the StarT-JR's (the NI
+deposits arriving messages into queues in main memory with no
+processor involvement).
+
+As in the paper, this model attaches to the memory bus (the real
+Memory Channel sits on PCI) and ignores the Memory Channel's multicast
+support, to keep the comparison about data transfer and buffering.
+The receive side gives it the coherent NIs' insensitivity to
+flow-control buffers; the send side gives it the AP3000's per-chunk
+costs; steering received data through main memory is what CNI_512Q and
+CNI_32Qm then improve upon.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.network.message import Message
+from repro.ni.cni import CoherentNI
+from repro.ni.taxonomy import Taxonomy
+
+
+class MemoryChannelNI(CoherentNI):
+    """``(NI_16w+Blkbuf)_S (CNI_0Qm)_R``: AP3000 send, StarT-JR receive."""
+
+    ni_name = "memchannel"
+    paper_name = "(NI_16w+Blkbuf)_S(CNI_0Q_m)_R"
+    description = "DEC Memory Channel NI-like"
+    taxonomy = Taxonomy(
+        send_size="Block",
+        send_manager="Processor",
+        send_source="Block Buffer",
+        recv_size="Block",
+        recv_manager="NI",
+        recv_destination="Memory",
+        buffer_location="Memory",
+        processor_buffers=False,
+    )
+
+    send_queue_blocks = 8    # vestigial: the coherent send queue is unused
+    recv_queue_blocks = 256
+    prefetch = False
+    queue_home = "memory"
+
+    def _blocked_poll(self) -> Generator:
+        # The AP3000-style send side monitors NI status with uncached
+        # register reads while blocked on flow control.
+        yield from self._uncached_read(8)
+        yield self.sim.timeout(self.costs.poll_loop)
+
+    def send_message(self, msg: Message) -> Generator:
+        """AP3000-style processor-managed send: reserve an outgoing
+        flow-control buffer, block-store the message into the NI
+        through the block buffer, ring the doorbell."""
+        yield from self._acquire_send_buffer_blocking()
+        for chunk in self._chunks(msg):
+            words = max(1, -(-chunk // 8))
+            yield self.sim.timeout(words * self.costs.copy_word)
+            yield self.sim.timeout(self.costs.blkbuf_flush)
+            yield from self._block_write(chunk)
+            self.counters.add("chunks_pushed")
+        yield from self._uncached_write(8)   # doorbell
+        self._inject(msg)
+        # receive side: inherited CNI_0Qm engine (deposit to memory).

@@ -1,0 +1,74 @@
+"""NI_2w — the TMC CM-5-like network interface (and its single-cycle,
+register-mapped variant of Section 6.3).
+
+The processor can access only the first two words of the NI fifo, so
+every message moves 8 bytes at a time: uncached stores on send,
+uncached loads on receive.  Each access is a full memory-bus
+transaction to 60 ns NI SRAM; nothing uses the bus's block-transfer
+capability, and the processor manages every byte — the low-performance
+corner of both data-transfer parameters.
+
+The single-cycle variant models a processor-register-mapped NI (MIT
+M-machine style): identical protocol, but every NI access costs one
+processor cycle instead of a bus transaction.  The paper uses it to
+show that register mapping is *not* automatically the best design —
+register memory is too precious to hold enough flow-control buffers
+(Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.network.message import Message
+from repro.ni.fifo import FifoNI
+from repro.ni.taxonomy import Taxonomy
+
+
+class CM5NI(FifoNI):
+    """``NI_2w``: uncached, processor-managed, word-at-a-time."""
+
+    ni_name = "cm5"
+    paper_name = "NI_2w"
+    description = "TMC CM-5 NI-like"
+    taxonomy = Taxonomy(
+        send_size="Uncached",
+        send_manager="Processor",
+        send_source="Processor Registers",
+        recv_size="Uncached",
+        recv_manager="Processor",
+        recv_destination="Processor Registers",
+        buffer_location="NI / VM",
+        processor_buffers=True,
+    )
+
+    def _push_fifo(self, msg: Message) -> Generator:
+        # Word-at-a-time uncached stores into the 2-word fifo window,
+        # after reading each word from the (cache-resident) user buffer.
+        yield from self._push_words(msg)
+
+    def _pop_fifo(self, msg: Message) -> Generator:
+        # Word-at-a-time uncached loads from the fifo window, plus the
+        # messaging-layer copy into the user-level buffer.
+        yield from self._pop_words(msg)
+
+
+class SingleCycleNI(CM5NI):
+    """``NI_2w`` with single-cycle access: a register-mapped NI.
+
+    All fifo/status/doorbell accesses complete in one processor cycle;
+    there is no memory-bus traffic at all.  Buffering behaviour is
+    unchanged — and that is the point of Section 6.3.
+    """
+
+    ni_name = "cm5-1cyc"
+    paper_name = "NI_2w (single-cycle)"
+    description = "processor-register-mapped NI"
+
+    def _uncached_read(self, size: int = 8, offset: int = 0) -> Generator:
+        self.counters.add("uncached_reads")
+        yield self.sim.timeout(self.params.cycle_ns)
+
+    def _uncached_write(self, size: int = 8, offset: int = 0) -> Generator:
+        self.counters.add("uncached_writes")
+        yield self.sim.timeout(self.params.cycle_ns)

@@ -1,0 +1,162 @@
+"""Coherent, memory-mapped message queues (the CNI 'Q' machinery).
+
+A :class:`CoherentQueue` is the object-level view of a circular queue
+of 64-byte cache-block slots living in a cachable address region.  The
+producer reserves slots, performs the *timed* block writes through the
+coherence machinery, then commits the message object; the consumer
+reads the front message (timed block loads) and pops it.
+
+The three CNI optimizations of Mukherjee et al. [29] — lazy pointers,
+message valid bits, and sense reverse — are modelled by what traffic
+does *not* happen: there are no head/tail pointer accesses on the
+critical path, and polling an empty queue is a cached load of the head
+slot that hits until the producer's write invalidates it.  The
+no-optimization ablation adds an explicit shared pointer block whose
+ping-ponging restores that traffic (see
+:class:`repro.ni.cni.CoherentNI`).
+
+Address layout (chosen so that direct-mapped set indices of the send
+queue, receive queue, pointer blocks and staging buffers never
+collide in the 16K-set processor cache):
+
+- send queue slots:     ``ni_send_queue.base + i * 64``      (sets 0..)
+- receive queue slots:  ``ni_recv_queue.base + 0x8000 + i*64`` (sets 512..)
+- pointer blocks:       offset ``0x10000`` in each region     (sets 1024..)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.network.message import Message
+from repro.sim import Gate, Simulator
+
+#: Byte offset of receive-queue slots within their region (stagger so
+#: send and receive slots use disjoint direct-mapped sets).
+RECV_SLOT_OFFSET = 0x8000
+#: Byte offset of the (ablation-only) shared pointer block.
+POINTER_OFFSET = 0x10000
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`CoherentQueue.reserve` without capacity check."""
+
+
+class CoherentQueue:
+    """Circular queue of cache-block slots carrying message objects."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        base_addr: int,
+        num_blocks: int,
+        block_bytes: int = 64,
+        name: str = "queue",
+        pointer_offset: int = POINTER_OFFSET,
+    ):
+        if num_blocks < 1:
+            raise ValueError("queue needs at least one block")
+        self.sim = sim
+        self.base_addr = base_addr
+        self._pointer_offset = pointer_offset
+        self.num_blocks = num_blocks
+        self.block_bytes = block_bytes
+        self.name = name
+        self._head = 0            # consumer block cursor
+        self._tail = 0            # producer block cursor
+        self._free = num_blocks
+        #: Committed messages: (message, slot addresses).
+        self._messages: Deque[Tuple[Message, List[int]]] = deque()
+        #: Pulsed whenever blocks are freed (producers wait on this).
+        self.space_gate = Gate(sim)
+        #: Total messages ever enqueued/dequeued (stats).
+        self.enqueued = 0
+        self.dequeued = 0
+        self.peak_occupancy = 0
+
+    # -- geometry ------------------------------------------------------
+
+    def addr_of(self, block_index: int) -> int:
+        return self.base_addr + (block_index % self.num_blocks) * self.block_bytes
+
+    @property
+    def head_addr(self) -> int:
+        """Address of the slot the consumer polls for the next message."""
+        return self.addr_of(self._head)
+
+    @property
+    def pointer_addr(self) -> int:
+        """Shared head/tail pointer block (no-optimization ablation)."""
+        region_base = self.base_addr - (self.base_addr % 0x10000)
+        return region_base + self._pointer_offset
+
+    def blocks_for(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self.block_bytes))
+
+    # -- occupancy -------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return self._free
+
+    @property
+    def used_blocks(self) -> int:
+        return self.num_blocks - self._free
+
+    def __len__(self) -> int:
+        """Number of committed, unconsumed messages."""
+        return len(self._messages)
+
+    def can_reserve(self, nblocks: int) -> bool:
+        return nblocks <= self._free
+
+    # -- producer side -----------------------------------------------------
+
+    def reserve(self, nblocks: int) -> List[int]:
+        """Claim ``nblocks`` consecutive slots; returns their addresses.
+
+        The caller performs the timed block writes to these addresses,
+        then calls :meth:`commit`.
+        """
+        if nblocks > self.num_blocks:
+            raise ValueError(
+                f"message needs {nblocks} blocks but {self.name} has only "
+                f"{self.num_blocks}"
+            )
+        if nblocks > self._free:
+            raise QueueFull(f"{self.name}: {nblocks} > {self._free} free")
+        addrs = [self.addr_of(self._tail + i) for i in range(nblocks)]
+        self._tail += nblocks
+        self._free -= nblocks
+        self.peak_occupancy = max(self.peak_occupancy, self.used_blocks)
+        return addrs
+
+    def commit(self, msg: Message, addrs: List[int]) -> None:
+        """Publish a message whose blocks have been written."""
+        self._messages.append((msg, addrs))
+        self.enqueued += 1
+
+    # -- consumer side -----------------------------------------------------
+
+    @property
+    def front(self) -> Optional[Tuple[Message, List[int]]]:
+        """The oldest committed message (or ``None``), not yet removed."""
+        return self._messages[0] if self._messages else None
+
+    def pop(self) -> Tuple[Message, List[int]]:
+        """Remove the front message and free its slots."""
+        if not self._messages:
+            raise IndexError(f"pop from empty {self.name}")
+        msg, addrs = self._messages.popleft()
+        self._head += len(addrs)
+        self._free += len(addrs)
+        self.dequeued += 1
+        self.space_gate.pulse()
+        return msg, addrs
+
+    def __repr__(self) -> str:
+        return (
+            f"<CoherentQueue {self.name} {len(self._messages)} msgs, "
+            f"{self._free}/{self.num_blocks} blocks free>"
+        )

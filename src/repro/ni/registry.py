@@ -1,0 +1,87 @@
+"""Registry mapping short NI names to classes.
+
+Experiments, benchmarks and examples refer to NIs by these names:
+
+===========  =====================================  ==========
+name         paper notation                         family
+===========  =====================================  ==========
+cm5          NI_2w                                  fifo
+cm5-1cyc     NI_2w (single-cycle, register-mapped)  fifo
+udma         NI_64w+Udma                            fifo
+ap3000       NI_16w+Blkbuf                          fifo
+startjr      CNI_0Q_m                               coherent
+memchannel   (NI_16w+Blkbuf)_S(CNI_0Q_m)_R          coherent
+cni512q      CNI_512Q                               coherent
+cni32qm      CNI_32Q_m                              coherent
+===========  =====================================  ==========
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.ni.base import NetworkInterface
+from repro.ni.blkbuf import AP3000NI
+from repro.ni.cni0qm import StartJrNI
+from repro.ni.cni32qm import CNI32Qm
+from repro.ni.cni512q import CNI512Q
+from repro.ni.memchannel import MemoryChannelNI
+from repro.ni.ni2w import CM5NI, SingleCycleNI
+from repro.ni.udma import UdmaNI
+
+_REGISTRY: Dict[str, Type[NetworkInterface]] = {
+    cls.ni_name: cls
+    for cls in (
+        CM5NI,
+        SingleCycleNI,
+        UdmaNI,
+        AP3000NI,
+        StartJrNI,
+        MemoryChannelNI,
+        CNI512Q,
+        CNI32Qm,
+    )
+}
+
+#: The three fifo-based NIs of Figure 3a (in the paper's order).
+FIFO_NI_NAMES: Tuple[str, ...] = ("cm5", "udma", "ap3000")
+#: The four partially/fully coherent NIs of Figure 3b.
+COHERENT_NI_NAMES: Tuple[str, ...] = (
+    "memchannel", "startjr", "cni512q", "cni32qm",
+)
+#: The seven NIs of Table 2 (paper order).
+ALL_NI_NAMES: Tuple[str, ...] = FIFO_NI_NAMES + COHERENT_NI_NAMES
+
+
+def register_variant(name: str, cls: Type[NetworkInterface]) -> None:
+    """Register an NI variant (ablations, experiments) under ``name``.
+
+    Variant names conventionally use an ``@`` suffix on the base name,
+    e.g. ``cni32qm@noopt``.  Re-registering a name overwrites it.
+    """
+    _REGISTRY[name] = cls
+
+
+def variant(base_name: str, suffix: str, **class_attrs) -> str:
+    """Create and register a subclass of ``base_name`` with some class
+    attributes overridden; returns the new registry name."""
+    base = ni_class(base_name)
+    name = f"{base_name}@{suffix}"
+    cls = type(f"{base.__name__}_{suffix}", (base,), dict(class_attrs))
+    cls.ni_name = base.ni_name  # keep counters/labels consistent
+    register_variant(name, cls)
+    return name
+
+
+def ni_class(name: str) -> Type[NetworkInterface]:
+    """The NI class registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown NI {name!r}; known NIs: {known}") from None
+
+
+def make_ni(name: str, node) -> NetworkInterface:
+    """Construct the NI registered under ``name`` on ``node``."""
+    return ni_class(name)(node)

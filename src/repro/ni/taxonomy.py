@@ -1,0 +1,72 @@
+"""The data-transfer / buffering taxonomy of Table 2.
+
+Every NI class declares one :class:`Taxonomy` describing how it
+implements the five key parameters: size of transfer, who manages the
+transfer, and source/destination (for both send and receive), plus
+buffer location and whether the processor is involved in buffering.
+The Table 2 experiment regenerates the paper's table from these
+declarations, so the taxonomy is executable documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Taxonomy:
+    """One row of Table 2."""
+
+    #: Send transfer size: "Uncached" or "Block".
+    send_size: str
+    #: Who manages the send transfer: "Processor" or "NI".
+    send_manager: str
+    #: Send source: "Processor Registers", "Cache/Memory", "Block Buffer".
+    send_source: str
+    #: Receive transfer size: "Uncached" or "Block".
+    recv_size: str
+    #: Who manages the receive transfer: "Processor" or "NI".
+    recv_manager: str
+    #: Receive destination: "Processor Registers", "Memory",
+    #: "Processor Cache", "Block Buffer".
+    recv_destination: str
+    #: Buffer location: "NI / VM", "NI / VM / Memory", "Memory",
+    #: "NI Cache / Memory".
+    buffer_location: str
+    #: Whether the processor is involved in buffering.
+    processor_buffers: bool
+
+    def validate(self) -> None:
+        if self.send_size not in ("Uncached", "Block"):
+            raise ValueError(f"bad send_size {self.send_size!r}")
+        if self.recv_size not in ("Uncached", "Block"):
+            raise ValueError(f"bad recv_size {self.recv_size!r}")
+        for who in (self.send_manager, self.recv_manager):
+            if who not in ("Processor", "NI"):
+                raise ValueError(f"bad manager {who!r}")
+
+    def row(self) -> tuple:
+        """The Table 2 cells, in column order."""
+        return (
+            self.send_size,
+            self.send_manager,
+            self.send_source,
+            self.recv_size,
+            self.recv_manager,
+            self.recv_destination,
+            self.buffer_location,
+            "Yes" if self.processor_buffers else "No",
+        )
+
+
+#: Column headers matching :meth:`Taxonomy.row`.
+TABLE2_COLUMNS = (
+    "Send size",
+    "Send managed by",
+    "Send source",
+    "Recv size",
+    "Recv managed by",
+    "Recv destination",
+    "Buffer location",
+    "Processor buffers?",
+)

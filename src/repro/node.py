@@ -1,0 +1,160 @@
+"""A workstation-like node (Figure 2 of the paper).
+
+Each :class:`Node` owns a memory bus, main memory, a 1 MB direct-mapped
+processor cache, one network interface attached directly to the bus,
+and a Tempest-like messaging runtime.  The "processor" is not modelled
+at instruction level: workload code runs as a simulated process that
+interleaves abstract compute delays with runtime/NI primitives, and a
+:class:`~repro.sim.StateTimer` attributes every nanosecond to compute,
+send, receive, buffering, or wait — the accounting behind Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterator, List, Optional
+
+from repro.config import SoftwareCosts, SystemParams
+from repro.memory import Cache, MainMemory, MemoryBus
+from repro.ni.registry import make_ni
+from repro.sim import Simulator, StateTimer
+from repro.tempest.runtime import Runtime
+
+#: Staging windows for user message buffers in main memory.  Offsets
+#: chosen so their direct-mapped set indices (block >> 6) never collide
+#: with the CNI queue slots (sets 0..1023) or each other.
+STAGING_OUT_BASE = 0x0001_8000   # sets 1536..2559
+STAGING_IN_BASE = 0x0002_8000    # sets 2560..3583
+STAGING_WINDOW_BLOCKS = 1024
+
+
+class StagingAllocator:
+    """Rotating allocator of user-buffer block addresses.
+
+    NIs that read message data out of user buffers (UDMA send) or
+    deposit it into user memory (UDMA receive) need concrete block
+    addresses for their coherent transactions; this hands out rotating
+    windows so steady-state cache behaviour is realistic.
+    """
+
+    def __init__(self, params: SystemParams):
+        self.block_bytes = params.cache_block_bytes
+        self._out_cursor = 0
+        self._in_cursor = 0
+
+    def _blocks(self, base: int, cursor: int, nbytes: int) -> List[int]:
+        count = max(1, -(-nbytes // self.block_bytes))
+        return [
+            base + ((cursor + i) % STAGING_WINDOW_BLOCKS) * self.block_bytes
+            for i in range(count)
+        ]
+
+    def out_blocks(self, nbytes: int) -> List[int]:
+        """Block addresses of an outgoing user buffer."""
+        addrs = self._blocks(STAGING_OUT_BASE, self._out_cursor, nbytes)
+        self._out_cursor = (self._out_cursor + len(addrs)) % STAGING_WINDOW_BLOCKS
+        return addrs
+
+    def in_blocks(self, nbytes: int) -> List[int]:
+        """Block addresses of an incoming user buffer."""
+        addrs = self._blocks(STAGING_IN_BASE, self._in_cursor, nbytes)
+        self._in_cursor = (self._in_cursor + len(addrs)) % STAGING_WINDOW_BLOCKS
+        return addrs
+
+
+class Node:
+    """One node: bus + memory + cache + NI + runtime + processor timer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network,
+        node_id: int,
+        params: SystemParams,
+        costs: SoftwareCosts,
+        ni_name: str,
+    ):
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.params = params
+        self.costs = costs
+        self.bus = MemoryBus(sim, params, name=f"bus{node_id}")
+        self.main_memory = MainMemory(params, name=f"mem{node_id}")
+        if params.memory_banking:
+            self.main_memory.enable_banking(sim)
+        self.bus.set_default_home(self.main_memory)
+        self.cache = Cache(sim, self.bus, params, name=f"cache{node_id}")
+        self.timer = StateTimer(sim, initial="compute")
+        self.staging = StagingAllocator(params)
+        #: Set before the NI so engines starting at construction can
+        #: reach it lazily; rebound to the real Runtime just below.
+        self.runtime: Optional[Runtime] = None
+        self.ni = make_ni(ni_name, self)
+        self.runtime = Runtime(self)
+
+    # -- processor-context helpers -------------------------------------
+
+    def compute(self, ns: int) -> Generator:
+        """Abstract computation for ``ns`` nanoseconds."""
+        if ns < 0:
+            raise ValueError(f"negative compute time {ns}")
+        if ns:
+            yield self.sim.timeout(ns)
+
+    def finish(self) -> None:
+        """Freeze the processor timer at the end of a run."""
+        self.timer.finish()
+
+    def __repr__(self) -> str:
+        return f"<Node {self.node_id} ni={self.ni.ni_name}>"
+
+
+class Machine:
+    """The parallel machine: N nodes over one fabric (Table 3: 16)."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        costs: SoftwareCosts,
+        ni_name: str,
+        num_nodes: Optional[int] = None,
+    ):
+        from repro.network.fabric import Network  # local to avoid cycle
+
+        params.validate()
+        self.params = params
+        self.costs = costs
+        self.ni_name = ni_name
+        self.sim = Simulator()
+        fabric = None
+        if params.network_topology == "mesh":
+            from repro.network.topology import MeshFabric
+
+            count_hint = num_nodes if num_nodes is not None else params.num_nodes
+            fabric = MeshFabric(self.sim, params, count_hint)
+        self.network = Network(self.sim, params, fabric=fabric)
+        count = num_nodes if num_nodes is not None else params.num_nodes
+        self.nodes: List[Node] = [
+            Node(self.sim, self.network, i, params, costs, ni_name)
+            for i in range(count)
+        ]
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def finish(self) -> None:
+        """Freeze all processor timers (call after the run completes)."""
+        for node in self.nodes:
+            node.finish()
+
+    def state_breakdown(self) -> dict:
+        """Merged per-state processor time across all nodes."""
+        from repro.sim.stats import merge_state_totals
+
+        return merge_state_totals([node.timer for node in self.nodes])

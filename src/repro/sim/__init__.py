@@ -1,0 +1,50 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package replaces the role the Wisconsin Wind Tunnel II simulator
+plays in the paper: it provides the substrate on which the memory bus,
+caches, network interfaces, network fabric, and workloads are modelled.
+
+The design follows the familiar generator-process style (as popularised
+by SimPy) but is implemented from scratch and tuned for this project:
+
+- :class:`~repro.sim.engine.Simulator` — the event loop.  Time is a
+  dimensionless integer; the rest of the library uses nanoseconds.
+- :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.Timeout`
+  — one-shot occurrences that processes can wait on.
+- :class:`~repro.sim.process.Process` — a generator-driven simulated
+  thread of control.  ``yield`` an event to wait for it.
+- :mod:`~repro.sim.resources` — mutual exclusion (:class:`Resource`),
+  producer/consumer buffers (:class:`Store`), and counting tokens
+  (:class:`TokenPool`) used for bus arbitration and flow-control
+  buffers.
+- :mod:`~repro.sim.stats` — counters, histograms and time-in-state
+  accumulators used by the experiment harness (e.g. the Figure 1
+  execution-time breakdown).
+
+Determinism: events scheduled for the same timestamp fire in FIFO
+scheduling order (a monotonically increasing sequence number breaks
+ties), so simulations are exactly reproducible run-to-run.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Gate, Resource, Store, TokenPool
+from repro.sim.stats import Counter, Histogram, StateTimer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Event",
+    "Gate",
+    "Histogram",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Simulator",
+    "StateTimer",
+    "Store",
+    "Timeout",
+    "TokenPool",
+]

@@ -1,0 +1,146 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the clock and the event queue.  Model code
+creates processes with :meth:`Simulator.process`; processes advance the
+clock only by yielding events (usually :class:`Timeout` objects created
+via :meth:`Simulator.timeout`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Time is a non-negative integer with no intrinsic unit; the rest of
+    the library treats it as nanoseconds.  Simultaneous events are
+    processed in the order they were scheduled (FIFO), which makes runs
+    exactly reproducible.
+
+    Example::
+
+        sim = Simulator()
+
+        def hello():
+            yield sim.timeout(10)
+            return "done at 10"
+
+        proc = sim.process(hello())
+        sim.run()
+        assert sim.now == 10 and proc.value == "done at 10"
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._queue: List[Tuple[int, int, Event]] = []
+
+    # -- clock --------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time."""
+        return self._now
+
+    # -- event factories ----------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event; trigger with ``succeed``/``fail``."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------
+
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        """Insert a triggered event into the queue (kernel use only)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or ``None`` if queue empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event.defused:
+            # A failure nobody consumed: surface it rather than losing it.
+            exc = event._value
+            raise exc
+
+    # -- main loop ----------------------------------------------------
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - ``None``: run until no events remain;
+        - an integer time: run until the clock reaches it;
+        - an :class:`Event`: run until that event is processed, and
+          return its value (re-raising its exception if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            finished = []
+
+            def _done(event: Event) -> None:
+                finished.append(event)
+
+            if sentinel.processed:
+                finished.append(sentinel)
+            else:
+                sentinel.add_callback(_done)
+            while not finished:
+                if not self._queue:
+                    raise SimulationError(
+                        f"simulation ran out of events before {sentinel!r} fired"
+                    )
+                self.step()
+            if sentinel._ok is False:
+                sentinel.defused = True
+                raise sentinel._value
+            return sentinel._value
+
+        deadline = int(until)
+        if deadline < self._now:
+            raise SimulationError(
+                f"until={deadline} is in the past (now={self._now})"
+            )
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,215 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence.  It starts *untriggered*;
+calling :meth:`Event.succeed` or :meth:`Event.fail` schedules it, and at
+its scheduled time the simulator *processes* it by invoking its
+callbacks (typically resuming waiting processes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+#: Sentinel for "no value yet".
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (double trigger, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`repro.sim.process.Process.interrupt`.
+
+    The interrupted process sees this exception raised at its current
+    ``yield`` statement.  ``cause`` carries arbitrary context supplied
+    by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Life cycle::
+
+        untriggered --succeed()/fail()--> triggered --(event loop)--> processed
+
+    Once *processed*, the callbacks list is dropped (set to ``None``)
+    and further waits resume immediately.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, sim: "Simulator"):  # noqa: F821 (forward ref)
+        self.sim = sim
+        #: Callbacks to run when processed; ``None`` once processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: A failed event whose exception was consumed (e.g. by a
+        #: waiting process) is *defused*; undefused failures crash the
+        #: simulation, so errors never pass silently.
+        self.defused = False
+
+    # -- state --------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value and is (or will be) scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """``True`` if succeeded, ``False`` if failed, ``None`` if pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully, scheduling it ``delay`` from now."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- callback plumbing -------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event is already processed the callback runs immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events):  # noqa: F821
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        # Only *processed* events count as having happened; a Timeout is
+        # "triggered" from birth but has not occurred until the clock
+        # reaches it.
+        return {
+            event: event._value
+            for event in self.events
+            if event.processed
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when all constituent events have succeeded.
+
+    Fails as soon as any constituent fails (the failure propagates).
+    The value is a dict mapping each event to its value.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Succeeds when any constituent event succeeds.
+
+    The value is a dict of the events triggered so far.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())

@@ -1,0 +1,117 @@
+"""Generator-driven simulated processes.
+
+A :class:`Process` wraps a Python generator.  Each ``yield`` hands the
+kernel an :class:`~repro.sim.events.Event`; the process sleeps until the
+event is processed and then resumes with the event's value (or has the
+event's exception thrown into it, if the event failed).
+
+A process is itself an event: it triggers when the generator returns
+(value = the generator's return value) or raises (failure).  This lets
+processes wait on each other by yielding the process object.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt, SimulationError
+
+
+class Process(Event):
+    """A simulated thread of control driven by a generator."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator):  # noqa: F821
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        #: The event this process is currently suspended on.
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current time via an init event.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        sim._schedule(init, 0)
+        self._waiting_on = init
+        init.add_callback(self._resume)
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return not self.triggered
+
+    # -- interruption -------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The event the process was waiting on remains outstanding; the
+        process may re-wait on it after handling the interrupt.
+        Interrupting a finished process is an error.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        target = self._waiting_on
+        if target is not None:
+            target.remove_callback(self._resume)
+        self._waiting_on = None
+        # Deliver asynchronously (but at the same timestamp) so the
+        # interrupter finishes its own step first.
+        punch = Event(self.sim)
+        punch._ok = False
+        punch._value = Interrupt(cause)
+        punch.defused = True
+        self.sim._schedule(punch, 0)
+        self._waiting_on = punch
+        punch.add_callback(self._resume)
+
+    # -- the trampoline -----------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value/exception of ``event``."""
+        self._waiting_on = None
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate via event
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process yielded {target!r}; only events may be yielded"
+                )
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                except BaseException as raised:  # noqa: BLE001
+                    self.fail(raised)
+                return
+
+            if target.processed:
+                # Already over: resume immediately without a queue trip.
+                event = target
+                continue
+            self._waiting_on = target
+            target.add_callback(self._resume)
+            return
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", "generator")
+        state = "finished" if self.triggered else "alive"
+        return f"<Process {name} {state}>"

@@ -1,0 +1,260 @@
+"""Shared-resource primitives built on the event kernel.
+
+Three primitives cover everything the model needs:
+
+- :class:`Resource` — FIFO mutual exclusion with a fixed capacity.  The
+  memory bus address and data phases are each a capacity-1 resource.
+- :class:`Store` — an unbounded-or-bounded FIFO buffer of items with
+  blocking ``get``.  NI fifos and handler work queues are stores.
+- :class:`TokenPool` — a counting pool of identical tokens.  The
+  flow-control buffers of Section 5.1.2 are token pools: ``acquire``
+  blocks until a buffer is free, ``release`` returns it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.events import Event, SimulationError
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource`.
+
+    Usable as a context manager so releases cannot be forgotten::
+
+        with (yield bus.request()) as grant:   # noqa: illustration only
+            ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """FIFO-arbitrated resource with ``capacity`` simultaneous users."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):  # noqa: F821
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: List[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current users."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Request the resource; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted request."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError(
+                "release() of a request that does not hold the resource"
+            ) from None
+        if self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed(nxt)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+
+class Store:
+    """FIFO buffer of items with blocking ``get`` (and ``put`` if bounded).
+
+    ``capacity=None`` means unbounded (puts never block).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None):  # noqa: F821
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()  # events valued (event, item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires once inserted."""
+        done = Event(self.sim)
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._insert(item)
+            done.succeed()
+        else:
+            self._putters.append((done, item))
+        return done
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put: returns False (item not inserted) if full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._insert(item)
+        return True
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event's value is the item."""
+        evt = Event(self.sim)
+        if self._items:
+            evt.succeed(self._pop())
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def try_get(self) -> Any:
+        """Non-blocking get: returns the item or ``None`` if empty."""
+        return self._pop() if self._items else None
+
+    # -- internals ----------------------------------------------------
+
+    def _insert(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def _pop(self) -> Any:
+        item = self._items.popleft()
+        if self._putters:
+            done, pending = self._putters.popleft()
+            self._items.append(pending)
+            done.succeed()
+        return item
+
+
+class Gate:
+    """A broadcast signal: ``wait`` returns an event that fires at the
+    next ``pulse``.  NIs pulse their gate when a new message becomes
+    extractable so blocked processors wake without spin-polling."""
+
+    def __init__(self, sim: "Simulator"):  # noqa: F821
+        self.sim = sim
+        self._waiters: List[Event] = []
+
+    def wait(self) -> Event:
+        evt = Event(self.sim)
+        self._waiters.append(evt)
+        return evt
+
+    def pulse(self, value: Any = None) -> int:
+        """Wake every current waiter; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for evt in waiters:
+            evt.succeed(value)
+        return len(waiters)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
+class TokenPool:
+    """A counting pool of ``size`` interchangeable tokens.
+
+    Models the flow-control buffers: acquiring a token reserves one
+    buffer, releasing returns it.  ``size=None`` models the paper's
+    "infinite flow control buffering" configuration — acquisition never
+    blocks.
+    """
+
+    def __init__(self, sim: "Simulator", size: Optional[int]):  # noqa: F821
+        if size is not None and size < 1:
+            raise ValueError(f"pool size must be >= 1 or None, got {size}")
+        self.sim = sim
+        self.size = size
+        self._available = size
+        self._waiting: Deque[Event] = deque()
+
+    @property
+    def available(self) -> Optional[int]:
+        """Free tokens, or ``None`` for an infinite pool."""
+        return self._available
+
+    @property
+    def in_use(self) -> int:
+        if self.size is None:
+            return 0
+        return self.size - self._available
+
+    def acquire(self) -> Event:
+        """Reserve one token; the event fires when one is available."""
+        evt = Event(self.sim)
+        if self.size is None:
+            evt.succeed()
+        elif self._available > 0:
+            self._available -= 1
+            evt.succeed()
+        else:
+            self._waiting.append(evt)
+        return evt
+
+    def cancel(self, evt: Event) -> None:
+        """Withdraw a pending :meth:`acquire` (no-op if already granted)."""
+        try:
+            self._waiting.remove(evt)
+        except ValueError:
+            pass
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire."""
+        if self.size is None:
+            return True
+        if self._available > 0:
+            self._available -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return one token to the pool."""
+        if self.size is None:
+            return
+        if self._waiting:
+            self._waiting.popleft().succeed()
+            return
+        if self._available >= self.size:
+            raise SimulationError("release() of a token that was never acquired")
+        self._available += 1

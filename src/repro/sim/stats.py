@@ -1,0 +1,211 @@
+"""Measurement utilities for simulations.
+
+The experiment harness needs three kinds of observation:
+
+- :class:`Counter` — named integer counters (messages sent, bus
+  transactions, cache hits, retries, ...).
+- :class:`Histogram` — distributions (message sizes for Table 4,
+  latencies).
+- :class:`StateTimer` — time spent per named state.  The processor
+  model uses one to attribute wall-clock to ``compute``,
+  ``data_transfer`` and ``buffering``, which is exactly the breakdown
+  Figure 1 of the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A bag of named integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({inner})"
+
+
+class Histogram:
+    """An exact histogram over integer/float samples."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def add(self, value: float, count: int = 1) -> None:
+        self._samples.extend([value] * count)
+        self._sorted = False
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    @property
+    def samples(self) -> tuple:
+        """Snapshot of all samples (insertion order not guaranteed)."""
+        return tuple(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("mean of empty histogram")
+        return self.total / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        self._ensure_sorted()
+        return self._samples[0]
+
+    @property
+    def maximum(self) -> float:
+        self._ensure_sorted()
+        return self._samples[-1]
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self._samples:
+            raise ValueError("percentile of empty histogram")
+        self._ensure_sorted()
+        rank = max(0, math.ceil(fraction * len(self._samples)) - 1)
+        return self._samples[rank]
+
+    @property
+    def median(self) -> float:
+        return self.percentile(0.5)
+
+    def buckets(self) -> Dict[float, int]:
+        """Exact value -> occurrence-count map (e.g. Table 4's peaks)."""
+        out: Dict[float, int] = defaultdict(int)
+        for sample in self._samples:
+            out[sample] += 1
+        return dict(out)
+
+    def fraction_of(self, value: float) -> float:
+        """Fraction of samples exactly equal to ``value``."""
+        if not self._samples:
+            return 0.0
+        return sum(1 for s in self._samples if s == value) / len(self._samples)
+
+
+class StateTimer:
+    """Attributes simulated time to named, mutually exclusive states.
+
+    Usage: call :meth:`enter` on every state change; call
+    :meth:`finish` once at the end of the run.  Nested excursions
+    (e.g. a buffering stall in the middle of a send) use
+    :meth:`push` / :meth:`pop`.
+    """
+
+    def __init__(self, sim: "Simulator", initial: str = "compute"):  # noqa: F821
+        self.sim = sim
+        self._totals: Dict[str, int] = defaultdict(int)
+        self._state = initial
+        self._since = sim.now
+        self._stack: List[str] = []
+        self._finished = False
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def enter(self, state: str) -> None:
+        """Switch to ``state``, crediting elapsed time to the old state."""
+        if self._finished:
+            raise RuntimeError("StateTimer already finished")
+        now = self.sim.now
+        self._totals[self._state] += now - self._since
+        self._state = state
+        self._since = now
+
+    def push(self, state: str) -> None:
+        """Enter ``state`` remembering the current one for :meth:`pop`."""
+        self._stack.append(self._state)
+        self.enter(state)
+
+    def pop(self) -> None:
+        """Return to the state saved by the matching :meth:`push`."""
+        self.enter(self._stack.pop())
+
+    def finish(self) -> None:
+        """Credit the trailing interval and freeze the timer."""
+        if not self._finished:
+            self._totals[self._state] += self.sim.now - self._since
+            self._since = self.sim.now
+            self._finished = True
+
+    def total(self, state: str) -> int:
+        return self._totals.get(state, 0)
+
+    def totals(self) -> Dict[str, int]:
+        return dict(self._totals)
+
+    def fractions(self) -> Dict[str, float]:
+        """Share of total time per state (sums to 1.0 if any time passed)."""
+        grand = sum(self._totals.values())
+        if grand == 0:
+            return {}
+        return {state: t / grand for state, t in self._totals.items()}
+
+
+def merge_state_totals(timers: Iterable[StateTimer]) -> Dict[str, int]:
+    """Sum per-state totals across many timers (e.g. all 16 processors)."""
+    merged: Dict[str, int] = defaultdict(int)
+    for timer in timers:
+        for state, total in timer.totals().items():
+            merged[state] += total
+    return dict(merged)
+
+
+def breakdown_fractions(
+    merged: Dict[str, int],
+    groups: Optional[Dict[str, Tuple[str, ...]]] = None,
+) -> Dict[str, float]:
+    """Collapse raw states into named groups and normalise to fractions.
+
+    Used by the Figure 1 experiment to fold fine-grained processor
+    states into the paper's three categories.
+    """
+    grand = sum(merged.values())
+    if grand == 0:
+        return {}
+    if groups is None:
+        return {state: t / grand for state, t in merged.items()}
+    out: Dict[str, float] = {}
+    for group, states in groups.items():
+        out[group] = sum(merged.get(s, 0) for s in states) / grand
+    return out

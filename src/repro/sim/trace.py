@@ -1,0 +1,61 @@
+"""Lightweight event tracing.
+
+A :class:`Tracer` records ``(time, source, category, detail)`` tuples
+when enabled and costs a single attribute check when disabled.  Traces
+are used by debugging tests and by examples that walk through what the
+simulator did (e.g. showing each bus transaction of a message send).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    time: int
+    source: str
+    category: str
+    detail: Dict[str, Any]
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    def __init__(self, sim: "Simulator", enabled: bool = False):  # noqa: F821
+        self.sim = sim
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def log(self, source: str, category: str, **detail: Any) -> None:
+        if self.enabled:
+            self.records.append(
+                TraceRecord(self.sim.now, source, category, detail)
+            )
+
+    def filter(
+        self,
+        source: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Records matching the given source and/or category."""
+        out = self.records
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        return list(out)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable dump of (up to ``limit``) records."""
+        rows = self.records if limit is None else self.records[:limit]
+        lines = []
+        for rec in rows:
+            fields = " ".join(f"{k}={v}" for k, v in rec.detail.items())
+            lines.append(f"[{rec.time:>10}] {rec.source:<16} {rec.category:<20} {fields}")
+        return "\n".join(lines)

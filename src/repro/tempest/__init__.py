@@ -1,0 +1,30 @@
+"""Tempest-like parallel programming substrate.
+
+"All of our benchmarks are run on the Tempest parallel programming
+interface.  Message-passing benchmarks use only Tempest's active
+messages.  Shared-memory codes on Tempest also use active messages,
+but assume hardware support for fine-grain access control.  Codes with
+custom protocols use a combination of the two." (paper, Section 5.1.1)
+
+This package provides those three layers:
+
+- :class:`~repro.tempest.runtime.Runtime` — per-node active-message
+  runtime: ``send``, handler registration/dispatch, the service loop,
+  and ``wait_for``.  All processor time spent here is attributed
+  through the node's state timer.
+- :class:`~repro.tempest.shared_memory.SharedMemory` — the
+  invalidation-based, home-directory software shared-memory protocol
+  (Tempest's default), used by appbt and barnes.
+- :class:`~repro.tempest.channels.VirtualChannel` — bulk transfer with
+  fragmentation into maximum-size network messages, used by moldyn's
+  reduction and unstructured's batched updates.
+- :class:`~repro.tempest.barrier.Barrier` — a message-based global
+  barrier (arrive at node 0, broadcast release).
+"""
+
+from repro.tempest.barrier import Barrier
+from repro.tempest.channels import VirtualChannel
+from repro.tempest.runtime import Runtime
+from repro.tempest.shared_memory import SharedMemory
+
+__all__ = ["Barrier", "Runtime", "SharedMemory", "VirtualChannel"]

@@ -1,0 +1,248 @@
+"""The per-node active-message runtime.
+
+The runtime is the only code that touches the NI on the processor's
+behalf.  Its job is the paper's "messaging layer": composing and
+committing sends, polling, extracting arrived messages, and
+dispatching their handlers — with every nanosecond attributed to the
+right state ("send", "receive", "buffering", "wait", or the default
+"compute").
+
+Handler discipline: handlers never run re-entrantly.  While a send is
+blocked on flow control, incoming messages are *extracted* (freeing NI
+buffers, which is what breaks fetch-deadlock cycles) but their
+handlers are deferred to the next top-level :meth:`service` point.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, Optional
+
+from repro.network.message import Message, MessageKind
+from repro.sim import Counter, Histogram
+
+
+class HandlerError(RuntimeError):
+    """An active message arrived for an unregistered handler."""
+
+
+class Runtime:
+    """Tempest-like active-message runtime for one node."""
+
+    def __init__(self, node) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.costs = node.costs
+        self.params = node.params
+        self._handlers: Dict[str, Callable] = {}
+        #: Extracted messages whose handlers have not yet run.
+        self._deferred: Deque[Message] = deque()
+        self.counters = Counter()
+        #: Sizes of every message this node sent (Table 4 data).
+        self.sent_sizes = Histogram()
+        node.runtime = self
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    def register_handler(self, name: str, fn: Callable) -> None:
+        """Register ``fn`` as the handler for messages tagged ``name``.
+
+        ``fn(runtime, message)`` may be a plain function or a generator
+        function (for handlers that consume simulated time).
+        """
+        if name in self._handlers:
+            raise ValueError(f"handler {name!r} already registered")
+        self._handlers[name] = fn
+
+    def handler_registered(self, name: str) -> bool:
+        return name in self._handlers
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        dst: int,
+        handler: str,
+        payload_bytes: int,
+        body: Any = None,
+        kind: MessageKind = MessageKind.ACTIVE_MESSAGE,
+        record: bool = True,
+    ) -> Generator:
+        """Send one active message (blocking, processor context).
+
+        ``record=False`` suppresses the size-histogram entry — bulk
+        channels use it for fragments and log one logical size instead
+        (Table 4 reports user-level message sizes).
+        """
+        if payload_bytes > self.params.max_payload_bytes:
+            raise ValueError(
+                f"payload {payload_bytes}B exceeds one network message; "
+                "use a VirtualChannel for bulk transfers"
+            )
+        msg = Message(
+            src=self.node.node_id, dst=dst,
+            size=self.params.header_bytes + payload_bytes,
+            kind=kind, handler=handler, body=body,
+        )
+        timer = self.node.timer
+        timer.push("send")
+        tracer = self.node.network.tracer
+        tracer.log(f"node{self.node.node_id}", "send_start",
+                   uid=msg.uid, handler=handler, dst=dst, size=msg.size)
+        yield self.sim.timeout(self.costs.send_setup)
+        yield from self.node.ni.send_message(msg)
+        tracer.log(f"node{self.node.node_id}", "send_done", uid=msg.uid)
+        timer.pop()
+        self.counters.add("sent")
+        if record:
+            self.sent_sizes.add(msg.size)
+        if self.node.ni.throttle_ns:
+            # Deliberate pacing (CNI_32Qm+Throttle): idle, not send work.
+            yield self.sim.timeout(self.node.ni.throttle_ns)
+        return msg
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+
+    def absorb_pending(self) -> Generator:
+        """Extract every currently-available message, deferring handlers.
+
+        Returns the number of messages extracted.  Called both from
+        :meth:`service` and from NIs while blocked on flow control.
+        """
+        # Extraction first: popping arrivals frees receive buffers,
+        # which is what lets everyone else's bounced traffic land.
+        count = 0
+        while self.node.ni.has_message():
+            self.node.timer.push("receive")
+            msg = yield from self.node.ni.receive_message()
+            self.node.timer.pop()
+            if msg is None:
+                break
+            self.node.network.tracer.log(
+                f"node{self.node.node_id}", "extracted", uid=msg.uid
+            )
+            self._deferred.append(msg)
+            count += 1
+        count += yield from self.node.ni.process_buffering_work()
+        return count
+
+    def service(self, max_handlers: Optional[int] = None) -> Generator:
+        """Pop-and-execute arrived messages, one at a time.
+
+        Active-message semantics: each message is extracted and its
+        handler run to completion before the next extraction, so the
+        NI's receive buffers recycle at the full per-message rate (pop
+        + dispatch + handler) — which is exactly why limited buffering
+        hurts bursty applications.  (Messages stashed by
+        :meth:`absorb_pending` during blocked sends are executed first.)
+
+        Returns the number of handlers executed.
+        """
+        executed = 0
+        while True:
+            retried = yield from self.node.ni.process_buffering_work()
+            msg = yield from self.receive_one()
+            if msg is None:
+                if retried:
+                    continue  # retry work counts as progress
+                break
+            executed += 1
+            if max_handlers is not None and executed >= max_handlers:
+                break
+        return executed
+
+    def receive_one(self) -> Generator:
+        """Extract and handle exactly one message (or return ``None``).
+
+        Unlike :meth:`service`, which extracts everything available
+        before running handlers, this serialises extraction and
+        handling per message — the receive loop of a streaming
+        consumer, used by the bandwidth microbenchmark so consumption
+        timestamps reflect the full per-message cost.
+        """
+        if self._deferred:
+            msg = self._deferred.popleft()
+        else:
+            self.node.timer.push("receive")
+            msg = yield from self.node.ni.receive_message()
+            self.node.timer.pop()
+            if msg is None:
+                return None
+            self.node.network.tracer.log(
+                f"node{self.node.node_id}", "extracted", uid=msg.uid
+            )
+        self.node.timer.push("receive")
+        yield self.sim.timeout(self.costs.receive_dispatch)
+        self.node.timer.pop()
+        yield from self._dispatch(msg)
+        self.counters.add("handled")
+        return msg
+
+    def _dispatch(self, msg: Message) -> Generator:
+        fn = self._handlers.get(msg.handler)
+        if fn is None:
+            raise HandlerError(
+                f"node {self.node.node_id}: no handler {msg.handler!r} "
+                f"for {msg!r}"
+            )
+        tracer = self.node.network.tracer
+        tracer.log(f"node{self.node.node_id}", "handler_start",
+                   uid=msg.uid, handler=msg.handler)
+        result = fn(self, msg)
+        if inspect.isgenerator(result):
+            yield from result
+        tracer.log(f"node{self.node.node_id}", "handler_done", uid=msg.uid)
+
+    # ------------------------------------------------------------------
+    # blocking waits
+    # ------------------------------------------------------------------
+
+    #: Fallback recheck period while blocked in :meth:`wait_for`, ns.
+    #: Models the idle loop re-testing its completion flag; it also
+    #: guarantees progress for predicates satisfied by activity on
+    #: *other* nodes (simulation-global counters).
+    WAIT_POLL_NS = 1000
+
+    def wait_for(self, predicate: Callable[[], bool]) -> Generator:
+        """Service the network until ``predicate()`` becomes true.
+
+        Idle time (no messages, predicate still false) is spent asleep
+        on the NI's arrival signal (with a periodic recheck) and
+        attributed to the "wait" state.
+        """
+        while True:
+            executed = yield from self.service()
+            if predicate():
+                return
+            if executed or self.node.ni.has_message() or self._deferred:
+                continue
+            if predicate():
+                return
+            # Pending-but-paced retry work is picked up by the next
+            # recheck; sleeping here (not spinning) respects the pacing.
+            self.node.timer.push("wait")
+            arrival = self.node.ni.wait_signal()
+            recheck = self.sim.timeout(self.WAIT_POLL_NS)
+            yield self.sim.any_of([arrival, recheck])
+            self.node.timer.pop()
+
+    def drain(self) -> Generator:
+        """Service until the NI is momentarily idle (end-of-phase)."""
+        while (self.node.ni.has_message() or self._deferred
+               or self.node.ni.has_processor_work()):
+            executed = yield from self.service()
+            if not executed and self.node.ni.has_processor_work():
+                # Retries are paced; wait out the backoff window
+                # instead of spinning at zero simulated time.
+                yield self.sim.timeout(self.costs.retry_backoff)
+
+    @property
+    def pending_handlers(self) -> int:
+        return len(self._deferred)

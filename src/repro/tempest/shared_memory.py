@@ -1,0 +1,310 @@
+"""Fine-grain software shared memory (Tempest's default protocol).
+
+An invalidation-based, home-directory MSI protocol built entirely from
+active messages, standing in for the Stache protocol the paper's
+shared-memory codes (appbt, barnes) run on.  Fine-grain access control
+is assumed to be free in hardware (as the paper assumes); what we model
+is the *message traffic* the protocol generates, because that is what
+exercises the NI:
+
+- read miss:    12 B request  ->  home,  data reply of
+  ``8 + block_payload_bytes`` (32 B for appbt-like 24-byte blocks,
+  140 B for barnes-like 132-byte blocks);
+- write miss:   12 B request -> home, 12 B invalidations to sharers,
+  12 B acks back, then the data reply granting ownership;
+- read of a dirty remote block: home forwards to the owner, which
+  supplies the data and downgrades.
+
+Blocks are identified by ``(home_node, index)``.  Requesters block in
+``wait_for`` and keep servicing the network, so they answer forwards
+and invalidations while waiting — no protocol deadlock.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, Optional, Set, Tuple
+
+from repro.sim import Counter
+
+_SM_IDS = itertools.count()
+
+#: Wire payload of protocol control messages (requests, invs, acks):
+#: 4 bytes => 12-byte messages, matching the Table 4 small-message peaks.
+CONTROL_PAYLOAD = 4
+
+BlockKey = Tuple[int, int]
+
+
+class _Directory:
+    """Home-side state for one block."""
+
+    __slots__ = ("sharers", "owner", "pending_acks", "writers")
+
+    def __init__(self) -> None:
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+        self.pending_acks = 0
+        #: FIFO of requesters with outstanding getx (head in service).
+        self.writers: list = []
+
+
+class SharedMemory:
+    """A machine-wide software DSM instance."""
+
+    def __init__(self, machine, block_payload_bytes: int = 24,
+                 name: Optional[str] = None):
+        self.machine = machine
+        self.block_payload = block_payload_bytes
+        self.name = name or f"sm{next(_SM_IDS)}"
+        #: home -> block index -> directory entry.
+        self._directory: Dict[int, Dict[int, _Directory]] = {
+            node.node_id: {} for node in machine
+        }
+        #: node -> set of block keys with a valid local (read) copy.
+        self._valid: Dict[int, Set[BlockKey]] = {
+            node.node_id: set() for node in machine
+        }
+        #: node -> set of block keys held dirty (exclusive).
+        self._dirty: Dict[int, Set[BlockKey]] = {
+            node.node_id: set() for node in machine
+        }
+        #: node -> key -> count of data replies received.  Requesters
+        #: wait on these monotone counters rather than on ``is_valid``:
+        #: a racing invalidation may revoke the copy before the waiter
+        #: rechecks, but the reply itself cannot be un-received.
+        self._shared_grants: Dict[int, Dict[BlockKey, int]] = {
+            node.node_id: {} for node in machine
+        }
+        self._exclusive_grants: Dict[int, Dict[BlockKey, int]] = {
+            node.node_id: {} for node in machine
+        }
+        self.counters = Counter()
+        for node in machine:
+            rt = node.runtime
+            rt.register_handler(f"{self.name}_get", self._h_get)
+            rt.register_handler(f"{self.name}_getx", self._h_getx)
+            rt.register_handler(f"{self.name}_data", self._h_data)
+            rt.register_handler(f"{self.name}_inv", self._h_inv)
+            rt.register_handler(f"{self.name}_invack", self._h_invack)
+            rt.register_handler(f"{self.name}_fwd", self._h_fwd)
+            rt.register_handler(f"{self.name}_down", self._h_down)
+
+    # ------------------------------------------------------------------
+    # local state inspection
+    # ------------------------------------------------------------------
+
+    def is_valid(self, node_id: int, key: BlockKey) -> bool:
+        return key in self._valid[node_id] or key in self._dirty[node_id]
+
+    def is_dirty(self, node_id: int, key: BlockKey) -> bool:
+        return key in self._dirty[node_id]
+
+    def _entry(self, home: int, block: int) -> _Directory:
+        table = self._directory[home]
+        if block not in table:
+            table[block] = _Directory()
+        return table[block]
+
+    # ------------------------------------------------------------------
+    # processor-context operations
+    # ------------------------------------------------------------------
+
+    def read(self, node, home: int, block: int) -> Generator:
+        """Blocking shared read of ``(home, block)``; fetches on miss."""
+        key = (home, block)
+        me = node.node_id
+        if self.is_valid(me, key) or home == me:
+            self.counters.add("read_hits")
+            return
+        self.counters.add("read_misses")
+        snapshot = self._shared_grants[me].get(key, 0)
+        yield from node.runtime.send(
+            home, f"{self.name}_get", CONTROL_PAYLOAD, body=(block, me)
+        )
+        yield from node.runtime.wait_for(
+            lambda: self._shared_grants[me].get(key, 0) > snapshot
+        )
+
+    def write(self, node, home: int, block: int) -> Generator:
+        """Blocking exclusive write of ``(home, block)``."""
+        key = (home, block)
+        me = node.node_id
+        if self.is_dirty(me, key):
+            self.counters.add("write_hits")
+            return
+        if home == me:
+            entry = self._entry(home, block)
+            if (not entry.sharers and entry.owner is None
+                    and not entry.writers):
+                # Home-local write with no remote copies: grant
+                # immediately, but *record the ownership* so a later
+                # remote getx knows to invalidate us.
+                self.counters.add("write_hits")
+                self._dirty[me].add(key)
+                self._valid[me].add(key)
+                entry.owner = me
+                return
+            # Home-local write with remote copies: run the home-side
+            # protocol directly (no message to ourselves).
+            self.counters.add("write_misses")
+            snapshot = self._exclusive_grants[me].get(key, 0)
+            yield from self._getx_at_home(node.runtime, block, me)
+            yield from node.runtime.wait_for(
+                lambda: self._exclusive_grants[me].get(key, 0) > snapshot
+            )
+            return
+        self.counters.add("write_misses")
+        snapshot = self._exclusive_grants[me].get(key, 0)
+        yield from node.runtime.send(
+            home, f"{self.name}_getx", CONTROL_PAYLOAD, body=(block, me)
+        )
+        yield from node.runtime.wait_for(
+            lambda: self._exclusive_grants[me].get(key, 0) > snapshot
+        )
+
+    # ------------------------------------------------------------------
+    # protocol handlers (run at whichever node received the message)
+    # ------------------------------------------------------------------
+
+    def _h_get(self, runtime, msg) -> Generator:
+        block, requester = msg.body
+        home = runtime.node.node_id
+        entry = self._entry(home, block)
+        if entry.owner == home:
+            # Home itself holds the block dirty: downgrade silently.
+            self._dirty[home].discard((home, block))
+            entry.owner = None
+        if entry.owner is not None and entry.owner != requester:
+            # Dirty elsewhere: forward to the owner.
+            yield from runtime.send(
+                entry.owner, f"{self.name}_fwd", CONTROL_PAYLOAD,
+                body=(home, block, requester),
+            )
+        else:
+            entry.sharers.add(requester)
+            yield from runtime.send(
+                requester, f"{self.name}_data", self.block_payload,
+                body=((home, block), False),
+            )
+
+    def _h_getx(self, runtime, msg) -> Generator:
+        block, requester = msg.body
+        yield from self._getx_at_home(runtime, block, requester)
+
+    def _getx_at_home(self, runtime, block, requester) -> Generator:
+        """Enqueue a write-ownership request; start service if idle.
+
+        Concurrent getx requests for one block are serialised through
+        ``entry.writers`` — without the queue, a second request would
+        clobber the first's pending invalidation acks and the first
+        writer would never be granted (a real livelock we hit).
+        """
+        home = runtime.node.node_id
+        entry = self._entry(home, block)
+        entry.writers.append(requester)
+        if len(entry.writers) == 1:
+            yield from self._service_getx(runtime, entry, home, block)
+
+    def _service_getx(self, runtime, entry, home, block) -> Generator:
+        """Serve the getx at the head of the queue (home context)."""
+        requester = entry.writers[0]
+        if entry.owner == home and requester != home:
+            # Home invalidates its own dirty copy without a message.
+            self._dirty[home].discard((home, block))
+            self._valid[home].discard((home, block))
+            entry.owner = None
+        if entry.owner is not None and entry.owner != requester:
+            yield from runtime.send(
+                entry.owner, f"{self.name}_inv", CONTROL_PAYLOAD,
+                body=(home, block),
+            )
+            entry.pending_acks = 1
+            entry.owner = None
+            return
+        sharers = {s for s in entry.sharers if s != requester}
+        entry.sharers.clear()
+        if sharers:
+            for sharer in sharers:
+                yield from runtime.send(
+                    sharer, f"{self.name}_inv", CONTROL_PAYLOAD,
+                    body=(home, block),
+                )
+            entry.pending_acks = len(sharers)
+            return
+        yield from self._grant_exclusive(runtime, entry, home, block)
+
+    def _grant_exclusive(self, runtime, entry, home, block) -> Generator:
+        """Grant ownership to the head writer; serve the next if any."""
+        requester = entry.writers.pop(0)
+        entry.sharers.clear()
+        entry.owner = requester
+        if requester == home:
+            # Home-local writer: grant without a message.
+            key = (home, block)
+            self._dirty[home].add(key)
+            self._valid[home].add(key)
+            grants = self._exclusive_grants[home]
+            grants[key] = grants.get(key, 0) + 1
+        else:
+            yield from runtime.send(
+                requester, f"{self.name}_data", self.block_payload,
+                body=((home, block), True),
+            )
+        if entry.writers:
+            yield from self._service_getx(runtime, entry, home, block)
+
+    def _h_data(self, runtime, msg) -> None:
+        key, exclusive = msg.body
+        me = runtime.node.node_id
+        if exclusive:
+            self._dirty[me].add(key)
+            grants = self._exclusive_grants[me]
+            grants[key] = grants.get(key, 0) + 1
+        self._valid[me].add(key)
+        grants = self._shared_grants[me]
+        grants[key] = grants.get(key, 0) + 1
+        self.counters.add("data_replies")
+
+    def _h_inv(self, runtime, msg) -> Generator:
+        home, block = msg.body
+        me = runtime.node.node_id
+        key = (home, block)
+        self._valid[me].discard(key)
+        self._dirty[me].discard(key)
+        self.counters.add("invalidations")
+        yield from runtime.send(
+            home, f"{self.name}_invack", CONTROL_PAYLOAD, body=(block,)
+        )
+
+    def _h_invack(self, runtime, msg) -> Generator:
+        (block,) = msg.body
+        home = runtime.node.node_id
+        entry = self._entry(home, block)
+        entry.pending_acks -= 1
+        if entry.pending_acks <= 0 and entry.writers:
+            yield from self._grant_exclusive(runtime, entry, home, block)
+
+    def _h_fwd(self, runtime, msg) -> Generator:
+        home, block, requester = msg.body
+        me = runtime.node.node_id
+        key = (home, block)
+        # Supply the data from the dirty copy and downgrade to shared.
+        self._dirty[me].discard(key)
+        self._valid[me].add(key)
+        self.counters.add("forwards")
+        yield from runtime.send(
+            requester, f"{self.name}_data", self.block_payload,
+            body=(key, False),
+        )
+        yield from runtime.send(
+            home, f"{self.name}_down", CONTROL_PAYLOAD,
+            body=(block, me, requester),
+        )
+
+    def _h_down(self, runtime, msg) -> None:
+        block, old_owner, requester = msg.body
+        home = runtime.node.node_id
+        entry = self._entry(home, block)
+        entry.owner = None
+        entry.sharers.update((old_owner, requester))

@@ -1,0 +1,5 @@
+"""Developer tools built on the simulator's tracing facility."""
+
+from repro.tools.timeline import format_timeline, message_timeline
+
+__all__ = ["format_timeline", "message_timeline"]

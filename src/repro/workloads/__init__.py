@@ -1,0 +1,40 @@
+"""Workloads: the paper's two microbenchmarks and seven macrobenchmarks.
+
+Microbenchmarks (Section 6.1):
+
+- :class:`~repro.workloads.micro.PingPong` — process-to-process
+  round-trip latency.
+- :class:`~repro.workloads.micro.StreamBandwidth` — process-to-process
+  bandwidth (fragmenting payloads above one network message).
+
+Macrobenchmarks (Section 5.2, Table 4) — communication-pattern models
+of the original applications (see DESIGN.md substitution 2): each
+reproduces the original's key message pattern, message-size mix, and
+compute granularity on the Tempest substrate:
+
+========== ================================ ==========================
+name        pattern                          dominant sizes
+========== ================================ ==========================
+appbt       near-neighbour request-response  12 B (67%), 32 B (32%)
+barnes      irregular shared memory          12 B (67%), 140 B (29%)
+dsmc        producer-consumer fine-grain     12 B, 44 B, 140 B
+em3d        fine-grain one-way bursts        20 B (98%)
+moldyn      bulk ring reduction              12 B, 140 B, 3084 B
+spsolve     DAG active messages              20 B (91%)
+unstructured single-producer multi-consumer  batched bulk (~351 B avg)
+========== ================================ ==========================
+"""
+
+from repro.workloads.base import Workload, WorkloadResult, run_macrobenchmark
+from repro.workloads.micro import PingPong, StreamBandwidth
+from repro.workloads.registry import MACRO_NAMES, make_workload
+
+__all__ = [
+    "MACRO_NAMES",
+    "PingPong",
+    "StreamBandwidth",
+    "Workload",
+    "WorkloadResult",
+    "make_workload",
+    "run_macrobenchmark",
+]

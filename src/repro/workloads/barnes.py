@@ -1,0 +1,79 @@
+"""barnes — Barnes-Hut N-body, irregular shared-memory model.
+
+"Communication occurs between all processors in an irregular fashion
+through Tempest's default shared memory protocol."  Each iteration a
+node walks the (remote parts of the) tree: reads of *random* remote
+blocks, whose 132-byte data replies give the 140-byte peak of Table 4;
+it then updates its own bodies (writes that invalidate last
+iteration's readers — more 12-byte control traffic).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from repro.tempest import Barrier, SharedMemory
+from repro.workloads.base import Workload
+
+#: barnes' DSM block payload: 132 B data => 140 B replies (Table 4).
+BARNES_BLOCK_PAYLOAD = 132
+
+
+class Barnes(Workload):
+    """Irregular request-response shared memory."""
+
+    name = "barnes"
+
+    def __init__(self, iterations: int = 4, reads_per_iter: int = 16,
+                 writes_per_iter: int = 8, blocks_per_node: int = 24,
+                 compute_ns: int = 20_000, seed: int = 42):
+        self.iterations = iterations
+        self.reads_per_iter = reads_per_iter
+        self.writes_per_iter = writes_per_iter
+        self.blocks_per_node = blocks_per_node
+        self.compute_ns = compute_ns
+        self.seed = seed
+
+    def prepare(self, machine) -> None:
+        self.barrier = Barrier(machine, name="barnes_bar")
+        self.sm = SharedMemory(
+            machine, block_payload_bytes=BARNES_BLOCK_PAYLOAD,
+            name="barnes_sm",
+        )
+        # Precompute each node's irregular access pattern, per
+        # iteration, from a fixed seed: deterministic across runs.
+        n = len(machine)
+        rng = random.Random(self.seed)
+        self._reads = {
+            node.node_id: [
+                [
+                    (
+                        rng.choice([p for p in range(n)
+                                    if p != node.node_id]),
+                        rng.randrange(self.blocks_per_node),
+                    )
+                    for _ in range(self.reads_per_iter)
+                ]
+                for _ in range(self.iterations)
+            ]
+            for node in machine
+        }
+
+    def node_main(self, machine, node) -> Generator:
+        me = node.node_id
+        for iteration in range(self.iterations):
+            # Tree walk: irregular remote reads interleaved with force
+            # computation.
+            per_read = self.compute_ns // (2 * max(1, self.reads_per_iter))
+            for home, block in self._reads[me][iteration]:
+                yield from node.compute(per_read)
+                yield from self.sm.read(node, home, block)
+            yield from node.compute(self.compute_ns // 2)
+            # Update our own bodies: invalidate remote readers.
+            for w in range(self.writes_per_iter):
+                yield from self.sm.write(
+                    node, me, (iteration + w) % self.blocks_per_node
+                )
+            yield from self.barrier.wait(node)
+        yield from self.shutdown(machine, node, self.barrier)

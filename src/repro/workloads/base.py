@@ -1,0 +1,182 @@
+"""Workload harness: run per-node programs on a machine and collect
+the measurements the experiments need.
+
+A :class:`Workload` provides one generator per node (``node_main``);
+:meth:`Workload.run` drives all of them to completion on a fresh
+machine and returns a :class:`WorkloadResult` carrying execution time,
+the merged processor-state breakdown (Figure 1's raw material),
+message statistics, and flow-control counters.
+
+Shutdown discipline: macrobenchmark node programs must end with
+:meth:`Workload.shutdown` (drain, barrier, drain) so no node exits
+while protocol messages are still in flight toward it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional
+
+from repro.config import SoftwareCosts, SystemParams
+from repro.node import Machine
+from repro.sim import Histogram
+from repro.sim.stats import breakdown_fractions
+
+#: Grouping of raw processor-timer states into the paper's Figure 1
+#: categories.  Idle waiting is grouped with compute ("compute & wait"
+#: — see DESIGN.md): Figure 1 highlights data transfer and buffering
+#: against everything else.
+FIGURE1_GROUPS = {
+    "compute": ("compute", "wait"),
+    "data_transfer": ("send", "receive"),
+    "buffering": ("buffering",),
+}
+
+
+@dataclass
+class WorkloadResult:
+    """Everything measured in one workload run."""
+
+    workload: str
+    ni_name: str
+    #: End-to-end execution time, ns.
+    elapsed_ns: int
+    #: Merged per-state processor time across all nodes, ns.
+    states: Dict[str, int]
+    #: Wire messages sent (data messages, not acks/returns).
+    messages_sent: int
+    #: Logical (user-level) message sizes, for Table 4.
+    message_sizes: Histogram
+    #: Return-to-sender bounces suffered machine-wide.
+    bounces: int
+    #: Flow-control configuration the run used.
+    flow_control_buffers: Optional[int]
+    #: Anything workload-specific (bandwidth, latency, ...).
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.elapsed_ns / 1000.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Figure 1 style fractions: compute / data_transfer / buffering."""
+        return breakdown_fractions(self.states, FIGURE1_GROUPS)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.workload} on {self.ni_name} "
+            f"(fcb={self.flow_control_buffers}): {self.elapsed_us:.1f} us",
+        ]
+        fractions = self.breakdown()
+        if fractions:
+            parts.append(
+                " / ".join(
+                    f"{k} {v * 100:.1f}%" for k, v in sorted(fractions.items())
+                )
+            )
+        parts.append(f"{self.messages_sent} msgs, {self.bounces} bounces")
+        return " | ".join(parts)
+
+
+class Workload(ABC):
+    """Base class for all workloads."""
+
+    name: str = "workload"
+
+    #: Number of nodes this workload needs (None = machine default).
+    num_nodes: Optional[int] = None
+
+    def build_machine(
+        self,
+        params: SystemParams,
+        costs: SoftwareCosts,
+        ni_name: str,
+    ) -> Machine:
+        return Machine(params, costs, ni_name, num_nodes=self.num_nodes)
+
+    def run(
+        self,
+        machine: Optional[Machine] = None,
+        *,
+        params: Optional[SystemParams] = None,
+        costs: Optional[SoftwareCosts] = None,
+        ni_name: Optional[str] = None,
+    ) -> WorkloadResult:
+        """Run to completion on ``machine`` (or build one) and measure."""
+        if machine is None:
+            from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+
+            machine = self.build_machine(
+                params or DEFAULT_PARAMS, costs or DEFAULT_COSTS,
+                ni_name or "cni32qm",
+            )
+        #: Logical message sizes logged by the workload (Table 4).
+        self.logical_sizes = Histogram()
+        self.prepare(machine)
+        processes = [
+            machine.sim.process(self.node_main(machine, node))
+            for node in machine
+        ]
+        done = machine.sim.all_of(processes)
+        machine.sim.run(until=done)
+        machine.finish()
+        return self._collect(machine)
+
+    def prepare(self, machine: Machine) -> None:
+        """Hook: register handlers, build barriers/channels, seed state."""
+
+    @abstractmethod
+    def node_main(self, machine: Machine, node) -> Generator:
+        """The program one node runs (processor-context generator)."""
+
+    # -- shared pieces -----------------------------------------------------
+
+    def log_message(self, size_bytes: int, count: int = 1) -> None:
+        """Record a logical (user-level) message size for Table 4."""
+        self.logical_sizes.add(size_bytes, count)
+
+    def shutdown(self, machine: Machine, node, barrier) -> Generator:
+        """End-of-run quiesce: drain, synchronise, drain again."""
+        yield from node.runtime.drain()
+        yield from barrier.wait(node)
+        yield from node.runtime.drain()
+
+    def _collect(self, machine: Machine) -> WorkloadResult:
+        # Table 4 material: user-level message sizes across all nodes
+        # (channels log one logical entry per bulk transfer).
+        sizes = Histogram()
+        for node in machine:
+            sizes.extend(node.runtime.sent_sizes.samples)
+        return WorkloadResult(
+            workload=self.name,
+            ni_name=machine.ni_name,
+            elapsed_ns=machine.sim.now,
+            states=machine.state_breakdown(),
+            messages_sent=sum(
+                node.ni.counters["messages_sent"] for node in machine
+            ),
+            message_sizes=sizes,
+            bounces=sum(node.ni.fcu.bounce_count for node in machine),
+            flow_control_buffers=machine.params.flow_control_buffers,
+            extras={},
+        )
+
+
+def run_macrobenchmark(
+    name: str,
+    ni_name: str,
+    params: Optional[SystemParams] = None,
+    costs: Optional[SoftwareCosts] = None,
+    **workload_kwargs,
+) -> WorkloadResult:
+    """Convenience: build and run one macrobenchmark by name."""
+    from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+    from repro.workloads.registry import make_workload
+
+    workload = make_workload(name, **workload_kwargs)
+    return workload.run(
+        params=params or DEFAULT_PARAMS,
+        costs=costs or DEFAULT_COSTS,
+        ni_name=ni_name,
+    )

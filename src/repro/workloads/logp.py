@@ -1,0 +1,171 @@
+"""LogP characterization of an NI (extension).
+
+Section 6.1 of the paper declines to report LogP parameters because
+latency (L) and overhead (o) "do not uniformly capture the same
+metrics for all of our NIs" — for a CNI, the NI-managed cache-to-cache
+transfer lands in L, while for a CM-5-like NI the same bytes are moved
+by the processor and land in o.  The paper still uses the model
+qualitatively: "NIs that require processor involvement for data
+transfer have a higher processor occupancy".
+
+This probe measures the decomposition and makes that argument
+quantitative:
+
+- ``o_send`` — processor time per send (timer states send+buffering),
+  measured on widely spaced messages;
+- ``o_recv`` — processor time per receive (extraction + dispatch);
+- ``L`` — one-way wire-to-wire residue: delivery time minus the two
+  overheads;
+- ``g`` — the gap: per-message time at streaming saturation
+  (1/throughput).
+
+The LogP experiment tabulates these for every NI; the benchmark
+asserts the paper's occupancy claim (processor-managed NIs have much
+higher o than NI-managed ones, which instead carry their transfer
+time in L).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.workloads.base import Workload, WorkloadResult
+
+
+@dataclass
+class LogPSample:
+    """Measured LogP decomposition for one NI and payload."""
+
+    ni_name: str
+    payload_bytes: int
+    o_send_ns: float
+    o_recv_ns: float
+    latency_ns: float        #: residual L (delivery - o_send - o_recv)
+    gap_ns: float            #: g at saturation
+    delivery_ns: float       #: raw mean send-start -> handler-done
+
+    @property
+    def total_overhead_ns(self) -> float:
+        return self.o_send_ns + self.o_recv_ns
+
+
+class LogPProbe(Workload):
+    """Two-node probe measuring o_send, o_recv, L and g."""
+
+    name = "logp"
+    num_nodes = 2
+
+    def __init__(self, payload_bytes: int = 8, samples: int = 40,
+                 stream: int = 120, spacing_ns: int = 20_000):
+        self.payload_bytes = payload_bytes
+        self.samples = samples
+        self.stream = stream
+        self.spacing_ns = spacing_ns
+
+    def prepare(self, machine) -> None:
+        self._phase = "latency"
+        self._delivered = 0
+        self._send_started = {}
+        self._delivery_ns = []
+        self._recv_marks = []
+        self._stream_done = 0
+        self._stream_t0: Optional[int] = None
+        self._stream_t1: Optional[int] = None
+
+        def on_probe(rt, msg):
+            self._delivered += 1
+            self._delivery_ns.append(
+                rt.sim.now - self._send_started[msg.body]
+            )
+
+        def on_stream(rt, msg):
+            self._stream_done += 1
+            if self._stream_done == 1:
+                self._stream_t0 = rt.sim.now
+            if self._stream_done == self.stream:
+                self._stream_t1 = rt.sim.now
+
+        machine.node(1).runtime.register_handler("logp_probe", on_probe)
+        machine.node(1).runtime.register_handler("logp_stream", on_stream)
+
+    def node_main(self, machine, node) -> Generator:
+        if node.node_id == 0:
+            yield from self._sender(machine, node)
+        else:
+            yield from self._receiver(machine, node)
+
+    def _sender(self, machine, node) -> Generator:
+        runtime = node.runtime
+        timer = node.timer
+        self._o_send_samples = []
+        # Phase 1: widely spaced one-way messages (no queueing effects).
+        for i in range(self.samples):
+            before = timer.totals().get("send", 0)
+            self._send_started[i] = machine.sim.now
+            yield from runtime.send(1, "logp_probe", self.payload_bytes,
+                                    body=i)
+            after_totals = timer.totals()
+            self._o_send_samples.append(
+                after_totals.get("send", 0) - before
+                + 0  # buffering is zero for spaced sends
+            )
+            yield from node.compute(self.spacing_ns)
+        yield from runtime.wait_for(
+            lambda: self._delivered >= self.samples
+        )
+        # Phase 2: saturation stream for g.
+        for _ in range(self.stream):
+            yield from runtime.send(1, "logp_stream", self.payload_bytes)
+        yield from runtime.wait_for(
+            lambda: self._stream_done >= self.stream
+        )
+
+    def _receiver(self, machine, node) -> Generator:
+        runtime = node.runtime
+        timer = node.timer
+        # Serve phase 1 message-by-message, sampling receive occupancy.
+        while self._delivered < self.samples:
+            before = timer.totals().get("receive", 0)
+            msg = yield from runtime.receive_one()
+            if msg is None:
+                node.timer.push("wait")
+                arrival = node.ni.wait_signal()
+                recheck = machine.sim.timeout(1000)
+                yield machine.sim.any_of([arrival, recheck])
+                node.timer.pop()
+            else:
+                self._recv_marks.append(
+                    timer.totals().get("receive", 0) - before
+                )
+        # Phase 2: consume the stream flat out.
+        while self._stream_done < self.stream:
+            msg = yield from runtime.receive_one()
+            if msg is None:
+                node.timer.push("wait")
+                arrival = node.ni.wait_signal()
+                recheck = machine.sim.timeout(1000)
+                yield machine.sim.any_of([arrival, recheck])
+                node.timer.pop()
+
+    # -- result assembly ---------------------------------------------------
+
+    def run(self, *args, **kwargs) -> WorkloadResult:
+        result = super().run(*args, **kwargs)
+        o_send = sum(self._o_send_samples) / len(self._o_send_samples)
+        o_recv = sum(self._recv_marks) / max(1, len(self._recv_marks))
+        delivery = sum(self._delivery_ns) / len(self._delivery_ns)
+        latency = max(0.0, delivery - o_send - o_recv)
+        span = (self._stream_t1 - self._stream_t0) if self._stream_t1 else 0
+        gap = span / max(1, self.stream - 1)
+        sample = LogPSample(
+            ni_name=result.ni_name,
+            payload_bytes=self.payload_bytes,
+            o_send_ns=o_send,
+            o_recv_ns=o_recv,
+            latency_ns=latency,
+            gap_ns=gap,
+            delivery_ns=delivery,
+        )
+        result.extras["logp"] = sample
+        return result

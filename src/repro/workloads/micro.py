@@ -1,0 +1,179 @@
+"""The two microbenchmarks of Section 6.1.
+
+- :class:`PingPong`: process-to-process round-trip latency.  "Data
+  begins in the sending processor's cache and ends in the receiving
+  processor's cache" — the runtime's copy costs model the
+  messaging-layer copies the paper includes.
+- :class:`StreamBandwidth`: process-to-process bandwidth.  Payloads
+  above one network message are fragmented, as the Tempest layer
+  would; the receiver consumes every message.  Optional send
+  throttling reproduces the CNI_32Qm+Throttle row of Table 5.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.network.message import fragment_payload
+from repro.workloads.base import Workload, WorkloadResult
+
+
+class PingPong(Workload):
+    """Round-trip latency between node 0 and node 1."""
+
+    name = "pingpong"
+    num_nodes = 2
+
+    def __init__(self, payload_bytes: int = 8, rounds: int = 100,
+                 warmup: int = 10):
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        if rounds < 1:
+            raise ValueError("need at least one timed round")
+        self.payload_bytes = payload_bytes
+        self.rounds = rounds
+        self.warmup = warmup
+
+    def prepare(self, machine) -> None:
+        self._pongs = 0
+        self._done = False
+        self._t_start = None
+        self._t_end = None
+        # Payloads above one network message are fragmented, as the
+        # messaging layer would (the paper's 256-byte-payload round
+        # trip cannot fit one 256-byte network message + header).
+        params = machine.params
+        self._frags = fragment_payload(
+            self.payload_bytes,
+            max_message_bytes=params.network_message_bytes,
+            header_bytes=params.header_bytes,
+        )
+        nfrags = len(self._frags)
+        ping_frags = {"n": 0}
+        pong_frags = {"n": 0}
+
+        def on_ping(rt, msg):
+            ping_frags["n"] += 1
+            if ping_frags["n"] % nfrags == 0:
+                for frag in self._frags:
+                    yield from rt.send(0, "pong", frag, record=False)
+
+        def on_pong(rt, msg):
+            pong_frags["n"] += 1
+            if pong_frags["n"] % nfrags == 0:
+                self._pongs += 1
+
+        machine.node(1).runtime.register_handler("ping", on_ping)
+        machine.node(0).runtime.register_handler("pong", on_pong)
+
+    def node_main(self, machine, node) -> Generator:
+        if node.node_id == 0:
+            runtime = node.runtime
+            for i in range(self.warmup + self.rounds):
+                if i == self.warmup:
+                    self._t_start = machine.sim.now
+                for frag in self._frags:
+                    yield from runtime.send(1, "ping", frag, record=False)
+                runtime.sent_sizes.add(
+                    self.payload_bytes + machine.params.header_bytes
+                )
+                target = i + 1
+                yield from runtime.wait_for(lambda: self._pongs >= target)
+            self._t_end = machine.sim.now
+            self._done = True
+        else:
+            yield from node.runtime.wait_for(lambda: self._done)
+
+    def run(self, *args, **kwargs) -> WorkloadResult:
+        result = super().run(*args, **kwargs)
+        round_trip_ns = (self._t_end - self._t_start) / self.rounds
+        result.extras["round_trip_ns"] = round_trip_ns
+        result.extras["round_trip_us"] = round_trip_ns / 1000.0
+        return result
+
+
+class StreamBandwidth(Workload):
+    """One-way streaming bandwidth from node 0 to node 1.
+
+    ``payload_bytes`` may exceed one network message (e.g. the 4096-byte
+    column of Table 5); it is then fragmented.  Bandwidth is counted
+    over *payload* bytes, end of warm-up to last delivery, and the
+    receiving process consumes every message (process-to-process).
+    """
+
+    name = "bandwidth"
+    num_nodes = 2
+
+    def __init__(self, payload_bytes: int = 256, transfers: int = 200,
+                 warmup: int = 20, throttle_ns: int = 0):
+        if transfers < 1:
+            raise ValueError("need at least one transfer")
+        self.payload_bytes = payload_bytes
+        self.transfers = transfers
+        self.warmup = warmup
+        self.throttle_ns = throttle_ns
+
+    def prepare(self, machine) -> None:
+        params = machine.params
+        self._fragments = fragment_payload(
+            self.payload_bytes,
+            max_message_bytes=params.network_message_bytes,
+            header_bytes=params.header_bytes,
+        )
+        self._frags_per_transfer = len(self._fragments)
+        total = self.warmup + self.transfers
+        self._expected_frags = total * self._frags_per_transfer
+        self._received_frags = 0
+        self._t_recv_mark: Optional[int] = None
+        self._t_recv_end: Optional[int] = None
+        machine.node(0).ni.throttle_ns = self.throttle_ns
+
+        warm_frags = self.warmup * self._frags_per_transfer
+
+        def on_data(rt, msg):
+            self._received_frags += 1
+            if self._received_frags == warm_frags:
+                self._t_recv_mark = rt.sim.now
+            if self._received_frags == self._expected_frags:
+                self._t_recv_end = rt.sim.now
+
+        machine.node(1).runtime.register_handler("stream", on_data)
+
+    def node_main(self, machine, node) -> Generator:
+        if node.node_id == 0:
+            runtime = node.runtime
+            for _ in range(self.warmup + self.transfers):
+                for frag in self._fragments:
+                    yield from runtime.send(1, "stream", frag, record=False)
+                runtime.sent_sizes.add(
+                    self.payload_bytes + machine.params.header_bytes
+                )
+            # Stay alive (and keep servicing retries) until the
+            # receiver has consumed everything.
+            yield from runtime.wait_for(
+                lambda: self._received_frags >= self._expected_frags
+            )
+        else:
+            # Streaming consumer: extract and handle one message at a
+            # time, so consumption timestamps reflect the full
+            # per-message receive cost (process-to-process bandwidth).
+            runtime = node.runtime
+            while self._received_frags < self._expected_frags:
+                msg = yield from runtime.receive_one()
+                if msg is None:
+                    if node.ni.has_message():
+                        continue  # arrived during the empty poll
+                    node.timer.push("wait")
+                    arrival = node.ni.wait_signal()
+                    recheck = machine.sim.timeout(1000)
+                    yield machine.sim.any_of([arrival, recheck])
+                    node.timer.pop()
+
+    def run(self, *args, **kwargs) -> WorkloadResult:
+        result = super().run(*args, **kwargs)
+        span_ns = self._t_recv_end - (self._t_recv_mark or 0)
+        payload_total = self.transfers * self.payload_bytes
+        mb_per_s = (payload_total / 1e6) / (span_ns / 1e9) if span_ns else 0.0
+        result.extras["bandwidth_mb_s"] = mb_per_s
+        result.extras["span_ns"] = span_ns
+        return result

@@ -1,0 +1,39 @@
+"""Registry of the seven macrobenchmarks (Table 4 order)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.workloads.appbt import Appbt
+from repro.workloads.barnes import Barnes
+from repro.workloads.base import Workload
+from repro.workloads.dsmc import Dsmc
+from repro.workloads.em3d import Em3d
+from repro.workloads.moldyn import Moldyn
+from repro.workloads.spsolve import Spsolve
+from repro.workloads.unstructured import Unstructured
+
+_REGISTRY: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (Appbt, Barnes, Dsmc, Em3d, Moldyn, Spsolve, Unstructured)
+}
+
+#: The seven macrobenchmarks, in the paper's (alphabetical) order.
+MACRO_NAMES: Tuple[str, ...] = (
+    "appbt", "barnes", "dsmc", "em3d", "moldyn", "spsolve", "unstructured",
+)
+
+
+def workload_class(name: str) -> Type[Workload]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown workload {name!r}; known: {known}"
+        ) from None
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Construct a macrobenchmark by name with optional overrides."""
+    return workload_class(name)(**kwargs)

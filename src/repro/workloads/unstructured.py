@@ -1,0 +1,90 @@
+"""unstructured — CFD on an unstructured mesh, batched-update model.
+
+"This application has a static, single-producer, multiple-consumer
+communication pattern.  Updates to a single consumer are batched and
+sent in bulk messages."  Table 4 reports one peak at 8 bytes plus a
+broad 12-1812 byte range averaging 351 bytes.
+
+The model: each producer has a fixed set of consumer nodes; every
+iteration it streams one batched update (size drawn deterministically
+from a spread matching the paper's range) to each consumer over a
+virtual channel, preceded by an 8-byte go-ahead.  The workload's
+character is *streaming*: large back-to-back transfers whose cost is
+the NI's bandwidth — which is why the AP3000-like NI (and CNI_512Q)
+edge out CNI_32Qm here, the one macrobenchmark CNI_32Qm loses
+(Figure 3b).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from repro.tempest import Barrier, VirtualChannel
+from repro.workloads.base import Workload
+
+#: Batched-update payload sizes (bytes): deterministic spread over the
+#: paper's 12-1812 range with a ~343 B mean => ~351 B wire average.
+BATCH_SIZES = (40, 120, 200, 343, 343, 400, 500, 800)
+
+
+class Unstructured(Workload):
+    """Single-producer, multiple-consumer batched bulk updates."""
+
+    name = "unstructured"
+
+    def __init__(self, iterations: int = 4, consumers: int = 5,
+                 compute_ns: int = 60_000, seed: int = 23):
+        self.iterations = iterations
+        self.consumers = consumers
+        self.compute_ns = compute_ns
+        self.seed = seed
+
+    def prepare(self, machine) -> None:
+        self.barrier = Barrier(machine, name="unstr_bar")
+        n = len(machine)
+        rng = random.Random(self.seed)
+        #: producer -> fixed consumer list (static mesh partition).
+        self._consumers = {
+            node.node_id: rng.sample(
+                [p for p in range(n) if p != node.node_id],
+                min(self.consumers, n - 1),
+            )
+            for node in machine
+        }
+        #: (producer, consumer) -> channel.
+        self._channels = {}
+        for producer, consumers in self._consumers.items():
+            for consumer in consumers:
+                self._channels[(producer, consumer)] = VirtualChannel(
+                    machine, producer, consumer,
+                    name=f"unstr_{producer}_{consumer}",
+                )
+        #: per-(producer, iteration, consumer) batch size.
+        self._sizes = {
+            (producer, it, consumer): BATCH_SIZES[
+                rng.randrange(len(BATCH_SIZES))
+            ]
+            for producer in self._consumers
+            for it in range(self.iterations)
+            for consumer in self._consumers[producer]
+        }
+
+        def on_go(rt, msg):
+            pass
+
+        for node in machine:
+            node.runtime.register_handler("unstr_go", on_go)
+
+    def node_main(self, machine, node) -> Generator:
+        me = node.node_id
+        for iteration in range(self.iterations):
+            yield from node.compute(self.compute_ns)
+            for consumer in self._consumers[me]:
+                # 8-byte go-ahead (the Table 4 8-byte peak) ...
+                yield from node.runtime.send(consumer, "unstr_go", 0)
+                # ... then the batched bulk update.
+                size = self._sizes[(me, iteration, consumer)]
+                yield from self._channels[(me, consumer)].send(size)
+            yield from self.barrier.wait(node)
+        yield from self.shutdown(machine, node, self.barrier)

@@ -1,0 +1,54 @@
+"""Unit tests for the cost-model primitives and machine re-export."""
+
+import pytest
+
+from repro.analysis import CostModel
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+
+
+def model():
+    return CostModel(DEFAULT_PARAMS, DEFAULT_COSTS)
+
+
+def test_uncached_access_arithmetic():
+    # 16 (address) + 60 (NI SRAM) + 4 (one 32B beat) = 80 ns.
+    assert model().uncached_access_ns(8) == 80
+    # 64B block op: 16 + 60 + 8 = 84.
+    assert model().block_op_ns(64) == 84
+
+
+def test_miss_arithmetic():
+    # 16 + 120 + 8 + 1 = 145 from memory; 16 + 60 + 8 + 1 = 85 from
+    # the NI cache.
+    assert model().miss_from_memory_ns() == 145
+    assert model().miss_from_ni_cache_ns() == 85
+
+
+def test_engine_fetch_arithmetic():
+    # 16 + 30 (cache-to-cache supply) + 8 = 54.
+    assert model().engine_fetch_ns() == 54
+
+
+def test_upgrade_arithmetic():
+    assert model().upgrade_store_ns() == 17
+
+
+def test_prediction_monotone_in_payload():
+    m = model()
+    for ni_name in ("cm5", "ap3000", "startjr", "cni32qm"):
+        small = m.predict(ni_name, 8)
+        large = m.predict(ni_name, 248)
+        assert large.o_send_ns >= small.o_send_ns
+        assert large.o_recv_ns >= small.o_recv_ns
+
+
+def test_one_way_floor_includes_network():
+    prediction = model().predict("cni32qm", 8)
+    assert prediction.one_way_floor_ns >= prediction.o_send_ns + 40
+
+
+def test_machine_reexport():
+    from repro.machine import Machine as M1
+    from repro.node import Machine as M2
+
+    assert M1 is M2

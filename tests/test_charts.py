@@ -1,0 +1,59 @@
+"""Tests for the text chart renderers."""
+
+from repro.experiments.charts import grouped_chart, hbar_chart, stacked_chart
+
+
+def test_hbar_basic_scaling():
+    text = hbar_chart([("a", 1.0), ("bb", 2.0)], width=10)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    # Full-scale bar for the max.
+    assert lines[1].count("#") == 10
+    assert lines[0].count("#") == 5
+    assert "1.00" in lines[0] and "2.00" in lines[1]
+
+
+def test_hbar_empty():
+    assert hbar_chart([]) == "(no data)"
+
+
+def test_hbar_reference_marker():
+    text = hbar_chart([("x", 0.5), ("y", 2.0)], width=20, reference=1.0)
+    assert "|" in text
+
+
+def test_stacked_sums_and_legend():
+    text = stacked_chart(
+        [("w", {"compute": 0.5, "buffering": 0.5})],
+        segments=("compute", "buffering"),
+        width=10,
+    )
+    lines = text.splitlines()
+    assert lines[0].count("#") == 5   # first segment
+    assert lines[0].count("=") == 5   # second segment
+    assert "#=compute" in lines[-1]
+    assert "==buffering" in lines[-1].replace("=buffering", "=buffering")
+
+
+def test_stacked_handles_missing_segment():
+    text = stacked_chart([("w", {"compute": 1.0})],
+                         segments=("compute", "buffering"))
+    assert "(no data)" not in text
+
+
+def test_grouped_chart_reference_line():
+    text = grouped_chart(
+        [("bench", [("ni-a", 0.5), ("ni-b", 1.5)])], width=20,
+        reference=1.0,
+    )
+    assert "bench:" in text
+    assert text.count("|") == 2      # reference mark on both bars
+    assert "0.50" in text and "1.50" in text
+
+
+def test_charts_render_in_figure1_output():
+    # Integration: the figure experiment carries a chart.
+    from repro.experiments import figure1
+    # Use the cheap plumbing path.
+    b = figure1.breakdown_for("em3d", quick=True)
+    assert 0 <= b["buffering"] <= 1

@@ -1,0 +1,91 @@
+"""Unit tests for system parameters (Table 3) and software costs."""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS, SoftwareCosts, SystemParams
+
+
+def test_defaults_match_table3():
+    p = DEFAULT_PARAMS
+    assert p.num_nodes == 16
+    assert p.proc_clock_ghz == 1.0
+    assert p.cache_block_bytes == 64
+    assert p.cache_bytes == 1 << 20
+    assert p.cache_associativity == 1          # direct-mapped
+    assert p.mem_access_ns == 120
+    assert p.bus_width_bits == 256
+    assert p.bus_clock_mhz == 250
+    assert p.network_message_bytes == 256
+    assert p.network_latency_ns == 40
+    assert p.ni_mem_access_ns == 60
+    assert p.flow_control_buffers == 8
+
+
+def test_derived_cycle_times():
+    p = DEFAULT_PARAMS
+    assert p.cycle_ns == 1       # 1 GHz
+    assert p.bus_cycle_ns == 4   # 250 MHz
+    assert p.bus_width_bytes == 32
+
+
+def test_cache_geometry():
+    p = DEFAULT_PARAMS
+    assert p.cache_sets == (1 << 20) // 64
+    assert p.blocks_for(1) == 1
+    assert p.blocks_for(64) == 1
+    assert p.blocks_for(65) == 2
+    assert p.blocks_for(256) == 4
+
+
+def test_data_cycles_rounding():
+    p = DEFAULT_PARAMS
+    assert p.data_cycles(1) == 1
+    assert p.data_cycles(32) == 1
+    assert p.data_cycles(33) == 2
+    assert p.data_cycles(64) == 2
+    assert p.data_cycles(256) == 8
+
+
+def test_max_payload():
+    assert DEFAULT_PARAMS.max_payload_bytes == 248
+
+
+def test_replace_returns_modified_copy():
+    p = DEFAULT_PARAMS.replace(flow_control_buffers=2)
+    assert p.flow_control_buffers == 2
+    assert DEFAULT_PARAMS.flow_control_buffers == 8
+    assert isinstance(p, SystemParams)
+
+
+def test_infinite_flow_control_is_none():
+    p = DEFAULT_PARAMS.replace(flow_control_buffers=None)
+    p.validate()
+    assert p.flow_control_buffers is None
+
+
+@pytest.mark.parametrize(
+    "changes",
+    [
+        {"num_nodes": 0},
+        {"cache_block_bytes": 48},
+        {"cache_bytes": 100},
+        {"bus_width_bits": 100},
+        {"header_bytes": 512},
+        {"flow_control_buffers": 0},
+    ],
+)
+def test_validate_rejects_bad_params(changes):
+    with pytest.raises(ValueError):
+        DEFAULT_PARAMS.replace(**changes).validate()
+
+
+def test_default_params_validate():
+    DEFAULT_PARAMS.validate()
+
+
+def test_software_costs_defaults():
+    c = DEFAULT_COSTS
+    assert c.blkbuf_flush == 12       # stated in the paper, Sec. 6.1.1
+    assert c.udma_threshold == 96     # stated in the paper, Sec. 6.1.1
+    assert c.replace(udma_threshold=128).udma_threshold == 128
+    assert isinstance(c, SoftwareCosts)

@@ -1,0 +1,70 @@
+"""Validate the closed-form cost model against the simulator.
+
+If the analytical predictions and the LogP measurements diverge, one
+of them has a stray or missing cost — this is the cross-check that the
+simulator implements exactly the model DESIGN.md describes.
+"""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.analysis import CostModel, predict
+from repro.workloads.logp import LogPProbe
+
+MODELED_NIS = ("cm5", "ap3000", "startjr", "cni512q", "cni32qm")
+
+
+def measured(ni_name, payload):
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, ni_name, num_nodes=2)
+    workload = LogPProbe(payload_bytes=payload, samples=10, stream=30)
+    return workload.run(machine=machine).extras["logp"]
+
+
+@pytest.mark.parametrize("ni_name", MODELED_NIS)
+@pytest.mark.parametrize("payload", [8, 120, 248])
+def test_predicted_send_occupancy_matches_measured(ni_name, payload):
+    prediction = predict(ni_name, payload)
+    sample = measured(ni_name, payload)
+    assert sample.o_send_ns == pytest.approx(
+        prediction.o_send_ns, rel=0.10
+    ), (ni_name, payload, prediction.o_send_ns, sample.o_send_ns)
+
+
+@pytest.mark.parametrize("ni_name", MODELED_NIS)
+def test_predicted_receive_occupancy_matches_measured(ni_name):
+    prediction = predict(ni_name, 120)
+    sample = measured(ni_name, 120)
+    assert sample.o_recv_ns == pytest.approx(
+        prediction.o_recv_ns, rel=0.15
+    ), (ni_name, prediction.o_recv_ns, sample.o_recv_ns)
+
+
+def test_one_way_floor_is_a_lower_bound():
+    for ni_name in MODELED_NIS:
+        prediction = predict(ni_name, 56)
+        sample = measured(ni_name, 56)
+        assert sample.delivery_ns >= prediction.one_way_floor_ns * 0.95, (
+            ni_name, prediction.one_way_floor_ns, sample.delivery_ns
+        )
+
+
+def test_model_orderings_match_paper():
+    # The closed forms alone already reproduce the qualitative story.
+    o = {n: predict(n, 248).o_send_ns for n in MODELED_NIS}
+    assert o["cm5"] > o["ap3000"] > o["cni32qm"]
+    recv = {n: predict(n, 248).o_recv_ns for n in MODELED_NIS}
+    assert recv["cni32qm"] < recv["startjr"]       # NI-cache supply
+    assert recv["cm5"] == max(recv.values())       # word-at-a-time pops
+
+
+def test_unknown_ni_rejected():
+    with pytest.raises(ValueError):
+        predict("nonexistent", 8)
+
+
+def test_cost_model_scales_with_params():
+    fast_mem = DEFAULT_PARAMS.replace(mem_access_ns=60)
+    model = CostModel(fast_mem, DEFAULT_COSTS)
+    slow = predict("startjr", 248)
+    fast = model.predict("startjr", 248)
+    assert fast.o_recv_ns < slow.o_recv_ns   # memory latency shows up

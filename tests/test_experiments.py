@@ -1,0 +1,78 @@
+"""Tests for the experiment harness (fast paths + structure)."""
+
+import pytest
+
+from repro.experiments import table1, table2, table3, runner
+from repro.experiments.common import ExperimentResult, format_table
+from repro.ni.registry import ALL_NI_NAMES
+
+
+def test_table1_is_static_and_complete():
+    result = table1.run()
+    assert len(result.rows) == 5
+    switches = [row[0] for row in result.rows]
+    assert "TMC CM-5 network router" in switches
+    # Derived column: nobody buffers even two 256B messages.
+    assert all(float(row[2]) < 2.0 for row in result.rows)
+
+
+def test_table2_covers_all_nis():
+    result = table2.run()
+    names = [row[0] for row in result.rows]
+    assert len(names) == len(ALL_NI_NAMES)
+    assert "CNI_32Q_m" in names
+    assert "NI_2w" in names
+
+
+def test_table3_matches_config():
+    result = table3.run()
+    assert result.cell("Network latency", "Value") == "40 ns"
+    assert result.cell("Memory bus width", "Value") == "256 bits"
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "long header"], [["x", 1], ["yy", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    # All rows padded to equal width per column.
+    assert len(set(len(l) for l in lines[1:])) <= 2
+
+
+def test_experiment_result_cell_lookup():
+    result = ExperimentResult(
+        experiment="x", headers=["k", "v"], rows=[["a", 1], ["b", 2]]
+    )
+    assert result.cell("b", "v") == 2
+    with pytest.raises(KeyError):
+        result.cell("zzz", "v")
+
+
+def test_result_format_includes_notes():
+    result = ExperimentResult(
+        experiment="t", headers=["h"], rows=[["r"]], notes=["important"]
+    )
+    assert "note: important" in result.format()
+
+
+# ------------------------------------------------------------- runner CLI
+
+def test_runner_list(capsys):
+    assert runner.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table5" in out and "figure4" in out
+
+
+def test_runner_rejects_unknown(capsys):
+    assert runner.main(["nonsense"]) == 2
+
+
+def test_runner_runs_static_tables(capsys):
+    assert runner.main(["table1", "table2", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 2" in out and "Table 3" in out
+
+
+def test_runner_no_args_lists(capsys):
+    assert runner.main([]) == 0
+    assert "table1" in capsys.readouterr().out

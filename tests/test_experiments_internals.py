@@ -1,0 +1,85 @@
+"""Tests for experiment-harness internals."""
+
+import pytest
+
+from repro.experiments.common import (
+    NI_LABELS,
+    default_params,
+    fcb_label,
+    label,
+    workload_kwargs,
+)
+from repro.ni.registry import ALL_NI_NAMES
+
+
+def test_fcb_label():
+    assert fcb_label(None) == "inf"
+    assert fcb_label(8) == "8"
+
+
+def test_labels_cover_all_nis():
+    for name in ALL_NI_NAMES + ("cm5-1cyc",):
+        assert name in NI_LABELS
+    assert label("cm5") == "CM-5-like NI"
+    assert label("unknown-ni") == "unknown-ni"   # graceful fallback
+
+
+def test_default_params_flow_control():
+    assert default_params().flow_control_buffers == 8
+    assert default_params(flow_control_buffers=None).flow_control_buffers is None
+    assert default_params(flow_control_buffers=2).flow_control_buffers == 2
+
+
+def test_workload_kwargs_quick_vs_full():
+    assert workload_kwargs("em3d", quick=False) == {}
+    quick = workload_kwargs("em3d", quick=True)
+    assert quick.get("iterations") is not None
+    # The returned dict is a copy: mutating it must not leak.
+    quick["iterations"] = 999
+    assert workload_kwargs("em3d", quick=True)["iterations"] != 999
+
+
+def test_table4_dominant_sizes():
+    from repro.experiments.table4 import dominant_sizes
+    from repro.sim import Histogram
+
+    h = Histogram()
+    h.add(12, count=70)
+    h.add(140, count=25)
+    h.add(99, count=5)
+    peaks = dominant_sizes(h, top=2)
+    assert peaks == [(12, 0.70), (140, 0.25)]
+
+
+def test_table5_machine_builder_forces_udma():
+    from repro.experiments.table5 import _machine
+
+    machine = _machine("udma")
+    assert machine.node(0).ni.always_udma
+    machine = _machine("cm5", throttle_ns=500)
+    assert machine.node(0).ni.throttle_ns == 500
+
+
+def test_figure1_groups_cover_all_timer_states():
+    from repro.workloads.base import FIGURE1_GROUPS
+
+    covered = {s for states in FIGURE1_GROUPS.values() for s in states}
+    assert covered == {"compute", "wait", "send", "receive", "buffering"}
+
+
+def test_workload_result_summary_and_breakdown_roundtrip():
+    from repro.sim import Histogram
+    from repro.workloads.base import WorkloadResult
+
+    result = WorkloadResult(
+        workload="w", ni_name="cm5", elapsed_ns=1000,
+        states={"compute": 500, "send": 300, "buffering": 200},
+        messages_sent=5, message_sizes=Histogram(), bounces=2,
+        flow_control_buffers=8,
+    )
+    b = result.breakdown()
+    assert b["compute"] == 0.5
+    assert b["data_transfer"] == 0.3
+    assert b["buffering"] == 0.2
+    assert "cm5" in result.summary()
+    assert result.elapsed_us == 1.0

@@ -1,0 +1,45 @@
+"""Fast smoke tests for the figure experiments (tiny workloads).
+
+The benchmark suite runs the calibrated quick/full configurations;
+these tests only verify the experiment plumbing end-to-end with
+minimal workloads, so the unit suite stays fast.
+"""
+
+from repro.experiments import figure1, figure3, figure4
+
+TINY = ("em3d",)
+
+
+def test_figure3a_plumbing():
+    result = figure3.run_figure3a(quick=True, workloads=TINY)
+    assert any(row[0] == "em3d" for row in result.rows)
+    matrix = result.extras["matrix"]
+    # Baseline normalisation: AP3000 at fcb=8 is exactly 1.0.
+    normalized = result.extras["normalized"]
+    assert normalized[("em3d", "ap3000", 8)] == 1.0
+    # Sanity: fcb=1 is the worst configuration for every fifo NI.
+    for ni in ("cm5", "udma", "ap3000"):
+        times = [matrix[("em3d", ni, f)] for f in (1, 2, 8, None)]
+        assert times[0] == max(times)
+
+
+def test_figure3b_plumbing():
+    result = figure3.run_figure3b(quick=True, workloads=TINY)
+    normalized = result.extras["normalized"]
+    assert ("em3d", "cni32qm") in normalized
+    assert all(v > 0 for v in normalized.values())
+
+
+def test_figure4_plumbing():
+    result = figure4.run(quick=True, workloads=TINY)
+    normalized = result.extras["normalized"]
+    assert ("em3d", 1) in normalized
+    # More buffers never hurt the register-mapped NI.
+    assert normalized[("em3d", None)] <= normalized[("em3d", 1)] * 1.02
+
+
+def test_figure1_breakdown_sums_to_one():
+    b = figure1.breakdown_for("em3d", quick=True)
+    total = b["compute"] + b["data_transfer"] + b["buffering"]
+    assert abs(total - 1.0) < 1e-9
+    assert b["t1_us"] >= b["tinf_us"] * 0.98

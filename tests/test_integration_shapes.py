@@ -1,0 +1,107 @@
+"""Integration tests asserting the paper's headline shapes at
+unit-test scale (fast versions of the benchmark assertions)."""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.workloads.micro import PingPong, StreamBandwidth
+
+
+def rt_us(ni_name, payload, rounds=30, always_udma=False):
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, ni_name, num_nodes=2)
+    if always_udma:
+        for node in machine:
+            node.ni.always_udma = True
+    workload = PingPong(payload_bytes=payload, rounds=rounds)
+    return workload.run(machine=machine).extras["round_trip_us"]
+
+
+def bw_mb(ni_name, payload, transfers=60, throttle_ns=0):
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, ni_name, num_nodes=2)
+    workload = StreamBandwidth(payload_bytes=payload, transfers=transfers,
+                               throttle_ns=throttle_ns)
+    return workload.run(machine=machine).extras["bandwidth_mb_s"]
+
+
+# ----------------------------------------------------- Table 5 latency
+
+def test_cni32qm_has_best_latency_everywhere():
+    for payload in (8, 64, 248):
+        winner = rt_us("cni32qm", payload)
+        for other in ("cm5", "ap3000", "startjr", "cni512q", "memchannel"):
+            assert winner < rt_us(other, payload), (payload, other)
+
+
+def test_cm5_degrades_fastest_with_size():
+    small = {ni: rt_us(ni, 8) for ni in ("cm5", "ap3000", "cni32qm")}
+    large = {ni: rt_us(ni, 248) for ni in ("cm5", "ap3000", "cni32qm")}
+    growth = {ni: large[ni] / small[ni] for ni in small}
+    assert growth["cm5"] == max(growth.values())
+
+
+def test_udma_breakeven_exists():
+    # Pure UDMA loses small, wins large (Section 6.1.1).
+    assert rt_us("udma", 8, always_udma=True) > rt_us("cm5", 8)
+    assert rt_us("udma", 248, always_udma=True) < rt_us("cm5", 248)
+
+
+def test_ap3000_startjr_crossover():
+    assert rt_us("startjr", 8) < rt_us("ap3000", 8)
+    assert rt_us("ap3000", 248) < rt_us("startjr", 248)
+
+
+def test_cni512q_beats_startjr():
+    for payload in (8, 248):
+        assert rt_us("cni512q", payload) < rt_us("startjr", payload)
+
+
+def test_register_mapped_ni_wins_raw_latency():
+    # Latency is the register NI's strength; buffering is its weakness
+    # (Figure 4, covered by the figure benchmark).
+    assert rt_us("cm5-1cyc", 8) < rt_us("cni32qm", 8)
+
+
+# ----------------------------------------------------- Table 5 bandwidth
+
+def test_ap3000_out_bandwidths_cm5():
+    assert bw_mb("ap3000", 248) > 2 * bw_mb("cm5", 248)
+
+
+def test_throttling_helps_cni32qm_bandwidth():
+    plain = bw_mb("cni32qm", 248)
+    throttled = max(
+        bw_mb("cni32qm", 248, throttle_ns=t) for t in (400, 600, 900)
+    )
+    assert throttled > plain
+
+
+def test_unthrottled_cni32qm_below_ap3000():
+    # Receive-cache overflow under streaming (Section 6.1.2).
+    assert bw_mb("cni32qm", 248) < bw_mb("ap3000", 248)
+
+
+# ----------------------------------------------------- buffering
+
+def test_fifo_ni_sensitive_coherent_ni_insensitive():
+    def stream_time(ni_name, fcb):
+        params = DEFAULT_PARAMS.replace(flow_control_buffers=fcb)
+        machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
+        workload = StreamBandwidth(payload_bytes=56, transfers=60)
+        workload.run(machine=machine)
+        return machine.sim.now
+
+    cm5_penalty = stream_time("cm5", 1) / stream_time("cm5", None)
+    cni_penalty = stream_time("cni32qm", 1) / stream_time("cni32qm", None)
+    assert cm5_penalty > cni_penalty
+    assert cni_penalty < 1.1
+
+
+def test_processor_retries_cost_fifo_processors():
+    # Under overflow, fifo NIs burn processor time on buffering work.
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=1)
+    machine = Machine(params, DEFAULT_COSTS, "cm5", num_nodes=2)
+    workload = StreamBandwidth(payload_bytes=56, transfers=40)
+    workload.run(machine=machine)
+    tx = machine.node(0)
+    assert tx.ni.counters["processor_retries"] > 0
+    assert tx.timer.total("buffering") > 0

@@ -1,0 +1,125 @@
+"""Tests for the LogP probe and the DRAM banking extension."""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.memory.responders import BankModel, MainMemory
+from repro.node import Machine
+from repro.sim import Simulator
+from repro.workloads.logp import LogPProbe, LogPSample
+
+
+# ----------------------------------------------------------------- LogP
+
+def run_probe(ni_name, payload=56):
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, ni_name, num_nodes=2)
+    workload = LogPProbe(payload_bytes=payload, samples=8, stream=30)
+    return workload.run(machine=machine).extras["logp"]
+
+
+def test_logp_sample_fields_populated():
+    sample = run_probe("cni32qm")
+    assert isinstance(sample, LogPSample)
+    assert sample.o_send_ns > 0
+    assert sample.o_recv_ns > 0
+    assert sample.gap_ns > 0
+    assert sample.delivery_ns > sample.latency_ns
+
+
+def test_logp_occupancy_ordering():
+    cm5 = run_probe("cm5")
+    cni = run_probe("cni32qm")
+    assert cm5.total_overhead_ns > cni.total_overhead_ns
+    assert cni.latency_ns > cm5.latency_ns  # transfer moved into L
+
+
+def test_logp_overhead_grows_with_payload_for_cm5():
+    small = run_probe("cm5", payload=8)
+    large = run_probe("cm5", payload=248)
+    assert large.o_send_ns > 2 * small.o_send_ns
+
+
+def test_logp_decomposition_is_exact():
+    sample = run_probe("ap3000")
+    reconstructed = sample.o_send_ns + sample.latency_ns + sample.o_recv_ns
+    assert reconstructed == pytest.approx(sample.delivery_ns)
+
+
+# ----------------------------------------------------------------- banking
+
+def test_bank_reads_serialize():
+    sim = Simulator()
+    bank = BankModel(sim, access_ns=120)
+    done = []
+
+    def reader():
+        yield from bank.read_access()
+        done.append(sim.now)
+
+    sim.process(reader())
+    sim.process(reader())
+    sim.run()
+    assert done == [120, 240]
+
+
+def test_bank_posted_write_off_critical_path_until_buffer_full():
+    sim = Simulator()
+    bank = BankModel(sim, access_ns=120)
+    stamps = []
+
+    def writer():
+        for _ in range(BankModel.WRITE_BUFFER + 2):
+            yield from bank.post_write()
+            stamps.append(sim.now)
+
+    sim.process(writer())
+    sim.run()
+    # The first WRITE_BUFFER posts are instantaneous; beyond that the
+    # writer stalls for bank drains.
+    assert stamps[BankModel.WRITE_BUFFER - 1] == 0
+    assert stamps[-1] > 0
+    assert bank.counters["write_stall_ns"] > 0
+
+
+def test_bank_read_waits_behind_writes():
+    sim = Simulator()
+    bank = BankModel(sim, access_ns=120)
+    done = []
+
+    def writer():
+        for _ in range(4):
+            yield from bank.post_write()
+
+    def reader():
+        yield sim.timeout(1)
+        yield from bank.read_access()
+        done.append(sim.now)
+
+    sim.process(writer())
+    sim.process(reader())
+    sim.run()
+    assert done[0] > 120  # waited behind at least one write
+    assert bank.counters["read_wait_ns"] > 0
+
+
+def test_memory_banking_param_enables_bank():
+    params = DEFAULT_PARAMS.replace(memory_banking=True)
+    machine = Machine(params, DEFAULT_COSTS, "startjr", num_nodes=2)
+    assert machine.node(0).main_memory.bank is not None
+    plain = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "startjr", num_nodes=2)
+    assert plain.node(0).main_memory.bank is None
+
+
+def test_banking_slows_memory_steered_receive():
+    from repro.workloads.micro import StreamBandwidth
+
+    def bw(banked):
+        params = DEFAULT_PARAMS.replace(
+            flow_control_buffers=8, memory_banking=banked
+        )
+        machine = Machine(params, DEFAULT_COSTS, "startjr", num_nodes=2)
+        workload = StreamBandwidth(payload_bytes=248, transfers=150,
+                                   warmup=40)
+        return workload.run(machine=machine).extras["bandwidth_mb_s"]
+
+    assert bw(True) < bw(False)

@@ -1,0 +1,67 @@
+"""Unit tests for the node-local address map."""
+
+import pytest
+
+from repro.memory import AddressMap, Region
+from repro.memory.address import (
+    MAIN_MEMORY_BASE,
+    NI_RECV_QUEUE_BASE,
+    NI_REGISTER_BASE,
+    NI_SEND_QUEUE_BASE,
+)
+
+
+def test_region_contains_and_offset():
+    r = Region("r", 100, 50)
+    assert r.contains(100)
+    assert r.contains(149)
+    assert not r.contains(150)
+    assert not r.contains(99)
+    assert r.offset(110) == 10
+    with pytest.raises(ValueError):
+        r.offset(99)
+
+
+def test_region_validation():
+    with pytest.raises(ValueError):
+        Region("bad", 0, 0)
+    with pytest.raises(ValueError):
+        Region("bad", -1, 10)
+
+
+def test_region_overlap_detection():
+    a = Region("a", 0, 100)
+    assert a.overlaps(Region("b", 50, 100))
+    assert a.overlaps(Region("c", 0, 1))
+    assert not a.overlaps(Region("d", 100, 10))
+
+
+def test_standard_map_has_all_regions():
+    amap = AddressMap.standard()
+    for name in ("main_memory", "ni_registers", "ni_send_queue", "ni_recv_queue"):
+        assert name in amap
+
+
+def test_standard_map_lookup_by_address():
+    amap = AddressMap.standard()
+    assert amap.region_name(MAIN_MEMORY_BASE + 0x1000) == "main_memory"
+    assert amap.region_name(NI_REGISTER_BASE) == "ni_registers"
+    assert amap.region_name(NI_SEND_QUEUE_BASE + 64) == "ni_send_queue"
+    assert amap.region_name(NI_RECV_QUEUE_BASE + 64) == "ni_recv_queue"
+    assert amap.region_name(0xFFFF_FFF0) == "unmapped"
+    assert amap.find(0xFFFF_FFF0) is None
+
+
+def test_map_rejects_overlap_and_duplicates():
+    amap = AddressMap()
+    amap.add(Region("a", 0, 100))
+    with pytest.raises(ValueError):
+        amap.add(Region("b", 50, 10))
+    with pytest.raises(ValueError):
+        amap.add(Region("a", 1000, 10))
+
+
+def test_map_iteration():
+    amap = AddressMap.standard()
+    names = {region.name for region in amap}
+    assert "main_memory" in names and len(names) == 4

@@ -1,0 +1,209 @@
+"""Unit tests for the split-transaction memory bus."""
+
+import pytest
+
+from repro.config import DEFAULT_PARAMS
+from repro.memory import DeviceMemory, MainMemory, MemoryBus
+from repro.memory.bus import ADDRESS_PHASE_CYCLES
+from repro.memory.types import BusOp, SnoopReply, Supplier
+from repro.sim import Simulator
+
+
+def make_bus():
+    sim = Simulator()
+    bus = MemoryBus(sim, DEFAULT_PARAMS)
+    memory = MainMemory(DEFAULT_PARAMS)
+    bus.set_default_home(memory)
+    return sim, bus, memory
+
+
+def run_txn(sim, bus, *args, **kwargs):
+    results = []
+
+    def proc():
+        result = yield from bus.transaction(*args, **kwargs)
+        results.append(result)
+
+    sim.process(proc())
+    sim.run()
+    return results[0]
+
+
+ADDR_NS = ADDRESS_PHASE_CYCLES * DEFAULT_PARAMS.bus_cycle_ns  # 16 ns
+
+
+def test_uncached_read_latency_includes_device_access():
+    sim, bus, _ = make_bus()
+    ni_mem = DeviceMemory(DEFAULT_PARAMS)  # 60 ns
+    bus.set_home(bus.address_map["ni_registers"], ni_mem)
+    addr = bus.address_map["ni_registers"].base
+    result = run_txn(sim, bus, BusOp.UNCACHED_READ, addr, 8)
+    # 16 address + 60 device + 4 data (8 bytes <= one 32B beat)
+    assert result.elapsed_ns == ADDR_NS + 60 + 4
+    assert result.supplier.kind == "ni"
+
+
+def test_uncached_write_waits_for_device():
+    # Device stores are strongly ordered: they include the device
+    # write latency (unlike coherent writebacks, which are posted).
+    sim, bus, _ = make_bus()
+    ni_mem = DeviceMemory(DEFAULT_PARAMS)
+    bus.set_home(bus.address_map["ni_registers"], ni_mem)
+    addr = bus.address_map["ni_registers"].base
+    result = run_txn(sim, bus, BusOp.UNCACHED_WRITE, addr, 8)
+    assert result.elapsed_ns == ADDR_NS + 60 + 4
+
+
+def test_writeback_is_posted():
+    sim, bus, _ = make_bus()
+    result = run_txn(sim, bus, BusOp.WRITEBACK, 0x100, 64)
+    assert result.elapsed_ns == ADDR_NS + 8  # no memory latency
+
+
+def test_coherent_read_from_memory():
+    sim, bus, _ = make_bus()
+    result = run_txn(sim, bus, BusOp.READ, 0x1000, 64)
+    # 16 address + 120 memory + 2 data cycles (64B over 32B bus) = 8
+    assert result.elapsed_ns == ADDR_NS + 120 + 8
+    assert result.supplier.kind == "memory"
+    assert not result.shared
+
+
+def test_block_read_data_cycles_scale_with_size():
+    sim, bus, _ = make_bus()
+    r64 = run_txn(sim, bus, BusOp.BLOCK_READ, 0x0, 64)
+    sim2, bus2, _ = make_bus()
+    r256 = run_txn(sim2, bus2, BusOp.UNCACHED_READ, 0x0, 256)
+    assert r256.elapsed_ns - r64.elapsed_ns == (8 - 2) * DEFAULT_PARAMS.bus_cycle_ns
+
+
+def test_upgrade_has_no_data_phase():
+    sim, bus, _ = make_bus()
+    result = run_txn(sim, bus, BusOp.UPGRADE, 0x40, 64)
+    assert result.elapsed_ns == ADDR_NS
+
+
+def test_zero_size_rejected():
+    sim, bus, _ = make_bus()
+    with pytest.raises(ValueError):
+        run_txn(sim, bus, BusOp.READ, 0x0, 0)
+
+
+def test_missing_home_raises():
+    sim = Simulator()
+    bus = MemoryBus(sim, DEFAULT_PARAMS)
+    with pytest.raises(RuntimeError, match="no home"):
+        run_txn(sim, bus, BusOp.READ, 0x0, 64)
+
+
+def test_contention_serializes_address_phase():
+    sim, bus, _ = make_bus()
+    finish_times = []
+
+    def requester():
+        yield from bus.transaction(BusOp.UNCACHED_WRITE, 0x0, 8)
+        finish_times.append(sim.now)
+
+    sim.process(requester())
+    sim.process(requester())
+    sim.run()
+    # Second transaction cannot start its address phase until the first
+    # releases the address bus.
+    assert finish_times[0] == ADDR_NS + 120 + 4  # memory-homed device store
+    assert finish_times[1] >= finish_times[0] + 4
+
+
+def test_split_transactions_overlap_memory_access():
+    # Two reads: the second one's address phase proceeds while the
+    # first waits on the 120 ns memory access.
+    sim, bus, _ = make_bus()
+    finish_times = []
+
+    def requester(addr):
+        yield from bus.transaction(BusOp.READ, addr, 64)
+        finish_times.append(sim.now)
+
+    sim.process(requester(0x0))
+    sim.process(requester(0x1000))
+    sim.run()
+    serial = 2 * (ADDR_NS + 120 + 8)
+    assert finish_times[1] < serial  # overlap happened
+
+
+class FakeOwner:
+    """A snooper that owns one block and supplies it."""
+
+    name = "owner"
+    kind = "cache"
+
+    def __init__(self, addr):
+        self.addr = addr
+        self.snooped = []
+
+    def snoop(self, txn):
+        self.snooped.append(txn)
+        if txn.op is BusOp.READ and txn.addr == self.addr:
+            return SnoopReply(supplies=True, shared=True)
+        return SnoopReply()
+
+    def supplier(self):
+        return Supplier(self.name, 30, self.kind)
+
+
+def test_snooper_supplies_instead_of_memory():
+    sim, bus, _ = make_bus()
+    owner = FakeOwner(0x80)
+    bus.attach(owner)
+    result = run_txn(sim, bus, BusOp.READ, 0x80, 64)
+    assert result.supplier.name == "owner"
+    assert result.shared
+    assert result.elapsed_ns == ADDR_NS + 30 + 8
+
+
+def test_requester_does_not_snoop_itself():
+    sim, bus, _ = make_bus()
+    owner = FakeOwner(0x80)
+    bus.attach(owner)
+    result = run_txn(sim, bus, BusOp.READ, 0x80, 64, requester=owner)
+    assert owner.snooped == []
+    assert result.supplier.kind == "memory"
+
+
+def test_uncoherent_ops_do_not_snoop():
+    sim, bus, _ = make_bus()
+    owner = FakeOwner(0x80)
+    bus.attach(owner)
+    run_txn(sim, bus, BusOp.UNCACHED_READ, 0x80, 8)
+    assert owner.snooped == []
+
+
+def test_double_supplier_violation_detected():
+    sim, bus, _ = make_bus()
+    bus.attach(FakeOwner(0x80))
+    bus.attach(FakeOwner(0x80))
+    with pytest.raises(RuntimeError, match="coherence invariant"):
+        run_txn(sim, bus, BusOp.READ, 0x80, 64)
+
+
+def test_accounting_counts_ops_and_suppliers():
+    sim, bus, _ = make_bus()
+
+    def proc():
+        yield from bus.transaction(BusOp.READ, 0x0, 64)
+        yield from bus.transaction(BusOp.READ, 0x40, 64)
+        yield from bus.transaction(BusOp.WRITEBACK, 0x0, 64)
+
+    sim.process(proc())
+    sim.run()
+    assert bus.transactions() == 3
+    assert bus.transactions(BusOp.READ) == 2
+    assert bus.transactions(BusOp.WRITEBACK) == 1
+    assert bus.supplies_from("memory") == 2
+
+
+def test_attach_rejects_duplicates():
+    sim, bus, _ = make_bus()
+    owner = FakeOwner(0x0)
+    bus.attach(owner)
+    with pytest.raises(ValueError):
+        bus.attach(owner)

@@ -1,0 +1,199 @@
+"""Unit tests for the direct-mapped MOESI cache."""
+
+import pytest
+
+from repro.config import DEFAULT_PARAMS
+from repro.memory import Cache, CoherenceState, MainMemory, MemoryBus
+from repro.memory.types import BusOp
+from repro.sim import Simulator
+
+M = CoherenceState.MODIFIED
+O = CoherenceState.OWNED  # noqa: E741
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+I = CoherenceState.INVALID  # noqa: E741
+
+
+def make_system(num_caches=1, num_sets=None):
+    sim = Simulator()
+    bus = MemoryBus(sim, DEFAULT_PARAMS)
+    bus.set_default_home(MainMemory(DEFAULT_PARAMS))
+    caches = [
+        Cache(sim, bus, DEFAULT_PARAMS, name=f"cache{i}", num_sets=num_sets)
+        for i in range(num_caches)
+    ]
+    return sim, bus, caches
+
+
+def run(sim, gen):
+    p = sim.process(gen)
+    sim.run()
+    return p.value
+
+
+def test_load_miss_installs_exclusive_when_alone():
+    sim, _, (cache,) = make_system()
+    assert run(sim, cache.load(0x100)) == "miss"
+    assert cache.state_of(0x100) is E
+
+
+def test_load_hit_after_miss():
+    sim, _, (cache,) = make_system()
+    run(sim, cache.load(0x100))
+    assert run(sim, cache.load(0x108)) == "hit"  # same 64B block
+
+
+def test_store_miss_installs_modified():
+    sim, _, (cache,) = make_system()
+    assert run(sim, cache.store(0x200)) == "miss"
+    assert cache.state_of(0x200) is M
+
+
+def test_silent_e_to_m_upgrade():
+    sim, _, (cache,) = make_system()
+    run(sim, cache.load(0x100))
+    assert cache.state_of(0x100) is E
+    assert run(sim, cache.store(0x100)) == "hit"
+    assert cache.state_of(0x100) is M
+
+
+def test_load_from_other_modified_gives_shared_and_owned():
+    sim, bus, (a, b) = make_system(2)
+    run(sim, a.store(0x100))
+    assert a.state_of(0x100) is M
+    result = run(sim, b.load(0x100))
+    assert result == "miss"
+    assert a.state_of(0x100) is O      # M -> O, still responsible for data
+    assert b.state_of(0x100) is S
+    assert bus.supplies_from("cache") == 1  # a supplied, not memory
+
+
+def test_load_from_other_exclusive_downgrades_to_shared():
+    sim, _, (a, b) = make_system(2)
+    run(sim, a.load(0x100))
+    assert a.state_of(0x100) is E
+    run(sim, b.load(0x100))
+    assert a.state_of(0x100) is S
+    assert b.state_of(0x100) is S
+
+
+def test_store_to_shared_issues_upgrade_and_invalidates_peer():
+    sim, bus, (a, b) = make_system(2)
+    run(sim, a.load(0x100))
+    run(sim, b.load(0x100))
+    assert a.state_of(0x100) is S and b.state_of(0x100) is S
+    assert run(sim, a.store(0x100)) == "upgrade"
+    assert a.state_of(0x100) is M
+    assert b.state_of(0x100) is I
+    assert bus.transactions(BusOp.UPGRADE) == 1
+
+
+def test_store_miss_invalidates_owner_who_supplies():
+    sim, bus, (a, b) = make_system(2)
+    run(sim, a.store(0x100))          # a: M
+    run(sim, b.store(0x100))          # BusRdX: a supplies and invalidates
+    assert a.state_of(0x100) is I
+    assert b.state_of(0x100) is M
+    assert bus.supplies_from("cache") == 1
+
+
+def test_owned_supplier_keeps_owning_on_reads():
+    sim, _, (a, b, c) = make_system(3)
+    run(sim, a.store(0x100))          # a: M
+    run(sim, b.load(0x100))           # a: O, b: S
+    run(sim, c.load(0x100))           # a supplies again, stays O
+    assert a.state_of(0x100) is O
+    assert b.state_of(0x100) is S
+    assert c.state_of(0x100) is S
+
+
+def test_dirty_eviction_writes_back():
+    sim, bus, (cache,) = make_system(num_sets=4)
+    block = DEFAULT_PARAMS.cache_block_bytes
+    conflict = 4 * block                   # maps to set 0, like addr 0
+    run(sim, cache.store(0x0))             # set 0 dirty
+    run(sim, cache.load(conflict))         # evicts it
+    assert bus.transactions(BusOp.WRITEBACK) == 1
+    assert cache.state_of(0x0) is I
+    assert cache.state_of(conflict) is E
+
+
+def test_clean_eviction_is_silent():
+    sim, bus, (cache,) = make_system(num_sets=4)
+    block = DEFAULT_PARAMS.cache_block_bytes
+    run(sim, cache.load(0x0))
+    run(sim, cache.load(4 * block))
+    assert bus.transactions(BusOp.WRITEBACK) == 0
+
+
+def test_flush_dirty_block():
+    sim, bus, (cache,) = make_system()
+    run(sim, cache.store(0x100))
+    assert run(sim, cache.flush(0x100)) is True
+    assert cache.state_of(0x100) is I
+    assert bus.transactions(BusOp.WRITEBACK) == 1
+
+
+def test_flush_absent_block_is_noop():
+    sim, bus, (cache,) = make_system()
+    assert run(sim, cache.flush(0x100)) is False
+    assert bus.transactions() == 0
+
+
+def test_direct_mapped_conflict_in_small_cache():
+    sim, _, (cache,) = make_system(num_sets=2)
+    block = DEFAULT_PARAMS.cache_block_bytes
+    run(sim, cache.load(0))            # set 0
+    run(sim, cache.load(block))        # set 1
+    run(sim, cache.load(2 * block))    # set 0, evicts addr 0
+    assert cache.state_of(0) is I
+    assert cache.state_of(block).is_valid
+    assert cache.state_of(2 * block).is_valid
+    assert cache.valid_blocks == 2
+
+
+def test_load_timing_hit_vs_miss():
+    sim, _, (cache,) = make_system()
+    t0 = sim.now
+    run(sim, cache.load(0x100))
+    miss_time = sim.now - t0
+    t1 = sim.now
+    run(sim, cache.load(0x100))
+    hit_time = sim.now - t1
+    assert hit_time == DEFAULT_PARAMS.cycle_ns
+    # miss = 16 addr + 120 memory + 8 data + 1 hit
+    assert miss_time == 16 + 120 + 8 + 1
+
+
+def test_install_and_invalidate_all():
+    sim, _, (cache,) = make_system()
+    cache.install(0x100, M)
+    assert cache.state_of(0x100) is M
+    cache.invalidate_all()
+    assert cache.state_of(0x100) is I
+    assert cache.valid_blocks == 0
+
+
+def test_counters_track_hits_and_misses():
+    sim, _, (cache,) = make_system()
+    run(sim, cache.load(0x100))
+    run(sim, cache.load(0x100))
+    run(sim, cache.store(0x100))
+    assert cache.counters["load_miss"] == 1
+    assert cache.counters["load_hit"] == 1
+    # load installed E; store is a silent upgrade counted as a hit
+    assert cache.counters["store_hit"] == 1
+
+
+def test_cache_geometry_validation():
+    sim = Simulator()
+    bus = MemoryBus(sim, DEFAULT_PARAMS)
+    bus.set_default_home(MainMemory(DEFAULT_PARAMS))
+    with pytest.raises(ValueError):
+        Cache(sim, bus, DEFAULT_PARAMS, num_sets=0)
+
+
+def test_default_geometry_matches_params():
+    sim, _, (cache,) = make_system()
+    assert cache.num_sets == DEFAULT_PARAMS.cache_sets
+    assert cache.block_bytes == 64

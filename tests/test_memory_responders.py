@@ -1,0 +1,31 @@
+"""Unit tests for the memory responders."""
+
+from repro.config import DEFAULT_PARAMS
+from repro.memory import DeviceMemory, MainMemory
+
+
+def test_main_memory_latency_matches_params():
+    memory = MainMemory(DEFAULT_PARAMS)
+    supplier = memory.supplier()
+    assert supplier.latency_ns == 120
+    assert supplier.kind == "memory"
+    assert memory.counters["supplies"] == 1
+
+
+def test_device_memory_defaults_to_ni_sram():
+    device = DeviceMemory(DEFAULT_PARAMS)
+    assert device.supplier().latency_ns == 60
+    assert device.supplier().kind == "ni"
+
+
+def test_device_memory_dram_override():
+    # CNI_512Q's footnote: big NI queues are DRAM-speed.
+    device = DeviceMemory(DEFAULT_PARAMS,
+                          access_ns=DEFAULT_PARAMS.mem_access_ns)
+    assert device.supplier().latency_ns == 120
+
+
+def test_supplier_name_propagates():
+    memory = MainMemory(DEFAULT_PARAMS, name="mem7")
+    assert memory.supplier().name == "mem7"
+    assert "mem7" in repr(memory)

@@ -1,0 +1,94 @@
+"""Unit tests for the abstract constant-latency fabric."""
+
+import pytest
+
+from repro.config import DEFAULT_PARAMS
+from repro.network import Message, MessageKind, Network
+from repro.sim import Simulator
+
+
+def make_net(nodes=2):
+    sim = Simulator()
+    net = Network(sim, DEFAULT_PARAMS)
+    data, control = [], []
+    for n in range(nodes):
+        def on_data(msg, n=n):
+            data.append((sim.now, n, msg))
+
+        def on_control(msg, n=n):
+            control.append((sim.now, n, msg))
+
+        net.register(n, on_data, on_control)
+    return sim, net, data, control
+
+
+def test_delivery_after_constant_latency():
+    sim, net, data, _ = make_net()
+    msg = Message(src=0, dst=1, size=64)
+    net.inject(msg)
+    sim.run()
+    when, node, delivered = data[0]
+    assert when == DEFAULT_PARAMS.network_latency_ns == 40
+    assert node == 1 and delivered is msg
+    assert msg.sent_at == 0
+
+
+def test_control_messages_route_to_control_hook():
+    sim, net, data, control = make_net()
+    net.inject(Message(src=0, dst=1, size=8, kind=MessageKind.ACK))
+    sim.run()
+    assert data == []
+    assert len(control) == 1
+
+
+def test_return_messages_route_to_control_hook():
+    sim, net, data, control = make_net()
+    inner = Message(src=1, dst=0, size=64)
+    net.inject(Message(src=0, dst=1, size=64, kind=MessageKind.RETURN, body=inner))
+    sim.run()
+    assert data == []
+    assert control[0][2].body is inner
+
+
+def test_oversized_message_rejected():
+    sim, net, _, _ = make_net()
+    with pytest.raises(ValueError, match="fragment"):
+        net.inject(Message(src=0, dst=1, size=257))
+
+
+def test_unknown_destination_rejected():
+    sim, net, _, _ = make_net()
+    with pytest.raises(ValueError, match="not registered"):
+        net.inject(Message(src=0, dst=99, size=64))
+
+
+def test_duplicate_registration_rejected():
+    sim, net, _, _ = make_net()
+    with pytest.raises(ValueError):
+        net.register(0, lambda m: None, lambda m: None)
+
+
+def test_in_flight_messages_do_not_interfere():
+    sim, net, data, _ = make_net(nodes=4)
+    for dst in (1, 2, 3):
+        net.inject(Message(src=0, dst=dst, size=64))
+    sim.run()
+    assert sorted(node for _, node, _ in data) == [1, 2, 3]
+    assert all(when == 40 for when, _, _ in data)
+
+
+def test_counters():
+    sim, net, _, _ = make_net()
+    net.inject(Message(src=0, dst=1, size=64))
+    net.inject(Message(src=0, dst=1, size=8, kind=MessageKind.ACK))
+    sim.run()
+    assert net.counters["injected"] == 2
+    assert net.counters["delivered"] == 2
+    assert net.counters["data_bytes"] == 64  # acks don't count
+    assert net.counters["kind:am"] == 1
+    assert net.counters["kind:ack"] == 1
+
+
+def test_node_ids_sorted():
+    sim, net, _, _ = make_net(nodes=3)
+    assert net.node_ids == (0, 1, 2)

@@ -1,0 +1,143 @@
+"""Unit tests for return-to-sender flow control."""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.network import FlowControlUnit, Message, Network
+from repro.sim import Simulator
+
+
+def make_pair(fcb=2):
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=fcb)
+    sim = Simulator()
+    net = Network(sim, params)
+    a = FlowControlUnit(sim, net, 0, params, DEFAULT_COSTS)
+    b = FlowControlUnit(sim, net, 1, params, DEFAULT_COSTS)
+    return sim, net, a, b
+
+
+def test_basic_delivery_and_ack_frees_sender_buffer():
+    sim, _, a, b = make_pair(fcb=2)
+    msg = Message(src=0, dst=1, size=64)
+
+    def sender():
+        yield from a.send(msg)
+
+    sim.process(sender())
+    sim.run()
+    assert b.inbound.items == (msg,)
+    assert b.counters["accepted"] == 1
+    # Ack came back 40 + 40 ns later and released the send buffer.
+    assert a.send_buffers_in_use == 0
+    assert a.counters["acked"] == 1
+
+
+def test_receive_buffer_held_until_released():
+    sim, _, a, b = make_pair(fcb=1)
+
+    def sender():
+        yield from a.send(Message(src=0, dst=1, size=64))
+
+    sim.process(sender())
+    sim.run()
+    assert b.recv_buffers.in_use == 1
+    b.release_receive_buffer()
+    assert b.recv_buffers.in_use == 0
+
+
+def test_overflow_bounces_and_retries_until_accepted():
+    sim, _, a, b = make_pair(fcb=1)
+    sent = [Message(src=0, dst=1, size=64), Message(src=0, dst=1, size=64)]
+
+    def sender():
+        for msg in sent:
+            yield from a.send(msg)
+
+    def consumer():
+        # Drain the first message late, so the second bounces meanwhile.
+        first = yield b.inbound.get()
+        yield sim.timeout(2000)
+        b.release_receive_buffer()
+        second = yield b.inbound.get()
+        b.release_receive_buffer()
+        return (first, second)
+
+    sim.process(sender())
+    consumed = sim.process(consumer())
+    sim.run()
+    assert b.counters["returned"] >= 1          # at least one bounce
+    assert a.counters["retried"] == b.counters["returned"]
+    assert {m.uid for m in consumed.value} == {m.uid for m in sent}  # nothing lost
+    assert sent[1].bounces >= 1
+
+
+def test_sender_blocks_when_out_of_send_buffers():
+    sim, _, a, b = make_pair(fcb=1)
+    block_times = []
+
+    def sender():
+        for _ in range(2):
+            blocked = yield from a.send(Message(src=0, dst=1, size=64))
+            block_times.append(blocked)
+
+    def consumer():
+        msg = yield b.inbound.get()
+        b.release_receive_buffer()
+        msg = yield b.inbound.get()
+        b.release_receive_buffer()
+
+    sim.process(sender())
+    sim.process(consumer())
+    sim.run()
+    assert block_times[0] == 0
+    # Second send had to wait for the first ack (>= 80 ns round trip).
+    assert block_times[1] >= 80
+    assert a.counters["send_block_ns"] == block_times[1]
+
+
+def test_infinite_buffers_never_block_or_bounce():
+    sim, _, a, b = make_pair(fcb=None)
+
+    def sender():
+        for _ in range(50):
+            blocked = yield from a.send(Message(src=0, dst=1, size=64))
+            assert blocked == 0
+
+    sim.process(sender())
+    sim.run()
+    assert b.counters["returned"] == 0
+    assert len(b.inbound) == 50
+
+
+def test_no_message_lost_under_heavy_overflow():
+    sim, _, a, b = make_pair(fcb=1)
+    total = 20
+    received = []
+
+    def sender():
+        for i in range(total):
+            yield from a.send(Message(src=0, dst=1, size=64, body=i))
+
+    def consumer():
+        while len(received) < total:
+            msg = yield b.inbound.get()
+            yield sim.timeout(500)           # slow consumer forces bounces
+            received.append(msg.body)
+            b.release_receive_buffer()
+
+    sim.process(sender())
+    sim.process(consumer())
+    sim.run()
+    assert sorted(received) == list(range(total))
+    assert b.counters["returned"] > 0        # the scheme was exercised
+
+
+def test_try_acquire_send_buffer():
+    sim, _, a, _ = make_pair(fcb=1)
+    assert a.try_acquire_send_buffer()
+    assert not a.try_acquire_send_buffer()
+
+
+def test_bounce_count_property():
+    sim, _, a, b = make_pair(fcb=1)
+    assert b.bounce_count == 0

@@ -1,0 +1,64 @@
+"""Unit tests for messages and fragmentation."""
+
+import pytest
+
+from repro.network import Message, MessageKind, fragment_payload
+from repro.network.message import message_size
+
+
+def test_message_fields_and_uid_monotonic():
+    a = Message(src=0, dst=1, size=16)
+    b = Message(src=0, dst=1, size=16)
+    assert b.uid > a.uid
+    assert a.kind is MessageKind.ACTIVE_MESSAGE
+    assert a.payload_bytes == 8
+
+
+def test_message_validation():
+    with pytest.raises(ValueError):
+        Message(src=0, dst=1, size=0)
+    with pytest.raises(ValueError):
+        Message(src=2, dst=2, size=16)
+
+
+def test_payload_bytes_never_negative():
+    ack = Message(src=0, dst=1, size=8, kind=MessageKind.ACK)
+    assert ack.payload_bytes == 0
+
+
+def test_message_size_helper():
+    assert message_size(0) == 8
+    assert message_size(248) == 256
+    with pytest.raises(ValueError):
+        message_size(-1)
+
+
+def test_fragment_small_payload_is_single():
+    assert fragment_payload(100) == [100]
+    assert fragment_payload(248) == [248]
+
+
+def test_fragment_zero_payload():
+    assert fragment_payload(0) == [0]
+
+
+def test_fragment_large_payload():
+    frags = fragment_payload(1536)          # moldyn's 1.5 KB rows
+    assert sum(frags) == 1536
+    assert len(frags) == 7                  # ceil(1536 / 248)
+    assert all(f <= 248 for f in frags)
+    assert frags[:-1] == [248] * 6          # all but the tail are full
+
+
+def test_fragment_respects_custom_limits():
+    frags = fragment_payload(100, max_message_bytes=64, header_bytes=8)
+    assert sum(frags) == 100
+    assert all(f <= 56 for f in frags)
+    assert len(frags) == 2
+
+
+def test_fragment_validation():
+    with pytest.raises(ValueError):
+        fragment_payload(-1)
+    with pytest.raises(ValueError):
+        fragment_payload(10, max_message_bytes=8, header_bytes=8)

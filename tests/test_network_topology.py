@@ -1,0 +1,142 @@
+"""Tests for the 2D mesh fabric extension."""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.network import Message, Network
+from repro.network.topology import MeshFabric
+from repro.node import Machine
+from repro.sim import Simulator
+
+
+def make_mesh(nodes=16):
+    sim = Simulator()
+    return sim, MeshFabric(sim, DEFAULT_PARAMS, nodes)
+
+
+# ------------------------------------------------------------- routing
+
+def test_mesh_geometry_square():
+    _, mesh = make_mesh(16)
+    assert (mesh.width, mesh.height) == (4, 4)
+    assert mesh.coords(0) == (0, 0)
+    assert mesh.coords(5) == (1, 1)
+    assert mesh.coords(15) == (3, 3)
+
+
+def test_dimension_order_route():
+    _, mesh = make_mesh(16)
+    # 0 (0,0) -> 15 (3,3): X first (0->1->2->3), then Y (3->7->11->15).
+    hops = mesh.route(0, 15)
+    assert hops == [(0, 1), (1, 2), (2, 3), (3, 7), (7, 11), (11, 15)]
+
+
+def test_route_to_self_is_empty():
+    _, mesh = make_mesh(16)
+    assert mesh.route(7, 7) == []
+
+
+def test_route_handles_negative_directions():
+    _, mesh = make_mesh(16)
+    hops = mesh.route(15, 0)
+    assert hops[0] == (15, 14)
+    assert hops[-1] == (4, 0)
+    assert len(hops) == 6
+
+
+def test_route_length_is_manhattan_distance():
+    _, mesh = make_mesh(16)
+    for src in range(16):
+        for dst in range(16):
+            x0, y0 = mesh.coords(src)
+            x1, y1 = mesh.coords(dst)
+            assert len(mesh.route(src, dst)) == abs(x1 - x0) + abs(y1 - y0)
+
+
+# ------------------------------------------------------------- delivery
+
+def test_delivery_latency_scales_with_distance():
+    sim, mesh = make_mesh(16)
+    arrivals = {}
+
+    def arrive_factory(tag):
+        return lambda msg: arrivals.__setitem__(tag, sim.now)
+
+    near = Message(src=0, dst=1, size=64)
+    far = Message(src=0, dst=15, size=64)
+    sim.process(mesh.deliver(near, arrive_factory("near")))
+    sim.process(mesh.deliver(far, arrive_factory("far")))
+    sim.run()
+    assert arrivals["far"] > arrivals["near"]
+    # near: 1 hop * 10 + serialization 20 = 30.
+    assert arrivals["near"] == 30
+
+
+def test_link_contention_serializes():
+    sim, mesh = make_mesh(16)
+    done = []
+
+    def send(msg):
+        return mesh.deliver(msg, lambda m: done.append(sim.now))
+
+    # Two messages share the 0->1 link.
+    sim.process(send(Message(src=0, dst=1, size=256)))
+    sim.process(send(Message(src=0, dst=1, size=256)))
+    sim.run()
+    solo = 10 + 80            # hop + 8 beats
+    assert done[0] == solo
+    assert done[1] > solo     # waited for the link
+
+
+def test_mean_delay_accounting():
+    sim, mesh = make_mesh(16)
+    sim.process(mesh.deliver(Message(src=0, dst=1, size=64),
+                             lambda m: None))
+    sim.run()
+    assert mesh.mean_delay_ns == 30
+    assert mesh.counters["link_traversals"] == 1
+
+
+# ------------------------------------------------------------- integration
+
+def test_network_routes_data_through_fabric_but_not_control():
+    sim = Simulator()
+    mesh = MeshFabric(sim, DEFAULT_PARAMS, 16)
+    net = Network(sim, DEFAULT_PARAMS, fabric=mesh)
+    data_times, control_times = [], []
+    for n in range(16):
+        net.register(
+            n,
+            lambda m, n=n: data_times.append(sim.now),
+            lambda m, n=n: control_times.append(sim.now),
+        )
+    from repro.network.message import MessageKind
+    net.inject(Message(src=0, dst=15, size=64))
+    net.inject(Message(src=0, dst=15, size=8, kind=MessageKind.ACK))
+    sim.run()
+    assert control_times == [40]        # ideal second network
+    assert data_times[0] > 40           # 6 hops through the mesh
+
+
+def test_machine_with_mesh_topology_end_to_end():
+    params = DEFAULT_PARAMS.replace(network_topology="mesh")
+    machine = Machine(params, DEFAULT_COSTS, "cni32qm", num_nodes=16)
+    got = []
+    machine.node(15).runtime.register_handler("h", lambda r, m: got.append(m))
+
+    def sender(node):
+        yield from node.runtime.send(15, "h", 56)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: got)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(15)))
+    machine.sim.run(until=done)
+    assert len(got) == 1
+    assert machine.network.fabric.counters["delivered"] >= 1
+
+
+def test_bad_topology_rejected():
+    with pytest.raises(ValueError):
+        DEFAULT_PARAMS.replace(network_topology="torus").validate()

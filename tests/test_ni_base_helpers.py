@@ -1,0 +1,61 @@
+"""Tests for NetworkInterface base helpers (sizes, ports, gates)."""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.network.message import Message
+
+
+@pytest.fixture
+def ni():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5", num_nodes=2)
+    return machine.node(0).ni
+
+
+def test_words_helper(ni):
+    assert ni._words(Message(src=0, dst=1, size=8)) == 1
+    assert ni._words(Message(src=0, dst=1, size=9)) == 2
+    assert ni._words(Message(src=0, dst=1, size=64)) == 8
+    assert ni._words(Message(src=0, dst=1, size=256)) == 32
+
+
+def test_chunks_helper(ni):
+    assert ni._chunks(Message(src=0, dst=1, size=16)) == [16]
+    assert ni._chunks(Message(src=0, dst=1, size=64)) == [64]
+    assert ni._chunks(Message(src=0, dst=1, size=100)) == [64, 36]
+    assert ni._chunks(Message(src=0, dst=1, size=256)) == [64] * 4
+
+
+def test_blocks_for_helper(ni):
+    assert ni._blocks_for(1) == 1
+    assert ni._blocks_for(65) == 2
+
+
+def test_idle_reflects_pending_state(ni):
+    assert ni.idle()
+
+
+def test_wait_signal_fires_on_arrival():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5", num_nodes=2)
+    machine.node(1).runtime.register_handler("h", lambda r, m: None)
+    woke = []
+
+    def waiter(node):
+        yield node.ni.wait_signal()
+        woke.append(machine.sim.now)
+
+    def sender(node):
+        yield from node.runtime.send(1, "h", 8)
+
+    machine.sim.process(waiter(machine.node(1)))
+    machine.sim.process(sender(machine.node(0)))
+    machine.sim.run()
+    assert len(woke) == 1
+
+
+def test_throttle_attribute_defaults_zero(ni):
+    assert ni.throttle_ns == 0
+
+
+def test_repr_mentions_node(ni):
+    assert "node=0" in repr(ni)

@@ -1,0 +1,274 @@
+"""Behavioural tests for the coherent NIs (StarT-JR, CNI_512Q,
+CNI_32Qm, Memory Channel)."""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.memory.bus import BusOp
+
+
+def run_one_way(ni_name, payload, count=1, params=None):
+    machine = Machine(params or DEFAULT_PARAMS, DEFAULT_COSTS, ni_name,
+                      num_nodes=2)
+    got = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: got.append(m))
+
+    def sender(node):
+        for _ in range(count):
+            yield from node.runtime.send(1, "h", payload)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(got) >= count)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    return machine, got
+
+
+# ------------------------------------------------------- send engines
+
+def test_cni_send_is_ni_managed():
+    machine, _ = run_one_way("startjr", 248)
+    tx = machine.node(0).ni
+    # The processor composed 4 blocks; the NI engine fetched them.
+    assert tx.counters["messages_composed"] == 1
+    assert tx.counters["blocks_fetched"] == 4
+    # No uncached pushes at all.
+    assert tx.counters["uncached_writes"] == 0
+
+
+def test_prefetching_cnis_prefetch_blocks():
+    machine, _ = run_one_way("cni512q", 248)
+    assert machine.node(0).ni.counters["blocks_prefetched"] == 4
+    machine, _ = run_one_way("startjr", 248)
+    assert machine.node(0).ni.counters["blocks_prefetched"] == 0
+
+
+def test_processor_cache_supplies_composed_blocks():
+    machine, _ = run_one_way("cni32qm", 248)
+    # The NI's fetches were cache-to-cache from the processor cache.
+    assert machine.node(0).bus.counters["flow:cache->ni"] >= 4
+
+
+def test_cni_send_never_blocks_processor_on_flow_control():
+    # Even at fcb=1 with a slow consumer, the *processor* keeps going;
+    # only the NI engine waits for buffers.
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=1)
+    machine = Machine(params, DEFAULT_COSTS, "cni32qm", num_nodes=2)
+    got = []
+
+    def slow(rt, msg):
+        got.append(msg)
+        yield from rt.node.compute(5_000)
+
+    machine.node(1).runtime.register_handler("h", slow)
+
+    def sender(node):
+        for _ in range(6):
+            yield from node.runtime.send(1, "h", 56)
+        node.finish()
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(got) >= 6)
+
+    done = machine.sim.process(sender(machine.node(0)))
+    machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert machine.node(0).timer.total("buffering") == 0
+
+
+# ------------------------------------------------------- receive paths
+
+def test_startjr_deposits_to_main_memory():
+    machine, _ = run_one_way("startjr", 248)
+    rx_bus = machine.node(1).bus
+    # Deposit: invalidate + posted writeback per block.
+    assert rx_bus.transactions(BusOp.WRITEBACK) >= 4
+    # Consumption: processor misses to main memory.
+    assert rx_bus.counters["flow:memory->cache"] >= 4
+
+
+def test_cni512q_supplies_from_ni_memory():
+    machine, _ = run_one_way("cni512q", 248)
+    rx_bus = machine.node(1).bus
+    # No data writebacks over the bus (NI-homed queues) ...
+    assert rx_bus.transactions(BusOp.WRITEBACK) == 0
+    # ... and the processor's reads are supplied by the NI.
+    assert rx_bus.counters["flow:ni->cache"] >= 4
+
+
+def test_cni32qm_supplies_from_ni_cache():
+    machine, _ = run_one_way("cni32qm", 248)
+    rx_bus = machine.node(1).bus
+    assert rx_bus.counters["flow:ni_cache->cache"] >= 4
+    assert machine.node(1).ni.counters["deposits_cached"] == 1
+
+
+def test_memchannel_is_ap3000_send_startjr_receive():
+    machine, _ = run_one_way("memchannel", 248)
+    tx = machine.node(0).ni
+    rx = machine.node(1).ni
+    assert tx.counters["chunks_pushed"] == 4          # AP3000-style send
+    assert tx.counters["block_writes"] == 4
+    assert rx.counters["messages_deposited"] == 1     # CNI-style receive
+    assert machine.node(1).bus.counters["flow:memory->cache"] >= 4
+
+
+def test_coherent_receive_frees_buffers_without_processor():
+    # The NI engine releases incoming flow-control buffers by itself.
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=2)
+    machine = Machine(params, DEFAULT_COSTS, "startjr", num_nodes=2)
+    arrived = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: arrived.append(m))
+
+    def sender(node):
+        for _ in range(6):
+            yield from node.runtime.send(1, "h", 56)
+        yield from node.compute(50_000)
+        # The receiver has not consumed anything yet, but the NI has
+        # drained all 6 messages into the memory queue and released
+        # every flow-control buffer.
+        return (
+            machine.node(1).ni.fcu.recv_buffers.in_use,
+            len(machine.node(1).ni.recv_queue),
+        )
+
+    done = machine.sim.process(sender(machine.node(0)))
+
+    def receiver(node):
+        # Busy with compute (not servicing) while the sender streams.
+        yield from node.compute(60_000)
+        yield from node.runtime.drain()
+
+    machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    in_use, queued = done.value
+    assert in_use == 0   # all flow-control buffers released by NI
+    assert queued == 6
+
+
+# ------------------------------------------------------- CNI_32Qm cache
+
+def test_cni32qm_bypasses_when_cache_full_of_live_messages():
+    # Send more than 32 blocks' worth without consuming: later
+    # deposits must bypass to memory.
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=None)
+    machine = Machine(params, DEFAULT_COSTS, "cni32qm", num_nodes=2)
+    got = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: got.append(m))
+
+    def sender(node):
+        for _ in range(12):                 # 12 x 4 blocks = 48 > 32
+            yield from node.runtime.send(1, "h", 248)
+        yield from node.compute(100_000)    # let deposits finish
+
+    done = machine.sim.process(sender(machine.node(0)))
+
+    def receiver(node):
+        # Not consuming while the burst lands: the cache must fill.
+        yield from node.compute(150_000)
+        yield from node.runtime.drain()
+
+    machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    ni = machine.node(1).ni
+    assert ni.counters["deposits_cached"] >= 1
+    assert ni.counters["deposits_bypassed"] >= 1
+
+
+def test_cni32qm_dead_blocks_dropped_without_writeback():
+    # A paced sender lets the receiver consume each message before the
+    # next lands: everything stays cached, dead blocks are reused
+    # (dropped silently), and nothing is ever written back.
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cni32qm", num_nodes=2)
+    got = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: got.append(m))
+
+    def sender(node):
+        for _ in range(20):
+            yield from node.runtime.send(1, "h", 248)
+            yield from node.compute(5_000)   # pace the stream
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(got) >= 20)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    rcache = machine.node(1).ni.recv_cache
+    assert rcache.counters["victims_written_back"] == 0
+    assert machine.node(1).ni.counters["deposits_bypassed"] == 0
+
+
+def test_cni32qm_ablation_writes_back_dead_blocks():
+    from repro.ni.cni32qm import CNI32Qm
+
+    class NoDropCNI(CNI32Qm):
+        ni_name = "cni32qm"
+        drop_dead_blocks = False
+
+    # Patch the registry temporarily.
+    from repro.ni import registry
+    old = registry._REGISTRY["cni32qm"]
+    registry._REGISTRY["cni32qm"] = NoDropCNI
+    try:
+        machine, _ = run_one_way("cni32qm", 248, count=20)
+    finally:
+        registry._REGISTRY["cni32qm"] = old
+    rcache = machine.node(1).ni.recv_cache
+    assert rcache.counters["victims_written_back"] > 0
+
+
+def test_cni32qm_live_accounting_returns_to_zero():
+    machine, _ = run_one_way("cni32qm", 248, count=8)
+
+    def drainer(node):
+        yield from node.runtime.drain()
+
+    done = machine.sim.process(drainer(machine.node(1)))
+    machine.sim.run(until=done)
+    ni = machine.node(1).ni
+    assert ni._live_cached_blocks == 0
+    assert ni._live_addrs == set()
+
+
+# ------------------------------------------------------- queue stalls
+
+def test_send_queue_overflow_stalls_processor_as_buffering():
+    # Shrink the send queue so the processor outruns the NI engine.
+    from repro.ni.cni0qm import StartJrNI
+    from repro.ni import registry
+
+    class TinyQueueNI(StartJrNI):
+        ni_name = "startjr"
+        send_queue_blocks = 4
+
+    old = registry._REGISTRY["startjr"]
+    registry._REGISTRY["startjr"] = TinyQueueNI
+    try:
+        params = DEFAULT_PARAMS.replace(flow_control_buffers=1)
+        machine = Machine(params, DEFAULT_COSTS, "startjr", num_nodes=2)
+        got = []
+
+        def slow(rt, msg):
+            got.append(msg)
+            yield from rt.node.compute(10_000)
+
+        machine.node(1).runtime.register_handler("h", slow)
+
+        def sender(node):
+            for _ in range(10):
+                yield from node.runtime.send(1, "h", 248)
+            node.finish()
+
+        def receiver(node):
+            yield from node.runtime.wait_for(lambda: len(got) >= 10)
+
+        done = machine.sim.process(sender(machine.node(0)))
+        machine.sim.process(receiver(machine.node(1)))
+        machine.sim.run(until=done)
+        assert machine.node(0).timer.total("buffering") > 0
+        assert machine.node(0).ni.counters["send_queue_stalls"] > 0
+    finally:
+        registry._REGISTRY["startjr"] = old

@@ -1,0 +1,143 @@
+"""Cross-NI behaviour tests: every NI delivers messages end-to-end,
+declares a valid taxonomy, and resolves through the registry."""
+
+import pytest
+
+from repro import (
+    ALL_NI_NAMES,
+    COHERENT_NI_NAMES,
+    DEFAULT_COSTS,
+    DEFAULT_PARAMS,
+    FIFO_NI_NAMES,
+    Machine,
+    make_ni,
+    ni_class,
+)
+from repro.ni.taxonomy import TABLE2_COLUMNS
+
+EVERY_NI = ALL_NI_NAMES + ("cm5-1cyc",)
+
+
+def run_pingpong(ni_name, payload=56, rounds=5, params=None):
+    machine = Machine(params or DEFAULT_PARAMS, DEFAULT_COSTS, ni_name,
+                      num_nodes=2)
+    state = {"pings": 0, "pongs": 0, "bodies": []}
+
+    def on_ping(rt, msg):
+        state["pings"] += 1
+        state["bodies"].append(msg.body)
+        yield from rt.send(0, "pong", payload, body=msg.body)
+
+    def on_pong(rt, msg):
+        state["pongs"] += 1
+
+    machine.node(1).runtime.register_handler("ping", on_ping)
+    machine.node(0).runtime.register_handler("pong", on_pong)
+
+    def client(node):
+        for i in range(rounds):
+            yield from node.runtime.send(1, "ping", payload, body=f"m{i}")
+            target = i + 1
+            yield from node.runtime.wait_for(
+                lambda: state["pongs"] >= target
+            )
+
+    def server(node):
+        yield from node.runtime.wait_for(lambda: state["pings"] >= rounds)
+
+    done = machine.sim.process(client(machine.node(0)))
+    machine.sim.process(server(machine.node(1)))
+    machine.sim.run(until=done)
+    return machine, state
+
+
+# ------------------------------------------------------------- delivery
+
+@pytest.mark.parametrize("ni_name", EVERY_NI)
+def test_end_to_end_delivery(ni_name):
+    machine, state = run_pingpong(ni_name)
+    assert state["pings"] == 5
+    assert state["pongs"] == 5
+    # Payload objects arrive intact and in order.
+    assert state["bodies"] == [f"m{i}" for i in range(5)]
+
+
+@pytest.mark.parametrize("ni_name", EVERY_NI)
+@pytest.mark.parametrize("payload", [0, 8, 56, 120, 248])
+def test_all_payload_sizes(ni_name, payload):
+    machine, state = run_pingpong(ni_name, payload=payload, rounds=2)
+    assert state["pongs"] == 2
+
+
+@pytest.mark.parametrize("ni_name", EVERY_NI)
+def test_tight_flow_control_still_delivers(ni_name):
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=1)
+    machine, state = run_pingpong(ni_name, rounds=4, params=params)
+    assert state["pongs"] == 4
+
+
+@pytest.mark.parametrize("ni_name", EVERY_NI)
+def test_infinite_flow_control(ni_name):
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=None)
+    machine, state = run_pingpong(ni_name, rounds=3, params=params)
+    assert state["pongs"] == 3
+    for node in machine:
+        assert node.ni.fcu.bounce_count == 0
+
+
+# ------------------------------------------------------------- taxonomy
+
+@pytest.mark.parametrize("ni_name", ALL_NI_NAMES)
+def test_taxonomy_declared_and_valid(ni_name):
+    cls = ni_class(ni_name)
+    assert cls.taxonomy is not None
+    cls.taxonomy.validate()
+    row = cls.taxonomy.row()
+    assert len(row) == len(TABLE2_COLUMNS)
+
+
+def test_taxonomy_matches_table2_manager_column():
+    # Table 2: who manages the transfer.
+    assert ni_class("cm5").taxonomy.send_manager == "Processor"
+    assert ni_class("udma").taxonomy.send_manager == "NI"
+    assert ni_class("ap3000").taxonomy.send_manager == "Processor"
+    assert ni_class("startjr").taxonomy.send_manager == "NI"
+    assert ni_class("memchannel").taxonomy.send_manager == "Processor"
+    assert ni_class("memchannel").taxonomy.recv_manager == "NI"
+    assert ni_class("cni512q").taxonomy.recv_destination == "Processor Cache"
+    assert ni_class("cni32qm").taxonomy.buffer_location == "NI Cache / Memory"
+
+
+def test_taxonomy_processor_buffering_column():
+    involved = {
+        name: ni_class(name).taxonomy.processor_buffers
+        for name in ALL_NI_NAMES
+    }
+    assert involved == {
+        "cm5": True, "udma": True, "ap3000": True,
+        "startjr": False, "memchannel": False,
+        "cni512q": True, "cni32qm": False,
+    }
+
+
+# ------------------------------------------------------------- registry
+
+def test_registry_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown NI"):
+        ni_class("nonexistent")
+
+
+def test_registry_families_cover_all():
+    assert set(FIFO_NI_NAMES) | set(COHERENT_NI_NAMES) == set(ALL_NI_NAMES)
+    assert len(ALL_NI_NAMES) == 7
+
+
+def test_make_ni_constructs_on_node():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5", num_nodes=2)
+    assert machine.node(0).ni.ni_name == "cm5"
+    assert machine.node(0).ni.node is machine.node(0)
+
+
+def test_paper_names_unique():
+    names = {ni_class(n).paper_name for n in ALL_NI_NAMES}
+    assert len(names) == 7

@@ -1,0 +1,185 @@
+"""Behavioural tests for the fifo-based NIs (CM-5, AP3000, UDMA)."""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.memory.bus import BusOp
+
+
+def run_one_way(ni_name, payload, count=1, params=None, costs=None):
+    machine = Machine(params or DEFAULT_PARAMS, costs or DEFAULT_COSTS,
+                      ni_name, num_nodes=2)
+    got = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: got.append(m))
+
+    def sender(node):
+        for _ in range(count):
+            yield from node.runtime.send(1, "h", payload)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(got) >= count)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    return machine, got
+
+
+# ------------------------------------------------------------- CM-5
+
+def test_cm5_word_counts_match_message_size():
+    # 120 B payload + 8 B header = 128 B = 16 words each way.
+    machine, _ = run_one_way("cm5", 120)
+    tx = machine.node(0).ni
+    rx = machine.node(1).ni
+    assert tx.counters["words_pushed"] == 16
+    assert rx.counters["words_popped"] == 16
+
+
+def test_cm5_uses_uncached_accesses_only():
+    machine, _ = run_one_way("cm5", 56)
+    tx = machine.node(0).ni
+    assert tx.counters["uncached_writes"] > 0
+    assert tx.counters["block_writes"] == 0
+    # All NI traffic is uncached; no coherent traffic was generated.
+    assert machine.node(0).bus.transactions(BusOp.READ) == 0
+
+
+def test_cm5_doorbell_per_message():
+    machine, _ = run_one_way("cm5", 8, count=3)
+    tx = machine.node(0).ni
+    # words (2 per message) + doorbell (1 per message).
+    assert tx.counters["uncached_writes"] == 3 * 2 + 3
+
+
+def test_single_cycle_ni_touches_no_bus():
+    machine, _ = run_one_way("cm5-1cyc", 120)
+    assert machine.node(0).bus.transactions() == 0
+    assert machine.node(1).bus.transactions() == 0
+
+
+def test_single_cycle_ni_is_faster_than_bus_cm5():
+    m_bus, _ = run_one_way("cm5", 120)
+    m_reg, _ = run_one_way("cm5-1cyc", 120)
+    assert m_reg.sim.now < m_bus.sim.now
+
+
+# ------------------------------------------------------------- AP3000
+
+def test_ap3000_chunk_counts():
+    # 248 B payload + 8 B header = 256 B = 4 chunks of 64 B.
+    machine, _ = run_one_way("ap3000", 248)
+    tx = machine.node(0).ni
+    rx = machine.node(1).ni
+    assert tx.counters["chunks_pushed"] == 4
+    assert rx.counters["chunks_popped"] == 4
+    assert tx.counters["block_writes"] == 4
+    assert rx.counters["block_reads"] == 4
+
+
+def test_ap3000_small_message_single_chunk():
+    machine, _ = run_one_way("ap3000", 8)
+    assert machine.node(0).ni.counters["chunks_pushed"] == 1
+
+
+def test_ap3000_beats_cm5_on_large_messages():
+    m_cm5, _ = run_one_way("cm5", 248)
+    m_ap, _ = run_one_way("ap3000", 248)
+    assert m_ap.sim.now < m_cm5.sim.now
+
+
+# ------------------------------------------------------------- UDMA
+
+def test_udma_small_messages_fall_back_to_word_path():
+    machine, _ = run_one_way("udma", 56)   # below the 96 B threshold
+    tx = machine.node(0).ni
+    assert tx.counters["udma_sends"] == 0
+    assert tx.counters["words_pushed"] > 0
+
+
+def test_udma_large_messages_use_udma():
+    machine, _ = run_one_way("udma", 200)  # above the 96 B threshold
+    tx = machine.node(0).ni
+    rx = machine.node(1).ni
+    assert tx.counters["udma_sends"] == 1
+    assert rx.counters["udma_receives"] == 1
+    assert tx.counters["words_pushed"] == 0
+    # 208 B = 4 blocks read coherently from the sender's cache.
+    assert tx.counters["udma_blocks_read"] == 4
+    assert rx.counters["udma_blocks_written"] == 4
+
+
+def test_udma_threshold_respects_costs():
+    costs = DEFAULT_COSTS.replace(udma_threshold=32)
+    machine, _ = run_one_way("udma", 56, costs=costs)
+    assert machine.node(0).ni.counters["udma_sends"] == 1
+
+
+def test_udma_always_mode_forces_udma_for_small():
+    from repro.ni.udma import UdmaNI
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "udma", num_nodes=2)
+    for node in machine:
+        node.ni.always_udma = True
+    got = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: got.append(m))
+
+    def sender(node):
+        yield from node.runtime.send(1, "h", 8)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: got)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert machine.node(0).ni.counters["udma_sends"] == 1
+
+
+def test_udma_sender_cache_supplies_dma_reads():
+    machine, _ = run_one_way("udma", 200)
+    # The NI's coherent reads were supplied by the processor cache.
+    assert machine.node(0).bus.supplies_from("cache") >= 4
+
+
+def test_udma_receive_lands_in_memory():
+    machine, _ = run_one_way("udma", 200)
+    rx_bus = machine.node(1).bus
+    # The consuming processor's reads missed to main memory.
+    assert rx_bus.supplies_from("memory") >= 4
+
+
+# ------------------------------------------------------------- buffering
+
+@pytest.mark.parametrize("ni_name", ["cm5", "ap3000", "udma"])
+def test_fifo_ni_receive_buffer_freed_by_processor_pop(ni_name):
+    machine, _ = run_one_way(ni_name, 56, count=3)
+    rx = machine.node(1).ni
+    assert rx.fcu.recv_buffers.in_use == 0
+    assert rx.fcu.pending_inbound == 0
+
+
+def test_fifo_ni_send_blocks_and_attributes_buffering():
+    # fcb=1 and a receiver that consumes slowly: the sender must stall
+    # on flow control and account it as "buffering" time.
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=1)
+    machine = Machine(params, DEFAULT_COSTS, "cm5", num_nodes=2)
+    got = []
+
+    def slow_handler(rt, msg):
+        got.append(msg)
+        yield from rt.node.compute(20_000)
+
+    machine.node(1).runtime.register_handler("h", slow_handler)
+
+    def sender(node):
+        for _ in range(4):
+            yield from node.runtime.send(1, "h", 56)
+        node.finish()
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(got) >= 4)
+
+    done = machine.sim.process(sender(machine.node(0)))
+    machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert machine.node(0).timer.total("buffering") > 0

@@ -1,0 +1,134 @@
+"""Focused tests for the Memory Channel hybrid and single-cycle NI."""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+
+
+def stream(ni_name, payload=248, count=10, fcb=8, throttle_ns=0):
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=fcb)
+    machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
+    got = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: got.append(m))
+    machine.node(0).ni.throttle_ns = throttle_ns
+
+    def sender(node):
+        for i in range(count):
+            yield from node.runtime.send(1, "h", payload, body=i)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(got) >= count)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    return machine, got
+
+
+# --------------------------------------------------------- memory channel
+
+def test_memchannel_send_queue_unused():
+    machine, _ = stream("memchannel")
+    # The coherent send queue is vestigial: the send path is AP3000's.
+    assert machine.node(0).ni.counters["messages_composed"] == 0
+    assert machine.node(0).ni.counters["blocks_fetched"] == 0
+
+
+def test_memchannel_throttled_stream_completes():
+    # Regression: a message committing during the consumer's empty
+    # poll must not strand it against a missed gate pulse.
+    machine, got = stream("memchannel", count=15, throttle_ns=400)
+    assert len(got) == 15
+    assert len(machine.node(1).ni.recv_queue) == 0
+
+
+def test_memchannel_insensitive_to_fcb():
+    m1, _ = stream("memchannel", count=12, fcb=1)
+    m8, _ = stream("memchannel", count=12, fcb=8)
+    assert m1.sim.now <= m8.sim.now * 1.25
+
+
+def test_memchannel_blocked_send_polls_uncached():
+    # The AP3000-style send side burns uncached status reads while
+    # blocked on flow control.  MC's NI-managed receive normally
+    # recycles buffers too fast to block the sender, so pinch the
+    # receive queue to force back-pressure.
+    from repro.ni.registry import variant
+
+    tiny = variant("memchannel", "tinyq", recv_queue_blocks=4)
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=1)
+    machine = Machine(params, DEFAULT_COSTS, tiny, num_nodes=2)
+    got = []
+
+    def slow(rt, msg):
+        got.append(msg)
+        yield from rt.node.compute(10_000)
+
+    machine.node(1).runtime.register_handler("h", slow)
+
+    def sender(node):
+        before = node.ni.counters["uncached_reads"]
+        for _ in range(6):
+            yield from node.runtime.send(1, "h", 248)
+        return node.ni.counters["uncached_reads"] - before
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(got) >= 6)
+
+    done = machine.sim.process(sender(machine.node(0)))
+    machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert done.value > 0
+
+
+# --------------------------------------------------------- single cycle
+
+def test_single_cycle_fastest_small_message_latency():
+    from repro.workloads.micro import PingPong
+
+    def rt(ni_name):
+        machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, ni_name,
+                          num_nodes=2)
+        workload = PingPong(payload_bytes=8, rounds=30)
+        return workload.run(machine=machine).extras["round_trip_us"]
+
+    single = rt("cm5-1cyc")
+    for other in ("cm5", "ap3000", "cni32qm"):
+        assert single < rt(other)
+
+
+def test_single_cycle_still_bounces_under_pressure():
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=1)
+    machine = Machine(params, DEFAULT_COSTS, "cm5-1cyc", num_nodes=2)
+    got = []
+
+    def slow(rt, msg):
+        got.append(msg)
+        yield from rt.node.compute(5_000)
+
+    machine.node(1).runtime.register_handler("h", slow)
+
+    def sender(node):
+        for _ in range(8):
+            yield from node.runtime.send(1, "h", 8)
+        # Keep servicing: bounced messages need the sender's processor
+        # to retry them (fifo-NI buffering semantics).
+        yield from node.runtime.wait_for(lambda: len(got) >= 8)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(got) >= 8)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    # Register mapping does not buy buffering: messages still bounce.
+    assert machine.node(1).ni.fcu.bounce_count > 0
+    assert len(got) == 8
+
+
+def test_single_cycle_retries_are_cheap_but_real():
+    machine, got = stream("cm5-1cyc", payload=8, count=10, fcb=1)
+    tx = machine.node(0).ni
+    assert len(got) == 10
+    # Retries happen through the processor (fifo semantics) ...
+    assert tx.counters["processor_retries"] == tx.fcu.counters["bounced_back"]

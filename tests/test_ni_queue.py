@@ -1,0 +1,158 @@
+"""Unit tests for the coherent message queue machinery."""
+
+import pytest
+
+from repro.network.message import Message
+from repro.ni.queue import CoherentQueue, QueueFull
+from repro.sim import Simulator
+
+
+def make_queue(blocks=8, base=0x9000_0000):
+    sim = Simulator()
+    return sim, CoherentQueue(sim, base, blocks, 64, name="q")
+
+
+def msg(size=64):
+    return Message(src=0, dst=1, size=size)
+
+
+def test_addresses_are_block_aligned_and_wrap():
+    _, q = make_queue(blocks=4)
+    assert q.addr_of(0) == 0x9000_0000
+    assert q.addr_of(1) == 0x9000_0040
+    assert q.addr_of(4) == 0x9000_0000  # wraps
+
+
+def test_reserve_returns_consecutive_slots():
+    _, q = make_queue()
+    addrs = q.reserve(3)
+    assert addrs == [0x9000_0000, 0x9000_0040, 0x9000_0080]
+    assert q.free_blocks == 5
+
+
+def test_reserve_commit_pop_cycle():
+    _, q = make_queue(blocks=4)
+    m = msg()
+    addrs = q.reserve(2)
+    q.commit(m, addrs)
+    assert len(q) == 1
+    assert q.front == (m, addrs)
+    popped, freed = q.pop()
+    assert popped is m and freed == addrs
+    assert q.free_blocks == 4
+    assert len(q) == 0
+
+
+def test_fifo_order_preserved():
+    _, q = make_queue()
+    first, second = msg(), msg()
+    a1 = q.reserve(1)
+    q.commit(first, a1)
+    a2 = q.reserve(1)
+    q.commit(second, a2)
+    assert q.pop()[0] is first
+    assert q.pop()[0] is second
+
+
+def test_head_addr_advances_with_pops():
+    _, q = make_queue(blocks=4)
+    assert q.head_addr == q.addr_of(0)
+    q.commit(msg(), q.reserve(2))
+    q.pop()
+    assert q.head_addr == q.addr_of(2)
+
+
+def test_reserve_beyond_free_raises_queue_full():
+    _, q = make_queue(blocks=2)
+    q.reserve(2)
+    with pytest.raises(QueueFull):
+        q.reserve(1)
+
+
+def test_message_larger_than_queue_rejected():
+    _, q = make_queue(blocks=2)
+    with pytest.raises(ValueError):
+        q.reserve(3)
+
+
+def test_can_reserve():
+    _, q = make_queue(blocks=4)
+    assert q.can_reserve(4)
+    q.reserve(3)
+    assert q.can_reserve(1)
+    assert not q.can_reserve(2)
+
+
+def test_pop_empty_raises():
+    _, q = make_queue()
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_space_gate_pulses_on_pop():
+    sim, q = make_queue(blocks=2)
+    q.commit(msg(), q.reserve(2))
+    woken = []
+
+    def waiter():
+        yield q.space_gate.wait()
+        woken.append(sim.now)
+
+    def popper():
+        yield sim.timeout(5)
+        q.pop()
+
+    sim.process(waiter())
+    sim.process(popper())
+    sim.run()
+    assert woken == [5]
+
+
+def test_slot_wraparound_reuses_addresses():
+    _, q = make_queue(blocks=4)
+    for _ in range(10):
+        addrs = q.reserve(2)
+        q.commit(msg(), addrs)
+        q.pop()
+    # Cursors advanced 20 blocks; addresses stay within the 4 slots.
+    assert q.addr_of(q._tail) in {q.addr_of(i) for i in range(4)}
+
+
+def test_occupancy_stats():
+    _, q = make_queue(blocks=8)
+    q.commit(msg(), q.reserve(4))
+    assert q.used_blocks == 4
+    assert q.peak_occupancy == 4
+    q.pop()
+    assert q.used_blocks == 0
+    assert q.peak_occupancy == 4
+    assert q.enqueued == 1 and q.dequeued == 1
+
+
+def test_blocks_for():
+    _, q = make_queue()
+    assert q.blocks_for(1) == 1
+    assert q.blocks_for(64) == 1
+    assert q.blocks_for(65) == 2
+    assert q.blocks_for(256) == 4
+
+
+def test_pointer_addrs_distinct_for_send_and_recv():
+    from repro.ni.queue import POINTER_OFFSET, RECV_SLOT_OFFSET
+    sim = Simulator()
+    send_q = CoherentQueue(sim, 0x9000_0000, 8, 64, "s",
+                           pointer_offset=POINTER_OFFSET)
+    recv_q = CoherentQueue(sim, 0xA000_0000 + RECV_SLOT_OFFSET, 8, 64, "r",
+                           pointer_offset=POINTER_OFFSET + 64)
+    assert send_q.pointer_addr != recv_q.pointer_addr
+    # Their direct-mapped set indices differ in a 16K-set cache.
+    sets = 16384
+    send_set = (send_q.pointer_addr // 64) % sets
+    recv_set = (recv_q.pointer_addr // 64) % sets
+    assert send_set != recv_set
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CoherentQueue(sim, 0, 0, 64)

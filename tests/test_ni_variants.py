@@ -1,0 +1,35 @@
+"""Tests for the NI variant registry used by ablations."""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.ni.registry import ni_class, register_variant, variant
+
+
+def test_variant_registers_subclass_with_overrides():
+    name = variant("cni32qm", "testnoopt", use_optimizations=False)
+    assert name == "cni32qm@testnoopt"
+    cls = ni_class(name)
+    assert cls.use_optimizations is False
+    assert cls.ni_name == "cni32qm"   # label preserved for counters
+    base = ni_class("cni32qm")
+    assert issubclass(cls, base)
+    assert base.use_optimizations is True   # base untouched
+
+
+def test_variant_is_constructible_on_a_machine():
+    name = variant("cni32qm", "testdrop", drop_dead_blocks=False)
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, name, num_nodes=2)
+    assert machine.node(0).ni.drop_dead_blocks is False
+
+
+def test_variant_reregistration_overwrites():
+    variant("cm5", "x")
+    variant("cm5", "x")   # no error
+    assert ni_class("cm5@x") is not None
+
+
+def test_register_variant_direct():
+    cls = ni_class("cm5")
+    register_variant("my-cm5", cls)
+    assert ni_class("my-cm5") is cls

@@ -1,0 +1,120 @@
+"""Unit tests for node assembly, staging allocator and the machine."""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.node import (
+    STAGING_IN_BASE,
+    STAGING_OUT_BASE,
+    STAGING_WINDOW_BLOCKS,
+    StagingAllocator,
+)
+
+
+def test_machine_builds_default_node_count():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5")
+    assert len(machine) == 16           # Table 3
+    assert [n.node_id for n in machine] == list(range(16))
+
+
+def test_machine_node_count_override():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5", num_nodes=4)
+    assert len(machine) == 4
+
+
+def test_each_node_has_private_bus_and_cache():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cni32qm", num_nodes=3)
+    buses = {id(n.bus) for n in machine}
+    caches = {id(n.cache) for n in machine}
+    assert len(buses) == 3 and len(caches) == 3
+
+
+def test_all_nodes_share_one_network():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5", num_nodes=3)
+    assert machine.network.node_ids == (0, 1, 2)
+
+
+def test_machine_validates_params():
+    bad = DEFAULT_PARAMS.replace(num_nodes=0)
+    with pytest.raises(ValueError):
+        Machine(bad, DEFAULT_COSTS, "cm5")
+
+
+def test_compute_rejects_negative():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5", num_nodes=1)
+    node = machine.node(0)
+
+    def prog():
+        yield from node.compute(-1)
+
+    machine.sim.process(prog())
+    with pytest.raises(ValueError):
+        machine.sim.run()
+
+
+def test_compute_advances_clock():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5", num_nodes=1)
+    node = machine.node(0)
+
+    def prog():
+        yield from node.compute(1234)
+
+    p = machine.sim.process(prog())
+    machine.sim.run(until=p)
+    assert machine.sim.now == 1234
+
+
+def test_state_breakdown_merges_all_nodes():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5", num_nodes=2)
+
+    def prog(node):
+        yield from node.compute(100)
+
+    procs = [machine.sim.process(prog(n)) for n in machine]
+    machine.sim.run(until=machine.sim.all_of(procs))
+    machine.finish()
+    assert machine.state_breakdown()["compute"] == 200
+
+
+# ------------------------------------------------------------- staging
+
+def test_staging_allocator_block_counts():
+    staging = StagingAllocator(DEFAULT_PARAMS)
+    assert len(staging.out_blocks(1)) == 1
+    assert len(staging.out_blocks(64)) == 1
+    assert len(staging.out_blocks(65)) == 2
+    assert len(staging.in_blocks(256)) == 4
+
+
+def test_staging_rotates_without_immediate_reuse():
+    staging = StagingAllocator(DEFAULT_PARAMS)
+    first = staging.out_blocks(256)
+    second = staging.out_blocks(256)
+    assert not set(first) & set(second)
+
+
+def test_staging_windows_are_disjoint():
+    staging = StagingAllocator(DEFAULT_PARAMS)
+    outs = set(staging.out_blocks(STAGING_WINDOW_BLOCKS * 64))
+    ins = set(staging.in_blocks(STAGING_WINDOW_BLOCKS * 64))
+    assert not outs & ins
+
+
+def test_staging_does_not_alias_cni_queue_sets():
+    # Direct-mapped set indices must avoid the CNI queue slots
+    # (sets 0..1023); see the layout comment in node.py.
+    sets = DEFAULT_PARAMS.cache_sets
+    for base in (STAGING_OUT_BASE, STAGING_IN_BASE):
+        for i in range(STAGING_WINDOW_BLOCKS):
+            set_index = ((base // 64) + i) % sets
+            assert set_index >= 1024
+
+
+def test_staging_wraps_within_window():
+    staging = StagingAllocator(DEFAULT_PARAMS)
+    seen = set()
+    for _ in range(3 * STAGING_WINDOW_BLOCKS // 4):
+        seen.update(staging.out_blocks(256))
+    lo, hi = min(seen), max(seen)
+    assert lo >= STAGING_OUT_BASE
+    assert hi < STAGING_OUT_BASE + STAGING_WINDOW_BLOCKS * 64

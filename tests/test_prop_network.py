@@ -1,0 +1,134 @@
+"""Property-based tests for flow control, queues and fragmentation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.network import FlowControlUnit, Message, Network, fragment_payload
+from repro.ni.queue import CoherentQueue
+from repro.sim import Simulator
+
+
+# ------------------------------------------------------- fragmentation
+
+@given(
+    st.integers(min_value=0, max_value=100_000),
+    st.integers(min_value=16, max_value=1024),
+    st.integers(min_value=4, max_value=15),
+)
+def test_fragmentation_conserves_bytes(total, max_msg, header):
+    frags = fragment_payload(total, max_message_bytes=max_msg,
+                             header_bytes=header)
+    assert sum(frags) == max(total, 0) or (total == 0 and frags == [0])
+    assert all(0 <= f <= max_msg - header for f in frags)
+    # Greedy fragmentation: every fragment except the last is full.
+    assert all(f == max_msg - header for f in frags[:-1])
+
+
+# ------------------------------------------------------- flow control
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.lists(st.integers(min_value=16, max_value=256), min_size=1,
+             max_size=25),
+    st.integers(min_value=0, max_value=2000),
+)
+@settings(max_examples=50, deadline=None)
+def test_no_message_lost_or_duplicated(fcb, sizes, consumer_delay):
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=fcb)
+    sim = Simulator()
+    net = Network(sim, params)
+    tx = FlowControlUnit(sim, net, 0, params, DEFAULT_COSTS)
+    rx = FlowControlUnit(sim, net, 1, params, DEFAULT_COSTS)
+    sent = [Message(src=0, dst=1, size=s, body=i)
+            for i, s in enumerate(sizes)]
+    received = []
+
+    def sender():
+        for msg in sent:
+            yield from tx.send(msg)
+
+    def consumer():
+        while len(received) < len(sent):
+            msg = yield rx.inbound.get()
+            if consumer_delay:
+                yield sim.timeout(consumer_delay)
+            received.append(msg.body)
+            rx.release_receive_buffer()
+
+    sim.process(sender())
+    done = sim.process(consumer())
+    sim.run(until=done)
+    assert sorted(received) == list(range(len(sent)))   # exactly once
+    # All buffers returned at quiescence.
+    sim.run()
+    assert tx.send_buffers_in_use == 0
+    assert rx.recv_buffers.in_use == 0
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=2, max_value=20),
+)
+@settings(max_examples=30, deadline=None)
+def test_bounced_messages_eventually_accepted(fcb, count):
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=fcb)
+    sim = Simulator()
+    net = Network(sim, params)
+    tx = FlowControlUnit(sim, net, 0, params, DEFAULT_COSTS)
+    rx = FlowControlUnit(sim, net, 1, params, DEFAULT_COSTS)
+    got = []
+
+    def sender():
+        for i in range(count):
+            yield from tx.send(Message(src=0, dst=1, size=64, body=i))
+
+    def consumer():
+        while len(got) < count:
+            msg = yield rx.inbound.get()
+            yield sim.timeout(1500)          # slow: force bounces
+            got.append(msg.body)
+            rx.release_receive_buffer()
+
+    sim.process(sender())
+    done = sim.process(consumer())
+    sim.run(until=done)
+    assert sorted(got) == list(range(count))
+
+
+# ------------------------------------------------------- coherent queue
+
+queue_op = st.sampled_from(["enqueue", "dequeue"])
+
+
+@given(
+    st.integers(min_value=2, max_value=16),
+    st.lists(st.tuples(queue_op, st.integers(min_value=1, max_value=4)),
+             min_size=1, max_size=60),
+)
+def test_queue_occupancy_and_fifo(num_blocks, ops):
+    sim = Simulator()
+    q = CoherentQueue(sim, 0x9000_0000, num_blocks, 64, "q")
+    next_id = 0
+    expected_order = []
+    for op, nblocks in ops:
+        if op == "enqueue":
+            if nblocks <= num_blocks and q.can_reserve(nblocks):
+                addrs = q.reserve(nblocks)
+                assert len(addrs) == nblocks
+                msg = Message(src=0, dst=1, size=nblocks * 64,
+                              body=next_id)
+                q.commit(msg, addrs)
+                expected_order.append(next_id)
+                next_id += 1
+        else:
+            if len(q):
+                msg, addrs = q.pop()
+                assert msg.body == expected_order.pop(0)   # FIFO
+        assert 0 <= q.free_blocks <= num_blocks
+        assert q.used_blocks + q.free_blocks == num_blocks
+    # Drain and verify full conservation.
+    while len(q):
+        msg, _ = q.pop()
+        assert msg.body == expected_order.pop(0)
+    assert q.free_blocks == num_blocks

@@ -1,0 +1,120 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator, Store, TokenPool
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                max_size=50))
+def test_timeouts_fire_in_order(delays):
+    sim = Simulator()
+    fired = []
+
+    def waiter(delay, index):
+        yield sim.timeout(delay)
+        fired.append((sim.now, index))
+
+    for index, delay in enumerate(delays):
+        sim.process(waiter(delay, index))
+    sim.run()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+    # Ties resolve in creation order (determinism).
+    for i in range(1, len(fired)):
+        if fired[i][0] == fired[i - 1][0]:
+            assert fired[i][1] > fired[i - 1][1]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                max_size=40))
+def test_simulation_is_deterministic(delays):
+    def run_once():
+        sim = Simulator()
+        log = []
+
+        def worker(d, i):
+            yield sim.timeout(d)
+            log.append((sim.now, i))
+            yield sim.timeout(d % 7)
+            log.append((sim.now, i, "again"))
+
+        for i, d in enumerate(delays):
+            sim.process(worker(d, i))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.integers(min_value=1, max_value=200), min_size=1,
+             max_size=30),
+)
+def test_token_pool_conservation(size, hold_times):
+    sim = Simulator()
+    pool = TokenPool(sim, size)
+    max_in_use = [0]
+
+    def user(hold):
+        yield pool.acquire()
+        max_in_use[0] = max(max_in_use[0], pool.in_use)
+        yield sim.timeout(hold)
+        pool.release()
+
+    for hold in hold_times:
+        sim.process(user(hold))
+    sim.run()
+    assert pool.available == size          # everything returned
+    assert max_in_use[0] <= size           # never over-granted
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=50))
+def test_store_preserves_fifo_order(items):
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == items
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(st.integers(), min_size=1, max_size=30),
+)
+def test_bounded_store_never_exceeds_capacity(capacity, items):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    peak = [0]
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+            peak[0] = max(peak[0], len(store))
+
+    def consumer():
+        for _ in items:
+            yield sim.timeout(3)
+            yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert peak[0] <= capacity
+    assert len(store) == 0

@@ -1,0 +1,143 @@
+"""Additional runtime edge-case tests."""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.network.message import MessageKind
+
+
+def make_machine(ni_name="cni32qm", nodes=2):
+    return Machine(DEFAULT_PARAMS, DEFAULT_COSTS, ni_name, num_nodes=nodes)
+
+
+def test_service_max_handlers_limits_execution():
+    machine = make_machine()
+    handled = []
+    machine.node(1).runtime.register_handler(
+        "h", lambda r, m: handled.append(m.body)
+    )
+
+    def sender(node):
+        for i in range(5):
+            yield from node.runtime.send(1, "h", 8, body=i)
+
+    def receiver(node):
+        # Let everything arrive first.
+        yield from node.compute(30_000)
+        count = yield from node.runtime.service(max_handlers=2)
+        return count
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert done.value == 2
+    assert len(handled) == 2
+
+
+def test_handlers_observe_message_kind_and_source():
+    machine = make_machine()
+    seen = []
+    machine.node(1).runtime.register_handler(
+        "h", lambda r, m: seen.append((m.src, m.kind, m.handler))
+    )
+
+    def sender(node):
+        yield from node.runtime.send(1, "h", 8)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: seen)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert seen == [(0, MessageKind.ACTIVE_MESSAGE, "h")]
+
+
+def test_wait_for_immediate_predicate_costs_little():
+    machine = make_machine()
+
+    def prog(node):
+        start = machine.sim.now
+        yield from node.runtime.wait_for(lambda: True)
+        return machine.sim.now - start
+
+    done = machine.sim.process(prog(machine.node(0)))
+    machine.sim.run(until=done)
+    # One empty poll at most (a cold cached poll can miss to memory).
+    assert done.value <= 200
+
+
+def test_sent_sizes_histogram_counts_only_recorded():
+    machine = make_machine()
+    machine.node(1).runtime.register_handler("h", lambda r, m: None)
+
+    def sender(node):
+        yield from node.runtime.send(1, "h", 4)
+        yield from node.runtime.send(1, "h", 4)
+        yield from node.runtime.send(1, "h", 100, record=False)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(
+            lambda: node.runtime.counters["handled"] >= 3
+        )
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    sizes = machine.node(0).runtime.sent_sizes
+    assert sizes.count == 2
+    assert sizes.buckets() == {12: 2}
+
+
+def test_two_machines_are_fully_isolated():
+    a = make_machine()
+    b = make_machine()
+    got_a, got_b = [], []
+    a.node(1).runtime.register_handler("h", lambda r, m: got_a.append(m))
+    b.node(1).runtime.register_handler("h", lambda r, m: got_b.append(m))
+
+    def sender(machine):
+        def run(node):
+            yield from node.runtime.send(1, "h", 8)
+        return run(machine.node(0))
+
+    def receiver(machine, got):
+        def run(node):
+            yield from node.runtime.wait_for(lambda: got)
+        return run(machine.node(1))
+
+    pa = a.sim.process(sender(a))
+    da = a.sim.process(receiver(a, got_a))
+    a.sim.run(until=da)
+    pb = b.sim.process(sender(b))
+    db = b.sim.process(receiver(b, got_b))
+    b.sim.run(until=db)
+    assert len(got_a) == 1 and len(got_b) == 1
+
+
+@pytest.mark.parametrize("ni_name", ["cm5", "ap3000", "cni32qm"])
+def test_multi_hop_traffic_across_16_nodes(ni_name):
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, ni_name, num_nodes=16)
+    received = [0]
+
+    def on_hop(rt, msg):
+        received[0] += 1
+        nxt = (rt.node.node_id + 1) % 16
+        if msg.body > 0:
+            yield from rt.send(nxt, "hop", 8, body=msg.body - 1)
+
+    for node in machine:
+        node.runtime.register_handler("hop", on_hop)
+
+    def starter(node):
+        yield from node.runtime.send(1, "hop", 8, body=31)
+        yield from node.runtime.wait_for(lambda: received[0] >= 32)
+
+    def idler(node):
+        yield from node.runtime.wait_for(lambda: received[0] >= 32)
+
+    done = machine.sim.process(starter(machine.node(0)))
+    for node in list(machine)[1:]:
+        machine.sim.process(idler(node))
+    machine.sim.run(until=done)
+    assert received[0] == 32   # the token went twice around the ring

@@ -1,0 +1,98 @@
+"""Tests for the serialized receive path and retry bookkeeping."""
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+
+
+def test_receive_one_handles_exactly_one():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cni32qm", num_nodes=2)
+    got = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: got.append(m.body))
+
+    def sender(node):
+        for i in range(3):
+            yield from node.runtime.send(1, "h", 8, body=i)
+
+    def receiver(node):
+        rt = node.runtime
+        while len(got) < 3:
+            msg = yield from rt.receive_one()
+            if msg is None:
+                yield node.ni.wait_signal()
+        return len(got)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert got == [0, 1, 2]
+
+
+def test_receive_one_returns_none_when_idle():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cni32qm", num_nodes=2)
+
+    def receiver(node):
+        msg = yield from node.runtime.receive_one()
+        return msg
+
+    done = machine.sim.process(receiver(machine.node(0)))
+    machine.sim.run(until=done)
+    assert done.value is None
+
+
+def test_receive_one_consumes_deferred_first():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cni32qm", num_nodes=2)
+    got = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: got.append(m.body))
+
+    def sender(node):
+        for i in range(2):
+            yield from node.runtime.send(1, "h", 8, body=i)
+
+    def receiver(node):
+        rt = node.runtime
+        # Absorb both into the deferred queue without running handlers.
+        absorbed = 0
+        while absorbed < 2:
+            absorbed += yield from rt.absorb_pending()
+            if absorbed < 2:
+                yield node.ni.wait_signal()
+        assert rt.pending_handlers == 2
+        yield from rt.receive_one()
+        assert rt.pending_handlers == 1
+        yield from rt.receive_one()
+        return got
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert done.value == [0, 1]
+
+
+def test_fifo_retry_bookkeeping_balances():
+    # Force bounces with fcb=1 and a slow consumer; afterwards all
+    # returned messages must have been retried and delivered.
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=1)
+    machine = Machine(params, DEFAULT_COSTS, "cm5", num_nodes=2)
+    got = []
+
+    def handler(rt, msg):
+        got.append(msg.body)
+        yield from rt.node.compute(3_000)
+
+    machine.node(1).runtime.register_handler("h", handler)
+
+    def sender(node):
+        for i in range(6):
+            yield from node.runtime.send(1, "h", 56, body=i)
+        yield from node.runtime.wait_for(lambda: len(got) >= 6)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(got) >= 6)
+
+    done = machine.sim.process(sender(machine.node(0)))
+    machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert sorted(got) == list(range(6))
+    tx = machine.node(0).ni
+    assert tx.fcu.pending_returns == 0
+    assert tx.counters["processor_retries"] == tx.fcu.counters["retried"]
+    assert tx.fcu.counters["bounced_back"] == tx.counters["processor_retries"]

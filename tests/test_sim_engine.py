@@ -1,0 +1,168 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout
+from repro.sim.events import SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_run_empty_queue_is_noop():
+    sim = Simulator()
+    sim.run()
+    assert sim.now == 0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(25)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 25
+
+
+def test_timeout_zero_is_legal():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(0)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Timeout(sim, -1)
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+
+    def proc():
+        while True:
+            yield sim.timeout(10)
+
+    sim.process(proc())
+    sim.run(until=35)
+    assert sim.now == 35
+
+
+def test_run_until_time_processes_events_at_boundary():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(10)
+        seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=10)
+    assert seen == [10]
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(50)
+
+    sim.process(proc())
+    sim.run(until=40)
+    with pytest.raises(SimulationError):
+        sim.run(until=30)
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(7)
+        return "payload"
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "payload"
+    assert sim.now == 7
+
+
+def test_run_until_event_that_never_fires_raises():
+    sim = Simulator()
+    orphan = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run(until=orphan)
+
+
+def test_fifo_order_for_simultaneous_events():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(5)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_determinism_across_runs():
+    def build_and_run():
+        sim = Simulator()
+        log = []
+
+        def worker(tag, period):
+            for _ in range(5):
+                yield sim.timeout(period)
+                log.append((sim.now, tag))
+
+        sim.process(worker("x", 3))
+        sim.process(worker("y", 5))
+        sim.process(worker("z", 3))
+        sim.run()
+        return log
+
+    assert build_and_run() == build_and_run()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.timeout(12)
+    assert sim.peek() == 12
+
+
+def test_step_on_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_nested_process_spawning():
+    sim = Simulator()
+    results = []
+
+    def child(n):
+        yield sim.timeout(n)
+        return n * 2
+
+    def parent():
+        outcomes = []
+        for n in (1, 2, 3):
+            outcomes.append((yield sim.process(child(n))))
+        results.extend(outcomes)
+
+    sim.process(parent())
+    sim.run()
+    assert results == [2, 4, 6]
+    assert sim.now == 6

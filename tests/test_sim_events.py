@@ -1,0 +1,157 @@
+"""Unit tests for events, conditions, and failure propagation."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Simulator
+from repro.sim.events import SimulationError
+
+
+def test_event_lifecycle_flags():
+    sim = Simulator()
+    evt = sim.event()
+    assert not evt.triggered and not evt.processed and evt.ok is None
+    evt.succeed(42)
+    assert evt.triggered and not evt.processed and evt.ok is True
+    sim.run()
+    assert evt.processed
+    assert evt.value == 42
+
+
+def test_double_trigger_is_an_error():
+    sim = Simulator()
+    evt = sim.event()
+    evt.succeed()
+    with pytest.raises(SimulationError):
+        evt.succeed()
+    with pytest.raises(SimulationError):
+        evt.fail(RuntimeError("x"))
+
+
+def test_value_before_trigger_raises():
+    sim = Simulator()
+    evt = sim.event()
+    with pytest.raises(SimulationError):
+        _ = evt.value
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    evt = sim.event()
+    with pytest.raises(TypeError):
+        evt.fail("not an exception")
+
+
+def test_succeed_with_delay():
+    sim = Simulator()
+    evt = sim.event()
+
+    def waiter():
+        value = yield evt
+        return (sim.now, value)
+
+    p = sim.process(waiter())
+    evt.succeed("late", delay=30)
+    sim.run()
+    assert p.value == (30, "late")
+
+
+def test_failed_event_raises_in_waiter():
+    sim = Simulator()
+    evt = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield evt
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter())
+    evt.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unconsumed_failure_crashes_simulation():
+    sim = Simulator()
+    evt = sim.event()
+    evt.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError, match="nobody caught me"):
+        sim.run()
+
+
+def test_callback_on_processed_event_runs_immediately():
+    sim = Simulator()
+    evt = sim.event()
+    evt.succeed("v")
+    sim.run()
+    seen = []
+    evt.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_all_of_collects_all_values():
+    sim = Simulator()
+    t1 = sim.timeout(5, value="a")
+    t2 = sim.timeout(10, value="b")
+
+    def waiter():
+        values = yield AllOf(sim, [t1, t2])
+        return values
+
+    p = sim.process(waiter())
+    sim.run()
+    assert p.value == {t1: "a", t2: "b"}
+    assert sim.now == 10
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    fast = sim.timeout(3, value="fast")
+    slow = sim.timeout(100, value="slow")
+
+    def waiter():
+        values = yield AnyOf(sim, [fast, slow])
+        return (sim.now, values)
+
+    p = sim.process(waiter())
+    sim.run()
+    when, values = p.value
+    assert when == 3
+    assert values == {fast: "fast"}
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    assert cond.triggered
+
+
+def test_all_of_propagates_failure():
+    sim = Simulator()
+    good = sim.timeout(5)
+    bad = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield AllOf(sim, [good, bad])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter())
+    bad.fail(ValueError("broken"), delay=1)
+    sim.run()
+    assert caught == ["broken"]
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield "not an event"
+
+    p = sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+    assert p.ok is False

@@ -1,0 +1,86 @@
+"""Unit tests for the Gate broadcast primitive and TokenPool.cancel."""
+
+from repro.sim import Gate, Simulator, TokenPool
+
+
+def test_gate_wakes_all_waiters():
+    sim = Simulator()
+    gate = Gate(sim)
+    woken = []
+
+    def waiter(tag):
+        yield gate.wait()
+        woken.append((tag, sim.now))
+
+    def pulser():
+        yield sim.timeout(10)
+        count = gate.pulse("hello")
+        return count
+
+    sim.process(waiter("a"))
+    sim.process(waiter("b"))
+    p = sim.process(pulser())
+    sim.run()
+    assert sorted(tag for tag, _ in woken) == ["a", "b"]
+    assert all(t == 10 for _, t in woken)
+    assert p.value == 2
+
+
+def test_gate_pulse_with_no_waiters_is_harmless():
+    sim = Simulator()
+    gate = Gate(sim)
+    assert gate.pulse() == 0
+    assert gate.waiting == 0
+
+
+def test_gate_wait_after_pulse_needs_new_pulse():
+    # Pulses are edges, not levels: a late waiter misses earlier ones.
+    sim = Simulator()
+    gate = Gate(sim)
+    gate.pulse()
+    woken = []
+
+    def late_waiter():
+        yield gate.wait()
+        woken.append(sim.now)
+
+    def second_pulse():
+        yield sim.timeout(7)
+        gate.pulse()
+
+    sim.process(late_waiter())
+    sim.process(second_pulse())
+    sim.run()
+    assert woken == [7]
+
+
+def test_gate_waiting_count():
+    sim = Simulator()
+    gate = Gate(sim)
+    gate.wait()
+    gate.wait()
+    assert gate.waiting == 2
+    gate.pulse()
+    assert gate.waiting == 0
+
+
+def test_token_pool_cancel_pending_acquire():
+    sim = Simulator()
+    pool = TokenPool(sim, 1)
+    assert pool.try_acquire()
+    pending = pool.acquire()
+    assert not pending.triggered
+    pool.cancel(pending)
+    pool.release()
+    # The cancelled waiter must not have consumed the freed token.
+    assert pool.available == 1
+    assert not pending.triggered
+
+
+def test_token_pool_cancel_granted_is_noop():
+    sim = Simulator()
+    pool = TokenPool(sim, 2)
+    granted = pool.acquire()
+    assert granted.triggered
+    pool.cancel(granted)   # no error, no state change
+    assert pool.in_use == 1

@@ -1,0 +1,166 @@
+"""Unit tests for generator-driven processes and interrupts."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+from repro.sim.events import SimulationError
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+        return {"answer": 41 + 1}
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == {"answer": 42}
+
+
+def test_process_is_alive_until_done():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10)
+
+    p = sim.process(proc())
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_waiting_on_another_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(4)
+        return "child-done"
+
+    def parent():
+        value = yield sim.process(child())
+        return f"saw {value}"
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == "saw child-done"
+
+
+def test_exception_in_process_propagates_to_waiter():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        raise KeyError("inner")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except KeyError:
+            return "handled"
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == "handled"
+
+
+def test_unhandled_process_exception_crashes_run():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+        raise ValueError("unhandled")
+
+    sim.process(proc())
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    def interrupter(victim):
+        yield sim.timeout(50)
+        victim.interrupt("wake up")
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    assert log == [(50, "wake up")]
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+        except Interrupt:
+            pass
+        yield sim.timeout(10)
+        return sim.now
+
+    def interrupter(victim):
+        yield sim.timeout(5)
+        victim.interrupt()
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    assert victim.value == 15
+
+
+def test_interrupt_finished_process_is_error():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_immediate_chain_of_processed_events():
+    # Yielding an already-processed event must resume without deadlock.
+    sim = Simulator()
+
+    def proc():
+        evt = sim.event()
+        evt.succeed("early")
+        sim.run_marker = True
+        yield sim.timeout(0)
+        value = yield evt  # processed by now
+        return value
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "early"
+
+
+def test_many_processes_make_progress():
+    sim = Simulator()
+    done = []
+
+    def worker(i):
+        yield sim.timeout(i % 7)
+        done.append(i)
+
+    for i in range(200):
+        sim.process(worker(i))
+    sim.run()
+    assert sorted(done) == list(range(200))

@@ -1,0 +1,214 @@
+"""Unit tests for Resource, Store and TokenPool."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store, TokenPool
+from repro.sim.events import SimulationError
+
+
+# ---------------------------------------------------------------- Resource
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered and not r3.triggered
+    assert res.count == 2 and res.queue_length == 1
+
+
+def test_resource_fifo_handoff():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(tag, hold):
+        req = res.request()
+        yield req
+        order.append(("acq", tag, sim.now))
+        yield sim.timeout(hold)
+        res.release(req)
+
+    sim.process(user("a", 10))
+    sim.process(user("b", 10))
+    sim.process(user("c", 10))
+    sim.run()
+    assert order == [("acq", "a", 0), ("acq", "b", 10), ("acq", "c", 20)]
+
+
+def test_resource_context_manager_releases():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user():
+        with (yield res.request()):
+            yield sim.timeout(5)
+        return res.count
+
+    p = sim.process(user())
+    sim.run()
+    assert p.value == 0
+
+
+def test_release_unheld_request_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    req = res.request()
+    res.release(req)
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_cancel_waiting_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    waiting = res.request()
+    waiting.cancel()
+    res.release(held)
+    assert not waiting.triggered
+    assert res.count == 0
+
+
+# ---------------------------------------------------------------- Store
+
+def test_store_put_get_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            out.append(item)
+
+    def producer():
+        for item in ("x", "y", "z"):
+            yield store.put(item)
+            yield sim.timeout(1)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert out == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer():
+        item = yield store.get()
+        return (sim.now, item)
+
+    def producer():
+        yield sim.timeout(42)
+        yield store.put("late item")
+
+    p = sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert p.value == (42, "late item")
+
+
+def test_bounded_store_blocks_put_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put(1)
+        times.append(sim.now)
+        yield store.put(2)
+        times.append(sim.now)
+
+    def consumer():
+        yield sim.timeout(30)
+        yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert times == [0, 30]
+
+
+def test_store_try_put_try_get():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.try_put("a")
+    assert store.try_put("b")
+    assert not store.try_put("c")
+    assert store.try_get() == "a"
+    assert store.try_get() == "b"
+    assert store.try_get() is None
+
+
+def test_store_len_and_items():
+    sim = Simulator()
+    store = Store(sim)
+    store.try_put(1)
+    store.try_put(2)
+    assert len(store) == 2
+    assert store.items == (1, 2)
+
+
+def test_store_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+# ---------------------------------------------------------------- TokenPool
+
+def test_token_pool_counts():
+    sim = Simulator()
+    pool = TokenPool(sim, 3)
+    assert pool.available == 3 and pool.in_use == 0
+    assert pool.try_acquire()
+    assert pool.available == 2 and pool.in_use == 1
+    pool.release()
+    assert pool.available == 3
+
+
+def test_token_pool_blocks_when_empty():
+    sim = Simulator()
+    pool = TokenPool(sim, 1)
+    grants = []
+
+    def user(tag):
+        yield pool.acquire()
+        grants.append((tag, sim.now))
+        yield sim.timeout(10)
+        pool.release()
+
+    sim.process(user("a"))
+    sim.process(user("b"))
+    sim.run()
+    assert grants == [("a", 0), ("b", 10)]
+
+
+def test_infinite_pool_never_blocks():
+    sim = Simulator()
+    pool = TokenPool(sim, None)
+    for _ in range(1000):
+        assert pool.try_acquire()
+    assert pool.available is None
+    pool.release()  # no-op, no error
+
+
+def test_over_release_raises():
+    sim = Simulator()
+    pool = TokenPool(sim, 2)
+    with pytest.raises(SimulationError):
+        pool.release()
+
+
+def test_pool_size_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TokenPool(sim, 0)

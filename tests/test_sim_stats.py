@@ -1,0 +1,160 @@
+"""Unit tests for counters, histograms and state timers."""
+
+import pytest
+
+from repro.sim import Counter, Histogram, Simulator, StateTimer
+from repro.sim.stats import breakdown_fractions, merge_state_totals
+
+
+# ---------------------------------------------------------------- Counter
+
+def test_counter_basic():
+    c = Counter()
+    c.add("msgs")
+    c.add("msgs", 4)
+    assert c["msgs"] == 5
+    assert c["absent"] == 0
+    assert "msgs" in c and "absent" not in c
+
+
+def test_counter_reset_and_dict():
+    c = Counter()
+    c.add("a", 2)
+    assert c.as_dict() == {"a": 2}
+    c.reset()
+    assert c.as_dict() == {}
+
+
+# ---------------------------------------------------------------- Histogram
+
+def test_histogram_stats():
+    h = Histogram()
+    h.extend([1, 2, 3, 4, 5])
+    assert h.count == 5
+    assert h.mean == 3
+    assert h.minimum == 1
+    assert h.maximum == 5
+    assert h.median == 3
+
+
+def test_histogram_percentile_nearest_rank():
+    h = Histogram()
+    h.extend(range(1, 101))
+    assert h.percentile(0.99) == 99
+    assert h.percentile(1.0) == 100
+    assert h.percentile(0.0) == 1
+
+
+def test_histogram_percentile_validation():
+    h = Histogram()
+    h.add(1)
+    with pytest.raises(ValueError):
+        h.percentile(1.5)
+
+
+def test_histogram_empty_raises():
+    h = Histogram()
+    with pytest.raises(ValueError):
+        _ = h.mean
+    with pytest.raises(ValueError):
+        h.percentile(0.5)
+
+
+def test_histogram_buckets_and_fraction():
+    h = Histogram()
+    h.add(12, count=67)
+    h.add(32, count=33)
+    assert h.buckets() == {12: 67, 32: 33}
+    assert h.fraction_of(12) == pytest.approx(0.67)
+    assert h.fraction_of(99) == 0.0
+
+
+# ---------------------------------------------------------------- StateTimer
+
+def test_state_timer_attribution():
+    sim = Simulator()
+    timer = StateTimer(sim, initial="compute")
+
+    def proc():
+        yield sim.timeout(10)          # 10 compute
+        timer.enter("send")
+        yield sim.timeout(4)           # 4 send
+        timer.enter("compute")
+        yield sim.timeout(6)           # 6 compute
+        timer.finish()
+
+    sim.process(proc())
+    sim.run()
+    assert timer.total("compute") == 16
+    assert timer.total("send") == 4
+
+
+def test_state_timer_push_pop_nesting():
+    sim = Simulator()
+    timer = StateTimer(sim, initial="compute")
+
+    def proc():
+        timer.enter("send")
+        yield sim.timeout(5)
+        timer.push("buffering")        # stall in the middle of a send
+        yield sim.timeout(20)
+        timer.pop()                    # back to "send"
+        yield sim.timeout(5)
+        timer.finish()
+
+    sim.process(proc())
+    sim.run()
+    assert timer.total("send") == 10
+    assert timer.total("buffering") == 20
+
+
+def test_state_timer_fractions_sum_to_one():
+    sim = Simulator()
+    timer = StateTimer(sim)
+
+    def proc():
+        yield sim.timeout(30)
+        timer.enter("send")
+        yield sim.timeout(70)
+        timer.finish()
+
+    sim.process(proc())
+    sim.run()
+    fractions = timer.fractions()
+    assert fractions == {"compute": 0.3, "send": 0.7}
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_state_timer_use_after_finish_raises():
+    sim = Simulator()
+    timer = StateTimer(sim)
+    timer.finish()
+    with pytest.raises(RuntimeError):
+        timer.enter("send")
+
+
+def test_merge_and_breakdown():
+    sim = Simulator()
+    t1 = StateTimer(sim)
+    t2 = StateTimer(sim)
+
+    def proc():
+        yield sim.timeout(10)
+        t1.enter("send")
+        t2.enter("recv")
+        yield sim.timeout(10)
+        t1.finish()
+        t2.finish()
+
+    sim.process(proc())
+    sim.run()
+    merged = merge_state_totals([t1, t2])
+    assert merged == {"compute": 20, "send": 10, "recv": 10}
+    groups = {"compute": ("compute",), "data_transfer": ("send", "recv")}
+    fractions = breakdown_fractions(merged, groups)
+    assert fractions["compute"] == pytest.approx(0.5)
+    assert fractions["data_transfer"] == pytest.approx(0.5)
+
+
+def test_breakdown_empty_is_empty():
+    assert breakdown_fractions({}) == {}

@@ -1,0 +1,58 @@
+"""Unit tests for the tracer."""
+
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=False)
+    tracer.log("bus", "txn", op="read")
+    assert len(tracer) == 0
+
+
+def test_enabled_tracer_records_with_time():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+
+    def proc():
+        yield sim.timeout(30)
+        tracer.log("cache0", "miss", addr=0x100)
+
+    sim.process(proc())
+    sim.run()
+    assert len(tracer) == 1
+    record = tracer.records[0]
+    assert record.time == 30
+    assert record.source == "cache0"
+    assert record.detail == {"addr": 0x100}
+
+
+def test_filter_by_source_and_category():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    tracer.log("a", "x", v=1)
+    tracer.log("a", "y", v=2)
+    tracer.log("b", "x", v=3)
+    assert len(tracer.filter(source="a")) == 2
+    assert len(tracer.filter(category="x")) == 2
+    assert len(tracer.filter(source="b", category="x")) == 1
+    assert tracer.filter(source="zzz") == []
+
+
+def test_format_and_clear():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    tracer.log("bus", "txn", op="read", addr=16)
+    text = tracer.format()
+    assert "bus" in text and "op=read" in text
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_format_limit():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    for i in range(10):
+        tracer.log("s", "c", i=i)
+    assert len(tracer.format(limit=3).splitlines()) == 3

@@ -1,0 +1,86 @@
+"""Tests for the synthetic traffic generator."""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.workloads.synthetic import PATTERNS, SyntheticTraffic
+
+
+def run_pattern(pattern, nodes=8, ni_name="cni32qm", **kwargs):
+    defaults = dict(messages_per_node=20, burst=5, compute_ns=500,
+                    handler_ns=50)
+    defaults.update(kwargs)
+    workload = SyntheticTraffic(pattern=pattern, **defaults)
+    workload.num_nodes = nodes
+    return workload, workload.run(
+        params=DEFAULT_PARAMS, costs=DEFAULT_COSTS, ni_name=ni_name
+    )
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_every_pattern_completes_and_delivers_all(pattern):
+    workload, result = run_pattern(pattern)
+    assert workload._received[0] == workload._expected
+    assert result.messages_sent >= workload._expected
+
+
+def test_unknown_pattern_rejected():
+    with pytest.raises(ValueError):
+        SyntheticTraffic(pattern="zigzag")
+    with pytest.raises(ValueError):
+        SyntheticTraffic(hotspot_fraction=1.5)
+
+
+def test_deterministic_per_seed():
+    _, a = run_pattern("uniform", seed=9)
+    _, b = run_pattern("uniform", seed=9)
+    assert a.elapsed_ns == b.elapsed_ns
+    # Different seeds produce different destination schedules (end-to-end
+    # times may coincide; the structure must not).
+    w9 = SyntheticTraffic(pattern="uniform", seed=9, messages_per_node=50)
+    w10 = SyntheticTraffic(pattern="uniform", seed=10, messages_per_node=50)
+    assert w9._destinations(0, 8) != w10._destinations(0, 8)
+
+
+def test_permutation_is_a_derangement():
+    workload = SyntheticTraffic(pattern="permutation",
+                                messages_per_node=5)
+    dests = {
+        node: workload._destinations(node, 8) for node in range(8)
+    }
+    targets = [d[0] for d in dests.values()]
+    assert sorted(targets) == list(range(8))      # a permutation
+    assert all(dests[n][0] != n for n in range(8))  # with no fixed point
+    assert all(len(set(d)) == 1 for d in dests.values())
+
+
+def test_hotspot_concentrates_on_node_zero():
+    workload = SyntheticTraffic(pattern="hotspot", hotspot_fraction=0.9,
+                                messages_per_node=200)
+    to_zero = sum(
+        1 for node in range(1, 8)
+        for dst in workload._destinations(node, 8) if dst == 0
+    )
+    total = 200 * 7
+    assert to_zero > 0.7 * total
+
+
+def test_neighbor_targets_ring_successor():
+    workload = SyntheticTraffic(pattern="neighbor", messages_per_node=3)
+    assert workload._destinations(2, 8) == [3, 3, 3]
+    assert workload._destinations(7, 8) == [0, 0, 0]
+
+
+def test_hotspot_bounces_more_than_permutation_on_fifo_ni():
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=2)
+
+    def bounces(pattern):
+        workload = SyntheticTraffic(pattern=pattern, messages_per_node=25,
+                                    burst=10, compute_ns=200,
+                                    handler_ns=300)
+        workload.num_nodes = 8
+        result = workload.run(params=params, costs=DEFAULT_COSTS,
+                              ni_name="cm5")
+        return result.bounces
+
+    assert bounces("hotspot") > bounces("permutation")

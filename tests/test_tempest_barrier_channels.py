@@ -1,0 +1,157 @@
+"""Unit tests for barriers and virtual channels."""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.tempest import Barrier, VirtualChannel
+
+
+def make_machine(nodes=4, ni_name="cni32qm"):
+    return Machine(DEFAULT_PARAMS, DEFAULT_COSTS, ni_name, num_nodes=nodes)
+
+
+# ------------------------------------------------------------- barrier
+
+def test_barrier_synchronises_all_nodes():
+    machine = make_machine(4)
+    barrier = Barrier(machine, name="t")
+    exit_times = {}
+
+    def prog(node, delay):
+        yield from node.compute(delay)
+        yield from barrier.wait(node)
+        exit_times[node.node_id] = machine.sim.now
+
+    procs = [
+        machine.sim.process(prog(node, 1000 * (node.node_id + 1)))
+        for node in machine
+    ]
+    machine.sim.run(until=machine.sim.all_of(procs))
+    # Nobody leaves before the slowest node arrived (4000 ns).
+    assert min(exit_times.values()) >= 4000
+
+
+def test_barrier_is_reusable_generations():
+    machine = make_machine(3)
+    barrier = Barrier(machine, name="g")
+    log = []
+
+    def prog(node):
+        for it in range(3):
+            yield from node.compute(100 * (node.node_id + 1))
+            yield from barrier.wait(node)
+            log.append((it, node.node_id, machine.sim.now))
+
+    procs = [machine.sim.process(prog(node)) for node in machine]
+    machine.sim.run(until=machine.sim.all_of(procs))
+    # All of generation k leaves before any of generation k+1.
+    for it in range(2):
+        end_k = max(t for i, _n, t in log if i == it)
+        start_k1 = min(t for i, _n, t in log if i == it + 1)
+        assert end_k <= start_k1
+
+
+def test_single_node_barrier_is_trivial():
+    machine = make_machine(1)
+    barrier = Barrier(machine, name="solo")
+
+    def prog(node):
+        yield from barrier.wait(node)
+        return "done"
+
+    p = machine.sim.process(prog(machine.node(0)))
+    machine.sim.run(until=p)
+    assert p.value == "done"
+
+
+def test_barrier_uses_12_byte_messages():
+    machine = make_machine(3)
+    barrier = Barrier(machine, name="sz")
+
+    def prog(node):
+        yield from barrier.wait(node)
+
+    procs = [machine.sim.process(prog(node)) for node in machine]
+    machine.sim.run(until=machine.sim.all_of(procs))
+    sizes = set()
+    for node in machine:
+        sizes.update(node.runtime.sent_sizes.buckets())
+    assert sizes == {12}
+
+
+# ------------------------------------------------------------- channels
+
+def test_channel_delivers_fragmented_payload():
+    machine = make_machine(2)
+    channel = VirtualChannel(machine, 0, 1, name="tch")
+
+    def producer(node):
+        yield from channel.send(1000)
+
+    def consumer(node):
+        yield from channel.wait_transfers(1)
+
+    machine.sim.process(producer(machine.node(0)))
+    done = machine.sim.process(consumer(machine.node(1)))
+    machine.sim.run(until=done)
+    assert channel.completed_transfers == 1
+    assert channel.received_bytes == 1000
+    # ceil(1000 / 248) fragments on the wire.
+    assert channel.counters["fragments_sent"] == 5
+
+
+def test_channel_logs_logical_size_once():
+    machine = make_machine(2)
+    channel = VirtualChannel(machine, 0, 1, name="tlg")
+
+    def producer(node):
+        yield from channel.send(3072)
+
+    def consumer(node):
+        yield from channel.wait_transfers(1)
+
+    machine.sim.process(producer(machine.node(0)))
+    done = machine.sim.process(consumer(machine.node(1)))
+    machine.sim.run(until=done)
+    sizes = machine.node(0).runtime.sent_sizes.buckets()
+    assert sizes == {3080: 1}  # one logical entry, no fragment entries
+
+
+def test_channel_multiple_transfers_counted():
+    machine = make_machine(2)
+    channel = VirtualChannel(machine, 0, 1, name="tm")
+
+    def producer(node):
+        for _ in range(3):
+            yield from channel.send(500)
+
+    def consumer(node):
+        yield from channel.wait_transfers(3)
+
+    machine.sim.process(producer(machine.node(0)))
+    done = machine.sim.process(consumer(machine.node(1)))
+    machine.sim.run(until=done)
+    assert channel.completed_transfers == 3
+    assert channel.received_bytes == 1500
+
+
+def test_channel_rejects_loopback():
+    machine = make_machine(2)
+    with pytest.raises(ValueError):
+        VirtualChannel(machine, 1, 1)
+
+
+def test_channel_small_payload_single_fragment():
+    machine = make_machine(2)
+    channel = VirtualChannel(machine, 0, 1, name="ts")
+
+    def producer(node):
+        yield from channel.send(100)
+
+    def consumer(node):
+        yield from channel.wait_transfers(1)
+
+    machine.sim.process(producer(machine.node(0)))
+    done = machine.sim.process(consumer(machine.node(1)))
+    machine.sim.run(until=done)
+    assert channel.counters["fragments_sent"] == 1

@@ -1,0 +1,205 @@
+"""Unit tests for the active-message runtime."""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.tempest.runtime import HandlerError
+
+
+def make_machine(ni_name="cni32qm", nodes=2, params=None):
+    return Machine(params or DEFAULT_PARAMS, DEFAULT_COSTS, ni_name,
+                   num_nodes=nodes)
+
+
+def test_handler_registration_and_duplicates():
+    machine = make_machine()
+    rt = machine.node(0).runtime
+    rt.register_handler("h", lambda r, m: None)
+    assert rt.handler_registered("h")
+    with pytest.raises(ValueError):
+        rt.register_handler("h", lambda r, m: None)
+
+
+def test_unknown_handler_raises():
+    machine = make_machine()
+    received = []
+    machine.node(1).runtime.register_handler(
+        "known", lambda r, m: received.append(m)
+    )
+
+    def sender(node):
+        yield from node.runtime.send(1, "mystery", 8)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: received)
+
+    machine.sim.process(sender(machine.node(0)))
+    machine.sim.process(receiver(machine.node(1)))
+    with pytest.raises(HandlerError):
+        machine.sim.run()
+
+
+def test_oversized_payload_rejected():
+    machine = make_machine()
+
+    def sender(node):
+        yield from node.runtime.send(1, "h", 10_000)
+
+    machine.sim.process(sender(machine.node(0)))
+    with pytest.raises(ValueError, match="VirtualChannel"):
+        machine.sim.run()
+
+
+def test_plain_function_and_generator_handlers_both_work():
+    machine = make_machine()
+    log = []
+
+    def plain(rt, msg):
+        log.append(("plain", msg.body))
+
+    def generator(rt, msg):
+        yield from rt.node.compute(10)
+        log.append(("gen", msg.body))
+
+    machine.node(1).runtime.register_handler("plain", plain)
+    machine.node(1).runtime.register_handler("gen", generator)
+
+    def sender(node):
+        yield from node.runtime.send(1, "plain", 8, body=1)
+        yield from node.runtime.send(1, "gen", 8, body=2)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(log) == 2)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert log == [("plain", 1), ("gen", 2)]
+
+
+def test_send_records_sizes_and_counters():
+    machine = make_machine()
+    machine.node(1).runtime.register_handler("h", lambda r, m: None)
+
+    def sender(node):
+        yield from node.runtime.send(1, "h", 24)
+        yield from node.runtime.send(1, "h", 56, record=False)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(
+            lambda: node.runtime.counters["handled"] >= 2
+        )
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    rt0 = machine.node(0).runtime
+    assert rt0.counters["sent"] == 2
+    assert rt0.sent_sizes.buckets() == {32: 1}   # record=False skipped
+
+
+def test_handlers_deferred_not_reentrant():
+    # While a handler runs, further arrivals are extracted but their
+    # handlers wait — execution order stays FIFO.
+    machine = make_machine()
+    order = []
+
+    def slow(rt, msg):
+        order.append(("start", msg.body))
+        yield from rt.node.compute(5_000)
+        order.append(("end", msg.body))
+
+    machine.node(1).runtime.register_handler("slow", slow)
+
+    def sender(node):
+        for i in range(3):
+            yield from node.runtime.send(1, "slow", 8, body=i)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(order) == 6)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert order == [
+        ("start", 0), ("end", 0),
+        ("start", 1), ("end", 1),
+        ("start", 2), ("end", 2),
+    ]
+
+
+def test_send_time_attributed_to_send_state():
+    machine = make_machine("cm5")
+    machine.node(1).runtime.register_handler("h", lambda r, m: None)
+
+    def sender(node):
+        yield from node.runtime.send(1, "h", 120)
+        node.finish()
+
+    done = machine.sim.process(sender(machine.node(0)))
+    machine.sim.run(until=done)
+    timer = machine.node(0).timer
+    assert timer.total("send") > 0
+    assert timer.total("receive") == 0
+
+
+def test_receive_time_attributed_to_receive_state():
+    machine = make_machine("cm5")
+    hits = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: hits.append(1))
+
+    def sender(node):
+        yield from node.runtime.send(1, "h", 120)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: hits)
+        node.finish()
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    timer = machine.node(1).timer
+    assert timer.total("receive") > 0
+    assert timer.total("wait") > 0
+
+
+def test_throttle_delays_between_sends():
+    machine = make_machine("cni32qm")
+    machine.node(1).runtime.register_handler("h", lambda r, m: None)
+    machine.node(0).ni.throttle_ns = 10_000
+    times = []
+
+    def sender(node):
+        for _ in range(3):
+            yield from node.runtime.send(1, "h", 8)
+            times.append(machine.sim.now)
+
+    done = machine.sim.process(sender(machine.node(0)))
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: not done.is_alive)
+
+    machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert times[1] - times[0] >= 10_000
+    assert times[2] - times[1] >= 10_000
+
+
+def test_drain_empties_deferred_work():
+    machine = make_machine()
+    count = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: count.append(1))
+
+    def sender(node):
+        for _ in range(5):
+            yield from node.runtime.send(1, "h", 8)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(count) >= 1)
+        yield from node.runtime.drain()
+        return len(count)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    assert machine.node(1).runtime.pending_handlers == 0

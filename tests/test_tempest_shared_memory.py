@@ -1,0 +1,140 @@
+"""Unit tests for the software DSM protocol."""
+
+import pytest
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.tempest import SharedMemory
+
+
+def make(nodes=3, payload=24):
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cni32qm",
+                      num_nodes=nodes)
+    sm = SharedMemory(machine, block_payload_bytes=payload, name="t")
+    return machine, sm
+
+
+def run_programs(machine, *programs):
+    procs = [machine.sim.process(p) for p in programs]
+    machine.sim.run(until=machine.sim.all_of(procs))
+    return procs
+
+
+def spin(machine, node, flag):
+    """Keep servicing until flag[0] set (home nodes must serve)."""
+    yield from node.runtime.wait_for(lambda: flag[0])
+
+
+def test_remote_read_fetches_and_caches():
+    machine, sm = make()
+    done = [False]
+
+    def reader(node):
+        yield from sm.read(node, home=1, block=0)
+        assert sm.is_valid(0, (1, 0))
+        yield from sm.read(node, home=1, block=0)   # now a hit
+        done[0] = True
+
+    run_programs(machine, reader(machine.node(0)),
+                 spin(machine, machine.node(1), done),
+                 spin(machine, machine.node(2), done))
+    assert sm.counters["read_misses"] == 1
+    assert sm.counters["read_hits"] == 1
+
+
+def test_local_read_is_free():
+    machine, sm = make()
+    done = [False]
+
+    def reader(node):
+        yield from sm.read(node, home=0, block=5)
+        done[0] = True
+
+    run_programs(machine, reader(machine.node(0)),
+                 spin(machine, machine.node(1), done),
+                 spin(machine, machine.node(2), done))
+    assert sm.counters["read_misses"] == 0
+
+
+def test_write_invalidates_remote_readers():
+    machine, sm = make()
+    phase = [0]
+
+    def reader(node):
+        yield from sm.read(node, home=2, block=0)
+        phase[0] = 1
+        yield from node.runtime.wait_for(lambda: phase[0] == 2)
+        # The writer's exclusivity revoked our copy.
+        assert not sm.is_valid(node.node_id, (2, 0))
+
+    def writer(node):
+        yield from node.runtime.wait_for(lambda: phase[0] == 1)
+        yield from sm.write(node, home=2, block=0)
+        assert sm.is_dirty(node.node_id, (2, 0))
+        phase[0] = 2
+
+    def home(node):
+        yield from node.runtime.wait_for(lambda: phase[0] == 2)
+
+    run_programs(machine, reader(machine.node(0)),
+                 writer(machine.node(1)), home(machine.node(2)))
+    assert sm.counters["invalidations"] >= 1
+
+
+def test_read_of_dirty_block_forwards_to_owner():
+    machine, sm = make()
+    phase = [0]
+
+    def writer(node):
+        yield from sm.write(node, home=2, block=3)
+        phase[0] = 1
+        yield from node.runtime.wait_for(lambda: phase[0] == 2)
+
+    def reader(node):
+        yield from node.runtime.wait_for(lambda: phase[0] == 1)
+        yield from sm.read(node, home=2, block=3)
+        assert sm.is_valid(node.node_id, (2, 3))
+        phase[0] = 2
+
+    def home(node):
+        yield from node.runtime.wait_for(lambda: phase[0] == 2)
+
+    run_programs(machine, writer(machine.node(0)),
+                 reader(machine.node(1)), home(machine.node(2)))
+    assert sm.counters["forwards"] == 1
+
+
+def test_concurrent_writers_serialize_without_hanging():
+    machine, sm = make(nodes=4)
+    finished = [0]
+
+    def writer(node):
+        for _ in range(3):
+            yield from sm.write(node, home=3, block=0)
+            yield from sm.read(node, home=3, block=1)
+        finished[0] += 1
+        # Keep servicing until everyone is done: a writer that exits
+        # while owning the block would never ack later invalidations.
+        yield from node.runtime.wait_for(lambda: finished[0] >= 3)
+
+    def home(node):
+        yield from node.runtime.wait_for(lambda: finished[0] >= 3)
+
+    run_programs(machine,
+                 writer(machine.node(0)), writer(machine.node(1)),
+                 writer(machine.node(2)), home(machine.node(3)))
+    assert finished[0] == 3
+
+
+def test_data_reply_sizes_match_block_payload():
+    machine, sm = make(payload=132)
+    done = [False]
+
+    def reader(node):
+        yield from sm.read(node, home=1, block=0)
+        done[0] = True
+
+    run_programs(machine, reader(machine.node(0)),
+                 spin(machine, machine.node(1), done),
+                 spin(machine, machine.node(2), done))
+    sizes = machine.node(1).runtime.sent_sizes.buckets()
+    assert 140 in sizes   # 132 B + 8 B header — the barnes peak

@@ -1,0 +1,91 @@
+"""Tests for the message-timeline tool."""
+
+from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
+from repro.tools import format_timeline, message_timeline
+from repro.tools.timeline import sent_message_uids
+
+
+def run_traced(ni_name="cni32qm", payload=56, fcb=8):
+    params = DEFAULT_PARAMS.replace(tracing=True, flow_control_buffers=fcb)
+    machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
+    got = []
+    machine.node(1).runtime.register_handler("h", lambda r, m: got.append(m))
+
+    def sender(node):
+        yield from node.runtime.send(1, "h", payload)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: got)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    return machine, got[0].uid
+
+
+def test_timeline_covers_full_life_cycle():
+    machine, uid = run_traced()
+    categories = [r.category for r in message_timeline(machine, uid)]
+    for expected in ("send_start", "wire", "accept", "extracted",
+                     "handler_start", "handler_done"):
+        assert expected in categories, expected
+    # Time-ordered, send first, handler completion last.
+    times = [r.time for r in message_timeline(machine, uid)]
+    assert times == sorted(times)
+    assert categories[0] == "send_start"
+    assert categories[-1] == "handler_done"
+
+
+def test_timeline_records_bounces_under_pressure():
+    params = DEFAULT_PARAMS.replace(tracing=True, flow_control_buffers=1)
+    machine = Machine(params, DEFAULT_COSTS, "cm5", num_nodes=2)
+    got = []
+
+    def slow(rt, msg):
+        got.append(msg)
+        yield from rt.node.compute(5_000)
+
+    machine.node(1).runtime.register_handler("h", slow)
+
+    def sender(node):
+        for _ in range(6):
+            yield from node.runtime.send(1, "h", 56)
+        yield from node.runtime.wait_for(lambda: len(got) >= 6)
+
+    def receiver(node):
+        yield from node.runtime.wait_for(lambda: len(got) >= 6)
+
+    machine.sim.process(sender(machine.node(0)))
+    done = machine.sim.process(receiver(machine.node(1)))
+    machine.sim.run(until=done)
+    all_categories = {
+        r.category for r in machine.network.tracer.records
+    }
+    assert "bounce" in all_categories
+
+
+def test_format_timeline_readable():
+    machine, uid = run_traced()
+    text = format_timeline(machine, uid)
+    assert f"uid={uid}" in text
+    assert "handler complete" in text
+    assert "total:" in text
+
+
+def test_format_timeline_without_tracing_explains():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5", num_nodes=2)
+    text = format_timeline(machine, 12345)
+    assert "tracing=True" in text
+
+
+def test_sent_message_uids_filters_by_node():
+    machine, uid = run_traced()
+    assert uid in sent_message_uids(machine)
+    assert uid in sent_message_uids(machine, node_id=0)
+    assert uid not in sent_message_uids(machine, node_id=1)
+
+
+def test_tracing_disabled_by_default_costs_nothing():
+    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5", num_nodes=2)
+    assert len(machine.network.tracer) == 0
+    assert not machine.network.tracer.enabled

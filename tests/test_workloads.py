@@ -1,0 +1,155 @@
+"""Unit tests for the macrobenchmark workload models."""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.workloads import MACRO_NAMES, make_workload
+from repro.workloads.base import WorkloadResult, run_macrobenchmark
+from repro.workloads.registry import workload_class
+
+QUICK = {
+    "appbt": {"iterations": 1},
+    "barnes": {"iterations": 1},
+    "dsmc": {"iterations": 1},
+    "em3d": {"iterations": 1},
+    "moldyn": {"iterations": 1},
+    "spsolve": {"levels": 4, "width": 48},
+    "unstructured": {"iterations": 1},
+}
+
+
+def quick_run(name, ni_name="cni32qm", params=None, **extra):
+    kwargs = dict(QUICK[name])
+    kwargs.update(extra)
+    workload = make_workload(name, **kwargs)
+    return workload.run(
+        params=params or DEFAULT_PARAMS, costs=DEFAULT_COSTS,
+        ni_name=ni_name,
+    )
+
+
+# ------------------------------------------------------------- generic
+
+@pytest.mark.parametrize("name", MACRO_NAMES)
+def test_every_macro_completes(name):
+    result = quick_run(name)
+    assert isinstance(result, WorkloadResult)
+    assert result.elapsed_ns > 0
+    assert result.messages_sent > 0
+
+
+@pytest.mark.parametrize("name", MACRO_NAMES)
+def test_every_macro_deterministic(name):
+    a = quick_run(name)
+    b = quick_run(name)
+    assert a.elapsed_ns == b.elapsed_ns
+    assert a.messages_sent == b.messages_sent
+
+
+@pytest.mark.parametrize("name", ["em3d", "dsmc"])
+def test_macros_run_on_fifo_nis(name):
+    result = quick_run(name, ni_name="cm5")
+    assert result.elapsed_ns > 0
+
+
+def test_registry_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_workload("nonexistent")
+
+
+def test_registry_names_match_classes():
+    for name in MACRO_NAMES:
+        assert workload_class(name).name == name
+
+
+def test_run_macrobenchmark_helper():
+    result = run_macrobenchmark("em3d", "cni32qm", iterations=1)
+    assert result.workload == "em3d"
+    assert result.ni_name == "cni32qm"
+
+
+# ------------------------------------------------------------- mixes
+
+def test_appbt_message_mix_peaks():
+    result = quick_run("appbt", iterations=2)
+    buckets = result.message_sizes.buckets()
+    assert 12 in buckets      # requests / invalidations / barrier
+    assert 32 in buckets      # 24B-block data replies
+    assert buckets[12] > buckets[32]
+
+
+def test_barnes_has_140_byte_replies():
+    result = quick_run("barnes", iterations=2)
+    buckets = result.message_sizes.buckets()
+    assert 140 in buckets
+    assert result.message_sizes.fraction_of(12) > 0.3
+
+
+def test_dsmc_three_peaks():
+    result = quick_run("dsmc", iterations=2)
+    buckets = result.message_sizes.buckets()
+    for size in (12, 44, 140):
+        assert size in buckets, f"missing {size}B peak"
+
+
+def test_em3d_dominated_by_20_byte_updates():
+    result = quick_run("em3d", iterations=2)
+    assert result.message_sizes.fraction_of(20) > 0.8
+
+
+def test_moldyn_bulk_rows_logged_logically():
+    result = quick_run("moldyn")
+    buckets = result.message_sizes.buckets()
+    assert 3080 in buckets     # 3072B payload + 8B header, logged once
+    assert 140 in buckets
+
+
+def test_spsolve_mostly_20_byte_edges():
+    result = quick_run("spsolve")
+    assert result.message_sizes.fraction_of(20) > 0.5
+
+
+def test_unstructured_has_bulk_and_control():
+    result = quick_run("unstructured", iterations=2)
+    buckets = result.message_sizes.buckets()
+    assert 8 in buckets                        # 0-payload go-aheads
+    assert any(size > 200 for size in buckets)  # batched updates
+
+
+# ------------------------------------------------------------- behaviour
+
+def test_em3d_sensitive_to_flow_control_on_fifo_ni():
+    fast = quick_run("em3d", ni_name="cm5",
+                     params=DEFAULT_PARAMS.replace(flow_control_buffers=None))
+    slow = quick_run("em3d", ni_name="cm5",
+                     params=DEFAULT_PARAMS.replace(flow_control_buffers=1))
+    assert slow.elapsed_ns > fast.elapsed_ns
+    assert slow.bounces > 0
+
+
+def test_coherent_ni_insensitive_to_flow_control():
+    fcb1 = quick_run("em3d", ni_name="cni32qm",
+                     params=DEFAULT_PARAMS.replace(flow_control_buffers=1))
+    fcb8 = quick_run("em3d", ni_name="cni32qm",
+                     params=DEFAULT_PARAMS.replace(flow_control_buffers=8))
+    # Within a few percent (the paper: "largely insensitive").
+    assert fcb1.elapsed_ns <= fcb8.elapsed_ns * 1.15
+
+
+def test_breakdown_fractions_sum_to_one():
+    result = quick_run("dsmc")
+    total = sum(result.breakdown().values())
+    assert total == pytest.approx(1.0)
+
+
+def test_spsolve_all_vertices_fire():
+    workload = make_workload("spsolve", levels=4, width=48)
+    workload.run(params=DEFAULT_PARAMS, costs=DEFAULT_COSTS,
+                 ni_name="cni32qm")
+    assert workload._fired == workload._expected_fires()
+
+
+def test_summary_is_readable():
+    result = quick_run("em3d")
+    text = result.summary()
+    assert "em3d" in text and "cni32qm" in text
