@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Micro-benchmark for the simulation kernel.
+
+Times a fixed pair of cells — a 64-byte ping-pong (120 rounds) and a
+248-byte stream (150 transfers), both on CNI_32Qm with fcb=32 — and
+writes ``BENCH_kernel.json`` with events/sec and wall-clock numbers.
+The cell is deterministic, so the benchmark also cross-checks that
+every repetition produces identical simulation results; any kernel
+"optimisation" that changes event ordering fails loudly here.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernel.py [--reps 12] [-o PATH]
+
+Compare two checkouts by running this script in each and diffing the
+``events_per_sec`` / ``best_wall_s`` fields of the JSON.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+
+def run_cell():
+    """One benchmark repetition.
+
+    Returns (wall_s, events, signature): elapsed wall-clock seconds,
+    the number of simulation events scheduled, and a determinism
+    signature of the measured results.
+    """
+    from repro.experiments.common import default_costs, default_params
+    from repro.node import Machine
+    from repro.workloads.micro import PingPong, StreamBandwidth
+
+    params = default_params(32)
+    costs = default_costs()
+
+    t0 = time.perf_counter()
+    events = 0
+    results = []
+    for workload in (
+        PingPong(payload_bytes=64, rounds=120),
+        StreamBandwidth(payload_bytes=248, transfers=150),
+    ):
+        machine = Machine(params, costs, "cni32qm", num_nodes=2)
+        result = workload.run(machine)
+        events += machine.sim._seq
+        results.append(result)
+    wall = time.perf_counter() - t0
+
+    signature = tuple(
+        (r.elapsed_ns, tuple(sorted(r.extras.items()))) for r in results
+    )
+    return wall, events, signature
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=12,
+                        help="benchmark repetitions (default 12)")
+    parser.add_argument("-o", "--output", default="BENCH_kernel.json",
+                        help="output path (default BENCH_kernel.json)")
+    args = parser.parse_args(argv)
+
+    walls = []
+    events = None
+    signature = None
+    for rep in range(args.reps):
+        wall, n_events, sig = run_cell()
+        if signature is None:
+            events, signature = n_events, sig
+        elif sig != signature or n_events != events:
+            print("FATAL: non-deterministic results across repetitions",
+                  file=sys.stderr)
+            return 1
+        walls.append(wall)
+        print(f"rep {rep + 1:2d}/{args.reps}: {wall:.4f}s "
+              f"({n_events / wall / 1e3:.0f}k events/s)")
+
+    walls.sort()
+    best = walls[0]
+    median = walls[len(walls) // 2]
+    report = {
+        "cell": "pingpong 64B x120 + stream 248B x150, cni32qm fcb=32",
+        "reps": args.reps,
+        "events": events,
+        "best_wall_s": round(best, 6),
+        "median_wall_s": round(median, 6),
+        "events_per_sec": round(events / best, 1),
+        "events_per_sec_median": round(events / median, 1),
+        "deterministic": True,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nbest {best:.4f}s  median {median:.4f}s  "
+          f"{events} events  {events / best / 1e3:.0f}k events/s (best)")
+    print(f"written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,35 +24,38 @@ from repro.experiments.common import (
     label,
     workload_kwargs,
 )
-from repro.experiments.table5 import (
-    _machine,
-    measure_bandwidth,
-    measure_latency,
-)
-from repro.ni.registry import ALL_NI_NAMES, variant
-from repro.node import Machine
-from repro.workloads.micro import PingPong, StreamBandwidth
-from repro.workloads.registry import make_workload
+from repro.experiments.parallel import Job, execute, freeze_kwargs
+from repro.experiments.table5 import bandwidth_job, latency_job
+from repro.ni.registry import ALL_NI_NAMES
 
 
-def _run_micro_on(ni_name: str, workload) -> dict:
-    params = default_params(flow_control_buffers=8)
-    machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
-    return workload.run(machine=machine).extras
+def _variant_job(base_job: Job, suffix: str, **attrs) -> Job:
+    """The same cell on an ablated NI variant."""
+    from dataclasses import replace
+
+    return replace(
+        base_job,
+        label=f"{base_job.label}@{suffix}",
+        variant=(suffix, tuple(sorted(attrs.items()))),
+    )
 
 
-def run_cni_optimizations(quick: bool = False) -> ExperimentResult:
+def run_cni_optimizations(
+    quick: bool = False, executor=None,
+) -> ExperimentResult:
     """Ablation 1: queue optimizations on/off (CNI_32Qm)."""
     rounds = 20 if quick else 100
-    noopt = variant("cni32qm", "noopt", use_optimizations=False)
+    payloads = (8, 64, 248)
+    jobs = []
+    for payload in payloads:
+        on = latency_job("cni32qm", payload, rounds)
+        jobs.append(on)
+        jobs.append(_variant_job(on, "noopt", use_optimizations=False))
+    cells = execute(jobs, executor)
     rows = []
-    for payload in (8, 64, 248):
-        on = _run_micro_on(
-            "cni32qm", PingPong(payload_bytes=payload, rounds=rounds)
-        )["round_trip_us"]
-        off = _run_micro_on(
-            noopt, PingPong(payload_bytes=payload, rounds=rounds)
-        )["round_trip_us"]
+    for i, payload in enumerate(payloads):
+        on = cells[2 * i].extras["round_trip_us"]
+        off = cells[2 * i + 1].extras["round_trip_us"]
         rows.append([
             f"{payload}B", f"{on:.2f}", f"{off:.2f}",
             f"{(off / on - 1) * 100:+.1f}%",
@@ -69,21 +72,30 @@ def run_cni_optimizations(quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_cni32qm_improvements(quick: bool = False) -> ExperimentResult:
+def run_cni32qm_improvements(
+    quick: bool = False, executor=None,
+) -> ExperimentResult:
     """Ablation 2: the two Section 4 improvements, via streaming."""
     transfers = 40 if quick else 150
-    no_bypass = variant("cni32qm", "nobypass", bypass_when_full=False)
-    no_drop = variant("cni32qm", "nodrop", drop_dead_blocks=False)
+    payloads = (64, 248)
+    ablated = (
+        ("nobypass", "no receive-cache bypass",
+         dict(bypass_when_full=False)),
+        ("nodrop", "no head-update-on-flush",
+         dict(drop_dead_blocks=False)),
+    )
+    jobs = []
+    for payload in payloads:
+        base = bandwidth_job("cni32qm", payload, transfers)
+        jobs.append(base)
+        for suffix, _tag, attrs in ablated:
+            jobs.append(_variant_job(base, suffix, **attrs))
+    cells = iter(execute(jobs, executor))
     rows = []
-    for payload in (64, 248):
-        base = measure_bandwidth("cni32qm", payload, transfers)
-        for name, tag in ((no_bypass, "no receive-cache bypass"),
-                          (no_drop, "no head-update-on-flush")):
-            workload = StreamBandwidth(payload_bytes=payload,
-                                       transfers=transfers)
-            params = default_params(flow_control_buffers=8)
-            machine = Machine(params, DEFAULT_COSTS, name, num_nodes=2)
-            mb = workload.run(machine=machine).extras["bandwidth_mb_s"]
+    for payload in payloads:
+        base = next(cells).extras["bandwidth_mb_s"]
+        for _suffix, tag, _attrs in ablated:
+            mb = next(cells).extras["bandwidth_mb_s"]
             rows.append([
                 f"{payload}B", tag, f"{base:.0f}", f"{mb:.0f}",
                 f"{(mb / base - 1) * 100:+.1f}%",
@@ -96,19 +108,29 @@ def run_cni32qm_improvements(quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_throttle_everywhere(quick: bool = False) -> ExperimentResult:
+def run_throttle_everywhere(
+    quick: bool = False, executor=None,
+) -> ExperimentResult:
     """Ablation 3: throttling senders on every NI (paper: only
     CNI_32Qm benefits significantly)."""
     transfers = 40 if quick else 120
     payload = 248
+    throttles = (0, 200, 400, 800)
+    jobs = [
+        bandwidth_job(ni_name, payload, transfers, throttle_ns=throttle)
+        for ni_name in ALL_NI_NAMES
+        for throttle in throttles
+    ]
+    cells = iter(execute(jobs, executor))
     rows = []
     for ni_name in ALL_NI_NAMES:
-        plain = measure_bandwidth(ni_name, payload, transfers)
+        values = [
+            next(cells).extras["bandwidth_mb_s"] for _t in throttles
+        ]
+        plain = values[0]
         best = plain
         best_throttle = 0
-        for throttle in (200, 400, 800):
-            mb = measure_bandwidth(ni_name, payload, transfers,
-                                   throttle_ns=throttle)
+        for throttle, mb in zip(throttles[1:], values[1:]):
             if mb > best:
                 best, best_throttle = mb, throttle
         rows.append([
@@ -126,15 +148,22 @@ def run_throttle_everywhere(quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_udma_breakeven(quick: bool = False) -> ExperimentResult:
+def run_udma_breakeven(
+    quick: bool = False, executor=None,
+) -> ExperimentResult:
     """Ablation 4: UDMA-vs-uncached round-trip breakeven (~96B)."""
     rounds = 10 if quick else 50
     payloads = (8, 32, 64, 96, 128, 192, 248)
+    jobs = []
+    for payload in payloads:
+        jobs.append(latency_job("cm5", payload, rounds))
+        jobs.append(latency_job("udma", payload, rounds))  # always-UDMA
+    cells = execute(jobs, executor)
     rows = []
     crossover = None
-    for payload in payloads:
-        cm5 = measure_latency("cm5", payload, rounds)
-        udma = measure_latency("udma", payload, rounds)  # always-UDMA
+    for i, payload in enumerate(payloads):
+        cm5 = cells[2 * i].extras["round_trip_us"]
+        udma = cells[2 * i + 1].extras["round_trip_us"]
         winner = "UDMA" if udma < cm5 else "uncached"
         if crossover is None and udma < cm5:
             crossover = payload
@@ -150,19 +179,27 @@ def run_udma_breakeven(quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_coherent_fcb_insensitivity(quick: bool = False) -> ExperimentResult:
+def run_coherent_fcb_insensitivity(
+    quick: bool = False, executor=None,
+) -> ExperimentResult:
     """Ablation 5: coherent NIs vs flow-control buffers (Figure 3b's
     'largely insensitive' claim) on the buffering-bound workloads."""
-    rows = []
-    for workload_name in ("em3d", "spsolve"):
-        kwargs = workload_kwargs(workload_name, quick)
-        times = {}
-        for fcb in (1, 8):
-            result = make_workload(workload_name, **kwargs).run(
+    workloads = ("em3d", "spsolve")
+    fcb_levels = (1, 8)
+    jobs = []
+    for workload_name in workloads:
+        kwargs = freeze_kwargs(workload_kwargs(workload_name, quick))
+        for fcb in fcb_levels:
+            jobs.append(Job(
+                label=f"ablation:coherent-fcb:{workload_name}:fcb={fcb}",
+                ni="cni32qm", workload=workload_name,
                 params=default_params(flow_control_buffers=fcb),
-                costs=DEFAULT_COSTS, ni_name="cni32qm",
-            )
-            times[fcb] = result.elapsed_us
+                costs=DEFAULT_COSTS, kwargs=kwargs,
+            ))
+    cells = iter(execute(jobs, executor))
+    rows = []
+    for workload_name in workloads:
+        times = {fcb: next(cells).elapsed_us for fcb in fcb_levels}
         rows.append([
             workload_name, f"{times[1]:.1f}", f"{times[8]:.1f}",
             f"{(times[1] / times[8] - 1) * 100:+.1f}%",
@@ -178,7 +215,9 @@ def run_coherent_fcb_insensitivity(quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_memory_banking(quick: bool = False) -> ExperimentResult:
+def run_memory_banking(
+    quick: bool = False, executor=None,
+) -> ExperimentResult:
     """Ablation 6: DRAM bank occupancy (extension).
 
     The paper's bus model (and our default) treats memory arrays as
@@ -194,19 +233,30 @@ def run_memory_banking(quick: bool = False) -> ExperimentResult:
     transfers = 150 if quick else 300
     warmup = 40 if quick else 60
     payload = 248
-    rows = []
+    ni_names = ("startjr", "cni512q")
+    jobs = []
     for banked in (False, True):
         params = default_params(flow_control_buffers=8).replace(
             memory_banking=banked
         )
-        values = {}
-        for ni_name in ("startjr", "cni512q"):
-            machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
-            workload = StreamBandwidth(payload_bytes=payload,
-                                       transfers=transfers, warmup=warmup)
-            values[ni_name] = workload.run(
-                machine=machine
-            ).extras["bandwidth_mb_s"]
+        for ni_name in ni_names:
+            jobs.append(Job(
+                label=f"ablation:banking:{ni_name}:banked={banked}",
+                ni=ni_name, workload="stream", params=params,
+                costs=DEFAULT_COSTS,
+                kwargs=freeze_kwargs(dict(
+                    payload_bytes=payload, transfers=transfers,
+                    warmup=warmup,
+                )),
+                num_nodes=2,
+            ))
+    cells = iter(execute(jobs, executor))
+    rows = []
+    for banked in (False, True):
+        values = {
+            ni_name: next(cells).extras["bandwidth_mb_s"]
+            for ni_name in ni_names
+        }
         rows.append([
             "banked" if banked else "pipelined (default)",
             f"{values['startjr']:.0f}",
@@ -224,7 +274,9 @@ def run_memory_banking(quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_coherence_protocol(quick: bool = False) -> ExperimentResult:
+def run_coherence_protocol(
+    quick: bool = False, executor=None,
+) -> ExperimentResult:
     """Ablation 7: MOESI vs MESI (extension).
 
     Table 3 specifies MOESI; the Owned state is what lets a CNI (or a
@@ -233,18 +285,30 @@ def run_coherence_protocol(quick: bool = False) -> ExperimentResult:
     removing exactly the transfer the coherent NIs are built around.
     """
     rounds = 20 if quick else 60
-    rows = []
-    for ni_name in ("cni32qm", "cni512q", "cm5"):
-        values = {}
-        for protocol in ("MOESI", "MESI"):
+    ni_names = ("cni32qm", "cni512q", "cm5")
+    protocols = ("MOESI", "MESI")
+    jobs = []
+    for ni_name in ni_names:
+        for protocol in protocols:
             params = default_params(flow_control_buffers=8).replace(
                 coherence_protocol=protocol
             )
-            machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
-            workload = PingPong(payload_bytes=248, rounds=rounds)
-            values[protocol] = workload.run(
-                machine=machine
-            ).extras["round_trip_us"]
+            jobs.append(Job(
+                label=f"ablation:coherence:{ni_name}:{protocol}",
+                ni=ni_name, workload="pingpong", params=params,
+                costs=DEFAULT_COSTS,
+                kwargs=freeze_kwargs(dict(
+                    payload_bytes=248, rounds=rounds,
+                )),
+                num_nodes=2,
+            ))
+    cells = iter(execute(jobs, executor))
+    rows = []
+    for ni_name in ni_names:
+        values = {
+            protocol: next(cells).extras["round_trip_us"]
+            for protocol in protocols
+        }
         rows.append([
             label(ni_name),
             f"{values['MOESI']:.2f}", f"{values['MESI']:.2f}",
@@ -276,8 +340,11 @@ ALL_ABLATIONS = {
 }
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    parts = {name: fn(quick) for name, fn in ALL_ABLATIONS.items()}
+def run(quick: bool = False, executor=None) -> ExperimentResult:
+    parts = {
+        name: fn(quick, executor=executor)
+        for name, fn in ALL_ABLATIONS.items()
+    }
     combined = ExperimentResult(
         experiment="Ablations", headers=["section"], rows=[],
         extras=parts,

@@ -1,0 +1,105 @@
+"""Content-addressed cache for experiment cells.
+
+Simulation cells are deterministic functions of their :class:`Job`
+spec, so re-running an experiment grid mostly re-derives numbers that
+already exist.  This cache stores each :class:`CellResult` under a
+SHA-256 of the *complete* job spec — NI name and variant attributes,
+workload name and kwargs, every :class:`~repro.config.SystemParams`
+and :class:`~repro.config.SoftwareCosts` field, the machine tweaks,
+the cell label, and the package version.  Change any input (or bump
+``repro.__version__``) and the key moves, so stale hits are
+impossible; hit entries are byte-identical to a fresh run because the
+cells themselves are deterministic.
+
+Layout: ``.repro-cache/<key[:2]>/<key>.json`` — JSON for
+debuggability (``cat`` a cell to see what was measured).  Writes are
+atomic (tmp file + rename).  Unserializable or unreadable entries
+degrade to cache misses, never to errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from typing import Optional
+
+import repro
+from repro.experiments.parallel import CellResult, Job
+
+#: Default cache directory (relative to the working directory).
+CACHE_DIR = ".repro-cache"
+
+
+def job_key(job: Job) -> str:
+    """Stable content hash of everything that determines a cell's result."""
+    spec = {
+        "version": repro.__version__,
+        "label": job.label,
+        "ni": job.ni,
+        "workload": job.workload,
+        "kwargs": list(job.kwargs),
+        "variant": job.variant,
+        "params": asdict(job.params),
+        "costs": asdict(job.costs),
+        "num_nodes": job.num_nodes,
+        "always_udma": job.always_udma,
+        "sender_throttle_ns": job.sender_throttle_ns,
+        "fabric_hop_ns": job.fabric_hop_ns,
+        "fabric_link_ns_per_32b": job.fabric_link_ns_per_32b,
+    }
+    blob = json.dumps(spec, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed, content-addressed store of cell results."""
+
+    def __init__(self, root: str = CACHE_DIR):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, job: Job) -> Optional[CellResult]:
+        path = self._path(job_key(job))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            result = CellResult.from_jsonable(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, job: Job, result: CellResult) -> None:
+        path = self._path(job_key(job))
+        try:
+            blob = json.dumps(result.to_jsonable())
+        except (TypeError, ValueError):
+            return  # workload extras that don't serialize: just skip
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            return  # read-only or full filesystem: run uncached
+
+    def clear(self) -> None:
+        """Drop every cached cell (keeps the directory)."""
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for filename in filenames:
+                if filename.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(dirpath, filename))
+                    except OSError:
+                        pass

@@ -23,44 +23,57 @@ from repro.experiments.common import (
     default_params,
     workload_kwargs,
 )
-from repro.ni.registry import variant
-from repro.node import Machine
-from repro.workloads.micro import PingPong, StreamBandwidth
-from repro.workloads.registry import make_workload
+from repro.experiments.parallel import Job, execute, freeze_kwargs
 
 CACHE_SIZES = (4, 8, 16, 32, 64, 128)
 
 
-def _ni_for(entries: int) -> str:
-    return variant("cni32qm", f"i{entries}", cache_entries=entries)
-
-
-def run(quick: bool = False) -> ExperimentResult:
+def plan(quick: bool):
     rounds = 20 if quick else 60
     transfers = 60 if quick else 150
+    params = default_params(flow_control_buffers=8)
+    em3d_kwargs = freeze_kwargs(workload_kwargs("em3d", quick))
+    jobs = []
+    for entries in CACHE_SIZES:
+        spec = (f"i{entries}", (("cache_entries", entries),))
+        jobs.append(Job(
+            label=f"cni-family:i{entries}:pingpong",
+            ni="cni32qm", workload="pingpong", params=params,
+            costs=DEFAULT_COSTS, variant=spec, num_nodes=2,
+            kwargs=freeze_kwargs(dict(payload_bytes=56, rounds=rounds)),
+        ))
+        jobs.append(Job(
+            label=f"cni-family:i{entries}:stream",
+            ni="cni32qm", workload="stream", params=params,
+            costs=DEFAULT_COSTS, variant=spec, num_nodes=2,
+            kwargs=freeze_kwargs(dict(
+                payload_bytes=248, transfers=transfers,
+            )),
+        ))
+        jobs.append(Job(
+            label=f"cni-family:i{entries}:em3d",
+            ni="cni32qm", workload="em3d", params=params,
+            costs=DEFAULT_COSTS, variant=spec, kwargs=em3d_kwargs,
+        ))
+    return jobs
+
+
+def run(quick: bool = False, executor=None) -> ExperimentResult:
+    cells = iter(execute(plan(quick), executor))
     rows = []
     series = {}
-    em3d_kwargs = workload_kwargs("em3d", quick)
     for entries in CACHE_SIZES:
-        ni_name = _ni_for(entries)
-        params = default_params(flow_control_buffers=8)
+        rt = next(cells).extras["round_trip_us"]
 
-        machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
-        rt = PingPong(payload_bytes=56, rounds=rounds).run(
-            machine=machine
-        ).extras["round_trip_us"]
+        bw_cell = next(cells)
+        bw = bw_cell.extras["bandwidth_mb_s"]
+        # The stream receiver is node 1; its deposit counters show how
+        # often the NI cache was bypassed.
+        receiver = bw_cell.ni_counters[1]
+        bypassed = receiver.get("deposits_bypassed", 0)
+        cached = receiver.get("deposits_cached", 0)
 
-        machine = Machine(params, DEFAULT_COSTS, ni_name, num_nodes=2)
-        bw_result = StreamBandwidth(
-            payload_bytes=248, transfers=transfers
-        ).run(machine=machine)
-        bw = bw_result.extras["bandwidth_mb_s"]
-        bypassed = machine.node(1).ni.counters["deposits_bypassed"]
-        cached = machine.node(1).ni.counters["deposits_cached"]
-
-        em3d = make_workload("em3d", **em3d_kwargs).run(
-            params=params, costs=DEFAULT_COSTS, ni_name=ni_name
-        ).elapsed_us
+        em3d = next(cells).elapsed_us
 
         series[entries] = {
             "rt_us": rt, "bw_mb_s": bw, "em3d_us": em3d,

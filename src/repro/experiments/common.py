@@ -78,11 +78,21 @@ class ExperimentResult:
 
     def cell(self, row_key: Any, col: str) -> Any:
         """Look up a value by first-column key and column header."""
-        col_index = self.headers.index(col)
+        try:
+            col_index = self.headers.index(col)
+        except ValueError:
+            raise KeyError(
+                f"experiment {self.experiment!r} has no column {col!r}; "
+                f"columns are: {', '.join(map(str, self.headers))}"
+            ) from None
         for row in self.rows:
             if row[0] == row_key:
                 return row[col_index]
-        raise KeyError(row_key)
+        known = ", ".join(repr(row[0]) for row in self.rows)
+        raise KeyError(
+            f"experiment {self.experiment!r} has no row {row_key!r}; "
+            f"rows are: {known}"
+        )
 
 
 def default_params(

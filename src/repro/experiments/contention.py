@@ -18,7 +18,7 @@ from repro.experiments.common import (
     label,
     workload_kwargs,
 )
-from repro.workloads.registry import make_workload
+from repro.experiments.parallel import Job, execute, freeze_kwargs
 
 #: Workloads spanning the traffic spectrum: bursty fine-grain and bulk.
 CONTENTION_WORKLOADS = ("em3d", "moldyn", "appbt")
@@ -30,30 +30,38 @@ MESH_HOP_NS = 20
 MESH_LINK_NS_PER_32B = 40
 
 
-def _run_one(workload_name, kwargs, ni_name, topology):
+def _job(workload_name, kwargs, ni_name, topology) -> Job:
     params = default_params(flow_control_buffers=8).replace(
         network_topology=topology
     )
-    workload = make_workload(workload_name, **kwargs)
-    machine = workload.build_machine(params, DEFAULT_COSTS, ni_name)
-    if machine.network.fabric is not None:
-        machine.network.fabric.hop_ns = MESH_HOP_NS
-        machine.network.fabric.link_ns_per_32b = MESH_LINK_NS_PER_32B
-    return workload.run(machine=machine).elapsed_us
+    return Job(
+        label=f"contention:{workload_name}:{ni_name}"
+              f":{topology or 'ideal'}",
+        ni=ni_name, workload=workload_name, params=params,
+        costs=DEFAULT_COSTS, kwargs=freeze_kwargs(kwargs),
+        fabric_hop_ns=MESH_HOP_NS,
+        fabric_link_ns_per_32b=MESH_LINK_NS_PER_32B,
+    )
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, executor=None) -> ExperimentResult:
+    jobs = [
+        _job(workload_name, workload_kwargs(workload_name, quick),
+             ni_name, topology)
+        for workload_name in CONTENTION_WORKLOADS
+        for ni_name in NIS
+        for topology in (None, "mesh")
+    ]
+    cells = iter(execute(jobs, executor))
     rows = []
     ordering_preserved = True
     times = {}
     for workload_name in CONTENTION_WORKLOADS:
-        kwargs = workload_kwargs(workload_name, quick)
         for ni_name in NIS:
-            elapsed = {}
-            for topology in (None, "mesh"):
-                elapsed[topology] = _run_one(
-                    workload_name, kwargs, ni_name, topology
-                )
+            elapsed = {
+                topology: next(cells).elapsed_us
+                for topology in (None, "mesh")
+            }
             times[(workload_name, ni_name)] = elapsed
             rows.append([
                 workload_name,

@@ -25,20 +25,27 @@ from repro.experiments.common import (
     default_params,
     workload_kwargs,
 )
-from repro.workloads.registry import MACRO_NAMES, make_workload
+from repro.experiments.parallel import Job, execute, freeze_kwargs
+from repro.workloads.registry import MACRO_NAMES
 
 
-def breakdown_for(name: str, quick: bool, ni_name: str = "cm5") -> dict:
+def plan(name: str, quick: bool, ni_name: str = "cm5"):
+    """Two jobs per workload: fcb=1 and infinite buffering."""
     costs = default_costs()
-    kwargs = workload_kwargs(name, quick)
-    run_1 = make_workload(name, **kwargs).run(
-        params=default_params(flow_control_buffers=1),
-        costs=costs, ni_name=ni_name,
-    )
-    run_inf = make_workload(name, **kwargs).run(
-        params=default_params(flow_control_buffers=None),
-        costs=costs, ni_name=ni_name,
-    )
+    kwargs = freeze_kwargs(workload_kwargs(name, quick))
+    return [
+        Job(label=f"figure1:{name}:{ni_name}:fcb=1",
+            ni=ni_name, workload=name,
+            params=default_params(flow_control_buffers=1),
+            costs=costs, kwargs=kwargs),
+        Job(label=f"figure1:{name}:{ni_name}:fcb=inf",
+            ni=ni_name, workload=name,
+            params=default_params(flow_control_buffers=None),
+            costs=costs, kwargs=kwargs),
+    ]
+
+
+def assemble(name: str, run_1, run_inf) -> dict:
     t1 = run_1.elapsed_ns
     tinf = run_inf.elapsed_ns
     buffering = max(0.0, (t1 - tinf) / t1)
@@ -60,11 +67,20 @@ def breakdown_for(name: str, quick: bool, ni_name: str = "cm5") -> dict:
     }
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def breakdown_for(name: str, quick: bool, ni_name: str = "cm5") -> dict:
+    run_1, run_inf = execute(plan(name, quick, ni_name))
+    return assemble(name, run_1, run_inf)
+
+
+def run(quick: bool = False, executor=None) -> ExperimentResult:
+    jobs = []
+    for name in MACRO_NAMES:
+        jobs.extend(plan(name, quick))
+    cells = execute(jobs, executor)
     rows = []
     results = {}
-    for name in MACRO_NAMES:
-        b = breakdown_for(name, quick)
+    for i, name in enumerate(MACRO_NAMES):
+        b = assemble(name, cells[2 * i], cells[2 * i + 1])
         results[name] = b
         rows.append([
             name,

@@ -23,10 +23,30 @@ from repro.experiments.common import (
     label,
     workload_kwargs,
 )
+from repro.experiments.parallel import Job, execute, freeze_kwargs
 from repro.ni.registry import COHERENT_NI_NAMES, FIFO_NI_NAMES
-from repro.workloads.registry import MACRO_NAMES, make_workload
+from repro.workloads.registry import MACRO_NAMES
 
 FCB_LEVELS: Tuple[Optional[int], ...] = (1, 2, 8, None)
+
+
+def plan_matrix(ni_names, fcb_levels, quick, workloads):
+    """Jobs + keys for each (workload, ni, fcb) combination."""
+    jobs, keys = [], []
+    costs = default_costs()
+    for workload_name in workloads:
+        kwargs = freeze_kwargs(workload_kwargs(workload_name, quick))
+        for ni_name in ni_names:
+            for fcb in fcb_levels:
+                jobs.append(Job(
+                    label=f"figure3:{workload_name}:{ni_name}"
+                          f":fcb={fcb_label(fcb)}",
+                    ni=ni_name, workload=workload_name,
+                    params=default_params(flow_control_buffers=fcb),
+                    costs=costs, kwargs=kwargs,
+                ))
+                keys.append((workload_name, ni_name, fcb))
+    return jobs, keys
 
 
 def run_matrix(
@@ -34,28 +54,23 @@ def run_matrix(
     fcb_levels,
     quick: bool = False,
     workloads=MACRO_NAMES,
+    executor=None,
 ) -> Dict[Tuple[str, str, Optional[int]], float]:
     """elapsed_us for each (workload, ni, fcb) combination."""
-    out = {}
-    costs = default_costs()
-    for workload_name in workloads:
-        kwargs = workload_kwargs(workload_name, quick)
-        for ni_name in ni_names:
-            for fcb in fcb_levels:
-                result = make_workload(workload_name, **kwargs).run(
-                    params=default_params(flow_control_buffers=fcb),
-                    costs=costs, ni_name=ni_name,
-                )
-                out[(workload_name, ni_name, fcb)] = result.elapsed_us
-    return out
+    jobs, keys = plan_matrix(ni_names, fcb_levels, quick, workloads)
+    cells = execute(jobs, executor)
+    return {key: cell.elapsed_us for key, cell in zip(keys, cells)}
 
 
 def _normalize(matrix, baseline):
     return {k: v / baseline[k[0]] for k, v in matrix.items()}
 
 
-def run_figure3a(quick: bool = False, workloads=MACRO_NAMES) -> ExperimentResult:
-    matrix = run_matrix(FIFO_NI_NAMES, FCB_LEVELS, quick, workloads)
+def run_figure3a(
+    quick: bool = False, workloads=MACRO_NAMES, executor=None,
+) -> ExperimentResult:
+    matrix = run_matrix(FIFO_NI_NAMES, FCB_LEVELS, quick, workloads,
+                        executor=executor)
     baseline = {
         w: matrix[(w, "ap3000", 8)] for w in workloads
     }
@@ -88,12 +103,16 @@ def run_figure3a(quick: bool = False, workloads=MACRO_NAMES) -> ExperimentResult
     )
 
 
-def run_figure3b(quick: bool = False, workloads=MACRO_NAMES) -> ExperimentResult:
+def run_figure3b(
+    quick: bool = False, workloads=MACRO_NAMES, executor=None,
+) -> ExperimentResult:
     # Coherent NIs at the paper's fcb=8 (their insensitivity to fcb is
     # asserted separately by the ablation benchmark / tests).
-    matrix = run_matrix(COHERENT_NI_NAMES, (8,), quick, workloads)
+    matrix = run_matrix(COHERENT_NI_NAMES, (8,), quick, workloads,
+                        executor=executor)
     # The AP3000@8 baseline comes from the fifo matrix.
-    fifo = run_matrix(("ap3000",), (8,), quick, workloads)
+    fifo = run_matrix(("ap3000",), (8,), quick, workloads,
+                      executor=executor)
     baseline = {w: fifo[(w, "ap3000", 8)] for w in workloads}
     rows = []
     normalized = {}
@@ -123,9 +142,9 @@ def run_figure3b(quick: bool = False, workloads=MACRO_NAMES) -> ExperimentResult
     )
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    a = run_figure3a(quick)
-    b = run_figure3b(quick)
+def run(quick: bool = False, executor=None) -> ExperimentResult:
+    a = run_figure3a(quick, executor=executor)
+    b = run_figure3b(quick, executor=executor)
     combined = ExperimentResult(
         experiment="Figure 3", headers=["section"], rows=[],
         extras={"a": a, "b": b},

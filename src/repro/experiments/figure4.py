@@ -21,28 +21,48 @@ from repro.experiments.common import (
     fcb_label,
     workload_kwargs,
 )
-from repro.workloads.registry import MACRO_NAMES, make_workload
+from repro.experiments.parallel import Job, execute, freeze_kwargs
+from repro.workloads.registry import MACRO_NAMES
 
 FCB_LEVELS: Tuple[Optional[int], ...] = (1, 2, 8, 32, None)
 
 
-def run(quick: bool = False, workloads=MACRO_NAMES) -> ExperimentResult:
+def plan(quick, workloads):
+    """Per workload: one CNI_32Qm baseline, then one cm5-1cyc per fcb."""
     costs = default_costs()
+    jobs = []
+    for workload_name in workloads:
+        kwargs = freeze_kwargs(workload_kwargs(workload_name, quick))
+        jobs.append(Job(
+            label=f"figure4:{workload_name}:cni32qm:fcb=8",
+            ni="cni32qm", workload=workload_name,
+            params=default_params(flow_control_buffers=8),
+            costs=costs, kwargs=kwargs,
+        ))
+        for fcb in FCB_LEVELS:
+            jobs.append(Job(
+                label=f"figure4:{workload_name}:cm5-1cyc"
+                      f":fcb={fcb_label(fcb)}",
+                ni="cm5-1cyc", workload=workload_name,
+                params=default_params(flow_control_buffers=fcb),
+                costs=costs, kwargs=kwargs,
+            ))
+    return jobs
+
+
+def run(
+    quick: bool = False, workloads=MACRO_NAMES, executor=None,
+) -> ExperimentResult:
+    results = execute(plan(quick, workloads), executor)
+    per_workload = 1 + len(FCB_LEVELS)
     rows = []
     normalized = {}
-    for workload_name in workloads:
-        kwargs = workload_kwargs(workload_name, quick)
-        baseline = make_workload(workload_name, **kwargs).run(
-            params=default_params(flow_control_buffers=8),
-            costs=costs, ni_name="cni32qm",
-        ).elapsed_us
+    for i, workload_name in enumerate(workloads):
+        group = results[i * per_workload:(i + 1) * per_workload]
+        baseline = group[0].elapsed_us
         cells = []
-        for fcb in FCB_LEVELS:
-            elapsed = make_workload(workload_name, **kwargs).run(
-                params=default_params(flow_control_buffers=fcb),
-                costs=costs, ni_name="cm5-1cyc",
-            ).elapsed_us
-            value = elapsed / baseline
+        for fcb, cell in zip(FCB_LEVELS, group[1:]):
+            value = cell.elapsed_us / baseline
             normalized[(workload_name, fcb)] = value
             cells.append(f"{value:.2f}")
         rows.append([workload_name, *cells])

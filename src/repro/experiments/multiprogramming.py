@@ -22,7 +22,7 @@ from repro.experiments.common import (
     default_params,
     workload_kwargs,
 )
-from repro.workloads.registry import make_workload
+from repro.experiments.parallel import Job, execute, freeze_kwargs
 
 #: Total flow-control buffers a register-mapped NI can afford.
 REGISTER_NI_TOTAL_BUFFERS = 16
@@ -30,23 +30,37 @@ PROCESS_COUNTS = (1, 2, 4, 8)
 WORKLOADS = ("em3d", "spsolve")
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def plan(quick: bool):
+    jobs = []
+    for workload_name in WORKLOADS:
+        kwargs = freeze_kwargs(workload_kwargs(workload_name, quick))
+        jobs.append(Job(
+            label=f"multiprogramming:{workload_name}:cni32qm",
+            ni="cni32qm", workload=workload_name,
+            params=default_params(flow_control_buffers=8),
+            costs=DEFAULT_COSTS, kwargs=kwargs,
+        ))
+        for processes in PROCESS_COUNTS:
+            per_process = max(1, REGISTER_NI_TOTAL_BUFFERS // processes)
+            jobs.append(Job(
+                label=f"multiprogramming:{workload_name}"
+                      f":cm5-1cyc:P={processes}",
+                ni="cm5-1cyc", workload=workload_name,
+                params=default_params(flow_control_buffers=per_process),
+                costs=DEFAULT_COSTS, kwargs=kwargs,
+            ))
+    return jobs
+
+
+def run(quick: bool = False, executor=None) -> ExperimentResult:
+    results = iter(execute(plan(quick), executor))
     rows = []
     ratios = {}
     for workload_name in WORKLOADS:
-        kwargs = workload_kwargs(workload_name, quick)
-        baseline = make_workload(workload_name, **kwargs).run(
-            params=default_params(flow_control_buffers=8),
-            costs=DEFAULT_COSTS, ni_name="cni32qm",
-        ).elapsed_us
+        baseline = next(results).elapsed_us
         cells = []
         for processes in PROCESS_COUNTS:
-            per_process = max(1, REGISTER_NI_TOTAL_BUFFERS // processes)
-            elapsed = make_workload(workload_name, **kwargs).run(
-                params=default_params(flow_control_buffers=per_process),
-                costs=DEFAULT_COSTS, ni_name="cm5-1cyc",
-            ).elapsed_us
-            ratio = elapsed / baseline
+            ratio = next(results).elapsed_us / baseline
             ratios[(workload_name, processes)] = ratio
             cells.append(f"{ratio:.2f}")
         rows.append([workload_name, *cells])

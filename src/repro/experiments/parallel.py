@@ -1,0 +1,305 @@
+"""Parallel sweep execution for the experiment harness.
+
+Every experiment is a *grid* of independent simulation cells (one
+workload on one NI configuration).  This module gives the grids a
+common declarative form so they can be fanned out across worker
+processes:
+
+- :class:`Job` — one cell, fully declarative and picklable.  A job
+  carries everything a worker needs to rebuild the machine from
+  scratch: the NI name (plus an optional variant spec, because variant
+  classes registered in the parent do not exist in a fresh worker),
+  the workload name and constructor kwargs, the frozen
+  :class:`~repro.config.SystemParams` / :class:`~repro.config.SoftwareCosts`,
+  and the machine tweaks the experiments apply by hand (``always_udma``,
+  sender throttling, mesh-fabric timing).
+- :func:`run_cell` — executes one job and returns a :class:`CellResult`
+  summary (pure data, picklable) with every measurement any experiment
+  consumes.
+- :class:`SweepExecutor` — maps a job list over a process pool
+  (``--jobs N`` / ``REPRO_JOBS``, default ``os.cpu_count()``) and
+  merges results **in job order**, so the assembled tables are
+  byte-identical to a serial run.  An optional
+  :class:`~repro.experiments.cache.ResultCache` short-circuits cells
+  that were already computed.
+
+The experiments split into ``plan`` (build the job list), ``run_cell``
+(this module, in workers), and ``assemble`` (format rows from the
+ordered :class:`CellResult` list).  Simulations are deterministic, so
+the split changes nothing about the numbers — only the wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SoftwareCosts, SystemParams
+
+#: Workload names handled directly by :func:`run_cell` (the two
+#: microbenchmarks are not in the macrobenchmark registry).
+MICRO_WORKLOADS = ("pingpong", "stream")
+
+
+def freeze_kwargs(kwargs: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonical, hashable form of a kwargs dict for :class:`Job`."""
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation cell of an experiment grid (picklable)."""
+
+    #: Cell id, e.g. ``"figure3:em3d:cm5:fcb=1"`` — part of the cache
+    #: key and the handle experiments use to describe the cell.
+    label: str
+    #: Registered NI name (the *base* name when ``variant`` is set).
+    ni: str
+    #: ``"pingpong"``, ``"stream"``, or a macrobenchmark registry name.
+    workload: str
+    params: SystemParams
+    costs: SoftwareCosts
+    #: Workload constructor kwargs, frozen via :func:`freeze_kwargs`.
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: Optional NI variant: ``(suffix, ((attr, value), ...))``.  The
+    #: worker re-registers ``ni@suffix`` itself — class registration is
+    #: per-process and does not survive into pool workers.
+    variant: Optional[Tuple[str, Tuple[Tuple[str, Any], ...]]] = None
+    #: Machine size for microbenchmarks (macro workloads size their own
+    #: machines); ``None`` means the micro default of 2.
+    num_nodes: Optional[int] = None
+    #: Force the UDMA mechanism for every send (Table 5's convention
+    #: for the Udma-based NI).
+    always_udma: bool = False
+    #: Sender-side NI pacing applied to node 0, ns.
+    sender_throttle_ns: int = 0
+    #: Mesh-fabric timing overrides (contention experiment); applied
+    #: only when the params select a real topology.
+    fabric_hop_ns: Optional[int] = None
+    fabric_link_ns_per_32b: Optional[int] = None
+
+
+class SizeHistogram:
+    """Read-only stand-in for :class:`repro.sim.Histogram` rebuilt from
+    its exact value -> count buckets (what crosses the process
+    boundary).  Supports what the experiments consume: ``buckets()``,
+    ``count``, ``mean``."""
+
+    def __init__(self, buckets: Dict[float, int]):
+        self._buckets = dict(buckets)
+
+    def buckets(self) -> Dict[float, int]:
+        return dict(self._buckets)
+
+    @property
+    def count(self) -> int:
+        return sum(self._buckets.values())
+
+    @property
+    def total(self) -> float:
+        return sum(value * count for value, count in self._buckets.items())
+
+    @property
+    def mean(self) -> float:
+        count = self.count
+        if not count:
+            raise ValueError("mean of empty histogram")
+        return self.total / count
+
+
+@dataclass
+class CellResult:
+    """Measurements from one job — plain data, cheap to pickle."""
+
+    label: str
+    elapsed_ns: int
+    states: Dict[str, int]
+    messages_sent: int
+    bounces: int
+    flow_control_buffers: Optional[int]
+    #: Workload extras (``round_trip_us``, ``bandwidth_mb_s``, ...).
+    extras: Dict[str, Any] = field(default_factory=dict)
+    #: Exact message-size buckets (Table 4 material).
+    size_buckets: Dict[float, int] = field(default_factory=dict)
+    #: Per-node NI counter snapshots, indexed by node id.
+    ni_counters: Tuple[Dict[str, int], ...] = ()
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.elapsed_ns / 1000.0
+
+    @property
+    def message_sizes(self) -> SizeHistogram:
+        return SizeHistogram(self.size_buckets)
+
+    # -- cache serialization (JSON-safe) ------------------------------
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "elapsed_ns": self.elapsed_ns,
+            "states": self.states,
+            "messages_sent": self.messages_sent,
+            "bounces": self.bounces,
+            "flow_control_buffers": self.flow_control_buffers,
+            "extras": self.extras,
+            # JSON object keys must be strings; values round-trip via
+            # float() on load.
+            "size_buckets": {repr(k): v for k, v in self.size_buckets.items()},
+            "ni_counters": [dict(c) for c in self.ni_counters],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "CellResult":
+        def _num(text: str) -> float:
+            value = float(text)
+            return int(value) if value.is_integer() else value
+
+        return cls(
+            label=data["label"],
+            elapsed_ns=data["elapsed_ns"],
+            states=dict(data["states"]),
+            messages_sent=data["messages_sent"],
+            bounces=data["bounces"],
+            flow_control_buffers=data["flow_control_buffers"],
+            extras=dict(data["extras"]),
+            size_buckets={
+                _num(k): v for k, v in data["size_buckets"].items()
+            },
+            ni_counters=tuple(dict(c) for c in data["ni_counters"]),
+        )
+
+
+def run_cell(job: Job) -> CellResult:
+    """Execute one job from scratch (worker-process entry point)."""
+    # Imports stay local: workers only pay for what they run, and the
+    # module import itself stays cheap for the CLI.
+    from repro.ni.registry import variant as register_ni_variant
+    from repro.node import Machine
+    from repro.workloads.micro import PingPong, StreamBandwidth
+    from repro.workloads.registry import make_workload
+
+    ni_name = job.ni
+    if job.variant is not None:
+        suffix, attrs = job.variant
+        ni_name = register_ni_variant(job.ni, suffix, **dict(attrs))
+
+    kwargs = dict(job.kwargs)
+    if job.workload == "pingpong":
+        workload = PingPong(**kwargs)
+    elif job.workload == "stream":
+        workload = StreamBandwidth(**kwargs)
+    else:
+        workload = make_workload(job.workload, **kwargs)
+
+    if job.workload in MICRO_WORKLOADS:
+        machine = Machine(
+            job.params, job.costs, ni_name,
+            num_nodes=job.num_nodes if job.num_nodes is not None else 2,
+        )
+    else:
+        machine = workload.build_machine(job.params, job.costs, ni_name)
+
+    if job.always_udma:
+        for node in machine:
+            node.ni.always_udma = True
+    if job.sender_throttle_ns:
+        machine.node(0).ni.throttle_ns = job.sender_throttle_ns
+    fabric = machine.network.fabric
+    if fabric is not None:
+        if job.fabric_hop_ns is not None:
+            fabric.hop_ns = job.fabric_hop_ns
+        if job.fabric_link_ns_per_32b is not None:
+            fabric.link_ns_per_32b = job.fabric_link_ns_per_32b
+
+    result = workload.run(machine=machine)
+    return CellResult(
+        label=job.label,
+        elapsed_ns=result.elapsed_ns,
+        states=dict(result.states),
+        messages_sent=result.messages_sent,
+        bounces=result.bounces,
+        flow_control_buffers=result.flow_control_buffers,
+        extras=dict(result.extras),
+        size_buckets=result.message_sizes.buckets(),
+        ni_counters=tuple(
+            node.ni.counters.as_dict() for node in machine
+        ),
+    )
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+class SweepExecutor:
+    """Runs job lists, optionally in parallel and through a cache.
+
+    Results always come back in job order: with ``jobs == 1`` the cells
+    run serially in-process; otherwise ``ProcessPoolExecutor.map``
+    preserves submission order.  Either way the assembled output is
+    byte-identical.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, cache=None):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+
+    def map(self, jobs: Sequence[Job]) -> List[CellResult]:
+        jobs = list(jobs)
+        results: List[Optional[CellResult]] = [None] * len(jobs)
+        pending_idx: List[int] = []
+        if self.cache is not None:
+            for i, job in enumerate(jobs):
+                hit = self.cache.get(job)
+                if hit is not None:
+                    results[i] = hit
+                else:
+                    pending_idx.append(i)
+        else:
+            pending_idx = list(range(len(jobs)))
+
+        pending = [jobs[i] for i in pending_idx]
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                computed = [run_cell(job) for job in pending]
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    computed = list(pool.map(run_cell, pending))
+            for i, cell in zip(pending_idx, computed):
+                results[i] = cell
+                if self.cache is not None:
+                    self.cache.put(jobs[i], cell)
+        return results  # type: ignore[return-value]
+
+
+#: Process-wide executor used when an experiment is called without one
+#: (library use, old call sites).  Cache-off; worker count follows
+#: :func:`resolve_jobs` (``REPRO_JOBS`` / ``os.cpu_count()``).
+_default_executor: Optional[SweepExecutor] = None
+
+
+def get_default_executor() -> SweepExecutor:
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = SweepExecutor()
+    return _default_executor
+
+
+def set_default_executor(executor: Optional[SweepExecutor]) -> None:
+    global _default_executor
+    _default_executor = executor
+
+
+def execute(jobs: Sequence[Job], executor=None) -> List[CellResult]:
+    """Run ``jobs`` on ``executor`` (or the process-wide default)."""
+    return (executor or get_default_executor()).map(jobs)

@@ -4,12 +4,22 @@ Usage::
 
     repro-experiments all            # every table and figure
     repro-experiments table5 figure3 --quick
+    repro-experiments figure3 --jobs 4        # parallel sweep cells
+    repro-experiments all --json results.json
     repro-experiments --list
+
+Simulation cells run through a :class:`~repro.experiments.parallel.SweepExecutor`
+(``--jobs`` / ``REPRO_JOBS`` workers) and a content-addressed result
+cache under ``.repro-cache/`` (disable with ``--no-cache``).  Results
+are merged in job order, so the output is byte-identical whatever the
+worker count.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 import time
 from typing import Callable, Dict
@@ -31,6 +41,8 @@ from repro.experiments import (
     table4,
     table5,
 )
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import SweepExecutor
 
 EXPERIMENTS: Dict[str, Callable] = {
     "table1": table1.run,
@@ -63,6 +75,52 @@ ALL_ORDER = (
 )
 
 
+def expand_names(requested) -> list:
+    """Expand ``all`` in place and de-duplicate, preserving order.
+
+    ``all`` composes with explicit names: ``figure3 all`` runs figure3
+    first, then the rest of the standard order without repeating it.
+    """
+    names = []
+    for name in requested:
+        for expanded in (ALL_ORDER if name == "all" else (name,)):
+            if expanded not in names:
+                names.append(expanded)
+    return names
+
+
+def _call_experiment(fn: Callable, quick: bool, executor):
+    """Invoke ``fn``, passing the executor only where it is accepted
+    (table1/2/3 and friends are pure formatting and take no executor)."""
+    if "executor" in inspect.signature(fn).parameters:
+        return fn(quick=quick, executor=executor)
+    return fn(quick=quick)
+
+
+def _jsonable(value):
+    """Best-effort JSON form of experiment results and their extras."""
+    from repro.experiments.common import ExperimentResult
+
+    if isinstance(value, ExperimentResult):
+        return {
+            "experiment": value.experiment,
+            "headers": list(value.headers),
+            "rows": [_jsonable(row) for row in value.rows],
+            "notes": list(value.notes),
+            "extras": _jsonable(value.extras),
+        }
+    if isinstance(value, dict):
+        return {
+            k if isinstance(k, str) else repr(k): _jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -77,6 +135,19 @@ def main(argv=None) -> int:
         help="smaller workloads / fewer rounds (smoke run)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep cells "
+             "(default: REPRO_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell, bypassing .repro-cache/",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", dest="json_path",
+        help="also write every result as JSON to PATH",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment names"
     )
     args = parser.parse_args(argv)
@@ -86,22 +157,39 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
-    names = list(args.experiments)
-    if names == ["all"]:
-        names = list(ALL_ORDER)
+    names = expand_names(args.experiments)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}",
               file=sys.stderr)
         return 2
 
+    cache = None if args.no_cache else ResultCache()
+    executor = SweepExecutor(jobs=args.jobs, cache=cache)
+
+    collected = {}
     for name in names:
         start = time.time()
-        result = EXPERIMENTS[name](quick=args.quick)
+        result = _call_experiment(EXPERIMENTS[name], args.quick, executor)
         elapsed = time.time() - start
+        collected[name] = result
         print(result.format())
         print(f"[{name} completed in {elapsed:.1f}s]")
         print()
+
+    if args.json_path:
+        payload = {
+            name: _jsonable(result) for name, result in collected.items()
+        }
+        try:
+            with open(args.json_path, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+        except OSError as exc:
+            # The tables are already on stdout; don't let a bad path
+            # turn a finished run into a traceback.
+            print(f"cannot write {args.json_path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"[results written to {args.json_path}]")
     return 0
 
 

@@ -19,31 +19,45 @@ from repro.experiments.common import (
     default_params,
     workload_kwargs,
 )
-from repro.workloads.registry import make_workload
+from repro.experiments.parallel import Job, execute, freeze_kwargs
 
 SEEDED_WORKLOADS = ("barnes", "em3d", "spsolve", "unstructured")
 SEEDS = (3, 11, 42, 97)
+_RATIO_NIS = ("cni32qm", "ap3000")
+
+
+def _jobs_for(workload_name: str, seed: int, quick: bool):
+    kwargs = workload_kwargs(workload_name, quick)
+    kwargs["seed"] = seed
+    params = default_params(flow_control_buffers=8)
+    return [
+        Job(label=f"stability:{workload_name}:seed={seed}:{ni_name}",
+            ni=ni_name, workload=workload_name, params=params,
+            costs=DEFAULT_COSTS, kwargs=freeze_kwargs(kwargs))
+        for ni_name in _RATIO_NIS
+    ]
 
 
 def _ratio(workload_name: str, seed: int, quick: bool) -> float:
     """elapsed(cni32qm) / elapsed(ap3000) for one seed (< 1: CNI wins)."""
-    kwargs = workload_kwargs(workload_name, quick)
-    kwargs["seed"] = seed
-    params = default_params(flow_control_buffers=8)
-    times = {}
-    for ni_name in ("cni32qm", "ap3000"):
-        times[ni_name] = make_workload(workload_name, **kwargs).run(
-            params=params, costs=DEFAULT_COSTS, ni_name=ni_name
-        ).elapsed_us
-    return times["cni32qm"] / times["ap3000"]
+    cni, ap = execute(_jobs_for(workload_name, seed, quick))
+    return cni.elapsed_us / ap.elapsed_us
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, executor=None) -> ExperimentResult:
     seeds = SEEDS[:2] if quick else SEEDS
+    jobs = []
+    for workload_name in SEEDED_WORKLOADS:
+        for seed in seeds:
+            jobs.extend(_jobs_for(workload_name, seed, quick))
+    cells = iter(execute(jobs, executor))
     rows = []
     ratios = {}
     for workload_name in SEEDED_WORKLOADS:
-        values = [_ratio(workload_name, seed, quick) for seed in seeds]
+        values = []
+        for _seed in seeds:
+            cni, ap = next(cells), next(cells)
+            values.append(cni.elapsed_us / ap.elapsed_us)
         ratios[workload_name] = values
         mean = sum(values) / len(values)
         spread = max(values) - min(values)

@@ -16,7 +16,8 @@ from repro.experiments.common import (
     default_params,
     workload_kwargs,
 )
-from repro.workloads.registry import MACRO_NAMES, make_workload
+from repro.experiments.parallel import Job, execute, freeze_kwargs
+from repro.workloads.registry import MACRO_NAMES
 
 #: The paper's reported peaks (size -> share), for side-by-side notes.
 PAPER_PEAKS = {
@@ -38,14 +39,24 @@ def dominant_sizes(histogram, top: int = 4) -> List[tuple]:
     return [(int(size), count / total) for size, count in sorted(ranked)]
 
 
-def run(quick: bool = False, ni_name: str = "cni32qm") -> ExperimentResult:
+def plan(quick: bool, ni_name: str):
+    params = default_params()
+    costs = default_costs()
+    return [
+        Job(label=f"table4:{name}:{ni_name}",
+            ni=ni_name, workload=name, params=params, costs=costs,
+            kwargs=freeze_kwargs(workload_kwargs(name, quick)))
+        for name in MACRO_NAMES
+    ]
+
+
+def run(
+    quick: bool = False, ni_name: str = "cni32qm", executor=None,
+) -> ExperimentResult:
+    cells = execute(plan(quick, ni_name), executor)
     rows = []
     measured = {}
-    for name in MACRO_NAMES:
-        workload = make_workload(name, **workload_kwargs(name, quick))
-        result = workload.run(
-            params=default_params(), costs=default_costs(), ni_name=ni_name
-        )
+    for name, result in zip(MACRO_NAMES, cells):
         peaks = dominant_sizes(result.message_sizes)
         measured[name] = peaks
         mix = ", ".join(f"{s}B:{share * 100:.0f}%" for s, share in peaks)

@@ -21,9 +21,9 @@ from repro.experiments.common import (
     default_params,
     label,
 )
+from repro.experiments.parallel import Job, execute, freeze_kwargs
 from repro.ni.registry import ALL_NI_NAMES
 from repro.node import Machine
-from repro.workloads.micro import PingPong, StreamBandwidth
 
 LATENCY_PAYLOADS = (8, 64, 256)
 BANDWIDTH_PAYLOADS = (8, 64, 256, 4096)
@@ -63,50 +63,93 @@ def _machine(ni_name: str, throttle_ns: int = 0) -> Machine:
     return machine
 
 
+def latency_job(ni_name: str, payload: int, rounds: int) -> Job:
+    return Job(
+        label=f"table5:rt:{ni_name}:{payload}B",
+        ni=ni_name, workload="pingpong",
+        params=default_params(flow_control_buffers=8),
+        costs=DEFAULT_COSTS,
+        kwargs=freeze_kwargs(dict(payload_bytes=payload, rounds=rounds)),
+        num_nodes=2, always_udma=(ni_name == "udma"),
+    )
+
+
+def bandwidth_job(
+    ni_name: str, payload: int, transfers: int, throttle_ns: int = 0
+) -> Job:
+    return Job(
+        label=f"table5:bw:{ni_name}:{payload}B:throttle={throttle_ns}",
+        ni=ni_name, workload="stream",
+        params=default_params(flow_control_buffers=8),
+        costs=DEFAULT_COSTS,
+        kwargs=freeze_kwargs(dict(
+            payload_bytes=payload, transfers=transfers,
+            throttle_ns=throttle_ns,
+        )),
+        num_nodes=2, always_udma=(ni_name == "udma"),
+    )
+
+
 def measure_latency(ni_name: str, payload: int, rounds: int) -> float:
     """Round-trip latency in microseconds."""
-    workload = PingPong(payload_bytes=payload, rounds=rounds)
-    result = workload.run(machine=_machine(ni_name))
-    return result.extras["round_trip_us"]
+    (cell,) = execute([latency_job(ni_name, payload, rounds)])
+    return cell.extras["round_trip_us"]
 
 
 def measure_bandwidth(
     ni_name: str, payload: int, transfers: int, throttle_ns: int = 0
 ) -> float:
     """Streaming bandwidth in MB/s."""
-    workload = StreamBandwidth(
-        payload_bytes=payload, transfers=transfers,
-        throttle_ns=throttle_ns,
+    (cell,) = execute(
+        [bandwidth_job(ni_name, payload, transfers, throttle_ns)]
     )
-    result = workload.run(machine=_machine(ni_name))
-    return result.extras["bandwidth_mb_s"]
+    return cell.extras["bandwidth_mb_s"]
+
+
+def _pick_throttle(
+    values, candidates: Tuple[int, ...]
+) -> Tuple[float, int]:
+    """First strictly-best candidate, matching the serial sweep."""
+    best = (0.0, 0)
+    for throttle, mb in zip(candidates, values):
+        if mb > best[0]:
+            best = (mb, throttle)
+    return best
 
 
 def best_throttled_bandwidth(
     payload: int, transfers: int,
     candidates: Tuple[int, ...] = THROTTLE_CANDIDATES,
+    executor=None,
 ) -> Tuple[float, int]:
     """Sweep sender pacing for CNI_32Qm; return (best MB/s, throttle).
 
     "Throttles the sender to match the maximum message consumption
     rate of the receiving NI" — we search for that rate.
     """
-    best = (0.0, 0)
-    for throttle in candidates:
-        mb = measure_bandwidth("cni32qm", payload, transfers,
-                               throttle_ns=throttle)
-        if mb > best[0]:
-            best = (mb, throttle)
-    return best
+    cells = execute(
+        [bandwidth_job("cni32qm", payload, transfers, throttle_ns=t)
+         for t in candidates],
+        executor,
+    )
+    return _pick_throttle(
+        [cell.extras["bandwidth_mb_s"] for cell in cells], candidates
+    )
 
 
-def run_latency(quick: bool = False) -> ExperimentResult:
+def run_latency(quick: bool = False, executor=None) -> ExperimentResult:
     rounds = 20 if quick else 100
+    jobs = [
+        latency_job(ni_name, payload, rounds)
+        for ni_name in ALL_NI_NAMES
+        for payload in LATENCY_PAYLOADS
+    ]
+    cells = iter(execute(jobs, executor))
     rows = []
     for ni_name in ALL_NI_NAMES:
         measured = [
-            measure_latency(ni_name, payload, rounds)
-            for payload in LATENCY_PAYLOADS
+            next(cells).extras["round_trip_us"]
+            for _payload in LATENCY_PAYLOADS
         ]
         paper = PAPER_LATENCY_US[ni_name]
         rows.append([
@@ -130,13 +173,25 @@ def run_latency(quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_bandwidth(quick: bool = False) -> ExperimentResult:
+def run_bandwidth(quick: bool = False, executor=None) -> ExperimentResult:
     transfers = 40 if quick else 150
+    jobs = [
+        bandwidth_job(ni_name, payload, transfers)
+        for ni_name in ALL_NI_NAMES
+        for payload in BANDWIDTH_PAYLOADS
+    ]
+    # The throttle sweep rides in the same fan-out.
+    jobs.extend(
+        bandwidth_job("cni32qm", payload, transfers, throttle_ns=t)
+        for payload in BANDWIDTH_PAYLOADS
+        for t in THROTTLE_CANDIDATES
+    )
+    cells = iter(execute(jobs, executor))
     rows = []
     for ni_name in ALL_NI_NAMES:
         measured = [
-            measure_bandwidth(ni_name, payload, transfers)
-            for payload in BANDWIDTH_PAYLOADS
+            next(cells).extras["bandwidth_mb_s"]
+            for _payload in BANDWIDTH_PAYLOADS
         ]
         paper = PAPER_BANDWIDTH_MB[ni_name]
         rows.append([
@@ -146,8 +201,12 @@ def run_bandwidth(quick: bool = False) -> ExperimentResult:
         ])
     throttled = []
     throttles = []
-    for payload in BANDWIDTH_PAYLOADS:
-        mb, throttle = best_throttled_bandwidth(payload, transfers)
+    for _payload in BANDWIDTH_PAYLOADS:
+        sweep = [
+            next(cells).extras["bandwidth_mb_s"]
+            for _t in THROTTLE_CANDIDATES
+        ]
+        mb, throttle = _pick_throttle(sweep, THROTTLE_CANDIDATES)
         throttled.append(mb)
         throttles.append(throttle)
     rows.append([
@@ -173,9 +232,9 @@ def run_bandwidth(quick: bool = False) -> ExperimentResult:
     )
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    latency = run_latency(quick)
-    bandwidth = run_bandwidth(quick)
+def run(quick: bool = False, executor=None) -> ExperimentResult:
+    latency = run_latency(quick, executor=executor)
+    bandwidth = run_bandwidth(quick, executor=executor)
     combined = ExperimentResult(
         experiment="Table 5: microbenchmarks",
         headers=["section"],

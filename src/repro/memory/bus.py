@@ -35,6 +35,10 @@ from repro.sim import Counter, Resource, Simulator
 #: snoop resolution 1).
 ADDRESS_PHASE_CYCLES = 4
 
+#: Pre-built per-op counter keys (the accounting runs once per
+#: transaction; formatting the key each time showed up in profiles).
+_OP_KEYS = {op: f"op:{op.value}" for op in BusOp}
+
 
 @dataclass
 class BusTransaction:
@@ -88,6 +92,12 @@ class MemoryBus:
         self._homes: List[Tuple[Region, Any]] = []
         self._default_home: Any = None
         self.counters = Counter()
+        # Params are frozen; hoist the per-transaction timing constants
+        # (``bus_cycle_ns`` is a computed property).
+        self._bus_cycle_ns = params.bus_cycle_ns
+        self._address_phase_ns = ADDRESS_PHASE_CYCLES * self._bus_cycle_ns
+        self._block_bytes = params.cache_block_bytes
+        self._width_bytes = params.bus_width_bits // 8
 
     # -- wiring --------------------------------------------------------
 
@@ -142,9 +152,10 @@ class MemoryBus:
         txn = BusTransaction(op, addr, size, requester, hint)
 
         # ---- conflicting-address serialisation ------------------------
+        coherent = op.is_coherent
         block_lock = None
-        if op.is_coherent:
-            block_addr = (addr // self.params.cache_block_bytes)
+        if coherent:
+            block_addr = (addr // self._block_bytes)
             block_lock = self._block_locks.get(block_addr)
             if block_lock is None:
                 block_lock = Resource(self.sim, capacity=1)
@@ -155,11 +166,11 @@ class MemoryBus:
         # ---- address phase: arbitration, address, snoop --------------
         grant = self._address_bus.request()
         yield grant
-        yield self.sim.timeout(ADDRESS_PHASE_CYCLES * self.params.bus_cycle_ns)
+        yield self.sim.timeout(self._address_phase_ns)
 
         supplier_agent: Optional[BusAgent] = None
         shared = False
-        if op.is_coherent:
+        if coherent:
             for agent in self._agents:
                 if agent is requester:
                     continue
@@ -225,7 +236,7 @@ class MemoryBus:
             dgrant = self._data_bus.request()
             yield dgrant
             yield self.sim.timeout(
-                self.params.data_cycles(size) * self.params.bus_cycle_ns
+                max(1, -(-size // self._width_bytes)) * self._bus_cycle_ns
             )
             self._data_bus.release(dgrant)
 
@@ -241,12 +252,13 @@ class MemoryBus:
     def _account(
         self, op: BusOp, supplier: Supplier, requester: Optional[BusAgent]
     ) -> None:
-        self.counters.add("txn_total")
-        self.counters.add(f"op:{op.value}")
+        add = self.counters.add
+        add("txn_total")
+        add(_OP_KEYS[op])
         if op.carries_data_to_requester:
-            self.counters.add(f"supply:{supplier.kind}")
+            add("supply:" + supplier.kind)
             req = getattr(requester, "kind", "other") if requester else "other"
-            self.counters.add(f"flow:{supplier.kind}->{req}")
+            add(f"flow:{supplier.kind}->{req}")
 
     def transactions(self, op: Optional[BusOp] = None) -> int:
         """Count of completed transactions (optionally of one kind)."""

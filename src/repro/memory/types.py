@@ -60,20 +60,30 @@ class BusOp(enum.Enum):
     #: Uncached 64-byte block transfer (UltraSPARC block store).
     BLOCK_WRITE = "BlkWr"
 
-    @property
-    def is_coherent(self) -> bool:
-        """Whether caches must snoop this operation."""
-        return self in (
-            BusOp.READ,
-            BusOp.READ_EXCLUSIVE,
-            BusOp.UPGRADE,
-            BusOp.WRITEBACK,
-        )
+#: Operations caches must snoop.
+COHERENT_OPS = frozenset((
+    BusOp.READ,
+    BusOp.READ_EXCLUSIVE,
+    BusOp.UPGRADE,
+    BusOp.WRITEBACK,
+))
 
-    @property
-    def carries_data_to_requester(self) -> bool:
-        return self in (BusOp.READ, BusOp.READ_EXCLUSIVE,
-                        BusOp.UNCACHED_READ, BusOp.BLOCK_READ)
+#: Operations whose data phase moves data toward the requester.
+DATA_TO_REQUESTER_OPS = frozenset((
+    BusOp.READ,
+    BusOp.READ_EXCLUSIVE,
+    BusOp.UNCACHED_READ,
+    BusOp.BLOCK_READ,
+))
+
+# Classification rides on each member as a plain instance attribute:
+# the bus queries it once or twice per transaction, and an attribute
+# load beats both a property call and a frozenset lookup (Enum.__hash__
+# is Python-level).
+for _op in BusOp:
+    _op.is_coherent = _op in COHERENT_OPS
+    _op.carries_data_to_requester = _op in DATA_TO_REQUESTER_OPS
+del _op
 
 
 @dataclass

@@ -83,13 +83,14 @@ class Network:
         if msg.dst not in self._data_endpoints:
             raise ValueError(f"destination node {msg.dst} not registered")
         msg.sent_at = self.sim.now
-        self.tracer.log(f"net", "wire", uid=msg.uid, kind=msg.kind.value,
-                        src=msg.src, dst=msg.dst, size=msg.size)
+        if self.tracer.enabled:
+            self.tracer.log("net", "wire", uid=msg.uid, kind=msg.kind.value,
+                            src=msg.src, dst=msg.dst, size=msg.size)
         control = msg.kind in (MessageKind.ACK, MessageKind.RETURN)
         table = self._control_endpoints if control else self._data_endpoints
         hook = table[msg.dst]
         self.counters.add("injected")
-        self.counters.add(f"kind:{msg.kind.value}")
+        self.counters.add("kind:" + msg.kind.value)
         if not control:
             self.counters.add("data_bytes", msg.size)
 

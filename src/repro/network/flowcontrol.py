@@ -123,7 +123,8 @@ class FlowControlUnit:
     def _on_data(self, msg: Message) -> None:
         if self.recv_buffers.try_acquire():
             self.counters.add("accepted")
-            self.network.tracer.log(self.name, "accept", uid=msg.uid)
+            if self.network.tracer.enabled:
+                self.network.tracer.log(self.name, "accept", uid=msg.uid)
             self.inbound.try_put(msg)
             if self.on_accept is not None:
                 self.on_accept(msg)
@@ -136,8 +137,9 @@ class FlowControlUnit:
             # No free incoming buffer: bounce the whole message back,
             # which occupies this NI's port for the message's length.
             self.counters.add("returned")
-            self.network.tracer.log(self.name, "bounce", uid=msg.uid,
-                                    bounces=msg.bounces + 1)
+            if self.network.tracer.enabled:
+                self.network.tracer.log(self.name, "bounce", uid=msg.uid,
+                                        bounces=msg.bounces + 1)
             msg.bounces += 1
             self.sim.process(self._bounce(msg))
 

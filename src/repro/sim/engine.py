@@ -4,15 +4,34 @@
 creates processes with :meth:`Simulator.process`; processes advance the
 clock only by yielding events (usually :class:`Timeout` objects created
 via :meth:`Simulator.timeout`).
+
+The hot loop is deliberately low-level: ``run()`` inlines event
+processing instead of calling :meth:`step`, and value-less timeouts
+whose only consumer was a process resume are recycled through a free
+list instead of being reallocated per yield.  Both paths preserve the
+``(time, seq)`` FIFO tie-break exactly — simultaneous events still
+fire in scheduling order, and the determinism tests in
+``tests/test_sim_engine.py`` hold bit-for-bit.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
 from repro.sim.process import Process
+
+#: Upper bound on the Timeout free list; beyond this, processed
+#: timeouts are left to the garbage collector so pathological fan-outs
+#: cannot pin memory.
+_TIMEOUT_POOL_MAX = 1024
+
+#: The underlying function of every process's resume callback.  A
+#: popped timeout whose single callback was a process resume cannot be
+#: referenced by anything else (conditions register their own ``_check``
+#: callbacks), so it is safe to recycle.
+_RESUME = Process._resume
 
 
 class Simulator:
@@ -40,6 +59,8 @@ class Simulator:
         self._now: int = 0
         self._seq: int = 0
         self._queue: List[Tuple[int, int, Event]] = []
+        #: Free list of processed, value-less Timeouts ready for reuse.
+        self._timeout_pool: List[Timeout] = []
 
     # -- clock --------------------------------------------------------
 
@@ -55,7 +76,25 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` time units from now."""
+        """An event that fires ``delay`` time units from now.
+
+        Value-less timeouts are served from a free list when possible;
+        a recycled timeout is indistinguishable from a fresh one (it is
+        re-armed untouched by its past life).
+        """
+        pool = self._timeout_pool
+        if pool and value is None:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout.callbacks = []
+            timeout._value = None
+            timeout._ok = True
+            timeout.defused = False
+            heappush(self._queue, (self._now + delay, self._seq, timeout))
+            self._seq += 1
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> Process:
@@ -74,7 +113,7 @@ class Simulator:
         """Insert a triggered event into the queue (kernel use only)."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        heappush(self._queue, (self._now + delay, self._seq, event))
         self._seq += 1
 
     def peek(self) -> Optional[int]:
@@ -85,7 +124,7 @@ class Simulator:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _seq, event = heappop(self._queue)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
@@ -95,6 +134,14 @@ class Simulator:
             # A failure nobody consumed: surface it rather than losing it.
             exc = event._value
             raise exc
+        if (
+            type(event) is Timeout
+            and event._value is None
+            and len(callbacks) == 1
+            and getattr(callbacks[0], "__func__", None) is _RESUME
+            and len(self._timeout_pool) < _TIMEOUT_POOL_MAX
+        ):
+            self._timeout_pool.append(event)
 
     # -- main loop ----------------------------------------------------
 
@@ -108,28 +155,60 @@ class Simulator:
         - an :class:`Event`: run until that event is processed, and
           return its value (re-raising its exception if it failed).
         """
+        # The exhaustion and until-event paths inline step() (minus its
+        # empty-queue recheck) so the per-event cost is one heappop plus
+        # the callbacks; both bodies mirror step() exactly.
+        queue = self._queue
+        pool = self._timeout_pool
+
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _seq, event = heappop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event.defused:
+                    raise event._value
+                if (
+                    type(event) is Timeout
+                    and event._value is None
+                    and len(callbacks) == 1
+                    and getattr(callbacks[0], "__func__", None) is _RESUME
+                    and len(pool) < _TIMEOUT_POOL_MAX
+                ):
+                    pool.append(event)
             return None
 
         if isinstance(until, Event):
             sentinel = until
-            finished = []
-
-            def _done(event: Event) -> None:
-                finished.append(event)
-
+            finished: List[Event] = []
             if sentinel.processed:
                 finished.append(sentinel)
             else:
-                sentinel.add_callback(_done)
+                sentinel.add_callback(finished.append)
             while not finished:
-                if not self._queue:
+                if not queue:
                     raise SimulationError(
                         f"simulation ran out of events before {sentinel!r} fired"
                     )
-                self.step()
+                when, _seq, event = heappop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event.defused:
+                    raise event._value
+                if (
+                    type(event) is Timeout
+                    and event._value is None
+                    and len(callbacks) == 1
+                    and getattr(callbacks[0], "__func__", None) is _RESUME
+                    and len(pool) < _TIMEOUT_POOL_MAX
+                ):
+                    pool.append(event)
             if sentinel._ok is False:
                 sentinel.defused = True
                 raise sentinel._value
@@ -140,7 +219,7 @@ class Simulator:
             raise SimulationError(
                 f"until={deadline} is in the past (now={self._now})"
             )
-        while self._queue and self._queue[0][0] <= deadline:
+        while queue and queue[0][0] <= deadline:
             self.step()
         self._now = deadline
         return None

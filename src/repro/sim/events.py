@@ -8,6 +8,7 @@ callbacks (typically resuming waiting processes).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional
 
 #: Sentinel for "no value yet".
@@ -86,22 +87,31 @@ class Event:
 
     def succeed(self, value: Any = None, delay: int = 0) -> "Event":
         """Trigger the event successfully, scheduling it ``delay`` from now."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay)
+        # Inlined Simulator._schedule (succeed dominates kernel profiles).
+        sim = self.sim
+        heappush(sim._queue, (sim._now + delay, sim._seq, self))
+        sim._seq += 1
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
         """Trigger the event as failed with ``exception``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        heappush(sim._queue, (sim._now + delay, sim._seq, self))
+        sim._seq += 1
         return self
 
     # -- callback plumbing -------------------------------------------
@@ -137,11 +147,14 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self.defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._schedule(self, delay)
+        heappush(sim._queue, (sim._now + delay, sim._seq, self))
+        sim._seq += 1
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"

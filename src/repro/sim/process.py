@@ -21,7 +21,7 @@ from repro.sim.events import Event, Interrupt, SimulationError
 class Process(Event):
     """A simulated thread of control driven by a generator."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: Generator):  # noqa: F821
         if not isinstance(generator, GeneratorType):
@@ -32,13 +32,16 @@ class Process(Event):
         self._generator = generator
         #: The event this process is currently suspended on.
         self._waiting_on: Optional[Event] = None
+        #: The resume trampoline, bound once per process instead of per
+        #: yield; the kernel's timeout recycling keys off this callback.
+        self._resume_cb = self._resume
         # Kick off the process at the current time via an init event.
         init = Event(sim)
         init._ok = True
         init._value = None
         sim._schedule(init, 0)
         self._waiting_on = init
-        init.add_callback(self._resume)
+        init.callbacks.append(self._resume_cb)
 
     # -- inspection ---------------------------------------------------
 
@@ -60,7 +63,7 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt finished {self!r}")
         target = self._waiting_on
         if target is not None:
-            target.remove_callback(self._resume)
+            target.remove_callback(self._resume_cb)
         self._waiting_on = None
         # Deliver asynchronously (but at the same timestamp) so the
         # interrupter finishes its own step first.
@@ -70,20 +73,22 @@ class Process(Event):
         punch.defused = True
         self.sim._schedule(punch, 0)
         self._waiting_on = punch
-        punch.add_callback(self._resume)
+        punch.add_callback(self._resume_cb)
 
     # -- the trampoline -----------------------------------------------
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value/exception of ``event``."""
         self._waiting_on = None
+        generator = self._generator
+        send = generator.send
         while True:
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = send(event._value)
                 else:
                     event.defused = True
-                    target = self._generator.throw(event._value)
+                    target = generator.throw(event._value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -91,24 +96,25 @@ class Process(Event):
                 self.fail(exc)
                 return
 
-            if not isinstance(target, Event):
-                exc = SimulationError(
-                    f"process yielded {target!r}; only events may be yielded"
-                )
-                try:
-                    self._generator.throw(exc)
-                except StopIteration as stop:
-                    self.succeed(stop.value)
-                except BaseException as raised:  # noqa: BLE001
-                    self.fail(raised)
+            if isinstance(target, Event):
+                callbacks = target.callbacks
+                if callbacks is None:
+                    # Already over: resume immediately without a queue trip.
+                    event = target
+                    continue
+                self._waiting_on = target
+                callbacks.append(self._resume_cb)
                 return
 
-            if target.processed:
-                # Already over: resume immediately without a queue trip.
-                event = target
-                continue
-            self._waiting_on = target
-            target.add_callback(self._resume)
+            exc = SimulationError(
+                f"process yielded {target!r}; only events may be yielded"
+            )
+            try:
+                generator.throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as raised:  # noqa: BLE001
+                self.fail(raised)
             return
 
     def __repr__(self) -> str:

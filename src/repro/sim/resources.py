@@ -14,9 +14,10 @@ Three primitives cover everything the model needs:
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, List, Optional
 
-from repro.sim.events import Event, SimulationError
+from repro.sim.events import _PENDING, Event, SimulationError
 
 
 class Request(Event):
@@ -31,7 +32,13 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim)
+        # Inlined Event.__init__ (one Request per bus phase; the super()
+        # call is measurable on the kernel's hot path).
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self.defused = False
         self.resource = resource
 
     def __enter__(self) -> "Request":
@@ -70,8 +77,15 @@ class Resource:
         """Request the resource; the returned event fires when granted."""
         req = Request(self)
         if len(self._users) < self.capacity:
+            # Uncontended grant, inlining ``req.succeed(req)`` — the
+            # request is fresh, so the already-triggered check and the
+            # negative-delay check cannot fire.
             self._users.append(req)
-            req.succeed(req)
+            req._ok = True
+            req._value = req
+            sim = self.sim
+            heappush(sim._queue, (sim._now, sim._seq, req))
+            sim._seq += 1
         else:
             self._waiting.append(req)
         return req

@@ -41,6 +41,9 @@ class Runtime:
         self.counters = Counter()
         #: Sizes of every message this node sent (Table 4 data).
         self.sent_sizes = Histogram()
+        #: Trace source label, built once (the hot paths guard every
+        #: tracer call on ``tracer.enabled`` to skip argument setup).
+        self._trace_src = f"node{node.node_id}"
         node.runtime = self
 
     # ------------------------------------------------------------------
@@ -92,11 +95,13 @@ class Runtime:
         timer = self.node.timer
         timer.push("send")
         tracer = self.node.network.tracer
-        tracer.log(f"node{self.node.node_id}", "send_start",
-                   uid=msg.uid, handler=handler, dst=dst, size=msg.size)
+        if tracer.enabled:
+            tracer.log(self._trace_src, "send_start",
+                       uid=msg.uid, handler=handler, dst=dst, size=msg.size)
         yield self.sim.timeout(self.costs.send_setup)
         yield from self.node.ni.send_message(msg)
-        tracer.log(f"node{self.node.node_id}", "send_done", uid=msg.uid)
+        if tracer.enabled:
+            tracer.log(self._trace_src, "send_done", uid=msg.uid)
         timer.pop()
         self.counters.add("sent")
         if record:
@@ -125,9 +130,9 @@ class Runtime:
             self.node.timer.pop()
             if msg is None:
                 break
-            self.node.network.tracer.log(
-                f"node{self.node.node_id}", "extracted", uid=msg.uid
-            )
+            tracer = self.node.network.tracer
+            if tracer.enabled:
+                tracer.log(self._trace_src, "extracted", uid=msg.uid)
             self._deferred.append(msg)
             count += 1
         count += yield from self.node.ni.process_buffering_work()
@@ -175,9 +180,9 @@ class Runtime:
             self.node.timer.pop()
             if msg is None:
                 return None
-            self.node.network.tracer.log(
-                f"node{self.node.node_id}", "extracted", uid=msg.uid
-            )
+            tracer = self.node.network.tracer
+            if tracer.enabled:
+                tracer.log(self._trace_src, "extracted", uid=msg.uid)
         self.node.timer.push("receive")
         yield self.sim.timeout(self.costs.receive_dispatch)
         self.node.timer.pop()
@@ -193,12 +198,14 @@ class Runtime:
                 f"for {msg!r}"
             )
         tracer = self.node.network.tracer
-        tracer.log(f"node{self.node.node_id}", "handler_start",
-                   uid=msg.uid, handler=msg.handler)
+        if tracer.enabled:
+            tracer.log(self._trace_src, "handler_start",
+                       uid=msg.uid, handler=msg.handler)
         result = fn(self, msg)
         if inspect.isgenerator(result):
             yield from result
-        tracer.log(f"node{self.node.node_id}", "handler_done", uid=msg.uid)
+        if tracer.enabled:
+            tracer.log(self._trace_src, "handler_done", uid=msg.uid)
 
     # ------------------------------------------------------------------
     # blocking waits

@@ -1,0 +1,239 @@
+"""Tests for the parallel sweep executor, the result cache, and the
+kernel's Timeout pooling — the machinery behind ``--jobs`` /
+``--no-cache``.
+
+The equivalence tests are the load-bearing ones: whatever the worker
+count or cache state, the merged cell list must be identical to a
+serial, uncached run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DEFAULT_COSTS
+from repro.experiments.cache import ResultCache, job_key
+from repro.experiments.common import default_params
+from repro.experiments.parallel import (
+    CellResult,
+    Job,
+    SweepExecutor,
+    freeze_kwargs,
+    resolve_jobs,
+    run_cell,
+)
+
+
+def _micro_jobs():
+    """A small mixed grid: cheap but exercises variants and throttling."""
+    params = default_params(flow_control_buffers=8)
+    jobs = [
+        Job(label="t:pingpong:cm5", ni="cm5", workload="pingpong",
+            params=params, costs=DEFAULT_COSTS,
+            kwargs=freeze_kwargs(dict(payload_bytes=56, rounds=6, warmup=2))),
+        Job(label="t:stream:cni32qm", ni="cni32qm", workload="stream",
+            params=params, costs=DEFAULT_COSTS,
+            kwargs=freeze_kwargs(dict(payload_bytes=248, transfers=8,
+                                      warmup=2, throttle_ns=0))),
+        Job(label="t:stream:variant", ni="cni32qm", workload="stream",
+            params=params, costs=DEFAULT_COSTS,
+            variant=("i4", (("cache_entries", 4),)),
+            kwargs=freeze_kwargs(dict(payload_bytes=248, transfers=8,
+                                      warmup=2, throttle_ns=0))),
+        Job(label="t:pingpong:udma", ni="udma", workload="pingpong",
+            params=params, costs=DEFAULT_COSTS, always_udma=True,
+            kwargs=freeze_kwargs(dict(payload_bytes=56, rounds=6, warmup=2))),
+    ]
+    return jobs
+
+
+def test_serial_vs_parallel_equivalence():
+    """jobs=1 and jobs=4 must produce identical cells, in job order."""
+    jobs = _micro_jobs()
+    serial = SweepExecutor(jobs=1).map(jobs)
+    parallel = SweepExecutor(jobs=4).map(jobs)
+    assert [c.label for c in serial] == [j.label for j in jobs]
+    assert serial == parallel
+
+
+def test_run_cell_variant_registration_is_self_contained():
+    """Jobs carry variants declaratively; run_cell registers them."""
+    [cell] = SweepExecutor(jobs=1).map([_micro_jobs()[2]])
+    assert cell.elapsed_ns > 0
+    # Both receiver counters exist: the variant NI really ran.
+    receiver = cell.ni_counters[1]
+    assert "deposits_bypassed" in receiver or "deposits_cached" in receiver
+
+
+def test_resolve_jobs_precedence(monkeypatch):
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) == 1          # floor at one worker
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert resolve_jobs() == 7
+    assert resolve_jobs(2) == 2          # explicit beats env
+    monkeypatch.delenv("REPRO_JOBS")
+    assert resolve_jobs() >= 1
+
+
+def test_cache_hit_returns_identical_result(tmp_path):
+    jobs = _micro_jobs()[:2]
+    cache = ResultCache(root=str(tmp_path / "cache"))
+    first = SweepExecutor(jobs=1, cache=cache).map(jobs)
+    assert cache.hits == 0 and cache.misses == len(jobs)
+
+    cache2 = ResultCache(root=str(tmp_path / "cache"))
+    second = SweepExecutor(jobs=1, cache=cache2).map(jobs)
+    assert cache2.hits == len(jobs) and cache2.misses == 0
+    assert second == first
+
+
+def test_cache_key_moves_when_params_change():
+    base = _micro_jobs()[0]
+    changed = dataclasses.replace(
+        base, params=base.params.replace(flow_control_buffers=2)
+    )
+    assert job_key(base) != job_key(changed)
+    # ... and for every other spec field an experiment varies:
+    assert job_key(base) != job_key(dataclasses.replace(base, ni="ap3000"))
+    assert job_key(base) != job_key(
+        dataclasses.replace(base, kwargs=freeze_kwargs(
+            dict(payload_bytes=56, rounds=7, warmup=2)))
+    )
+    assert job_key(base) != job_key(
+        dataclasses.replace(base, variant=("x", (("cache_entries", 4),)))
+    )
+    assert job_key(base) != job_key(
+        dataclasses.replace(base, sender_throttle_ns=100)
+    )
+
+
+def test_cache_invalidation_recomputes(tmp_path):
+    """A changed param misses the cache and measures a different run."""
+    cache = ResultCache(root=str(tmp_path / "cache"))
+    executor = SweepExecutor(jobs=1, cache=cache)
+    # A fifo NI is fcb-sensitive (coherent NIs, by design, are not).
+    base = dataclasses.replace(_micro_jobs()[1], ni="cm5",
+                               label="t:stream:cm5")
+    starved = dataclasses.replace(
+        base, params=base.params.replace(flow_control_buffers=1),
+        label="t:stream:cm5:starved",
+    )
+    [warm] = executor.map([base])
+    [cold] = executor.map([starved])
+    assert cache.hits == 0 and cache.misses == 2
+    assert warm.elapsed_ns != cold.elapsed_ns
+
+
+def test_cache_roundtrip_preserves_histogram_buckets(tmp_path):
+    """JSON storage must not lose the exact size buckets Table 4 reads."""
+    cache = ResultCache(root=str(tmp_path / "cache"))
+    job = _micro_jobs()[0]
+    direct = run_cell(job)
+    cache.put(job, direct)
+    loaded = cache.get(job)
+    assert loaded == direct
+    assert loaded.message_sizes.buckets() == direct.message_sizes.buckets()
+    assert loaded.message_sizes.count == direct.message_sizes.count
+
+
+def test_cache_corrupt_entry_degrades_to_miss(tmp_path):
+    cache = ResultCache(root=str(tmp_path / "cache"))
+    job = _micro_jobs()[0]
+    cache.put(job, run_cell(job))
+    path = cache._path(job_key(job))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("{not json")
+    assert cache.get(job) is None
+    assert cache.misses == 1
+
+
+def test_timeout_pool_reuse_keeps_event_order():
+    """Recycled Timeouts must behave exactly like fresh allocations.
+
+    Value-carrying timeouts bypass the free list; value-less ones are
+    recycled.  Running the same heavily-recycling program both ways
+    must give the same interleaving and the same clock.
+    """
+    from repro.sim import Simulator
+
+    def trace_run(value):
+        sim = Simulator()
+        log = []
+
+        def worker(name, delay):
+            for _ in range(50):
+                yield sim.timeout(delay, value)
+                log.append((sim.now, name))
+
+        # Same-time collisions on purpose: 2+3 vs 6, 2*3 vs 6 ...
+        sim.process(worker("a", 2))
+        sim.process(worker("b", 3))
+        sim.process(worker("c", 6))
+        sim.run()
+        return log, sim.now
+
+    pooled = trace_run(None)
+    unpooled = trace_run("v")
+    assert pooled[0] == [(t, n) for t, n in unpooled[0]]
+    assert pooled[1] == unpooled[1]
+
+
+def test_timeout_pool_recycles_and_rearms():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(10):
+            yield sim.timeout(5)
+
+    sim.process(ticker())
+    sim.run()
+    assert sim.now == 50
+    assert sim._timeout_pool          # something was recycled
+    # A recycled timeout comes back clean and re-armed.
+    recycled = sim._timeout_pool[-1]
+    fresh = sim.timeout(7)
+    assert fresh is recycled
+    assert fresh.delay == 7 and fresh.callbacks == [] and not fresh.processed
+
+
+def test_expand_names_all_composes():
+    from repro.experiments.runner import ALL_ORDER, expand_names
+
+    assert expand_names(["all"]) == list(ALL_ORDER)
+    combined = expand_names(["figure3", "all"])
+    assert combined[0] == "figure3"
+    assert combined.count("figure3") == 1
+    assert set(ALL_ORDER) <= set(combined)
+    assert expand_names(["table4", "table4"]) == ["table4"]
+    # Unknown names survive expansion for the runner to report.
+    assert expand_names(["nope"]) == ["nope"]
+
+
+def test_runner_json_output(tmp_path, capsys):
+    import json
+
+    from repro.experiments.runner import main
+
+    out = tmp_path / "results.json"
+    assert main(["table1", "--json", str(out)]) == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert set(payload) == {"table1"}
+    assert payload["table1"]["headers"]
+    assert payload["table1"]["rows"]
+
+
+def test_cell_errors_name_the_experiment():
+    from repro.experiments.common import ExperimentResult
+
+    result = ExperimentResult(
+        experiment="demo", headers=["NI", "latency"],
+        rows=[["cm5", 1.0]],
+    )
+    assert result.cell("cm5", "latency") == 1.0
+    with pytest.raises(KeyError, match="demo.*no row 'nope'.*'cm5'"):
+        result.cell("nope", "latency")
+    with pytest.raises(KeyError, match="demo.*no column 'zap'.*latency"):
+        result.cell("cm5", "zap")
