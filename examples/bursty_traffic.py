@@ -14,7 +14,7 @@ Run:  python examples/bursty_traffic.py
 """
 
 from repro import DEFAULT_COSTS, DEFAULT_PARAMS
-from repro.workloads.registry import make_workload
+from repro.workloads.registry import create as make_workload
 
 FCB_LEVELS = (1, 2, 8, None)
 NIS = ("cm5", "ap3000", "cni32qm")

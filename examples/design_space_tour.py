@@ -17,7 +17,7 @@ Run:  python examples/design_space_tour.py
 from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
 from repro.workloads.logp import LogPProbe
 from repro.workloads.micro import PingPong, StreamBandwidth
-from repro.workloads.registry import make_workload
+from repro.workloads.registry import create as make_workload
 
 
 def machine_for(ni_name, fcb=8):

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""CI check for the observability surface.
+
+Runs ``repro-experiments figure1 --quick`` in-process with
+``--metrics`` (and ``--trace``), then validates:
+
+1. the metrics file exists, is schema 1, and has non-empty cells and
+   totals;
+2. ``manifest.json`` appeared next to it and passes
+   :func:`repro.obs.validate_manifest` (exact key set, cell labels,
+   cache block);
+3. the trace JSONL parses and every record carries the required
+   fields;
+4. (``--compare-jobs``) a ``--jobs 1`` and a ``--jobs 4`` run, both
+   uncached, produce byte-identical metrics totals.
+
+Exit status 0 = all good; 1 = a check failed (details on stderr).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_observability.py
+    PYTHONPATH=src python scripts/check_observability.py --compare-jobs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.experiments.runner import main as runner_main  # noqa: E402
+from repro.obs import validate_manifest  # noqa: E402
+
+EXPERIMENT = "figure1"
+
+
+def fail(msg: str) -> int:
+    print(f"check_observability: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def run_runner(argv, tag):
+    code = runner_main(argv)
+    if code != 0:
+        raise SystemExit(fail(f"{tag}: runner exited {code}"))
+
+
+def check_metrics_file(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != 1:
+        raise SystemExit(fail(f"metrics schema is {payload.get('schema')!r}"))
+    if not payload.get("cells"):
+        raise SystemExit(fail("metrics file has no cells"))
+    if not payload.get("totals"):
+        raise SystemExit(fail("metrics file has empty totals"))
+    for label, snap in payload["cells"].items():
+        if not snap:
+            raise SystemExit(fail(f"cell {label!r} has an empty snapshot"))
+    return payload
+
+
+def check_manifest(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    problems = validate_manifest(manifest)
+    if problems:
+        raise SystemExit(fail(f"manifest invalid: {'; '.join(problems)}"))
+    if EXPERIMENT not in manifest["experiments"]:
+        raise SystemExit(fail(
+            f"manifest experiments {manifest['experiments']} lacks "
+            f"{EXPERIMENT!r}"
+        ))
+    return manifest
+
+
+def check_trace_file(path: str):
+    count = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            for key in ("cell", "time", "source", "category", "detail"):
+                if key not in record:
+                    raise SystemExit(fail(
+                        f"trace record missing {key!r}: {record}"
+                    ))
+            count += 1
+    if count == 0:
+        raise SystemExit(fail("trace file has no records"))
+    return count
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--compare-jobs", action="store_true",
+        help="also verify --jobs 1 and --jobs 4 metrics totals match",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-") as tmp:
+        metrics = os.path.join(tmp, "metrics.json")
+        trace = os.path.join(tmp, "trace.jsonl")
+        run_runner(
+            [EXPERIMENT, "--quick", "--no-cache",
+             "--metrics", metrics, "--trace", trace],
+            "base run",
+        )
+        payload = check_metrics_file(metrics)
+        manifest = check_manifest(os.path.join(tmp, "manifest.json"))
+        records = check_trace_file(trace)
+        print(
+            f"check_observability: metrics ok "
+            f"({len(payload['cells'])} cells, "
+            f"{len(payload['totals'])} total paths); manifest ok "
+            f"(sim_time_ns={manifest['sim_time_ns']}); "
+            f"trace ok ({records} records)"
+        )
+
+        if args.compare_jobs:
+            totals = {}
+            for jobs in (1, 4):
+                path = os.path.join(tmp, f"metrics-j{jobs}.json")
+                run_runner(
+                    [EXPERIMENT, "--quick", "--no-cache",
+                     "--jobs", str(jobs), "--metrics", path],
+                    f"--jobs {jobs} run",
+                )
+                with open(path, "r", encoding="utf-8") as fh:
+                    totals[jobs] = json.load(fh)["totals"]
+            if totals[1] != totals[4]:
+                diff = {
+                    k for k in set(totals[1]) | set(totals[4])
+                    if totals[1].get(k) != totals[4].get(k)
+                }
+                return fail(
+                    f"--jobs 1 vs --jobs 4 totals differ on "
+                    f"{sorted(diff)[:10]}"
+                )
+            print("check_observability: --jobs 1 == --jobs 4 totals ok")
+    print("check_observability: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

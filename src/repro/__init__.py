@@ -9,17 +9,18 @@ memory bus, return-to-sender flow control, a Tempest-like messaging
 substrate, and models of the paper's two microbenchmarks and seven
 macrobenchmarks.
 
-Quickstart::
+Quickstart (see :mod:`repro.api` for the full facade)::
 
-    from repro import Machine, DEFAULT_PARAMS, DEFAULT_COSTS
-    from repro.workloads.micro import PingPong
+    from repro import run_workload
 
-    machine = Machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cni32qm", num_nodes=2)
-    result = PingPong(payload_bytes=64, rounds=100).run(machine)
-    print(result.round_trip_us)
+    result = run_workload(ni="cni32qm", workload="pingpong",
+                          payload_bytes=64, rounds=100)
+    print(result.workload.extras["round_trip_us"])
+    print(result.metrics["node0.ni.messages_sent"])
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure, and
+docs/observability.md for the metrics/trace/manifest surface.
 """
 
 from repro.config import (
@@ -30,8 +31,15 @@ from repro.config import (
 )
 from repro.node import Machine, Node
 from repro.ni import ALL_NI_NAMES, COHERENT_NI_NAMES, FIFO_NI_NAMES, make_ni, ni_class
+from repro.api import (
+    RunResult,
+    build_machine,
+    list_nis,
+    list_workloads,
+    run_workload,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_NI_NAMES",
@@ -41,9 +49,14 @@ __all__ = [
     "FIFO_NI_NAMES",
     "Machine",
     "Node",
+    "RunResult",
     "SoftwareCosts",
     "SystemParams",
     "__version__",
+    "build_machine",
+    "list_nis",
+    "list_workloads",
     "make_ni",
     "ni_class",
+    "run_workload",
 ]

@@ -1,0 +1,143 @@
+"""repro.api — the one-stop facade for library users.
+
+The rest of the package is organised the way the simulator is built
+(sim kernel, memory system, NIs, runtime, workloads, experiments).
+This module is organised the way a *user* asks questions:
+
+- what can I simulate? — :func:`list_nis`, :func:`list_workloads`;
+- give me a machine — :func:`build_machine`;
+- run this workload on that NI and show me everything —
+  :func:`run_workload`, returning a :class:`RunResult` that bundles
+  the workload's measurements with the machine's full metrics
+  snapshot (``machine.obs``; see docs/observability.md).
+
+Quickstart::
+
+    from repro import api
+
+    result = api.run_workload(ni="cni32qm", workload="pingpong",
+                              payload_bytes=64, rounds=100)
+    print(result.workload.extras["round_trip_us"])
+    print(result.metrics["node0.ni.messages_sent"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.config import (
+    DEFAULT_COSTS,
+    DEFAULT_PARAMS,
+    SoftwareCosts,
+    SystemParams,
+)
+from repro.node import Machine
+from repro.workloads.base import Workload, WorkloadResult
+
+#: Workload names resolvable by :func:`run_workload` beyond the
+#: macrobenchmark registry (the paper's two microbenchmarks).
+MICRO_NAMES: Tuple[str, ...] = ("pingpong", "stream")
+
+
+def list_nis() -> Tuple[str, ...]:
+    """Registered NI names (the seven built-ins plus any variants)."""
+    from repro.ni import registry
+
+    return registry.names()
+
+
+def list_workloads() -> Tuple[str, ...]:
+    """Every workload name :func:`run_workload` accepts."""
+    from repro.workloads import registry
+
+    return MICRO_NAMES + registry.names()
+
+
+def build_machine(
+    *,
+    ni: str = "cni32qm",
+    num_nodes: Optional[int] = None,
+    params: Optional[SystemParams] = None,
+    costs: Optional[SoftwareCosts] = None,
+) -> Machine:
+    """A ready-to-run :class:`~repro.node.Machine`.
+
+    Defaults follow the paper: Table 3 system parameters, Table 3
+    software costs, 16 nodes, and the winning ``cni32qm`` NI.
+    """
+    return Machine(
+        params or DEFAULT_PARAMS,
+        costs or DEFAULT_COSTS,
+        ni,
+        num_nodes=num_nodes,
+    )
+
+
+def _resolve_workload(workload, **kwargs) -> Workload:
+    """A :class:`Workload` instance from a name or an instance."""
+    if isinstance(workload, Workload):
+        if kwargs:
+            raise ValueError(
+                "workload kwargs only apply when constructing by name; "
+                f"got an instance plus {sorted(kwargs)}"
+            )
+        return workload
+    from repro.workloads.micro import PingPong, StreamBandwidth
+
+    if workload == "pingpong":
+        return PingPong(**kwargs)
+    if workload == "stream":
+        return StreamBandwidth(**kwargs)
+    from repro.workloads import registry
+
+    return registry.create(workload, **kwargs)
+
+
+@dataclass
+class RunResult:
+    """One workload run, with the machine's observability attached."""
+
+    #: The workload's own measurements (time, states, messages, extras).
+    workload: WorkloadResult
+    #: Flat ``{dotted.path: number}`` snapshot of every mounted metric.
+    metrics: Dict[str, float]
+    #: The machine the run used (inspect ``machine.obs`` for more).
+    machine: Machine
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.workload.elapsed_us
+
+    def breakdown(self) -> Dict[str, float]:
+        """Figure 1 fractions: compute / data_transfer / buffering."""
+        return self.workload.breakdown()
+
+
+def run_workload(
+    *,
+    ni: str = "cni32qm",
+    workload: Any = "pingpong",
+    num_nodes: Optional[int] = None,
+    params: Optional[SystemParams] = None,
+    costs: Optional[SoftwareCosts] = None,
+    **workload_kwargs: Any,
+) -> RunResult:
+    """Build a machine, run ``workload`` on it, return everything.
+
+    ``workload`` is a name from :func:`list_workloads` (constructor
+    kwargs pass through, e.g. ``payload_bytes=256``) or a ready
+    :class:`~repro.workloads.base.Workload` instance.
+    """
+    instance = _resolve_workload(workload, **workload_kwargs)
+    if num_nodes is None:
+        num_nodes = instance.num_nodes
+    machine = build_machine(
+        ni=ni, num_nodes=num_nodes, params=params, costs=costs,
+    )
+    result = instance.run(machine=machine)
+    return RunResult(
+        workload=result,
+        metrics=machine.obs.snapshot(),
+        machine=machine,
+    )

@@ -60,6 +60,29 @@ def format_table(
     return "\n".join(lines)
 
 
+#: Version tag of the serialized :class:`ExperimentResult` form; the
+#: runner's ``--json`` output and any future readers key off it.
+RESULT_SCHEMA = 1
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of a result value to a JSON-safe form.
+
+    The single codepath behind ``--json`` and the cell cache: scalars
+    pass through, containers recurse, objects exposing ``to_jsonable``
+    delegate, and anything else degrades to ``repr``.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if hasattr(value, "to_jsonable"):
+        return value.to_jsonable()
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return repr(value)
+
+
 @dataclass
 class ExperimentResult:
     """Generic container: an id, table data, and free-form notes."""
@@ -69,6 +92,32 @@ class ExperimentResult:
     rows: List[List[Any]]
     notes: List[str] = field(default_factory=list)
     extras: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned JSON-safe form (``schema: 1``)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "experiment": self.experiment,
+            "headers": list(self.headers),
+            "rows": jsonable(self.rows),
+            "notes": list(self.notes),
+            "extras": jsonable(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        schema = data.get("schema", 0)
+        if schema != RESULT_SCHEMA:
+            raise ValueError(
+                f"experiment result schema {schema!r} != {RESULT_SCHEMA}"
+            )
+        return cls(
+            experiment=data["experiment"],
+            headers=list(data["headers"]),
+            rows=[list(row) for row in data["rows"]],
+            notes=list(data.get("notes", [])),
+            extras=dict(data.get("extras", {})),
+        )
 
     def format(self) -> str:
         out = format_table(self.headers, self.rows, title=self.experiment)

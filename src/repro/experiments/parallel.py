@@ -33,10 +33,15 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SoftwareCosts, SystemParams
+
+#: Version tag of the serialized :class:`CellResult` form (shared with
+#: :data:`repro.obs.SCHEMA_VERSION`); entries written under another
+#: schema are cache misses, not errors.
+RESULT_SCHEMA = 1
 
 #: Workload names handled directly by :func:`run_cell` (the two
 #: microbenchmarks are not in the macrobenchmark registry).
@@ -125,6 +130,12 @@ class CellResult:
     size_buckets: Dict[float, int] = field(default_factory=dict)
     #: Per-node NI counter snapshots, indexed by node id.
     ni_counters: Tuple[Dict[str, int], ...] = ()
+    #: Flat ``machine.obs`` snapshot (``{dotted.path: number}``) — the
+    #: per-cell payload behind ``--metrics``; identical whether the
+    #: cell ran in-process or in a pool worker.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Trace records (JSON objects) when the job ran with tracing on.
+    trace: Tuple[Dict[str, Any], ...] = ()
 
     @property
     def elapsed_us(self) -> float:
@@ -138,6 +149,7 @@ class CellResult:
 
     def to_jsonable(self) -> Dict[str, Any]:
         return {
+            "schema": RESULT_SCHEMA,
             "label": self.label,
             "elapsed_ns": self.elapsed_ns,
             "states": self.states,
@@ -149,10 +161,18 @@ class CellResult:
             # float() on load.
             "size_buckets": {repr(k): v for k, v in self.size_buckets.items()},
             "ni_counters": [dict(c) for c in self.ni_counters],
+            "metrics": dict(self.metrics),
+            "trace": [dict(r) for r in self.trace],
         }
 
     @classmethod
     def from_jsonable(cls, data: Dict[str, Any]) -> "CellResult":
+        schema = data.get("schema", 0)
+        if schema != RESULT_SCHEMA:
+            raise ValueError(
+                f"cell result schema {schema!r} != {RESULT_SCHEMA}"
+            )
+
         def _num(text: str) -> float:
             value = float(text)
             return int(value) if value.is_integer() else value
@@ -169,6 +189,8 @@ class CellResult:
                 _num(k): v for k, v in data["size_buckets"].items()
             },
             ni_counters=tuple(dict(c) for c in data["ni_counters"]),
+            metrics=dict(data.get("metrics", {})),
+            trace=tuple(dict(r) for r in data.get("trace", ())),
         )
 
 
@@ -179,7 +201,7 @@ def run_cell(job: Job) -> CellResult:
     from repro.ni.registry import variant as register_ni_variant
     from repro.node import Machine
     from repro.workloads.micro import PingPong, StreamBandwidth
-    from repro.workloads.registry import make_workload
+    from repro.workloads.registry import create as create_workload
 
     ni_name = job.ni
     if job.variant is not None:
@@ -192,7 +214,7 @@ def run_cell(job: Job) -> CellResult:
     elif job.workload == "stream":
         workload = StreamBandwidth(**kwargs)
     else:
-        workload = make_workload(job.workload, **kwargs)
+        workload = create_workload(job.workload, **kwargs)
 
     if job.workload in MICRO_WORKLOADS:
         machine = Machine(
@@ -215,6 +237,12 @@ def run_cell(job: Job) -> CellResult:
             fabric.link_ns_per_32b = job.fabric_link_ns_per_32b
 
     result = workload.run(machine=machine)
+    tracer = machine.network.tracer
+    trace: Tuple[Dict[str, Any], ...] = ()
+    if tracer.enabled:
+        from repro.obs.export import trace_records_jsonable
+
+        trace = tuple(trace_records_jsonable(tracer.records, cell=job.label))
     return CellResult(
         label=job.label,
         elapsed_ns=result.elapsed_ns,
@@ -227,6 +255,8 @@ def run_cell(job: Job) -> CellResult:
         ni_counters=tuple(
             node.ni.counters.as_dict() for node in machine
         ),
+        metrics=machine.obs.snapshot(),
+        trace=trace,
     )
 
 
@@ -249,12 +279,28 @@ class SweepExecutor:
     byte-identical.
     """
 
-    def __init__(self, jobs: Optional[int] = None, cache=None):
+    def __init__(self, jobs: Optional[int] = None, cache=None,
+                 tracing: bool = False):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        #: Force ``params.tracing`` on for every job (``--trace``).
+        #: Applied by rewriting the job spec, so the cache keys move
+        #: with it — traced and untraced cells never alias.
+        self.tracing = tracing
+        #: Every ``(job, result, cached)`` this executor produced, in
+        #: execution order — the runner reads it to assemble the
+        #: ``--metrics``/``--trace``/manifest exports without each
+        #: experiment having to thread cell results through.
+        self.completed: List[Tuple[Job, CellResult, bool]] = []
 
     def map(self, jobs: Sequence[Job]) -> List[CellResult]:
         jobs = list(jobs)
+        if self.tracing:
+            jobs = [
+                job if job.params.tracing
+                else replace(job, params=replace(job.params, tracing=True))
+                for job in jobs
+            ]
         results: List[Optional[CellResult]] = [None] * len(jobs)
         pending_idx: List[int] = []
         if self.cache is not None:
@@ -279,6 +325,11 @@ class SweepExecutor:
                 results[i] = cell
                 if self.cache is not None:
                     self.cache.put(jobs[i], cell)
+        fresh = set(pending_idx)
+        self.completed.extend(
+            (job, result, i not in fresh)
+            for i, (job, result) in enumerate(zip(jobs, results))
+        )
         return results  # type: ignore[return-value]
 
 

@@ -6,6 +6,8 @@ Usage::
     repro-experiments table5 figure3 --quick
     repro-experiments figure3 --jobs 4        # parallel sweep cells
     repro-experiments all --json results.json
+    repro-experiments figure1 --quick --metrics metrics.json
+    repro-experiments figure1 --trace trace.jsonl --trace-filter wire,bounce
     repro-experiments --list
 
 Simulation cells run through a :class:`~repro.experiments.parallel.SweepExecutor`
@@ -13,6 +15,17 @@ Simulation cells run through a :class:`~repro.experiments.parallel.SweepExecutor
 cache under ``.repro-cache/`` (disable with ``--no-cache``).  Results
 are merged in job order, so the output is byte-identical whatever the
 worker count.
+
+Observability (see docs/observability.md):
+
+- ``--metrics PATH`` writes every cell's ``machine.obs`` snapshot plus
+  leaf-wise totals; serial and ``--jobs N`` runs emit identical files.
+- ``--trace PATH`` enables the simulator tracer in every cell and
+  dumps the records as JSON Lines; ``--trace-filter`` restricts the
+  categories.
+- Whenever ``--json``/``--metrics``/``--trace`` is given, a
+  ``manifest.json`` provenance record is written next to the first of
+  those outputs.
 """
 
 from __future__ import annotations
@@ -99,26 +112,22 @@ def _call_experiment(fn: Callable, quick: bool, executor):
 
 def _jsonable(value):
     """Best-effort JSON form of experiment results and their extras."""
-    from repro.experiments.common import ExperimentResult
+    from repro.experiments.common import ExperimentResult, jsonable
 
     if isinstance(value, ExperimentResult):
-        return {
-            "experiment": value.experiment,
-            "headers": list(value.headers),
-            "rows": [_jsonable(row) for row in value.rows],
-            "notes": list(value.notes),
-            "extras": _jsonable(value.extras),
-        }
-    if isinstance(value, dict):
-        return {
-            k if isinstance(k, str) else repr(k): _jsonable(v)
-            for k, v in value.items()
-        }
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
+        return value.to_dict()
+    return jsonable(value)
+
+
+def _parse_trace_filter(values) -> list:
+    """Flatten repeated / comma-separated ``--trace-filter`` values."""
+    categories = []
+    for value in values or ():
+        for part in value.split(","):
+            part = part.strip()
+            if part and part not in categories:
+                categories.append(part)
+    return categories
 
 
 def main(argv=None) -> int:
@@ -148,6 +157,20 @@ def main(argv=None) -> int:
         help="also write every result as JSON to PATH",
     )
     parser.add_argument(
+        "--metrics", metavar="PATH", dest="metrics_path",
+        help="write per-cell metrics snapshots (plus totals) to PATH",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", dest="trace_path",
+        help="enable tracing in every cell and write JSONL to PATH",
+    )
+    parser.add_argument(
+        "--trace-filter", metavar="CAT", dest="trace_filter",
+        action="append", default=None,
+        help="restrict --trace to these categories "
+             "(repeatable or comma-separated)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment names"
     )
     args = parser.parse_args(argv)
@@ -165,8 +188,11 @@ def main(argv=None) -> int:
         return 2
 
     cache = None if args.no_cache else ResultCache()
-    executor = SweepExecutor(jobs=args.jobs, cache=cache)
+    executor = SweepExecutor(
+        jobs=args.jobs, cache=cache, tracing=bool(args.trace_path),
+    )
 
+    run_start = time.time()
     collected = {}
     for name in names:
         start = time.time()
@@ -176,7 +202,9 @@ def main(argv=None) -> int:
         print(result.format())
         print(f"[{name} completed in {elapsed:.1f}s]")
         print()
+    wall_time_s = time.time() - run_start
 
+    status = 0
     if args.json_path:
         payload = {
             name: _jsonable(result) for name, result in collected.items()
@@ -188,9 +216,90 @@ def main(argv=None) -> int:
             # The tables are already on stdout; don't let a bad path
             # turn a finished run into a traceback.
             print(f"cannot write {args.json_path}: {exc}", file=sys.stderr)
-            return 1
-        print(f"[results written to {args.json_path}]")
-    return 0
+            status = 1
+        else:
+            print(f"[results written to {args.json_path}]")
+
+    status = _write_observability(args, executor, names, wall_time_s) or status
+    return status
+
+
+def _write_observability(args, executor, names, wall_time_s) -> int:
+    """Write the --metrics / --trace files and the run manifest."""
+    from repro.obs.export import (
+        build_manifest,
+        manifest_path_for,
+        metrics_payload,
+        trace_records_jsonable,
+        write_json,
+        write_trace_jsonl,
+    )
+
+    status = 0
+    completed = executor.completed
+
+    if args.metrics_path:
+        payload = metrics_payload(
+            [(job.label, cell.metrics) for job, cell, _cached in completed]
+        )
+        try:
+            write_json(args.metrics_path, payload)
+        except OSError as exc:
+            print(f"cannot write {args.metrics_path}: {exc}",
+                  file=sys.stderr)
+            status = 1
+        else:
+            print(f"[metrics written to {args.metrics_path}]")
+
+    if args.trace_path:
+        categories = _parse_trace_filter(args.trace_filter) or None
+        entries = []
+        for _job, cell, _cached in completed:
+            entries.extend(
+                trace_records_jsonable(cell.trace, categories=categories)
+            )
+        try:
+            count = write_trace_jsonl(args.trace_path, entries)
+        except OSError as exc:
+            print(f"cannot write {args.trace_path}: {exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"[{count} trace records written to {args.trace_path}]")
+
+    anchor = args.json_path or args.metrics_path or args.trace_path
+    if anchor:
+        cache = executor.cache
+        manifest = build_manifest(
+            experiments=list(names),
+            quick=args.quick,
+            jobs=executor.jobs,
+            cells=[
+                {
+                    "label": job.label,
+                    "elapsed_ns": cell.elapsed_ns,
+                    "cached": cached,
+                }
+                for job, cell, cached in completed
+            ],
+            wall_time_s=wall_time_s,
+            cache_enabled=cache is not None,
+            cache_hits=cache.hits if cache is not None else 0,
+            cache_misses=cache.misses if cache is not None else 0,
+            outputs={
+                "json": args.json_path,
+                "metrics": args.metrics_path,
+                "trace": args.trace_path,
+            },
+        )
+        manifest_path = manifest_path_for(anchor)
+        try:
+            write_json(manifest_path, manifest)
+        except OSError as exc:
+            print(f"cannot write {manifest_path}: {exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"[manifest written to {manifest_path}]")
+    return status
 
 
 if __name__ == "__main__":

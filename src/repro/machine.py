@@ -2,7 +2,8 @@
 assembly in :mod:`repro.node`; import it from either place.
 
 ``from repro.machine import Machine`` mirrors the layout sketched in
-DESIGN.md.
+DESIGN.md.  Most users want :func:`repro.api.build_machine` /
+:func:`repro.api.run_workload` instead of constructing one directly.
 """
 
 from repro.node import Machine, Node

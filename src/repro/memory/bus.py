@@ -167,6 +167,7 @@ class MemoryBus:
         grant = self._address_bus.request()
         yield grant
         yield self.sim.timeout(self._address_phase_ns)
+        self.counters.add("addr_occupancy_ns", self._address_phase_ns)
 
         supplier_agent: Optional[BusAgent] = None
         shared = False
@@ -235,10 +236,12 @@ class MemoryBus:
         if data_needed:
             dgrant = self._data_bus.request()
             yield dgrant
-            yield self.sim.timeout(
+            data_ns = (
                 max(1, -(-size // self._width_bytes)) * self._bus_cycle_ns
             )
+            yield self.sim.timeout(data_ns)
             self._data_bus.release(dgrant)
+            self.counters.add("data_occupancy_ns", data_ns)
 
         if block_lock is not None:
             block_lock.release(lock_grant)
@@ -269,3 +272,16 @@ class MemoryBus:
     def supplies_from(self, kind: str) -> int:
         """Data transfers supplied by ``kind`` ("memory", "cache", ...)."""
         return self.counters[f"supply:{kind}"]
+
+    @property
+    def occupancy_ns(self) -> int:
+        """Total bus-held time (address phases + data phases)."""
+        return (
+            self.counters["addr_occupancy_ns"]
+            + self.counters["data_occupancy_ns"]
+        )
+
+    def mount_metrics(self, registry, prefix: str) -> None:
+        """Publish bus accounting under ``prefix`` (``node<N>.bus``)."""
+        registry.mount(prefix, self.counters)
+        registry.gauge(f"{prefix}.occupancy_ns", lambda: self.occupancy_ns)

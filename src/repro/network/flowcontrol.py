@@ -224,3 +224,13 @@ class FlowControlUnit:
     @property
     def bounce_count(self) -> int:
         return self.counters["returned"]
+
+    def mount_metrics(self, registry, prefix: str) -> None:
+        """Publish flow-control accounting under ``node<N>.ni.fcu``."""
+        registry.mount(prefix, self.counters)
+        registry.gauge(f"{prefix}.pending_inbound",
+                       lambda: self.pending_inbound)
+        registry.gauge(f"{prefix}.pending_returns",
+                       lambda: self.pending_returns)
+        registry.gauge(f"{prefix}.send_buffers_in_use",
+                       lambda: self.send_buffers_in_use)

@@ -59,6 +59,17 @@ class NetworkInterface(ABC):
     description: ClassVar[str] = "?"
     #: Table 2 row for this NI.
     taxonomy: ClassVar[Optional[Taxonomy]] = None
+    #: Counter keys this model may emit under ``node<N>.ni.*`` — the
+    #: stable metric surface (documented in docs/observability.md).
+    metric_names: ClassVar[tuple] = (
+        "uncached_reads",
+        "uncached_writes",
+        "block_reads",
+        "block_writes",
+        "messages_sent",
+        "bytes_sent",
+        "send_buffer_stalls",
+    )
 
     def __init__(self, node) -> None:
         self.node = node
@@ -111,6 +122,24 @@ class NetworkInterface(ABC):
     def wait_signal(self):
         """Event that fires when a new message becomes extractable."""
         return self.arrival_gate.wait()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def mount_metrics(self, registry, prefix: str) -> None:
+        """Mount this NI's instruments under ``prefix`` (``node<N>.ni``).
+
+        The counter bag and the flow-control unit are common to every
+        model; model-specific instruments (queue occupancy gauges,
+        receive-cache state) attach via :meth:`_mount_extra_metrics`.
+        """
+        registry.mount(prefix, self.counters)
+        self.fcu.mount_metrics(registry, f"{prefix}.fcu")
+        self._mount_extra_metrics(registry, prefix)
+
+    def _mount_extra_metrics(self, registry, prefix: str) -> None:
+        """Subclass hook for model-specific instruments."""
 
     def process_buffering_work(self) -> Generator:
         """Processor-side buffer-management work (returned-message

@@ -40,6 +40,8 @@ class AP3000NI(FifoNI):
         processor_buffers=True,
     )
 
+    metric_names = FifoNI.metric_names + ("chunks_pushed", "chunks_popped")
+
     def _push_fifo(self, msg: Message) -> Generator:
         for chunk in self._chunks(msg):
             words = max(1, -(-chunk // 8))

@@ -61,6 +61,17 @@ class CoherentNI(NetworkInterface):
     #: Access time of dedicated NI queue RAM, when ``queue_home="ni"``.
     ni_queue_access_ns: ClassVar[Optional[int]] = None
 
+    metric_names = NetworkInterface.metric_names + (
+        "send_queue_stalls",
+        "recv_queue_stalls",
+        "messages_composed",
+        "messages_received",
+        "messages_deposited",
+        "blocks_prefetched",
+        "blocks_fetched",
+        "blocks_deposited",
+    )
+
     def _setup(self) -> None:
         node = self.node
         self._requester = NIRequester(f"{self.ni_name}{node.node_id}")
@@ -176,6 +187,22 @@ class CoherentNI(NetworkInterface):
 
     def _after_consume(self, msg: Message, addrs: List[int]) -> None:
         """Subclass hook (CNI_32Qm dead-block accounting)."""
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _mount_extra_metrics(self, registry, prefix: str) -> None:
+        for scope, queue in (("sendq", self.send_queue),
+                             ("recvq", self.recv_queue)):
+            registry.gauge(f"{prefix}.{scope}.enqueued",
+                           lambda q=queue: q.enqueued)
+            registry.gauge(f"{prefix}.{scope}.dequeued",
+                           lambda q=queue: q.dequeued)
+            registry.gauge(f"{prefix}.{scope}.peak_occupancy",
+                           lambda q=queue: q.peak_occupancy)
+        if self.queue_memory is not None:
+            registry.mount(f"{prefix}.queue_mem", self.queue_memory.counters)
 
     # ------------------------------------------------------------------
     # NI send engine

@@ -198,6 +198,11 @@ class CNI32Qm(CoherentNI):
         processor_buffers=False,
     )
 
+    metric_names = CoherentNI.metric_names + (
+        "deposits_cached",
+        "deposits_bypassed",
+    )
+
     send_queue_blocks = 256
     recv_queue_blocks = 256
     prefetch = True
@@ -221,6 +226,12 @@ class CNI32Qm(CoherentNI):
             is_dead=lambda addr: addr not in self._live_addrs,
             drop_dead=self.drop_dead_blocks,
         )
+
+    def _mount_extra_metrics(self, registry, prefix: str) -> None:
+        super()._mount_extra_metrics(registry, prefix)
+        registry.mount(f"{prefix}.rcache", self.recv_cache.counters)
+        registry.gauge(f"{prefix}.rcache.valid_blocks",
+                       lambda: self.recv_cache.valid_blocks)
 
     # -- receive: deposit into the NI cache, or bypass ---------------------
 

@@ -28,6 +28,13 @@ from repro.ni.base import NetworkInterface
 class FifoNI(NetworkInterface):
     """Shared send/receive skeleton for the three fifo-based NIs."""
 
+    metric_names = NetworkInterface.metric_names + (
+        "processor_retries",
+        "messages_received",
+        "words_pushed",
+        "words_popped",
+    )
+
     def _setup(self) -> None:
         # Wake pollers the moment the fifo accepts a message.
         self.fcu.on_accept = lambda msg: self._signal_arrival()

@@ -41,6 +41,8 @@ class MemoryChannelNI(CoherentNI):
         processor_buffers=False,
     )
 
+    metric_names = CoherentNI.metric_names + ("chunks_pushed",)
+
     send_queue_blocks = 8    # vestigial: the coherent send queue is unused
     recv_queue_blocks = 256
     prefetch = False

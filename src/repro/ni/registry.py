@@ -53,8 +53,11 @@ COHERENT_NI_NAMES: Tuple[str, ...] = (
 ALL_NI_NAMES: Tuple[str, ...] = FIFO_NI_NAMES + COHERENT_NI_NAMES
 
 
-def register_variant(name: str, cls: Type[NetworkInterface]) -> None:
-    """Register an NI variant (ablations, experiments) under ``name``.
+# -- the uniform registry surface (shared with repro.workloads.registry) --
+
+
+def register(name: str, cls: Type[NetworkInterface]) -> None:
+    """Register an NI class (ablations, experiments) under ``name``.
 
     Variant names conventionally use an ``@`` suffix on the base name,
     e.g. ``cni32qm@noopt``.  Re-registering a name overwrites it.
@@ -62,18 +65,7 @@ def register_variant(name: str, cls: Type[NetworkInterface]) -> None:
     _REGISTRY[name] = cls
 
 
-def variant(base_name: str, suffix: str, **class_attrs) -> str:
-    """Create and register a subclass of ``base_name`` with some class
-    attributes overridden; returns the new registry name."""
-    base = ni_class(base_name)
-    name = f"{base_name}@{suffix}"
-    cls = type(f"{base.__name__}_{suffix}", (base,), dict(class_attrs))
-    cls.ni_name = base.ni_name  # keep counters/labels consistent
-    register_variant(name, cls)
-    return name
-
-
-def ni_class(name: str) -> Type[NetworkInterface]:
+def get(name: str) -> Type[NetworkInterface]:
     """The NI class registered under ``name``."""
     try:
         return _REGISTRY[name]
@@ -82,6 +74,43 @@ def ni_class(name: str) -> Type[NetworkInterface]:
         raise ValueError(f"unknown NI {name!r}; known NIs: {known}") from None
 
 
+def create(name: str, *args, **kwargs) -> NetworkInterface:
+    """Construct the NI registered under ``name`` (args: the node)."""
+    return get(name)(*args, **kwargs)
+
+
+def names() -> Tuple[str, ...]:
+    """Every registered NI name, sorted (built-ins and variants)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def variant(base_name: str, suffix: str, **class_attrs) -> str:
+    """Create and register a subclass of ``base_name`` with some class
+    attributes overridden; returns the new registry name."""
+    base = get(base_name)
+    name = f"{base_name}@{suffix}"
+    cls = type(f"{base.__name__}_{suffix}", (base,), dict(class_attrs))
+    cls.ni_name = base.ni_name  # keep counters/labels consistent
+    register(name, cls)
+    return name
+
+
+def register_variant(name: str, cls: Type[NetworkInterface]) -> None:
+    """Deprecated alias of :func:`register`."""
+    import warnings
+
+    warnings.warn(
+        "register_variant() is deprecated; use repro.ni.registry.register()",
+        DeprecationWarning, stacklevel=2,
+    )
+    register(name, cls)
+
+
+# Long-standing public names, kept as plain (non-deprecated) aliases:
+# the experiment corpus and Machine construction use them heavily.
+ni_class = get
+
+
 def make_ni(name: str, node) -> NetworkInterface:
     """Construct the NI registered under ``name`` on ``node``."""
-    return ni_class(name)(node)
+    return get(name)(node)

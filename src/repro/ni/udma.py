@@ -46,6 +46,13 @@ class UdmaNI(FifoNI):
         processor_buffers=True,
     )
 
+    metric_names = FifoNI.metric_names + (
+        "udma_sends",
+        "udma_receives",
+        "udma_blocks_read",
+        "udma_blocks_written",
+    )
+
     #: Force the UDMA mechanism for every message, regardless of size.
     #: The Table 5 microbenchmarks characterise pure UDMA (that is how
     #: the paper demonstrates the ~96-byte breakeven); macrobenchmarks

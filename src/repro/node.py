@@ -16,6 +16,7 @@ from typing import Generator, Iterator, List, Optional
 from repro.config import SoftwareCosts, SystemParams
 from repro.memory import Cache, MainMemory, MemoryBus
 from repro.ni.registry import make_ni
+from repro.obs import MetricsRegistry
 from repro.sim import Simulator, StateTimer
 from repro.tempest.runtime import Runtime
 
@@ -92,6 +93,18 @@ class Node:
         self.ni = make_ni(ni_name, self)
         self.runtime = Runtime(self)
 
+    # -- observability --------------------------------------------------
+
+    def mount_metrics(self, registry: MetricsRegistry) -> None:
+        """Mount this node's instruments under ``node<N>.*``."""
+        prefix = f"node{self.node_id}"
+        self.bus.mount_metrics(registry, f"{prefix}.bus")
+        registry.mount(f"{prefix}.mem", self.main_memory.counters)
+        registry.mount(f"{prefix}.cache", self.cache.counters)
+        registry.mount(f"{prefix}.proc", self.timer)
+        self.ni.mount_metrics(registry, f"{prefix}.ni")
+        self.runtime.mount_metrics(registry, f"{prefix}.runtime")
+
     # -- processor-context helpers -------------------------------------
 
     def compute(self, ns: int) -> Generator:
@@ -138,6 +151,23 @@ class Machine:
             Node(self.sim, self.network, i, params, costs, ni_name)
             for i in range(count)
         ]
+        #: The machine's metrics registry; every component mounts its
+        #: instruments here under a stable dotted path (see
+        #: docs/observability.md).  Mounting is read-only bookkeeping —
+        #: hot paths update the same Counter/StateTimer objects they
+        #: always did, and the registry only walks them at snapshot time.
+        self.obs = MetricsRegistry()
+        stats = self.sim.stats
+        self.obs.gauge("sim.now", lambda: stats()["now"])
+        self.obs.gauge("sim.events_scheduled",
+                       lambda: stats()["events_scheduled"])
+        self.obs.mount("net", self.network.counters)
+        for node in self.nodes:
+            node.mount_metrics(self.obs)
+
+    def metrics_snapshot(self) -> dict:
+        """Flat ``{dotted.path: number}`` view of every mounted metric."""
+        return self.obs.snapshot()
 
     def __iter__(self) -> Iterator[Node]:
         return iter(self.nodes)

@@ -1,0 +1,65 @@
+"""repro.obs — the observability layer.
+
+The paper's evidence is attribution: where cycles go (Figure 1's
+compute / data transfer / buffering split) and where messages stall
+(retries, bounces, port occupancy).  This package is the single
+surface that evidence flows through:
+
+- :mod:`repro.obs.metrics` — a hierarchical :class:`MetricsRegistry`
+  every machine owns (``machine.obs``); components mount counters,
+  gauges, histograms and state timers under stable dotted paths like
+  ``node3.ni.fcu.retried`` and ``node3.bus.addr_occupancy_ns``.
+- :mod:`repro.obs.export` — structured export: trace JSONL from the
+  simulator's :class:`~repro.sim.trace.Tracer`, per-cell metrics
+  snapshots, and the ``manifest.json`` provenance record the
+  experiment runner writes next to its outputs.
+
+See docs/observability.md for the path naming convention and the
+manifest schema.
+"""
+
+from repro.obs.export import (
+    MANIFEST_KEYS,
+    SCHEMA_VERSION,
+    build_manifest,
+    git_describe,
+    manifest_path_for,
+    metrics_payload,
+    read_trace_jsonl,
+    trace_records_jsonable,
+    validate_manifest,
+    write_json,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    FixedBucketHistogram,
+    Gauge,
+    MetricsRegistry,
+    NullInstrument,
+    ScalarCounter,
+    Scope,
+    merge_snapshots,
+)
+
+__all__ = [
+    "MANIFEST_KEYS",
+    "NULL_INSTRUMENT",
+    "SCHEMA_VERSION",
+    "FixedBucketHistogram",
+    "Gauge",
+    "MetricsRegistry",
+    "NullInstrument",
+    "ScalarCounter",
+    "Scope",
+    "build_manifest",
+    "git_describe",
+    "manifest_path_for",
+    "merge_snapshots",
+    "metrics_payload",
+    "read_trace_jsonl",
+    "trace_records_jsonable",
+    "validate_manifest",
+    "write_json",
+    "write_trace_jsonl",
+]

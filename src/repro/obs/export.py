@@ -1,0 +1,218 @@
+"""Structured export: trace JSONL, metrics files, run manifests.
+
+Three artifacts, all plain JSON so any later analysis stack can read
+them without importing this package:
+
+- **Trace JSONL** (``--trace PATH``): one object per
+  :class:`~repro.sim.trace.TraceRecord`, tagged with the cell label it
+  came from, optionally restricted to a set of categories
+  (``--trace-filter``).
+- **Metrics file** (``--metrics PATH``): the per-cell metrics
+  snapshots plus their leaf-wise sum.  Snapshot totals are a pure
+  function of the job specs, so serial and ``--jobs N`` runs emit
+  byte-identical files.
+- **Manifest** (``manifest.json``, written next to the first of
+  ``--json`` / ``--metrics``): what ran, with what configuration, on
+  what code — the provenance record for a results directory.  Its
+  keys are frozen in :data:`MANIFEST_KEYS` and validated by
+  ``scripts/check_observability.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.metrics import merge_snapshots
+
+#: Schema version shared by every exported artifact.
+SCHEMA_VERSION = 1
+
+#: The exact top-level key set of ``manifest.json`` (schema version 1).
+#: docs/observability.md documents each; the CI check enforces the set.
+MANIFEST_KEYS = frozenset({
+    "schema",          # int, == SCHEMA_VERSION
+    "version",         # repro.__version__
+    "git",             # `git describe --always --dirty` or None
+    "experiments",     # experiment names that ran, in order
+    "quick",           # bool: --quick smoke sizes
+    "jobs",            # worker count the executor resolved
+    "params",          # asdict(DEFAULT_PARAMS) — cells may override
+    "costs",           # asdict(DEFAULT_COSTS) — cells may override
+    "cells",           # [{label, elapsed_ns, cached}] in execution order
+    "wall_time_s",     # end-to-end harness wall clock
+    "sim_time_ns",     # sum of per-cell simulated time
+    "cache",           # {enabled, hits, misses}
+    "outputs",         # {json, metrics, trace} paths (or None)
+})
+
+
+def git_describe(cwd: Optional[str] = None) -> Optional[str]:
+    """``git describe --always --dirty``, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+# -- trace export ------------------------------------------------------
+
+
+def trace_records_jsonable(
+    records: Iterable[Any],
+    categories: Optional[Iterable[str]] = None,
+    cell: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Trace records (or their already-jsonable dicts) as JSON objects.
+
+    ``categories`` restricts to the given category names; ``cell``
+    tags every record with the cell label it came from.
+    """
+    wanted = set(categories) if categories is not None else None
+    out = []
+    for record in records:
+        if isinstance(record, dict):
+            entry = dict(record)
+        else:  # a TraceRecord
+            entry = record.to_jsonable()
+        if wanted is not None and entry.get("category") not in wanted:
+            continue
+        if cell is not None:
+            entry = {"cell": cell, **entry}
+        out.append(entry)
+    return out
+
+
+def write_trace_jsonl(path: str, entries: Iterable[Dict[str, Any]]) -> int:
+    """Write trace entries as JSON Lines; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for entry in entries:
+            fh.write(json.dumps(entry, sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_trace_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a trace JSONL file back into a list of dicts."""
+    out = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+# -- metrics export ----------------------------------------------------
+
+
+def metrics_payload(
+    cell_snapshots: Sequence[Any],
+) -> Dict[str, Any]:
+    """The ``--metrics`` file body: per-cell snapshots plus totals.
+
+    ``cell_snapshots`` is a sequence of ``(label, snapshot)`` pairs in
+    execution order.
+    """
+    cells = {label: dict(snap) for label, snap in cell_snapshots}
+    return {
+        "schema": SCHEMA_VERSION,
+        "cells": cells,
+        "totals": merge_snapshots(snap for _label, snap in cell_snapshots),
+    }
+
+
+# -- manifest ----------------------------------------------------------
+
+
+def build_manifest(
+    *,
+    experiments: Sequence[str],
+    quick: bool,
+    jobs: int,
+    cells: Sequence[Dict[str, Any]],
+    wall_time_s: float,
+    cache_enabled: bool,
+    cache_hits: int,
+    cache_misses: int,
+    outputs: Dict[str, Optional[str]],
+) -> Dict[str, Any]:
+    """Assemble a schema-1 run manifest (see :data:`MANIFEST_KEYS`)."""
+    from dataclasses import asdict
+
+    import repro
+    from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+
+    manifest = {
+        "schema": SCHEMA_VERSION,
+        "version": repro.__version__,
+        "git": git_describe(),
+        "experiments": list(experiments),
+        "quick": bool(quick),
+        "jobs": int(jobs),
+        "params": asdict(DEFAULT_PARAMS),
+        "costs": asdict(DEFAULT_COSTS),
+        "cells": [dict(c) for c in cells],
+        "wall_time_s": round(float(wall_time_s), 3),
+        "sim_time_ns": int(sum(c.get("elapsed_ns", 0) for c in cells)),
+        "cache": {
+            "enabled": bool(cache_enabled),
+            "hits": int(cache_hits),
+            "misses": int(cache_misses),
+        },
+        "outputs": dict(outputs),
+    }
+    assert set(manifest) == set(MANIFEST_KEYS)
+    return manifest
+
+
+def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
+    """Problems with a manifest dict (empty list == valid)."""
+    problems = []
+    missing = MANIFEST_KEYS - set(manifest)
+    extra = set(manifest) - MANIFEST_KEYS
+    if missing:
+        problems.append(f"missing keys: {', '.join(sorted(missing))}")
+    if extra:
+        problems.append(f"unexpected keys: {', '.join(sorted(extra))}")
+    if manifest.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema is {manifest.get('schema')!r}, expected {SCHEMA_VERSION}"
+        )
+    cells = manifest.get("cells")
+    if not isinstance(cells, list):
+        problems.append("cells is not a list")
+    else:
+        for i, cell in enumerate(cells):
+            if not isinstance(cell, dict) or "label" not in cell:
+                problems.append(f"cells[{i}] lacks a label")
+                break
+    cache = manifest.get("cache")
+    if not isinstance(cache, dict) or not {"enabled", "hits", "misses"} <= set(
+        cache or {}
+    ):
+        problems.append("cache is not {enabled, hits, misses}")
+    return problems
+
+
+def manifest_path_for(output_path: str) -> str:
+    """Where the manifest lives: ``manifest.json`` next to an output."""
+    return os.path.join(
+        os.path.dirname(os.path.abspath(output_path)), "manifest.json"
+    )
+
+
+def write_json(path: str, payload: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -1,0 +1,303 @@
+"""Hierarchical metrics registry.
+
+Every component of a machine publishes its instruments into one
+:class:`MetricsRegistry` under a stable dotted path — the observability
+surface the experiment harness, the ``--metrics`` flag and the run
+manifest all read.  The naming convention (documented in
+docs/observability.md):
+
+- ``sim.*`` — kernel gauges (clock, events scheduled);
+- ``net.*`` — machine-wide network counters;
+- ``node<N>.bus.*`` / ``node<N>.mem.*`` / ``node<N>.cache.*`` — the
+  memory system;
+- ``node<N>.ni.*`` (plus ``.fcu``, ``.sendq``, ``.recvq``, ``.rcache``
+  sub-scopes) — the network interface;
+- ``node<N>.runtime.*`` — the messaging layer;
+- ``node<N>.proc.*`` — the processor state timer (``<state>_ns``).
+
+Two ways in:
+
+- **mount** an existing instrument (a :class:`repro.sim.Counter` bag,
+  a :class:`~repro.sim.Histogram`, a :class:`~repro.sim.StateTimer`)
+  — zero hot-path cost, the registry only reads it at snapshot time;
+- **create** an instrument through the registry
+  (:meth:`~MetricsRegistry.counter`, :meth:`~MetricsRegistry.gauge`,
+  :meth:`~MetricsRegistry.histogram`).  On a disabled registry these
+  return a shared no-op handle, so instrumented code pays one
+  attribute call and nothing else.
+
+:meth:`MetricsRegistry.snapshot` flattens everything into a sorted
+``{dotted.path: number}`` dict.  Snapshots are plain data — picklable,
+JSON-able, and mergeable with :func:`merge_snapshots` — which is what
+lets parallel sweep workers ship them back to the parent and lets
+serial and ``--jobs N`` runs aggregate identically.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Tuple
+
+from repro.sim.stats import Counter, Histogram, StateTimer
+
+#: Dotted-path segments: letters, digits, ``_``, ``@`` (NI variants),
+#: ``-`` (registry names like ``cm5-1cyc``).
+_PATH_RE = re.compile(r"^[A-Za-z0-9_@-]+(\.[A-Za-z0-9_@-]+)*$")
+
+
+class NullInstrument:
+    """Shared no-op handle returned by a disabled registry.
+
+    Accepts every instrument method (``add``, ``observe``, ``set``) and
+    does nothing; truth-tests false so callers can skip even argument
+    construction with ``if handle:``.
+    """
+
+    __slots__ = ()
+
+    def add(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def observe(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def set(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "<NullInstrument>"
+
+
+#: The singleton no-op handle.
+NULL_INSTRUMENT = NullInstrument()
+
+
+class ScalarCounter:
+    """A single monotonically increasing value at one path."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"ScalarCounter({self.value})"
+
+
+class Gauge:
+    """A point-in-time reading: either set explicitly or sampled from a
+    callable at snapshot time."""
+
+    __slots__ = ("_fn", "_value")
+
+    def __init__(self, fn: Callable[[], float] = None):
+        self._fn = fn
+        self._value = 0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def read(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.read()})"
+
+
+class FixedBucketHistogram:
+    """A histogram with fixed upper-bound buckets (plus overflow).
+
+    Unlike the exact :class:`repro.sim.Histogram` this never stores
+    samples: ``observe`` is one bisect plus three adds, and the
+    snapshot (per-bucket counts, count, sum) merges across runs by
+    plain addition — the right trade for unbounded streams like
+    per-message latencies in a bandwidth sweep.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Iterable[float]):
+        self.bounds: Tuple[float, ...] = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("need at least one bucket bound")
+        #: counts[i] counts samples <= bounds[i]; counts[-1] is overflow.
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float, count: int = 1) -> None:
+        if count <= 0:
+            return
+        self.counts[bisect_left(self.bounds, value)] += count
+        self.count += count
+        self.total += value * count
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Leaf-name -> count map (``le_<bound>`` plus ``overflow``)."""
+        out = {f"le_{_fmt(b)}": c for b, c in zip(self.bounds, self.counts)}
+        out["overflow"] = self.counts[-1]
+        return out
+
+
+def _fmt(bound: float) -> str:
+    """Bucket bound as a path-safe leaf segment (``2.5`` -> ``2_5``)."""
+    text = f"{bound:g}"
+    return text.replace(".", "_").replace("+", "").replace("-", "m")
+
+
+class MetricsRegistry:
+    """Hierarchical registry of instruments under dotted paths."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        #: path -> instrument, in registration order.
+        self._instruments: Dict[str, Any] = {}
+
+    # -- registration --------------------------------------------------
+
+    def _register(self, path: str, instrument: Any) -> Any:
+        if not _PATH_RE.match(path):
+            raise ValueError(f"invalid metric path {path!r}")
+        if path in self._instruments:
+            raise ValueError(f"metric path {path!r} already registered")
+        self._instruments[path] = instrument
+        return instrument
+
+    def counter(self, path: str) -> Any:
+        """A new :class:`ScalarCounter` at ``path`` (no-op if disabled)."""
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        return self._register(path, ScalarCounter())
+
+    def gauge(self, path: str, fn: Callable[[], float] = None) -> Any:
+        """A new :class:`Gauge` at ``path``, optionally sampled from
+        ``fn`` at snapshot time (no-op if disabled)."""
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        return self._register(path, Gauge(fn))
+
+    def histogram(self, path: str, buckets: Iterable[float] = None) -> Any:
+        """A new histogram at ``path``: exact when ``buckets`` is None,
+        fixed-bucket otherwise (no-op if disabled)."""
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        hist = Histogram() if buckets is None else FixedBucketHistogram(buckets)
+        return self._register(path, hist)
+
+    def mount(self, path: str, instrument: Any) -> None:
+        """Mount an existing instrument at ``path``.
+
+        Accepts a :class:`~repro.sim.Counter` bag (each key becomes a
+        ``path.key`` leaf), a :class:`~repro.sim.Histogram`, a
+        :class:`FixedBucketHistogram`, a :class:`~repro.sim.StateTimer`
+        (each state becomes ``path.<state>_ns``), a
+        :class:`ScalarCounter`/:class:`Gauge`, or a zero-argument
+        callable (sampled at snapshot time).  Mounting costs nothing on
+        any hot path: the registry holds a reference and reads it only
+        when a snapshot is taken.
+        """
+        if not self.enabled:
+            return
+        self._register(path, instrument)
+
+    def scope(self, prefix: str) -> "Scope":
+        """A view of this registry with every path under ``prefix``."""
+        return Scope(self, prefix)
+
+    # -- reading -------------------------------------------------------
+
+    def paths(self) -> Tuple[str, ...]:
+        """Registered mount points (not snapshot leaves), sorted."""
+        return tuple(sorted(self._instruments))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every instrument into a sorted ``{path: number}``."""
+        out: Dict[str, float] = {}
+        for path, instrument in self._instruments.items():
+            for leaf, value in _collect(path, instrument):
+                out[leaf] = value
+        return dict(sorted(out.items()))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<MetricsRegistry {state}, {len(self)} mounts>"
+
+
+class Scope:
+    """Path-prefixing view of a registry (``scope('node3.ni')``)."""
+
+    __slots__ = ("registry", "prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str):
+        self.registry = registry
+        self.prefix = prefix
+
+    def _path(self, path: str) -> str:
+        return f"{self.prefix}.{path}"
+
+    def counter(self, path: str) -> Any:
+        return self.registry.counter(self._path(path))
+
+    def gauge(self, path: str, fn: Callable[[], float] = None) -> Any:
+        return self.registry.gauge(self._path(path), fn)
+
+    def histogram(self, path: str, buckets: Iterable[float] = None) -> Any:
+        return self.registry.histogram(self._path(path), buckets)
+
+    def mount(self, path: str, instrument: Any) -> None:
+        self.registry.mount(self._path(path), instrument)
+
+    def scope(self, prefix: str) -> "Scope":
+        return Scope(self.registry, self._path(prefix))
+
+
+def _collect(path: str, instrument: Any) -> Iterator[Tuple[str, float]]:
+    """Yield the snapshot leaves of one mounted instrument."""
+    if isinstance(instrument, ScalarCounter):
+        yield path, instrument.value
+    elif isinstance(instrument, Gauge):
+        yield path, instrument.read()
+    elif isinstance(instrument, Counter):
+        for key, value in instrument.as_dict().items():
+            yield f"{path}.{key}", value
+    elif isinstance(instrument, Histogram):
+        # count and sum merge by addition; quantiles do not, so the
+        # snapshot carries only the mergeable pair.
+        yield f"{path}.count", instrument.count
+        yield f"{path}.sum", instrument.total
+    elif isinstance(instrument, FixedBucketHistogram):
+        yield f"{path}.count", instrument.count
+        yield f"{path}.sum", instrument.total
+        for leaf, value in instrument.bucket_counts().items():
+            yield f"{path}.{leaf}", value
+    elif isinstance(instrument, StateTimer):
+        for state, total in instrument.totals().items():
+            yield f"{path}.{state}_ns", total
+    elif callable(instrument):
+        yield path, instrument()
+    else:
+        raise TypeError(
+            f"cannot snapshot instrument {instrument!r} at {path!r}"
+        )
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    """Sum snapshots leaf-wise (all leaves are counters/sums/gauges of
+    additive quantities, so addition is the correct aggregation)."""
+    merged: Dict[str, float] = {}
+    for snap in snapshots:
+        for key, value in snap.items():
+            merged[key] = merged.get(key, 0) + value
+    return dict(sorted(merged.items()))

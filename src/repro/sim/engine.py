@@ -69,6 +69,22 @@ class Simulator:
         """Current simulation time."""
         return self._now
 
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Kernel gauges for the metrics registry (read-only snapshot).
+
+        ``events_scheduled`` is every event ever queued (the sequence
+        counter), which is the kernel-work figure the benchmarks report
+        as events/sec.
+        """
+        return {
+            "now": self._now,
+            "events_scheduled": self._seq,
+            "queue_len": len(self._queue),
+            "timeout_pool": len(self._timeout_pool),
+        }
+
     # -- event factories ----------------------------------------------
 
     def event(self) -> Event:

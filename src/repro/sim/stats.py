@@ -46,63 +46,82 @@ class Counter:
 
 
 class Histogram:
-    """An exact histogram over integer/float samples."""
+    """An exact histogram over integer/float samples.
+
+    Storage is a value -> occurrence-count map, so ``add(value, count)``
+    is O(1) in ``count`` (a bandwidth sweep logging a million identical
+    sizes stores one pair, not a million floats) while every statistic
+    — including exact nearest-rank quantiles — is unchanged.
+    """
 
     def __init__(self) -> None:
-        self._samples: List[float] = []
-        self._sorted = True
+        self._counts: Dict[float, int] = {}
+        self._count = 0
+        self._total = 0.0
 
     def add(self, value: float, count: int = 1) -> None:
-        self._samples.extend([value] * count)
-        self._sorted = False
+        if count <= 0:
+            return
+        self._counts[value] = self._counts.get(value, 0) + count
+        self._count += count
+        self._total += value * count
 
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
             self.add(value)
 
-    def _ensure_sorted(self) -> None:
-        if not self._sorted:
-            self._samples.sort()
-            self._sorted = True
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's buckets into this one (O(distinct))."""
+        for value, count in other.buckets().items():
+            self.add(value, count)
 
     @property
     def samples(self) -> tuple:
-        """Snapshot of all samples (insertion order not guaranteed)."""
-        return tuple(self._samples)
+        """Expanded sample tuple (sorted; grouping is not preserved)."""
+        out: List[float] = []
+        for value in sorted(self._counts):
+            out.extend([value] * self._counts[value])
+        return tuple(out)
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self._samples)
+        return self._total
 
     @property
     def mean(self) -> float:
-        if not self._samples:
+        if not self._count:
             raise ValueError("mean of empty histogram")
-        return self.total / len(self._samples)
+        return self._total / self._count
 
     @property
     def minimum(self) -> float:
-        self._ensure_sorted()
-        return self._samples[0]
+        if not self._count:
+            raise ValueError("minimum of empty histogram")
+        return min(self._counts)
 
     @property
     def maximum(self) -> float:
-        self._ensure_sorted()
-        return self._samples[-1]
+        if not self._count:
+            raise ValueError("maximum of empty histogram")
+        return max(self._counts)
 
     def percentile(self, fraction: float) -> float:
         """Nearest-rank percentile; ``fraction`` in [0, 1]."""
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-        if not self._samples:
+        if not self._count:
             raise ValueError("percentile of empty histogram")
-        self._ensure_sorted()
-        rank = max(0, math.ceil(fraction * len(self._samples)) - 1)
-        return self._samples[rank]
+        rank = max(0, math.ceil(fraction * self._count) - 1)
+        seen = 0
+        for value in sorted(self._counts):
+            seen += self._counts[value]
+            if rank < seen:
+                return value
+        return max(self._counts)  # pragma: no cover — rank < count always
 
     @property
     def median(self) -> float:
@@ -110,16 +129,13 @@ class Histogram:
 
     def buckets(self) -> Dict[float, int]:
         """Exact value -> occurrence-count map (e.g. Table 4's peaks)."""
-        out: Dict[float, int] = defaultdict(int)
-        for sample in self._samples:
-            out[sample] += 1
-        return dict(out)
+        return dict(self._counts)
 
     def fraction_of(self, value: float) -> float:
         """Fraction of samples exactly equal to ``value``."""
-        if not self._samples:
+        if not self._count:
             return 0.0
-        return sum(1 for s in self._samples if s == value) / len(self._samples)
+        return self._counts.get(value, 0) / self._count
 
 
 class StateTimer:

@@ -8,7 +8,7 @@ simulator did (e.g. showing each bus transaction of a message send).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, NamedTuple, Optional
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional
 
 
 class TraceRecord(NamedTuple):
@@ -16,6 +16,24 @@ class TraceRecord(NamedTuple):
     source: str
     category: str
     detail: Dict[str, Any]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Flat JSON object form (the trace-JSONL line body).
+
+        Detail values that are not JSON scalars degrade to ``repr``
+        so a record can always be exported.
+        """
+        detail = {
+            k: v if isinstance(v, (str, int, float, bool)) or v is None
+            else repr(v)
+            for k, v in self.detail.items()
+        }
+        return {
+            "time": self.time,
+            "source": self.source,
+            "category": self.category,
+            "detail": detail,
+        }
 
 
 class Tracer:
@@ -36,14 +54,40 @@ class Tracer:
         self,
         source: Optional[str] = None,
         category: Optional[str] = None,
+        categories: Optional[Iterable[str]] = None,
     ) -> List[TraceRecord]:
-        """Records matching the given source and/or category."""
+        """Records matching the given source and/or category filters.
+
+        ``category`` matches one name; ``categories`` matches any of a
+        set (the ``--trace-filter`` semantics).
+        """
         out = self.records
         if source is not None:
             out = [r for r in out if r.source == source]
         if category is not None:
             out = [r for r in out if r.category == category]
+        if categories is not None:
+            wanted = set(categories)
+            out = [r for r in out if r.category in wanted]
         return list(out)
+
+    def to_jsonable(
+        self, categories: Optional[Iterable[str]] = None
+    ) -> List[Dict[str, Any]]:
+        """All (or category-filtered) records as JSON objects."""
+        records = (
+            self.records if categories is None
+            else self.filter(categories=categories)
+        )
+        return [r.to_jsonable() for r in records]
+
+    def export_jsonl(
+        self, path: str, categories: Optional[Iterable[str]] = None
+    ) -> int:
+        """Dump records to a JSON-Lines file; returns the line count."""
+        from repro.obs.export import write_trace_jsonl
+
+        return write_trace_jsonl(path, self.to_jsonable(categories))
 
     def clear(self) -> None:
         self.records.clear()

@@ -253,3 +253,14 @@ class Runtime:
     @property
     def pending_handlers(self) -> int:
         return len(self._deferred)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def mount_metrics(self, registry, prefix: str) -> None:
+        """Publish runtime accounting under ``node<N>.runtime``."""
+        registry.mount(prefix, self.counters)
+        registry.mount(f"{prefix}.sent_sizes", self.sent_sizes)
+        registry.gauge(f"{prefix}.pending_handlers",
+                       lambda: self.pending_handlers)

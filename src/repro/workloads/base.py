@@ -147,7 +147,7 @@ class Workload(ABC):
         # (channels log one logical entry per bulk transfer).
         sizes = Histogram()
         for node in machine:
-            sizes.extend(node.runtime.sent_sizes.samples)
+            sizes.merge(node.runtime.sent_sizes)
         return WorkloadResult(
             workload=self.name,
             ni_name=machine.ni_name,
@@ -172,9 +172,9 @@ def run_macrobenchmark(
 ) -> WorkloadResult:
     """Convenience: build and run one macrobenchmark by name."""
     from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
-    from repro.workloads.registry import make_workload
+    from repro.workloads.registry import create
 
-    workload = make_workload(name, **workload_kwargs)
+    workload = create(name, **workload_kwargs)
     return workload.run(
         params=params or DEFAULT_PARAMS,
         costs=costs or DEFAULT_COSTS,

@@ -1,7 +1,14 @@
-"""Registry of the seven macrobenchmarks (Table 4 order)."""
+"""Registry of the seven macrobenchmarks (Table 4 order).
+
+The surface mirrors :mod:`repro.ni.registry` — ``register``/``get``/
+``create``/``names`` — so callers learn one idiom for both.  The
+original function names (``workload_class``, ``make_workload``) remain
+as deprecated aliases.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Tuple, Type
 
 from repro.workloads.appbt import Appbt
@@ -24,7 +31,16 @@ MACRO_NAMES: Tuple[str, ...] = (
 )
 
 
-def workload_class(name: str) -> Type[Workload]:
+# -- the uniform registry surface (shared with repro.ni.registry) --------
+
+
+def register(name: str, cls: Type[Workload]) -> None:
+    """Register a workload class under ``name`` (overwrites)."""
+    _REGISTRY[name] = cls
+
+
+def get(name: str) -> Type[Workload]:
+    """The workload class registered under ``name``."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -34,6 +50,32 @@ def workload_class(name: str) -> Type[Workload]:
         ) from None
 
 
-def make_workload(name: str, **kwargs) -> Workload:
+def create(name: str, **kwargs) -> Workload:
     """Construct a macrobenchmark by name with optional overrides."""
-    return workload_class(name)(**kwargs)
+    return get(name)(**kwargs)
+
+
+def names() -> Tuple[str, ...]:
+    """Every registered workload name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# -- deprecated aliases ---------------------------------------------------
+
+
+def workload_class(name: str) -> Type[Workload]:
+    """Deprecated alias of :func:`get`."""
+    warnings.warn(
+        "workload_class() is deprecated; use repro.workloads.registry.get()",
+        DeprecationWarning, stacklevel=2,
+    )
+    return get(name)
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Deprecated alias of :func:`create`."""
+    warnings.warn(
+        "make_workload() is deprecated; use repro.workloads.registry.create()",
+        DeprecationWarning, stacklevel=2,
+    )
+    return create(name, **kwargs)

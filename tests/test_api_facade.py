@@ -1,0 +1,131 @@
+"""The repro.api facade and the harmonized registry surfaces."""
+
+import pytest
+
+import repro
+from repro import api
+from repro.ni import ALL_NI_NAMES
+from repro.workloads.base import Workload
+from repro.workloads.registry import MACRO_NAMES
+
+
+def test_listings():
+    nis = api.list_nis()
+    assert set(ALL_NI_NAMES) <= set(nis)
+    workloads = api.list_workloads()
+    assert "pingpong" in workloads and "stream" in workloads
+    assert set(MACRO_NAMES) <= set(workloads)
+
+
+def test_top_level_exports():
+    assert repro.run_workload is api.run_workload
+    assert repro.build_machine is api.build_machine
+    assert repro.list_nis is api.list_nis
+    assert repro.list_workloads is api.list_workloads
+    assert repro.__version__ == "1.1.0"
+
+
+@pytest.mark.parametrize("ni", ALL_NI_NAMES)
+def test_run_workload_every_ni(ni):
+    result = api.run_workload(
+        ni=ni, workload="pingpong", payload_bytes=64, rounds=3,
+    )
+    assert result.elapsed_us > 0
+    assert result.workload.extras["round_trip_us"] > 0
+    assert result.metrics["node0.ni.messages_sent"] > 0
+    fractions = result.breakdown()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+
+def test_build_machine_defaults():
+    machine = api.build_machine()
+    assert len(machine) == repro.DEFAULT_PARAMS.num_nodes
+    assert machine.node(0).ni.ni_name == "cni32qm"
+    assert machine.metrics_snapshot()  # obs mounted and populated
+
+
+def test_run_workload_accepts_instance():
+    from repro.workloads.micro import StreamBandwidth
+
+    wl = StreamBandwidth(payload_bytes=248, transfers=4)
+    result = api.run_workload(ni="udma", workload=wl)
+    assert result.workload.extras["bandwidth_mb_s"] > 0
+    with pytest.raises(ValueError):
+        api.run_workload(workload=wl, payload_bytes=8)
+
+
+def test_run_workload_unknown_names():
+    with pytest.raises(ValueError, match="unknown NI"):
+        api.run_workload(ni="nope", workload="pingpong", rounds=1)
+    with pytest.raises(ValueError, match="unknown workload"):
+        api.run_workload(workload="nope")
+
+
+# -- harmonized registries ---------------------------------------------
+
+
+def test_ni_registry_surface():
+    from repro.ni import registry
+
+    cls = registry.get("cm5")
+    assert registry.names() == tuple(sorted(registry.names()))
+    assert "cm5" in registry.names()
+    machine = api.build_machine(ni="cm5", num_nodes=2)
+    assert isinstance(machine.node(0).ni, cls)
+    with pytest.raises(ValueError):
+        registry.get("definitely-not-an-ni")
+
+
+def test_workload_registry_surface():
+    from repro.workloads import registry
+
+    cls = registry.get("em3d")
+    wl = registry.create("em3d", iterations=1)
+    assert isinstance(wl, cls) and isinstance(wl, Workload)
+    assert registry.names() == tuple(sorted(registry.names()))
+    with pytest.raises(ValueError):
+        registry.get("definitely-not-a-workload")
+
+
+def test_workload_register_roundtrip():
+    from repro.workloads import registry
+
+    class Fake(Workload):
+        name = "fake-for-test"
+
+        def body(self, machine):  # pragma: no cover - never run
+            raise NotImplementedError
+
+    registry.register("fake-for-test", Fake)
+    try:
+        assert registry.get("fake-for-test") is Fake
+        assert "fake-for-test" in registry.names()
+        assert "fake-for-test" in api.list_workloads()
+    finally:
+        registry._REGISTRY.pop("fake-for-test")
+
+
+# -- deprecated aliases still work, loudly -----------------------------
+
+
+def test_deprecated_workload_aliases_warn():
+    from repro.workloads import registry
+
+    with pytest.warns(DeprecationWarning, match="workload_class"):
+        cls = registry.workload_class("em3d")
+    assert cls is registry.get("em3d")
+    with pytest.warns(DeprecationWarning, match="make_workload"):
+        wl = registry.make_workload("em3d", iterations=1)
+    assert isinstance(wl, cls)
+
+
+def test_deprecated_register_variant_warns():
+    from repro.ni import registry
+
+    base = registry.get("cm5")
+    with pytest.warns(DeprecationWarning, match="register_variant"):
+        registry.register_variant("cm5@test-alias", base)
+    try:
+        assert registry.get("cm5@test-alias") is base
+    finally:
+        registry._REGISTRY.pop("cm5@test-alias")

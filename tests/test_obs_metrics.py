@@ -1,0 +1,360 @@
+"""The observability layer: registry, snapshots, export, manifests."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.experiments.parallel import (
+    CellResult,
+    Job,
+    SweepExecutor,
+    freeze_kwargs,
+    run_cell,
+)
+from repro.obs import (
+    MANIFEST_KEYS,
+    NULL_INSTRUMENT,
+    FixedBucketHistogram,
+    MetricsRegistry,
+    build_manifest,
+    merge_snapshots,
+    metrics_payload,
+    read_trace_jsonl,
+    validate_manifest,
+)
+from repro.sim import Histogram
+
+
+# -- registry behaviour ------------------------------------------------
+
+
+def test_registry_counter_gauge_histogram():
+    reg = MetricsRegistry()
+    c = reg.counter("a.hits")
+    c.add()
+    c.add(4)
+    reg.gauge("a.depth", lambda: 7)
+    h = reg.histogram("a.lat", buckets=(10, 100))
+    h.observe(5)
+    h.observe(50)
+    h.observe(5000)
+    snap = reg.snapshot()
+    assert snap["a.hits"] == 5
+    assert snap["a.depth"] == 7
+    assert snap["a.lat.count"] == 3
+    assert snap["a.lat.sum"] == 5055
+    assert snap["a.lat.le_10"] == 1
+    assert snap["a.lat.le_100"] == 1
+    assert snap["a.lat.overflow"] == 1
+
+
+def test_registry_rejects_duplicates_and_bad_paths():
+    reg = MetricsRegistry()
+    reg.counter("x.y")
+    with pytest.raises(ValueError):
+        reg.counter("x.y")
+    with pytest.raises(ValueError):
+        reg.counter("bad path")
+    with pytest.raises(ValueError):
+        reg.counter(".leading")
+
+
+def test_disabled_registry_hands_out_noop_instruments():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("a.b")
+    assert c is NULL_INSTRUMENT
+    assert not c  # falsy, so `if counter:` guards work
+    c.add(5)
+    c.observe(1)
+    c.set(2)
+    assert reg.snapshot() == {}
+
+
+def test_scope_prefixes_paths():
+    reg = MetricsRegistry()
+    scope = reg.scope("node0.ni")
+    scope.counter("retries").add(3)
+    assert reg.snapshot() == {"node0.ni.retries": 3}
+
+
+def test_snapshot_is_sorted_flat_dict():
+    reg = MetricsRegistry()
+    reg.counter("b.z").add(1)
+    reg.counter("a.q").add(2)
+    assert list(reg.snapshot()) == sorted(reg.snapshot())
+
+
+def test_merge_snapshots_sums_leafwise():
+    merged = merge_snapshots([
+        {"a": 1, "b": 2.5},
+        {"a": 10, "c": 3},
+    ])
+    assert merged == {"a": 11, "b": 2.5, "c": 3}
+    assert list(merged) == sorted(merged)
+
+
+def test_fixed_bucket_histogram_paths_are_safe():
+    h = FixedBucketHistogram((0.5, 10))
+    h.observe(0.2)
+    reg = MetricsRegistry()
+    reg.mount("lat", h)
+    assert all(
+        " " not in path and ":" not in path.split(".")[-1]
+        for path in reg.snapshot()
+    )
+
+
+# -- sim Histogram rewrite (value, count) pairs ------------------------
+
+
+def test_histogram_bulk_add_matches_expanded():
+    a, b = Histogram(), Histogram()
+    a.add(8, 1000)
+    a.add(64, 500)
+    for _ in range(1000):
+        b.add(8)
+    for _ in range(500):
+        b.add(64)
+    for frac in (0.0, 0.25, 0.5, 0.9, 1.0):
+        assert a.percentile(frac) == b.percentile(frac)
+    assert a.mean == b.mean
+    assert a.buckets() == b.buckets()
+    assert a.minimum == 8 and a.maximum == 64
+
+
+def test_histogram_merge_folds_buckets():
+    a, b = Histogram(), Histogram()
+    a.add(8, 2)
+    b.add(8, 3)
+    b.add(16)
+    a.merge(b)
+    assert a.buckets() == {8: 5, 16: 1}
+    assert a.count == 6
+    assert a.total == 56
+
+
+def test_histogram_samples_sorted_expansion():
+    h = Histogram()
+    h.add(5, 2)
+    h.add(1)
+    assert h.samples == (1, 5, 5)
+
+
+# -- machine mounting --------------------------------------------------
+
+
+def test_machine_mounts_stable_paths():
+    machine = api.build_machine(ni="cni32qm", num_nodes=2)
+    paths = machine.obs.paths()
+    for expected in (
+        "sim.now",
+        "sim.events_scheduled",
+        "node0.bus.occupancy_ns",
+        "node1.ni.fcu.pending_inbound",
+        "node0.ni.sendq.enqueued",
+        "node0.ni.rcache.valid_blocks",
+        "node0.runtime.pending_handlers",
+    ):
+        assert expected in paths, expected
+    snap = machine.metrics_snapshot()
+    assert all(isinstance(v, (int, float)) for v in snap.values())
+
+
+def test_ni_counter_keys_are_declared(ni_run_results):
+    for name, result in ni_run_results.items():
+        machine = result.machine
+        declared = set(type(machine.node(0).ni).metric_names)
+        for node in machine:
+            observed = set(node.ni.counters.as_dict())
+            undeclared = observed - declared
+            assert not undeclared, (
+                f"{name}: counters {sorted(undeclared)} not in metric_names"
+            )
+
+
+@pytest.fixture(scope="module")
+def ni_run_results():
+    from repro.ni import ALL_NI_NAMES
+
+    return {
+        name: api.run_workload(
+            ni=name, workload="pingpong", payload_bytes=64, rounds=3,
+        )
+        for name in ALL_NI_NAMES
+    }
+
+
+def test_bus_occupancy_accounted(ni_run_results):
+    for name, result in ni_run_results.items():
+        snap = result.metrics
+        assert snap["node0.bus.occupancy_ns"] == (
+            snap["node0.bus.addr_occupancy_ns"]
+            + snap["node0.bus.data_occupancy_ns"]
+        )
+        if name != "cm5-1cyc":  # register-mapped NI: no bus traffic
+            assert snap["node0.bus.occupancy_ns"] > 0
+
+
+# -- parallel metrics determinism --------------------------------------
+
+
+def _jobs():
+    return [
+        Job(
+            label=f"obs-test:{wl}",
+            ni="cni32qm",
+            workload=wl,
+            params=DEFAULT_PARAMS,
+            costs=DEFAULT_COSTS,
+            kwargs=freeze_kwargs(kw),
+        )
+        for wl, kw in (
+            ("pingpong", {"payload_bytes": 64, "rounds": 3}),
+            ("stream", {"payload_bytes": 248, "transfers": 5}),
+        )
+    ]
+
+
+def test_metrics_identical_serial_vs_parallel():
+    serial = SweepExecutor(jobs=1).map(_jobs())
+    parallel = SweepExecutor(jobs=2).map(_jobs())
+    for s, p in zip(serial, parallel):
+        assert s.metrics == p.metrics
+        assert s.metrics  # non-empty
+    payload_s = metrics_payload(
+        [(c.label, c.metrics) for c in serial]
+    )
+    payload_p = metrics_payload(
+        [(c.label, c.metrics) for c in parallel]
+    )
+    assert payload_s == payload_p
+    assert payload_s["schema"] == 1
+
+
+def test_executor_records_completed_history():
+    ex = SweepExecutor(jobs=1)
+    jobs = _jobs()
+    ex.map(jobs)
+    assert [job.label for job, _cell, _cached in ex.completed] == [
+        j.label for j in jobs
+    ]
+    assert all(not cached for _j, _c, cached in ex.completed)
+
+
+def test_tracing_executor_collects_trace():
+    ex = SweepExecutor(jobs=1, tracing=True)
+    results = ex.map(_jobs()[:1])
+    assert results[0].trace
+    record = results[0].trace[0]
+    assert {"cell", "time", "source", "category", "detail"} <= set(record)
+
+
+# -- trace JSONL round-trip --------------------------------------------
+
+
+def test_trace_jsonl_round_trip(tmp_path):
+    machine = api.build_machine(ni="cm5", num_nodes=2)
+    machine.network.tracer.enabled = True
+    from repro.workloads.micro import PingPong
+
+    PingPong(payload_bytes=16, rounds=2).run(machine=machine)
+    tracer = machine.network.tracer
+    path = str(tmp_path / "trace.jsonl")
+    count = tracer.export_jsonl(path)
+    assert count == len(tracer)
+    loaded = read_trace_jsonl(path)
+    assert loaded == tracer.to_jsonable()
+
+    only_wire = tracer.to_jsonable(categories=["wire"])
+    assert only_wire and all(r["category"] == "wire" for r in only_wire)
+    assert len(only_wire) < count
+
+
+# -- result schema -----------------------------------------------------
+
+
+def test_cell_result_schema_round_trip():
+    cell = run_cell(_jobs()[0])
+    data = json.loads(json.dumps(cell.to_jsonable()))
+    assert data["schema"] == 1
+    back = CellResult.from_jsonable(data)
+    assert back == cell
+
+
+def test_cell_result_rejects_other_schema():
+    cell = run_cell(_jobs()[0])
+    data = cell.to_jsonable()
+    data["schema"] = 99
+    with pytest.raises(ValueError):
+        CellResult.from_jsonable(data)
+    del data["schema"]
+    with pytest.raises(ValueError):
+        CellResult.from_jsonable(data)
+
+
+def test_experiment_result_schema_round_trip():
+    from repro.experiments.common import ExperimentResult
+
+    result = ExperimentResult(
+        experiment="t", headers=["a", "b"], rows=[["x", 1]], notes=["n"],
+    )
+    data = result.to_dict()
+    assert data["schema"] == 1
+    back = ExperimentResult.from_dict(json.loads(json.dumps(data)))
+    assert back == result
+    data["schema"] = 2
+    with pytest.raises(ValueError):
+        ExperimentResult.from_dict(data)
+
+
+# -- manifest ----------------------------------------------------------
+
+
+def test_build_manifest_has_frozen_key_set():
+    manifest = build_manifest(
+        experiments=["figure1"],
+        quick=True,
+        jobs=2,
+        cells=[{"label": "x", "elapsed_ns": 10, "cached": False}],
+        wall_time_s=1.5,
+        cache_enabled=True,
+        cache_hits=3,
+        cache_misses=4,
+        outputs={"json": None, "metrics": "m.json", "trace": None},
+    )
+    assert set(manifest) == set(MANIFEST_KEYS)
+    assert validate_manifest(manifest) == []
+    assert manifest["sim_time_ns"] == 10
+
+
+def test_validate_manifest_reports_problems():
+    problems = validate_manifest({"schema": 0})
+    assert problems
+    assert any("missing keys" in p for p in problems)
+
+
+# -- runner CLI flags --------------------------------------------------
+
+
+def test_runner_writes_metrics_trace_and_manifest(tmp_path):
+    from repro.experiments.runner import main
+
+    metrics = tmp_path / "metrics.json"
+    trace = tmp_path / "trace.jsonl"
+    code = main([
+        "table5-latency", "--quick", "--no-cache",
+        "--metrics", str(metrics),
+        "--trace", str(trace),
+        "--trace-filter", "wire,accept",
+    ])
+    assert code == 0
+    payload = json.loads(metrics.read_text())
+    assert payload["schema"] == 1 and payload["cells"] and payload["totals"]
+    records = read_trace_jsonl(str(trace))
+    assert records
+    assert {r["category"] for r in records} <= {"wire", "accept"}
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert validate_manifest(manifest) == []
+    assert manifest["outputs"]["metrics"] == str(metrics)
