@@ -1,103 +1,237 @@
 #!/usr/bin/env python
-"""Micro-benchmark for the simulation kernel.
+"""Kernel benchmark matrix: per-NI cells x per-scheduler, with an A/B
+event-for-event determinism check.
 
-Times a fixed pair of cells — a 64-byte ping-pong (120 rounds) and a
-248-byte stream (150 transfers), both on CNI_32Qm with fcb=32 — and
-writes ``BENCH_kernel.json`` with events/sec and wall-clock numbers.
-The cell is deterministic, so the benchmark also cross-checks that
-every repetition produces identical simulation results; any kernel
-"optimisation" that changes event ordering fails loudly here.
+For each cell (an NI plus a fixed microbenchmark pair) and each
+scheduler (``heap``, ``wheel``) this script:
+
+1. runs the cell once *step-by-step*, folding every processed
+   ``(time, seq)`` queue key and the final metrics snapshot into a
+   :class:`repro.sim.ScheduleDigest` — the heap and wheel digests must
+   be identical (the Kernel v2 determinism contract: both schedulers
+   replay the exact same event sequence, not just the same results);
+2. times ``--reps`` full runs (machine construction included, garbage
+   collector disabled during the timed region) and reports best-of-reps
+   events/sec, cross-checking that every repetition reproduces the same
+   results.
+
+The output (``BENCH_kernel.json``) carries one record per
+(cell, scheduler) — schema ``{scheduler, events, events_per_sec,
+deterministic, ...}`` — plus legacy headline fields for the first
+cell's default scheduler, so the events/sec trajectory across commits
+stays comparable.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_kernel.py [--reps 12] [-o PATH]
-
-Compare two checkouts by running this script in each and diffing the
-``events_per_sec`` / ``best_wall_s`` fields of the JSON.
+        [--quick]
 """
 
 import argparse
+import gc
 import json
 import sys
 import time
 
 
-def run_cell():
-    """One benchmark repetition.
-
-    Returns (wall_s, events, signature): elapsed wall-clock seconds,
-    the number of simulation events scheduled, and a determinism
-    signature of the measured results.
-    """
-    from repro.experiments.common import default_costs, default_params
-    from repro.node import Machine
+#: The benchmark cells: (key, ni_name, flow-control buffers,
+#: workload factory).  The first cell is the legacy headline cell —
+#: keep its shape stable so events/sec numbers compare across commits.
+def _cell_workloads_headline():
     from repro.workloads.micro import PingPong, StreamBandwidth
 
-    params = default_params(32)
-    costs = default_costs()
-
-    t0 = time.perf_counter()
-    events = 0
-    results = []
-    for workload in (
+    return [
         PingPong(payload_bytes=64, rounds=120),
         StreamBandwidth(payload_bytes=248, transfers=150),
-    ):
-        machine = Machine(params, costs, "cni32qm", num_nodes=2)
-        result = workload.run(machine)
-        events += machine.sim._seq
-        results.append(result)
-    wall = time.perf_counter() - t0
+    ]
 
+
+def _cell_workloads_cni512q():
+    from repro.workloads.micro import PingPong, StreamBandwidth
+
+    return [
+        PingPong(payload_bytes=248, rounds=80),
+        StreamBandwidth(payload_bytes=1024, transfers=60),
+    ]
+
+
+def _cell_workloads_udma():
+    from repro.workloads.micro import PingPong, StreamBandwidth
+
+    return [
+        PingPong(payload_bytes=64, rounds=80),
+        StreamBandwidth(payload_bytes=1024, transfers=60),
+    ]
+
+
+CELLS = [
+    ("cni32qm fcb=32 pingpong64x120+stream248x150",
+     "cni32qm", 32, _cell_workloads_headline),
+    ("cni512q fcb=8 pingpong248x80+stream1024x60",
+     "cni512q", 8, _cell_workloads_cni512q),
+    ("udma fcb=8 pingpong64x80+stream1024x60",
+     "udma", 8, _cell_workloads_udma),
+]
+
+SCHEDULERS = ("heap", "wheel")
+
+
+def _build_machine(ni_name, fcb, scheduler):
+    from repro.experiments.common import default_costs, default_params
+    from repro.node import Machine
+
+    params = default_params(fcb).replace(sim_scheduler=scheduler)
+    return Machine(params, default_costs(), ni_name, num_nodes=2)
+
+
+def digest_cell(ni_name, fcb, make_workloads, scheduler):
+    """Step-driven run of one cell; returns (digest, events).
+
+    Every processed entry's ``(time, seq)`` key goes into the digest,
+    then each machine's full metrics snapshot — so two schedulers agree
+    only if they replayed the identical schedule *and* produced the
+    identical results.
+    """
+    from repro.sim import ScheduleDigest
+
+    digest = ScheduleDigest()
+    events = 0
+    for workload in make_workloads():
+        machine = _build_machine(ni_name, fcb, scheduler)
+        sim = machine.sim
+        done = workload.launch(machine)
+        step = sim.step
+        update = digest.update
+        while not done.processed:
+            update(*step())
+        workload.collect(machine)
+        digest.update_snapshot(machine.metrics_snapshot())
+        events += sim._seq
+    return digest, events
+
+
+def run_cell(ni_name, fcb, make_workloads, scheduler):
+    """One timed repetition; returns (wall_s, events, signature)."""
+    workloads = make_workloads()
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        events = 0
+        results = []
+        for workload in workloads:
+            machine = _build_machine(ni_name, fcb, scheduler)
+            results.append(workload.run(machine))
+            events += machine.sim._seq
+        wall = time.perf_counter() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     signature = tuple(
         (r.elapsed_ns, tuple(sorted(r.extras.items()))) for r in results
     )
     return wall, events, signature
 
 
+def bench_cell(cell, reps, verbose=True):
+    """Digest-check then time one cell under both schedulers.
+
+    Returns the list of per-scheduler records for the JSON report.
+    """
+    key, ni_name, fcb, make_workloads = cell
+    digests = {}
+    for scheduler in SCHEDULERS:
+        digests[scheduler], _ = digest_cell(ni_name, fcb, make_workloads,
+                                            scheduler)
+    deterministic = digests["heap"] == digests["wheel"]
+    if verbose:
+        mark = "OK" if deterministic else "MISMATCH"
+        print(f"[{key}] A/B heap vs wheel: {mark} "
+              f"({digests['heap'].count} events, "
+              f"digest {digests['heap'].hexdigest()[:12]})")
+    if not deterministic:
+        print(f"FATAL: wheel diverged from heap on cell {key!r}:\n"
+              f"  heap  {digests['heap']!r}\n"
+              f"  wheel {digests['wheel']!r}", file=sys.stderr)
+
+    records = []
+    for scheduler in SCHEDULERS:
+        walls = []
+        events = signature = None
+        for rep in range(reps):
+            wall, n_events, sig = run_cell(ni_name, fcb, make_workloads,
+                                           scheduler)
+            if signature is None:
+                events, signature = n_events, sig
+            elif sig != signature or n_events != events:
+                print(f"FATAL: non-deterministic repetitions on "
+                      f"{key!r} ({scheduler})", file=sys.stderr)
+                deterministic = False
+            walls.append(wall)
+        walls.sort()
+        best, median = walls[0], walls[len(walls) // 2]
+        records.append({
+            "cell": key,
+            "scheduler": scheduler,
+            "events": events,
+            "best_wall_s": round(best, 6),
+            "median_wall_s": round(median, 6),
+            "events_per_sec": round(events / best, 1),
+            "events_per_sec_median": round(events / median, 1),
+            "deterministic": deterministic,
+            "schedule_digest": digests[scheduler].hexdigest(),
+        })
+        if verbose:
+            print(f"[{key}] {scheduler:5s}: best {best:.4f}s  "
+                  f"median {median:.4f}s  {events} events  "
+                  f"{events / best / 1e3:.0f}k events/s")
+    return records
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--reps", type=int, default=12,
-                        help="benchmark repetitions (default 12)")
+                        help="timed repetitions per cell (default 12)")
+    parser.add_argument("--quick", action="store_true",
+                        help="3 reps, headline cell only (smoke mode)")
     parser.add_argument("-o", "--output", default="BENCH_kernel.json",
                         help="output path (default BENCH_kernel.json)")
     args = parser.parse_args(argv)
 
-    walls = []
-    events = None
-    signature = None
-    for rep in range(args.reps):
-        wall, n_events, sig = run_cell()
-        if signature is None:
-            events, signature = n_events, sig
-        elif sig != signature or n_events != events:
-            print("FATAL: non-deterministic results across repetitions",
-                  file=sys.stderr)
-            return 1
-        walls.append(wall)
-        print(f"rep {rep + 1:2d}/{args.reps}: {wall:.4f}s "
-              f"({n_events / wall / 1e3:.0f}k events/s)")
+    cells = CELLS[:1] if args.quick else CELLS
+    reps = 3 if args.quick else args.reps
 
-    walls.sort()
-    best = walls[0]
-    median = walls[len(walls) // 2]
+    matrix = []
+    for cell in cells:
+        matrix.extend(bench_cell(cell, reps))
+
+    ok = all(rec["deterministic"] for rec in matrix)
+    headline = matrix[0]  # first cell, heap scheduler
     report = {
-        "cell": "pingpong 64B x120 + stream 248B x150, cni32qm fcb=32",
-        "reps": args.reps,
-        "events": events,
-        "best_wall_s": round(best, 6),
-        "median_wall_s": round(median, 6),
-        "events_per_sec": round(events / best, 1),
-        "events_per_sec_median": round(events / median, 1),
-        "deterministic": True,
+        # Legacy headline fields (first cell, default scheduler) — the
+        # cross-commit events/sec trajectory.
+        "cell": headline["cell"],
+        "reps": reps,
+        "events": headline["events"],
+        "best_wall_s": headline["best_wall_s"],
+        "median_wall_s": headline["median_wall_s"],
+        "events_per_sec": headline["events_per_sec"],
+        "events_per_sec_median": headline["events_per_sec_median"],
+        "deterministic": ok,
+        # Kernel v2 matrix.
+        "gc_disabled": True,
+        "schedulers": list(SCHEDULERS),
+        "matrix": matrix,
     }
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
-    print(f"\nbest {best:.4f}s  median {median:.4f}s  "
-          f"{events} events  {events / best / 1e3:.0f}k events/s (best)")
+    print(f"\nheadline: {headline['events']} events  "
+          f"{headline['events_per_sec'] / 1e3:.0f}k events/s (heap, best)  "
+          f"deterministic={ok}")
     print(f"written to {args.output}")
-    return 0
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

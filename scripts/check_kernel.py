@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Kernel health check: tests + scheduler A/B sweep + bench smoke.
+
+Three gates, in order of increasing cost:
+
+1. **Tier-1 sim tests** — the kernel-facing test files run under
+   pytest (engine, events, process, resources, gate, property tests).
+2. **Scheduler A/B sweep** — every cell of the benchmark matrix is
+   replayed step-by-step under both schedulers; the
+   :class:`repro.sim.ScheduleDigest` fingerprints (every processed
+   ``(time, seq)`` key plus the final metrics snapshot) must match
+   event-for-event.
+3. **Bench smoke** — a short timed run of the headline cell, compared
+   against the committed ``BENCH_kernel.json``; a slowdown beyond
+   ``--threshold`` (default 10 %) fails the check.  Wall-clock noise on
+   a loaded machine can trip this gate spuriously — rerun or raise the
+   threshold before blaming the code.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_kernel.py [--skip-tests]
+        [--reps 5] [--threshold 0.10] [--baseline BENCH_kernel.json]
+
+Exit status 0 = all gates pass.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_kernel import CELLS, digest_cell, run_cell  # noqa: E402
+
+#: The kernel-facing tier-1 test files.
+SIM_TESTS = [
+    "tests/test_sim_engine.py",
+    "tests/test_sim_events.py",
+    "tests/test_sim_process.py",
+    "tests/test_sim_resources.py",
+    "tests/test_sim_gate.py",
+    "tests/test_sim_stats.py",
+    "tests/test_prop_sim.py",
+]
+
+
+def check_tests(repo_root: str) -> bool:
+    """Gate 1: kernel test files under pytest."""
+    existing = [t for t in SIM_TESTS
+                if os.path.exists(os.path.join(repo_root, t))]
+    print(f"== gate 1: pytest over {len(existing)} kernel test files ==")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(repo_root, "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", *existing],
+        cwd=repo_root, env=env,
+    )
+    ok = proc.returncode == 0
+    print(f"   tests: {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
+def check_ab_sweep() -> bool:
+    """Gate 2: heap vs wheel, event-for-event, every matrix cell."""
+    print("== gate 2: scheduler A/B sweep ==")
+    ok = True
+    for key, ni_name, fcb, make_workloads in CELLS:
+        digests = {}
+        for scheduler in ("heap", "wheel"):
+            digests[scheduler], _ = digest_cell(
+                ni_name, fcb, make_workloads, scheduler)
+        same = digests["heap"] == digests["wheel"]
+        mark = "OK " if same else "MISMATCH"
+        print(f"   {mark} {key} ({digests['heap'].count} events)")
+        ok = ok and same
+    return ok
+
+
+def check_bench_smoke(repo_root: str, baseline_path: str, reps: int,
+                      threshold: float) -> bool:
+    """Gate 3: headline cell throughput vs the committed baseline."""
+    print("== gate 3: bench smoke ==")
+    path = os.path.join(repo_root, baseline_path)
+    if not os.path.exists(path):
+        print(f"   no baseline at {baseline_path}; skipping (PASS)")
+        return True
+    with open(path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    ref = baseline["events_per_sec"]
+
+    key, ni_name, fcb, make_workloads = CELLS[0]
+    walls = []
+    events = None
+    for _ in range(reps):
+        wall, n_events, _sig = run_cell(ni_name, fcb, make_workloads, "heap")
+        walls.append(wall)
+        events = n_events
+    measured = events / min(walls)
+    ratio = measured / ref
+    ok = ratio >= 1.0 - threshold
+    print(f"   headline cell: {measured / 1e3:.0f}k events/s "
+          f"vs baseline {ref / 1e3:.0f}k "
+          f"({ratio:.2f}x, threshold {1.0 - threshold:.2f}x): "
+          f"{'PASS' if ok else 'FAIL'}")
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--skip-tests", action="store_true",
+                        help="skip the pytest gate (quick A/B + smoke)")
+    parser.add_argument("--reps", type=int, default=5,
+                        help="bench-smoke repetitions (default 5)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed events/sec regression (default 0.10)")
+    parser.add_argument("--baseline", default="BENCH_kernel.json",
+                        help="baseline JSON (default BENCH_kernel.json)")
+    args = parser.parse_args(argv)
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    results = []
+    if not args.skip_tests:
+        results.append(("tests", check_tests(repo_root)))
+    results.append(("ab_sweep", check_ab_sweep()))
+    results.append(("bench_smoke",
+                    check_bench_smoke(repo_root, args.baseline,
+                                      args.reps, args.threshold)))
+
+    failed = [name for name, ok in results if not ok]
+    if failed:
+        print(f"\ncheck_kernel: FAIL ({', '.join(failed)})")
+        return 1
+    print("\ncheck_kernel: all gates PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,10 @@ class SystemParams:
     #: cache-to-cache supply, which is exactly the transfer every
     #: coherent NI depends on.
     coherence_protocol: str = "MOESI"
+    #: Event-queue scheduler: "heap" (binary heap, the reference
+    #: implementation) or "wheel" (hierarchical timing wheel).  Both
+    #: produce bit-identical runs; see docs/architecture.md (Kernel v2).
+    sim_scheduler: str = "heap"
 
     # -- derived ------------------------------------------------------
 
@@ -132,6 +136,8 @@ class SystemParams:
             raise ValueError(
                 f"unknown coherence_protocol {self.coherence_protocol!r}"
             )
+        if self.sim_scheduler not in ("heap", "wheel"):
+            raise ValueError(f"unknown sim_scheduler {self.sim_scheduler!r}")
 
 
 @dataclass(frozen=True)

@@ -98,6 +98,10 @@ class MemoryBus:
         self._address_phase_ns = ADDRESS_PHASE_CYCLES * self._bus_cycle_ns
         self._block_bytes = params.cache_block_bytes
         self._width_bytes = params.bus_width_bits // 8
+        #: size -> data-phase ns (a handful of distinct sizes per run).
+        self._data_ns_cache: dict = {}
+        #: (supplier_kind, requester_kind) -> interned counter keys.
+        self._flow_keys: dict = {}
 
     # -- wiring --------------------------------------------------------
 
@@ -148,7 +152,9 @@ class MemoryBus:
         """
         if size <= 0:
             raise ValueError(f"transaction size must be positive, got {size}")
-        start = self.sim.now
+        sim = self.sim
+        delay = sim.delay
+        start = sim._now
         txn = BusTransaction(op, addr, size, requester, hint)
 
         # ---- conflicting-address serialisation ------------------------
@@ -158,7 +164,7 @@ class MemoryBus:
             block_addr = (addr // self._block_bytes)
             block_lock = self._block_locks.get(block_addr)
             if block_lock is None:
-                block_lock = Resource(self.sim, capacity=1)
+                block_lock = Resource(sim, capacity=1)
                 self._block_locks[block_addr] = block_lock
             lock_grant = block_lock.request()
             yield lock_grant
@@ -166,8 +172,9 @@ class MemoryBus:
         # ---- address phase: arbitration, address, snoop --------------
         grant = self._address_bus.request()
         yield grant
-        yield self.sim.timeout(self._address_phase_ns)
-        self.counters.add("addr_occupancy_ns", self._address_phase_ns)
+        address_phase_ns = self._address_phase_ns
+        yield delay(address_phase_ns)
+        self.counters.add("addr_occupancy_ns", address_phase_ns)
 
         supplier_agent: Optional[BusAgent] = None
         shared = False
@@ -192,7 +199,7 @@ class MemoryBus:
         if op.carries_data_to_requester:
             if supplier_agent is not None:
                 supplier = supplier_agent.supplier()  # type: ignore[attr-defined]
-                yield self.sim.timeout(supplier.latency_ns)
+                yield delay(supplier.latency_ns)
             else:
                 home = self.home_for(addr)
                 supplier = home.supplier()
@@ -202,7 +209,7 @@ class MemoryBus:
                     # the array, contending with posted writes.
                     yield from bank.read_access()
                 else:
-                    yield self.sim.timeout(supplier.latency_ns)
+                    yield delay(supplier.latency_ns)
         elif op in (BusOp.UNCACHED_WRITE, BusOp.BLOCK_WRITE):
             # Device stores are strongly ordered: the store (and the
             # issuing processor, for block stores) waits for the device
@@ -213,7 +220,7 @@ class MemoryBus:
             if bank is not None:
                 yield from bank.read_access()
             else:
-                yield self.sim.timeout(supplier.latency_ns)
+                yield delay(supplier.latency_ns)
         else:
             # Coherent writeback: posted, the home absorbs the data off
             # the critical path — but a banked array is still occupied.
@@ -236,16 +243,19 @@ class MemoryBus:
         if data_needed:
             dgrant = self._data_bus.request()
             yield dgrant
-            data_ns = (
-                max(1, -(-size // self._width_bytes)) * self._bus_cycle_ns
-            )
-            yield self.sim.timeout(data_ns)
+            data_ns = self._data_ns_cache.get(size)
+            if data_ns is None:
+                data_ns = (
+                    max(1, -(-size // self._width_bytes)) * self._bus_cycle_ns
+                )
+                self._data_ns_cache[size] = data_ns
+            yield delay(data_ns)
             self._data_bus.release(dgrant)
             self.counters.add("data_occupancy_ns", data_ns)
 
         if block_lock is not None:
             block_lock.release(lock_grant)
-        elapsed = self.sim.now - start
+        elapsed = sim._now - start
         self._account(op, supplier, requester)
         return TransactionResult(supplier=supplier, shared=shared,
                                  elapsed_ns=elapsed)
@@ -259,9 +269,14 @@ class MemoryBus:
         add("txn_total")
         add(_OP_KEYS[op])
         if op.carries_data_to_requester:
-            add("supply:" + supplier.kind)
             req = getattr(requester, "kind", "other") if requester else "other"
-            add(f"flow:{supplier.kind}->{req}")
+            keys = self._flow_keys.get((supplier.kind, req))
+            if keys is None:
+                keys = ("supply:" + supplier.kind,
+                        f"flow:{supplier.kind}->{req}")
+                self._flow_keys[(supplier.kind, req)] = keys
+            add(keys[0])
+            add(keys[1])
 
     def transactions(self, op: Optional[BusOp] = None) -> int:
         """Count of completed transactions (optionally of one kind)."""

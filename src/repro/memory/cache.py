@@ -99,11 +99,18 @@ class Cache:
 
     def load(self, addr: int) -> Generator:
         """Timed load of one word at ``addr``; returns "hit" or "miss"."""
-        index, tag = self._index_tag(addr)
-        line = self._line(index)
-        if line.matches(tag):
+        # _index_tag/_line/matches inlined: loads are the single most
+        # frequent model operation (queue polls hit this every time).
+        block = addr // self.block_bytes
+        index = block % self.num_sets
+        tag = block // self.num_sets
+        line = self._lines.get(index)
+        if line is None:
+            line = BlockLine()
+            self._lines[index] = line
+        elif line.state.is_valid and line.tag == tag:
             self.counters.add("load_hit")
-            yield self.sim.timeout(self.hit_ns)
+            yield self.sim.delay(self.hit_ns)
             return "hit"
         self.counters.add("load_miss")
         yield from self._evict(line, index)
@@ -115,23 +122,28 @@ class Cache:
             line.state = CoherenceState.SHARED
         else:
             line.state = CoherenceState.EXCLUSIVE
-        yield self.sim.timeout(self.hit_ns)
+        yield self.sim.delay(self.hit_ns)
         return "miss"
 
     def store(self, addr: int) -> Generator:
         """Timed store of one word at ``addr``; returns "hit"/"upgrade"/"miss"."""
-        index, tag = self._index_tag(addr)
-        line = self._line(index)
-        if line.matches(tag):
+        block = addr // self.block_bytes
+        index = block % self.num_sets
+        tag = block // self.num_sets
+        line = self._lines.get(index)
+        if line is None:
+            line = BlockLine()
+            self._lines[index] = line
+        if line.state.is_valid and line.tag == tag:
             if line.state is CoherenceState.MODIFIED:
                 self.counters.add("store_hit")
-                yield self.sim.timeout(self.hit_ns)
+                yield self.sim.delay(self.hit_ns)
                 return "hit"
             if line.state is CoherenceState.EXCLUSIVE:
                 # Silent E -> M upgrade.
                 line.state = CoherenceState.MODIFIED
                 self.counters.add("store_hit")
-                yield self.sim.timeout(self.hit_ns)
+                yield self.sim.delay(self.hit_ns)
                 return "hit"
             # S or O: must invalidate other copies.
             self.counters.add("store_upgrade")
@@ -149,7 +161,7 @@ class Cache:
                 )
                 line.tag = tag
             line.state = CoherenceState.MODIFIED
-            yield self.sim.timeout(self.hit_ns)
+            yield self.sim.delay(self.hit_ns)
             return "upgrade"
         self.counters.add("store_miss")
         yield from self._evict(line, index)
@@ -159,7 +171,7 @@ class Cache:
         )
         line.tag = tag
         line.state = CoherenceState.MODIFIED
-        yield self.sim.timeout(self.hit_ns)
+        yield self.sim.delay(self.hit_ns)
         return "miss"
 
     def flush(self, addr: int) -> Generator:
@@ -216,9 +228,12 @@ class Cache:
     def snoop(self, txn: BusTransaction) -> SnoopReply:
         if not txn.op.is_coherent:
             return SnoopReply()
-        index, tag = self._index_tag(txn.addr)
+        block = txn.addr // self.block_bytes
+        index = block % self.num_sets
         line = self._lines.get(index)
-        if line is None or not line.matches(tag):
+        if line is None or not (
+            line.state.is_valid and line.tag == block // self.num_sets
+        ):
             return SnoopReply()
         state = line.state
         if txn.op is BusOp.READ:

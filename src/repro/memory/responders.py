@@ -55,7 +55,7 @@ class BankModel:
         waited = self.sim.now - start
         if waited:
             self.counters.add("read_wait_ns", waited)
-        yield self.sim.timeout(self.access_ns)
+        yield self.sim.delay(self.access_ns)
         self._bank.release(grant)
         self.counters.add("reads")
 
@@ -72,7 +72,7 @@ class BankModel:
     def _drain_one(self) -> Generator:
         grant = self._bank.request()
         yield grant
-        yield self.sim.timeout(self.access_ns)
+        yield self.sim.delay(self.access_ns)
         self._bank.release(grant)
         self._write_slots.try_get()
 

@@ -17,26 +17,23 @@ class CoherenceState(enum.Enum):
     SHARED = "S"     #: clean, shared
     INVALID = "I"
 
-    @property
-    def is_valid(self) -> bool:
-        return self is not CoherenceState.INVALID
 
-    @property
-    def is_dirty(self) -> bool:
-        return self in (CoherenceState.MODIFIED, CoherenceState.OWNED)
-
-    @property
-    def can_supply(self) -> bool:
-        """Whether a holder in this state supplies data on a snoop hit."""
-        return self in (
-            CoherenceState.MODIFIED,
-            CoherenceState.OWNED,
-            CoherenceState.EXCLUSIVE,
-        )
-
-    @property
-    def writable(self) -> bool:
-        return self is CoherenceState.MODIFIED
+# Classification rides on each member as a plain instance attribute
+# (same trick as BusOp below): the cache checks these once or twice per
+# access and a plain attribute load beats a property call several-fold.
+for _st in CoherenceState:
+    #: Any state but INVALID.
+    _st.is_valid = _st is not CoherenceState.INVALID
+    #: Holder must write back on eviction/downgrade.
+    _st.is_dirty = _st in (CoherenceState.MODIFIED, CoherenceState.OWNED)
+    #: Holder in this state supplies data on a snoop hit.
+    _st.can_supply = _st in (
+        CoherenceState.MODIFIED,
+        CoherenceState.OWNED,
+        CoherenceState.EXCLUSIVE,
+    )
+    _st.writable = _st is CoherenceState.MODIFIED
+del _st
 
 
 class BusOp(enum.Enum):

@@ -146,7 +146,7 @@ class FlowControlUnit:
     def _bounce(self, msg: Message) -> Generator:
         grant = self._port.request()
         yield grant
-        yield self.sim.timeout(self._port_time(msg))
+        yield self.sim.delay(self._port_time(msg))
         self._port.release(grant)
         bounce = Message(
             src=self.node_id, dst=msg.src, size=msg.size,
@@ -186,12 +186,12 @@ class FlowControlUnit:
         # occupancy again).
         grant = self._port.request()
         yield grant
-        yield self.sim.timeout(self._port_time(original))
+        yield self.sim.delay(self._port_time(original))
         self._port.release(grant)
-        yield self.sim.timeout(self.retry_delay(original))
+        yield self.sim.delay(self.retry_delay(original))
         grant = self._port.request()
         yield grant
-        yield self.sim.timeout(self._port_time(original))
+        yield self.sim.delay(self._port_time(original))
         self._port.release(grant)
         self.counters.add("retried")
         self.network.inject(original)

@@ -110,18 +110,18 @@ class MeshFabric:
             resource = self._link(link)
             grant = resource.request()
             yield grant
-            yield self.sim.timeout(self.hop_ns)
+            yield self.sim.delay(self.hop_ns)
             # Hold the link for the body's serialization in the
             # background (cut-through: the head moves on).
             self.sim.process(self._hold(resource, grant, ser))
             self.counters.add("link_traversals")
-        yield self.sim.timeout(ser)  # tail arrives behind the head
+        yield self.sim.delay(ser)  # tail arrives behind the head
         self.counters.add("delivered")
         self.counters.add("total_delay_ns", self.sim.now - start)
         arrive(msg)
 
     def _hold(self, resource: Resource, grant, ser: int) -> Generator:
-        yield self.sim.timeout(ser)
+        yield self.sim.delay(ser)
         resource.release(grant)
 
     @property

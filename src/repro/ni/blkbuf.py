@@ -47,10 +47,10 @@ class AP3000NI(FifoNI):
             words = max(1, -(-chunk // 8))
             # Fill the send block buffer from the user data (the data
             # begins in the processor's cache/registers) ...
-            yield self.sim.timeout(words * self.costs.copy_word)
+            yield self.sim.delay(words * self.costs.copy_word)
             # ... then block-store it into the NI fifo: 12-cycle flush
             # plus one wide bus transaction.
-            yield self.sim.timeout(self.costs.blkbuf_flush)
+            yield self.sim.delay(self.costs.blkbuf_flush)
             yield from self._block_write(chunk)
             self.counters.add("chunks_pushed")
 
@@ -59,8 +59,8 @@ class AP3000NI(FifoNI):
             words = max(1, -(-chunk // 8))
             # Block-load the chunk from the NI fifo into the receive
             # block buffer (12-cycle load + wide bus transaction) ...
-            yield self.sim.timeout(self.costs.blkbuf_flush)
+            yield self.sim.delay(self.costs.blkbuf_flush)
             yield from self._block_read(chunk)
             # ... then copy it out to the user-level buffer.
-            yield self.sim.timeout(words * self.costs.copy_word)
+            yield self.sim.delay(words * self.costs.copy_word)
             self.counters.add("chunks_popped")

@@ -135,15 +135,19 @@ class CoherentNI(NetworkInterface):
             # pointer block the NI polls (ping-pongs every message).
             yield from self.node.cache.store(self.send_queue.pointer_addr)
         remaining = msg.size
+        cache = self.node.cache
+        block_bytes = self.params.cache_block_bytes
+        copy_word = self.costs.copy_word
+        delay = self.sim.delay
         for addr in addrs:
-            in_block = min(self.params.cache_block_bytes, remaining)
+            in_block = min(block_bytes, remaining)
             remaining -= in_block
             words = max(1, -(-in_block // 8))
             # One coherence action per block (upgrade in steady state),
             # then the per-word copy loop; the valid bit rides in the
             # last word for free.
-            yield from self.node.cache.store(addr)
-            yield self.sim.timeout(max(0, words - 1) * self.costs.copy_word)
+            yield from cache.store(addr)
+            yield delay(max(0, words - 1) * copy_word)
             if self.prefetch:
                 self._feed.try_put(("block", addr))
         self.send_queue.commit(msg, addrs)
@@ -168,15 +172,19 @@ class CoherentNI(NetworkInterface):
                 yield from self.node.cache.load(self.recv_queue.pointer_addr)
             return None
         msg, addrs = front
+        cache = self.node.cache
         if not self.use_optimizations:
-            yield from self.node.cache.load(self.recv_queue.pointer_addr)
+            yield from cache.load(self.recv_queue.pointer_addr)
         remaining = msg.size
+        block_bytes = self.params.cache_block_bytes
+        copy_word = self.costs.copy_word
+        delay = self.sim.delay
         for addr in addrs:
-            in_block = min(self.params.cache_block_bytes, remaining)
+            in_block = min(block_bytes, remaining)
             remaining -= in_block
             words = max(1, -(-in_block // 8))
-            yield from self.node.cache.load(addr)
-            yield self.sim.timeout(max(0, words - 1) * self.costs.copy_word)
+            yield from cache.load(addr)
+            yield delay(max(0, words - 1) * copy_word)
         self.recv_queue.pop()
         if not self.use_optimizations:
             # Explicit head-pointer update visible to the NI.
@@ -221,7 +229,7 @@ class CoherentNI(NetworkInterface):
             _tag, msg, addrs = item
             if not self.prefetch and self.discovery_ns:
                 # Polling NI: the commit is noticed at the next poll.
-                yield self.sim.timeout(self.discovery_ns)
+                yield self.sim.delay(self.discovery_ns)
             if not self.use_optimizations:
                 # No lazy pointer: the NI reads the explicit tail
                 # pointer before every message, yanking the block out

@@ -144,7 +144,7 @@ class CNIReceiveCache:
         # The SRAM array write itself is pipelined (posted) behind the
         # invalidate, like any memory absorbing a write off the
         # critical path; one cycle of engine occupancy remains.
-        yield self.sim.timeout(self.params.bus_cycle_ns)
+        yield self.sim.delay(self.params.bus_cycle_ns)
         self._lines[index] = (tag, CoherenceState.MODIFIED)
         self.counters.add("writes")
 

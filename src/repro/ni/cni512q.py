@@ -71,5 +71,5 @@ class CNI512Q(CoherentNI):
                 BusOp.UPGRADE, addr, self.params.cache_block_bytes,
                 requester=self._requester,
             )
-            yield self.sim.timeout(self.params.bus_cycle_ns)
+            yield self.sim.delay(self.params.bus_cycle_ns)
             self.counters.add("blocks_deposited")

@@ -132,7 +132,7 @@ class FifoNI(NetworkInterface):
         # Monitoring the fifo NI's status while blocked costs a real
         # uncached register read per loop.
         yield from self._status_check()
-        yield self.sim.timeout(self.costs.poll_loop)
+        yield self.sim.delay(self.costs.poll_loop)
 
     def _pop_fifo(self, msg: Message) -> Generator:
         """Move ``msg`` from the NI receive fifo to the processor
@@ -145,7 +145,7 @@ class FifoNI(NetworkInterface):
     def _push_words(self, msg: Message) -> Generator:
         """Uncached-store the message into the fifo, word by word."""
         words = self._words(msg)
-        yield self.sim.timeout(words * self.costs.copy_word)
+        yield self.sim.delay(words * self.costs.copy_word)
         for _ in range(words):
             yield from self._uncached_write(8)
         self.counters.add("words_pushed", words)
@@ -155,6 +155,6 @@ class FifoNI(NetworkInterface):
         words = self._words(msg)
         for _ in range(words):
             yield from self._uncached_read(8)
-        yield self.sim.timeout(words * self.costs.copy_word)
+        yield self.sim.delay(words * self.costs.copy_word)
         self.counters.add("words_popped", words)
 

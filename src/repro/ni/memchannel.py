@@ -52,7 +52,7 @@ class MemoryChannelNI(CoherentNI):
         # The AP3000-style send side monitors NI status with uncached
         # register reads while blocked on flow control.
         yield from self._uncached_read(8)
-        yield self.sim.timeout(self.costs.poll_loop)
+        yield self.sim.delay(self.costs.poll_loop)
 
     def send_message(self, msg: Message) -> Generator:
         """AP3000-style processor-managed send: reserve an outgoing
@@ -61,8 +61,8 @@ class MemoryChannelNI(CoherentNI):
         yield from self._acquire_send_buffer_blocking()
         for chunk in self._chunks(msg):
             words = max(1, -(-chunk // 8))
-            yield self.sim.timeout(words * self.costs.copy_word)
-            yield self.sim.timeout(self.costs.blkbuf_flush)
+            yield self.sim.delay(words * self.costs.copy_word)
+            yield self.sim.delay(self.costs.blkbuf_flush)
             yield from self._block_write(chunk)
             self.counters.add("chunks_pushed")
         yield from self._uncached_write(8)   # doorbell

@@ -67,8 +67,8 @@ class SingleCycleNI(CM5NI):
 
     def _uncached_read(self, size: int = 8, offset: int = 0) -> Generator:
         self.counters.add("uncached_reads")
-        yield self.sim.timeout(self.params.cycle_ns)
+        yield self.sim.delay(self.params.cycle_ns)
 
     def _uncached_write(self, size: int = 8, offset: int = 0) -> Generator:
         self.counters.add("uncached_writes")
-        yield self.sim.timeout(self.params.cycle_ns)
+        yield self.sim.delay(self.params.cycle_ns)

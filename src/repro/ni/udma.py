@@ -75,7 +75,7 @@ class UdmaNI(FifoNI):
         self.counters.add("udma_sends")
         # Two-instruction initiation (uncached store + uncached load)
         # plus the bus-mastership switch from processor to NI.
-        yield self.sim.timeout(self.costs.udma_setup)
+        yield self.sim.delay(self.costs.udma_setup)
         yield from self._uncached_write(8)
         yield from self._uncached_read(8)
         # The NI reads the message from the user buffer in coherent
@@ -97,7 +97,7 @@ class UdmaNI(FifoNI):
             return
         self.counters.add("udma_receives")
         # Receive-side UDMA initiation by the processor.
-        yield self.sim.timeout(self.costs.udma_setup)
+        yield self.sim.delay(self.costs.udma_setup)
         yield from self._uncached_write(8)
         yield from self._uncached_read(8)
         # The NI deposits the message directly into user memory:

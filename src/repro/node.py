@@ -16,7 +16,7 @@ from typing import Generator, Iterator, List, Optional
 from repro.config import SoftwareCosts, SystemParams
 from repro.memory import Cache, MainMemory, MemoryBus
 from repro.ni.registry import make_ni
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, mount_simulator
 from repro.sim import Simulator, StateTimer
 from repro.tempest.runtime import Runtime
 
@@ -112,7 +112,7 @@ class Node:
         if ns < 0:
             raise ValueError(f"negative compute time {ns}")
         if ns:
-            yield self.sim.timeout(ns)
+            yield self.sim.delay(ns)
 
     def finish(self) -> None:
         """Freeze the processor timer at the end of a run."""
@@ -138,7 +138,7 @@ class Machine:
         self.params = params
         self.costs = costs
         self.ni_name = ni_name
-        self.sim = Simulator()
+        self.sim = Simulator(scheduler=params.sim_scheduler)
         fabric = None
         if params.network_topology == "mesh":
             from repro.network.topology import MeshFabric
@@ -157,10 +157,7 @@ class Machine:
         #: hot paths update the same Counter/StateTimer objects they
         #: always did, and the registry only walks them at snapshot time.
         self.obs = MetricsRegistry()
-        stats = self.sim.stats
-        self.obs.gauge("sim.now", lambda: stats()["now"])
-        self.obs.gauge("sim.events_scheduled",
-                       lambda: stats()["events_scheduled"])
+        mount_simulator(self.obs, self.sim)
         self.obs.mount("net", self.network.counters)
         for node in self.nodes:
             node.mount_metrics(self.obs)

@@ -33,6 +33,7 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import (
     NULL_INSTRUMENT,
+    SIM_GAUGE_KEYS,
     FixedBucketHistogram,
     Gauge,
     MetricsRegistry,
@@ -40,12 +41,14 @@ from repro.obs.metrics import (
     ScalarCounter,
     Scope,
     merge_snapshots,
+    mount_simulator,
 )
 
 __all__ = [
     "MANIFEST_KEYS",
     "NULL_INSTRUMENT",
     "SCHEMA_VERSION",
+    "SIM_GAUGE_KEYS",
     "FixedBucketHistogram",
     "Gauge",
     "MetricsRegistry",
@@ -57,6 +60,7 @@ __all__ = [
     "manifest_path_for",
     "merge_snapshots",
     "metrics_payload",
+    "mount_simulator",
     "read_trace_jsonl",
     "trace_records_jsonable",
     "validate_manifest",

@@ -293,6 +293,36 @@ def _collect(path: str, instrument: Any) -> Iterator[Tuple[str, float]]:
         )
 
 
+#: Kernel gauges mounted for every simulator, in mount order.  The set
+#: is scheduler-agnostic on purpose: heap and wheel machines produce
+#: snapshots with identical key sets, so A/B determinism checks can
+#: compare snapshots directly.  ``queue_len`` is the raw queue depth
+#: including tombstones left by lazy cancellation; ``queue_live``
+#: subtracts them (the honest "events outstanding" figure).
+#: Wheel-specific internals (slot occupancy, window base, overflow
+#: depth) stay on ``sim.stats()``.
+SIM_GAUGE_KEYS = (
+    "now",
+    "events_scheduled",
+    "queue_len",
+    "queue_live",
+    "tombstones",
+    "trampoline_resumes",
+    "timeout_pool",
+)
+
+
+def mount_simulator(registry: "MetricsRegistry", sim) -> None:
+    """Mount the kernel's gauges under ``sim.*``.
+
+    Reads go through ``sim.stats()`` at snapshot time only; nothing is
+    sampled on the hot path.
+    """
+    stats = sim.stats
+    for key in SIM_GAUGE_KEYS:
+        registry.gauge(f"sim.{key}", lambda k=key: stats()[k])
+
+
 def merge_snapshots(snapshots: Iterable[Dict[str, float]]) -> Dict[str, float]:
     """Sum snapshots leaf-wise (all leaves are counters/sums/gauges of
     additive quantities, so addition is the correct aggregation)."""

@@ -31,6 +31,7 @@ from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import Gate, Resource, Store, TokenPool
 from repro.sim.stats import Counter, Histogram, StateTimer
+from repro.sim.trace import ScheduleDigest, Tracer
 
 __all__ = [
     "AllOf",
@@ -42,7 +43,9 @@ __all__ = [
     "Interrupt",
     "Process",
     "Resource",
+    "ScheduleDigest",
     "Simulator",
+    "Tracer",
     "StateTimer",
     "Store",
     "Timeout",

@@ -1,17 +1,41 @@
-"""The discrete-event simulator core.
+"""The discrete-event simulator core (Kernel v2).
 
 :class:`Simulator` owns the clock and the event queue.  Model code
 creates processes with :meth:`Simulator.process`; processes advance the
-clock only by yielding events (usually :class:`Timeout` objects created
-via :meth:`Simulator.timeout`).
+clock only by yielding events (usually via :meth:`Simulator.delay` or
+:meth:`Simulator.timeout`).
 
-The hot loop is deliberately low-level: ``run()`` inlines event
-processing instead of calling :meth:`step`, and value-less timeouts
-whose only consumer was a process resume are recycled through a free
-list instead of being reallocated per yield.  Both paths preserve the
-``(time, seq)`` FIFO tie-break exactly — simultaneous events still
-fire in scheduling order, and the determinism tests in
-``tests/test_sim_engine.py`` hold bit-for-bit.
+Two schedulers share one entry format and produce bit-identical runs:
+
+- ``scheduler="heap"`` — the reference implementation: one binary heap
+  of ``(time, seq, obj)`` tuples (`heapq`).
+- ``scheduler="wheel"`` — a hierarchical timing wheel: 4096 one-tick
+  slots cover the near future with O(1) schedule/expire, an overflow
+  heap holds long timers, and an occupancy bitmask finds the next
+  non-empty slot with one big-int operation.  When the wheel drains,
+  the window jumps straight to the earliest overflow entry and
+  cascades everything inside the new window into slots.
+
+``obj`` is either an :class:`~repro.sim.events.Event` (classic path:
+pop, run callbacks) or a :class:`~repro.sim.process._Resume` trampoline
+entry — one reusable record per process that re-enters the generator
+directly, with no Timeout object, no callbacks list and no dispatch
+loop.  Three producers use the trampoline:
+
+- :meth:`Simulator.delay` — a value-less process sleep (the common
+  ``yield sim.delay(n)``);
+- :meth:`Simulator._handoff` — ``Resource.release`` / ``Store.put`` /
+  ``TokenPool.release`` / ``Gate.pulse`` resume their head waiter
+  without an intermediate zero-delay event dispatch;
+- process kick-off (:class:`~repro.sim.process.Process` construction).
+
+Every trampoline push consumes a sequence number exactly where the
+event it replaces would have, so the ``(time, seq)`` FIFO tie-break —
+and therefore simulation results — are unchanged from Kernel v1.
+Cancellation (only :meth:`Process.interrupt` does it) is *lazy*: the
+queued entry stays behind as a tombstone, detected on pop by a stale
+sequence number; ``stats()`` reports live tombstones so queue-depth
+gauges can correct for them.
 """
 
 from __future__ import annotations
@@ -20,7 +44,7 @@ from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
-from repro.sim.process import Process
+from repro.sim.process import _DELAY, Process, _Resume
 
 #: Upper bound on the Timeout free list; beyond this, processed
 #: timeouts are left to the garbage collector so pathological fan-outs
@@ -33,6 +57,13 @@ _TIMEOUT_POOL_MAX = 1024
 #: callbacks), so it is safe to recycle.
 _RESUME = Process._resume
 
+#: Timing-wheel geometry: 4096 one-tick slots.  The workload shape
+#: (bus phases, cache hits, per-flit hops) keeps ~99.9 % of delays
+#: under 4096 ns, so the overflow heap is nearly idle.
+_WHEEL_BITS = 12
+_WHEEL_SIZE = 1 << _WHEEL_BITS
+_WHEEL_MASK = _WHEEL_SIZE - 1
+
 
 class Simulator:
     """Deterministic discrete-event simulator.
@@ -40,14 +71,14 @@ class Simulator:
     Time is a non-negative integer with no intrinsic unit; the rest of
     the library treats it as nanoseconds.  Simultaneous events are
     processed in the order they were scheduled (FIFO), which makes runs
-    exactly reproducible.
+    exactly reproducible — with either scheduler.
 
     Example::
 
         sim = Simulator()
 
         def hello():
-            yield sim.timeout(10)
+            yield sim.delay(10)
             return "done at 10"
 
         proc = sim.process(hello())
@@ -55,12 +86,29 @@ class Simulator:
         assert sim.now == 10 and proc.value == "done at 10"
     """
 
-    def __init__(self) -> None:
+    #: Scheduler name, overridden by the wheel subclass.
+    scheduler = "heap"
+
+    def __new__(cls, scheduler: str = "heap") -> "Simulator":
+        if cls is Simulator and scheduler == "wheel":
+            return super().__new__(_WheelSimulator)
+        if scheduler not in ("heap", "wheel"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        return super().__new__(cls)
+
+    def __init__(self, scheduler: str = "heap") -> None:
         self._now: int = 0
         self._seq: int = 0
-        self._queue: List[Tuple[int, int, Event]] = []
+        self._queue: List[Tuple[int, int, Any]] = []
         #: Free list of processed, value-less Timeouts ready for reuse.
         self._timeout_pool: List[Timeout] = []
+        #: The process currently being advanced (set by Process._resume);
+        #: read by :meth:`delay` to know whose trampoline entry to arm.
+        self._active: Optional[Process] = None
+        #: Cumulative trampoline pushes (delay + handoff + kick-off).
+        self._trampolines: int = 0
+        #: Live tombstones: cancelled trampoline entries still queued.
+        self._tombstones: int = 0
 
     # -- clock --------------------------------------------------------
 
@@ -74,14 +122,19 @@ class Simulator:
     def stats(self) -> dict:
         """Kernel gauges for the metrics registry (read-only snapshot).
 
-        ``events_scheduled`` is every event ever queued (the sequence
+        ``events_scheduled`` is every entry ever queued (the sequence
         counter), which is the kernel-work figure the benchmarks report
-        as events/sec.
+        as events/sec.  ``queue_len`` is the raw queue depth *including*
+        tombstones; ``queue_live`` subtracts them.
         """
+        raw = len(self._queue)
         return {
             "now": self._now,
             "events_scheduled": self._seq,
-            "queue_len": len(self._queue),
+            "queue_len": raw,
+            "queue_live": raw - self._tombstones,
+            "tombstones": self._tombstones,
+            "trampoline_resumes": self._trampolines,
             "timeout_pool": len(self._timeout_pool),
         }
 
@@ -98,20 +151,49 @@ class Simulator:
         a recycled timeout is indistinguishable from a fresh one (it is
         re-armed untouched by its past life).
         """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
         pool = self._timeout_pool
         if pool and value is None:
-            if delay < 0:
-                raise ValueError(f"negative delay {delay}")
             timeout = pool.pop()
             timeout.delay = delay
             timeout.callbacks = []
             timeout._value = None
             timeout._ok = True
             timeout.defused = False
-            heappush(self._queue, (self._now + delay, self._seq, timeout))
-            self._seq += 1
+            self._insert(self._now + delay, timeout)
             return timeout
         return Timeout(self, delay, value)
+
+    def delay(self, ns: int) -> object:
+        """Sleep the *calling process* for ``ns`` — the trampoline path.
+
+        Cheaper than :meth:`timeout`: no Timeout object, no callbacks
+        list, no dispatch loop — the kernel re-enters the generator
+        directly from the queue entry.  The returned sentinel must be
+        yielded immediately by the process that called ``delay`` (it is
+        not an :class:`Event` and cannot be stored, composed with
+        ``any_of``/``all_of``, or waited on by another process; use
+        :meth:`timeout` for those).
+        """
+        if ns < 0:
+            raise ValueError(f"negative delay {ns}")
+        proc = self._active
+        try:
+            entry = proc._rentry
+        except AttributeError:
+            raise SimulationError(
+                "delay() may only be called (and immediately yielded) "
+                "from inside a running process; use timeout() elsewhere"
+            ) from None
+        entry._value = None
+        seq = self._seq
+        self._seq = seq + 1
+        entry.seq = seq
+        heappush(self._queue, (self._now + ns, seq, entry))
+        proc._waiting_on = entry
+        self._trampolines += 1
+        return _DELAY
 
     def process(self, generator: Generator) -> Process:
         """Start a new process driving ``generator``."""
@@ -125,39 +207,105 @@ class Simulator:
 
     # -- scheduling ---------------------------------------------------
 
+    def _insert(self, when: int, obj: Any) -> int:
+        """Queue ``obj`` at ``when``; returns the sequence number.
+
+        The single scheduling funnel: every event and trampoline entry
+        goes through the scheduler-specific implementation of this
+        method, so both schedulers assign identical ``(time, seq)``
+        keys for identical runs.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (when, seq, obj))
+        return seq
+
     def _schedule(self, event: Event, delay: int = 0) -> None:
         """Insert a triggered event into the queue (kernel use only)."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        heappush(self._queue, (self._now + delay, self._seq, event))
-        self._seq += 1
+        self._insert(self._now + delay, event)
+
+    def _handoff(self, event: Event, value: Any) -> bool:
+        """Grant ``event`` to its sole waiting process via the trampoline.
+
+        Direct-handoff fast path for resource grants: if the event's
+        only consumer is one waiting process, mark the event processed
+        with ``value`` and queue a trampoline resume at the exact
+        ``(time, seq)`` slot the grant event would have occupied.
+        Returns ``False`` (caller falls back to ``event.succeed``) when
+        the callback shape is anything else — multiple waiters,
+        condition ``_check`` hooks, plain-function callbacks.
+        """
+        cbs = event.callbacks
+        if cbs is not None and len(cbs) == 1:
+            cb = cbs[0]
+            if getattr(cb, "__func__", None) is _RESUME:
+                proc = cb.__self__
+                event._ok = True
+                event._value = value
+                event.callbacks = None
+                entry = proc._rentry
+                entry._value = value
+                entry.seq = self._insert(self._now, entry)
+                proc._waiting_on = entry
+                self._trampolines += 1
+                return True
+        return False
 
     def peek(self) -> Optional[int]:
-        """Time of the next scheduled event, or ``None`` if queue empty."""
-        return self._queue[0][0] if self._queue else None
+        """Time of the next live entry, or ``None`` if the queue is empty.
 
-    def step(self) -> None:
-        """Process exactly one event."""
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _seq, event = heappop(self._queue)
-        self._now = when
-        callbacks = event.callbacks
-        event.callbacks = None
-        for callback in callbacks:
-            callback(event)
-        if event._ok is False and not event.defused:
-            # A failure nobody consumed: surface it rather than losing it.
-            exc = event._value
-            raise exc
-        if (
-            type(event) is Timeout
-            and event._value is None
-            and len(callbacks) == 1
-            and getattr(callbacks[0], "__func__", None) is _RESUME
-            and len(self._timeout_pool) < _TIMEOUT_POOL_MAX
-        ):
-            self._timeout_pool.append(event)
+        Purges leading tombstones so the reported time is always that
+        of an entry that will actually do work.
+        """
+        queue = self._queue
+        while queue:
+            when, seq, obj = queue[0]
+            if type(obj) is _Resume and obj.seq != seq:
+                heappop(queue)
+                self._tombstones -= 1
+                continue
+            return when
+        return None
+
+    def step(self) -> Tuple[int, int]:
+        """Process exactly one live entry (tombstones are skipped).
+
+        Returns the processed entry's ``(time, seq)`` key — the hook
+        :class:`~repro.sim.trace.ScheduleDigest` uses to fingerprint an
+        execution for the scheduler A/B determinism check.
+        """
+        queue = self._queue
+        pool = self._timeout_pool
+        while True:
+            if not queue:
+                raise SimulationError("step() on an empty event queue")
+            when, seq, obj = heappop(queue)
+            self._now = when
+            if type(obj) is _Resume:
+                if obj.seq == seq:
+                    obj.proc._resume(obj)
+                    return when, seq
+                self._tombstones -= 1
+                continue
+            callbacks = obj.callbacks
+            obj.callbacks = None
+            for callback in callbacks:
+                callback(obj)
+            if obj._ok is False and not obj.defused:
+                # A failure nobody consumed: surface it rather than
+                # losing it.
+                raise obj._value
+            if (
+                type(obj) is Timeout
+                and obj._value is None
+                and len(callbacks) == 1
+                and getattr(callbacks[0], "__func__", None) is _RESUME
+                and len(pool) < _TIMEOUT_POOL_MAX
+            ):
+                pool.append(obj)
+            return when, seq
 
     # -- main loop ----------------------------------------------------
 
@@ -170,31 +318,38 @@ class Simulator:
         - an integer time: run until the clock reaches it;
         - an :class:`Event`: run until that event is processed, and
           return its value (re-raising its exception if it failed).
+
+        All three paths inline the entry-processing body of
+        :meth:`step` so the per-event cost is one heap pop plus the
+        resume/callbacks.
         """
-        # The exhaustion and until-event paths inline step() (minus its
-        # empty-queue recheck) so the per-event cost is one heappop plus
-        # the callbacks; both bodies mirror step() exactly.
         queue = self._queue
         pool = self._timeout_pool
 
         if until is None:
             while queue:
-                when, _seq, event = heappop(queue)
+                when, seq, obj = heappop(queue)
                 self._now = when
-                callbacks = event.callbacks
-                event.callbacks = None
+                if type(obj) is _Resume:
+                    if obj.seq == seq:
+                        obj.proc._resume(obj)
+                    else:
+                        self._tombstones -= 1
+                    continue
+                callbacks = obj.callbacks
+                obj.callbacks = None
                 for callback in callbacks:
-                    callback(event)
-                if event._ok is False and not event.defused:
-                    raise event._value
+                    callback(obj)
+                if obj._ok is False and not obj.defused:
+                    raise obj._value
                 if (
-                    type(event) is Timeout
-                    and event._value is None
+                    type(obj) is Timeout
+                    and obj._value is None
                     and len(callbacks) == 1
                     and getattr(callbacks[0], "__func__", None) is _RESUME
                     and len(pool) < _TIMEOUT_POOL_MAX
                 ):
-                    pool.append(event)
+                    pool.append(obj)
             return None
 
         if isinstance(until, Event):
@@ -209,22 +364,28 @@ class Simulator:
                     raise SimulationError(
                         f"simulation ran out of events before {sentinel!r} fired"
                     )
-                when, _seq, event = heappop(queue)
+                when, seq, obj = heappop(queue)
                 self._now = when
-                callbacks = event.callbacks
-                event.callbacks = None
+                if type(obj) is _Resume:
+                    if obj.seq == seq:
+                        obj.proc._resume(obj)
+                    else:
+                        self._tombstones -= 1
+                    continue
+                callbacks = obj.callbacks
+                obj.callbacks = None
                 for callback in callbacks:
-                    callback(event)
-                if event._ok is False and not event.defused:
-                    raise event._value
+                    callback(obj)
+                if obj._ok is False and not obj.defused:
+                    raise obj._value
                 if (
-                    type(event) is Timeout
-                    and event._value is None
+                    type(obj) is Timeout
+                    and obj._value is None
                     and len(callbacks) == 1
                     and getattr(callbacks[0], "__func__", None) is _RESUME
                     and len(pool) < _TIMEOUT_POOL_MAX
                 ):
-                    pool.append(event)
+                    pool.append(obj)
             if sentinel._ok is False:
                 sentinel.defused = True
                 raise sentinel._value
@@ -236,6 +397,399 @@ class Simulator:
                 f"until={deadline} is in the past (now={self._now})"
             )
         while queue and queue[0][0] <= deadline:
-            self.step()
+            when, seq, obj = heappop(queue)
+            self._now = when
+            if type(obj) is _Resume:
+                if obj.seq == seq:
+                    obj.proc._resume(obj)
+                else:
+                    self._tombstones -= 1
+                continue
+            callbacks = obj.callbacks
+            obj.callbacks = None
+            for callback in callbacks:
+                callback(obj)
+            if obj._ok is False and not obj.defused:
+                raise obj._value
+            if (
+                type(obj) is Timeout
+                and obj._value is None
+                and len(callbacks) == 1
+                and getattr(callbacks[0], "__func__", None) is _RESUME
+                and len(pool) < _TIMEOUT_POOL_MAX
+            ):
+                pool.append(obj)
+        self._now = deadline
+        return None
+
+
+class _WheelSimulator(Simulator):
+    """Timing-wheel scheduler (construct via ``Simulator(scheduler="wheel")``).
+
+    The current window ``[base, base + 4096)`` maps each timestamp to
+    one slot (a list of ``(seq, obj)`` pairs, appended in scheduling
+    order — which *is* sequence order, so FIFO within a slot needs no
+    sort).  Entries beyond the window go to an overflow heap; when the
+    wheel drains, the window jumps to the earliest overflow entry and
+    cascades every entry inside the new window into its slot (heap
+    order is ``(time, seq)`` order, so per-slot FIFO is preserved —
+    and anything scheduled *after* the cascade carries a larger
+    sequence number, so plain appends stay sorted).
+
+    An occupancy bitmask (one bit per slot) finds the next non-empty
+    slot with ``occ & -occ`` — no linear scan over empty slots.  All
+    live slot bits are at times >= now (processed slots are cleared and
+    inserts are never in the past), so the lowest set bit is always the
+    next slot to fire.
+    """
+
+    scheduler = "wheel"
+
+    def __init__(self, scheduler: str = "wheel") -> None:
+        super().__init__()
+        #: slot index -> list of (seq, obj), or None when empty.
+        self._slots: List[Optional[list]] = [None] * _WHEEL_SIZE
+        #: Bitmask of non-empty slots.
+        self._occ: int = 0
+        #: Entries currently in slots (tombstones included).
+        self._wcount: int = 0
+        #: Window start (aligned to the wheel size) and end.
+        self._base: int = 0
+        self._wend: int = _WHEEL_SIZE
+        #: Heap of (when, seq, obj) beyond the current window.
+        self._overflow: List[Tuple[int, int, Any]] = []
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> dict:
+        raw = self._wcount + len(self._overflow)
+        return {
+            "now": self._now,
+            "events_scheduled": self._seq,
+            "queue_len": raw,
+            "queue_live": raw - self._tombstones,
+            "tombstones": self._tombstones,
+            "trampoline_resumes": self._trampolines,
+            "timeout_pool": len(self._timeout_pool),
+            "wheel_occupied_slots": self._occ.bit_count(),
+            "wheel_base": self._base,
+            "wheel_overflow": len(self._overflow),
+        }
+
+    # -- scheduling ---------------------------------------------------
+
+    def _insert(self, when: int, obj: Any) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        if when < self._wend:
+            i = when & _WHEEL_MASK
+            slots = self._slots
+            s = slots[i]
+            if s is None:
+                slots[i] = [(seq, obj)]
+            else:
+                s.append((seq, obj))
+            self._occ |= 1 << i
+            self._wcount += 1
+        else:
+            heappush(self._overflow, (when, seq, obj))
+        return seq
+
+    def delay(self, ns: int) -> object:
+        if ns < 0:
+            raise ValueError(f"negative delay {ns}")
+        proc = self._active
+        try:
+            entry = proc._rentry
+        except AttributeError:
+            raise SimulationError(
+                "delay() may only be called (and immediately yielded) "
+                "from inside a running process; use timeout() elsewhere"
+            ) from None
+        entry._value = None
+        entry.seq = self._insert(self._now + ns, entry)
+        proc._waiting_on = entry
+        self._trampolines += 1
+        return _DELAY
+
+    def _advance_window(self) -> None:
+        """Jump the (drained) wheel to the earliest overflow entry and
+        cascade everything inside the new window into slots."""
+        overflow = self._overflow
+        base = overflow[0][0] & ~_WHEEL_MASK
+        self._base = base
+        end = base + _WHEEL_SIZE
+        self._wend = end
+        slots = self._slots
+        occ = self._occ
+        moved = 0
+        while overflow and overflow[0][0] < end:
+            when, seq, obj = heappop(overflow)
+            i = when & _WHEEL_MASK
+            s = slots[i]
+            if s is None:
+                slots[i] = [(seq, obj)]
+            else:
+                s.append((seq, obj))
+            occ |= 1 << i
+            moved += 1
+        self._occ = occ
+        self._wcount += moved
+
+    def peek(self) -> Optional[int]:
+        slots = self._slots
+        while True:
+            occ = self._occ
+            if not occ:
+                overflow = self._overflow
+                while overflow:
+                    when, seq, obj = overflow[0]
+                    if type(obj) is _Resume and obj.seq != seq:
+                        heappop(overflow)
+                        self._tombstones -= 1
+                        continue
+                    return when
+                return None
+            low = occ & -occ
+            i = low.bit_length() - 1
+            entries = slots[i]
+            k = 0
+            n = len(entries)
+            while k < n:
+                seq, obj = entries[k]
+                if type(obj) is _Resume and obj.seq != seq:
+                    k += 1
+                    self._tombstones -= 1
+                    self._wcount -= 1
+                    continue
+                break
+            if k == n:
+                slots[i] = None
+                self._occ = occ ^ low
+                continue
+            if k:
+                slots[i] = entries[k:]
+            return self._base + i
+
+    def step(self) -> Tuple[int, int]:
+        slots = self._slots
+        pool = self._timeout_pool
+        while True:
+            occ = self._occ
+            if not occ:
+                if self._overflow:
+                    self._advance_window()
+                    continue
+                raise SimulationError("step() on an empty event queue")
+            low = occ & -occ
+            i = low.bit_length() - 1
+            entries = slots[i]
+            seq, obj = entries[0]
+            if len(entries) == 1:
+                slots[i] = None
+                self._occ = occ ^ low
+            else:
+                slots[i] = entries[1:]
+            self._wcount -= 1
+            when = self._base + i
+            self._now = when
+            if type(obj) is _Resume:
+                if obj.seq == seq:
+                    obj.proc._resume(obj)
+                    return when, seq
+                self._tombstones -= 1
+                continue
+            callbacks = obj.callbacks
+            obj.callbacks = None
+            for callback in callbacks:
+                callback(obj)
+            if obj._ok is False and not obj.defused:
+                raise obj._value
+            if (
+                type(obj) is Timeout
+                and obj._value is None
+                and len(callbacks) == 1
+                and getattr(callbacks[0], "__func__", None) is _RESUME
+                and len(pool) < _TIMEOUT_POOL_MAX
+            ):
+                pool.append(obj)
+            return when, seq
+
+    # -- main loop ----------------------------------------------------
+
+    def _restore_slot(self, i: int, entries: list, k: int, n: int) -> None:
+        """Put entries[k:] back at the head of slot ``i`` after an
+        interrupted batch (exception or until-event satisfied)."""
+        if k >= n:
+            return
+        rest = entries[k:]
+        newer = self._slots[i]
+        if newer:
+            # Entries appended while the batch ran carry larger
+            # sequence numbers, so they sort after the old tail.
+            rest.extend(newer)
+        self._slots[i] = rest
+        self._occ |= 1 << i
+        self._wcount += n - k
+
+    def run(self, until: Any = None) -> Any:
+        slots = self._slots
+        pool = self._timeout_pool
+
+        if until is None:
+            while True:
+                occ = self._occ
+                if not occ:
+                    if self._overflow:
+                        self._advance_window()
+                        continue
+                    return None
+                low = occ & -occ
+                i = low.bit_length() - 1
+                entries = slots[i]
+                slots[i] = None
+                self._occ = occ ^ low
+                n = len(entries)
+                self._wcount -= n
+                self._now = self._base + i
+                k = 0
+                try:
+                    while k < n:
+                        seq, obj = entries[k]
+                        k += 1
+                        if type(obj) is _Resume:
+                            if obj.seq == seq:
+                                obj.proc._resume(obj)
+                            else:
+                                self._tombstones -= 1
+                            continue
+                        callbacks = obj.callbacks
+                        obj.callbacks = None
+                        for callback in callbacks:
+                            callback(obj)
+                        if obj._ok is False and not obj.defused:
+                            raise obj._value
+                        if (
+                            type(obj) is Timeout
+                            and obj._value is None
+                            and len(callbacks) == 1
+                            and getattr(callbacks[0], "__func__", None)
+                            is _RESUME
+                            and len(pool) < _TIMEOUT_POOL_MAX
+                        ):
+                            pool.append(obj)
+                except BaseException:
+                    self._restore_slot(i, entries, k, n)
+                    raise
+
+        if isinstance(until, Event):
+            sentinel = until
+            finished: List[Event] = []
+            if sentinel.processed:
+                finished.append(sentinel)
+            else:
+                sentinel.add_callback(finished.append)
+            while not finished:
+                occ = self._occ
+                if not occ:
+                    if self._overflow:
+                        self._advance_window()
+                        continue
+                    raise SimulationError(
+                        f"simulation ran out of events before {sentinel!r} fired"
+                    )
+                low = occ & -occ
+                i = low.bit_length() - 1
+                entries = slots[i]
+                slots[i] = None
+                self._occ = occ ^ low
+                n = len(entries)
+                self._wcount -= n
+                self._now = self._base + i
+                k = 0
+                try:
+                    while k < n and not finished:
+                        seq, obj = entries[k]
+                        k += 1
+                        if type(obj) is _Resume:
+                            if obj.seq == seq:
+                                obj.proc._resume(obj)
+                            else:
+                                self._tombstones -= 1
+                            continue
+                        callbacks = obj.callbacks
+                        obj.callbacks = None
+                        for callback in callbacks:
+                            callback(obj)
+                        if obj._ok is False and not obj.defused:
+                            raise obj._value
+                        if (
+                            type(obj) is Timeout
+                            and obj._value is None
+                            and len(callbacks) == 1
+                            and getattr(callbacks[0], "__func__", None)
+                            is _RESUME
+                            and len(pool) < _TIMEOUT_POOL_MAX
+                        ):
+                            pool.append(obj)
+                finally:
+                    self._restore_slot(i, entries, k, n)
+            if sentinel._ok is False:
+                sentinel.defused = True
+                raise sentinel._value
+            return sentinel._value
+
+        deadline = int(until)
+        if deadline < self._now:
+            raise SimulationError(
+                f"until={deadline} is in the past (now={self._now})"
+            )
+        while True:
+            occ = self._occ
+            if not occ:
+                overflow = self._overflow
+                if overflow and overflow[0][0] <= deadline:
+                    self._advance_window()
+                    continue
+                break
+            low = occ & -occ
+            i = low.bit_length() - 1
+            when = self._base + i
+            if when > deadline:
+                break
+            entries = slots[i]
+            slots[i] = None
+            self._occ = occ ^ low
+            n = len(entries)
+            self._wcount -= n
+            self._now = when
+            k = 0
+            try:
+                while k < n:
+                    seq, obj = entries[k]
+                    k += 1
+                    if type(obj) is _Resume:
+                        if obj.seq == seq:
+                            obj.proc._resume(obj)
+                        else:
+                            self._tombstones -= 1
+                        continue
+                    callbacks = obj.callbacks
+                    obj.callbacks = None
+                    for callback in callbacks:
+                        callback(obj)
+                    if obj._ok is False and not obj.defused:
+                        raise obj._value
+                    if (
+                        type(obj) is Timeout
+                        and obj._value is None
+                        and len(callbacks) == 1
+                        and getattr(callbacks[0], "__func__", None) is _RESUME
+                        and len(pool) < _TIMEOUT_POOL_MAX
+                    ):
+                        pool.append(obj)
+            except BaseException:
+                self._restore_slot(i, entries, k, n)
+                raise
         self._now = deadline
         return None

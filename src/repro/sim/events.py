@@ -8,7 +8,6 @@ callbacks (typically resuming waiting processes).
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Any, Callable, List, Optional
 
 #: Sentinel for "no value yet".
@@ -93,10 +92,10 @@ class Event:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._ok = True
         self._value = value
-        # Inlined Simulator._schedule (succeed dominates kernel profiles).
+        # _insert is the single scheduling funnel; both schedulers
+        # assign (time, seq) here.
         sim = self.sim
-        heappush(sim._queue, (sim._now + delay, sim._seq, self))
-        sim._seq += 1
+        sim._insert(sim._now + delay, self)
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
@@ -110,8 +109,7 @@ class Event:
         self._ok = False
         self._value = exception
         sim = self.sim
-        heappush(sim._queue, (sim._now + delay, sim._seq, self))
-        sim._seq += 1
+        sim._insert(sim._now + delay, self)
         return self
 
     # -- callback plumbing -------------------------------------------
@@ -153,8 +151,7 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
-        heappush(sim._queue, (sim._now + delay, sim._seq, self))
-        sim._seq += 1
+        sim._insert(sim._now + delay, self)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"

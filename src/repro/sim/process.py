@@ -8,6 +8,14 @@ event's exception thrown into it, if the event failed).
 A process is itself an event: it triggers when the generator returns
 (value = the generator's return value) or raises (failure).  This lets
 processes wait on each other by yielding the process object.
+
+Kernel v2 adds the *resume trampoline*: every process owns one
+reusable :class:`_Resume` queue entry.  ``yield sim.delay(n)``, direct
+resource handoffs and process kick-off queue that entry instead of an
+Event, and the kernel loop re-enters the generator straight from the
+entry — no allocation, no callback dispatch.  Cancellation is lazy: an
+invalidated entry stays queued as a tombstone, recognised on pop by a
+sequence number that no longer matches its queue key.
 """
 
 from __future__ import annotations
@@ -17,11 +25,44 @@ from typing import Any, Generator, Optional
 
 from repro.sim.events import Event, Interrupt, SimulationError
 
+#: Sentinel returned by ``Simulator.delay``.  It is *not* an event; a
+#: process must yield it immediately, and ``Process._resume`` simply
+#: returns when it sees it (the delay call already queued the resume
+#: entry).
+_DELAY = object()
+
+
+class _Resume:
+    """A reusable queue entry that re-enters its process directly.
+
+    The kernel treats ``(when, seq, entry)`` like any other queue item
+    but, instead of running callbacks, calls ``entry.proc._resume(entry)``.
+    The class-level ``_ok = True`` lets the resume loop treat an entry
+    exactly like a succeeded event carrying ``_value``.
+
+    ``seq`` mirrors the sequence number of the entry's *live* queue
+    tuple.  Re-arming (or invalidating via :meth:`Process.interrupt`)
+    overwrites ``seq``, so a stale tuple popped later no longer matches
+    and is discarded as a tombstone.
+    """
+
+    __slots__ = ("proc", "seq", "_value")
+
+    _ok = True
+
+    def __init__(self, proc: "Process"):
+        self.proc = proc
+        self.seq = -1
+        self._value: Any = None
+
+    def __repr__(self) -> str:
+        return f"<_Resume for {self.proc!r} seq={self.seq}>"
+
 
 class Process(Event):
     """A simulated thread of control driven by a generator."""
 
-    __slots__ = ("_generator", "_waiting_on", "_resume_cb")
+    __slots__ = ("_generator", "_gsend", "_waiting_on", "_resume_cb", "_rentry")
 
     def __init__(self, sim: "Simulator", generator: Generator):  # noqa: F821
         if not isinstance(generator, GeneratorType):
@@ -30,18 +71,20 @@ class Process(Event):
             )
         super().__init__(sim)
         self._generator = generator
-        #: The event this process is currently suspended on.
-        self._waiting_on: Optional[Event] = None
-        #: The resume trampoline, bound once per process instead of per
+        self._gsend = generator.send
+        #: The event (or _Resume entry) this process is suspended on.
+        self._waiting_on: Optional[Any] = None
+        #: The resume callback, bound once per process instead of per
         #: yield; the kernel's timeout recycling keys off this callback.
         self._resume_cb = self._resume
-        # Kick off the process at the current time via an init event.
-        init = Event(sim)
-        init._ok = True
-        init._value = None
-        sim._schedule(init, 0)
-        self._waiting_on = init
-        init.callbacks.append(self._resume_cb)
+        #: The trampoline entry, one per process for its whole life.
+        entry = _Resume(self)
+        self._rentry = entry
+        # Kick off at the current time through the trampoline (no init
+        # Event needed).
+        entry.seq = sim._insert(sim._now, entry)
+        self._waiting_on = entry
+        sim._trampolines += 1
 
     # -- inspection ---------------------------------------------------
 
@@ -56,14 +99,22 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at its current yield.
 
         The event the process was waiting on remains outstanding; the
-        process may re-wait on it after handling the interrupt.
-        Interrupting a finished process is an error.
+        process may re-wait on it after handling the interrupt.  (A
+        pending ``delay`` is cancelled outright — its queue entry
+        becomes a tombstone.)  Interrupting a finished process is an
+        error.
         """
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished {self!r}")
         target = self._waiting_on
         if target is not None:
-            target.remove_callback(self._resume_cb)
+            if type(target) is _Resume:
+                # Lazy cancellation: leave the queued tuple behind with
+                # a stale sequence number.
+                target.seq = -1
+                self.sim._tombstones += 1
+            else:
+                target.remove_callback(self._resume_cb)
         self._waiting_on = None
         # Deliver asynchronously (but at the same timestamp) so the
         # interrupter finishes its own step first.
@@ -77,11 +128,17 @@ class Process(Event):
 
     # -- the trampoline -----------------------------------------------
 
-    def _resume(self, event: Event) -> None:
-        """Advance the generator with the value/exception of ``event``."""
+    def _resume(self, event: Any) -> None:
+        """Advance the generator with the value/exception of ``event``.
+
+        ``event`` is either a processed Event or this process's own
+        :class:`_Resume` entry (which masquerades as a succeeded event).
+        """
+        sim = self.sim
+        sim._active = self
         self._waiting_on = None
         generator = self._generator
-        send = generator.send
+        send = self._gsend
         while True:
             try:
                 if event._ok:
@@ -94,6 +151,10 @@ class Process(Event):
                 return
             except BaseException as exc:  # noqa: BLE001 - propagate via event
                 self.fail(exc)
+                return
+
+            if target is _DELAY:
+                # sim.delay() already armed and queued our entry.
                 return
 
             if isinstance(target, Event):

@@ -14,7 +14,6 @@ Three primitives cover everything the model needs:
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush
 from typing import Any, Deque, List, Optional
 
 from repro.sim.events import _PENDING, Event, SimulationError
@@ -84,8 +83,7 @@ class Resource:
             req._ok = True
             req._value = req
             sim = self.sim
-            heappush(sim._queue, (sim._now, sim._seq, req))
-            sim._seq += 1
+            sim._insert(sim._now, req)
         else:
             self._waiting.append(req)
         return req
@@ -101,7 +99,11 @@ class Resource:
         if self._waiting and len(self._users) < self.capacity:
             nxt = self._waiting.popleft()
             self._users.append(nxt)
-            nxt.succeed(nxt)
+            # Direct handoff: when the head waiter is a single blocked
+            # process, resume it via the trampoline instead of
+            # dispatching a grant event.
+            if not self.sim._handoff(nxt, nxt):
+                nxt.succeed(nxt)
 
     def _cancel(self, request: Request) -> None:
         try:
@@ -167,7 +169,9 @@ class Store:
 
     def _insert(self, item: Any) -> None:
         if self._getters:
-            self._getters.popleft().succeed(item)
+            evt = self._getters.popleft()
+            if not self.sim._handoff(evt, item):
+                evt.succeed(item)
         else:
             self._items.append(item)
 
@@ -176,7 +180,8 @@ class Store:
         if self._putters:
             done, pending = self._putters.popleft()
             self._items.append(pending)
-            done.succeed()
+            if not self.sim._handoff(done, None):
+                done.succeed()
         return item
 
 
@@ -197,8 +202,10 @@ class Gate:
     def pulse(self, value: Any = None) -> int:
         """Wake every current waiter; returns how many were woken."""
         waiters, self._waiters = self._waiters, []
+        sim = self.sim
         for evt in waiters:
-            evt.succeed(value)
+            if not sim._handoff(evt, value):
+                evt.succeed(value)
         return len(waiters)
 
     @property
@@ -267,7 +274,9 @@ class TokenPool:
         if self.size is None:
             return
         if self._waiting:
-            self._waiting.popleft().succeed()
+            evt = self._waiting.popleft()
+            if not self.sim._handoff(evt, None):
+                evt.succeed()
             return
         if self._available >= self.size:
             raise SimulationError("release() of a token that was never acquired")

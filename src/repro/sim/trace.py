@@ -4,11 +4,70 @@ A :class:`Tracer` records ``(time, source, category, detail)`` tuples
 when enabled and costs a single attribute check when disabled.  Traces
 are used by debugging tests and by examples that walk through what the
 simulator did (e.g. showing each bus transaction of a message send).
+
+:class:`ScheduleDigest` fingerprints a whole kernel execution in O(1)
+memory: fold in every processed ``(time, seq)`` key (as returned by
+:meth:`Simulator.step`) and compare digests.  Two runs are
+*event-for-event identical* exactly when their digests and counts
+match — the check ``scripts/bench_kernel.py`` runs between the heap
+and wheel schedulers.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, Iterable, List, NamedTuple, Optional
+
+
+class ScheduleDigest:
+    """Incremental fingerprint of a kernel execution schedule.
+
+    Usage::
+
+        digest = ScheduleDigest()
+        while not done.processed:
+            digest.update(*sim.step())
+        digest.update_snapshot(machine.metrics_snapshot())
+        assert digest.hexdigest() == reference.hexdigest()
+
+    Every processed entry's ``(time, seq)`` pair is hashed in order, so
+    any divergence — a swapped tie-break, a missing event, a different
+    timestamp — changes the digest.  Optionally fold in a metrics
+    snapshot to also pin the *results* of the run, not just its
+    schedule.
+    """
+
+    __slots__ = ("_hash", "count", "last_time")
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        #: Number of (time, seq) pairs folded in so far.
+        self.count = 0
+        #: Timestamp of the most recent pair (monotonicity check aid).
+        self.last_time = -1
+
+    def update(self, time: int, seq: int) -> None:
+        """Fold one processed entry's queue key into the digest."""
+        self._hash.update(b"%d:%d;" % (time, seq))
+        self.count += 1
+        self.last_time = time
+
+    def update_snapshot(self, snapshot: Dict[str, float]) -> None:
+        """Fold a metrics snapshot (sorted leaf-wise) into the digest."""
+        for key in sorted(snapshot):
+            self._hash.update(f"{key}={snapshot[key]!r};".encode())
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScheduleDigest):
+            return NotImplemented
+        return (self.count == other.count
+                and self.hexdigest() == other.hexdigest())
+
+    def __repr__(self) -> str:
+        return f"<ScheduleDigest {self.count} events {self.hexdigest()[:12]}>"
 
 
 class TraceRecord(NamedTuple):

@@ -98,7 +98,7 @@ class Runtime:
         if tracer.enabled:
             tracer.log(self._trace_src, "send_start",
                        uid=msg.uid, handler=handler, dst=dst, size=msg.size)
-        yield self.sim.timeout(self.costs.send_setup)
+        yield self.sim.delay(self.costs.send_setup)
         yield from self.node.ni.send_message(msg)
         if tracer.enabled:
             tracer.log(self._trace_src, "send_done", uid=msg.uid)
@@ -108,7 +108,7 @@ class Runtime:
             self.sent_sizes.add(msg.size)
         if self.node.ni.throttle_ns:
             # Deliberate pacing (CNI_32Qm+Throttle): idle, not send work.
-            yield self.sim.timeout(self.node.ni.throttle_ns)
+            yield self.sim.delay(self.node.ni.throttle_ns)
         return msg
 
     # ------------------------------------------------------------------
@@ -124,18 +124,21 @@ class Runtime:
         # Extraction first: popping arrivals frees receive buffers,
         # which is what lets everyone else's bounced traffic land.
         count = 0
-        while self.node.ni.has_message():
-            self.node.timer.push("receive")
-            msg = yield from self.node.ni.receive_message()
-            self.node.timer.pop()
+        node = self.node
+        ni = node.ni
+        timer = node.timer
+        while ni.has_message():
+            timer.push("receive")
+            msg = yield from ni.receive_message()
+            timer.pop()
             if msg is None:
                 break
-            tracer = self.node.network.tracer
+            tracer = node.network.tracer
             if tracer.enabled:
                 tracer.log(self._trace_src, "extracted", uid=msg.uid)
             self._deferred.append(msg)
             count += 1
-        count += yield from self.node.ni.process_buffering_work()
+        count += yield from ni.process_buffering_work()
         return count
 
     def service(self, max_handlers: Optional[int] = None) -> Generator:
@@ -151,8 +154,9 @@ class Runtime:
         Returns the number of handlers executed.
         """
         executed = 0
+        ni = self.node.ni
         while True:
-            retried = yield from self.node.ni.process_buffering_work()
+            retried = yield from ni.process_buffering_work()
             msg = yield from self.receive_one()
             if msg is None:
                 if retried:
@@ -172,20 +176,22 @@ class Runtime:
         consumer, used by the bandwidth microbenchmark so consumption
         timestamps reflect the full per-message cost.
         """
+        node = self.node
+        timer = node.timer
         if self._deferred:
             msg = self._deferred.popleft()
         else:
-            self.node.timer.push("receive")
-            msg = yield from self.node.ni.receive_message()
-            self.node.timer.pop()
+            timer.push("receive")
+            msg = yield from node.ni.receive_message()
+            timer.pop()
             if msg is None:
                 return None
-            tracer = self.node.network.tracer
+            tracer = node.network.tracer
             if tracer.enabled:
                 tracer.log(self._trace_src, "extracted", uid=msg.uid)
-        self.node.timer.push("receive")
-        yield self.sim.timeout(self.costs.receive_dispatch)
-        self.node.timer.pop()
+        timer.push("receive")
+        yield self.sim.delay(self.costs.receive_dispatch)
+        timer.pop()
         yield from self._dispatch(msg)
         self.counters.add("handled")
         return msg
@@ -248,7 +254,7 @@ class Runtime:
             if not executed and self.node.ni.has_processor_work():
                 # Retries are paced; wait out the backoff window
                 # instead of spinning at zero simulated time.
-                yield self.sim.timeout(self.costs.retry_backoff)
+                yield self.sim.delay(self.costs.retry_backoff)
 
     @property
     def pending_handlers(self) -> int:

@@ -111,6 +111,20 @@ class Workload(ABC):
                 params or DEFAULT_PARAMS, costs or DEFAULT_COSTS,
                 ni_name or "cni32qm",
             )
+        done = self.launch(machine)
+        machine.sim.run(until=done)
+        machine.finish()
+        return self._collect(machine)
+
+    def launch(self, machine: Machine):
+        """Prepare and start this workload's processes on ``machine``.
+
+        Returns the completion event (``all_of`` the node processes)
+        without running the simulation — callers that want to drive the
+        kernel themselves (e.g. the step-by-step schedule-digest check
+        in ``scripts/bench_kernel.py``) loop ``machine.sim.step()``
+        until it fires, then call :meth:`collect`.
+        """
         #: Logical message sizes logged by the workload (Table 4).
         self.logical_sizes = Histogram()
         self.prepare(machine)
@@ -118,8 +132,10 @@ class Workload(ABC):
             machine.sim.process(self.node_main(machine, node))
             for node in machine
         ]
-        done = machine.sim.all_of(processes)
-        machine.sim.run(until=done)
+        return machine.sim.all_of(processes)
+
+    def collect(self, machine: Machine) -> WorkloadResult:
+        """Freeze timers and assemble the result of a finished run."""
         machine.finish()
         return self._collect(machine)
 

@@ -1,0 +1,456 @@
+"""Kernel v2 tests: timing wheel, resume trampoline, direct handoff,
+lazy cancellation, and the Timeout free-list edge cases.
+
+The determinism contract under test: ``Simulator(scheduler="wheel")``
+and the heap reference replay the *identical* event schedule — same
+``(time, seq)`` key for every processed entry, same results — which
+:class:`repro.sim.ScheduleDigest` checks in O(1) memory.
+"""
+
+import pytest
+
+from repro.sim import (
+    Event,
+    Interrupt,
+    Resource,
+    ScheduleDigest,
+    Simulator,
+    Store,
+)
+from repro.sim.engine import _TIMEOUT_POOL_MAX, _WheelSimulator
+from repro.sim.events import SimulationError
+
+BOTH = pytest.mark.parametrize("scheduler", ["heap", "wheel"])
+
+
+# ---------------------------------------------------------------------------
+# scheduler selection
+# ---------------------------------------------------------------------------
+
+def test_scheduler_selection():
+    assert Simulator().scheduler == "heap"
+    assert Simulator(scheduler="heap").scheduler == "heap"
+    wheel = Simulator(scheduler="wheel")
+    assert wheel.scheduler == "wheel"
+    assert isinstance(wheel, _WheelSimulator)
+    assert isinstance(wheel, Simulator)
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError):
+        Simulator(scheduler="btree")
+
+
+@BOTH
+def test_stats_have_common_gauge_keys(scheduler):
+    from repro.obs import SIM_GAUGE_KEYS
+
+    stats = Simulator(scheduler=scheduler).stats()
+    for key in SIM_GAUGE_KEYS:
+        assert key in stats
+
+
+# ---------------------------------------------------------------------------
+# delay(): the trampoline fast path
+# ---------------------------------------------------------------------------
+
+@BOTH
+def test_delay_advances_clock(scheduler):
+    sim = Simulator(scheduler=scheduler)
+
+    def proc():
+        yield sim.delay(7)
+        yield sim.delay(0)
+        yield sim.delay(5)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert sim.now == 12 and p.value == 12
+
+
+@BOTH
+def test_delay_negative_rejected(scheduler):
+    sim = Simulator(scheduler=scheduler)
+
+    def proc():
+        yield sim.delay(-1)
+
+    sim.process(proc())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+@BOTH
+def test_delay_outside_process_is_an_error(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    with pytest.raises(SimulationError):
+        sim.delay(5)
+
+
+@BOTH
+def test_delay_interleaves_fifo_with_timeouts(scheduler):
+    """delay() consumes a sequence number exactly where the Timeout it
+    replaces would have, so same-timestamp FIFO order is preserved."""
+    sim = Simulator(scheduler=scheduler)
+    order = []
+
+    def a():
+        yield sim.delay(10)
+        order.append("a")
+
+    def b():
+        yield sim.timeout(10)
+        order.append("b")
+
+    def c():
+        yield sim.delay(10)
+        order.append("c")
+
+    sim.process(a())
+    sim.process(b())
+    sim.process(c())
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+# ---------------------------------------------------------------------------
+# interrupt: lazy cancellation tombstones
+# ---------------------------------------------------------------------------
+
+@BOTH
+def test_interrupt_pending_delay_leaves_tombstone(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    caught = []
+
+    def sleeper():
+        try:
+            yield sim.delay(1000)
+        except Interrupt as intr:
+            caught.append(intr.cause)
+            yield sim.delay(5)
+        return sim.now
+
+    def interrupter(target):
+        yield sim.delay(3)
+        target.interrupt("wake")
+        assert sim.stats()["tombstones"] == 1
+        assert sim.stats()["queue_live"] == sim.stats()["queue_len"] - 1
+
+    p = sim.process(sleeper())
+    sim.process(interrupter(p))
+    sim.run()
+    assert caught == ["wake"]
+    assert p.value == 8          # interrupted at 3, slept 5 more
+    # Draining the queue still pops (and discards) the tombstone at
+    # t=1000, advancing the clock exactly as the dead Timeout that the
+    # trampoline entry replaces would have.
+    assert sim.now == 1000
+    assert sim.stats()["tombstones"] == 0  # drained on pop
+
+
+@BOTH
+def test_peek_skips_tombstones(scheduler):
+    sim = Simulator(scheduler=scheduler)
+
+    def sleeper():
+        yield sim.delay(50)
+
+    p = sim.process(sleeper())
+    sim.step()                    # kick-off: process now waits at t=50
+    p.interrupt()
+    # The only live entry left is the interrupt punch at t=0; the
+    # cancelled t=50 entry must not be reported.
+    assert sim.peek() == 0
+
+
+# ---------------------------------------------------------------------------
+# direct handoff
+# ---------------------------------------------------------------------------
+
+@BOTH
+def test_resource_release_handoff_value_and_order(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    res = Resource(sim)
+    order = []
+
+    def worker(name):
+        with (yield res.request()):
+            order.append((name, sim.now))
+            yield sim.delay(10)
+
+    for name in "abc":
+        sim.process(worker(name))
+    sim.run()
+    assert order == [("a", 0), ("b", 10), ("c", 20)]
+
+
+@BOTH
+def test_store_handoff_delivers_item(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer():
+        yield sim.delay(4)
+        store.try_put("payload")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("payload", 4)]
+
+
+@BOTH
+def test_handoff_ineligible_with_condition_waiter(scheduler):
+    """A waiter blocked on any_of(...) has a condition ``_check``
+    callback on the grant event, so the handoff fast path must decline
+    and the classic succeed path must still work."""
+    sim = Simulator(scheduler=scheduler)
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        get = store.get()
+        result = yield sim.any_of([get, sim.timeout(100)])
+        got.append((get in result, sim.now))
+
+    def producer():
+        yield sim.delay(4)
+        store.try_put("x")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(True, 4)]
+
+
+# ---------------------------------------------------------------------------
+# Timeout free-list edge cases
+# ---------------------------------------------------------------------------
+
+def test_valued_timeout_never_recycled():
+    sim = Simulator()
+
+    def proc():
+        value = yield sim.timeout(5, "payload")
+        assert value == "payload"
+
+    sim.process(proc())
+    sim.run()
+    assert sim._timeout_pool == []
+
+
+def test_timeout_with_extra_callback_never_recycled():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        t = sim.timeout(5)
+        t.add_callback(lambda e: seen.append(sim.now))
+        yield t
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [5]
+    assert sim._timeout_pool == []
+
+
+def test_condition_composed_timeout_never_recycled():
+    sim = Simulator()
+
+    def proc():
+        yield sim.any_of([sim.timeout(5), sim.timeout(9)])
+
+    sim.process(proc())
+    sim.run()
+    # Both timeouts carry a condition _check callback, not a bare
+    # process resume — neither may enter the pool.
+    assert sim._timeout_pool == []
+
+
+def test_plain_timeout_recycled_and_failed_event_not():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5)
+
+    sim.process(proc())
+    sim.run()
+    assert len(sim._timeout_pool) == 1
+
+    # A failed (defused) event is not a Timeout and its value is an
+    # exception — the recycle check must leave the pool untouched.
+    def failer():
+        evt = Event(sim)
+        evt.fail(RuntimeError("boom"))
+        try:
+            yield evt
+        except RuntimeError:
+            pass
+
+    sim.process(failer())
+    sim.run()
+    assert len(sim._timeout_pool) == 1
+
+
+def test_timeout_pool_caps_at_limit():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+
+    for _ in range(_TIMEOUT_POOL_MAX + 50):
+        sim.process(proc())
+    sim.run()
+    assert len(sim._timeout_pool) == _TIMEOUT_POOL_MAX
+
+
+# ---------------------------------------------------------------------------
+# the wheel: overflow, window jumps, run(until=...) paths
+# ---------------------------------------------------------------------------
+
+def test_wheel_overflow_delay_fires():
+    sim = Simulator(scheduler="wheel")
+
+    def proc():
+        yield sim.delay(3)
+        yield sim.delay(100_000)   # far beyond the 4096-tick window
+        yield sim.delay(4096)      # lands exactly on the next window
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 3 + 100_000 + 4096
+    assert sim.stats()["wheel_overflow"] == 0
+
+
+def test_wheel_run_until_time_stops_exactly():
+    sim = Simulator(scheduler="wheel")
+    ticks = []
+
+    def proc():
+        while True:
+            yield sim.delay(10)
+            ticks.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=35)
+    assert sim.now == 35 and ticks == [10, 20, 30]
+    sim.run(until=20_000)          # crosses several window jumps
+    assert sim.now == 20_000 and ticks[-1] == 20_000
+
+
+@BOTH
+def test_until_event_preserves_same_slot_stragglers(scheduler):
+    """Stopping on a sentinel mid-timestamp must leave later
+    same-timestamp entries queued (the wheel's _restore_slot path) and
+    process them on the next run — identically on both schedulers."""
+    sim = Simulator(scheduler=scheduler)
+    evt = Event(sim)
+    trace = []
+
+    def proc():
+        yield sim.delay(10)
+        evt.succeed("fired")
+        # Re-arms this process at the same timestamp but with a larger
+        # sequence number than the sentinel — a true straggler.
+        yield sim.delay(0)
+        trace.append("straggler")
+
+    sim.process(proc())
+    assert sim.run(until=evt) == "fired"
+    assert trace == []             # sentinel satisfied mid-timestamp
+    sim.run()
+    assert trace == ["straggler"]
+    assert sim.now == 10
+
+
+@BOTH
+def test_step_returns_queue_key(scheduler):
+    sim = Simulator(scheduler=scheduler)
+
+    def proc():
+        yield sim.delay(9)
+
+    sim.process(proc())
+    first = sim.step()             # kick-off entry at t=0
+    second = sim.step()            # the delay at t=9
+    assert first == (0, 0)
+    assert second[0] == 9 and second[1] > 0
+
+
+# ---------------------------------------------------------------------------
+# ScheduleDigest: the A/B determinism fingerprint
+# ---------------------------------------------------------------------------
+
+def _digest_of(scheduler, rounds=20):
+    sim = Simulator(scheduler=scheduler)
+    res = Resource(sim)
+    store = Store(sim)
+
+    def producer():
+        for i in range(rounds):
+            with (yield res.request()):
+                yield sim.delay(7)
+            store.try_put(i)
+
+    def consumer():
+        for _ in range(rounds):
+            item = yield store.get()
+            yield sim.delay(3 + (item % 5) * 1000)
+
+    sim.process(producer())
+    sim.process(consumer())
+    digest = ScheduleDigest()
+    while sim.peek() is not None:
+        digest.update(*sim.step())
+    # Fold only the scheduler-agnostic gauges (the wheel's stats() has
+    # extra wheel_* keys that would trivially differ).
+    from repro.obs import SIM_GAUGE_KEYS
+
+    stats = sim.stats()
+    digest.update_snapshot({k: stats[k] for k in SIM_GAUGE_KEYS})
+    return digest
+
+
+def test_schedule_digest_heap_equals_wheel():
+    heap, wheel = _digest_of("heap"), _digest_of("wheel")
+    assert heap.count == wheel.count
+    assert heap == wheel
+
+
+def test_schedule_digest_detects_divergence():
+    assert _digest_of("heap", rounds=20) != _digest_of("heap", rounds=21)
+
+
+def test_workload_launch_matches_run():
+    """Step-driving a launched workload replays run() exactly."""
+    from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+    from repro.node import Machine
+    from repro.workloads.micro import PingPong
+
+    def build(scheduler):
+        params = DEFAULT_PARAMS.replace(sim_scheduler=scheduler)
+        return Machine(params, DEFAULT_COSTS, "cni32qm", num_nodes=2)
+
+    machine = build("heap")
+    reference = PingPong(payload_bytes=8, rounds=3, warmup=1).run(machine)
+
+    digests = {}
+    for scheduler in ("heap", "wheel"):
+        machine = build(scheduler)
+        workload = PingPong(payload_bytes=8, rounds=3, warmup=1)
+        done = workload.launch(machine)
+        digest = ScheduleDigest()
+        while not done.processed:
+            digest.update(*machine.sim.step())
+        result = workload.collect(machine)
+        digest.update_snapshot(machine.metrics_snapshot())
+        digests[scheduler] = digest
+        assert result.elapsed_ns == reference.elapsed_ns
+    assert digests["heap"] == digests["wheel"]
