@@ -19,7 +19,8 @@ The output (``BENCH_kernel.json``) carries one record per
 (cell, scheduler) — schema ``{scheduler, events, events_per_sec,
 deterministic, ...}`` — plus legacy headline fields for the first
 cell's default scheduler, so the events/sec trajectory across commits
-stays comparable.
+stays comparable, plus a ``span_overhead`` record pricing lifecycle
+span recording (spans off vs on) on the headline cell.
 
 Usage::
 
@@ -76,11 +77,12 @@ CELLS = [
 SCHEDULERS = ("heap", "wheel")
 
 
-def _build_machine(ni_name, fcb, scheduler):
+def _build_machine(ni_name, fcb, scheduler, spans=False):
     from repro.experiments.common import default_costs, default_params
     from repro.node import Machine
 
-    params = default_params(fcb).replace(sim_scheduler=scheduler)
+    params = default_params(fcb).replace(sim_scheduler=scheduler,
+                                         spans=spans)
     return Machine(params, default_costs(), ni_name, num_nodes=2)
 
 
@@ -110,7 +112,7 @@ def digest_cell(ni_name, fcb, make_workloads, scheduler):
     return digest, events
 
 
-def run_cell(ni_name, fcb, make_workloads, scheduler):
+def run_cell(ni_name, fcb, make_workloads, scheduler, spans=False):
     """One timed repetition; returns (wall_s, events, signature)."""
     workloads = make_workloads()
     gc_was_enabled = gc.isenabled()
@@ -121,7 +123,7 @@ def run_cell(ni_name, fcb, make_workloads, scheduler):
         events = 0
         results = []
         for workload in workloads:
-            machine = _build_machine(ni_name, fcb, scheduler)
+            machine = _build_machine(ni_name, fcb, scheduler, spans=spans)
             results.append(workload.run(machine))
             events += machine.sim._seq
         wall = time.perf_counter() - t0
@@ -189,6 +191,46 @@ def bench_cell(cell, reps, verbose=True):
     return records
 
 
+def bench_span_overhead(reps, verbose=True):
+    """Spans-off vs spans-on timings of the headline cell (heap).
+
+    The spans-off leg is the same configuration as the headline record,
+    so it doubles as a sanity check that span *support* (the
+    ``spans.enabled`` guards on the hot path) costs nothing when off;
+    the spans-on leg prices full lifecycle recording.
+    """
+    key, ni_name, fcb, make_workloads = CELLS[0]
+    walls = {False: [], True: []}
+    for spans in (False, True):
+        for _rep in range(reps):
+            wall, _events, _sig = run_cell(
+                ni_name, fcb, make_workloads, "heap", spans=spans
+            )
+            walls[spans].append(wall)
+        walls[spans].sort()
+    # Spans recorded in one instrumented run (for the report's scale).
+    machine = _build_machine(ni_name, fcb, "heap", spans=True)
+    recorded = 0
+    for workload in make_workloads():
+        machine = _build_machine(ni_name, fcb, "heap", spans=True)
+        workload.run(machine)
+        recorded += len(machine.spans.completed())
+    off_best, on_best = walls[False][0], walls[True][0]
+    overhead_pct = round(100.0 * (on_best - off_best) / off_best, 1)
+    record = {
+        "cell": key,
+        "scheduler": "heap",
+        "spans_recorded": recorded,
+        "spans_off_best_wall_s": round(off_best, 6),
+        "spans_on_best_wall_s": round(on_best, 6),
+        "overhead_pct": overhead_pct,
+    }
+    if verbose:
+        print(f"[{key}] spans off {off_best:.4f}s  on {on_best:.4f}s  "
+              f"({recorded} spans, +{overhead_pct}%)")
+    return record
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--reps", type=int, default=12,
@@ -205,6 +247,7 @@ def main(argv=None) -> int:
     matrix = []
     for cell in cells:
         matrix.extend(bench_cell(cell, reps))
+    span_overhead = bench_span_overhead(reps)
 
     ok = all(rec["deterministic"] for rec in matrix)
     headline = matrix[0]  # first cell, heap scheduler
@@ -223,6 +266,8 @@ def main(argv=None) -> int:
         "gc_disabled": True,
         "schedulers": list(SCHEDULERS),
         "matrix": matrix,
+        # Lifecycle-span recording cost on the headline cell.
+        "span_overhead": span_overhead,
     }
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""One-shot health gate: the full tier-1 suite plus every CI check.
+
+Runs, in order of increasing specificity:
+
+1. **Tier-1 tests** — ``python -m pytest -x -q`` over ``tests/`` (the
+   ROADMAP's verify gate).
+2. **Kernel check** — ``scripts/check_kernel.py``: scheduler A/B
+   digest sweep + bench smoke against ``BENCH_kernel.json`` (tier-1
+   test files are skipped here; step 1 already ran them).
+3. **Observability check** — ``scripts/check_observability.py``:
+   metrics/manifest/trace validation on a quick figure1 run.
+4. **Span check** — ``scripts/check_observability.py --spans``:
+   lifecycle spans balanced against the counter surface for every NI.
+
+Each step streams its own output; the summary at the end names any
+step that failed.  Exit status 0 = everything passed.
+
+Usage::
+
+    python scripts/check_all.py [--fast]
+
+``--fast`` skips the bench-smoke leg of the kernel check (wall-clock
+noise on loaded machines), keeping only the correctness gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_step(name, argv):
+    print(f"\n=== {name} ===", flush=True)
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    code = subprocess.run(argv, cwd=ROOT, env=env).returncode
+    print(f"=== {name}: {'PASS' if code == 0 else f'FAIL ({code})'} ===",
+          flush=True)
+    return code
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="skip the wall-clock bench smoke inside check_kernel",
+    )
+    args = parser.parse_args(argv)
+
+    py = sys.executable
+    kernel_args = [py, "scripts/check_kernel.py", "--skip-tests"]
+    if args.fast:
+        kernel_args.append("--skip-bench")
+    steps = [
+        ("tier-1 tests", [py, "-m", "pytest", "-x", "-q", "tests/"]),
+        ("kernel check", kernel_args),
+        ("observability check", [py, "scripts/check_observability.py"]),
+        ("span check", [py, "scripts/check_observability.py", "--spans"]),
+    ]
+
+    failures = []
+    for name, step_argv in steps:
+        if run_step(name, step_argv) != 0:
+            failures.append(name)
+
+    print()
+    if failures:
+        print(f"check_all: FAIL ({', '.join(failures)})")
+        return 1
+    print("check_all: PASS (all steps)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

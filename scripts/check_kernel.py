@@ -19,7 +19,8 @@ Three gates, in order of increasing cost:
 Usage::
 
     PYTHONPATH=src python scripts/check_kernel.py [--skip-tests]
-        [--reps 5] [--threshold 0.10] [--baseline BENCH_kernel.json]
+        [--skip-bench] [--reps 5] [--threshold 0.10]
+        [--baseline BENCH_kernel.json]
 
 Exit status 0 = all gates pass.
 """
@@ -111,6 +112,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--skip-tests", action="store_true",
                         help="skip the pytest gate (quick A/B + smoke)")
+    parser.add_argument("--skip-bench", action="store_true",
+                        help="skip the wall-clock bench smoke "
+                             "(correctness gates only)")
     parser.add_argument("--reps", type=int, default=5,
                         help="bench-smoke repetitions (default 5)")
     parser.add_argument("--threshold", type=float, default=0.10,
@@ -126,9 +130,10 @@ def main(argv=None) -> int:
     if not args.skip_tests:
         results.append(("tests", check_tests(repo_root)))
     results.append(("ab_sweep", check_ab_sweep()))
-    results.append(("bench_smoke",
-                    check_bench_smoke(repo_root, args.baseline,
-                                      args.reps, args.threshold)))
+    if not args.skip_bench:
+        results.append(("bench_smoke",
+                        check_bench_smoke(repo_root, args.baseline,
+                                          args.reps, args.threshold)))
 
     failed = [name for name, ok in results if not ok]
     if failed:

@@ -12,7 +12,14 @@ Runs ``repro-experiments figure1 --quick`` in-process with
 3. the trace JSONL parses and every record carries the required
    fields;
 4. (``--compare-jobs``) a ``--jobs 1`` and a ``--jobs 4`` run, both
-   uncached, produce byte-identical metrics totals.
+   uncached, produce byte-identical metrics totals;
+5. (``--spans``) lifecycle spans agree with the counter surface on a
+   contention-free pingpong, for every NI model: phase durations
+   partition each span's latency, per-source ``send_overhead`` sums
+   equal ``node<N>.proc.send_ns``, per-source span counts equal
+   ``node<N>.ni.messages_sent``, completed spans equal the summed
+   ``node<N>.runtime.handled``, and total ``wire`` time equals
+   messages x ``network_latency_ns``.
 
 Exit status 0 = all good; 1 = a check failed (details on stderr).
 
@@ -20,6 +27,7 @@ Usage::
 
     PYTHONPATH=src python scripts/check_observability.py
     PYTHONPATH=src python scripts/check_observability.py --compare-jobs
+    PYTHONPATH=src python scripts/check_observability.py --spans
 """
 
 from __future__ import annotations
@@ -99,13 +107,104 @@ def check_trace_file(path: str):
     return count
 
 
+def check_spans() -> None:
+    """Spans vs counters on a contention-free pingpong, every NI.
+
+    The span recorder and the metrics registry observe the same run
+    through independent hooks; on a contention-free pingpong their
+    books must balance exactly, which pins both surfaces at once.
+    """
+    from collections import defaultdict
+
+    from repro import ALL_NI_NAMES, run_workload
+
+    payload, rounds = 248, 10  # >96B so udma takes its DMA path
+    for ni in ALL_NI_NAMES:
+        result = run_workload(
+            ni=ni, workload="pingpong", payload_bytes=payload,
+            rounds=rounds, spans=True,
+        )
+        snap = result.machine.obs.snapshot()
+        spans = result.spans
+        if not spans:
+            raise SystemExit(fail(f"{ni}: no completed spans"))
+        if result.machine.spans.open_count:
+            raise SystemExit(fail(
+                f"{ni}: {result.machine.spans.open_count} spans left open"
+            ))
+
+        per_src_send = defaultdict(int)
+        per_src_count = defaultdict(int)
+        wire_total = 0
+        for span in spans:
+            durations = span.phase_durations()
+            if sum(durations.values()) != span.latency_ns():
+                raise SystemExit(fail(
+                    f"{ni}: span {span.span_id} phases sum to "
+                    f"{sum(durations.values())}, latency is "
+                    f"{span.latency_ns()}"
+                ))
+            per_src_send[span.src] += durations.get("send_overhead", 0)
+            per_src_count[span.src] += 1
+            wire_total += durations.get("wire", 0)
+
+        for src, total in sorted(per_src_send.items()):
+            counted = snap.get(f"node{src}.proc.send_ns")
+            if total != counted:
+                raise SystemExit(fail(
+                    f"{ni}: node{src} span send_overhead {total} != "
+                    f"proc.send_ns {counted}"
+                ))
+        for src, count in sorted(per_src_count.items()):
+            sent = snap.get(f"node{src}.ni.messages_sent")
+            if count != sent:
+                raise SystemExit(fail(
+                    f"{ni}: node{src} has {count} spans but "
+                    f"ni.messages_sent is {sent}"
+                ))
+
+        handled = sum(
+            v for k, v in snap.items() if k.endswith(".runtime.handled")
+        )
+        if len(spans) != handled:
+            raise SystemExit(fail(
+                f"{ni}: {len(spans)} completed spans != "
+                f"{handled} handled messages"
+            ))
+
+        messages = sum(
+            v for k, v in snap.items() if k.endswith(".ni.messages_sent")
+        )
+        expect_wire = messages * result.machine.params.network_latency_ns
+        if wire_total != expect_wire:
+            raise SystemExit(fail(
+                f"{ni}: total wire time {wire_total} != "
+                f"{messages} msgs x network_latency_ns = {expect_wire}"
+            ))
+        print(
+            f"check_observability: spans ok for {ni:10s} "
+            f"({len(spans)} spans balance proc.send_ns, "
+            f"messages_sent, handled, wire)"
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--compare-jobs", action="store_true",
         help="also verify --jobs 1 and --jobs 4 metrics totals match",
     )
+    parser.add_argument(
+        "--spans", action="store_true",
+        help="verify lifecycle spans balance against the counter "
+             "surface on pingpong for every NI model",
+    )
     args = parser.parse_args(argv)
+
+    if args.spans:
+        check_spans()
+        print("check_observability: PASS")
+        return 0
 
     with tempfile.TemporaryDirectory(prefix="repro-obs-") as tmp:
         metrics = os.path.join(tmp, "metrics.json")

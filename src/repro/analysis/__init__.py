@@ -1,5 +1,21 @@
-"""Post-run analysis: analytical cost models and validation."""
+"""Post-run analysis: analytical cost models, validation, and the
+span-based latency decomposition (Figure 1 for message latency)."""
 
 from repro.analysis.costmodel import CostModel, predict
+from repro.analysis.latency import (
+    LatencyDecomposition,
+    decompose,
+    latency_report,
+    percentile,
+    phase_share,
+)
 
-__all__ = ["CostModel", "predict"]
+__all__ = [
+    "CostModel",
+    "LatencyDecomposition",
+    "decompose",
+    "latency_report",
+    "percentile",
+    "phase_share",
+    "predict",
+]

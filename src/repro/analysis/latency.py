@@ -1,0 +1,163 @@
+"""Latency decomposition from message lifecycle spans.
+
+The paper's Figure 1 stacks where execution time goes (compute / data
+transfer / buffering); this module stacks where *message latency* goes
+— per NI, per phase — from the spans :mod:`repro.obs.spans` records:
+
+- :func:`decompose` — one span population to a
+  :class:`LatencyDecomposition`: end-to-end p50/p95/p99 plus mean
+  ns-per-phase;
+- :func:`latency_report` — several populations (one per NI / cell) to
+  an aligned text table, the ``repro-experiments --spans`` report;
+- :func:`phase_share` — a phase's share of the total mean latency,
+  which is what the paper-ordering acceptance checks compare
+  (``NI_2w`` largest ``send_overhead`` share, ``CNI_32Qm`` smallest
+  ``recv_buffering`` share).
+
+Spans arrive either as :class:`~repro.obs.spans.Span` objects (from
+``machine.spans`` / ``RunResult.spans``) or as the plain dicts the
+span files and the cell cache carry — both work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.obs.spans import PHASES, Span
+
+
+def _phase_durations(span: Union[Span, Dict[str, Any]]) -> Tuple[int, Dict[str, int]]:
+    """(latency_ns, {phase: ns}) for a completed span (object or dict)."""
+    if isinstance(span, Span):
+        return span.latency_ns(), span.phase_durations()
+    if "phases" in span:
+        return span["latency_ns"], span["phases"]
+    # A dict without precomputed phases: rebuild from transitions.
+    return Span.from_jsonable(span).latency_ns(), \
+        Span.from_jsonable(span).phase_durations()
+
+
+def percentile(sorted_values: Sequence[int], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("no values")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = q / 100.0 * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+@dataclass
+class LatencyDecomposition:
+    """Percentiles and per-phase means of one span population."""
+
+    label: str
+    count: int
+    p50_ns: float
+    p95_ns: float
+    p99_ns: float
+    mean_ns: float
+    #: Mean ns per phase, canonical phase order, zero-filled.
+    phase_mean_ns: Dict[str, float] = field(default_factory=dict)
+
+    def phase_share(self, phase: str) -> float:
+        """This phase's fraction of the total mean latency."""
+        if self.mean_ns <= 0:
+            return 0.0
+        return self.phase_mean_ns.get(phase, 0.0) / self.mean_ns
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "count": self.count,
+            "p50_ns": round(self.p50_ns, 1),
+            "p95_ns": round(self.p95_ns, 1),
+            "p99_ns": round(self.p99_ns, 1),
+            "mean_ns": round(self.mean_ns, 1),
+            "phase_mean_ns": {
+                phase: round(ns, 1)
+                for phase, ns in self.phase_mean_ns.items()
+            },
+        }
+
+
+def decompose(
+    spans: Iterable[Union[Span, Dict[str, Any]]],
+    label: str = "",
+) -> LatencyDecomposition:
+    """Reduce one span population to its latency decomposition."""
+    latencies: List[int] = []
+    phase_totals: Dict[str, int] = {phase: 0 for phase in PHASES}
+    for span in spans:
+        latency, phases = _phase_durations(span)
+        latencies.append(latency)
+        for phase, ns in phases.items():
+            phase_totals[phase] = phase_totals.get(phase, 0) + ns
+    if not latencies:
+        raise ValueError(f"no completed spans to decompose ({label!r})")
+    latencies.sort()
+    count = len(latencies)
+    return LatencyDecomposition(
+        label=label,
+        count=count,
+        p50_ns=percentile(latencies, 50),
+        p95_ns=percentile(latencies, 95),
+        p99_ns=percentile(latencies, 99),
+        mean_ns=sum(latencies) / count,
+        phase_mean_ns={
+            phase: total / count for phase, total in phase_totals.items()
+        },
+    )
+
+
+def phase_share(
+    spans: Iterable[Union[Span, Dict[str, Any]]], phase: str
+) -> float:
+    """Shortcut: ``phase``'s share of mean end-to-end latency."""
+    return decompose(spans, label=phase).phase_share(phase)
+
+
+def latency_report(
+    cells: Sequence[Tuple[str, Iterable[Union[Span, Dict[str, Any]]]]],
+) -> str:
+    """Aligned text report over ``(label, spans)`` populations.
+
+    One row per cell: count, p50/p95/p99 end-to-end, then the mean
+    ns-per-phase stack in canonical phase order — Figure 1's stacked
+    bars as numbers.
+    """
+    decomps = [decompose(spans, label) for label, spans in cells]
+    headers = (
+        ["cell", "n", "p50", "p95", "p99", "mean"]
+        + [phase for phase in PHASES]
+    )
+    rows = []
+    for d in decomps:
+        rows.append(
+            [d.label, str(d.count),
+             f"{d.p50_ns:.0f}", f"{d.p95_ns:.0f}", f"{d.p99_ns:.0f}",
+             f"{d.mean_ns:.0f}"]
+            + [f"{d.phase_mean_ns.get(phase, 0.0):.0f}" for phase in PHASES]
+        )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) if i == 0 else h.rjust(widths[i])
+                  for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                      for i, cell in enumerate(row))
+        )
+    lines.append("")
+    lines.append("latency in ns; per-phase columns are mean ns per message "
+                 "(they sum to mean)")
+    return "\n".join(lines)

@@ -109,6 +109,17 @@ class RunResult:
     def elapsed_us(self) -> float:
         return self.workload.elapsed_us
 
+    @property
+    def spans(self):
+        """Completed message lifecycle spans (``repro.obs.spans``).
+
+        Empty unless the run was built with ``spans=True`` (or params
+        with ``spans=True``); each span carries per-phase timing —
+        feed them to :func:`repro.obs.export_perfetto` or
+        :func:`repro.analysis.latency_report`.
+        """
+        return self.machine.spans.completed()
+
     def breakdown(self) -> Dict[str, float]:
         """Figure 1 fractions: compute / data_transfer / buffering."""
         return self.workload.breakdown()
@@ -121,17 +132,21 @@ def run_workload(
     num_nodes: Optional[int] = None,
     params: Optional[SystemParams] = None,
     costs: Optional[SoftwareCosts] = None,
+    spans: bool = False,
     **workload_kwargs: Any,
 ) -> RunResult:
     """Build a machine, run ``workload`` on it, return everything.
 
     ``workload`` is a name from :func:`list_workloads` (constructor
     kwargs pass through, e.g. ``payload_bytes=256``) or a ready
-    :class:`~repro.workloads.base.Workload` instance.
+    :class:`~repro.workloads.base.Workload` instance.  ``spans=True``
+    records per-message lifecycle spans (``RunResult.spans``).
     """
     instance = _resolve_workload(workload, **workload_kwargs)
     if num_nodes is None:
         num_nodes = instance.num_nodes
+    if spans:
+        params = (params or DEFAULT_PARAMS).replace(spans=True)
     machine = build_machine(
         ni=ni, num_nodes=num_nodes, params=params, costs=costs,
     )

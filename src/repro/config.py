@@ -63,6 +63,10 @@ class SystemParams:
     #: see repro.tools.timeline.  Off by default: tracing costs time
     #: and memory.
     tracing: bool = False
+    #: Record per-message lifecycle spans (phase-attributed latency) —
+    #: see repro.obs.spans.  Off by default, same discipline as
+    #: ``tracing``: the disabled path is one attribute check.
+    spans: bool = False
     #: Bus coherence protocol: "MOESI" (Table 3) or "MESI" (ablation).
     #: Without the Owned state, a dirty block snooped by a read is
     #: flushed to memory and the reader fetches it from there — no

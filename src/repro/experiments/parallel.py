@@ -38,10 +38,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SoftwareCosts, SystemParams
 
-#: Version tag of the serialized :class:`CellResult` form (shared with
-#: :data:`repro.obs.SCHEMA_VERSION`); entries written under another
-#: schema are cache misses, not errors.
-RESULT_SCHEMA = 1
+#: Version tag of the serialized :class:`CellResult` form; entries
+#: written under another schema are cache misses, not errors.  Bumped
+#: to 2 when lifecycle spans joined the payload (old cache entries age
+#: out on first read).
+RESULT_SCHEMA = 2
 
 #: Workload names handled directly by :func:`run_cell` (the two
 #: microbenchmarks are not in the macrobenchmark registry).
@@ -136,6 +137,11 @@ class CellResult:
     metrics: Dict[str, float] = field(default_factory=dict)
     #: Trace records (JSON objects) when the job ran with tracing on.
     trace: Tuple[Dict[str, Any], ...] = ()
+    #: Completed lifecycle spans (JSON objects, see repro.obs.spans)
+    #: when the job ran with ``params.spans`` on.  Span ids are
+    #: machine-local, so this payload is identical whether the cell ran
+    #: in-process or in a pool worker.
+    spans: Tuple[Dict[str, Any], ...] = ()
 
     @property
     def elapsed_us(self) -> float:
@@ -163,6 +169,7 @@ class CellResult:
             "ni_counters": [dict(c) for c in self.ni_counters],
             "metrics": dict(self.metrics),
             "trace": [dict(r) for r in self.trace],
+            "spans": [dict(s) for s in self.spans],
         }
 
     @classmethod
@@ -191,6 +198,7 @@ class CellResult:
             ni_counters=tuple(dict(c) for c in data["ni_counters"]),
             metrics=dict(data.get("metrics", {})),
             trace=tuple(dict(r) for r in data.get("trace", ())),
+            spans=tuple(dict(s) for s in data.get("spans", ())),
         )
 
 
@@ -243,6 +251,9 @@ def run_cell(job: Job) -> CellResult:
         from repro.obs.export import trace_records_jsonable
 
         trace = tuple(trace_records_jsonable(tracer.records, cell=job.label))
+    spans: Tuple[Dict[str, Any], ...] = ()
+    if machine.spans.enabled:
+        spans = tuple(machine.spans.to_jsonable())
     return CellResult(
         label=job.label,
         elapsed_ns=result.elapsed_ns,
@@ -257,6 +268,7 @@ def run_cell(job: Job) -> CellResult:
         ),
         metrics=machine.obs.snapshot(),
         trace=trace,
+        spans=spans,
     )
 
 
@@ -280,13 +292,16 @@ class SweepExecutor:
     """
 
     def __init__(self, jobs: Optional[int] = None, cache=None,
-                 tracing: bool = False):
+                 tracing: bool = False, spans: bool = False):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         #: Force ``params.tracing`` on for every job (``--trace``).
         #: Applied by rewriting the job spec, so the cache keys move
         #: with it — traced and untraced cells never alias.
         self.tracing = tracing
+        #: Force ``params.spans`` on for every job (``--spans``); same
+        #: rewrite-the-spec discipline, same cache-key consequences.
+        self.spans = spans
         #: Every ``(job, result, cached)`` this executor produced, in
         #: execution order — the runner reads it to assemble the
         #: ``--metrics``/``--trace``/manifest exports without each
@@ -299,6 +314,12 @@ class SweepExecutor:
             jobs = [
                 job if job.params.tracing
                 else replace(job, params=replace(job.params, tracing=True))
+                for job in jobs
+            ]
+        if self.spans:
+            jobs = [
+                job if job.params.spans
+                else replace(job, params=replace(job.params, spans=True))
                 for job in jobs
             ]
         results: List[Optional[CellResult]] = [None] * len(jobs)

@@ -23,9 +23,14 @@ Observability (see docs/observability.md):
 - ``--trace PATH`` enables the simulator tracer in every cell and
   dumps the records as JSON Lines; ``--trace-filter`` restricts the
   categories.
-- Whenever ``--json``/``--metrics``/``--trace`` is given, a
-  ``manifest.json`` provenance record is written next to the first of
-  those outputs.
+- ``--spans PATH`` enables per-message lifecycle spans in every cell,
+  writes them as JSON, and prints the per-cell latency-decomposition
+  report (p50/p95/p99 + mean ns-per-phase); ``--perfetto PATH``
+  additionally writes a Chrome Trace Event Format file loadable in
+  ui.perfetto.dev.
+- Whenever ``--json``/``--metrics``/``--trace``/``--spans``/
+  ``--perfetto`` is given, a ``manifest.json`` provenance record is
+  written next to the first of those outputs.
 """
 
 from __future__ import annotations
@@ -171,6 +176,16 @@ def main(argv=None) -> int:
              "(repeatable or comma-separated)",
     )
     parser.add_argument(
+        "--spans", metavar="PATH", dest="spans_path",
+        help="record per-message lifecycle spans in every cell, write "
+             "them to PATH, and print the latency-decomposition report",
+    )
+    parser.add_argument(
+        "--perfetto", metavar="PATH", dest="perfetto_path",
+        help="also export the spans as Chrome Trace Event Format JSON "
+             "(load in ui.perfetto.dev); implies span recording",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment names"
     )
     args = parser.parse_args(argv)
@@ -190,6 +205,7 @@ def main(argv=None) -> int:
     cache = None if args.no_cache else ResultCache()
     executor = SweepExecutor(
         jobs=args.jobs, cache=cache, tracing=bool(args.trace_path),
+        spans=bool(args.spans_path or args.perfetto_path),
     )
 
     run_start = time.time()
@@ -230,6 +246,7 @@ def _write_observability(args, executor, names, wall_time_s) -> int:
         build_manifest,
         manifest_path_for,
         metrics_payload,
+        spans_payload,
         trace_records_jsonable,
         write_json,
         write_trace_jsonl,
@@ -266,7 +283,42 @@ def _write_observability(args, executor, names, wall_time_s) -> int:
         else:
             print(f"[{count} trace records written to {args.trace_path}]")
 
-    anchor = args.json_path or args.metrics_path or args.trace_path
+    if args.spans_path or args.perfetto_path:
+        cell_spans = [
+            (job.label, cell.spans) for job, cell, _cached in completed
+            if cell.spans
+        ]
+        if args.spans_path:
+            try:
+                write_json(args.spans_path, spans_payload(cell_spans))
+            except OSError as exc:
+                print(f"cannot write {args.spans_path}: {exc}",
+                      file=sys.stderr)
+                status = 1
+            else:
+                total = sum(len(spans) for _l, spans in cell_spans)
+                print(f"[{total} spans written to {args.spans_path}]")
+        if args.perfetto_path:
+            from repro.obs.spans import export_perfetto
+
+            try:
+                count = export_perfetto(args.perfetto_path, cell_spans)
+            except OSError as exc:
+                print(f"cannot write {args.perfetto_path}: {exc}",
+                      file=sys.stderr)
+                status = 1
+            else:
+                print(f"[{count} trace events written to "
+                      f"{args.perfetto_path}]")
+        if cell_spans:
+            from repro.analysis.latency import latency_report
+
+            print()
+            print("latency decomposition (from spans):")
+            print(latency_report(cell_spans))
+
+    anchor = (args.json_path or args.metrics_path or args.trace_path
+              or args.spans_path or args.perfetto_path)
     if anchor:
         cache = executor.cache
         manifest = build_manifest(
@@ -289,6 +341,8 @@ def _write_observability(args, executor, names, wall_time_s) -> int:
                 "json": args.json_path,
                 "metrics": args.metrics_path,
                 "trace": args.trace_path,
+                "spans": args.spans_path,
+                "perfetto": args.perfetto_path,
             },
         )
         manifest_path = manifest_path_for(anchor)

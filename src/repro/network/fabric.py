@@ -19,6 +19,7 @@ from typing import Callable, Dict
 
 from repro.config import SystemParams
 from repro.network.message import Message, MessageKind
+from repro.obs.spans import SpanRecorder
 from repro.sim import Counter, Simulator
 from repro.sim.trace import Tracer
 
@@ -44,6 +45,9 @@ class Network:
         #: Machine-wide tracer (message life cycles); enabled by
         #: ``SystemParams.tracing``.
         self.tracer = Tracer(sim, enabled=params.tracing)
+        #: Machine-wide lifecycle-span recorder; enabled by
+        #: ``SystemParams.spans``.
+        self.spans = SpanRecorder(sim, enabled=params.spans)
         self._data_endpoints: Dict[int, ArrivalHook] = {}
         self._control_endpoints: Dict[int, ArrivalHook] = {}
         self.counters = Counter()
@@ -83,6 +87,9 @@ class Network:
         if msg.dst not in self._data_endpoints:
             raise ValueError(f"destination node {msg.dst} not registered")
         msg.sent_at = self.sim.now
+        if self.spans.enabled:
+            # Flight start; untracked messages (acks, returns) no-op.
+            self.spans.mark(msg, "wire")
         if self.tracer.enabled:
             self.tracer.log("net", "wire", uid=msg.uid, kind=msg.kind.value,
                             src=msg.src, dst=msg.dst, size=msg.size)

@@ -121,6 +121,11 @@ class FlowControlUnit:
     # -- receiver side -----------------------------------------------------
 
     def _on_data(self, msg: Message) -> None:
+        if self.network.spans.enabled:
+            # Flight over: accepted or bounced, the message is now in
+            # receive-side buffering (bounce/backoff time included —
+            # it is receive-buffer shortage by definition).
+            self.network.spans.mark(msg, "recv_buffering")
         if self.recv_buffers.try_acquire():
             self.counters.add("accepted")
             if self.network.tracer.enabled:
@@ -137,6 +142,8 @@ class FlowControlUnit:
             # No free incoming buffer: bounce the whole message back,
             # which occupies this NI's port for the message's length.
             self.counters.add("returned")
+            if self.network.spans.enabled:
+                self.network.spans.annotate(msg, "bounces")
             if self.network.tracer.enabled:
                 self.network.tracer.log(self.name, "bounce", uid=msg.uid,
                                         bounces=msg.bounces + 1)
@@ -194,12 +201,16 @@ class FlowControlUnit:
         yield self.sim.delay(self._port_time(original))
         self._port.release(grant)
         self.counters.add("retried")
+        if self.network.spans.enabled:
+            self.network.spans.annotate(original, "ni_retries")
         self.network.inject(original)
 
     def reinject(self, msg: Message) -> None:
         """Processor-managed retry: put a returned message back on the
         wire (the processor has already paid the re-push cost)."""
         self.counters.add("retried")
+        if self.network.spans.enabled:
+            self.network.spans.annotate(msg, "processor_retries")
         self.network.inject(msg)
 
     @property

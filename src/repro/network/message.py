@@ -52,6 +52,11 @@ class Message:
     sent_at: Optional[int] = None
     #: Retries this message suffered from return-to-sender bounces.
     bounces: int = 0
+    #: Lifecycle-span id, assigned per machine by
+    #: :class:`repro.obs.spans.SpanRecorder` when spans are enabled.
+    #: Unlike ``uid`` it is deterministic across processes, so span
+    #: files from serial and pooled sweeps compare byte-identical.
+    span_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.size <= 0:

@@ -236,7 +236,9 @@ class NetworkInterface(ABC):
         return
         yield  # pragma: no cover
 
-    def _acquire_send_buffer_blocking(self) -> Generator:
+    def _acquire_send_buffer_blocking(
+        self, msg: Optional[Message] = None
+    ) -> Generator:
         """Reserve an outgoing flow-control buffer in processor context.
 
         While blocked, the processor keeps polling: draining incoming
@@ -244,13 +246,17 @@ class NetworkInterface(ABC):
         poll-while-sending discipline that avoids fetch-deadlock on
         fifo NIs [CM-5] — and paying the NI-specific status-monitoring
         cost each loop.  All blocked time lands in the ``"buffering"``
-        timer state.
+        timer state; when ``msg`` is given, its span mirrors the stall
+        as a ``send_buffering`` segment.
         """
         if self.fcu.try_acquire_send_buffer():
             return
         timer = self.node.timer
         timer.push("buffering")
         self.counters.add("send_buffer_stalls")
+        spans = self.node.network.spans
+        if msg is not None and spans.enabled:
+            spans.mark(msg, "send_buffering")
         try:
             while True:
                 absorbed = yield from self.node.runtime.absorb_pending()
@@ -272,6 +278,9 @@ class NetworkInterface(ABC):
                 self.fcu.send_buffers.cancel(token)
         finally:
             timer.pop()
+            if msg is not None and spans.enabled:
+                # Buffer acquired: the processor resumes its stores.
+                spans.mark(msg, "send_overhead")
 
     def _inject(self, msg: Message) -> None:
         """Hand an already-buffered message to the wire."""

@@ -43,6 +43,9 @@ class AP3000NI(FifoNI):
     metric_names = FifoNI.metric_names + ("chunks_pushed", "chunks_popped")
 
     def _push_fifo(self, msg: Message) -> Generator:
+        spans = self.node.network.spans
+        if spans.enabled:
+            spans.annotate(msg, "chunk_pushes", len(self._chunks(msg)))
         for chunk in self._chunks(msg):
             words = max(1, -(-chunk // 8))
             # Fill the send block buffer from the user data (the data
@@ -55,6 +58,9 @@ class AP3000NI(FifoNI):
             self.counters.add("chunks_pushed")
 
     def _pop_fifo(self, msg: Message) -> Generator:
+        spans = self.node.network.spans
+        if spans.enabled:
+            spans.annotate(msg, "chunk_pops", len(self._chunks(msg)))
         for chunk in self._chunks(msg):
             words = max(1, -(-chunk // 8))
             # Block-load the chunk from the NI fifo into the receive

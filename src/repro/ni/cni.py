@@ -120,15 +120,21 @@ class CoherentNI(NetworkInterface):
 
     def send_message(self, msg: Message) -> Generator:
         nblocks = self._blocks_for(msg.size)
+        spans = self.node.network.spans
         if not self.send_queue.can_reserve(nblocks):
             # Send queue full: NI engine is behind (e.g. out of
             # flow-control buffers for long enough).  This is the
             # *only* way flow control back-pressures a CNI's processor.
             self.node.timer.push("buffering")
             self.counters.add("send_queue_stalls")
+            if spans.enabled:
+                spans.mark(msg, "send_buffering")
             while not self.send_queue.can_reserve(nblocks):
                 yield self.send_queue.space_gate.wait()
             self.node.timer.pop()
+            if spans.enabled:
+                # Space opened: composition (processor work) resumes.
+                spans.mark(msg, "send_overhead")
         addrs = self.send_queue.reserve(nblocks)
         if not self.use_optimizations:
             # Explicit tail-pointer update: a store to the shared
@@ -152,6 +158,10 @@ class CoherentNI(NetworkInterface):
                 self._feed.try_put(("block", addr))
         self.send_queue.commit(msg, addrs)
         self.counters.add("messages_composed")
+        if spans.enabled:
+            # Committed: the processor is done; the message now sits in
+            # the send queue until the NI engine fetches and injects.
+            spans.mark(msg, "send_buffering")
         self._feed.try_put(("msg", msg, addrs))
 
     # ------------------------------------------------------------------
@@ -286,6 +296,9 @@ class CoherentNI(NetworkInterface):
         Default: invalidate stale cached copies and post each block to
         the queue's home.  Subclasses change where the blocks land.
         """
+        spans = self.node.network.spans
+        if spans.enabled:
+            spans.annotate(msg, "deposit_home", len(addrs))
         for addr in addrs:
             yield from self.bus.transaction(
                 BusOp.UPGRADE, addr, self.params.cache_block_bytes,

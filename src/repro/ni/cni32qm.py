@@ -242,7 +242,10 @@ class CNI32Qm(CoherentNI):
                 self.recv_cache.line_blocks_live_victim(a) for a in addrs
             )
         )
+        spans = self.node.network.spans
         if fits or not self.bypass_when_full:
+            if spans.enabled:
+                spans.annotate(msg, "deposit_rcache", len(addrs))
             for addr in addrs:
                 yield from self.recv_cache.write_block(addr)
                 self._live_addrs.add(addr)
@@ -252,6 +255,8 @@ class CNI32Qm(CoherentNI):
         else:
             # Bypass: write straight to main memory so the queue head
             # stays fast; drop any stale NI-cache copies of these slots.
+            if spans.enabled:
+                spans.annotate(msg, "deposit_bypass", len(addrs))
             for addr in addrs:
                 self.recv_cache.drop(addr)
             yield from super()._deposit_blocks(msg, addrs)

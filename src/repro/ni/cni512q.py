@@ -66,6 +66,9 @@ class CNI512Q(CoherentNI):
         critical path.  Only the invalidate and a pipeline cycle are
         on the engine's critical path.
         """
+        spans = self.node.network.spans
+        if spans.enabled:
+            spans.annotate(msg, "deposit_ni_local", len(addrs))
         for addr in addrs:
             yield from self.bus.transaction(
                 BusOp.UPGRADE, addr, self.params.cache_block_bytes,

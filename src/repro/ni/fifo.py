@@ -88,7 +88,7 @@ class FifoNI(NetworkInterface):
 
     def send_message(self, msg: Message) -> Generator:
         """Reserve a fifo slot, push the message, ring the doorbell."""
-        yield from self._acquire_send_buffer_blocking()
+        yield from self._acquire_send_buffer_blocking(msg)
         yield from self._push_fifo(msg)
         yield from self._doorbell(msg)
         self._inject(msg)
@@ -122,6 +122,11 @@ class FifoNI(NetworkInterface):
         # incoming flow-control buffer.
         self.fcu.release_receive_buffer()
         self.counters.add("messages_received")
+        spans = self.node.network.spans
+        if spans.enabled:
+            # Extraction cost stays in recv_buffering (the span leaves
+            # it at handler dispatch); record who drained the fifo.
+            spans.annotate(msg, "fifo_extracted")
         return msg
 
     def _status_check(self) -> Generator:

@@ -58,7 +58,10 @@ class MemoryChannelNI(CoherentNI):
         """AP3000-style processor-managed send: reserve an outgoing
         flow-control buffer, block-store the message into the NI
         through the block buffer, ring the doorbell."""
-        yield from self._acquire_send_buffer_blocking()
+        yield from self._acquire_send_buffer_blocking(msg)
+        spans = self.node.network.spans
+        if spans.enabled:
+            spans.annotate(msg, "chunk_pushes", len(self._chunks(msg)))
         for chunk in self._chunks(msg):
             words = max(1, -(-chunk // 8))
             yield self.sim.delay(words * self.costs.copy_word)

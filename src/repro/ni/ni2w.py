@@ -45,11 +45,17 @@ class CM5NI(FifoNI):
     def _push_fifo(self, msg: Message) -> Generator:
         # Word-at-a-time uncached stores into the 2-word fifo window,
         # after reading each word from the (cache-resident) user buffer.
+        spans = self.node.network.spans
+        if spans.enabled:
+            spans.annotate(msg, "word_pushes", self._words(msg))
         yield from self._push_words(msg)
 
     def _pop_fifo(self, msg: Message) -> Generator:
         # Word-at-a-time uncached loads from the fifo window, plus the
         # messaging-layer copy into the user-level buffer.
+        spans = self.node.network.spans
+        if spans.enabled:
+            spans.annotate(msg, "word_pops", self._words(msg))
         yield from self._pop_words(msg)
 
 

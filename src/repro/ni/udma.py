@@ -69,10 +69,15 @@ class UdmaNI(FifoNI):
     # -- send -------------------------------------------------------------
 
     def _push_fifo(self, msg: Message) -> Generator:
+        spans = self.node.network.spans
         if not self._use_udma(msg):
+            if spans.enabled:
+                spans.annotate(msg, "word_fallback_send")
             yield from self._push_words(msg)
             return
         self.counters.add("udma_sends")
+        if spans.enabled:
+            spans.annotate(msg, "udma_send")
         # Two-instruction initiation (uncached store + uncached load)
         # plus the bus-mastership switch from processor to NI.
         yield self.sim.delay(self.costs.udma_setup)
@@ -92,10 +97,15 @@ class UdmaNI(FifoNI):
     # -- receive -----------------------------------------------------------
 
     def _pop_fifo(self, msg: Message) -> Generator:
+        spans = self.node.network.spans
         if not self._use_udma(msg):
+            if spans.enabled:
+                spans.annotate(msg, "word_fallback_recv")
             yield from self._pop_words(msg)
             return
         self.counters.add("udma_receives")
+        if spans.enabled:
+            spans.annotate(msg, "udma_recv")
         # Receive-side UDMA initiation by the processor.
         yield self.sim.delay(self.costs.udma_setup)
         yield from self._uncached_write(8)

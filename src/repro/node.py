@@ -158,6 +158,10 @@ class Machine:
         #: always did, and the registry only walks them at snapshot time.
         self.obs = MetricsRegistry()
         mount_simulator(self.obs, self.sim)
+        #: The machine's lifecycle-span recorder (see repro.obs.spans);
+        #: lives on the network so NIs and flow control reach it the
+        #: same way they reach the tracer.
+        self.spans = self.network.spans
         self.obs.mount("net", self.network.counters)
         for node in self.nodes:
             node.mount_metrics(self.obs)
@@ -165,6 +169,10 @@ class Machine:
     def metrics_snapshot(self) -> dict:
         """Flat ``{dotted.path: number}`` view of every mounted metric."""
         return self.obs.snapshot()
+
+    def spans_jsonable(self) -> list:
+        """Completed lifecycle spans as plain JSON objects."""
+        return self.spans.to_jsonable()
 
     def __iter__(self) -> Iterator[Node]:
         return iter(self.nodes)

@@ -13,6 +13,10 @@ surface that evidence flows through:
   simulator's :class:`~repro.sim.trace.Tracer`, per-cell metrics
   snapshots, and the ``manifest.json`` provenance record the
   experiment runner writes next to its outputs.
+- :mod:`repro.obs.spans` — per-message lifecycle spans: every message
+  becomes a timed span with typed phases (``send_overhead`` /
+  ``send_buffering`` / ``wire`` / ``recv_buffering`` / ``handler``),
+  exportable to Perfetto via :func:`export_perfetto`.
 
 See docs/observability.md for the path naming convention and the
 manifest schema.
@@ -34,6 +38,7 @@ from repro.obs.export import (
 from repro.obs.metrics import (
     NULL_INSTRUMENT,
     SIM_GAUGE_KEYS,
+    SIM_SCHEDULER_GAUGE_KEYS,
     FixedBucketHistogram,
     Gauge,
     MetricsRegistry,
@@ -43,12 +48,25 @@ from repro.obs.metrics import (
     merge_snapshots,
     mount_simulator,
 )
+from repro.obs.spans import (
+    PHASES,
+    SPAN_SCHEMA,
+    Span,
+    SpanRecorder,
+    export_perfetto,
+    perfetto_events,
+)
 
 __all__ = [
     "MANIFEST_KEYS",
     "NULL_INSTRUMENT",
+    "PHASES",
     "SCHEMA_VERSION",
     "SIM_GAUGE_KEYS",
+    "SIM_SCHEDULER_GAUGE_KEYS",
+    "SPAN_SCHEMA",
+    "Span",
+    "SpanRecorder",
     "FixedBucketHistogram",
     "Gauge",
     "MetricsRegistry",
@@ -56,11 +74,13 @@ __all__ = [
     "ScalarCounter",
     "Scope",
     "build_manifest",
+    "export_perfetto",
     "git_describe",
     "manifest_path_for",
     "merge_snapshots",
     "metrics_payload",
     "mount_simulator",
+    "perfetto_events",
     "read_trace_jsonl",
     "trace_records_jsonable",
     "validate_manifest",

@@ -45,7 +45,7 @@ MANIFEST_KEYS = frozenset({
     "wall_time_s",     # end-to-end harness wall clock
     "sim_time_ns",     # sum of per-cell simulated time
     "cache",           # {enabled, hits, misses}
-    "outputs",         # {json, metrics, trace} paths (or None)
+    "outputs",         # {json, metrics, trace, spans, perfetto} paths
 })
 
 
@@ -129,6 +129,32 @@ def metrics_payload(
         "schema": SCHEMA_VERSION,
         "cells": cells,
         "totals": merge_snapshots(snap for _label, snap in cell_snapshots),
+    }
+
+
+# -- span export -------------------------------------------------------
+
+
+def spans_payload(
+    cell_spans: Sequence[Any],
+) -> Dict[str, Any]:
+    """The ``--spans`` file body: per-cell completed lifecycle spans.
+
+    ``cell_spans`` is a sequence of ``(label, spans)`` pairs in
+    execution order, spans being the JSON objects
+    :meth:`repro.obs.spans.SpanRecorder.to_jsonable` emits.  Span ids
+    are machine-local, so serial and ``--jobs N`` sweeps produce
+    byte-identical payloads.
+    """
+    from repro.obs.spans import SPAN_SCHEMA
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "span_schema": SPAN_SCHEMA,
+        "cells": {
+            label: [dict(span) for span in spans]
+            for label, spans in cell_spans
+        },
     }
 
 

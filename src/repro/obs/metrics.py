@@ -311,16 +311,36 @@ SIM_GAUGE_KEYS = (
     "timeout_pool",
 )
 
+#: Wheel-scheduler internals, mounted only on request (they are
+#: meaningless — and absent from ``stats()`` — on the heap scheduler,
+#: so mounting them by default would break heap/wheel snapshot-key
+#: parity).  ``wheel_occupied_slots`` is the popcount of the slot
+#: bitmask, ``wheel_base`` the window start time, ``wheel_overflow``
+#: the depth of the beyond-window heap.
+SIM_SCHEDULER_GAUGE_KEYS = (
+    "wheel_occupied_slots",
+    "wheel_base",
+    "wheel_overflow",
+)
 
-def mount_simulator(registry: "MetricsRegistry", sim) -> None:
+
+def mount_simulator(
+    registry: "MetricsRegistry", sim, include_scheduler_internals: bool = False
+) -> None:
     """Mount the kernel's gauges under ``sim.*``.
 
     Reads go through ``sim.stats()`` at snapshot time only; nothing is
-    sampled on the hot path.
+    sampled on the hot path.  With ``include_scheduler_internals=True``
+    the wheel-only gauges in :data:`SIM_SCHEDULER_GAUGE_KEYS` are
+    mounted too; on a heap scheduler they read as 0 rather than
+    raising, so the flag is safe whatever the kernel backend.
     """
     stats = sim.stats
     for key in SIM_GAUGE_KEYS:
         registry.gauge(f"sim.{key}", lambda k=key: stats()[k])
+    if include_scheduler_internals:
+        for key in SIM_SCHEDULER_GAUGE_KEYS:
+            registry.gauge(f"sim.{key}", lambda k=key: stats().get(k, 0))
 
 
 def merge_snapshots(snapshots: Iterable[Dict[str, float]]) -> Dict[str, float]:

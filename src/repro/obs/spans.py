@@ -1,0 +1,372 @@
+"""Per-message lifecycle spans.
+
+The paper's central evidence is *attribution*: Figure 1 splits
+execution into compute, data transfer, and buffering, and Sections 5-6
+explain each NI's rank by where message cycles go.  End-of-run counter
+totals (``machine.obs``) can reproduce *that* an NI wins; spans show
+*per message* where it wins — every message becomes a timed lifecycle
+with typed phases:
+
+- ``send_overhead`` — processor-side send work: software setup,
+  descriptor construction, uncached stores / cached composition into
+  the NI (the paper's processor-managed data-transfer cost);
+- ``send_buffering`` — residency in send-side buffering: blocked
+  waiting for an outgoing flow-control buffer, or sitting in a
+  coherent NI's send queue while the NI engine fetches and injects;
+- ``wire`` — injection to delivery (each retry flight re-enters it);
+- ``recv_buffering`` — residency in receive-side buffering: NI fifo /
+  memory queue / receive-cache occupancy, flow-control bounces and
+  retry backoff, and the processor's extraction cost, up to handler
+  dispatch;
+- ``handler`` — Tempest dispatch to handler completion.
+
+A span's phases are *transitions*: the span enters a phase at a
+timestamp and stays in it until the next transition (or the end).
+Phases therefore partition the end-to-end interval by construction —
+no gaps, no overlaps — which is the invariant
+``scripts/check_observability.py --spans`` and the property tests
+verify.
+
+One :class:`SpanRecorder` is owned by each machine (reachable as
+``machine.spans`` and ``network.spans``), disabled by default: the
+disabled hot path is a single attribute check (``if spans.enabled:``),
+the same discipline as :class:`~repro.sim.trace.Tracer`.  Span ids are
+assigned per machine from zero, so serial and ``--jobs N`` sweeps
+serialize byte-identical span files (message ``uid`` is process-global
+and deliberately *not* exported).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+#: The five lifecycle phases, in canonical (report) order.
+PHASES: Tuple[str, ...] = (
+    "send_overhead",
+    "send_buffering",
+    "wire",
+    "recv_buffering",
+    "handler",
+)
+
+#: Schema version of the serialized span form (rides inside the
+#: schema-2 :class:`~repro.experiments.parallel.CellResult`).
+SPAN_SCHEMA = 1
+
+
+class Span:
+    """One message's lifecycle: phase transitions over [begin, end]."""
+
+    __slots__ = (
+        "span_id", "src", "dst", "size", "handler",
+        "begin_ns", "end_ns", "transitions", "annotations",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        src: int,
+        dst: int,
+        size: int,
+        handler: Optional[str],
+        begin_ns: int,
+    ):
+        self.span_id = span_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.handler = handler
+        self.begin_ns = begin_ns
+        #: ``None`` until the handler completes.
+        self.end_ns: Optional[int] = None
+        #: ``(phase, enter_time)`` pairs, time-ordered; the span is in
+        #: ``phase`` from ``enter_time`` until the next transition.
+        self.transitions: List[Tuple[str, int]] = [
+            ("send_overhead", begin_ns)
+        ]
+        #: Free-form event counts (``bounces``, ``retries``, per-NI
+        #: data-path markers) — they annotate, never re-phase.
+        self.annotations: Dict[str, int] = {}
+
+    @property
+    def complete(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def current_phase(self) -> str:
+        return self.transitions[-1][0]
+
+    def latency_ns(self) -> Optional[int]:
+        """End-to-end latency (``None`` while the span is open)."""
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.begin_ns
+
+    def phase_durations(self) -> Dict[str, int]:
+        """Nanoseconds spent in each phase (complete spans only).
+
+        Segments of the same phase accumulate.  The durations sum to
+        :meth:`latency_ns` by construction.
+        """
+        if self.end_ns is None:
+            raise ValueError(f"span {self.span_id} is still open")
+        out: Dict[str, int] = {}
+        for i, (phase, start) in enumerate(self.transitions):
+            stop = (
+                self.transitions[i + 1][1]
+                if i + 1 < len(self.transitions) else self.end_ns
+            )
+            out[phase] = out.get(phase, 0) + (stop - start)
+        return out
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON form (the span-file / cell-cache schema)."""
+        entry: Dict[str, Any] = {
+            "span_id": self.span_id,
+            "src": self.src,
+            "dst": self.dst,
+            "size": self.size,
+            "handler": self.handler,
+            "begin_ns": self.begin_ns,
+            "end_ns": self.end_ns,
+            "transitions": [[phase, t] for phase, t in self.transitions],
+            "annotations": dict(sorted(self.annotations.items())),
+        }
+        if self.end_ns is not None:
+            entry["latency_ns"] = self.latency_ns()
+            entry["phases"] = {
+                phase: ns
+                for phase, ns in sorted(self.phase_durations().items())
+            }
+        return entry
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(
+            data["span_id"], data["src"], data["dst"], data["size"],
+            data["handler"], data["begin_ns"],
+        )
+        span.transitions = [
+            (phase, t) for phase, t in data["transitions"]
+        ]
+        span.end_ns = data.get("end_ns")
+        span.annotations = dict(data.get("annotations", {}))
+        return span
+
+    def __repr__(self) -> str:
+        state = (
+            f"done {self.latency_ns()}ns" if self.complete
+            else f"open@{self.current_phase}"
+        )
+        return (
+            f"<Span#{self.span_id} {self.src}->{self.dst} "
+            f"{self.size}B {state}>"
+        )
+
+
+class SpanRecorder:
+    """Records message lifecycles for one machine.
+
+    Hot-path contract: every call site guards on :attr:`enabled`
+    first, so a disabled recorder costs one attribute check.  The
+    recorder itself never schedules events or consumes simulated time
+    — it only reads ``sim.now``.
+    """
+
+    def __init__(self, sim, enabled: bool = False):
+        self.sim = sim
+        self.enabled = enabled
+        #: All spans, indexed by span id (== list position).
+        self.spans: List[Span] = []
+
+    # -- recording -----------------------------------------------------
+
+    def begin(self, msg) -> None:
+        """Open a span for ``msg`` (entering ``send_overhead`` now).
+
+        Assigns the message its machine-local ``span_id``; phase marks
+        downstream find the span through it.
+        """
+        span_id = len(self.spans)
+        msg.span_id = span_id
+        self.spans.append(
+            Span(span_id, msg.src, msg.dst, msg.size, msg.handler,
+                 self.sim.now)
+        )
+
+    def mark(self, msg, phase: str) -> None:
+        """Transition ``msg``'s span into ``phase`` at the current time.
+
+        No-op for untracked messages (acks, returns, spans already
+        closed) and for marks repeating the current phase.
+        """
+        span_id = getattr(msg, "span_id", None)
+        if span_id is None:
+            return
+        span = self.spans[span_id]
+        if span.end_ns is not None:
+            return
+        if span.transitions[-1][0] != phase:
+            span.transitions.append((phase, self.sim.now))
+
+    def annotate(self, msg, label: str, count: int = 1) -> None:
+        """Count a data-path event against ``msg``'s span."""
+        span_id = getattr(msg, "span_id", None)
+        if span_id is None:
+            return
+        annotations = self.spans[span_id].annotations
+        annotations[label] = annotations.get(label, 0) + count
+
+    def end(self, msg) -> None:
+        """Close ``msg``'s span (handler complete) at the current time."""
+        span_id = getattr(msg, "span_id", None)
+        if span_id is None:
+            return
+        span = self.spans[span_id]
+        if span.end_ns is None:
+            span.end_ns = self.sim.now
+
+    # -- reading -------------------------------------------------------
+
+    def completed(self) -> List[Span]:
+        """Closed spans, in span-id order."""
+        return [span for span in self.spans if span.complete]
+
+    @property
+    def open_count(self) -> int:
+        return sum(1 for span in self.spans if not span.complete)
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        """Completed spans as plain JSON objects (deterministic)."""
+        return [span.to_jsonable() for span in self.completed()]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<SpanRecorder {state}, {len(self.spans)} spans>"
+
+
+# -- Perfetto / Chrome Trace Event Format export -----------------------
+
+#: Which node's track a phase is drawn on: sender-side phases (and the
+#: flight) on the source node, receive-side phases on the destination.
+_PHASE_TRACK_SRC = {"send_overhead", "send_buffering", "wire"}
+
+
+def _span_dict(span: Union[Span, Dict[str, Any]]) -> Dict[str, Any]:
+    return span.to_jsonable() if isinstance(span, Span) else span
+
+
+def perfetto_events(
+    spans: Iterable[Union[Span, Dict[str, Any]]],
+    *,
+    pid_offset: int = 0,
+    label: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Chrome Trace Event Format events for a set of spans.
+
+    One *process* (``pid``) per node, one async begin/end slice pair
+    per phase segment, named after the phase and grouped per message
+    by the ``id`` field.  ``ts`` is in microseconds, as the format
+    requires.  ``pid_offset`` shifts the node ids so spans from
+    several cells can share one trace file without track collisions;
+    ``label`` prefixes the process names and async ids.
+    """
+    events: List[Dict[str, Any]] = []
+    nodes = set()
+    prefix = f"{label}:" if label else ""
+    for raw in spans:
+        span = _span_dict(raw)
+        if span.get("end_ns") is None:
+            continue
+        transitions = span["transitions"]
+        src = span["src"]
+        dst = span["dst"]
+        nodes.add(src)
+        nodes.add(dst)
+        for i, (phase, start) in enumerate(transitions):
+            stop = (
+                transitions[i + 1][1]
+                if i + 1 < len(transitions) else span["end_ns"]
+            )
+            pid = pid_offset + (src if phase in _PHASE_TRACK_SRC else dst)
+            ident = f"{prefix}{span['span_id']}.{i}"
+            begin = {
+                "ph": "b",
+                "cat": "msg",
+                "id": ident,
+                "name": phase,
+                "ts": start / 1000.0,
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "span_id": span["span_id"],
+                    "src": src,
+                    "dst": dst,
+                    "size": span["size"],
+                    "handler": span["handler"],
+                    **{
+                        f"n_{k}": v
+                        for k, v in span.get("annotations", {}).items()
+                    },
+                },
+            }
+            end = {
+                "ph": "e",
+                "cat": "msg",
+                "id": ident,
+                "name": phase,
+                "ts": stop / 1000.0,
+                "pid": pid,
+                "tid": 0,
+            }
+            events.append(begin)
+            events.append(end)
+    for node in sorted(nodes):
+        events.append({
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid_offset + node,
+            "tid": 0,
+            "args": {"name": f"{prefix}node{node}"},
+        })
+    return events
+
+
+def export_perfetto(
+    path: str,
+    cells: Union[
+        Iterable[Union[Span, Dict[str, Any]]],
+        Sequence[Tuple[str, Iterable[Union[Span, Dict[str, Any]]]]],
+    ],
+) -> int:
+    """Write spans as a Chrome Trace Event Format JSON file.
+
+    ``cells`` is either a bare span iterable (one machine) or a
+    sequence of ``(label, spans)`` pairs (an experiment sweep); each
+    cell gets its own block of node tracks.  The output loads directly
+    in https://ui.perfetto.dev.  Returns the event count.
+    """
+    cells = list(cells)
+    pairs: List[Tuple[Optional[str], List[Any]]]
+    if cells and isinstance(cells[0], tuple) and len(cells[0]) == 2:
+        pairs = [(label, list(spans)) for label, spans in cells]
+    else:
+        pairs = [(None, cells)]
+    events: List[Dict[str, Any]] = []
+    pid_offset = 0
+    for label, spans in pairs:
+        cell_events = perfetto_events(
+            spans, pid_offset=pid_offset, label=label
+        )
+        events.extend(cell_events)
+        max_pid = max((e["pid"] for e in cell_events), default=pid_offset - 1)
+        pid_offset = max_pid + 1
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+        fh.write("\n")
+    return len(events)

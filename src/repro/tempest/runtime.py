@@ -94,6 +94,9 @@ class Runtime:
         )
         timer = self.node.timer
         timer.push("send")
+        spans = self.node.network.spans
+        if spans.enabled:
+            spans.begin(msg)
         tracer = self.node.network.tracer
         if tracer.enabled:
             tracer.log(self._trace_src, "send_start",
@@ -189,11 +192,17 @@ class Runtime:
             tracer = node.network.tracer
             if tracer.enabled:
                 tracer.log(self._trace_src, "extracted", uid=msg.uid)
+        spans = node.network.spans
+        if spans.enabled:
+            # Dispatch begins: the span leaves receive-side buffering.
+            spans.mark(msg, "handler")
         timer.push("receive")
         yield self.sim.delay(self.costs.receive_dispatch)
         timer.pop()
         yield from self._dispatch(msg)
         self.counters.add("handled")
+        if spans.enabled:
+            spans.end(msg)
         return msg
 
     def _dispatch(self, msg: Message) -> Generator:

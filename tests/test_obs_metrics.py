@@ -95,6 +95,33 @@ def test_merge_snapshots_sums_leafwise():
     assert list(merged) == sorted(merged)
 
 
+def test_merge_snapshots_empty_inputs():
+    assert merge_snapshots([]) == {}
+    assert merge_snapshots([{}, {}]) == {}
+    assert merge_snapshots([{}, {"a": 1}]) == {"a": 1}
+
+
+def test_merge_snapshots_disjoint_leaves_concatenate():
+    merged = merge_snapshots([{"a.x": 1}, {"b.y": 2}, {"c.z": 3.5}])
+    assert merged == {"a.x": 1, "b.y": 2, "c.z": 3.5}
+    assert list(merged) == sorted(merged)
+
+
+def test_merge_snapshots_preserves_grand_total():
+    snaps = [
+        {"a": 3, "b": 4, "c": 0.5},
+        {"a": 7, "c": 1.5},
+        {"b": 2},
+        {},
+    ]
+    merged = merge_snapshots(snaps)
+    assert sum(merged.values()) == sum(
+        v for snap in snaps for v in snap.values()
+    )
+    # Merging is order-independent (addition commutes).
+    assert merge_snapshots(reversed(snaps)) == merged
+
+
 def test_fixed_bucket_histogram_paths_are_safe():
     h = FixedBucketHistogram((0.5, 10))
     h.observe(0.2)
@@ -140,6 +167,40 @@ def test_histogram_samples_sorted_expansion():
     h.add(5, 2)
     h.add(1)
     assert h.samples == (1, 5, 5)
+
+
+# -- kernel gauges -----------------------------------------------------
+
+
+def test_mount_simulator_scheduler_internals_wheel_and_heap():
+    from repro.config import DEFAULT_PARAMS
+    from repro.obs import SIM_SCHEDULER_GAUGE_KEYS, mount_simulator
+    from repro.sim import Simulator
+
+    for scheduler in ("heap", "wheel"):
+        sim = Simulator(scheduler=scheduler)
+        reg = MetricsRegistry()
+        mount_simulator(reg, sim, include_scheduler_internals=True)
+        snap = reg.snapshot()
+        for key in SIM_SCHEDULER_GAUGE_KEYS:
+            assert f"sim.{key}" in snap, (scheduler, key)
+        if scheduler == "wheel":
+            sim.timeout(5)
+            assert reg.snapshot()["sim.wheel_occupied_slots"] == 1
+        else:
+            # Heap has no wheel: the gauges read 0 instead of raising.
+            assert all(
+                snap[f"sim.{k}"] == 0 for k in SIM_SCHEDULER_GAUGE_KEYS
+            )
+
+
+def test_mount_simulator_default_omits_scheduler_internals():
+    from repro.obs import mount_simulator
+    from repro.sim import Simulator
+
+    reg = MetricsRegistry()
+    mount_simulator(reg, Simulator(scheduler="wheel"))
+    assert not any("wheel" in path for path in reg.snapshot())
 
 
 # -- machine mounting --------------------------------------------------
@@ -278,7 +339,7 @@ def test_trace_jsonl_round_trip(tmp_path):
 def test_cell_result_schema_round_trip():
     cell = run_cell(_jobs()[0])
     data = json.loads(json.dumps(cell.to_jsonable()))
-    assert data["schema"] == 1
+    assert data["schema"] == 2  # 2 added the spans field
     back = CellResult.from_jsonable(data)
     assert back == cell
 
