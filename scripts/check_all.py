@@ -12,6 +12,10 @@ Runs, in order of increasing specificity:
    metrics/manifest/trace validation on a quick figure1 run.
 4. **Span check** — ``scripts/check_observability.py --spans``:
    lifecycle spans balanced against the counter surface for every NI.
+5. **Robustness check** — ``scripts/check_robustness.py``: faults-off
+   byte-identity, fixed-seed chaos determinism across ``--jobs``,
+   watchdog firing on an engineered deadlock, and killed-worker
+   sweep recovery with a flagged manifest.
 
 Each step streams its own output; the summary at the end names any
 step that failed.  Exit status 0 = everything passed.
@@ -65,6 +69,7 @@ def main(argv=None) -> int:
         ("kernel check", kernel_args),
         ("observability check", [py, "scripts/check_observability.py"]),
         ("span check", [py, "scripts/check_observability.py", "--spans"]),
+        ("robustness check", [py, "scripts/check_robustness.py"]),
     ]
 
     failures = []

@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""CI check for the fault-injection and reliability machinery.
+
+Four gates, each an invariant the robustness layer must keep:
+
+1. **Faults-off identity** — an all-zero :class:`FaultConfig`
+   (unreliable, no watchdog) is behaviourally absent: for every NI
+   model, a pingpong run under it matches a no-config run tick for
+   tick (elapsed time, message count, bounce count).
+2. **Chaos determinism** — ``repro-experiments chaos --quick`` with
+   ``--jobs 1`` and ``--jobs 4`` (both uncached) writes byte-identical
+   result payloads: the seeded fault streams do not depend on worker
+   scheduling.
+3. **Watchdog** — an engineered lost-ack deadlock (100% ack drop,
+   reliability off) must raise a structured
+   :class:`~repro.faults.DeliveryFailure` with reason
+   ``no_progress`` instead of spinning forever.
+4. **Crash recovery** — a sweep whose worker is killed mid-cell
+   completes with the affected cell re-executed, and the rebuilt
+   manifest both validates and flags the re-execution.
+
+Exit status 0 = all good; 1 = a gate failed (details on stderr).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_robustness.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS  # noqa: E402
+from repro.experiments.parallel import (  # noqa: E402
+    Job,
+    SweepExecutor,
+    freeze_kwargs,
+    run_cell,
+)
+from repro.experiments.runner import main as runner_main  # noqa: E402
+from repro.faults import DeliveryFailure, FaultConfig  # noqa: E402
+from repro.ni.registry import ALL_NI_NAMES  # noqa: E402
+from repro.obs import build_manifest, validate_manifest  # noqa: E402
+from repro.workloads import PingPong  # noqa: E402
+
+SENTINEL_ENV = "REPRO_CHECK_CRASH_SENTINEL"
+
+
+def fail(msg: str) -> int:
+    print(f"check_robustness: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+# -- gate 1: faults-off identity ---------------------------------------
+
+
+def _pingpong_signature(ni_name, faults):
+    params = DEFAULT_PARAMS.replace(faults=faults)
+    result = PingPong(payload_bytes=32, rounds=8, warmup=2).run(
+        params=params, costs=DEFAULT_COSTS, ni_name=ni_name,
+    )
+    return (result.elapsed_ns, result.messages_sent, result.bounces)
+
+
+def check_faults_off_identity() -> int:
+    zero = FaultConfig(seed=123, reliable=False, watchdog=False)
+    for ni_name in ALL_NI_NAMES:
+        clean = _pingpong_signature(ni_name, None)
+        gated = _pingpong_signature(ni_name, zero)
+        if clean != gated:
+            return fail(
+                f"zero-fault config perturbs {ni_name}: "
+                f"{clean} != {gated}"
+            )
+    print(f"faults-off identity: OK ({len(ALL_NI_NAMES)} NIs)")
+    return 0
+
+
+# -- gate 2: chaos determinism across --jobs ---------------------------
+
+
+def check_chaos_determinism(workdir: str) -> int:
+    payloads = []
+    for jobs in ("1", "4"):
+        path = os.path.join(workdir, f"chaos-j{jobs}.json")
+        code = runner_main([
+            "chaos", "--quick", "--no-cache", "--jobs", jobs,
+            "--json", path,
+        ])
+        if code != 0:
+            return fail(f"chaos --jobs {jobs} exited {code}")
+        with open(path, "rb") as fh:
+            payloads.append(fh.read())
+    if payloads[0] != payloads[1]:
+        return fail("chaos results differ between --jobs 1 and --jobs 4")
+    print("chaos determinism: OK (--jobs 1 == --jobs 4, "
+          f"{len(payloads[0])} bytes)")
+    return 0
+
+
+# -- gate 3: watchdog fires on a lost-ack deadlock ---------------------
+
+
+def check_watchdog() -> int:
+    faults = FaultConfig(
+        seed=1, ack_drop_prob=1.0, reliable=False,
+        watchdog=True, watchdog_quiet_ns=50_000,
+    )
+    params = DEFAULT_PARAMS.replace(faults=faults)
+    try:
+        PingPong(payload_bytes=32, rounds=8, warmup=2).run(
+            params=params, costs=DEFAULT_COSTS, ni_name="cm5",
+        )
+    except DeliveryFailure as exc:
+        if exc.report.get("reason") != "no_progress":
+            return fail(
+                f"watchdog reason {exc.report.get('reason')!r}, "
+                "expected 'no_progress'"
+            )
+        print("watchdog: OK (no_progress report on lost-ack deadlock)")
+        return 0
+    return fail("lost-ack deadlock completed; watchdog never fired")
+
+
+# -- gate 4: killed worker -> re-execution + flagged manifest ----------
+
+
+def _crash_once_cell(job):
+    """Module-level so forked pool workers can unpickle it."""
+    sentinel = os.environ[SENTINEL_ENV]
+    if job.label.endswith("victim") and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(3)
+    return run_cell(job)
+
+
+def check_crash_recovery(workdir: str) -> int:
+    os.environ[SENTINEL_ENV] = os.path.join(workdir, "crashed")
+    jobs = [
+        Job(label=f"robustness:pp:{i}:{'victim' if i == 1 else 'ok'}",
+            ni="cm5", workload="pingpong",
+            params=DEFAULT_PARAMS, costs=DEFAULT_COSTS,
+            kwargs=freeze_kwargs(
+                dict(payload_bytes=8, rounds=4, warmup=1)))
+        for i in range(4)
+    ]
+    executor = SweepExecutor(jobs=2, cache=None, cell_fn=_crash_once_cell)
+    results = executor.map(jobs)
+    if [r.label for r in results] != [j.label for j in jobs]:
+        return fail("crash-recovery sweep lost or reordered cells")
+    if results != [run_cell(j) for j in jobs]:
+        return fail("re-executed cells differ from an undisturbed run")
+    victim = jobs[1].label
+    event = executor.job_events.get(victim)
+    if not event or event["attempts"] < 2:
+        return fail(f"victim cell not re-executed: {event}")
+
+    # Rebuild the manifest the runner would write and validate it.
+    cells = []
+    for job, result, cached in executor.completed:
+        cell = {"label": job.label, "elapsed_ns": result.elapsed_ns,
+                "cached": cached}
+        ev = executor.job_events.get(job.label)
+        if ev:
+            cell["attempts"] = ev["attempts"]
+            cell["reexecuted"] = True
+        cells.append(cell)
+    manifest = build_manifest(
+        experiments=["crash-recovery"], quick=True, jobs=2, cells=cells,
+        wall_time_s=0.0, cache_enabled=False, cache_hits=0,
+        cache_misses=0, outputs={"json": None},
+        status="partial" if executor.failures else "complete",
+    )
+    problems = validate_manifest(manifest)
+    if problems:
+        return fail(f"crash-recovery manifest invalid: {problems}")
+    flagged = [c for c in manifest["cells"] if c.get("reexecuted")]
+    if not any(c["label"] == victim for c in flagged):
+        return fail("victim cell not flagged as re-executed in manifest")
+    if manifest["status"] != "complete":
+        return fail("recovered sweep should be status=complete, got "
+                    f"{manifest['status']!r}")
+    print(f"crash recovery: OK (victim re-executed x{event['attempts']}, "
+          "manifest flags it)")
+    return 0
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-robustness-") as workdir:
+        for gate in (
+            check_faults_off_identity,
+            lambda: check_chaos_determinism(workdir),
+            check_watchdog,
+            lambda: check_crash_recovery(workdir),
+        ):
+            code = gate()
+            if code != 0:
+                return code
+    print("check_robustness: PASS (all gates)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

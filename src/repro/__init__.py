@@ -39,7 +39,7 @@ from repro.api import (
     run_workload,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ALL_NI_NAMES",

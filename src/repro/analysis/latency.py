@@ -38,6 +38,13 @@ def _phase_durations(span: Union[Span, Dict[str, Any]]) -> Tuple[int, Dict[str, 
         Span.from_jsonable(span).phase_durations()
 
 
+def _annotation(span: Union[Span, Dict[str, Any]], label: str) -> int:
+    """An annotation counter off a span (object or dict), 0 if absent."""
+    if isinstance(span, Span):
+        return span.annotations.get(label, 0)
+    return span.get("annotations", {}).get(label, 0)
+
+
 def percentile(sorted_values: Sequence[int], q: float) -> float:
     """Linear-interpolated percentile of pre-sorted values."""
     if not sorted_values:
@@ -63,6 +70,10 @@ class LatencyDecomposition:
     mean_ns: float
     #: Mean ns per phase, canonical phase order, zero-filled.
     phase_mean_ns: Dict[str, float] = field(default_factory=dict)
+    #: Total retransmissions across the population (the ``retransmits``
+    #: span annotation the reliability layer writes) — recovery cost a
+    #: faulty fabric adds, attributed to the messages that paid it.
+    retransmits: int = 0
 
     def phase_share(self, phase: str) -> float:
         """This phase's fraction of the total mean latency."""
@@ -82,6 +93,7 @@ class LatencyDecomposition:
                 phase: round(ns, 1)
                 for phase, ns in self.phase_mean_ns.items()
             },
+            "retransmits": self.retransmits,
         }
 
 
@@ -92,11 +104,13 @@ def decompose(
     """Reduce one span population to its latency decomposition."""
     latencies: List[int] = []
     phase_totals: Dict[str, int] = {phase: 0 for phase in PHASES}
+    retransmits = 0
     for span in spans:
         latency, phases = _phase_durations(span)
         latencies.append(latency)
         for phase, ns in phases.items():
             phase_totals[phase] = phase_totals.get(phase, 0) + ns
+        retransmits += _annotation(span, "retransmits")
     if not latencies:
         raise ValueError(f"no completed spans to decompose ({label!r})")
     latencies.sort()
@@ -111,6 +125,7 @@ def decompose(
         phase_mean_ns={
             phase: total / count for phase, total in phase_totals.items()
         },
+        retransmits=retransmits,
     )
 
 
@@ -128,12 +143,16 @@ def latency_report(
 
     One row per cell: count, p50/p95/p99 end-to-end, then the mean
     ns-per-phase stack in canonical phase order — Figure 1's stacked
-    bars as numbers.
+    bars as numbers.  When any population carries retransmissions (a
+    faulty-fabric run with the reliability layer on), a ``rexmit``
+    column attributes that recovery cost per cell.
     """
     decomps = [decompose(spans, label) for label, spans in cells]
+    show_retransmits = any(d.retransmits for d in decomps)
     headers = (
         ["cell", "n", "p50", "p95", "p99", "mean"]
         + [phase for phase in PHASES]
+        + (["rexmit"] if show_retransmits else [])
     )
     rows = []
     for d in decomps:
@@ -142,6 +161,7 @@ def latency_report(
              f"{d.p50_ns:.0f}", f"{d.p95_ns:.0f}", f"{d.p99_ns:.0f}",
              f"{d.mean_ns:.0f}"]
             + [f"{d.phase_mean_ns.get(phase, 0.0):.0f}" for phase in PHASES]
+            + ([str(d.retransmits)] if show_retransmits else [])
         )
     widths = [
         max(len(headers[i]), *(len(row[i]) for row in rows))

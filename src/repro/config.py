@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.faults.config import FaultConfig
 
 
 @dataclass(frozen=True)
@@ -77,6 +80,11 @@ class SystemParams:
     #: implementation) or "wheel" (hierarchical timing wheel).  Both
     #: produce bit-identical runs; see docs/architecture.md (Kernel v2).
     sim_scheduler: str = "heap"
+    #: Fault injection and reliable delivery (see repro.faults and
+    #: docs/robustness.md).  ``None`` (the default) means the lossless
+    #: fabric of the paper with every fault hook structurally absent —
+    #: results are byte-identical to builds without the subsystem.
+    faults: Optional["FaultConfig"] = None
 
     # -- derived ------------------------------------------------------
 
@@ -142,6 +150,14 @@ class SystemParams:
             )
         if self.sim_scheduler not in ("heap", "wheel"):
             raise ValueError(f"unknown sim_scheduler {self.sim_scheduler!r}")
+        if self.faults is not None:
+            self.faults.validate()
+            if self.network_topology is not None:
+                raise ValueError(
+                    "fault injection requires the abstract constant-latency "
+                    "network (network_topology=None); the mesh fabric has "
+                    "no fault hooks"
+                )
 
 
 @dataclass(frozen=True)

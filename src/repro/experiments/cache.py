@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import asdict
@@ -31,6 +32,8 @@ from repro.experiments.parallel import CellResult, Job
 
 #: Default cache directory (relative to the working directory).
 CACHE_DIR = ".repro-cache"
+
+_log = logging.getLogger("repro.cache")
 
 
 def job_key(job: Job) -> str:
@@ -61,6 +64,12 @@ class ResultCache:
         self.root = root
         self.hits = 0
         self.misses = 0
+        #: Entries that existed but could not be loaded — truncated by
+        #: a killed writer, hand-edited into invalid JSON, or written
+        #: under an older result schema.  Each is a logged cache miss
+        #: (the cell recomputes and overwrites it), never an exception
+        #: mid-sweep.
+        self.corrupt_entries = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
@@ -69,10 +78,26 @@ class ResultCache:
         path = self._path(job_key(job))
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-            result = CellResult.from_jsonable(data)
-        except (OSError, ValueError, KeyError, TypeError):
+                raw = fh.read()
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except OSError as exc:
+            # The entry exists but cannot be read (permissions, I/O
+            # error): same contract as a corrupt body.
+            self.corrupt_entries += 1
+            self.misses += 1
+            _log.warning("unreadable cache entry %s (%s); treating as a "
+                         "miss", path, exc)
+            return None
+        try:
+            data = json.loads(raw)
+            result = CellResult.from_jsonable(data)
+        except (ValueError, KeyError, TypeError) as exc:
+            self.corrupt_entries += 1
+            self.misses += 1
+            _log.warning("corrupt cache entry %s (%s); treating as a miss",
+                         path, exc)
             return None
         self.hits += 1
         return result

@@ -1,0 +1,199 @@
+"""Chaos sweep: the seven NIs under a faulty fabric (extension).
+
+The paper compares the NI designs on a lossless network; this
+experiment asks how gracefully each degrades when the network is not.
+Every NI runs the two microbenchmarks under increasing message-drop
+rates (plus proportional ack-drop, corruption, and duplication —
+see :func:`fault_config`) with the reliable-delivery layer on, and the
+designs are ranked by what they keep: **goodput retention** (streaming
+bandwidth at the highest drop rate over bandwidth at rate 0) and
+round-trip **latency blowup** (the inverse ratio).
+
+The fault stream is seeded per cell (:data:`CHAOS_SEED`), so the sweep
+is deterministic at any ``--jobs`` count; cells that cannot complete
+(retry budgets exhausted, watchdog trip) carry their structured
+``delivery_failure`` report in the cell extras and rank last.
+
+Not part of ``repro-experiments all`` — the ``all`` bundle is the
+paper's fault-free artefact set; run ``repro-experiments chaos``
+explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentResult,
+    default_costs,
+    default_params,
+    label,
+)
+from repro.experiments.parallel import Job, execute, freeze_kwargs
+from repro.faults.config import FaultConfig
+from repro.ni.registry import ALL_NI_NAMES
+
+#: Seed of every cell's fault stream.  One constant for the whole
+#: sweep: determinism comes from the per-machine Random instance, not
+#: from seed diversity, and a shared seed makes cells comparable
+#: (same draw sequence, different protocol behaviour).
+CHAOS_SEED = 1998
+
+#: Message-drop probabilities swept (0 = reliable protocol, no faults).
+DROP_RATES: Tuple[float, ...] = (0.0, 0.02, 0.05, 0.1)
+QUICK_DROP_RATES: Tuple[float, ...] = (0.0, 0.05)
+
+
+def fault_config(drop_rate: float) -> Optional[FaultConfig]:
+    """The fault model at one sweep point.
+
+    Drop dominates; acks drop at half the data rate (the control
+    channel is narrower), and corruption/duplication ride along at a
+    quarter — both recover through the same retransmit path, so the
+    drop rate remains the single knob of the sweep.  Rate 0 still
+    carries the config: the baseline includes the reliability
+    protocol's own overhead (sequence numbers, retransmit timers), so
+    degradation measures *fault* cost, not protocol cost.
+    """
+    return FaultConfig(
+        seed=CHAOS_SEED,
+        drop_prob=drop_rate,
+        ack_drop_prob=drop_rate / 2,
+        corrupt_prob=drop_rate / 4,
+        duplicate_prob=drop_rate / 4,
+        reliable=True,
+        watchdog=True,
+    )
+
+
+def plan(quick: bool = False):
+    """Jobs + keys for each (ni, drop_rate, workload) cell."""
+    rates = QUICK_DROP_RATES if quick else DROP_RATES
+    jobs, keys = [], []
+    costs = default_costs()
+    stream_kwargs = freeze_kwargs({
+        "payload_bytes": 1024,
+        "transfers": 40 if quick else 120,
+        "warmup": 5,
+    })
+    pingpong_kwargs = freeze_kwargs({
+        "payload_bytes": 64,
+        "rounds": 20 if quick else 60,
+        "warmup": 5,
+    })
+    for ni_name in ALL_NI_NAMES:
+        for rate in rates:
+            params = default_params().replace(faults=fault_config(rate))
+            for workload, kwargs in (("stream", stream_kwargs),
+                                     ("pingpong", pingpong_kwargs)):
+                jobs.append(Job(
+                    label=f"chaos:{workload}:{ni_name}:drop={rate}",
+                    ni=ni_name, workload=workload,
+                    params=params, costs=costs, kwargs=kwargs,
+                ))
+                keys.append((ni_name, rate, workload))
+    return jobs, keys, rates
+
+
+def _cell_summary(cell) -> Dict[str, object]:
+    """The per-cell numbers the ranking (and extras) consume."""
+    metrics = cell.metrics
+    retransmits = sum(
+        value for path, value in metrics.items()
+        if path.endswith(".fcu.retransmits")
+    )
+    return {
+        "bandwidth_mb_s": cell.extras.get("bandwidth_mb_s"),
+        "round_trip_us": cell.extras.get("round_trip_us"),
+        "retransmits": int(retransmits),
+        "dup_suppressed": int(sum(
+            value for path, value in metrics.items()
+            if path.endswith(".fcu.dup_suppressed")
+        )),
+        "failed": "delivery_failure" in cell.extras,
+        "elapsed_us": cell.elapsed_us,
+    }
+
+
+def run(quick: bool = False, executor=None) -> ExperimentResult:
+    jobs, keys, rates = plan(quick)
+    cells = execute(jobs, executor)
+    matrix: Dict[Tuple[str, float, str], Dict[str, object]] = {
+        key: _cell_summary(cell) for key, cell in zip(keys, cells)
+    }
+
+    top_rate = rates[-1]
+    ranking = []
+    for ni_name in ALL_NI_NAMES:
+        base_bw = matrix[(ni_name, rates[0], "stream")]["bandwidth_mb_s"]
+        top_bw = matrix[(ni_name, top_rate, "stream")]["bandwidth_mb_s"]
+        base_rt = matrix[(ni_name, rates[0], "pingpong")]["round_trip_us"]
+        top_rt = matrix[(ni_name, top_rate, "pingpong")]["round_trip_us"]
+        failed = any(
+            matrix[(ni_name, rate, wl)]["failed"]
+            for rate in rates for wl in ("stream", "pingpong")
+        )
+        retention = (
+            top_bw / base_bw if base_bw and top_bw and not failed else 0.0
+        )
+        blowup = (
+            top_rt / base_rt if base_rt and top_rt and not failed
+            else float("inf")
+        )
+        retransmits = sum(
+            matrix[(ni_name, rate, wl)]["retransmits"]
+            for rate in rates for wl in ("stream", "pingpong")
+        )
+        ranking.append({
+            "ni": ni_name, "retention": retention, "blowup": blowup,
+            "base_bw": base_bw, "top_bw": top_bw,
+            "base_rt": base_rt, "top_rt": top_rt,
+            "retransmits": retransmits, "failed": failed,
+        })
+    # Rank by what survives: goodput retention first, then latency.
+    ranking.sort(key=lambda r: (-r["retention"], r["blowup"]))
+
+    def _fmt(value, pattern="{:.1f}"):
+        return pattern.format(value) if value is not None else "FAIL"
+
+    rows = []
+    for rank, entry in enumerate(ranking, start=1):
+        rows.append([
+            rank,
+            label(entry["ni"]),
+            _fmt(entry["base_bw"]),
+            _fmt(entry["top_bw"]),
+            f"{entry['retention'] * 100:.0f}%" if not entry["failed"]
+            else "FAIL",
+            _fmt(entry["base_rt"], "{:.2f}"),
+            _fmt(entry["top_rt"], "{:.2f}"),
+            f"{entry['blowup']:.2f}x" if entry["blowup"] != float("inf")
+            else "FAIL",
+            entry["retransmits"],
+        ])
+    return ExperimentResult(
+        experiment="chaos: NI ranking under fault injection "
+                   f"(drop rates {', '.join(str(r) for r in rates)}; "
+                   f"seed {CHAOS_SEED})",
+        headers=["rank", "NI", f"MB/s @{rates[0]}", f"MB/s @{top_rate}",
+                 "goodput kept", f"rtt us @{rates[0]}",
+                 f"rtt us @{top_rate}", "rtt blowup", "retransmits"],
+        rows=rows,
+        notes=[
+            "reliable delivery on: per-destination sequence numbers, "
+            "ack/timeout/retransmit (capped exponential backoff), "
+            "receive-side duplicate suppression",
+            "ack drop = drop/2, corruption = duplication = drop/4",
+            "FAIL = delivery failure (retry budget or watchdog); "
+            "see extras['matrix'] for the structured reports",
+        ],
+        extras={
+            "seed": CHAOS_SEED,
+            "drop_rates": list(rates),
+            "matrix": {
+                f"{ni}:{rate}:{wl}": summary
+                for (ni, rate, wl), summary in matrix.items()
+            },
+            "ranking": ranking,
+        },
+    )

@@ -32,9 +32,10 @@ the split changes nothing about the numbers — only the wall-clock.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SoftwareCosts, SystemParams
 
@@ -244,7 +245,16 @@ def run_cell(job: Job) -> CellResult:
         if job.fabric_link_ns_per_32b is not None:
             fabric.link_ns_per_32b = job.fabric_link_ns_per_32b
 
-    result = workload.run(machine=machine)
+    from repro.faults.report import DeliveryFailure
+
+    try:
+        result = workload.run(machine=machine)
+    except DeliveryFailure as exc:
+        # A faulty cell that could not complete is a *result*, not a
+        # harness crash: collect what the machine measured up to the
+        # failure and carry the structured report in the extras.
+        result = workload.collect(machine)
+        result.extras["delivery_failure"] = exc.report
     tracer = machine.network.tracer
     trace: Tuple[Dict[str, Any], ...] = ()
     if tracer.enabled:
@@ -282,17 +292,48 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return os.cpu_count() or 1
 
 
+class SweepFailure(RuntimeError):
+    """One or more cells could not be computed despite re-execution.
+
+    Raised by :meth:`SweepExecutor.map` after every salvageable cell
+    has been computed, cached, and recorded in ``executor.completed``,
+    so a partial manifest can still be written.  ``failures`` is a list
+    of ``{label, error, attempts}`` dicts.
+    """
+
+    def __init__(self, failures: List[Dict[str, Any]]):
+        self.failures = list(failures)
+        labels = ", ".join(f["label"] for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} cell(s) failed after retries: {labels}"
+        )
+
+
 class SweepExecutor:
     """Runs job lists, optionally in parallel and through a cache.
 
     Results always come back in job order: with ``jobs == 1`` the cells
-    run serially in-process; otherwise ``ProcessPoolExecutor.map``
-    preserves submission order.  Either way the assembled output is
-    byte-identical.
+    run serially in-process; otherwise they fan out over a process
+    pool, and results merge by submission index.  Either way the
+    assembled output is byte-identical.
+
+    Pool runs are supervised: each cell future is bounded by
+    ``job_timeout_s`` (``None`` = no limit), and a worker crash
+    (``BrokenProcessPool``) or timeout tears the poisoned pool down and
+    re-executes the unfinished cells — in single-worker isolation after
+    a crash, so only the cell that actually kills workers is charged
+    retries (see :meth:`_run_pool`) — up to ``retry_limit``
+    attributable failures per cell.  Cells that still fail are
+    collected into a :class:`SweepFailure` *after* the survivors have
+    been computed and cached, so a killed worker costs one retry, not
+    the sweep.
     """
 
     def __init__(self, jobs: Optional[int] = None, cache=None,
-                 tracing: bool = False, spans: bool = False):
+                 tracing: bool = False, spans: bool = False,
+                 job_timeout_s: Optional[float] = None,
+                 retry_limit: int = 1,
+                 cell_fn: Optional[Callable[[Job], CellResult]] = None):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         #: Force ``params.tracing`` on for every job (``--trace``).
@@ -302,11 +343,24 @@ class SweepExecutor:
         #: Force ``params.spans`` on for every job (``--spans``); same
         #: rewrite-the-spec discipline, same cache-key consequences.
         self.spans = spans
+        #: Wall-clock bound per cell in pool runs; ``None`` = no bound.
+        self.job_timeout_s = job_timeout_s
+        #: Re-executions allowed per cell after a crash/timeout.
+        self.retry_limit = max(0, int(retry_limit))
+        #: The function workers run (a picklable module-level callable;
+        #: tests substitute crashy stand-ins for :func:`run_cell`).
+        self.cell_fn = cell_fn if cell_fn is not None else run_cell
         #: Every ``(job, result, cached)`` this executor produced, in
         #: execution order — the runner reads it to assemble the
         #: ``--metrics``/``--trace``/manifest exports without each
         #: experiment having to thread cell results through.
         self.completed: List[Tuple[Job, CellResult, bool]] = []
+        #: Supervision record per re-executed or failed label:
+        #: ``{label: {"attempts": n, "errors": [...]}}``.
+        self.job_events: Dict[str, Dict[str, Any]] = {}
+        #: Cells that stayed failed after retries (``{label, error,
+        #: attempts}``), accumulated across :meth:`map` calls.
+        self.failures: List[Dict[str, Any]] = []
 
     def map(self, jobs: Sequence[Job]) -> List[CellResult]:
         jobs = list(jobs)
@@ -335,14 +389,15 @@ class SweepExecutor:
             pending_idx = list(range(len(jobs)))
 
         pending = [jobs[i] for i in pending_idx]
+        failed: List[Dict[str, Any]] = []
         if pending:
             if self.jobs == 1 or len(pending) == 1:
-                computed = [run_cell(job) for job in pending]
+                computed = [self.cell_fn(job) for job in pending]
             else:
-                workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    computed = list(pool.map(run_cell, pending))
+                computed = self._run_pool(pending, failed)
             for i, cell in zip(pending_idx, computed):
+                if cell is None:
+                    continue
                 results[i] = cell
                 if self.cache is not None:
                     self.cache.put(jobs[i], cell)
@@ -350,8 +405,121 @@ class SweepExecutor:
         self.completed.extend(
             (job, result, i not in fresh)
             for i, (job, result) in enumerate(zip(jobs, results))
+            if result is not None
         )
+        if failed:
+            self.failures.extend(failed)
+            raise SweepFailure(failed)
         return results  # type: ignore[return-value]
+
+    # -- supervised pool execution ------------------------------------
+
+    def _record_event(self, label: str, error: str) -> Dict[str, Any]:
+        event = self.job_events.setdefault(
+            label, {"attempts": 1, "errors": []}
+        )
+        event["errors"].append(error)
+        return event
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear down a poisoned pool: a hung or crashed worker will
+        never finish its future, so terminate the whole cohort and let
+        the caller start fresh."""
+        try:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                proc.terminate()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_pool(
+        self,
+        pending: Sequence[Job],
+        failed: List[Dict[str, Any]],
+    ) -> List[Optional[CellResult]]:
+        """Run ``pending`` on worker pools, re-executing crashed or
+        timed-out cells on a fresh pool up to ``retry_limit`` times.
+        Returns results by pending index (``None`` = permanently
+        failed, recorded in ``failed``).
+
+        A dead worker breaks the *whole* pool, so ``BrokenProcessPool``
+        cannot name the cell that killed it: every unfinished future in
+        the round raises it.  Charging all of them a retry would let
+        one persistently-crashing cell burn its neighbours' budgets, so
+        a shared-pool crash charges nobody — the round after a crash
+        runs each remaining cell in its own single-worker pool, where a
+        crash *is* attributable and counts against that cell alone.
+        Timeouts and in-cell exceptions are always attributable."""
+        out: List[Optional[CellResult]] = [None] * len(pending)
+        #: Attributable failures per cell (the retry budget).
+        charged = [0] * len(pending)
+        #: Total executions per cell (what the manifest reports).
+        executions = [0] * len(pending)
+        todo = list(range(len(pending)))
+        isolate = False
+        while todo:
+            crashed = False
+            errors: List[Tuple[int, str, bool]] = []
+            batches = [[i] for i in todo] if isolate else [todo]
+            for batch in batches:
+                workers = min(self.jobs, len(batch))
+                pool = ProcessPoolExecutor(max_workers=workers)
+                poisoned = False
+                futures = []
+                for i in batch:
+                    executions[i] += 1
+                    futures.append(
+                        (i, pool.submit(self.cell_fn, pending[i]))
+                    )
+                try:
+                    for i, future in futures:
+                        try:
+                            out[i] = future.result(
+                                timeout=self.job_timeout_s
+                            )
+                        except FutureTimeout:
+                            poisoned = True
+                            errors.append(
+                                (i, f"timeout after {self.job_timeout_s}s",
+                                 True)
+                            )
+                        except BrokenProcessPool:
+                            poisoned = True
+                            crashed = True
+                            errors.append(
+                                (i, "worker crashed", len(batch) == 1)
+                            )
+                        except Exception as exc:
+                            # The job itself raised: retryable
+                            # (transient host conditions) but bounded
+                            # like a crash.
+                            errors.append(
+                                (i, f"{type(exc).__name__}: {exc}", True)
+                            )
+                finally:
+                    if poisoned:
+                        self._kill_pool(pool)
+                    else:
+                        pool.shutdown(wait=True)
+            todo = []
+            for i, error, attributable in errors:
+                label = pending[i].label
+                event = self._record_event(label, error)
+                if attributable:
+                    charged[i] += 1
+                if charged[i] > self.retry_limit:
+                    event["attempts"] = executions[i]
+                    failed.append({
+                        "label": label,
+                        "error": error,
+                        "attempts": executions[i],
+                    })
+                else:
+                    event["attempts"] = executions[i] + 1
+                    todo.append(i)
+            isolate = crashed
+        return out
 
 
 #: Process-wide executor used when an experiment is called without one

@@ -44,6 +44,7 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     ablations,
+    chaos,
     cni_family,
     costmodel_check,
     contention,
@@ -60,7 +61,7 @@ from repro.experiments import (
     table5,
 )
 from repro.experiments.cache import ResultCache
-from repro.experiments.parallel import SweepExecutor
+from repro.experiments.parallel import SweepExecutor, SweepFailure
 
 EXPERIMENTS: Dict[str, Callable] = {
     "table1": table1.run,
@@ -82,9 +83,12 @@ EXPERIMENTS: Dict[str, Callable] = {
     "cni-family": cni_family.run,
     "stability": stability.run,
     "costmodel": costmodel_check.run,
+    "chaos": chaos.run,
 }
 
 #: What "all" means (composite entries subsume the split ones).
+#: ``chaos`` is deliberately absent: ``all`` regenerates the paper's
+#: fault-free artefact set; the fault-injection sweep is opt-in.
 ALL_ORDER = (
     "table1", "table2", "table3", "table4", "table5",
     "figure1", "figure3", "figure4", "ablations", "logp",
@@ -158,6 +162,12 @@ def main(argv=None) -> int:
         help="recompute every cell, bypassing .repro-cache/",
     )
     parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        dest="job_timeout",
+        help="wall-clock bound per sweep cell in pool runs; a cell "
+             "that exceeds it is re-executed once on a fresh worker",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", dest="json_path",
         help="also write every result as JSON to PATH",
     )
@@ -206,21 +216,30 @@ def main(argv=None) -> int:
     executor = SweepExecutor(
         jobs=args.jobs, cache=cache, tracing=bool(args.trace_path),
         spans=bool(args.spans_path or args.perfetto_path),
+        job_timeout_s=args.job_timeout,
     )
 
     run_start = time.time()
     collected = {}
+    status = 0
     for name in names:
         start = time.time()
-        result = _call_experiment(EXPERIMENTS[name], args.quick, executor)
+        try:
+            result = _call_experiment(EXPERIMENTS[name], args.quick,
+                                      executor)
+        except SweepFailure as exc:
+            # The salvageable cells are computed, cached, and recorded
+            # in executor.completed — report, keep going, and let the
+            # manifest come out marked "partial".
+            print(f"[{name} FAILED: {exc}]", file=sys.stderr)
+            status = 1
+            continue
         elapsed = time.time() - start
         collected[name] = result
         print(result.format())
         print(f"[{name} completed in {elapsed:.1f}s]")
         print()
     wall_time_s = time.time() - run_start
-
-    status = 0
     if args.json_path:
         payload = {
             name: _jsonable(result) for name, result in collected.items()
@@ -321,22 +340,40 @@ def _write_observability(args, executor, names, wall_time_s) -> int:
               or args.spans_path or args.perfetto_path)
     if anchor:
         cache = executor.cache
+        cells = []
+        for job, cell, cached in completed:
+            entry = {
+                "label": job.label,
+                "elapsed_ns": cell.elapsed_ns,
+                "cached": cached,
+            }
+            event = executor.job_events.get(job.label)
+            if event is not None:
+                # The cell survived crash/timeout re-execution; flag
+                # it so the provenance record shows the bumpy road.
+                entry["attempts"] = event["attempts"]
+                entry["reexecuted"] = True
+            cells.append(entry)
+        for failure in executor.failures:
+            cells.append({
+                "label": failure["label"],
+                "failed": True,
+                "attempts": failure["attempts"],
+                "error": failure["error"],
+            })
         manifest = build_manifest(
             experiments=list(names),
             quick=args.quick,
             jobs=executor.jobs,
-            cells=[
-                {
-                    "label": job.label,
-                    "elapsed_ns": cell.elapsed_ns,
-                    "cached": cached,
-                }
-                for job, cell, cached in completed
-            ],
+            cells=cells,
             wall_time_s=wall_time_s,
             cache_enabled=cache is not None,
             cache_hits=cache.hits if cache is not None else 0,
             cache_misses=cache.misses if cache is not None else 0,
+            cache_corrupt_entries=(
+                cache.corrupt_entries if cache is not None else 0
+            ),
+            status="partial" if executor.failures else "complete",
             outputs={
                 "json": args.json_path,
                 "metrics": args.metrics_path,

@@ -1,0 +1,43 @@
+"""Deterministic fault injection and reliable delivery.
+
+The paper's fabric is lossless and contention-free; this package asks
+what each NI design pays when it is not.  Three pieces:
+
+- :class:`~repro.faults.config.FaultConfig` — a frozen, seedable fault
+  model (drop / corrupt / duplicate / stall / lockup / pause
+  probabilities plus the reliability-protocol knobs).  Attached to
+  :class:`~repro.config.SystemParams` via the ``faults`` field;
+  ``faults=None`` (the default) leaves every hook structurally absent,
+  so fault-free runs are byte-identical to a build without this
+  package.
+- :class:`~repro.faults.injector.FaultInjector` — the per-machine
+  decision engine.  One ``random.Random(seed)`` stream consumed in
+  simulation event order, so a fixed seed reproduces the exact same
+  fault pattern at any ``--jobs`` count.
+- The reliability machinery (sequence numbers, ack/timeout/retransmit
+  with capped exponential backoff, receive-side duplicate suppression)
+  lives in :mod:`repro.network.flowcontrol`; the pure pieces it builds
+  on (:func:`~repro.faults.reliability.retransmit_backoff`,
+  :class:`~repro.faults.reliability.DupFilter`) plus the
+  :class:`~repro.faults.watchdog.Watchdog` /
+  :class:`~repro.faults.report.DeliveryFailure` progress monitor are
+  here.
+
+See docs/robustness.md for the full model and protocol.
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.reliability import DupFilter, retransmit_backoff
+from repro.faults.report import DeliveryFailure, build_failure_report
+from repro.faults.watchdog import Watchdog
+
+__all__ = [
+    "DeliveryFailure",
+    "DupFilter",
+    "FaultConfig",
+    "FaultInjector",
+    "Watchdog",
+    "build_failure_report",
+    "retransmit_backoff",
+]

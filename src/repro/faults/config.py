@@ -1,0 +1,120 @@
+"""The fault model: one frozen, seedable configuration object.
+
+:class:`FaultConfig` rides on :class:`repro.config.SystemParams` (the
+``faults`` field), which keeps it inside the content-addressed cache
+key and the picklable :class:`~repro.experiments.parallel.Job` spec —
+two cells that differ only in their fault seed never alias.
+
+All probabilities are per-message (drawn once per injection, in
+deterministic simulation event order); all times are integer
+nanoseconds, like everything else in the model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+#: Largest attempt count fed to the exponential backoff; beyond it the
+#: timeout sits at ``retry_timeout_cap_ns`` anyway, and bounding the
+#: exponent keeps the arithmetic exact for any retry budget.
+MAX_BACKOFF_EXPONENT = 16
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection probabilities plus reliability-protocol knobs."""
+
+    #: Seed of the per-machine fault stream.  The same seed reproduces
+    #: the same fault pattern exactly, at any ``--jobs`` count.
+    seed: int = 0
+    #: Probability a data message is silently dropped in flight.
+    drop_prob: float = 0.0
+    #: Probability a data message arrives with a corrupted payload
+    #: (detected by the receiver's checksum and discarded — recovered
+    #: by retransmission when the reliable protocol is on).
+    corrupt_prob: float = 0.0
+    #: Probability a data message is delivered twice (one extra copy,
+    #: one network latency later).
+    duplicate_prob: float = 0.0
+    #: Probability an acknowledgment is dropped on the control channel.
+    ack_drop_prob: float = 0.0
+    #: Probability a data message hits a stalled link, and how long the
+    #: stall window adds to its flight time.
+    stall_prob: float = 0.0
+    stall_ns: int = 2000
+    #: Probability an arriving data message finds the destination NI's
+    #: receive buffering locked up, and how long the lockup window
+    #: lasts (arrivals during the window are bounced to the sender).
+    lockup_prob: float = 0.0
+    lockup_ns: int = 5000
+    #: Probability an injection opens a pause window on the *sending*
+    #: node (the node stops making progress; its traffic is delayed by
+    #: the remainder of the window), and the window length.
+    pause_prob: float = 0.0
+    pause_ns: int = 5000
+
+    # -- reliability protocol -----------------------------------------
+
+    #: Run the reliable-delivery layer (per-destination sequence
+    #: numbers, ack/timeout/retransmit, receive-side duplicate
+    #: suppression).  Off: faults hit an unprotected protocol — useful
+    #: for demonstrating the failure the watchdog reports.
+    reliable: bool = True
+    #: First retransmit timeout, ns.  Doubled (``retry_backoff_factor``)
+    #: per attempt up to ``retry_timeout_cap_ns``.
+    retry_timeout_ns: int = 4000
+    retry_backoff_factor: int = 2
+    retry_timeout_cap_ns: int = 64000
+    #: Retransmissions per message before the sender gives up and
+    #: records a delivery failure.
+    retry_budget: int = 8
+
+    # -- watchdog -----------------------------------------------------
+
+    #: Arm the progress watchdog: a quiescent-but-incomplete run raises
+    #: a structured :class:`~repro.faults.report.DeliveryFailure`
+    #: instead of hanging in a poll loop.
+    watchdog: bool = True
+    #: How long (simulated ns) the machine may go without end-to-end
+    #: message progress before the watchdog trips.  Must exceed the
+    #: longest legitimate silence — the default clears a full
+    #: retransmit-backoff ladder (~316 us at the default knobs) with
+    #: margin.
+    watchdog_quiet_ns: int = 1_000_000
+
+    def replace(self, **changes) -> "FaultConfig":
+        return dataclasses.replace(self, **changes)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an inconsistent fault model."""
+        for name in ("drop_prob", "corrupt_prob", "duplicate_prob",
+                     "ack_drop_prob", "stall_prob", "lockup_prob",
+                     "pause_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("stall_ns", "lockup_ns", "pause_ns"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.retry_timeout_ns < 1:
+            raise ValueError("retry_timeout_ns must be >= 1")
+        if self.retry_backoff_factor < 1:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if self.retry_timeout_cap_ns < self.retry_timeout_ns:
+            raise ValueError(
+                "retry_timeout_cap_ns must be >= retry_timeout_ns"
+            )
+        if self.retry_budget < 1:
+            raise ValueError("retry_budget must be >= 1")
+        if self.watchdog_quiet_ns < 1:
+            raise ValueError("watchdog_quiet_ns must be >= 1")
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether any fault can actually fire under this config."""
+        return any((
+            self.drop_prob, self.corrupt_prob, self.duplicate_prob,
+            self.ack_drop_prob, self.stall_prob, self.lockup_prob,
+            self.pause_prob,
+        ))

@@ -1,0 +1,146 @@
+"""The per-machine fault decision engine.
+
+One :class:`FaultInjector` per :class:`~repro.node.Machine`, consulted
+by the network fabric at injection time and by the flow-control units
+at arrival time.  All randomness comes from a single
+``random.Random(seed)`` stream consumed in simulation event order;
+since the kernel is deterministic, the same seed produces the same
+fault pattern whether the cell runs serially or in a pool worker.
+
+The injector never touches messages itself beyond the ``corrupted``
+flag — drops, duplicates and delays are carried out by the fabric,
+bounces by the flow-control unit.  Everything it decides is counted,
+and the counters mount under the ``faults.*`` metrics prefix so chaos
+sweeps can report exactly what was injected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.faults.config import FaultConfig
+from repro.sim import Counter, Simulator
+
+
+class InjectVerdict:
+    """What the fabric should do with one injected message."""
+
+    __slots__ = ("drop", "corrupt", "duplicate", "extra_delay_ns")
+
+    def __init__(self, drop: bool = False, corrupt: bool = False,
+                 duplicate: bool = False, extra_delay_ns: int = 0):
+        self.drop = drop
+        self.corrupt = corrupt
+        self.duplicate = duplicate
+        self.extra_delay_ns = extra_delay_ns
+
+
+class FaultInjector:
+    """Seeded fault decisions for one machine."""
+
+    def __init__(self, sim: Simulator, config: FaultConfig):
+        config.validate()
+        self.sim = sim
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.counters = Counter()
+        #: Delivery failures recorded by the reliability layer when a
+        #: message exhausts its retry budget (jsonable dicts).
+        self.failures: List[Dict[str, Any]] = []
+        #: Per-node fault-window end timestamps.
+        self._lockup_until: Dict[int, int] = {}
+        self._pause_until: Dict[int, int] = {}
+
+    def _draw(self, prob: float) -> bool:
+        """One Bernoulli draw; zero-probability faults skip the stream
+        so unconfigured fault classes don't perturb configured ones."""
+        if prob <= 0.0:
+            return False
+        return self.rng.random() < prob
+
+    # -- injection-time decisions (called by Network.inject) -----------
+
+    def on_inject(self, msg: Any, control: bool) -> InjectVerdict:
+        """Decide the fate of one message entering the wire.
+
+        Control traffic (acks, returns) rides the guaranteed channel:
+        only ``ack_drop_prob`` applies, and only to acks — dropping
+        returned messages would leak the sender's flow-control buffer
+        in the *fault-free* protocol, which is a model error, not a
+        fault.
+        """
+        cfg = self.config
+        verdict = InjectVerdict()
+        if control:
+            from repro.network.message import MessageKind
+
+            if msg.kind is MessageKind.ACK and self._draw(cfg.ack_drop_prob):
+                self.counters.add("ack_dropped")
+                verdict.drop = True
+            return verdict
+        if self._draw(cfg.drop_prob):
+            self.counters.add("dropped")
+            verdict.drop = True
+            return verdict
+        if self._draw(cfg.corrupt_prob):
+            self.counters.add("corrupted")
+            verdict.corrupt = True
+        if self._draw(cfg.duplicate_prob):
+            self.counters.add("duplicated")
+            verdict.duplicate = True
+        if self._draw(cfg.stall_prob):
+            self.counters.add("stalls")
+            self.counters.add("stall_ns", cfg.stall_ns)
+            verdict.extra_delay_ns += cfg.stall_ns
+        if cfg.pause_prob:
+            now = self.sim.now
+            until = self._pause_until.get(msg.src, 0)
+            if until <= now and self._draw(cfg.pause_prob):
+                until = now + cfg.pause_ns
+                self._pause_until[msg.src] = until
+                self.counters.add("pauses")
+            if until > now:
+                self.counters.add("pause_delay_ns", until - now)
+                verdict.extra_delay_ns += until - now
+        return verdict
+
+    # -- arrival-time decisions (called by FlowControlUnit) ------------
+
+    def recv_locked(self, node_id: int) -> bool:
+        """Whether ``node_id``'s receive buffering is locked up right
+        now; may open a new lockup window (one draw per arrival)."""
+        cfg = self.config
+        if not cfg.lockup_prob:
+            return False
+        now = self.sim.now
+        if self._lockup_until.get(node_id, 0) > now:
+            self.counters.add("lockup_bounces")
+            return True
+        if self._draw(cfg.lockup_prob):
+            self._lockup_until[node_id] = now + cfg.lockup_ns
+            self.counters.add("lockups")
+            self.counters.add("lockup_bounces")
+            return True
+        return False
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def record_failure(self, *, node: int, dst: int, seq: int,
+                       attempts: int, msg: Any) -> None:
+        """A message exhausted its retry budget (reliability layer)."""
+        self.counters.add("delivery_failures")
+        self.failures.append({
+            "src": node,
+            "dst": dst,
+            "seq": seq,
+            "attempts": attempts,
+            "uid": msg.uid,
+            "size": msg.size,
+            "handler": msg.handler,
+            "giving_up_at_ns": self.sim.now,
+        })
+
+    def mount_metrics(self, registry, prefix: str = "faults") -> None:
+        """Publish injection accounting under ``faults.*``."""
+        registry.mount(prefix, self.counters)

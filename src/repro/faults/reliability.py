@@ -1,0 +1,83 @@
+"""Pure pieces of the reliable-delivery protocol.
+
+The protocol itself lives in :class:`repro.network.flowcontrol.
+FlowControlUnit` (it owns the buffers and the wire); what lives here is
+the state machinery that can be reasoned about — and property-tested —
+without a simulator: the retransmit-backoff schedule and the
+receive-side duplicate filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set
+
+from repro.faults.config import MAX_BACKOFF_EXPONENT, FaultConfig
+
+
+def retransmit_backoff(attempts: int, config: FaultConfig) -> int:
+    """Retransmit timeout (ns) before attempt ``attempts + 1``.
+
+    Capped exponential: ``retry_timeout_ns * factor**attempts``, never
+    above ``retry_timeout_cap_ns``.  Monotone non-decreasing in
+    ``attempts`` and a pure function of (attempts, config), so a fixed
+    seed replays the identical schedule.
+    """
+    if attempts < 0:
+        raise ValueError(f"attempts must be >= 0, got {attempts}")
+    exponent = min(attempts, MAX_BACKOFF_EXPONENT)
+    timeout = config.retry_timeout_ns * (
+        config.retry_backoff_factor ** exponent
+    )
+    return min(timeout, config.retry_timeout_cap_ns)
+
+
+@dataclass
+class OutstandingSend:
+    """Sender-side record of one unacknowledged reliable message."""
+
+    msg: Any
+    first_sent_ns: int
+    #: Retransmissions performed so far (0 = only the original send).
+    attempts: int = 0
+
+
+class DupFilter:
+    """Receive-side at-most-once filter over per-source sequence numbers.
+
+    Each source numbers its messages to a given destination 0, 1, 2...
+    The filter tracks, per source, the next expected cumulative
+    sequence plus the out-of-order set beyond it, so it recognises any
+    replay (retransmission of an already-accepted message, or a
+    network-duplicated copy) with O(outstanding) memory — the
+    out-of-order set drains into the cumulative counter as gaps fill.
+    """
+
+    def __init__(self) -> None:
+        self._next: Dict[int, int] = {}
+        self._ahead: Dict[int, Set[int]] = {}
+
+    def seen(self, src: int, seq: int) -> bool:
+        """Whether (src, seq) was already accepted."""
+        if seq < self._next.get(src, 0):
+            return True
+        return seq in self._ahead.get(src, ())
+
+    def accept(self, src: int, seq: int) -> bool:
+        """Record (src, seq); True if it is new, False on a replay."""
+        if self.seen(src, seq):
+            return False
+        ahead = self._ahead.setdefault(src, set())
+        ahead.add(seq)
+        nxt = self._next.get(src, 0)
+        while nxt in ahead:
+            ahead.remove(nxt)
+            nxt += 1
+        self._next[src] = nxt
+        return True
+
+    def pending(self, src: Optional[int] = None) -> int:
+        """Out-of-order sequences held (for one source, or in total)."""
+        if src is not None:
+            return len(self._ahead.get(src, ()))
+        return sum(len(ahead) for ahead in self._ahead.values())

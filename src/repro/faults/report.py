@@ -1,0 +1,77 @@
+"""Structured delivery-failure reporting.
+
+When a faulty run cannot complete — retry budgets exhausted, an
+unprotected protocol deadlocked by a lost ack — the watchdog (or the
+harness) raises :class:`DeliveryFailure` carrying a plain-JSON report
+of *where the machine was stuck*: per-node buffer occupancy and
+outstanding reliable sends, the injector's fault counters, and the
+network-level progress totals.  The chaos harness stores the report in
+the cell's ``extras`` instead of crashing the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: Version tag of the report dict (bump on incompatible layout change).
+REPORT_SCHEMA = 1
+
+
+class DeliveryFailure(RuntimeError):
+    """A run stopped making progress before completing.
+
+    ``report`` is a plain-JSON dict (see :func:`build_failure_report`).
+    """
+
+    def __init__(self, report: Dict[str, Any]):
+        self.report = report
+        stuck = sum(
+            len(node.get("outstanding", ())) for node in report.get("nodes", ())
+        )
+        super().__init__(
+            f"delivery failure ({report.get('reason', 'unknown')}) at "
+            f"t={report.get('now_ns')}ns: {stuck} outstanding reliable "
+            f"sends, {len(report.get('failed', ()))} exhausted"
+        )
+
+
+def build_failure_report(
+    machine,
+    reason: str,
+    detail: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Snapshot the stuck machine into a plain-JSON report.
+
+    ``reason`` is ``"no_progress"`` (watchdog: a full quiet window
+    passed without end-to-end message progress) or ``"quiescent"``
+    (the event queue drained with the completion event unfired).
+    """
+    injector = machine.network.faults
+    nodes = []
+    for node in machine:
+        fcu = node.ni.fcu
+        nodes.append({
+            "node": node.node_id,
+            "send_buffers_in_use": fcu.send_buffers_in_use,
+            "pending_inbound": fcu.pending_inbound,
+            "pending_returns": fcu.pending_returns,
+            "outstanding": fcu.outstanding_jsonable(),
+            "dedup_held": fcu.dedup_pending,
+        })
+    report: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "reason": reason,
+        "now_ns": machine.sim.now,
+        "nodes": nodes,
+        "failed": list(injector.failures) if injector is not None else [],
+        "fault_counters": (
+            injector.counters.as_dict() if injector is not None else {}
+        ),
+        "net": {
+            "injected": machine.network.counters["injected"],
+            "delivered": machine.network.counters["delivered"],
+        },
+    }
+    if detail is not None:
+        report["detail"] = detail
+    return report

@@ -1,0 +1,62 @@
+"""Progress watchdog: quiescent-but-incomplete runs fail loudly.
+
+Under message loss an unprotected workload does not run the simulator
+out of events — pollers keep polling, so the event queue never drains;
+the run simply stops making *progress* while burning simulated time
+forever.  The watchdog is a simulated process that samples an
+end-to-end progress signature every ``watchdog_quiet_ns`` and raises
+:class:`~repro.faults.report.DeliveryFailure` when a full window
+passes with the signature unchanged and the completion event unfired.
+
+The signature counts message-level progress (injections, deliveries,
+handler dispatches, flow-control activity), not raw event-queue
+activity — poll loops schedule events without progressing, and that is
+exactly the livelock this exists to catch.  The quiet window therefore
+bounds the longest legitimate message silence; the default
+(:attr:`~repro.faults.config.FaultConfig.watchdog_quiet_ns`, 1 ms)
+clears a full retransmit-backoff ladder with margin.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Tuple
+
+from repro.faults.config import FaultConfig
+from repro.faults.report import DeliveryFailure, build_failure_report
+
+
+class Watchdog:
+    """Arms a progress monitor on a machine for the span of one run."""
+
+    def __init__(self, machine, done, config: FaultConfig):
+        self.machine = machine
+        self.done = done
+        self.config = config
+        self.process = machine.sim.process(self._run())
+
+    def _signature(self) -> Tuple[int, ...]:
+        machine = self.machine
+        net = machine.network.counters
+        handled = 0
+        fcu_activity = 0
+        for node in machine:
+            handled += node.runtime.counters["handled"]
+            fcu = node.ni.fcu
+            for key in ("accepted", "returned", "retried", "retransmits",
+                        "acked"):
+                fcu_activity += fcu.counters[key]
+        return (net["injected"], net["delivered"], handled, fcu_activity)
+
+    def _run(self) -> Generator:
+        sim = self.machine.sim
+        last = self._signature()
+        while True:
+            yield sim.delay(self.config.watchdog_quiet_ns)
+            if self.done.triggered:
+                return
+            current = self._signature()
+            if current == last:
+                raise DeliveryFailure(
+                    build_failure_report(self.machine, reason="no_progress")
+                )
+            last = current

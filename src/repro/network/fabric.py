@@ -48,6 +48,15 @@ class Network:
         #: Machine-wide lifecycle-span recorder; enabled by
         #: ``SystemParams.spans``.
         self.spans = SpanRecorder(sim, enabled=params.spans)
+        #: Fault injector (see repro.faults); ``None`` unless
+        #: ``params.faults`` configures one, in which case data
+        #: messages may be dropped, corrupted, duplicated, or delayed
+        #: at injection time.
+        self.faults = None
+        if params.faults is not None:
+            from repro.faults.injector import FaultInjector
+
+            self.faults = FaultInjector(sim, params.faults)
         self._data_endpoints: Dict[int, ArrivalHook] = {}
         self._control_endpoints: Dict[int, ArrivalHook] = {}
         self.counters = Counter()
@@ -101,6 +110,28 @@ class Network:
         if not control:
             self.counters.add("data_bytes", msg.size)
 
+        deliveries = 1
+        extra_delay = 0
+        if self.faults is not None:
+            verdict = self.faults.on_inject(msg, control)
+            if verdict.drop:
+                if self.tracer.enabled:
+                    self.tracer.log("faults", "drop", uid=msg.uid,
+                                    kind=msg.kind.value, dst=msg.dst)
+                return
+            if verdict.corrupt:
+                msg.corrupted = True
+                if self.tracer.enabled:
+                    self.tracer.log("faults", "corrupt", uid=msg.uid)
+            if verdict.duplicate:
+                deliveries = 2
+                if self.tracer.enabled:
+                    self.tracer.log("faults", "duplicate", uid=msg.uid)
+            extra_delay = verdict.extra_delay_ns
+            if extra_delay and self.tracer.enabled:
+                self.tracer.log("faults", "delay", uid=msg.uid,
+                                extra_ns=extra_delay)
+
         if self.fabric is not None and not control:
             def _fabric_arrive(message: Message) -> None:
                 self.counters.add("delivered")
@@ -109,11 +140,15 @@ class Network:
             self.sim.process(self.fabric.deliver(msg, _fabric_arrive))
             return
 
-        deliver = self.sim.event()
+        latency = self.params.network_latency_ns + extra_delay
+        for copy in range(deliveries):
+            deliver = self.sim.event()
 
-        def _arrive(_event) -> None:
-            self.counters.add("delivered")
-            hook(msg)
+            def _arrive(_event, message=msg) -> None:
+                self.counters.add("delivered")
+                hook(message)
 
-        deliver.add_callback(_arrive)
-        deliver.succeed(delay=self.params.network_latency_ns)
+            deliver.add_callback(_arrive)
+            # A duplicated copy trails the original by one network
+            # latency, modelling a replayed wire transfer.
+            deliver.succeed(delay=latency + copy * self.params.network_latency_ns)

@@ -27,16 +27,43 @@ size, and deadlock-free because returns/acks are always accepted.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Dict, Generator, Optional, Tuple
 
 from repro.config import SoftwareCosts, SystemParams
+from repro.faults.reliability import (
+    DupFilter,
+    OutstandingSend,
+    retransmit_backoff,
+)
 from repro.network.fabric import Network
 from repro.network.message import Message, MessageKind
 from repro.sim import Counter, Resource, Simulator, Store, TokenPool
 
+#: Bounce counts beyond this stop growing the return-to-sender backoff
+#: (:meth:`FlowControlUnit.retry_delay`).  Capping the multiplier keeps
+#: a bounce storm's retry state bounded: a message that has bounced a
+#: thousand times retries no slower than one that bounced six — and no
+#: faster, so a 1-buffer receiver under sustained load still drains
+#: (see tests/test_faults.py::test_bounce_storm_liveness).
+MAX_BACKOFF_BOUNCES = 6
+
+#: Message kinds covered by the reliable-delivery layer.  Control
+#: traffic (acks, returns) rides the guaranteed channel and is never
+#: sequenced.
+_RELIABLE_KINDS = (MessageKind.ACTIVE_MESSAGE, MessageKind.DATA)
+
 
 class FlowControlUnit:
-    """Per-NI sender/receiver buffer management with return-to-sender."""
+    """Per-NI sender/receiver buffer management with return-to-sender.
+
+    When :class:`~repro.faults.config.FaultConfig.reliable` is on, this
+    unit additionally runs the reliable-delivery protocol: outgoing
+    data messages get per-destination sequence numbers and a
+    retransmit timer (capped exponential backoff, bounded retry
+    budget); arriving data messages pass an at-most-once duplicate
+    filter; acks carry the sequence they acknowledge, so replayed acks
+    are recognised instead of over-releasing send buffers.
+    """
 
     def __init__(
         self,
@@ -79,6 +106,21 @@ class FlowControlUnit:
         #: "clogs up the network" (Section 3).
         self._port = Resource(sim, capacity=1)
         self.counters = Counter()
+        #: The machine's fault injector, or ``None`` (the common case).
+        self.faults = network.faults
+        #: The fault config when the reliable-delivery layer is on.
+        self._reliable = (
+            params.faults
+            if params.faults is not None and params.faults.reliable
+            else None
+        )
+        if self._reliable is not None:
+            #: Next reliable sequence number, per destination.
+            self._next_seq: Dict[int, int] = {}
+            #: Unacknowledged reliable sends, keyed by (dst, seq).
+            self._outstanding: Dict[Tuple[int, int], OutstandingSend] = {}
+            #: Receive-side at-most-once filter.
+            self._dedup = DupFilter()
         network.register(node_id, self._on_data, self._on_control)
 
     def _port_time(self, msg: Message) -> int:
@@ -105,6 +147,15 @@ class FlowControlUnit:
         """Put an already-buffered message on the wire (instantaneous;
         the NI's bus/copy costs happen before this call)."""
         self.counters.add("sent")
+        if (self._reliable is not None and msg.rel_seq is None
+                and msg.kind in _RELIABLE_KINDS):
+            seq = self._next_seq.get(msg.dst, 0)
+            self._next_seq[msg.dst] = seq + 1
+            msg.rel_seq = seq
+            self._outstanding[(msg.dst, seq)] = OutstandingSend(
+                msg=msg, first_sent_ns=self.sim.now
+            )
+            self.sim.process(self._retransmit_loop(msg.dst, seq))
         self.network.inject(msg)
 
     def send(self, msg: Message) -> Generator:
@@ -126,29 +177,67 @@ class FlowControlUnit:
             # receive-side buffering (bounce/backoff time included —
             # it is receive-buffer shortage by definition).
             self.network.spans.mark(msg, "recv_buffering")
+        if msg.corrupted:
+            # Checksum failure: discard without acking; the sender's
+            # retransmit timer recovers the message (or gives up and
+            # reports the delivery failure).
+            msg.corrupted = False
+            self.counters.add("corrupt_dropped")
+            if self.network.tracer.enabled:
+                self.network.tracer.log(self.name, "corrupt_drop",
+                                        uid=msg.uid)
+            return
+        if (self._reliable is not None and msg.rel_seq is not None
+                and self._dedup.seen(msg.src, msg.rel_seq)):
+            # Replay of an already-accepted message (retransmission or
+            # network duplicate): re-ack — the previous ack may have
+            # been lost — but never deliver twice.
+            self.counters.add("dup_suppressed")
+            if self.network.tracer.enabled:
+                self.network.tracer.log(self.name, "dup_suppress",
+                                        uid=msg.uid, seq=msg.rel_seq)
+            self._send_ack(msg)
+            return
+        if self.faults is not None and self.faults.recv_locked(self.node_id):
+            # NI-buffer lockup window: arrivals bounce as if every
+            # incoming buffer were full.
+            self.counters.add("lockup_returns")
+            self._bounce_back(msg)
+            return
         if self.recv_buffers.try_acquire():
             self.counters.add("accepted")
             if self.network.tracer.enabled:
                 self.network.tracer.log(self.name, "accept", uid=msg.uid)
+            if self._reliable is not None and msg.rel_seq is not None:
+                self._dedup.accept(msg.src, msg.rel_seq)
             self.inbound.try_put(msg)
             if self.on_accept is not None:
                 self.on_accept(msg)
-            ack = Message(
-                src=self.node_id, dst=msg.src, size=self.params.header_bytes,
-                kind=MessageKind.ACK, body=msg.uid,
-            )
-            self.network.inject(ack)
+            self._send_ack(msg)
         else:
-            # No free incoming buffer: bounce the whole message back,
-            # which occupies this NI's port for the message's length.
-            self.counters.add("returned")
-            if self.network.spans.enabled:
-                self.network.spans.annotate(msg, "bounces")
-            if self.network.tracer.enabled:
-                self.network.tracer.log(self.name, "bounce", uid=msg.uid,
-                                        bounces=msg.bounces + 1)
-            msg.bounces += 1
-            self.sim.process(self._bounce(msg))
+            self._bounce_back(msg)
+
+    def _send_ack(self, msg: Message) -> None:
+        """Acknowledge an accepted (or replayed) data message.  The ack
+        carries the message's reliable sequence, when it has one, so
+        the sender can match it against its outstanding table."""
+        ack = Message(
+            src=self.node_id, dst=msg.src, size=self.params.header_bytes,
+            kind=MessageKind.ACK, body=msg.uid, rel_seq=msg.rel_seq,
+        )
+        self.network.inject(ack)
+
+    def _bounce_back(self, msg: Message) -> None:
+        # No free incoming buffer: bounce the whole message back,
+        # which occupies this NI's port for the message's length.
+        self.counters.add("returned")
+        if self.network.spans.enabled:
+            self.network.spans.annotate(msg, "bounces")
+        if self.network.tracer.enabled:
+            self.network.tracer.log(self.name, "bounce", uid=msg.uid,
+                                    bounces=msg.bounces + 1)
+        msg.bounces += 1
+        self.sim.process(self._bounce(msg))
 
     def _bounce(self, msg: Message) -> Generator:
         grant = self._port.request()
@@ -163,6 +252,23 @@ class FlowControlUnit:
 
     def _on_control(self, msg: Message) -> None:
         if msg.kind is MessageKind.ACK:
+            if self._reliable is not None and msg.rel_seq is not None:
+                state = self._outstanding.pop((msg.src, msg.rel_seq), None)
+                if state is None:
+                    # Ack for a send we already credited (a replayed
+                    # ack, or the ack of a retransmitted copy): must
+                    # not release the send buffer twice.
+                    self.counters.add("dup_acks")
+                    return
+                self.counters.add("acked")
+                self.send_buffers.release()
+                return
+            if (self.faults is not None and self.send_buffers.size is not None
+                    and self.send_buffers.in_use == 0):
+                # Unreliable mode under duplication faults: an ack with
+                # no matching allocation must not over-release the pool.
+                self.counters.add("spurious_acks")
+                return
             self.counters.add("acked")
             self.send_buffers.release()
         elif msg.kind is MessageKind.RETURN:
@@ -181,11 +287,90 @@ class FlowControlUnit:
     def retry_delay(self, msg: Message) -> int:
         """Backoff before re-injecting a bounced message.
 
-        Linear in the bounce count (capped): a message that keeps
-        bouncing backs off harder, which stops mid-sized buffer pools
-        from thrashing in bounce storms.
+        Linear in the bounce count, capped at
+        :data:`MAX_BACKOFF_BOUNCES`: a message that keeps bouncing
+        backs off harder, which stops mid-sized buffer pools from
+        thrashing in bounce storms, while the cap bounds the worst-case
+        retry interval so heavily-bounced messages still drain.
         """
-        return self.costs.retry_backoff * min(max(msg.bounces, 1), 6)
+        return self.costs.retry_backoff * min(
+            max(msg.bounces, 1), MAX_BACKOFF_BOUNCES
+        )
+
+    # -- reliable delivery (repro.faults) ---------------------------------
+
+    def _retransmit_loop(self, dst: int, seq: int) -> Generator:
+        """Sender-side timer for one reliable message: wait out the
+        (capped exponential) timeout, and if the ack has not arrived,
+        push a copy back through the port — up to ``retry_budget``
+        times, after which the send fails loudly."""
+        cfg = self._reliable
+        key = (dst, seq)
+        while True:
+            state = self._outstanding.get(key)
+            if state is None:
+                return  # acknowledged
+            yield self.sim.delay(retransmit_backoff(state.attempts, cfg))
+            state = self._outstanding.get(key)
+            if state is None:
+                return  # acknowledged while we slept
+            if state.attempts >= cfg.retry_budget:
+                # Budget exhausted: give the buffer back so the sender
+                # is not wedged forever, and record the failure for the
+                # DeliveryFailure report.
+                del self._outstanding[key]
+                self.counters.add("retry_exhausted")
+                self.send_buffers.release()
+                if self.faults is not None:
+                    self.faults.record_failure(
+                        node=self.node_id, dst=dst, seq=seq,
+                        attempts=state.attempts, msg=state.msg,
+                    )
+                if self.network.tracer.enabled:
+                    self.network.tracer.log(
+                        self.name, "retry_exhausted",
+                        uid=state.msg.uid, dst=dst, seq=seq,
+                    )
+                return
+            state.attempts += 1
+            grant = self._port.request()
+            yield grant
+            yield self.sim.delay(self._port_time(state.msg))
+            self._port.release(grant)
+            if key not in self._outstanding:
+                return  # acknowledged while occupying the port
+            self.counters.add("retransmits")
+            if self.network.spans.enabled:
+                self.network.spans.annotate(state.msg, "retransmits")
+            if self.network.tracer.enabled:
+                self.network.tracer.log(self.name, "retransmit",
+                                        uid=state.msg.uid, seq=seq,
+                                        attempt=state.attempts)
+            self.network.inject(state.msg)
+
+    def outstanding_jsonable(self) -> list:
+        """Unacknowledged reliable sends, as plain JSON (for the
+        :class:`~repro.faults.report.DeliveryFailure` report)."""
+        if self._reliable is None:
+            return []
+        return [
+            {
+                "dst": dst, "seq": seq, "attempts": state.attempts,
+                "first_sent_ns": state.first_sent_ns,
+                "uid": state.msg.uid, "size": state.msg.size,
+                "handler": state.msg.handler,
+            }
+            for (dst, seq), state in sorted(self._outstanding.items())
+        ]
+
+    @property
+    def outstanding_count(self) -> int:
+        return len(self._outstanding) if self._reliable is not None else 0
+
+    @property
+    def dedup_pending(self) -> int:
+        """Out-of-order sequences held by the duplicate filter."""
+        return self._dedup.pending() if self._reliable is not None else 0
 
     def _retry(self, original: Message) -> Generator:
         # Consume the returned message into the still-held outgoing
@@ -245,3 +430,10 @@ class FlowControlUnit:
                        lambda: self.pending_returns)
         registry.gauge(f"{prefix}.send_buffers_in_use",
                        lambda: self.send_buffers_in_use)
+        if self._reliable is not None:
+            # Reliability gauges exist only when the protocol runs, so
+            # fault-free metric snapshots stay byte-identical.
+            registry.gauge(f"{prefix}.outstanding",
+                           lambda: self.outstanding_count)
+            registry.gauge(f"{prefix}.dedup_pending",
+                           lambda: self.dedup_pending)

@@ -57,6 +57,14 @@ class Message:
     #: Unlike ``uid`` it is deterministic across processes, so span
     #: files from serial and pooled sweeps compare byte-identical.
     span_id: Optional[int] = None
+    #: Reliable-delivery sequence number within the (src, dst) stream,
+    #: assigned by the sending flow-control unit when the reliability
+    #: layer is on (see repro.faults); ``None`` otherwise.
+    rel_seq: Optional[int] = None
+    #: Payload corrupted in flight (set by the fault injector; detected
+    #: and cleared by the receiver's checksum, which discards the
+    #: message so retransmission can recover it).
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.size <= 0:

@@ -162,7 +162,12 @@ class Machine:
         #: lives on the network so NIs and flow control reach it the
         #: same way they reach the tracer.
         self.spans = self.network.spans
+        #: The machine's fault injector (see repro.faults); ``None``
+        #: unless ``params.faults`` configures one.
+        self.faults = self.network.faults
         self.obs.mount("net", self.network.counters)
+        if self.faults is not None:
+            self.faults.mount_metrics(self.obs)
         for node in self.nodes:
             node.mount_metrics(self.obs)
 

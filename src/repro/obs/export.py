@@ -41,11 +41,12 @@ MANIFEST_KEYS = frozenset({
     "jobs",            # worker count the executor resolved
     "params",          # asdict(DEFAULT_PARAMS) — cells may override
     "costs",           # asdict(DEFAULT_COSTS) — cells may override
-    "cells",           # [{label, elapsed_ns, cached}] in execution order
+    "cells",           # [{label, elapsed_ns, cached, attempts?, failed?}]
     "wall_time_s",     # end-to-end harness wall clock
     "sim_time_ns",     # sum of per-cell simulated time
-    "cache",           # {enabled, hits, misses}
+    "cache",           # {enabled, hits, misses, corrupt_entries}
     "outputs",         # {json, metrics, trace, spans, perfetto} paths
+    "status",          # "complete" | "partial" (cells failed retries)
 })
 
 
@@ -172,13 +173,24 @@ def build_manifest(
     cache_hits: int,
     cache_misses: int,
     outputs: Dict[str, Optional[str]],
+    cache_corrupt_entries: int = 0,
+    status: str = "complete",
 ) -> Dict[str, Any]:
-    """Assemble a schema-1 run manifest (see :data:`MANIFEST_KEYS`)."""
+    """Assemble a schema-1 run manifest (see :data:`MANIFEST_KEYS`).
+
+    ``status`` is ``"complete"`` or ``"partial"`` — partial manifests
+    record sweeps where cells stayed failed after bounded re-execution
+    (their cell entries carry ``failed: true``); everything that did
+    compute is still accounted for, so the artefacts next to the
+    manifest remain usable.
+    """
     from dataclasses import asdict
 
     import repro
     from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
 
+    if status not in ("complete", "partial"):
+        raise ValueError(f"unknown manifest status {status!r}")
     manifest = {
         "schema": SCHEMA_VERSION,
         "version": repro.__version__,
@@ -195,8 +207,10 @@ def build_manifest(
             "enabled": bool(cache_enabled),
             "hits": int(cache_hits),
             "misses": int(cache_misses),
+            "corrupt_entries": int(cache_corrupt_entries),
         },
         "outputs": dict(outputs),
+        "status": status,
     }
     assert set(manifest) == set(MANIFEST_KEYS)
     return manifest
@@ -228,6 +242,11 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
         cache or {}
     ):
         problems.append("cache is not {enabled, hits, misses}")
+    if manifest.get("status") not in ("complete", "partial"):
+        problems.append(
+            f"status is {manifest.get('status')!r}, expected "
+            "'complete' or 'partial'"
+        )
     return problems
 
 

@@ -160,9 +160,16 @@ class StateTimer:
         return self._state
 
     def enter(self, state: str) -> None:
-        """Switch to ``state``, crediting elapsed time to the old state."""
+        """Switch to ``state``, crediting elapsed time to the old state.
+
+        After :meth:`finish` the timer is frozen and transitions are
+        ignored: when a run is abandoned mid-flight (e.g. a
+        :class:`~repro.faults.report.DeliveryFailure`), the stuck node
+        generators still unwind their ``finally`` blocks, and that
+        cleanup must not turn a structured failure into a crash.
+        """
         if self._finished:
-            raise RuntimeError("StateTimer already finished")
+            return
         now = self.sim.now
         self._totals[self._state] += now - self._since
         self._state = state

@@ -112,9 +112,35 @@ class Workload(ABC):
                 ni_name or "cni32qm",
             )
         done = self.launch(machine)
-        machine.sim.run(until=done)
+        if machine.params.faults is not None:
+            self._run_with_faults(machine, done)
+        else:
+            machine.sim.run(until=done)
         machine.finish()
         return self._collect(machine)
+
+    def _run_with_faults(self, machine: Machine, done) -> None:
+        """Drive a faulty run: the watchdog's DeliveryFailure passes
+        through; a drained event queue with the completion event
+        unfired (true quiescence — every process stuck on an event
+        that can no longer fire) is converted into one."""
+        from repro.faults.report import DeliveryFailure, build_failure_report
+        from repro.sim.events import SimulationError
+
+        try:
+            machine.sim.run(until=done)
+        except DeliveryFailure:
+            machine.finish()
+            raise
+        except SimulationError as exc:
+            if done.triggered:
+                raise
+            machine.finish()
+            raise DeliveryFailure(
+                build_failure_report(
+                    machine, reason="quiescent", detail=str(exc)
+                )
+            ) from exc
 
     def launch(self, machine: Machine):
         """Prepare and start this workload's processes on ``machine``.
@@ -132,7 +158,15 @@ class Workload(ABC):
             machine.sim.process(self.node_main(machine, node))
             for node in machine
         ]
-        return machine.sim.all_of(processes)
+        done = machine.sim.all_of(processes)
+        faults = machine.params.faults
+        if faults is not None and faults.watchdog:
+            from repro.faults.watchdog import Watchdog
+
+            #: Progress monitor for this run; raises DeliveryFailure
+            #: out of ``sim.run`` when the machine stops progressing.
+            self.watchdog = Watchdog(machine, done, faults)
+        return done
 
     def collect(self, machine: Machine) -> WorkloadResult:
         """Freeze timers and assemble the result of a finished run."""

@@ -22,7 +22,7 @@ def test_top_level_exports():
     assert repro.build_machine is api.build_machine
     assert repro.list_nis is api.list_nis
     assert repro.list_workloads is api.list_workloads
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"
 
 
 @pytest.mark.parametrize("ni", ALL_NI_NAMES)

@@ -1,0 +1,256 @@
+"""Tests for the fault-injection subsystem and the reliable-delivery
+layer (``repro.faults`` + the flow-control reliability hooks).
+
+The load-bearing invariants:
+
+- faults off (``params.faults is None``) leaves behaviour untouched;
+  an all-zero fault config is indistinguishable from no config;
+- a seeded fault stream is deterministic: identical runs produce
+  identical timings and counters;
+- the reliability protocol recovers from drops, corruption and
+  duplication (at-most-once handler delivery);
+- unrecoverable runs *fail loudly*: the watchdog converts silent
+  livelock into a structured :class:`DeliveryFailure`.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.faults import DeliveryFailure, FaultConfig
+from repro.workloads import PingPong, StreamBandwidth
+from repro.workloads.base import Workload
+
+
+def _pingpong(rounds=12, **cfg_kwargs):
+    """A small ping-pong run under the given fault knobs.
+
+    Returns ``(result, machine)`` so tests can inspect counters.
+    """
+    faults = FaultConfig(**cfg_kwargs) if cfg_kwargs else None
+    params = DEFAULT_PARAMS.replace(faults=faults)
+    workload = PingPong(payload_bytes=32, rounds=rounds, warmup=2)
+    machine = workload.build_machine(params, DEFAULT_COSTS, "cm5")
+    result = workload.run(machine)
+    return result, machine
+
+
+def _fcu_counter(machine, name):
+    return sum(node.ni.fcu.counters[name] for node in machine.nodes)
+
+
+# ------------------------------------------------------------- config
+
+def test_fault_config_validates_probabilities():
+    with pytest.raises(ValueError):
+        FaultConfig(drop_prob=1.5).validate()
+    with pytest.raises(ValueError):
+        FaultConfig(corrupt_prob=-0.1).validate()
+    with pytest.raises(ValueError):
+        FaultConfig(retry_budget=0).validate()
+    with pytest.raises(ValueError):
+        FaultConfig(retry_timeout_ns=8000, retry_timeout_cap_ns=4000).validate()
+    FaultConfig().validate()  # defaults are valid
+
+
+def test_fault_config_any_faults():
+    assert not FaultConfig().any_faults
+    assert FaultConfig(drop_prob=0.1).any_faults
+    assert FaultConfig(lockup_prob=0.1).any_faults
+
+
+def test_params_reject_faults_with_topology():
+    cfg = DEFAULT_PARAMS.replace(
+        faults=FaultConfig(drop_prob=0.1), network_topology="mesh",
+    )
+    with pytest.raises(ValueError):
+        cfg.validate()
+
+
+# ------------------------------------------------- faults-off identity
+
+def test_zero_fault_config_matches_no_config():
+    """All-zero probabilities + unreliable mode == no fault config.
+
+    The hooks must be behaviourally absent, not merely quiet: an
+    unconfigured fault class draws nothing from the RNG and adds no
+    events, so the timeline is identical tick for tick.
+    """
+    clean, clean_m = _pingpong()
+    zero, zero_m = _pingpong(seed=99, reliable=False, watchdog=False)
+    assert zero.elapsed_ns == clean.elapsed_ns
+    assert zero.messages_sent == clean.messages_sent
+    assert zero.bounces == clean.bounces
+    assert _fcu_counter(zero_m, "retransmits") == 0
+    assert dict(zero_m.faults.counters.as_dict()) == {}
+
+
+# --------------------------------------------------------- determinism
+
+def test_faulty_run_is_deterministic():
+    knobs = dict(seed=7, drop_prob=0.2, ack_drop_prob=0.1,
+                 corrupt_prob=0.05, duplicate_prob=0.05,
+                 reliable=True, watchdog=True)
+    a, a_m = _pingpong(**knobs)
+    b, b_m = _pingpong(**knobs)
+    assert a.elapsed_ns == b.elapsed_ns
+    assert a.extras["round_trip_ns"] == b.extras["round_trip_ns"]
+    assert a_m.faults.counters.as_dict() == b_m.faults.counters.as_dict()
+    assert a_m.metrics_snapshot() == b_m.metrics_snapshot()
+
+
+def test_different_seed_different_stream():
+    knobs = dict(drop_prob=0.25, reliable=True)
+    a, a_m = _pingpong(seed=1, **knobs)
+    b, b_m = _pingpong(seed=2, **knobs)
+    # Both complete; the fault streams (and hence timings) differ.
+    assert (a.elapsed_ns, a_m.faults.counters["dropped"]) != (
+        b.elapsed_ns, b_m.faults.counters["dropped"])
+
+
+# ------------------------------------------------------------ recovery
+
+def test_drop_recovery_via_retransmit():
+    result, machine = _pingpong(seed=11, drop_prob=0.3, reliable=True)
+    assert machine.faults.counters["dropped"] > 0
+    assert _fcu_counter(machine, "retransmits") > 0
+    assert result.extras["round_trip_ns"] > 0
+    # Every retransmitted message was eventually acked: nothing left
+    # outstanding and all send buffers returned.
+    for node in machine.nodes:
+        assert node.ni.fcu.outstanding_count == 0
+        assert node.ni.fcu.send_buffers_in_use == 0
+
+
+def test_corrupt_recovery():
+    result, machine = _pingpong(seed=3, corrupt_prob=0.3, reliable=True)
+    assert machine.faults.counters["corrupted"] > 0
+    assert _fcu_counter(machine, "corrupt_dropped") > 0
+    assert _fcu_counter(machine, "retransmits") > 0
+    assert result.elapsed_ns > 0
+
+
+def test_duplicate_suppression_at_most_once():
+    result, machine = _pingpong(rounds=20, seed=5, duplicate_prob=0.4,
+                                reliable=True)
+    assert machine.faults.counters["duplicated"] > 0
+    assert _fcu_counter(machine, "dup_suppressed") > 0
+    # At-most-once delivery: the workload saw exactly `rounds + warmup`
+    # pongs despite the fabric delivering extra copies.
+    assert result.extras["round_trip_ns"] > 0
+
+
+def test_stall_lockup_pause_smoke():
+    result, machine = _pingpong(
+        rounds=15, seed=13, stall_prob=0.3, stall_ns=500,
+        lockup_prob=0.3, lockup_ns=800, pause_prob=0.2, pause_ns=600,
+        reliable=True,
+    )
+    counters = machine.faults.counters
+    assert counters["stalls"] + counters["lockups"] + counters["pauses"] > 0
+    assert result.elapsed_ns > 0
+
+
+# ------------------------------------------------- structured failure
+
+def test_watchdog_fires_on_lost_ack_deadlock():
+    """Unreliable mode + 100% ack drop wedges the sender (send buffers
+    never come back); the watchdog must turn the livelock into a
+    structured report instead of spinning forever."""
+    with pytest.raises(DeliveryFailure) as exc_info:
+        _pingpong(seed=1, ack_drop_prob=1.0, reliable=False,
+                  watchdog=True, watchdog_quiet_ns=50_000)
+    report = exc_info.value.report
+    assert report["reason"] == "no_progress"
+    assert report["schema"] == 1
+    assert any(n["send_buffers_in_use"] > 0 for n in report["nodes"])
+
+
+def test_retry_budget_exhaustion_reported():
+    """100% drop burns the retry budget; the failed sends appear in
+    the report with their attempt counts."""
+    with pytest.raises(DeliveryFailure) as exc_info:
+        _pingpong(seed=1, drop_prob=1.0, reliable=True,
+                  retry_timeout_ns=500, retry_timeout_cap_ns=2000,
+                  retry_budget=2, watchdog=True, watchdog_quiet_ns=60_000)
+    report = exc_info.value.report
+    assert report["failed"], "exhausted sends must be listed"
+    assert all(f["attempts"] >= 2 for f in report["failed"])
+    assert report["fault_counters"]["delivery_failures"] >= 1
+
+
+def test_quiescent_run_converted_to_delivery_failure():
+    """A drained event queue before completion (true deadlock, not
+    livelock) is converted from SimulationError to DeliveryFailure
+    when faults are configured."""
+
+    class Stuck(Workload):
+        name = "stuck"
+        num_nodes = 2
+
+        def node_main(self, machine, node):
+            if node.node_id == 0:
+                yield machine.sim.event()  # never succeeds
+
+    params = DEFAULT_PARAMS.replace(
+        faults=FaultConfig(watchdog=False))
+    with pytest.raises(DeliveryFailure) as exc_info:
+        Stuck().run(params=params, costs=DEFAULT_COSTS, ni_name="cm5")
+    assert exc_info.value.report["reason"] == "quiescent"
+
+
+# --------------------------------------------- bounce-storm liveness
+
+def test_bounce_storm_single_buffer_receiver_drains():
+    """Regression: a 1-buffer receiver under sustained streaming load
+    must still drain — bounce retry backoff is capped (a message that
+    has bounced many times keeps retrying at the cap rather than
+    backing off forever)."""
+    params = DEFAULT_PARAMS.replace(flow_control_buffers=1)
+    workload = StreamBandwidth(payload_bytes=256, transfers=40, warmup=2)
+    machine = workload.build_machine(params, DEFAULT_COSTS, "cm5")
+    result = workload.run(machine)
+    assert result.bounces > 0, "1-buffer receiver must bounce under load"
+    assert result.extras["bandwidth_mb_s"] > 0
+    for node in machine.nodes:
+        assert node.ni.fcu.send_buffers_in_use == 0
+
+
+def test_retransmits_attributed_in_latency_decomposition():
+    """Spans annotate retransmissions and the latency report carries
+    them — recovery cost is attributed, not invisible."""
+    from repro.analysis import decompose, latency_report
+
+    faults = FaultConfig(seed=11, drop_prob=0.3, reliable=True)
+    params = DEFAULT_PARAMS.replace(spans=True, faults=faults)
+    workload = PingPong(payload_bytes=32, rounds=12, warmup=2)
+    machine = workload.build_machine(params, DEFAULT_COSTS, "cm5")
+    workload.run(machine)
+    spans = machine.spans_jsonable()
+    d = decompose(spans, label="faulty")
+    assert d.retransmits > 0
+    assert d.retransmits == _fcu_counter(machine, "retransmits")
+    report = latency_report([("faulty", spans)])
+    assert "rexmit" in report
+    # Fault-free populations keep the original report shape.
+    clean_machine = PingPong(payload_bytes=32, rounds=4, warmup=1)
+    m = clean_machine.build_machine(
+        DEFAULT_PARAMS.replace(spans=True), DEFAULT_COSTS, "cm5")
+    clean_machine.run(m)
+    assert "rexmit" not in latency_report([("clean", m.spans_jsonable())])
+
+
+def test_bounce_retry_delay_is_capped():
+    from repro.network import Message
+    from repro.network.flowcontrol import MAX_BACKOFF_BOUNCES
+
+    workload = PingPong(rounds=1, warmup=0)
+    machine = workload.build_machine(DEFAULT_PARAMS, DEFAULT_COSTS, "cm5")
+    fcu = machine.node(0).ni.fcu
+    msg = Message(src=0, dst=1, size=32)
+    delays = []
+    for bounces in range(1, MAX_BACKOFF_BOUNCES + 10):
+        msg.bounces = bounces
+        delays.append(fcu.retry_delay(msg))
+    assert delays == sorted(delays)
+    # Beyond the cap the delay stops growing.
+    assert len(set(delays[MAX_BACKOFF_BOUNCES - 1:])) == 1

@@ -1,0 +1,136 @@
+"""Property-based tests for the reliability primitives.
+
+Two families:
+
+- :func:`repro.faults.retransmit_backoff` — monotone in the attempt
+  count, bounded by the configured cap, never overflows, and a pure
+  function of ``(attempts, config)``;
+- :class:`repro.faults.DupFilter` — at-most-once acceptance per
+  ``(src, seq)`` pair under any interleaving of duplicated and
+  reordered deliveries;
+- :class:`repro.faults.FaultInjector` — verdicts are a deterministic
+  function of the seed and the draw sequence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultConfig, FaultInjector, retransmit_backoff
+from repro.faults.config import MAX_BACKOFF_EXPONENT
+from repro.faults.reliability import DupFilter
+from repro.network import Message
+from repro.sim import Simulator
+
+configs = st.builds(
+    FaultConfig,
+    retry_timeout_ns=st.integers(min_value=1, max_value=100_000),
+    retry_backoff_factor=st.integers(min_value=1, max_value=8),
+    retry_timeout_cap_ns=st.integers(min_value=100_000, max_value=10**9),
+)
+
+
+# ----------------------------------------------------------- backoff
+
+@given(configs, st.integers(min_value=0, max_value=1000))
+def test_backoff_monotone_in_attempts(config, attempts):
+    assert (retransmit_backoff(attempts, config)
+            <= retransmit_backoff(attempts + 1, config))
+
+
+@given(configs, st.integers(min_value=0, max_value=10**6))
+def test_backoff_respects_cap(config, attempts):
+    timeout = retransmit_backoff(attempts, config)
+    assert 0 < timeout <= config.retry_timeout_cap_ns
+    # First attempt waits exactly the base timeout (possibly clipped).
+    assert retransmit_backoff(0, config) == min(
+        config.retry_timeout_ns, config.retry_timeout_cap_ns)
+
+
+@given(configs, st.integers(min_value=0, max_value=10**6))
+def test_backoff_is_pure(config, attempts):
+    assert (retransmit_backoff(attempts, config)
+            == retransmit_backoff(attempts, config))
+
+
+@given(configs)
+def test_backoff_exponent_clamped(config):
+    """Huge attempt counts cost the same as MAX_BACKOFF_EXPONENT —
+    no unbounded exponentiation."""
+    assert (retransmit_backoff(10**9, config)
+            == retransmit_backoff(MAX_BACKOFF_EXPONENT, config))
+
+
+@given(configs)
+def test_backoff_rejects_negative_attempts(config):
+    import pytest
+
+    with pytest.raises(ValueError):
+        retransmit_backoff(-1, config)
+
+
+# -------------------------------------------------------- dup filter
+
+#: Deliveries: per-source contiguous sequence numbers, shuffled and
+#: duplicated arbitrarily.
+deliveries = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),   # src
+              st.integers(min_value=0, max_value=15)),  # seq
+    max_size=120,
+)
+
+
+@given(deliveries)
+@settings(max_examples=200)
+def test_dup_filter_at_most_once(pairs):
+    dedup = DupFilter()
+    accepted = []
+    for src, seq in pairs:
+        if dedup.accept(src, seq):
+            accepted.append((src, seq))
+    # At most once: no pair accepted twice.
+    assert len(accepted) == len(set(accepted))
+    # Every pair offered was either accepted once or was a duplicate.
+    assert set(accepted) == set(pairs)
+    # After acceptance, the filter reports the pair as seen.
+    for src, seq in pairs:
+        assert dedup.seen(src, seq)
+
+
+@given(st.integers(min_value=1, max_value=40),
+       st.randoms(use_true_random=False))
+def test_dup_filter_in_order_keeps_nothing_pending(count, rng):
+    """Delivering a contiguous prefix (in any order) with every gap
+    eventually filled leaves no sequence held out of order."""
+    dedup = DupFilter()
+    seqs = list(range(count))
+    rng.shuffle(seqs)
+    for seq in seqs:
+        dedup.accept(0, seq)
+    assert dedup.pending(0) == 0
+
+
+# ---------------------------------------------------- injector stream
+
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=1, max_value=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_injector_verdicts_deterministic(seed, drop, corrupt, count):
+    """Two injectors with the same seed, fed the same message
+    sequence, reach identical verdict counters."""
+
+    def run_stream():
+        sim = Simulator()
+        config = FaultConfig(seed=seed, drop_prob=drop,
+                             corrupt_prob=corrupt, reliable=False,
+                             watchdog=False)
+        injector = FaultInjector(sim, config)
+        for i in range(count):
+            msg = Message(src=0, dst=1, size=32, body=i)
+            injector.on_inject(msg, control=False)
+        return injector.counters.as_dict()
+
+    assert run_stream() == run_stream()

@@ -1,0 +1,231 @@
+"""Tests for the self-healing sweep harness: worker-crash recovery,
+per-job timeouts, partial-failure reporting, and corrupt-cache-entry
+handling.
+
+The crashy cell functions live at module level so the forked pool
+workers can resolve them by qualified name; they coordinate with the
+parent through a sentinel file whose path rides in the environment
+(fork inherits it).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.experiments.cache import ResultCache, job_key
+from repro.experiments.parallel import (
+    Job,
+    SweepExecutor,
+    SweepFailure,
+    freeze_kwargs,
+    run_cell,
+)
+from repro.obs.export import build_manifest, validate_manifest
+
+SENTINEL_ENV = "REPRO_TEST_CRASH_SENTINEL"
+
+
+def _jobs(n=4):
+    return [
+        Job(label=f"hardening:pp:{i}:{'victim' if i == 1 else 'ok'}",
+            ni="cm5", workload="pingpong",
+            params=DEFAULT_PARAMS, costs=DEFAULT_COSTS,
+            kwargs=freeze_kwargs(dict(payload_bytes=8, rounds=4, warmup=1)))
+        for i in range(n)
+    ]
+
+
+def _crash_victim_once(job):
+    """os._exit on the victim cell the first time it runs — simulates
+    a worker process dying mid-cell (segfault / OOM-kill)."""
+    sentinel = os.environ[SENTINEL_ENV]
+    if job.label.endswith("victim") and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(3)
+    return run_cell(job)
+
+
+def _crash_always(job):
+    os._exit(4)
+
+
+def _raise_always(job):
+    raise ValueError(f"cell exploded: {job.label}")
+
+
+def _hang_victim_once(job):
+    sentinel = os.environ[SENTINEL_ENV]
+    if job.label.endswith("victim") and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        time.sleep(60)
+    return run_cell(job)
+
+
+# ------------------------------------------------------ crash recovery
+
+def test_killed_worker_cells_are_reexecuted(tmp_path, monkeypatch):
+    monkeypatch.setenv(SENTINEL_ENV, str(tmp_path / "crashed"))
+    jobs = _jobs()
+    executor = SweepExecutor(jobs=2, cache=None, cell_fn=_crash_victim_once)
+    results = executor.map(jobs)
+    # The sweep completed and every cell matches an undisturbed run.
+    assert [r.label for r in results] == [j.label for j in jobs]
+    assert results == [run_cell(j) for j in jobs]
+    # The victim's re-execution is on the record.
+    victim = jobs[1].label
+    assert executor.job_events[victim]["attempts"] >= 2
+    assert not executor.failures
+
+
+def test_permanent_crash_raises_sweep_failure(monkeypatch, tmp_path):
+    monkeypatch.setenv(SENTINEL_ENV, str(tmp_path / "unused"))
+    jobs = _jobs(2)
+    executor = SweepExecutor(jobs=2, cache=None, cell_fn=_crash_always,
+                             retry_limit=1)
+    with pytest.raises(SweepFailure) as exc_info:
+        executor.map(jobs)
+    failed = {f["label"] for f in exc_info.value.failures}
+    assert failed == {j.label for j in jobs}
+    assert all(f["attempts"] >= 2 for f in exc_info.value.failures)
+    assert executor.failures == exc_info.value.failures
+
+
+def test_cell_exception_is_retried_then_reported(monkeypatch, tmp_path):
+    monkeypatch.setenv(SENTINEL_ENV, str(tmp_path / "unused"))
+    jobs = _jobs(2)
+    executor = SweepExecutor(jobs=2, cache=None, cell_fn=_raise_always,
+                             retry_limit=1)
+    with pytest.raises(SweepFailure) as exc_info:
+        executor.map(jobs)
+    assert all("cell exploded" in f["error"]
+               for f in exc_info.value.failures)
+
+
+def test_survivors_kept_when_some_cells_fail(monkeypatch, tmp_path):
+    """A partial sweep preserves every cell that did compute."""
+    monkeypatch.setenv(SENTINEL_ENV, str(tmp_path / "crashed"))
+    jobs = _jobs()
+
+    executor = SweepExecutor(jobs=2, cache=None, cell_fn=_crash_if_victim,
+                             retry_limit=1)
+    with pytest.raises(SweepFailure) as exc_info:
+        executor.map(jobs)
+    assert {f["label"] for f in exc_info.value.failures} == {jobs[1].label}
+    survived = {job.label for job, _result, _cached in executor.completed}
+    assert survived == {j.label for i, j in enumerate(jobs) if i != 1}
+
+
+def _crash_if_victim(job):
+    if job.label.endswith("victim"):
+        os._exit(5)
+    return run_cell(job)
+
+
+def test_job_timeout_recovers(monkeypatch, tmp_path):
+    monkeypatch.setenv(SENTINEL_ENV, str(tmp_path / "hung"))
+    jobs = _jobs()
+    executor = SweepExecutor(jobs=2, cache=None, cell_fn=_hang_victim_once,
+                             job_timeout_s=3)
+    results = executor.map(jobs)
+    assert [r.label for r in results] == [j.label for j in jobs]
+    victim = jobs[1].label
+    assert "timeout" in executor.job_events[victim]["errors"][0]
+
+
+def test_serial_path_ignores_pool_machinery():
+    jobs = _jobs(2)
+    executor = SweepExecutor(jobs=1, cache=None)
+    results = executor.map(jobs)
+    assert results == [run_cell(j) for j in jobs]
+    assert executor.job_events == {}
+
+
+# ------------------------------------------------- corrupt cache entries
+
+def _cache_probe(tmp_path):
+    job = _jobs(1)[0]
+    cache = ResultCache(str(tmp_path / "cache"))
+    cache.put(job, run_cell(job))
+    path = cache._path(job_key(job))
+    return job, cache, path
+
+
+def test_truncated_cache_entry_is_a_miss(tmp_path):
+    job, cache, path = _cache_probe(tmp_path)
+    blob = open(path).read()
+    with open(path, "w") as fh:
+        fh.write(blob[: len(blob) // 2])
+    assert cache.get(job) is None
+    assert cache.corrupt_entries == 1
+    assert cache.misses == 1
+    # The recomputed cell overwrites the bad entry and hits again.
+    cache.put(job, run_cell(job))
+    assert cache.get(job) is not None
+    assert cache.hits == 1
+
+
+def test_old_schema_cache_entry_is_a_miss(tmp_path):
+    job, cache, path = _cache_probe(tmp_path)
+    data = json.load(open(path))
+    data["schema"] = 1
+    with open(path, "w") as fh:
+        json.dump(data, fh)
+    assert cache.get(job) is None
+    assert cache.corrupt_entries == 1
+
+
+def test_garbage_cache_entry_is_a_miss(tmp_path):
+    job, cache, path = _cache_probe(tmp_path)
+    with open(path, "w") as fh:
+        fh.write("{not json at all")
+    assert cache.get(job) is None
+    assert cache.corrupt_entries == 1
+
+
+def test_missing_cache_entry_is_a_plain_miss(tmp_path):
+    job = _jobs(1)[0]
+    cache = ResultCache(str(tmp_path / "cache"))
+    assert cache.get(job) is None
+    assert cache.misses == 1
+    assert cache.corrupt_entries == 0
+
+
+# ------------------------------------------------------ manifest status
+
+def _manifest(**overrides):
+    kwargs = dict(
+        experiments=["figure1"], quick=True, jobs=2,
+        cells=[{"label": "x", "elapsed_ns": 10, "cached": False}],
+        wall_time_s=1.0, cache_enabled=False, cache_hits=0,
+        cache_misses=0, outputs={"json": None},
+    )
+    kwargs.update(overrides)
+    return build_manifest(**kwargs)
+
+
+def test_manifest_partial_status_validates():
+    manifest = _manifest(
+        status="partial",
+        cells=[{"label": "x", "elapsed_ns": 10, "cached": False,
+                "attempts": 2, "reexecuted": True},
+               {"label": "y", "failed": True, "attempts": 2,
+                "error": "worker crashed"}],
+        cache_corrupt_entries=3,
+    )
+    assert validate_manifest(manifest) == []
+    assert manifest["status"] == "partial"
+    assert manifest["cache"]["corrupt_entries"] == 3
+
+
+def test_manifest_rejects_unknown_status():
+    with pytest.raises(ValueError):
+        _manifest(status="exploded")
+
+
+def test_validate_manifest_flags_bad_status():
+    manifest = _manifest()
+    manifest["status"] = "wrong"
+    assert any("status" in p for p in validate_manifest(manifest))
