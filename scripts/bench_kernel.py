@@ -20,17 +20,29 @@ The output (``BENCH_kernel.json``) carries one record per
 deterministic, ...}`` — plus legacy headline fields for the first
 cell's default scheduler, so the events/sec trajectory across commits
 stays comparable, plus a ``span_overhead`` record pricing lifecycle
-span recording (spans off vs on) on the headline cell.
+span recording (spans off vs on) on the headline cell, plus a
+``history`` array: one entry per recorded benchmark run (carried
+forward from the previous report file, so optimization rounds
+accumulate a before/after trail; ``--note`` labels the new entry).
+
+``--profile`` switches to profiling mode instead of timing: each cell
+gets one warm-up run (first-use costs like lazy imports and
+``builtins.compile`` would otherwise pollute the table) and then one
+profiled run, reported as a cProfile top-N table sorted by tottime.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_kernel.py [--reps 12] [-o PATH]
-        [--quick]
+        [--quick] [--note LABEL]
+    PYTHONPATH=src python scripts/bench_kernel.py --profile [--top 15]
 """
 
 import argparse
+import cProfile
 import gc
+import io
 import json
+import pstats
 import sys
 import time
 
@@ -231,6 +243,38 @@ def bench_span_overhead(reps, verbose=True):
     return record
 
 
+def profile_cell(cell, top=15):
+    """Profile one (warm) run of a cell under the heap scheduler."""
+    key, ni_name, fcb, make_workloads = cell
+    # Warm-up: lazy imports, first-construction work and generator
+    # compilation all happen here, outside the profiled region.
+    run_cell(ni_name, fcb, make_workloads, "heap")
+    prof = cProfile.Profile()
+    prof.enable()
+    run_cell(ni_name, fcb, make_workloads, "heap")
+    prof.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(prof, stream=stream)
+    stats.sort_stats("tottime").print_stats(top)
+    print(f"=== profile: {key} (heap, warm, top {top} by tottime) ===")
+    print(stream.getvalue())
+
+
+def _accel_active() -> bool:
+    import repro.sim.engine as engine
+
+    return engine._crun is not None
+
+
+def _load_history(path):
+    """Carry the history trail forward from the previous report."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh).get("history", [])
+    except (OSError, ValueError):
+        return []
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--reps", type=int, default=12,
@@ -239,10 +283,21 @@ def main(argv=None) -> int:
                         help="3 reps, headline cell only (smoke mode)")
     parser.add_argument("-o", "--output", default="BENCH_kernel.json",
                         help="output path (default BENCH_kernel.json)")
+    parser.add_argument("--note", default=None,
+                        help="label for this run's history entry")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile each cell instead of benchmarking")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows in the --profile table (default 15)")
     args = parser.parse_args(argv)
 
     cells = CELLS[:1] if args.quick else CELLS
     reps = 3 if args.quick else args.reps
+
+    if args.profile:
+        for cell in cells:
+            profile_cell(cell, top=args.top)
+        return 0
 
     matrix = []
     for cell in cells:
@@ -251,6 +306,16 @@ def main(argv=None) -> int:
 
     ok = all(rec["deterministic"] for rec in matrix)
     headline = matrix[0]  # first cell, heap scheduler
+    history = _load_history(args.output)
+    history.append({
+        "note": args.note,
+        "accel": _accel_active(),
+        "reps": reps,
+        "events_per_sec": {
+            f"{rec['cell']}|{rec['scheduler']}": rec["events_per_sec"]
+            for rec in matrix
+        },
+    })
     report = {
         # Legacy headline fields (first cell, default scheduler) — the
         # cross-commit events/sec trajectory.
@@ -262,12 +327,17 @@ def main(argv=None) -> int:
         "events_per_sec": headline["events_per_sec"],
         "events_per_sec_median": headline["events_per_sec_median"],
         "deterministic": ok,
+        # Whether the accelerated drain loop (_ckernel) timed the runs.
+        "accel": _accel_active(),
         # Kernel v2 matrix.
         "gc_disabled": True,
         "schedulers": list(SCHEDULERS),
         "matrix": matrix,
         # Lifecycle-span recording cost on the headline cell.
         "span_overhead": span_overhead,
+        # Recorded-run trail (oldest first); optimization rounds land
+        # here with their ``--note`` labels.
+        "history": history,
     }
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)

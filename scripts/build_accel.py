@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Build the optional accelerated kernel (``repro.sim._ckernel``).
+
+The accelerated build was originally planned as a mypyc compile of
+``repro.sim.engine`` + ``repro.memory.bus``, but mypyc is not available
+in the pinned toolchain (and the project policy is no new
+dependencies), so the acceleration is a hand-written C extension
+containing only the kernel's batched drain loop — the one function
+where interpreter overhead dominates.  See docs/architecture.md
+("Kernel v3") for what it covers.
+
+This script compiles ``src/repro/sim/_ckernel.c`` in place with the
+system C compiler — no setuptools build isolation, no new packages::
+
+    python scripts/build_accel.py          # build (no-op if up to date)
+    python scripts/build_accel.py --force  # rebuild
+    python scripts/build_accel.py --check  # exit 0 iff built & loadable
+
+The extension is entirely optional: without it (or with
+``REPRO_ACCEL=0`` in the environment) the kernel falls back to the
+pure-Python batched loops, which remain the reference implementation.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import sysconfig
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE = os.path.join(ROOT, "src", "repro", "sim", "_ckernel.c")
+
+
+def ext_path() -> str:
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return os.path.join(ROOT, "src", "repro", "sim", "_ckernel" + suffix)
+
+
+def build(force: bool = False, verbose: bool = True) -> str:
+    """Compile the extension in place; returns the artifact path."""
+    out = ext_path()
+    if (not force and os.path.exists(out)
+            and os.path.getmtime(out) >= os.path.getmtime(SOURCE)):
+        if verbose:
+            print(f"up to date: {out}")
+        return out
+    cc = (sysconfig.get_config_var("CC") or "cc").split()[0]
+    include = sysconfig.get_paths()["include"]
+    cmd = [
+        cc, "-O2", "-fPIC", "-shared", "-fno-strict-aliasing",
+        f"-I{include}", SOURCE, "-o", out,
+    ]
+    if verbose:
+        print(" ".join(cmd))
+    subprocess.run(cmd, check=True)
+    if verbose:
+        print(f"built: {out}")
+    return out
+
+
+def check() -> bool:
+    """Import the freshly built extension in a clean interpreter."""
+    code = (
+        "import repro.sim.engine as e; "
+        "import sys; sys.exit(0 if e._crun is not None else 1)"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    env.pop("REPRO_ACCEL", None)
+    proc = subprocess.run([sys.executable, "-c", code], env=env)
+    return proc.returncode == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--force", action="store_true",
+                        help="rebuild even if up to date")
+    parser.add_argument("--check", action="store_true",
+                        help="build, then verify the accelerated loop loads")
+    args = parser.parse_args(argv)
+    try:
+        build(force=args.force)
+    except (OSError, subprocess.CalledProcessError) as exc:
+        print(f"build failed: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        if not check():
+            print("check failed: _ckernel built but did not load",
+                  file=sys.stderr)
+            return 1
+        print("check passed: accelerated loop loads")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,9 @@ Runs, in order of increasing specificity:
 1. **Tier-1 tests** — ``python -m pytest -x -q`` over ``tests/`` (the
    ROADMAP's verify gate).
 2. **Kernel check** — ``scripts/check_kernel.py``: scheduler A/B
-   digest sweep + bench smoke against ``BENCH_kernel.json`` (tier-1
-   test files are skipped here; step 1 already ran them).
+   digest sweep, accelerated-vs-pure-Python digest parity, and the
+   full-matrix bench regression gate against ``BENCH_kernel.json``
+   (tier-1 test files are skipped here; step 1 already ran them).
 3. **Observability check** — ``scripts/check_observability.py``:
    metrics/manifest/trace validation on a quick figure1 run.
 4. **Span check** — ``scripts/check_observability.py --spans``:

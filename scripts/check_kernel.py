@@ -1,19 +1,26 @@
 #!/usr/bin/env python
-"""Kernel health check: tests + scheduler A/B sweep + bench smoke.
+"""Kernel health check: tests + A/B digest gates + bench regression.
 
-Three gates, in order of increasing cost:
+Four gates, in order of increasing cost:
 
 1. **Tier-1 sim tests** — the kernel-facing test files run under
-   pytest (engine, events, process, resources, gate, property tests).
+   pytest (engine, events, process, resources, gate, property tests,
+   batch parity).
 2. **Scheduler A/B sweep** — every cell of the benchmark matrix is
    replayed step-by-step under both schedulers; the
    :class:`repro.sim.ScheduleDigest` fingerprints (every processed
    ``(time, seq)`` key plus the final metrics snapshot) must match
    event-for-event.
-3. **Bench smoke** — a short timed run of the headline cell, compared
-   against the committed ``BENCH_kernel.json``; a slowdown beyond
-   ``--threshold`` (default 10 %) fails the check.  Wall-clock noise on
-   a loaded machine can trip this gate spuriously — rerun or raise the
+3. **Accel parity** — when the optional ``repro.sim._ckernel``
+   extension is loaded, every cell is run three ways on the heap
+   scheduler — unbatched ``step()`` reference, pure-Python batched
+   loop, C batched loop — with the schedule hook folding each live
+   entry; all three digests must be identical.
+4. **Bench regression** — every (cell, scheduler) record of the
+   committed ``BENCH_kernel.json`` matrix is re-timed (best of
+   ``--reps``); a slowdown beyond ``--threshold`` (default 10 %)
+   against the recorded best fails the check.  Wall-clock noise on a
+   loaded machine can trip this gate spuriously — rerun or raise the
    threshold before blaming the code.
 
 Usage::
@@ -33,7 +40,12 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_kernel import CELLS, digest_cell, run_cell  # noqa: E402
+from bench_kernel import (  # noqa: E402
+    CELLS,
+    _build_machine,
+    digest_cell,
+    run_cell,
+)
 
 #: The kernel-facing tier-1 test files.
 SIM_TESTS = [
@@ -44,6 +56,8 @@ SIM_TESTS = [
     "tests/test_sim_gate.py",
     "tests/test_sim_stats.py",
     "tests/test_prop_sim.py",
+    "tests/test_kernel_v2.py",
+    "tests/test_kernel_batch.py",
 ]
 
 
@@ -79,32 +93,87 @@ def check_ab_sweep() -> bool:
     return ok
 
 
-def check_bench_smoke(repo_root: str, baseline_path: str, reps: int,
-                      threshold: float) -> bool:
-    """Gate 3: headline cell throughput vs the committed baseline."""
-    print("== gate 3: bench smoke ==")
+def _batched_digest(ni_name, fcb, make_workloads, runner):
+    """One cell run through a batched loop with the schedule hook."""
+    from repro.sim import ScheduleDigest
+
+    digest = ScheduleDigest()
+    for workload in make_workloads():
+        machine = _build_machine(ni_name, fcb, "heap")
+        sim = machine.sim
+        sim._schedule_hook = digest.update
+        done = workload.launch(machine)
+        if runner == "python":
+            sim._run_py(done)
+        else:
+            sim.run(until=done)
+        workload.collect(machine)
+        digest.update_snapshot(machine.metrics_snapshot())
+    return digest
+
+
+def check_accel_parity() -> bool:
+    """Gate 3: step reference == pure-Python batched == C batched."""
+    import repro.sim.engine as engine
+
+    print("== gate 3: accelerated vs pure-Python digest parity ==")
+    if engine._crun is None:
+        print("   _ckernel not loaded (not built, or REPRO_ACCEL=0); "
+              "pure-Python loop is the only loop (PASS)")
+        return True
+    ok = True
+    for key, ni_name, fcb, make_workloads in CELLS:
+        reference, _ = digest_cell(ni_name, fcb, make_workloads, "heap")
+        pure = _batched_digest(ni_name, fcb, make_workloads, "python")
+        accel = _batched_digest(ni_name, fcb, make_workloads, "accel")
+        same = reference == pure == accel
+        mark = "OK " if same else "MISMATCH"
+        print(f"   {mark} {key} ({reference.count} events)")
+        if not same:
+            print(f"      step  {reference!r}\n"
+                  f"      pure  {pure!r}\n"
+                  f"      accel {accel!r}")
+        ok = ok and same
+    return ok
+
+
+def check_bench_matrix(repo_root: str, baseline_path: str, reps: int,
+                       threshold: float) -> bool:
+    """Gate 4: every matrix record's throughput vs the recorded best."""
+    print("== gate 4: bench regression (full matrix) ==")
     path = os.path.join(repo_root, baseline_path)
     if not os.path.exists(path):
         print(f"   no baseline at {baseline_path}; skipping (PASS)")
         return True
     with open(path, encoding="utf-8") as fh:
         baseline = json.load(fh)
-    ref = baseline["events_per_sec"]
+    cells = {key: (ni, fcb, mkw) for key, ni, fcb, mkw in CELLS}
 
-    key, ni_name, fcb, make_workloads = CELLS[0]
-    walls = []
-    events = None
-    for _ in range(reps):
-        wall, n_events, _sig = run_cell(ni_name, fcb, make_workloads, "heap")
-        walls.append(wall)
-        events = n_events
-    measured = events / min(walls)
-    ratio = measured / ref
-    ok = ratio >= 1.0 - threshold
-    print(f"   headline cell: {measured / 1e3:.0f}k events/s "
-          f"vs baseline {ref / 1e3:.0f}k "
-          f"({ratio:.2f}x, threshold {1.0 - threshold:.2f}x): "
-          f"{'PASS' if ok else 'FAIL'}")
+    ok = True
+    for rec in baseline.get("matrix", []):
+        cell = cells.get(rec["cell"])
+        if cell is None:
+            print(f"   SKIP unknown cell {rec['cell']!r}")
+            continue
+        ni_name, fcb, make_workloads = cell
+        scheduler = rec["scheduler"]
+        walls, events = [], None
+        for _ in range(reps):
+            wall, n_events, _sig = run_cell(ni_name, fcb, make_workloads,
+                                            scheduler)
+            walls.append(wall)
+            events = n_events
+        measured = events / min(walls)
+        ref = rec["events_per_sec"]
+        ratio = measured / ref
+        cell_ok = ratio >= 1.0 - threshold
+        mark = "OK " if cell_ok else "SLOW"
+        print(f"   {mark} {rec['cell']} [{scheduler}]: "
+              f"{measured / 1e3:.0f}k vs recorded {ref / 1e3:.0f}k "
+              f"events/s ({ratio:.2f}x)")
+        ok = ok and cell_ok
+    print(f"   bench: {'PASS' if ok else 'FAIL'} "
+          f"(threshold {1.0 - threshold:.2f}x of recorded best)")
     return ok
 
 
@@ -113,10 +182,11 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-tests", action="store_true",
                         help="skip the pytest gate (quick A/B + smoke)")
     parser.add_argument("--skip-bench", action="store_true",
-                        help="skip the wall-clock bench smoke "
+                        help="skip the wall-clock bench regression "
                              "(correctness gates only)")
     parser.add_argument("--reps", type=int, default=5,
-                        help="bench-smoke repetitions (default 5)")
+                        help="bench repetitions per matrix record "
+                             "(default 5)")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="allowed events/sec regression (default 0.10)")
     parser.add_argument("--baseline", default="BENCH_kernel.json",
@@ -130,10 +200,11 @@ def main(argv=None) -> int:
     if not args.skip_tests:
         results.append(("tests", check_tests(repo_root)))
     results.append(("ab_sweep", check_ab_sweep()))
+    results.append(("accel_parity", check_accel_parity()))
     if not args.skip_bench:
-        results.append(("bench_smoke",
-                        check_bench_smoke(repo_root, args.baseline,
-                                          args.reps, args.threshold)))
+        results.append(("bench_matrix",
+                        check_bench_matrix(repo_root, args.baseline,
+                                           args.reps, args.threshold)))
 
     failed = [name for name, ok in results if not ok]
     if failed:

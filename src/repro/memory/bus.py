@@ -23,7 +23,6 @@ StarT-JR-like NI.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.config import SystemParams
@@ -40,29 +39,57 @@ ADDRESS_PHASE_CYCLES = 4
 _OP_KEYS = {op: f"op:{op.value}" for op in BusOp}
 
 
-@dataclass
 class BusTransaction:
-    """One bus transaction as seen by snooping agents."""
+    """One bus transaction as seen by snooping agents.
 
-    op: BusOp
-    addr: int
-    size: int
-    requester: Optional[BusAgent]
-    #: Free-form payload reference (e.g. which queue slot / message this
-    #: concerns) for agents that react to specific traffic, such as the
-    #: CNI send engine's prefetch-on-BusRdX.
-    hint: Any = None
+    Only built for coherent operations (uncached traffic is never
+    snooped), and slotted: one is allocated per coherent transaction on
+    the model's hottest path.
+    """
+
+    __slots__ = ("op", "addr", "size", "requester", "hint")
+
+    def __init__(
+        self,
+        op: BusOp,
+        addr: int,
+        size: int,
+        requester: Optional[BusAgent],
+        hint: Any = None,
+    ):
+        self.op = op
+        self.addr = addr
+        self.size = size
+        self.requester = requester
+        #: Free-form payload reference (e.g. which queue slot / message
+        #: this concerns) for agents that react to specific traffic,
+        #: such as the CNI send engine's prefetch-on-BusRdX.
+        self.hint = hint
+
+    def __repr__(self) -> str:
+        return (
+            f"<BusTransaction {self.op.value} addr={self.addr:#x} "
+            f"size={self.size}>"
+        )
 
 
-@dataclass
 class TransactionResult:
     """Outcome of a completed transaction."""
 
-    supplier: Supplier
-    #: Whether any other agent retained a shared copy.
-    shared: bool
-    #: Total time the transaction took, ns.
-    elapsed_ns: int
+    __slots__ = ("supplier", "shared", "elapsed_ns")
+
+    def __init__(self, supplier: Supplier, shared: bool, elapsed_ns: int):
+        self.supplier = supplier
+        #: Whether any other agent retained a shared copy.
+        self.shared = shared
+        #: Total time the transaction took, ns.
+        self.elapsed_ns = elapsed_ns
+
+    def __repr__(self) -> str:
+        return (
+            f"<TransactionResult from={self.supplier.name} "
+            f"shared={self.shared} elapsed={self.elapsed_ns}ns>"
+        )
 
 
 class MemoryBus:
@@ -102,6 +129,13 @@ class MemoryBus:
         self._data_ns_cache: dict = {}
         #: (supplier_kind, requester_kind) -> interned counter keys.
         self._flow_keys: dict = {}
+        #: The raw counter dict (defaultdict): accounting increments on
+        #: the transaction hot path go straight to it instead of
+        #: through Counter.add.
+        self._counts = self.counters._counts
+        #: home name -> zero-latency Supplier for posted writes (the
+        #: writeback result record never varies per transaction).
+        self._wb_suppliers: dict = {}
 
     # -- wiring --------------------------------------------------------
 
@@ -155,7 +189,7 @@ class MemoryBus:
         sim = self.sim
         delay = sim.delay
         start = sim._now
-        txn = BusTransaction(op, addr, size, requester, hint)
+        counts = self._counts
 
         # ---- conflicting-address serialisation ------------------------
         coherent = op.is_coherent
@@ -174,11 +208,14 @@ class MemoryBus:
         yield grant
         address_phase_ns = self._address_phase_ns
         yield delay(address_phase_ns)
-        self.counters.add("addr_occupancy_ns", address_phase_ns)
+        counts["addr_occupancy_ns"] += address_phase_ns
 
         supplier_agent: Optional[BusAgent] = None
         shared = False
         if coherent:
+            # Only snooped (coherent) traffic needs the transaction
+            # record; uncached operations skip the allocation entirely.
+            txn = BusTransaction(op, addr, size, requester, hint)
             for agent in self._agents:
                 if agent is requester:
                     continue
@@ -230,7 +267,10 @@ class MemoryBus:
             else:
                 home_obj = self.home_for(addr)
                 home = home_obj.supplier()
-            supplier = Supplier(home.name, 0, home.kind)
+            supplier = self._wb_suppliers.get(home.name)
+            if supplier is None:
+                supplier = Supplier(home.name, 0, home.kind)
+                self._wb_suppliers[home.name] = supplier
             if op is BusOp.WRITEBACK:
                 # Only writebacks carry data into the home; upgrades
                 # are address-only and never touch the array.
@@ -251,7 +291,7 @@ class MemoryBus:
                 self._data_ns_cache[size] = data_ns
             yield delay(data_ns)
             self._data_bus.release(dgrant)
-            self.counters.add("data_occupancy_ns", data_ns)
+            counts["data_occupancy_ns"] += data_ns
 
         if block_lock is not None:
             block_lock.release(lock_grant)
@@ -265,9 +305,9 @@ class MemoryBus:
     def _account(
         self, op: BusOp, supplier: Supplier, requester: Optional[BusAgent]
     ) -> None:
-        add = self.counters.add
-        add("txn_total")
-        add(_OP_KEYS[op])
+        counts = self._counts
+        counts["txn_total"] += 1
+        counts[_OP_KEYS[op]] += 1
         if op.carries_data_to_requester:
             req = getattr(requester, "kind", "other") if requester else "other"
             keys = self._flow_keys.get((supplier.kind, req))
@@ -275,8 +315,8 @@ class MemoryBus:
                 keys = ("supply:" + supplier.kind,
                         f"flow:{supplier.kind}->{req}")
                 self._flow_keys[(supplier.kind, req)] = keys
-            add(keys[0])
-            add(keys[1])
+            counts[keys[0]] += 1
+            counts[keys[1]] += 1
 
     def transactions(self, op: Optional[BusOp] = None) -> int:
         """Count of completed transactions (optionally of one kind)."""

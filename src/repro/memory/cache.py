@@ -16,6 +16,10 @@ from typing import Dict, Generator, Optional, Tuple
 from repro.config import SystemParams
 from repro.memory.bus import BusTransaction, MemoryBus
 from repro.memory.types import (
+    REPLY_NONE,
+    REPLY_SHARED,
+    REPLY_SUPPLIES,
+    REPLY_SUPPLY_SHARED,
     BlockLine,
     BusOp,
     CoherenceState,
@@ -61,6 +65,10 @@ class Cache:
         self.protocol = params.coherence_protocol
         self._lines: Dict[int, BlockLine] = {}
         self.counters = Counter()
+        #: Raw counter dict for the load/store/snoop hot paths.
+        self._counts = self.counters._counts
+        #: Cached supplier record (name/latency/kind never change).
+        self._supplier = Supplier(self.name, self.supply_ns, self.kind)
         bus.attach(self)
 
     # -- geometry -------------------------------------------------------
@@ -109,10 +117,10 @@ class Cache:
             line = BlockLine()
             self._lines[index] = line
         elif line.state.is_valid and line.tag == tag:
-            self.counters.add("load_hit")
+            self._counts["load_hit"] += 1
             yield self.sim.delay(self.hit_ns)
             return "hit"
-        self.counters.add("load_miss")
+        self._counts["load_miss"] += 1
         yield from self._evict(line, index)
         result = yield from self.bus.transaction(
             BusOp.READ, self.block_addr(addr), self.block_bytes, requester=self
@@ -136,17 +144,17 @@ class Cache:
             self._lines[index] = line
         if line.state.is_valid and line.tag == tag:
             if line.state is CoherenceState.MODIFIED:
-                self.counters.add("store_hit")
+                self._counts["store_hit"] += 1
                 yield self.sim.delay(self.hit_ns)
                 return "hit"
             if line.state is CoherenceState.EXCLUSIVE:
                 # Silent E -> M upgrade.
                 line.state = CoherenceState.MODIFIED
-                self.counters.add("store_hit")
+                self._counts["store_hit"] += 1
                 yield self.sim.delay(self.hit_ns)
                 return "hit"
             # S or O: must invalidate other copies.
-            self.counters.add("store_upgrade")
+            self._counts["store_upgrade"] += 1
             yield from self.bus.transaction(
                 BusOp.UPGRADE, self.block_addr(addr), self.block_bytes,
                 requester=self,
@@ -154,7 +162,7 @@ class Cache:
             if not line.matches(tag):
                 # A racing writer invalidated us while we arbitrated:
                 # the upgrade became a miss, fetch with ownership.
-                self.counters.add("upgrade_races")
+                self._counts["upgrade_races"] += 1
                 yield from self.bus.transaction(
                     BusOp.READ_EXCLUSIVE, self.block_addr(addr),
                     self.block_bytes, requester=self,
@@ -163,7 +171,7 @@ class Cache:
             line.state = CoherenceState.MODIFIED
             yield self.sim.delay(self.hit_ns)
             return "upgrade"
-        self.counters.add("store_miss")
+        self._counts["store_miss"] += 1
         yield from self._evict(line, index)
         yield from self.bus.transaction(
             BusOp.READ_EXCLUSIVE, self.block_addr(addr), self.block_bytes,
@@ -185,7 +193,7 @@ class Cache:
                 BusOp.WRITEBACK, self.block_addr(addr), self.block_bytes,
                 requester=self,
             )
-            self.counters.add("writeback")
+            self._counts["writeback"] += 1
         line.state = CoherenceState.INVALID
         line.tag = None
         return True
@@ -197,7 +205,7 @@ class Cache:
             yield from self.bus.transaction(
                 BusOp.WRITEBACK, victim_addr, self.block_bytes, requester=self
             )
-            self.counters.add("writeback")
+            self._counts["writeback"] += 1
         line.state = CoherenceState.INVALID
         line.tag = None
 
@@ -227,14 +235,14 @@ class Cache:
 
     def snoop(self, txn: BusTransaction) -> SnoopReply:
         if not txn.op.is_coherent:
-            return SnoopReply()
+            return REPLY_NONE
         block = txn.addr // self.block_bytes
         index = block % self.num_sets
         line = self._lines.get(index)
         if line is None or not (
             line.state.is_valid and line.tag == block // self.num_sets
         ):
-            return SnoopReply()
+            return REPLY_NONE
         state = line.state
         if txn.op is BusOp.READ:
             if self.protocol == "MESI":
@@ -242,27 +250,27 @@ class Cache:
                 # downgrades; the reader is supplied by memory, not by
                 # this cache.
                 if state is CoherenceState.MODIFIED:
-                    self.counters.add("mesi_flushes")
+                    self._counts["mesi_flushes"] += 1
                 line.state = CoherenceState.SHARED
-                return SnoopReply(shared=True)
+                return REPLY_SHARED
             if state is CoherenceState.MODIFIED:
                 line.state = CoherenceState.OWNED
-                return SnoopReply(supplies=True, shared=True)
+                return REPLY_SUPPLY_SHARED
             if state is CoherenceState.EXCLUSIVE:
                 line.state = CoherenceState.SHARED
-                return SnoopReply(supplies=True, shared=True)
+                return REPLY_SUPPLY_SHARED
             if state is CoherenceState.OWNED:
-                return SnoopReply(supplies=True, shared=True)
-            return SnoopReply(shared=True)  # SHARED
+                return REPLY_SUPPLY_SHARED
+            return REPLY_SHARED  # SHARED
         if txn.op in (BusOp.READ_EXCLUSIVE, BusOp.UPGRADE):
             supplies = (
                 txn.op is BusOp.READ_EXCLUSIVE and state.can_supply
             )
             line.state = CoherenceState.INVALID
             line.tag = None
-            self.counters.add("snoop_invalidate")
-            return SnoopReply(supplies=supplies)
-        return SnoopReply()  # WRITEBACK: nothing to do
+            self._counts["snoop_invalidate"] += 1
+            return REPLY_SUPPLIES if supplies else REPLY_NONE
+        return REPLY_NONE  # WRITEBACK: nothing to do
 
     def supplier(self) -> Supplier:
-        return Supplier(self.name, self.supply_ns, self.kind)
+        return self._supplier

@@ -88,6 +88,8 @@ class MainMemory:
         self.name = name
         self.access_ns = params.mem_access_ns
         self.counters = Counter()
+        self._counts = self.counters._counts
+        self._supplier = Supplier(self.name, self.access_ns, self.kind)
         #: Optional bank-occupancy model (see module docstring).
         self.bank: Optional[BankModel] = None
 
@@ -97,8 +99,9 @@ class MainMemory:
         return self.bank
 
     def supplier(self) -> Supplier:
-        self.counters.add("supplies")
-        return Supplier(self.name, self.access_ns, self.kind)
+        # Hot path: one cached record, one raw dict increment.
+        self._counts["supplies"] += 1
+        return self._supplier
 
     def __repr__(self) -> str:
         return f"<MainMemory {self.name} {self.access_ns}ns>"
@@ -125,6 +128,8 @@ class DeviceMemory:
         )
         self.kind = kind
         self.counters = Counter()
+        self._counts = self.counters._counts
+        self._supplier = Supplier(self.name, self.access_ns, self.kind)
         #: Optional bank-occupancy model (see module docstring).
         self.bank: Optional[BankModel] = None
 
@@ -133,8 +138,8 @@ class DeviceMemory:
         return self.bank
 
     def supplier(self) -> Supplier:
-        self.counters.add("supplies")
-        return Supplier(self.name, self.access_ns, self.kind)
+        self._counts["supplies"] += 1
+        return self._supplier
 
     def __repr__(self) -> str:
         return f"<DeviceMemory {self.name} {self.access_ns}ns>"

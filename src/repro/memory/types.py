@@ -93,6 +93,16 @@ class SnoopReply:
     shared: bool = False
 
 
+# Shared immutable replies for the snoop fast path.  Every coherent bus
+# transaction collects one reply per attached agent; the bus only ever
+# *reads* a reply, so agents return these four singletons instead of
+# allocating a fresh dataclass per snoop.
+REPLY_NONE = SnoopReply()
+REPLY_SHARED = SnoopReply(shared=True)
+REPLY_SUPPLIES = SnoopReply(supplies=True)
+REPLY_SUPPLY_SHARED = SnoopReply(supplies=True, shared=True)
+
+
 @runtime_checkable
 class BusAgent(Protocol):
     """Anything that snoops the memory bus (caches, CNIs)."""
@@ -127,9 +137,18 @@ class HomeResponder:
     name: str = "home"
     access_ns: int = 0
     kind: str = "memory"
+    #: Cached supplier record (the fields are fixed after construction,
+    #: so one immutable Supplier serves every transaction).
+    _supplier: Optional[Supplier] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def supplier(self) -> Supplier:
-        return Supplier(self.name, self.access_ns, self.kind)
+        supplier = self._supplier
+        if supplier is None:
+            supplier = Supplier(self.name, self.access_ns, self.kind)
+            self._supplier = supplier
+        return supplier
 
 
 @dataclass

@@ -20,11 +20,15 @@ from typing import Callable, Dict
 from repro.config import SystemParams
 from repro.network.message import Message, MessageKind
 from repro.obs.spans import SpanRecorder
-from repro.sim import Counter, Simulator
+from repro.sim import Counter, Event, Simulator
 from repro.sim.trace import Tracer
 
 #: Signature of an endpoint's arrival hook: called at delivery time.
 ArrivalHook = Callable[[Message], None]
+
+#: Interned per-kind counter keys (built once; string concatenation per
+#: injected message showed up in profiles).
+_KIND_KEYS = {kind: "kind:" + kind.value for kind in MessageKind}
 
 
 class Network:
@@ -60,6 +64,8 @@ class Network:
         self._data_endpoints: Dict[int, ArrivalHook] = {}
         self._control_endpoints: Dict[int, ArrivalHook] = {}
         self.counters = Counter()
+        #: Raw counter dict for the injection/delivery hot path.
+        self._counts = self.counters._counts
 
     # -- wiring ---------------------------------------------------------
 
@@ -102,13 +108,15 @@ class Network:
         if self.tracer.enabled:
             self.tracer.log("net", "wire", uid=msg.uid, kind=msg.kind.value,
                             src=msg.src, dst=msg.dst, size=msg.size)
-        control = msg.kind in (MessageKind.ACK, MessageKind.RETURN)
+        kind = msg.kind
+        control = kind is MessageKind.ACK or kind is MessageKind.RETURN
         table = self._control_endpoints if control else self._data_endpoints
         hook = table[msg.dst]
-        self.counters.add("injected")
-        self.counters.add("kind:" + msg.kind.value)
+        counts = self._counts
+        counts["injected"] += 1
+        counts[_KIND_KEYS[kind]] += 1
         if not control:
-            self.counters.add("data_bytes", msg.size)
+            counts["data_bytes"] += msg.size
 
         deliveries = 1
         extra_delay = 0
@@ -134,21 +142,30 @@ class Network:
 
         if self.fabric is not None and not control:
             def _fabric_arrive(message: Message) -> None:
-                self.counters.add("delivered")
+                self._counts["delivered"] += 1
                 hook(message)
 
             self.sim.process(self.fabric.deliver(msg, _fabric_arrive))
             return
 
         latency = self.params.network_latency_ns + extra_delay
+        sim = self.sim
         for copy in range(deliveries):
-            deliver = self.sim.event()
+            # Inlined ``sim.event().add_callback(...).succeed(...)``:
+            # the event is fresh, so the already-triggered and
+            # negative-delay checks cannot fire.
+            deliver = Event(sim)
 
             def _arrive(_event, message=msg) -> None:
-                self.counters.add("delivered")
+                self._counts["delivered"] += 1
                 hook(message)
 
-            deliver.add_callback(_arrive)
+            deliver.callbacks.append(_arrive)
+            deliver._ok = True
+            deliver._value = None
             # A duplicated copy trails the original by one network
             # latency, modelling a replayed wire transfer.
-            deliver.succeed(delay=latency + copy * self.params.network_latency_ns)
+            sim._insert(
+                sim._now + latency + copy * self.params.network_latency_ns,
+                deliver,
+            )

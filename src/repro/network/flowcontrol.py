@@ -106,6 +106,13 @@ class FlowControlUnit:
         #: "clogs up the network" (Section 3).
         self._port = Resource(sim, capacity=1)
         self.counters = Counter()
+        #: Hot-path hoists: the machine-wide recorders live behind two
+        #: attribute hops (self.network.spans); the data/ack handlers
+        #: run once per message, so cache them — and the raw counter
+        #: dict — on the unit itself.
+        self._spans = network.spans
+        self._tracer = network.tracer
+        self._counts = self.counters._counts
         #: The machine's fault injector, or ``None`` (the common case).
         self.faults = network.faults
         #: The fault config when the reliable-delivery layer is on.
@@ -146,7 +153,7 @@ class FlowControlUnit:
     def inject(self, msg: Message) -> None:
         """Put an already-buffered message on the wire (instantaneous;
         the NI's bus/copy costs happen before this call)."""
-        self.counters.add("sent")
+        self._counts["sent"] += 1
         if (self._reliable is not None and msg.rel_seq is None
                 and msg.kind in _RELIABLE_KINDS):
             seq = self._next_seq.get(msg.dst, 0)
@@ -172,42 +179,42 @@ class FlowControlUnit:
     # -- receiver side -----------------------------------------------------
 
     def _on_data(self, msg: Message) -> None:
-        if self.network.spans.enabled:
+        if self._spans.enabled:
             # Flight over: accepted or bounced, the message is now in
             # receive-side buffering (bounce/backoff time included —
             # it is receive-buffer shortage by definition).
-            self.network.spans.mark(msg, "recv_buffering")
+            self._spans.mark(msg, "recv_buffering")
         if msg.corrupted:
             # Checksum failure: discard without acking; the sender's
             # retransmit timer recovers the message (or gives up and
             # reports the delivery failure).
             msg.corrupted = False
-            self.counters.add("corrupt_dropped")
-            if self.network.tracer.enabled:
-                self.network.tracer.log(self.name, "corrupt_drop",
-                                        uid=msg.uid)
+            self._counts["corrupt_dropped"] += 1
+            if self._tracer.enabled:
+                self._tracer.log(self.name, "corrupt_drop",
+                                 uid=msg.uid)
             return
         if (self._reliable is not None and msg.rel_seq is not None
                 and self._dedup.seen(msg.src, msg.rel_seq)):
             # Replay of an already-accepted message (retransmission or
             # network duplicate): re-ack — the previous ack may have
             # been lost — but never deliver twice.
-            self.counters.add("dup_suppressed")
-            if self.network.tracer.enabled:
-                self.network.tracer.log(self.name, "dup_suppress",
-                                        uid=msg.uid, seq=msg.rel_seq)
+            self._counts["dup_suppressed"] += 1
+            if self._tracer.enabled:
+                self._tracer.log(self.name, "dup_suppress",
+                                 uid=msg.uid, seq=msg.rel_seq)
             self._send_ack(msg)
             return
         if self.faults is not None and self.faults.recv_locked(self.node_id):
             # NI-buffer lockup window: arrivals bounce as if every
             # incoming buffer were full.
-            self.counters.add("lockup_returns")
+            self._counts["lockup_returns"] += 1
             self._bounce_back(msg)
             return
         if self.recv_buffers.try_acquire():
-            self.counters.add("accepted")
-            if self.network.tracer.enabled:
-                self.network.tracer.log(self.name, "accept", uid=msg.uid)
+            self._counts["accepted"] += 1
+            if self._tracer.enabled:
+                self._tracer.log(self.name, "accept", uid=msg.uid)
             if self._reliable is not None and msg.rel_seq is not None:
                 self._dedup.accept(msg.src, msg.rel_seq)
             self.inbound.try_put(msg)
@@ -230,12 +237,12 @@ class FlowControlUnit:
     def _bounce_back(self, msg: Message) -> None:
         # No free incoming buffer: bounce the whole message back,
         # which occupies this NI's port for the message's length.
-        self.counters.add("returned")
-        if self.network.spans.enabled:
-            self.network.spans.annotate(msg, "bounces")
-        if self.network.tracer.enabled:
-            self.network.tracer.log(self.name, "bounce", uid=msg.uid,
-                                    bounces=msg.bounces + 1)
+        self._counts["returned"] += 1
+        if self._spans.enabled:
+            self._spans.annotate(msg, "bounces")
+        if self._tracer.enabled:
+            self._tracer.log(self.name, "bounce", uid=msg.uid,
+                             bounces=msg.bounces + 1)
         msg.bounces += 1
         self.sim.process(self._bounce(msg))
 
@@ -267,14 +274,14 @@ class FlowControlUnit:
                     and self.send_buffers.in_use == 0):
                 # Unreliable mode under duplication faults: an ack with
                 # no matching allocation must not over-release the pool.
-                self.counters.add("spurious_acks")
+                self._counts["spurious_acks"] += 1
                 return
-            self.counters.add("acked")
+            self._counts["acked"] += 1
             self.send_buffers.release()
         elif msg.kind is MessageKind.RETURN:
             # The original message is back in our (still-held) outgoing
             # buffer.
-            self.counters.add("bounced_back")
+            self._counts["bounced_back"] += 1
             if self.processor_retries:
                 self.returned.try_put((self.sim.now, msg.body))
                 if self.on_return is not None:

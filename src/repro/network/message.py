@@ -16,7 +16,6 @@ virtual-channel layer would.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, List, Optional
 
@@ -32,47 +31,76 @@ class MessageKind(Enum):
     RETURN = "return"              #: bounced message (return-to-sender)
 
 
-@dataclass
 class Message:
-    """One network message (header + payload)."""
+    """One network message (header + payload).
 
-    src: int
-    dst: int
-    #: Total wire size in bytes, header included.
-    size: int
-    kind: MessageKind = MessageKind.ACTIVE_MESSAGE
-    #: Handler identifier for active messages (resolved by the
-    #: destination's Tempest runtime).
-    handler: Optional[str] = None
-    #: Opaque payload object delivered to the handler.
-    body: Any = None
-    #: Monotonic id (assigned automatically; unique per process).
-    uid: int = field(default_factory=lambda: next(_SEQUENCE))
-    #: Injection timestamp, stamped by the sending NI (ns).
-    sent_at: Optional[int] = None
-    #: Retries this message suffered from return-to-sender bounces.
-    bounces: int = 0
-    #: Lifecycle-span id, assigned per machine by
-    #: :class:`repro.obs.spans.SpanRecorder` when spans are enabled.
-    #: Unlike ``uid`` it is deterministic across processes, so span
-    #: files from serial and pooled sweeps compare byte-identical.
-    span_id: Optional[int] = None
-    #: Reliable-delivery sequence number within the (src, dst) stream,
-    #: assigned by the sending flow-control unit when the reliability
-    #: layer is on (see repro.faults); ``None`` otherwise.
-    rel_seq: Optional[int] = None
-    #: Payload corrupted in flight (set by the fault injector; detected
-    #: and cleared by the receiver's checksum, which discards the
-    #: message so retransmission can recover it).
-    corrupted: bool = False
+    A plain ``__slots__`` class rather than a dataclass: every active
+    message allocates at least two of these (data + ack) on the
+    simulation hot path, and the slotted layout skips the per-instance
+    ``__dict__`` while the handwritten ``__init__`` skips the dataclass
+    default machinery.  Field meanings:
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
-            raise ValueError(f"message size must be positive, got {self.size}")
-        if self.src == self.dst:
+    - ``src`` / ``dst`` — node ids (loopback is rejected).
+    - ``size`` — total wire size in bytes, header included.
+    - ``kind`` — classification for accounting and dispatch.
+    - ``handler`` — handler identifier for active messages (resolved by
+      the destination's Tempest runtime).
+    - ``body`` — opaque payload object delivered to the handler.
+    - ``uid`` — monotonic id (assigned automatically; unique per
+      process).
+    - ``sent_at`` — injection timestamp, stamped by the sending NI (ns).
+    - ``bounces`` — retries suffered from return-to-sender bounces.
+    - ``span_id`` — lifecycle-span id, assigned per machine by
+      :class:`repro.obs.spans.SpanRecorder` when spans are enabled.
+      Unlike ``uid`` it is deterministic across processes, so span
+      files from serial and pooled sweeps compare byte-identical.
+    - ``rel_seq`` — reliable-delivery sequence number within the
+      (src, dst) stream, assigned by the sending flow-control unit when
+      the reliability layer is on (see repro.faults); ``None``
+      otherwise.
+    - ``corrupted`` — payload corrupted in flight (set by the fault
+      injector; detected and cleared by the receiver's checksum, which
+      discards the message so retransmission can recover it).
+    """
+
+    __slots__ = (
+        "src", "dst", "size", "kind", "handler", "body", "uid",
+        "sent_at", "bounces", "span_id", "rel_seq", "corrupted",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        kind: MessageKind = MessageKind.ACTIVE_MESSAGE,
+        handler: Optional[str] = None,
+        body: Any = None,
+        uid: Optional[int] = None,
+        sent_at: Optional[int] = None,
+        bounces: int = 0,
+        span_id: Optional[int] = None,
+        rel_seq: Optional[int] = None,
+        corrupted: bool = False,
+    ):
+        if size <= 0:
+            raise ValueError(f"message size must be positive, got {size}")
+        if src == dst:
             raise ValueError(
-                f"loopback message {self.src} -> {self.dst} not supported"
+                f"loopback message {src} -> {dst} not supported"
             )
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.kind = kind
+        self.handler = handler
+        self.body = body
+        self.uid = next(_SEQUENCE) if uid is None else uid
+        self.sent_at = sent_at
+        self.bounces = bounces
+        self.span_id = span_id
+        self.rel_seq = rel_seq
+        self.corrupted = corrupted
 
     @property
     def payload_bytes(self) -> int:

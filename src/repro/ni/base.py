@@ -94,6 +94,10 @@ class NetworkInterface(ABC):
         )
         self._reg_base = self.bus.address_map["ni_registers"].base
         self.bus.set_home(self.bus.address_map["ni_registers"], self.reg_memory)
+        #: Hot-path handles: the span recorder and the raw counter dict
+        #: (``Counter.reset`` clears in place, so both stay valid).
+        self._spans = node.network.spans
+        self._counts = self.counters._counts
         self._setup()
 
     def _setup(self) -> None:
@@ -164,21 +168,21 @@ class NetworkInterface(ABC):
     def _uncached_read(self, size: int = 8, offset: int = 0) -> Generator:
         """Uncached load from the NI register window (e.g. status,
         fifo head words): full bus round trip including NI SRAM."""
-        self.counters.add("uncached_reads")
+        self._counts["uncached_reads"] += 1
         yield from self.bus.transaction(
             BusOp.UNCACHED_READ, self._reg_base + offset, size
         )
 
     def _uncached_write(self, size: int = 8, offset: int = 0) -> Generator:
         """Uncached (posted) store to the NI register window."""
-        self.counters.add("uncached_writes")
+        self._counts["uncached_writes"] += 1
         yield from self.bus.transaction(
             BusOp.UNCACHED_WRITE, self._reg_base + offset, size
         )
 
     def _block_read(self, size: Optional[int] = None, offset: int = 0) -> Generator:
         """Uncached block load (UltraSPARC-style) from NI memory."""
-        self.counters.add("block_reads")
+        self._counts["block_reads"] += 1
         yield from self.bus.transaction(
             BusOp.BLOCK_READ,
             self._reg_base + offset,
@@ -187,7 +191,7 @@ class NetworkInterface(ABC):
 
     def _block_write(self, size: Optional[int] = None, offset: int = 0) -> Generator:
         """Uncached block store (UltraSPARC-style) into NI memory."""
-        self.counters.add("block_writes")
+        self._counts["block_writes"] += 1
         yield from self.bus.transaction(
             BusOp.BLOCK_WRITE,
             self._reg_base + offset,
@@ -253,8 +257,8 @@ class NetworkInterface(ABC):
             return
         timer = self.node.timer
         timer.push("buffering")
-        self.counters.add("send_buffer_stalls")
-        spans = self.node.network.spans
+        self._counts["send_buffer_stalls"] += 1
+        spans = self._spans
         if msg is not None and spans.enabled:
             spans.mark(msg, "send_buffering")
         try:
@@ -284,8 +288,9 @@ class NetworkInterface(ABC):
 
     def _inject(self, msg: Message) -> None:
         """Hand an already-buffered message to the wire."""
-        self.counters.add("messages_sent")
-        self.counters.add("bytes_sent", msg.size)
+        counts = self._counts
+        counts["messages_sent"] += 1
+        counts["bytes_sent"] += msg.size
         self.fcu.inject(msg)
 
     def _signal_arrival(self) -> None:

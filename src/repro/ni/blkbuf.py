@@ -43,7 +43,7 @@ class AP3000NI(FifoNI):
     metric_names = FifoNI.metric_names + ("chunks_pushed", "chunks_popped")
 
     def _push_fifo(self, msg: Message) -> Generator:
-        spans = self.node.network.spans
+        spans = self._spans
         if spans.enabled:
             spans.annotate(msg, "chunk_pushes", len(self._chunks(msg)))
         for chunk in self._chunks(msg):
@@ -55,10 +55,10 @@ class AP3000NI(FifoNI):
             # plus one wide bus transaction.
             yield self.sim.delay(self.costs.blkbuf_flush)
             yield from self._block_write(chunk)
-            self.counters.add("chunks_pushed")
+            self._counts["chunks_pushed"] += 1
 
     def _pop_fifo(self, msg: Message) -> Generator:
-        spans = self.node.network.spans
+        spans = self._spans
         if spans.enabled:
             spans.annotate(msg, "chunk_pops", len(self._chunks(msg)))
         for chunk in self._chunks(msg):
@@ -69,4 +69,4 @@ class AP3000NI(FifoNI):
             yield from self._block_read(chunk)
             # ... then copy it out to the user-level buffer.
             yield self.sim.delay(words * self.costs.copy_word)
-            self.counters.add("chunks_popped")
+            self._counts["chunks_popped"] += 1

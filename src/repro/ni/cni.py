@@ -120,13 +120,13 @@ class CoherentNI(NetworkInterface):
 
     def send_message(self, msg: Message) -> Generator:
         nblocks = self._blocks_for(msg.size)
-        spans = self.node.network.spans
+        spans = self._spans
         if not self.send_queue.can_reserve(nblocks):
             # Send queue full: NI engine is behind (e.g. out of
             # flow-control buffers for long enough).  This is the
             # *only* way flow control back-pressures a CNI's processor.
             self.node.timer.push("buffering")
-            self.counters.add("send_queue_stalls")
+            self._counts["send_queue_stalls"] += 1
             if spans.enabled:
                 spans.mark(msg, "send_buffering")
             while not self.send_queue.can_reserve(nblocks):
@@ -157,7 +157,7 @@ class CoherentNI(NetworkInterface):
             if self.prefetch:
                 self._feed.try_put(("block", addr))
         self.send_queue.commit(msg, addrs)
-        self.counters.add("messages_composed")
+        self._counts["messages_composed"] += 1
         if spans.enabled:
             # Committed: the processor is done; the message now sits in
             # the send queue until the NI engine fetches and injects.
@@ -200,7 +200,7 @@ class CoherentNI(NetworkInterface):
             # Explicit head-pointer update visible to the NI.
             yield from self.node.cache.store(self.recv_queue.pointer_addr)
         self._after_consume(msg, addrs)
-        self.counters.add("messages_received")
+        self._counts["messages_received"] += 1
         return msg
 
     def _after_consume(self, msg: Message, addrs: List[int]) -> None:
@@ -234,7 +234,7 @@ class CoherentNI(NetworkInterface):
                 addr = item[1]
                 yield from self._fetch_block(addr)
                 prefetched.add(addr)
-                self.counters.add("blocks_prefetched")
+                self._counts["blocks_prefetched"] += 1
                 continue
             _tag, msg, addrs = item
             if not self.prefetch and self.discovery_ns:
@@ -263,7 +263,7 @@ class CoherentNI(NetworkInterface):
             BusOp.READ, addr, self.params.cache_block_bytes,
             requester=self._requester,
         )
-        self.counters.add("blocks_fetched")
+        self._counts["blocks_fetched"] += 1
 
     # ------------------------------------------------------------------
     # NI receive engine
@@ -274,7 +274,7 @@ class CoherentNI(NetworkInterface):
             msg = yield self.fcu.inbound.get()
             nblocks = self._blocks_for(msg.size)
             while not self.recv_queue.can_reserve(nblocks):
-                self.counters.add("recv_queue_stalls")
+                self._counts["recv_queue_stalls"] += 1
                 yield self.recv_queue.space_gate.wait()
             addrs = self.recv_queue.reserve(nblocks)
             if not self.use_optimizations:
@@ -287,7 +287,7 @@ class CoherentNI(NetworkInterface):
             # The message has left the network buffers: free the
             # incoming flow-control buffer *without* processor help.
             self.fcu.release_receive_buffer()
-            self.counters.add("messages_deposited")
+            self._counts["messages_deposited"] += 1
             self._signal_arrival()
 
     def _deposit_blocks(self, msg: Message, addrs: List[int]) -> Generator:
@@ -296,7 +296,7 @@ class CoherentNI(NetworkInterface):
         Default: invalidate stale cached copies and post each block to
         the queue's home.  Subclasses change where the blocks land.
         """
-        spans = self.node.network.spans
+        spans = self._spans
         if spans.enabled:
             spans.annotate(msg, "deposit_home", len(addrs))
         for addr in addrs:
@@ -308,4 +308,4 @@ class CoherentNI(NetworkInterface):
                 BusOp.WRITEBACK, addr, self.params.cache_block_bytes,
                 requester=self._requester,
             )
-            self.counters.add("blocks_deposited")
+            self._counts["blocks_deposited"] += 1

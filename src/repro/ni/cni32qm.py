@@ -26,7 +26,15 @@ from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.config import SystemParams
 from repro.memory.bus import BusOp, BusTransaction, MemoryBus
-from repro.memory.types import CoherenceState, SnoopReply, Supplier
+from repro.memory.types import (
+    REPLY_NONE,
+    REPLY_SHARED,
+    REPLY_SUPPLIES,
+    REPLY_SUPPLY_SHARED,
+    CoherenceState,
+    SnoopReply,
+    Supplier,
+)
 from repro.network.message import Message
 from repro.ni.cni import CoherentNI
 from repro.ni.taxonomy import Taxonomy
@@ -66,6 +74,9 @@ class CNIReceiveCache:
         self.drop_dead = drop_dead
         self._lines: Dict[int, Tuple[Optional[int], CoherenceState]] = {}
         self.counters = Counter()
+        #: Raw counter dict + cached supplier for the snoop hot path.
+        self._counts = self.counters._counts
+        self._supplier = Supplier(self.name, self.supply_ns, self.kind)
         bus.attach(self)
 
     # -- geometry -------------------------------------------------------
@@ -96,7 +107,7 @@ class CNIReceiveCache:
         line_tag, state = self._lines.get(index, (None, CoherenceState.INVALID))
         if state.is_valid and line_tag == tag:
             self._lines[index] = (None, CoherenceState.INVALID)
-            self.counters.add("dropped")
+            self._counts["dropped"] += 1
 
     @property
     def valid_blocks(self) -> int:
@@ -125,7 +136,7 @@ class CNIReceiveCache:
                 victim_addr = self._addr_of(index, line_tag)
                 dead = self.is_dead(victim_addr)
                 if dead and self.drop_dead:
-                    self.counters.add("victims_dropped")
+                    self._counts["victims_dropped"] += 1
                 else:
                     # Flush the victim to its main-memory home.  With
                     # head-update-on-flush disabled this wastes a
@@ -135,7 +146,7 @@ class CNIReceiveCache:
                         BusOp.WRITEBACK, victim_addr, self.block_bytes,
                         requester=self,
                     )
-                    self.counters.add("victims_written_back")
+                    self._counts["victims_written_back"] += 1
                 self._lines[index] = (None, CoherenceState.INVALID)
             # Invalidate any stale processor copy of the slot.
             yield from self.bus.transaction(
@@ -146,39 +157,39 @@ class CNIReceiveCache:
         # critical path; one cycle of engine occupancy remains.
         yield self.sim.delay(self.params.bus_cycle_ns)
         self._lines[index] = (tag, CoherenceState.MODIFIED)
-        self.counters.add("writes")
+        self._counts["writes"] += 1
 
     # -- bus agent protocol ---------------------------------------------------
 
     def snoop(self, txn: BusTransaction) -> SnoopReply:
         if not txn.op.is_coherent:
-            return SnoopReply()
+            return REPLY_NONE
         index, tag = self._index_tag(txn.addr)
         line_tag, state = self._lines.get(index, (None, CoherenceState.INVALID))
         if not state.is_valid or line_tag != tag:
-            return SnoopReply()
+            return REPLY_NONE
         if txn.op is BusOp.READ:
             if self.params.coherence_protocol == "MESI":
                 # Ablation: without Owned, the NI cache cannot supply;
                 # it flushes and the processor reads from memory.
                 self._lines[index] = (tag, CoherenceState.INVALID)
-                self.counters.add("mesi_flushes")
-                return SnoopReply()
+                self._counts["mesi_flushes"] += 1
+                return REPLY_NONE
             if state in (CoherenceState.MODIFIED, CoherenceState.OWNED):
                 self._lines[index] = (tag, CoherenceState.OWNED)
-                self.counters.add("supplied")
-                return SnoopReply(supplies=True, shared=True)
-            return SnoopReply(shared=True)
+                self._counts["supplied"] += 1
+                return REPLY_SUPPLY_SHARED
+            return REPLY_SHARED
         if txn.op in (BusOp.READ_EXCLUSIVE, BusOp.UPGRADE):
             supplies = (
                 txn.op is BusOp.READ_EXCLUSIVE and state.can_supply
             )
             self._lines[index] = (None, CoherenceState.INVALID)
-            return SnoopReply(supplies=supplies)
-        return SnoopReply()
+            return REPLY_SUPPLIES if supplies else REPLY_NONE
+        return REPLY_NONE
 
     def supplier(self) -> Supplier:
-        return Supplier(self.name, self.supply_ns, self.kind)
+        return self._supplier
 
 
 class CNI32Qm(CoherentNI):
@@ -242,7 +253,7 @@ class CNI32Qm(CoherentNI):
                 self.recv_cache.line_blocks_live_victim(a) for a in addrs
             )
         )
-        spans = self.node.network.spans
+        spans = self._spans
         if fits or not self.bypass_when_full:
             if spans.enabled:
                 spans.annotate(msg, "deposit_rcache", len(addrs))
@@ -251,7 +262,7 @@ class CNI32Qm(CoherentNI):
                 self._live_addrs.add(addr)
             self._live_cached_blocks += len(addrs)
             self._msg_location[msg.uid] = "cache"
-            self.counters.add("deposits_cached")
+            self._counts["deposits_cached"] += 1
         else:
             # Bypass: write straight to main memory so the queue head
             # stays fast; drop any stale NI-cache copies of these slots.
@@ -261,7 +272,7 @@ class CNI32Qm(CoherentNI):
                 self.recv_cache.drop(addr)
             yield from super()._deposit_blocks(msg, addrs)
             self._msg_location[msg.uid] = "memory"
-            self.counters.add("deposits_bypassed")
+            self._counts["deposits_bypassed"] += 1
 
     def _after_consume(self, msg: Message, addrs: List[int]) -> None:
         location = self._msg_location.pop(msg.uid, "memory")

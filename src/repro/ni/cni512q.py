@@ -66,7 +66,7 @@ class CNI512Q(CoherentNI):
         critical path.  Only the invalidate and a pipeline cycle are
         on the engine's critical path.
         """
-        spans = self.node.network.spans
+        spans = self._spans
         if spans.enabled:
             spans.annotate(msg, "deposit_ni_local", len(addrs))
         for addr in addrs:
@@ -75,4 +75,4 @@ class CNI512Q(CoherentNI):
                 requester=self._requester,
             )
             yield self.sim.delay(self.params.bus_cycle_ns)
-            self.counters.add("blocks_deposited")
+            self._counts["blocks_deposited"] += 1

@@ -79,7 +79,7 @@ class FifoNI(NetworkInterface):
                 yield from self._doorbell(msg)
             finally:
                 timer.pop()
-            self.counters.add("processor_retries")
+            self._counts["processor_retries"] += 1
             self.fcu.reinject(msg)
             count += 1
         return count
@@ -121,8 +121,8 @@ class FifoNI(NetworkInterface):
         # The message has left the NI's network buffers: free the
         # incoming flow-control buffer.
         self.fcu.release_receive_buffer()
-        self.counters.add("messages_received")
-        spans = self.node.network.spans
+        self._counts["messages_received"] += 1
+        spans = self._spans
         if spans.enabled:
             # Extraction cost stays in recv_buffering (the span leaves
             # it at handler dispatch); record who drained the fifo.
@@ -153,7 +153,7 @@ class FifoNI(NetworkInterface):
         yield self.sim.delay(words * self.costs.copy_word)
         for _ in range(words):
             yield from self._uncached_write(8)
-        self.counters.add("words_pushed", words)
+        self._counts["words_pushed"] += words
 
     def _pop_words(self, msg: Message) -> Generator:
         """Uncached-load the message out of the fifo, word by word."""
@@ -161,5 +161,5 @@ class FifoNI(NetworkInterface):
         for _ in range(words):
             yield from self._uncached_read(8)
         yield self.sim.delay(words * self.costs.copy_word)
-        self.counters.add("words_popped", words)
+        self._counts["words_popped"] += words
 

@@ -59,7 +59,7 @@ class MemoryChannelNI(CoherentNI):
         flow-control buffer, block-store the message into the NI
         through the block buffer, ring the doorbell."""
         yield from self._acquire_send_buffer_blocking(msg)
-        spans = self.node.network.spans
+        spans = self._spans
         if spans.enabled:
             spans.annotate(msg, "chunk_pushes", len(self._chunks(msg)))
         for chunk in self._chunks(msg):
@@ -67,7 +67,7 @@ class MemoryChannelNI(CoherentNI):
             yield self.sim.delay(words * self.costs.copy_word)
             yield self.sim.delay(self.costs.blkbuf_flush)
             yield from self._block_write(chunk)
-            self.counters.add("chunks_pushed")
+            self._counts["chunks_pushed"] += 1
         yield from self._uncached_write(8)   # doorbell
         self._inject(msg)
         # receive side: inherited CNI_0Qm engine (deposit to memory).

@@ -45,7 +45,7 @@ class CM5NI(FifoNI):
     def _push_fifo(self, msg: Message) -> Generator:
         # Word-at-a-time uncached stores into the 2-word fifo window,
         # after reading each word from the (cache-resident) user buffer.
-        spans = self.node.network.spans
+        spans = self._spans
         if spans.enabled:
             spans.annotate(msg, "word_pushes", self._words(msg))
         yield from self._push_words(msg)
@@ -53,7 +53,7 @@ class CM5NI(FifoNI):
     def _pop_fifo(self, msg: Message) -> Generator:
         # Word-at-a-time uncached loads from the fifo window, plus the
         # messaging-layer copy into the user-level buffer.
-        spans = self.node.network.spans
+        spans = self._spans
         if spans.enabled:
             spans.annotate(msg, "word_pops", self._words(msg))
         yield from self._pop_words(msg)
@@ -72,9 +72,9 @@ class SingleCycleNI(CM5NI):
     description = "processor-register-mapped NI"
 
     def _uncached_read(self, size: int = 8, offset: int = 0) -> Generator:
-        self.counters.add("uncached_reads")
+        self._counts["uncached_reads"] += 1
         yield self.sim.delay(self.params.cycle_ns)
 
     def _uncached_write(self, size: int = 8, offset: int = 0) -> Generator:
-        self.counters.add("uncached_writes")
+        self._counts["uncached_writes"] += 1
         yield self.sim.delay(self.params.cycle_ns)

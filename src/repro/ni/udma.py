@@ -69,13 +69,13 @@ class UdmaNI(FifoNI):
     # -- send -------------------------------------------------------------
 
     def _push_fifo(self, msg: Message) -> Generator:
-        spans = self.node.network.spans
+        spans = self._spans
         if not self._use_udma(msg):
             if spans.enabled:
                 spans.annotate(msg, "word_fallback_send")
             yield from self._push_words(msg)
             return
-        self.counters.add("udma_sends")
+        self._counts["udma_sends"] += 1
         if spans.enabled:
             spans.annotate(msg, "udma_send")
         # Two-instruction initiation (uncached store + uncached load)
@@ -92,18 +92,18 @@ class UdmaNI(FifoNI):
             yield from self.bus.transaction(
                 BusOp.READ, addr, block, requester=self._requester
             )
-            self.counters.add("udma_blocks_read")
+            self._counts["udma_blocks_read"] += 1
 
     # -- receive -----------------------------------------------------------
 
     def _pop_fifo(self, msg: Message) -> Generator:
-        spans = self.node.network.spans
+        spans = self._spans
         if not self._use_udma(msg):
             if spans.enabled:
                 spans.annotate(msg, "word_fallback_recv")
             yield from self._pop_words(msg)
             return
-        self.counters.add("udma_receives")
+        self._counts["udma_receives"] += 1
         if spans.enabled:
             spans.annotate(msg, "udma_recv")
         # Receive-side UDMA initiation by the processor.
@@ -122,7 +122,7 @@ class UdmaNI(FifoNI):
             yield from self.bus.transaction(
                 BusOp.WRITEBACK, addr, block, requester=self._requester
             )
-            self.counters.add("udma_blocks_written")
+            self._counts["udma_blocks_written"] += 1
         # The data now lives in main memory ("ends in the receiving
         # processor's memory"); the consuming processor's reads miss
         # to DRAM.

@@ -1,0 +1,896 @@
+/* Accelerated batched drain loop for repro.sim.engine (Kernel v3).
+ *
+ * This is a hand-written C replica of ``Simulator._run_py`` — the
+ * batched same-tick dispatch loop — sharing every data structure with
+ * the pure-Python implementation: the ``(time, seq, obj)`` heap list,
+ * the per-tick bucket, the Timeout free list and the trampoline
+ * entries.  Model code (generators, callbacks, ``Process._resume``)
+ * still runs as ordinary Python; only the dispatch loop itself — heap
+ * maintenance, tombstone detection, batch bookkeeping, callback
+ * iteration, Timeout recycling — moves to C.  Because the C loop pops
+ * the same entries in the same order and mutates the same state, it is
+ * ScheduleDigest-identical to the Python loop by construction (and the
+ * test suite proves it run by run).
+ *
+ * Built on demand by ``scripts/build_accel.py``; loaded (and disabled
+ * via REPRO_ACCEL=0) at the bottom of ``repro/sim/engine.py``.  The
+ * module must be initialised with ``setup(...)`` before ``run`` is
+ * called — the loader passes in the kernel classes so this file never
+ * imports Python modules itself (avoiding circular imports).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+/* Kernel objects injected by setup(). */
+static PyObject *S_Resume;      /* class _Resume */
+static PyObject *S_Timeout;     /* class Timeout */
+static PyObject *S_Event;       /* class Event */
+static PyObject *S_resume_func; /* the function Process._resume */
+static PyObject *S_SimError;    /* class SimulationError */
+static PyObject *S_Delay;       /* the _DELAY sentinel */
+static Py_ssize_t S_pool_max = 1024;
+
+/* Interned attribute names. */
+static PyObject *str_queue, *str_bucket, *str_pool, *str_hook;
+static PyObject *str_tombstones, *str_now, *str_tick;
+static PyObject *str_seq, *str_proc, *str__resume;
+static PyObject *str_callbacks, *str__ok, *str__value, *str_defused;
+static PyObject *str_processed, *str_add_callback, *str_append;
+static PyObject *str_active, *str_waiting_on, *str_generator;
+static PyObject *str_throw, *str_succeed, *str_fail, *str_resume_cb;
+static PyObject *str_value;
+static PyObject *int_neg_one, *int_one;
+
+/* ------------------------------------------------------------------ */
+/* In-place binary heap on a PyList of (time, seq, obj) tuples — the
+ * same sift logic as CPython's _heapq, specialised to this module so
+ * pushes and pops are direct C calls.  Swaps are done in place, so no
+ * reference counts change while sifting. */
+
+static int
+heap_siftdown(PyObject *heap, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        PyObject *item = PyList_GET_ITEM(heap, pos);
+        Py_INCREF(parent);
+        Py_INCREF(item);
+        int cmp = PyObject_RichCompareBool(item, parent, Py_LT);
+        Py_DECREF(parent);
+        Py_DECREF(item);
+        if (cmp < 0)
+            return -1;
+        if (cmp == 0)
+            break;
+        /* swap in place (no net refcount change) */
+        PyObject *a = PyList_GET_ITEM(heap, pos);
+        PyObject *b = PyList_GET_ITEM(heap, parentpos);
+        PyList_SET_ITEM(heap, pos, b);
+        PyList_SET_ITEM(heap, parentpos, a);
+        pos = parentpos;
+    }
+    return 0;
+}
+
+static int
+heap_siftup(PyObject *heap, Py_ssize_t pos)
+{
+    Py_ssize_t startpos = pos;
+    Py_ssize_t endpos = PyList_GET_SIZE(heap);
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos) {
+            PyObject *c = PyList_GET_ITEM(heap, childpos);
+            PyObject *r = PyList_GET_ITEM(heap, rightpos);
+            Py_INCREF(c);
+            Py_INCREF(r);
+            int cmp = PyObject_RichCompareBool(c, r, Py_LT);
+            Py_DECREF(c);
+            Py_DECREF(r);
+            if (cmp < 0)
+                return -1;
+            if (cmp == 0)
+                childpos = rightpos;
+            if (endpos != PyList_GET_SIZE(heap)) {
+                PyErr_SetString(PyExc_RuntimeError,
+                                "event queue changed size during sift");
+                return -1;
+            }
+        }
+        PyObject *a = PyList_GET_ITEM(heap, pos);
+        PyObject *b = PyList_GET_ITEM(heap, childpos);
+        PyList_SET_ITEM(heap, pos, b);
+        PyList_SET_ITEM(heap, childpos, a);
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    return heap_siftdown(heap, startpos, pos);
+}
+
+/* Pop the smallest entry; returns a new reference, or NULL on error. */
+static PyObject *
+c_heappop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject *last = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(last);
+        return NULL;
+    }
+    if (n == 1)
+        return last; /* last was also the root */
+    PyObject *root = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(root);
+    PyList_SET_ITEM(heap, 0, last); /* steals our ref to last */
+    Py_DECREF(root);                /* drop the list's old root ref */
+    if (heap_siftup(heap, 0) < 0) {
+        Py_DECREF(root);
+        return NULL;
+    }
+    return root;
+}
+
+/* Push item (not stolen). */
+static int
+c_heappush(PyObject *heap, PyObject *item)
+{
+    if (PyList_Append(heap, item) < 0)
+        return -1;
+    return heap_siftdown(heap, 0, PyList_GET_SIZE(heap) - 1);
+}
+
+/* ------------------------------------------------------------------ */
+
+static int
+dec_tombstones(PyObject *sim)
+{
+    PyObject *t = PyObject_GetAttr(sim, str_tombstones);
+    if (t == NULL)
+        return -1;
+    PyObject *nt = PyNumber_Subtract(t, int_one);
+    Py_DECREF(t);
+    if (nt == NULL)
+        return -1;
+    int r = PyObject_SetAttr(sim, str_tombstones, nt);
+    Py_DECREF(nt);
+    return r;
+}
+
+/* raise obj (an exception instance or class), mirroring `raise value` */
+static void
+raise_value(PyObject *value)
+{
+    if (PyExceptionInstance_Check(value)) {
+        PyErr_SetObject((PyObject *)Py_TYPE(value), value);
+    }
+    else if (PyExceptionClass_Check(value)) {
+        PyErr_SetObject(value, NULL);
+    }
+    else {
+        PyErr_SetString(PyExc_TypeError,
+                        "exceptions must derive from BaseException");
+    }
+}
+
+/* Inlined Process._resume: advance the generator with the event's
+ * value (or throw its exception), following handoffs through
+ * already-processed events — exactly the Python trampoline, minus one
+ * Python frame per resume.  ``PyIter_Send`` gives us the StopIteration
+ * return value without materialising the exception.  Returns 0, or -1
+ * with an exception set. */
+static int
+c_resume(PyObject *sim, PyObject *proc, PyObject *event_in)
+{
+    if (PyObject_SetAttr(sim, str_active, proc) < 0)
+        return -1;
+    if (PyObject_SetAttr(proc, str_waiting_on, Py_None) < 0)
+        return -1;
+    PyObject *gen = PyObject_GetAttr(proc, str_generator);
+    if (gen == NULL)
+        return -1;
+    PyObject *event = event_in;
+    Py_INCREF(event);
+
+    for (;;) {
+        PyObject *target = NULL;
+        PyObject *ok = PyObject_GetAttr(event, str__ok);
+        if (ok == NULL)
+            goto err;
+        int succeeded = PyObject_IsTrue(ok);
+        Py_DECREF(ok);
+        if (succeeded < 0)
+            goto err;
+
+        int finished = 0; /* 1: generator returned, target = value */
+        if (succeeded) {
+            PyObject *value = PyObject_GetAttr(event, str__value);
+            if (value == NULL)
+                goto err;
+            PySendResult sr = PyIter_Send(gen, value, &target);
+            Py_DECREF(value);
+            if (sr == PYGEN_ERROR)
+                goto gen_raised;
+            finished = (sr == PYGEN_RETURN);
+        }
+        else {
+            if (PyObject_SetAttr(event, str_defused, Py_True) < 0)
+                goto err;
+            PyObject *value = PyObject_GetAttr(event, str__value);
+            if (value == NULL)
+                goto err;
+            target = PyObject_CallMethodOneArg(gen, str_throw, value);
+            Py_DECREF(value);
+            if (target == NULL) {
+                if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+                    /* the generator returned in response to the throw */
+                    PyObject *pt, *pv, *ptb;
+                    PyErr_Fetch(&pt, &pv, &ptb);
+                    PyErr_NormalizeException(&pt, &pv, &ptb);
+                    Py_XDECREF(pt);
+                    Py_XDECREF(ptb);
+                    target = pv ? PyObject_GetAttr(pv, str_value) : NULL;
+                    Py_XDECREF(pv);
+                    if (target == NULL)
+                        goto err;
+                    finished = 1;
+                }
+                else {
+                    goto gen_raised;
+                }
+            }
+        }
+
+        if (finished) {
+            PyObject *r = PyObject_CallMethodOneArg(proc, str_succeed, target);
+            Py_DECREF(target);
+            if (r == NULL)
+                goto err;
+            Py_DECREF(r);
+            Py_DECREF(event);
+            Py_DECREF(gen);
+            return 0;
+        }
+
+        if (target == S_Delay) {
+            /* sim.delay() already armed and queued the entry */
+            Py_DECREF(target);
+            Py_DECREF(event);
+            Py_DECREF(gen);
+            return 0;
+        }
+
+        if (PyObject_TypeCheck(target, (PyTypeObject *)S_Event)) {
+            PyObject *cbs = PyObject_GetAttr(target, str_callbacks);
+            if (cbs == NULL) {
+                Py_DECREF(target);
+                goto err;
+            }
+            if (cbs == Py_None) {
+                /* already over: resume immediately, no queue trip */
+                Py_DECREF(cbs);
+                Py_DECREF(event);
+                event = target;
+                continue;
+            }
+            if (PyObject_SetAttr(proc, str_waiting_on, target) < 0) {
+                Py_DECREF(cbs);
+                Py_DECREF(target);
+                goto err;
+            }
+            PyObject *cb = PyObject_GetAttr(proc, str_resume_cb);
+            if (cb == NULL) {
+                Py_DECREF(cbs);
+                Py_DECREF(target);
+                goto err;
+            }
+            int r = PyList_Check(cbs) ? PyList_Append(cbs, cb)
+                                      : (PyErr_SetString(
+                                             PyExc_TypeError,
+                                             "event callbacks must be a list"),
+                                         -1);
+            Py_DECREF(cb);
+            Py_DECREF(cbs);
+            Py_DECREF(target);
+            if (r < 0)
+                goto err;
+            Py_DECREF(event);
+            Py_DECREF(gen);
+            return 0;
+        }
+
+        /* yielded something that is not an event */
+        {
+            PyObject *msg = PyUnicode_FromFormat(
+                "process yielded %R; only events may be yielded", target);
+            Py_DECREF(target);
+            if (msg == NULL)
+                goto err;
+            PyObject *exc = PyObject_CallOneArg(S_SimError, msg);
+            Py_DECREF(msg);
+            if (exc == NULL)
+                goto err;
+            PyObject *r = PyObject_CallMethodOneArg(gen, str_throw, exc);
+            Py_DECREF(exc);
+            if (r != NULL) {
+                /* the generator swallowed it and yielded again — the
+                 * Python reference ignores that yield and returns */
+                Py_DECREF(r);
+                Py_DECREF(event);
+                Py_DECREF(gen);
+                return 0;
+            }
+            if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+                PyObject *pt, *pv, *ptb;
+                PyErr_Fetch(&pt, &pv, &ptb);
+                PyErr_NormalizeException(&pt, &pv, &ptb);
+                Py_XDECREF(pt);
+                Py_XDECREF(ptb);
+                PyObject *value = pv ? PyObject_GetAttr(pv, str_value) : NULL;
+                Py_XDECREF(pv);
+                if (value == NULL)
+                    goto err;
+                PyObject *rr =
+                    PyObject_CallMethodOneArg(proc, str_succeed, value);
+                Py_DECREF(value);
+                if (rr == NULL)
+                    goto err;
+                Py_DECREF(rr);
+                Py_DECREF(event);
+                Py_DECREF(gen);
+                return 0;
+            }
+            goto gen_raised;
+        }
+
+    gen_raised:
+        /* the generator (or throw) raised: the process fails with the
+         * exception instance, mirroring `except BaseException` */
+        {
+            PyObject *pt, *pv, *ptb;
+            PyErr_Fetch(&pt, &pv, &ptb);
+            PyErr_NormalizeException(&pt, &pv, &ptb);
+            if (pv == NULL) {
+                PyErr_Restore(pt, pv, ptb);
+                goto err;
+            }
+            if (ptb != NULL)
+                PyException_SetTraceback(pv, ptb);
+            Py_XDECREF(pt);
+            Py_XDECREF(ptb);
+            PyObject *r = PyObject_CallMethodOneArg(proc, str_fail, pv);
+            Py_DECREF(pv);
+            if (r == NULL)
+                goto err;
+            Py_DECREF(r);
+            Py_DECREF(event);
+            Py_DECREF(gen);
+            return 0;
+        }
+    }
+
+err:
+    Py_DECREF(event);
+    Py_DECREF(gen);
+    return -1;
+}
+
+/* Dispatch one queue entry: trampoline resume, tombstone skip, or
+ * event callback run + Timeout recycling.  Mirrors one iteration of
+ * the Python batch inner loop.  Returns 0, or -1 with an exception
+ * set. */
+static int
+dispatch(PyObject *sim, PyObject *when_obj, PyObject *seq_obj, PyObject *obj,
+         PyObject *hook, PyObject *pool)
+{
+    if (Py_TYPE(obj) == (PyTypeObject *)S_Resume) {
+        PyObject *oseq = PyObject_GetAttr(obj, str_seq);
+        if (oseq == NULL)
+            return -1;
+        int eq = PyObject_RichCompareBool(oseq, seq_obj, Py_EQ);
+        Py_DECREF(oseq);
+        if (eq < 0)
+            return -1;
+        if (!eq)
+            return dec_tombstones(sim); /* lazy-cancelled tombstone */
+        if (hook != Py_None) {
+            PyObject *r =
+                PyObject_CallFunctionObjArgs(hook, when_obj, seq_obj, NULL);
+            if (r == NULL)
+                return -1;
+            Py_DECREF(r);
+        }
+        PyObject *proc = PyObject_GetAttr(obj, str_proc);
+        if (proc == NULL)
+            return -1;
+        int r = c_resume(sim, proc, obj);
+        Py_DECREF(proc);
+        return r;
+    }
+
+    if (hook != Py_None) {
+        PyObject *r =
+            PyObject_CallFunctionObjArgs(hook, when_obj, seq_obj, NULL);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+    }
+    PyObject *callbacks = PyObject_GetAttr(obj, str_callbacks);
+    if (callbacks == NULL)
+        return -1;
+    if (PyObject_SetAttr(obj, str_callbacks, Py_None) < 0) {
+        Py_DECREF(callbacks);
+        return -1;
+    }
+    if (!PyList_Check(callbacks)) {
+        PyErr_SetString(PyExc_TypeError, "event callbacks must be a list");
+        Py_DECREF(callbacks);
+        return -1;
+    }
+    for (Py_ssize_t i = 0; i < PyList_GET_SIZE(callbacks); i++) {
+        PyObject *cb = PyList_GET_ITEM(callbacks, i);
+        Py_INCREF(cb);
+        if (PyMethod_Check(cb) && PyMethod_GET_FUNCTION(cb) == S_resume_func) {
+            /* bound Process._resume: stay in C */
+            int rr = c_resume(sim, PyMethod_GET_SELF(cb), obj);
+            Py_DECREF(cb);
+            if (rr < 0) {
+                Py_DECREF(callbacks);
+                return -1;
+            }
+            continue;
+        }
+        PyObject *r = PyObject_CallOneArg(cb, obj);
+        Py_DECREF(cb);
+        if (r == NULL) {
+            Py_DECREF(callbacks);
+            return -1;
+        }
+        Py_DECREF(r);
+    }
+    PyObject *ok = PyObject_GetAttr(obj, str__ok);
+    if (ok == NULL) {
+        Py_DECREF(callbacks);
+        return -1;
+    }
+    int is_failure = (ok == Py_False);
+    Py_DECREF(ok);
+    if (is_failure) {
+        PyObject *defused = PyObject_GetAttr(obj, str_defused);
+        if (defused == NULL) {
+            Py_DECREF(callbacks);
+            return -1;
+        }
+        int d = PyObject_IsTrue(defused);
+        Py_DECREF(defused);
+        if (d < 0) {
+            Py_DECREF(callbacks);
+            return -1;
+        }
+        if (!d) {
+            /* an undefused failure: surface it */
+            PyObject *value = PyObject_GetAttr(obj, str__value);
+            if (value != NULL) {
+                raise_value(value);
+                Py_DECREF(value);
+            }
+            Py_DECREF(callbacks);
+            return -1;
+        }
+    }
+    /* Timeout free-list recycling: a processed, value-less Timeout
+     * whose only consumer was a process resume cannot be referenced
+     * elsewhere. */
+    if (Py_TYPE(obj) == (PyTypeObject *)S_Timeout &&
+        PyList_GET_SIZE(callbacks) == 1 &&
+        PyList_GET_SIZE(pool) < S_pool_max) {
+        PyObject *value = PyObject_GetAttr(obj, str__value);
+        if (value == NULL) {
+            Py_DECREF(callbacks);
+            return -1;
+        }
+        int value_is_none = (value == Py_None);
+        Py_DECREF(value);
+        if (value_is_none) {
+            PyObject *cb0 = PyList_GET_ITEM(callbacks, 0);
+            if (PyMethod_Check(cb0) &&
+                PyMethod_GET_FUNCTION(cb0) == S_resume_func) {
+                if (PyList_Append(pool, obj) < 0) {
+                    Py_DECREF(callbacks);
+                    return -1;
+                }
+            }
+        }
+    }
+    Py_DECREF(callbacks);
+    return 0;
+}
+
+/* Push bucket[k:] back onto the heap at time `when_obj`, then clear
+ * the bucket — C twin of Simulator._restore_bucket. */
+static int
+restore_bucket(PyObject *queue, PyObject *bucket, PyObject *when_obj,
+               Py_ssize_t k)
+{
+    for (Py_ssize_t i = k; i < PyList_GET_SIZE(bucket); i++) {
+        PyObject *pair = PyList_GET_ITEM(bucket, i);
+        PyObject *tup = PyTuple_Pack(3, when_obj, PyTuple_GET_ITEM(pair, 0),
+                                     PyTuple_GET_ITEM(pair, 1));
+        if (tup == NULL)
+            return -1;
+        int r = c_heappush(queue, tup);
+        Py_DECREF(tup);
+        if (r < 0)
+            return -1;
+    }
+    return PyList_SetSlice(bucket, 0, PyList_GET_SIZE(bucket), NULL);
+}
+
+/* Restore + reset sim._tick while an exception is pending. */
+static void
+error_unwind(PyObject *sim, PyObject *queue, PyObject *bucket,
+             PyObject *when_obj, Py_ssize_t k)
+{
+    PyObject *ptype, *pvalue, *ptb;
+    PyErr_Fetch(&ptype, &pvalue, &ptb);
+    if (restore_bucket(queue, bucket, when_obj, k) < 0)
+        PyErr_Clear();
+    if (PyObject_SetAttr(sim, str_tick, int_neg_one) < 0)
+        PyErr_Clear();
+    PyErr_Restore(ptype, pvalue, ptb);
+}
+
+/* ------------------------------------------------------------------ */
+/* One tick of batched dispatch: pops the tick's first entry (the
+ * caller verified the queue is non-empty), drains the same-time heap
+ * prefix plus the bucket, and handles cleanup.
+ *
+ * finished: NULL, or a list — dispatch stops once it is non-empty
+ * (the until=Event variant), in which case unprocessed bucket entries
+ * are pushed back to the heap (as the Python loop's finally does).
+ * Returns 0, or -1 with an exception set (state already restored). */
+static int
+run_one_tick(PyObject *sim, PyObject *queue, PyObject *bucket, PyObject *pool,
+             PyObject *hook, PyObject *finished)
+{
+    PyObject *item = c_heappop(queue);
+    if (item == NULL)
+        return -1;
+    PyObject *when_obj = PyTuple_GET_ITEM(item, 0);
+    PyObject *seq_obj = PyTuple_GET_ITEM(item, 1);
+    PyObject *obj = PyTuple_GET_ITEM(item, 2);
+    Py_INCREF(when_obj);
+    Py_INCREF(seq_obj);
+    Py_INCREF(obj);
+    Py_DECREF(item);
+
+    long long when_ll = PyLong_AsLongLong(when_obj);
+    if (when_ll == -1 && PyErr_Occurred())
+        goto pre_fail;
+    if (PyObject_SetAttr(sim, str_now, when_obj) < 0)
+        goto pre_fail;
+    if (PyObject_SetAttr(sim, str_tick, when_obj) < 0)
+        goto pre_fail;
+
+    Py_ssize_t k = 0;
+    for (;;) {
+        if (dispatch(sim, when_obj, seq_obj, obj, hook, pool) < 0)
+            goto fail;
+        Py_CLEAR(seq_obj);
+        Py_CLEAR(obj);
+        if (finished != NULL && PyList_GET_SIZE(finished) > 0)
+            break;
+        /* pick the next same-tick entry: heap prefix first, then the
+         * bucket in append order */
+        if (PyList_GET_SIZE(queue) > 0) {
+            PyObject *root = PyList_GET_ITEM(queue, 0);
+            long long w0 = PyLong_AsLongLong(PyTuple_GET_ITEM(root, 0));
+            if (w0 == -1 && PyErr_Occurred())
+                goto fail;
+            if (w0 == when_ll) {
+                PyObject *it2 = c_heappop(queue);
+                if (it2 == NULL)
+                    goto fail;
+                seq_obj = PyTuple_GET_ITEM(it2, 1);
+                obj = PyTuple_GET_ITEM(it2, 2);
+                Py_INCREF(seq_obj);
+                Py_INCREF(obj);
+                Py_DECREF(it2);
+                continue;
+            }
+        }
+        if (k < PyList_GET_SIZE(bucket)) {
+            PyObject *pair = PyList_GET_ITEM(bucket, k);
+            k++;
+            seq_obj = PyTuple_GET_ITEM(pair, 0);
+            obj = PyTuple_GET_ITEM(pair, 1);
+            Py_INCREF(seq_obj);
+            Py_INCREF(obj);
+            continue;
+        }
+        break;
+    }
+    /* tick complete: reset _tick, then either restore the unprocessed
+     * bucket tail (until=Event interrupted mid-batch) or just clear */
+    if (PyObject_SetAttr(sim, str_tick, int_neg_one) < 0)
+        goto post_fail;
+    if (finished != NULL) {
+        if (restore_bucket(queue, bucket, when_obj, k) < 0)
+            goto post_fail;
+    }
+    else if (PyList_SetSlice(bucket, 0, PyList_GET_SIZE(bucket), NULL) < 0) {
+        goto post_fail;
+    }
+    Py_DECREF(when_obj);
+    return 0;
+
+pre_fail:
+    /* nothing dispatched yet; _tick may or may not be set */
+    k = 0;
+fail:
+    error_unwind(sim, queue, bucket, when_obj, k);
+post_fail:
+    Py_XDECREF(seq_obj);
+    Py_XDECREF(obj);
+    Py_DECREF(when_obj);
+    return -1;
+}
+
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+ck_run(PyObject *self, PyObject *args)
+{
+    PyObject *sim, *until = Py_None;
+    if (!PyArg_ParseTuple(args, "O|O:run", &sim, &until))
+        return NULL;
+    if (S_Resume == NULL) {
+        PyErr_SetString(PyExc_RuntimeError, "_ckernel.setup() not called");
+        return NULL;
+    }
+
+    PyObject *queue = NULL, *bucket = NULL, *pool = NULL, *hook = NULL;
+    PyObject *result = NULL;
+    PyObject *finished = NULL, *sentinel = NULL;
+
+    queue = PyObject_GetAttr(sim, str_queue);
+    bucket = PyObject_GetAttr(sim, str_bucket);
+    pool = PyObject_GetAttr(sim, str_pool);
+    hook = PyObject_GetAttr(sim, str_hook);
+    if (queue == NULL || bucket == NULL || pool == NULL || hook == NULL)
+        goto done;
+    if (!PyList_Check(queue) || !PyList_Check(bucket) || !PyList_Check(pool)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "simulator queue/bucket/pool must be lists");
+        goto done;
+    }
+
+    if (until == Py_None) {
+        /* run to exhaustion */
+        while (PyList_GET_SIZE(queue) > 0) {
+            if (run_one_tick(sim, queue, bucket, pool, hook, NULL) < 0)
+                goto done;
+        }
+        result = Py_NewRef(Py_None);
+        goto done;
+    }
+
+    int is_event = PyObject_IsInstance(until, S_Event);
+    if (is_event < 0)
+        goto done;
+    if (is_event) {
+        /* run until the sentinel event has been processed */
+        sentinel = Py_NewRef(until);
+        finished = PyList_New(0);
+        if (finished == NULL)
+            goto done;
+        PyObject *processed = PyObject_GetAttr(sentinel, str_processed);
+        if (processed == NULL)
+            goto done;
+        int done_already = PyObject_IsTrue(processed);
+        Py_DECREF(processed);
+        if (done_already < 0)
+            goto done;
+        if (done_already) {
+            if (PyList_Append(finished, sentinel) < 0)
+                goto done;
+        }
+        else {
+            PyObject *app = PyObject_GetAttr(finished, str_append);
+            if (app == NULL)
+                goto done;
+            PyObject *r =
+                PyObject_CallMethodOneArg(sentinel, str_add_callback, app);
+            Py_DECREF(app);
+            if (r == NULL)
+                goto done;
+            Py_DECREF(r);
+        }
+        while (PyList_GET_SIZE(finished) == 0) {
+            if (PyList_GET_SIZE(queue) == 0) {
+                PyErr_Format(
+                    S_SimError,
+                    "simulation ran out of events before %R fired",
+                    sentinel);
+                goto done;
+            }
+            if (run_one_tick(sim, queue, bucket, pool, hook, finished) < 0)
+                goto done;
+        }
+        PyObject *ok = PyObject_GetAttr(sentinel, str__ok);
+        if (ok == NULL)
+            goto done;
+        int failed = (ok == Py_False);
+        Py_DECREF(ok);
+        if (failed) {
+            if (PyObject_SetAttr(sentinel, str_defused, Py_True) < 0)
+                goto done;
+            PyObject *value = PyObject_GetAttr(sentinel, str__value);
+            if (value != NULL) {
+                raise_value(value);
+                Py_DECREF(value);
+            }
+            goto done;
+        }
+        result = PyObject_GetAttr(sentinel, str__value);
+        goto done;
+    }
+
+    /* run until an integer deadline */
+    {
+        PyObject *deadline_obj = PyNumber_Long(until);
+        if (deadline_obj == NULL)
+            goto done;
+        long long deadline = PyLong_AsLongLong(deadline_obj);
+        if (deadline == -1 && PyErr_Occurred()) {
+            Py_DECREF(deadline_obj);
+            goto done;
+        }
+        PyObject *now_obj = PyObject_GetAttr(sim, str_now);
+        if (now_obj == NULL) {
+            Py_DECREF(deadline_obj);
+            goto done;
+        }
+        long long now_ll = PyLong_AsLongLong(now_obj);
+        Py_DECREF(now_obj);
+        if (now_ll == -1 && PyErr_Occurred()) {
+            Py_DECREF(deadline_obj);
+            goto done;
+        }
+        if (deadline < now_ll) {
+            PyErr_Format(S_SimError,
+                         "until=%lld is in the past (now=%lld)", deadline,
+                         now_ll);
+            Py_DECREF(deadline_obj);
+            goto done;
+        }
+        while (PyList_GET_SIZE(queue) > 0) {
+            PyObject *root = PyList_GET_ITEM(queue, 0);
+            long long w0 = PyLong_AsLongLong(PyTuple_GET_ITEM(root, 0));
+            if (w0 == -1 && PyErr_Occurred()) {
+                Py_DECREF(deadline_obj);
+                goto done;
+            }
+            if (w0 > deadline)
+                break;
+            if (run_one_tick(sim, queue, bucket, pool, hook, NULL) < 0) {
+                Py_DECREF(deadline_obj);
+                goto done;
+            }
+        }
+        int r = PyObject_SetAttr(sim, str_now, deadline_obj);
+        Py_DECREF(deadline_obj);
+        if (r < 0)
+            goto done;
+        result = Py_NewRef(Py_None);
+    }
+
+done:
+    Py_XDECREF(finished);
+    Py_XDECREF(sentinel);
+    Py_XDECREF(queue);
+    Py_XDECREF(bucket);
+    Py_XDECREF(pool);
+    Py_XDECREF(hook);
+    return result;
+}
+
+static PyObject *
+ck_setup(PyObject *self, PyObject *args)
+{
+    PyObject *resume_cls, *timeout_cls, *event_cls, *resume_func, *sim_error;
+    PyObject *delay_sentinel;
+    Py_ssize_t pool_max;
+    if (!PyArg_ParseTuple(args, "OOOOnOO:setup", &resume_cls, &timeout_cls,
+                          &event_cls, &resume_func, &pool_max, &sim_error,
+                          &delay_sentinel))
+        return NULL;
+    Py_XDECREF(S_Resume);
+    Py_XDECREF(S_Timeout);
+    Py_XDECREF(S_Event);
+    Py_XDECREF(S_resume_func);
+    Py_XDECREF(S_SimError);
+    Py_XDECREF(S_Delay);
+    S_Resume = Py_NewRef(resume_cls);
+    S_Timeout = Py_NewRef(timeout_cls);
+    S_Event = Py_NewRef(event_cls);
+    S_resume_func = Py_NewRef(resume_func);
+    S_SimError = Py_NewRef(sim_error);
+    S_Delay = Py_NewRef(delay_sentinel);
+    S_pool_max = pool_max;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef ck_methods[] = {
+    {"setup", ck_setup, METH_VARARGS,
+     "setup(_Resume, Timeout, Event, Process._resume, pool_max, "
+     "SimulationError, _DELAY) — inject the kernel classes."},
+    {"run", ck_run, METH_VARARGS,
+     "run(sim, until=None) — the accelerated batched drain loop."},
+    {NULL, NULL, 0, NULL},
+};
+
+static int
+ck_exec(PyObject *module)
+{
+#define INTERN(var, text)                                                     \
+    do {                                                                      \
+        var = PyUnicode_InternFromString(text);                               \
+        if (var == NULL)                                                      \
+            return -1;                                                        \
+    } while (0)
+    INTERN(str_queue, "_queue");
+    INTERN(str_bucket, "_bucket");
+    INTERN(str_pool, "_timeout_pool");
+    INTERN(str_hook, "_schedule_hook");
+    INTERN(str_tombstones, "_tombstones");
+    INTERN(str_now, "_now");
+    INTERN(str_tick, "_tick");
+    INTERN(str_seq, "seq");
+    INTERN(str_proc, "proc");
+    INTERN(str__resume, "_resume");
+    INTERN(str_callbacks, "callbacks");
+    INTERN(str__ok, "_ok");
+    INTERN(str__value, "_value");
+    INTERN(str_defused, "defused");
+    INTERN(str_processed, "processed");
+    INTERN(str_add_callback, "add_callback");
+    INTERN(str_append, "append");
+    INTERN(str_active, "_active");
+    INTERN(str_waiting_on, "_waiting_on");
+    INTERN(str_generator, "_generator");
+    INTERN(str_throw, "throw");
+    INTERN(str_succeed, "succeed");
+    INTERN(str_fail, "fail");
+    INTERN(str_resume_cb, "_resume_cb");
+    INTERN(str_value, "value");
+#undef INTERN
+    int_neg_one = PyLong_FromLong(-1);
+    int_one = PyLong_FromLong(1);
+    if (int_neg_one == NULL || int_one == NULL)
+        return -1;
+    return 0;
+}
+
+static PyModuleDef_Slot ck_slots[] = {
+    {Py_mod_exec, ck_exec},
+    {0, NULL},
+};
+
+static struct PyModuleDef ck_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.sim._ckernel",
+    .m_doc = "Accelerated batched drain loop for the repro sim kernel.",
+    .m_size = 0,
+    .m_methods = ck_methods,
+    .m_slots = ck_slots,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    return PyModuleDef_Init(&ck_module);
+}

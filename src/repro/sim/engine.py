@@ -1,4 +1,4 @@
-"""The discrete-event simulator core (Kernel v2).
+"""The discrete-event simulator core (Kernel v3).
 
 :class:`Simulator` owns the clock and the event queue.  Model code
 creates processes with :meth:`Simulator.process`; processes advance the
@@ -36,6 +36,29 @@ Cancellation (only :meth:`Process.interrupt` does it) is *lazy*: the
 queued entry stays behind as a tombstone, detected on pop by a stale
 sequence number; ``stats()`` reports live tombstones so queue-depth
 gauges can correct for them.
+
+Kernel v3 adds *batched same-tick dispatch* to the heap scheduler's
+:meth:`Simulator.run` loops.  While the dispatcher is draining tick
+``T``, any entry scheduled *at* ``T`` (zero-delay chains: resource
+grants, direct handoffs, ``delay(0)``, zero-delay events) is appended
+to a plain per-tick bucket list instead of the heap, and the dispatch
+inner loop consumes it by index — no ``heappush``/``heappop`` pair per
+zero-delay hop.  Ordering is provably unchanged: every bucket entry's
+sequence number is larger than that of every tick-``T`` entry still in
+the heap (the heap received them before the batch began, and receives
+no more at ``T`` while the batch runs), so draining the heap's
+tick-``T`` prefix first and then the bucket in append order *is*
+global ``(time, seq)`` order.  :meth:`Simulator.step` deliberately
+keeps the one-entry-per-call unbatched path as the reference
+implementation — the ScheduleDigest A/B harness replays runs through
+it to prove the batched loops byte-identical.
+
+An optional accelerated drain loop (``repro.sim._ckernel``, a
+hand-written C extension built by ``scripts/build_accel.py``) replaces
+the batched ``run()`` bodies when importable; set ``REPRO_ACCEL=0`` to
+force the pure-Python loops.  The C loop shares every data structure
+with the Python one (same queue, same bucket, same trampoline
+entries), so it is drop-in and digest-identical by construction.
 """
 
 from __future__ import annotations
@@ -57,10 +80,20 @@ _TIMEOUT_POOL_MAX = 1024
 #: callbacks), so it is safe to recycle.
 _RESUME = Process._resume
 
-#: Timing-wheel geometry: 4096 one-tick slots.  The workload shape
-#: (bus phases, cache hits, per-flit hops) keeps ~99.9 % of delays
-#: under 4096 ns, so the overflow heap is nearly idle.
-_WHEEL_BITS = 12
+#: The accelerated batched drain loop (``repro.sim._ckernel.run``), or
+#: ``None`` when the extension is absent or disabled via REPRO_ACCEL=0.
+#: Bound at the bottom of this module, after the classes it drives.
+_crun = None
+
+#: Timing-wheel geometry: 256 one-tick slots.  The workload shape (bus
+#: phases, cache hits, per-flit hops) puts p50 of scheduling horizons
+#: at 1-4 ns and ~98.5 % under 256 ns, so the overflow heap stays
+#: nearly idle — while the occupancy bitmask stays a cheap 256-bit
+#: int.  (The original 4096-slot wheel spent measurable time doing
+#: ``occ & -occ`` on a 4096-bit int every tick; shrinking the window
+#: bought ~5 % on the bench matrix.  Geometry does not affect the
+#: schedule: order is (time, seq) regardless of window size.)
+_WHEEL_BITS = 8
 _WHEEL_SIZE = 1 << _WHEEL_BITS
 _WHEEL_MASK = _WHEEL_SIZE - 1
 
@@ -100,6 +133,21 @@ class Simulator:
         self._now: int = 0
         self._seq: int = 0
         self._queue: List[Tuple[int, int, Any]] = []
+        #: Same-tick dispatch bucket: while ``run()`` drains tick T,
+        #: entries scheduled at T land here as ``(seq, obj)`` pairs and
+        #: are consumed in-order by the batch inner loop — no heap trip.
+        self._bucket: List[Tuple[int, Any]] = []
+        #: The tick ``run()`` is currently dispatching, or ``-1``
+        #: outside a batch (time is non-negative, so -1 never matches a
+        #: schedule target: one compare routes to bucket vs heap).  The
+        #: reference ``step()`` path never sets it, so step-driven runs
+        #: exercise the classic all-heap schedule.
+        self._tick: int = -1
+        #: Optional ``hook(when, seq)`` invoked for every *live* entry
+        #: the batched run loops process — the ScheduleDigest A/B
+        #: harness's window into the batched dispatch order.  ``None``
+        #: (the default) costs one hoisted is-not-None check per event.
+        self._schedule_hook = None
         #: Free list of processed, value-less Timeouts ready for reuse.
         self._timeout_pool: List[Timeout] = []
         #: The process currently being advanced (set by Process._resume);
@@ -127,7 +175,7 @@ class Simulator:
         as events/sec.  ``queue_len`` is the raw queue depth *including*
         tombstones; ``queue_live`` subtracts them.
         """
-        raw = len(self._queue)
+        raw = len(self._queue) + len(self._bucket)
         return {
             "now": self._now,
             "events_scheduled": self._seq,
@@ -190,7 +238,12 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         entry.seq = seq
-        heappush(self._queue, (self._now + ns, seq, entry))
+        if ns:
+            heappush(self._queue, (self._now + ns, seq, entry))
+        elif self._now == self._tick:
+            self._bucket.append((seq, entry))
+        else:
+            heappush(self._queue, (self._now, seq, entry))
         proc._waiting_on = entry
         self._trampolines += 1
         return _DELAY
@@ -217,7 +270,10 @@ class Simulator:
         """
         seq = self._seq
         self._seq = seq + 1
-        heappush(self._queue, (when, seq, obj))
+        if when == self._tick:
+            self._bucket.append((seq, obj))
+        else:
+            heappush(self._queue, (when, seq, obj))
         return seq
 
     def _schedule(self, event: Event, delay: int = 0) -> None:
@@ -309,6 +365,17 @@ class Simulator:
 
     # -- main loop ----------------------------------------------------
 
+    def _restore_bucket(self, when: int, k: int) -> None:
+        """Push unprocessed bucket entries back onto the heap after an
+        interrupted batch (exception, or until-event satisfied), so the
+        queue state is consistent for a later ``run()``/``step()``."""
+        bucket = self._bucket
+        if k < len(bucket):
+            queue = self._queue
+            for bseq, bobj in bucket[k:]:
+                heappush(queue, (when, bseq, bobj))
+        bucket.clear()
+
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
@@ -319,37 +386,73 @@ class Simulator:
         - an :class:`Event`: run until that event is processed, and
           return its value (re-raising its exception if it failed).
 
-        All three paths inline the entry-processing body of
-        :meth:`step` so the per-event cost is one heap pop plus the
-        resume/callbacks.
+        All three paths run *batched same-tick dispatch*: the whole
+        tick — the heap's same-time prefix plus every entry scheduled
+        at the current time while the tick runs (routed into
+        :attr:`_bucket` by ``_insert``/``delay``) — drains in one inner
+        loop, so zero-delay chains cost a list append and an index
+        bump instead of a heap round trip.  Identical ``(time, seq)``
+        order to the unbatched :meth:`step` reference: bucket entries
+        always carry larger sequence numbers than the heap's remaining
+        same-tick prefix.
         """
+        if _crun is not None:
+            return _crun(self, until)
+        return self._run_py(until)
+
+    def _run_py(self, until: Any = None) -> Any:
+        """The pure-Python batched run loop (reference for _ckernel)."""
         queue = self._queue
         pool = self._timeout_pool
+        bucket = self._bucket
+        hook = self._schedule_hook
 
         if until is None:
             while queue:
                 when, seq, obj = heappop(queue)
                 self._now = when
-                if type(obj) is _Resume:
-                    if obj.seq == seq:
-                        obj.proc._resume(obj)
-                    else:
-                        self._tombstones -= 1
-                    continue
-                callbacks = obj.callbacks
-                obj.callbacks = None
-                for callback in callbacks:
-                    callback(obj)
-                if obj._ok is False and not obj.defused:
-                    raise obj._value
-                if (
-                    type(obj) is Timeout
-                    and obj._value is None
-                    and len(callbacks) == 1
-                    and getattr(callbacks[0], "__func__", None) is _RESUME
-                    and len(pool) < _TIMEOUT_POOL_MAX
-                ):
-                    pool.append(obj)
+                self._tick = when
+                k = 0
+                try:
+                    while True:
+                        if type(obj) is _Resume:
+                            if obj.seq == seq:
+                                if hook is not None:
+                                    hook(when, seq)
+                                obj.proc._resume(obj)
+                            else:
+                                self._tombstones -= 1
+                        else:
+                            if hook is not None:
+                                hook(when, seq)
+                            callbacks = obj.callbacks
+                            obj.callbacks = None
+                            for callback in callbacks:
+                                callback(obj)
+                            if obj._ok is False and not obj.defused:
+                                raise obj._value
+                            if (
+                                type(obj) is Timeout
+                                and obj._value is None
+                                and len(callbacks) == 1
+                                and getattr(callbacks[0], "__func__", None)
+                                is _RESUME
+                                and len(pool) < _TIMEOUT_POOL_MAX
+                            ):
+                                pool.append(obj)
+                        if queue and queue[0][0] == when:
+                            _, seq, obj = heappop(queue)
+                        elif k < len(bucket):
+                            seq, obj = bucket[k]
+                            k += 1
+                        else:
+                            break
+                except BaseException:
+                    self._restore_bucket(when, k)
+                    raise
+                finally:
+                    self._tick = -1
+                bucket.clear()
             return None
 
         if isinstance(until, Event):
@@ -366,26 +469,47 @@ class Simulator:
                     )
                 when, seq, obj = heappop(queue)
                 self._now = when
-                if type(obj) is _Resume:
-                    if obj.seq == seq:
-                        obj.proc._resume(obj)
-                    else:
-                        self._tombstones -= 1
-                    continue
-                callbacks = obj.callbacks
-                obj.callbacks = None
-                for callback in callbacks:
-                    callback(obj)
-                if obj._ok is False and not obj.defused:
-                    raise obj._value
-                if (
-                    type(obj) is Timeout
-                    and obj._value is None
-                    and len(callbacks) == 1
-                    and getattr(callbacks[0], "__func__", None) is _RESUME
-                    and len(pool) < _TIMEOUT_POOL_MAX
-                ):
-                    pool.append(obj)
+                self._tick = when
+                k = 0
+                try:
+                    while True:
+                        if type(obj) is _Resume:
+                            if obj.seq == seq:
+                                if hook is not None:
+                                    hook(when, seq)
+                                obj.proc._resume(obj)
+                            else:
+                                self._tombstones -= 1
+                        else:
+                            if hook is not None:
+                                hook(when, seq)
+                            callbacks = obj.callbacks
+                            obj.callbacks = None
+                            for callback in callbacks:
+                                callback(obj)
+                            if obj._ok is False and not obj.defused:
+                                raise obj._value
+                            if (
+                                type(obj) is Timeout
+                                and obj._value is None
+                                and len(callbacks) == 1
+                                and getattr(callbacks[0], "__func__", None)
+                                is _RESUME
+                                and len(pool) < _TIMEOUT_POOL_MAX
+                            ):
+                                pool.append(obj)
+                        if finished:
+                            break
+                        if queue and queue[0][0] == when:
+                            _, seq, obj = heappop(queue)
+                        elif k < len(bucket):
+                            seq, obj = bucket[k]
+                            k += 1
+                        else:
+                            break
+                finally:
+                    self._tick = -1
+                    self._restore_bucket(when, k)
             if sentinel._ok is False:
                 sentinel.defused = True
                 raise sentinel._value
@@ -399,26 +523,48 @@ class Simulator:
         while queue and queue[0][0] <= deadline:
             when, seq, obj = heappop(queue)
             self._now = when
-            if type(obj) is _Resume:
-                if obj.seq == seq:
-                    obj.proc._resume(obj)
-                else:
-                    self._tombstones -= 1
-                continue
-            callbacks = obj.callbacks
-            obj.callbacks = None
-            for callback in callbacks:
-                callback(obj)
-            if obj._ok is False and not obj.defused:
-                raise obj._value
-            if (
-                type(obj) is Timeout
-                and obj._value is None
-                and len(callbacks) == 1
-                and getattr(callbacks[0], "__func__", None) is _RESUME
-                and len(pool) < _TIMEOUT_POOL_MAX
-            ):
-                pool.append(obj)
+            self._tick = when
+            k = 0
+            try:
+                while True:
+                    if type(obj) is _Resume:
+                        if obj.seq == seq:
+                            if hook is not None:
+                                hook(when, seq)
+                            obj.proc._resume(obj)
+                        else:
+                            self._tombstones -= 1
+                    else:
+                        if hook is not None:
+                            hook(when, seq)
+                        callbacks = obj.callbacks
+                        obj.callbacks = None
+                        for callback in callbacks:
+                            callback(obj)
+                        if obj._ok is False and not obj.defused:
+                            raise obj._value
+                        if (
+                            type(obj) is Timeout
+                            and obj._value is None
+                            and len(callbacks) == 1
+                            and getattr(callbacks[0], "__func__", None)
+                            is _RESUME
+                            and len(pool) < _TIMEOUT_POOL_MAX
+                        ):
+                            pool.append(obj)
+                    if queue and queue[0][0] == when:
+                        _, seq, obj = heappop(queue)
+                    elif k < len(bucket):
+                        seq, obj = bucket[k]
+                        k += 1
+                    else:
+                        break
+            except BaseException:
+                self._restore_bucket(when, k)
+                raise
+            finally:
+                self._tick = -1
+            bucket.clear()
         self._now = deadline
         return None
 
@@ -426,7 +572,7 @@ class Simulator:
 class _WheelSimulator(Simulator):
     """Timing-wheel scheduler (construct via ``Simulator(scheduler="wheel")``).
 
-    The current window ``[base, base + 4096)`` maps each timestamp to
+    The current window ``[base, base + _WHEEL_SIZE)`` maps each timestamp to
     one slot (a list of ``(seq, obj)`` pairs, appended in scheduling
     order — which *is* sequence order, so FIFO within a slot needs no
     sort).  Entries beyond the window go to an overflow heap; when the
@@ -635,6 +781,7 @@ class _WheelSimulator(Simulator):
     def run(self, until: Any = None) -> Any:
         slots = self._slots
         pool = self._timeout_pool
+        hook = self._schedule_hook
 
         if until is None:
             while True:
@@ -651,7 +798,8 @@ class _WheelSimulator(Simulator):
                 self._occ = occ ^ low
                 n = len(entries)
                 self._wcount -= n
-                self._now = self._base + i
+                when = self._base + i
+                self._now = when
                 k = 0
                 try:
                     while k < n:
@@ -659,10 +807,14 @@ class _WheelSimulator(Simulator):
                         k += 1
                         if type(obj) is _Resume:
                             if obj.seq == seq:
+                                if hook is not None:
+                                    hook(when, seq)
                                 obj.proc._resume(obj)
                             else:
                                 self._tombstones -= 1
                             continue
+                        if hook is not None:
+                            hook(when, seq)
                         callbacks = obj.callbacks
                         obj.callbacks = None
                         for callback in callbacks:
@@ -705,7 +857,8 @@ class _WheelSimulator(Simulator):
                 self._occ = occ ^ low
                 n = len(entries)
                 self._wcount -= n
-                self._now = self._base + i
+                when = self._base + i
+                self._now = when
                 k = 0
                 try:
                     while k < n and not finished:
@@ -713,10 +866,14 @@ class _WheelSimulator(Simulator):
                         k += 1
                         if type(obj) is _Resume:
                             if obj.seq == seq:
+                                if hook is not None:
+                                    hook(when, seq)
                                 obj.proc._resume(obj)
                             else:
                                 self._tombstones -= 1
                             continue
+                        if hook is not None:
+                            hook(when, seq)
                         callbacks = obj.callbacks
                         obj.callbacks = None
                         for callback in callbacks:
@@ -770,10 +927,14 @@ class _WheelSimulator(Simulator):
                     k += 1
                     if type(obj) is _Resume:
                         if obj.seq == seq:
+                            if hook is not None:
+                                hook(when, seq)
                             obj.proc._resume(obj)
                         else:
                             self._tombstones -= 1
                         continue
+                    if hook is not None:
+                        hook(when, seq)
                     callbacks = obj.callbacks
                     obj.callbacks = None
                     for callback in callbacks:
@@ -793,3 +954,32 @@ class _WheelSimulator(Simulator):
                 raise
         self._now = deadline
         return None
+
+
+# ---------------------------------------------------------------------------
+# Optional accelerated drain loop.  ``scripts/build_accel.py`` compiles
+# ``_ckernel.c`` in place; when the resulting extension imports, the
+# heap scheduler's ``run()`` dispatches to its C implementation of the
+# batched loops (same queue, same bucket, same entries — digest-
+# identical by construction, and proven per-run by the parity tests).
+# ``REPRO_ACCEL=0`` forces the pure-Python loops; the wheel scheduler
+# always uses its own Python loops.
+
+
+def _load_accel():
+    import os
+
+    if os.environ.get("REPRO_ACCEL", "1") == "0":
+        return None
+    try:
+        from repro.sim import _ckernel
+    except ImportError:
+        return None
+    _ckernel.setup(
+        _Resume, Timeout, Event, _RESUME, _TIMEOUT_POOL_MAX, SimulationError,
+        _DELAY,
+    )
+    return _ckernel.run
+
+
+_crun = _load_accel()

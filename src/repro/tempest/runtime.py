@@ -44,6 +44,11 @@ class Runtime:
         #: Trace source label, built once (the hot paths guard every
         #: tracer call on ``tracer.enabled`` to skip argument setup).
         self._trace_src = f"node{node.node_id}"
+        #: Hot-path handles: span recorder, tracer, and the raw counter
+        #: dict (``Counter.reset`` clears in place, so it stays valid).
+        self._spans = node.network.spans
+        self._tracer = node.network.tracer
+        self._counts = self.counters._counts
         node.runtime = self
 
     # ------------------------------------------------------------------
@@ -94,10 +99,10 @@ class Runtime:
         )
         timer = self.node.timer
         timer.push("send")
-        spans = self.node.network.spans
+        spans = self._spans
         if spans.enabled:
             spans.begin(msg)
-        tracer = self.node.network.tracer
+        tracer = self._tracer
         if tracer.enabled:
             tracer.log(self._trace_src, "send_start",
                        uid=msg.uid, handler=handler, dst=dst, size=msg.size)
@@ -106,7 +111,7 @@ class Runtime:
         if tracer.enabled:
             tracer.log(self._trace_src, "send_done", uid=msg.uid)
         timer.pop()
-        self.counters.add("sent")
+        self._counts["sent"] += 1
         if record:
             self.sent_sizes.add(msg.size)
         if self.node.ni.throttle_ns:
@@ -136,7 +141,7 @@ class Runtime:
             timer.pop()
             if msg is None:
                 break
-            tracer = node.network.tracer
+            tracer = self._tracer
             if tracer.enabled:
                 tracer.log(self._trace_src, "extracted", uid=msg.uid)
             self._deferred.append(msg)
@@ -189,10 +194,10 @@ class Runtime:
             timer.pop()
             if msg is None:
                 return None
-            tracer = node.network.tracer
+            tracer = self._tracer
             if tracer.enabled:
                 tracer.log(self._trace_src, "extracted", uid=msg.uid)
-        spans = node.network.spans
+        spans = self._spans
         if spans.enabled:
             # Dispatch begins: the span leaves receive-side buffering.
             spans.mark(msg, "handler")
@@ -200,7 +205,7 @@ class Runtime:
         yield self.sim.delay(self.costs.receive_dispatch)
         timer.pop()
         yield from self._dispatch(msg)
-        self.counters.add("handled")
+        self._counts["handled"] += 1
         if spans.enabled:
             spans.end(msg)
         return msg
@@ -212,7 +217,7 @@ class Runtime:
                 f"node {self.node.node_id}: no handler {msg.handler!r} "
                 f"for {msg!r}"
             )
-        tracer = self.node.network.tracer
+        tracer = self._tracer
         if tracer.enabled:
             tracer.log(self._trace_src, "handler_start",
                        uid=msg.uid, handler=msg.handler)

@@ -1,0 +1,309 @@
+"""Kernel v3 tests: batched same-tick dispatch parity.
+
+``Simulator.run`` drains whole ticks in one inner loop (and, when the
+optional ``repro.sim._ckernel`` extension is built, in C).  The
+contract is *bit-identical schedules*: every batched variant must
+process the exact ``(time, seq)`` stream that the unbatched
+:meth:`Simulator.step` reference produces, for every workload shape —
+zero-delay chains, interrupt tombstones, mid-tick sentinel stops,
+fault-injection RNG draws.
+
+The batched loops expose the stream through ``sim._schedule_hook``
+(called once per live entry, tombstones excluded), which is exactly
+what :class:`repro.sim.ScheduleDigest` folds.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.engine as engine
+from repro.sim import Event, Interrupt, Resource, ScheduleDigest, Simulator, Store
+
+BOTH = pytest.mark.parametrize("scheduler", ["heap", "wheel"])
+
+#: Loops under test: the dispatching ``run`` (C when built, else the
+#: pure-Python batched loop) and, when the extension is active, the
+#: pure-Python loop explicitly — so an accelerated checkout still
+#: exercises its reference.
+RUNNERS = ["run", "python"] if engine._crun is not None else ["run"]
+
+
+def _drive_step(sim, until_event=None):
+    """Unbatched reference: step until drained (or the sentinel)."""
+    digest = ScheduleDigest()
+    if until_event is not None:
+        while not until_event.processed:
+            digest.update(*sim.step())
+    else:
+        while sim.peek() is not None:
+            digest.update(*sim.step())
+    return digest
+
+
+def _drive_batched(sim, runner, until=None):
+    """Batched run with every live entry folded via the hook."""
+    digest = ScheduleDigest()
+    sim._schedule_hook = digest.update
+    if runner == "python" and type(sim) is Simulator:
+        sim._run_py(until)
+    else:
+        sim.run(until)
+    return digest
+
+
+def _assert_parity(build, until_of=None, scheduler="heap"):
+    """Build twice per runner and compare step vs batched digests."""
+    sim = Simulator(scheduler=scheduler)
+    reference = _drive_step(sim, build(sim))
+    assert reference.count > 0
+    for runner in RUNNERS:
+        sim = Simulator(scheduler=scheduler)
+        sentinel = build(sim)
+        batched = _drive_batched(sim, runner, until=sentinel)
+        assert batched == reference, (
+            f"{runner} loop diverged from step reference "
+            f"({batched.count} vs {reference.count} entries)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# zero-delay chains: the case batching exists for
+# ---------------------------------------------------------------------------
+
+@BOTH
+def test_zero_delay_chain_parity(scheduler):
+    """Long same-tick chains (delay(0), handoffs, try_put cascades)
+    must replay identically: bucket entries carry larger sequence
+    numbers than the heap's same-tick prefix."""
+
+    def build(sim):
+        store = Store(sim)
+        res = Resource(sim)
+
+        def producer():
+            for i in range(40):
+                with (yield res.request()):
+                    yield sim.delay(0)
+                store.try_put(i)
+
+        def consumer():
+            total = 0
+            for _ in range(40):
+                item = yield store.get()
+                yield sim.delay(0 if item % 3 else 2)
+                total += item
+            return total
+
+        sim.process(producer())
+        return sim.process(consumer())
+
+    _assert_parity(build, scheduler=scheduler)
+
+
+@BOTH
+def test_interrupt_tombstone_parity(scheduler):
+    """Tombstoned entries advance the clock but never reach the digest
+    hook — identically in every loop."""
+
+    def build(sim):
+        def sleeper():
+            try:
+                yield sim.delay(500)
+            except Interrupt:
+                yield sim.delay(5)
+            yield sim.delay(100)
+
+        def interrupter(target):
+            yield sim.delay(3)
+            target.interrupt("poke")
+
+        p = sim.process(sleeper())
+        sim.process(interrupter(p))
+        return p
+
+    _assert_parity(build, scheduler=scheduler)
+
+
+@BOTH
+def test_mid_tick_sentinel_parity(scheduler):
+    """A sentinel satisfied mid-tick stops the batch with same-tick
+    stragglers still queued; the next run must resume exactly where
+    the step reference does."""
+
+    for runner in RUNNERS:
+        def build(sim):
+            evt = Event(sim)
+            trace = []
+
+            def proc():
+                yield sim.delay(10)
+                evt.succeed("fired")
+                yield sim.delay(0)
+                trace.append("straggler")
+                yield sim.delay(7)
+
+            sim.process(proc())
+            return evt, trace
+
+        sim = Simulator(scheduler=scheduler)
+        evt, trace = build(sim)
+        reference = _drive_step(sim, evt)
+        ref_tail = ScheduleDigest()
+        while sim.peek() is not None:
+            ref_tail.update(*sim.step())
+        assert trace == ["straggler"]
+
+        sim = Simulator(scheduler=scheduler)
+        evt, trace = build(sim)
+        digest = ScheduleDigest()
+        sim._schedule_hook = digest.update
+        if runner == "python" and type(sim) is Simulator:
+            assert sim._run_py(evt) == "fired"
+        else:
+            assert sim.run(until=evt) == "fired"
+        assert trace == []          # straggler still queued
+        assert digest == reference
+        tail = ScheduleDigest()
+        sim._schedule_hook = tail.update
+        if runner == "python" and type(sim) is Simulator:
+            sim._run_py(None)
+        else:
+            sim.run()
+        assert trace == ["straggler"]
+        assert tail == ref_tail
+
+
+# ---------------------------------------------------------------------------
+# property: random delay patterns
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    delays=st.lists(
+        st.lists(st.integers(min_value=0, max_value=300), min_size=1,
+                 max_size=12),
+        min_size=1, max_size=6,
+    )
+)
+def test_random_delay_pattern_parity(delays):
+    """For arbitrary per-process delay sequences, every loop (both
+    schedulers, batched Python, C when built) replays the step
+    reference's exact schedule."""
+
+    def build(sim):
+        gate = Store(sim)
+
+        def proc(seq, idx):
+            for ns in seq:
+                yield sim.delay(ns)
+            gate.try_put(idx)
+
+        def collector():
+            for _ in range(len(delays)):
+                yield gate.get()
+
+        for idx, seq in enumerate(delays):
+            sim.process(proc(seq, idx))
+        return sim.process(collector())
+
+    sim = Simulator()
+    reference = _drive_step(sim, build(sim))
+
+    for scheduler in ("heap", "wheel"):
+        for runner in RUNNERS:
+            sim = Simulator(scheduler=scheduler)
+            sentinel = build(sim)
+            batched = _drive_batched(sim, runner, until=sentinel)
+            assert batched == reference
+
+
+# ---------------------------------------------------------------------------
+# faults on: RNG draw order is part of the schedule
+# ---------------------------------------------------------------------------
+
+@BOTH
+def test_chaos_cell_parity(scheduler):
+    """A fault-injected run draws from a seeded RNG once per injection,
+    in event order.  If any loop reordered dispatch, the fault pattern
+    (hence retries, hence the whole schedule and every counter) would
+    diverge — so digest parity here proves RNG draw order too."""
+    from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+    from repro.faults import FaultConfig
+    from repro.workloads import PingPong
+
+    faults = FaultConfig(seed=7, drop_prob=0.08, duplicate_prob=0.05,
+                         corrupt_prob=0.04, reliable=True)
+
+    def build():
+        params = DEFAULT_PARAMS.replace(sim_scheduler=scheduler,
+                                        faults=faults)
+        workload = PingPong(payload_bytes=32, rounds=10, warmup=2)
+        machine = workload.build_machine(params, DEFAULT_COSTS, "cni32qm")
+        return machine, workload
+
+    machine, workload = build()
+    done = workload.launch(machine)
+    reference = _drive_step(machine.sim, done)
+    reference.update_snapshot(machine.metrics_snapshot())
+
+    for runner in RUNNERS:
+        machine, workload = build()
+        done = workload.launch(machine)
+        batched = _drive_batched(machine.sim, runner, until=done)
+        batched.update_snapshot(machine.metrics_snapshot())
+        assert batched == reference, (
+            f"{runner} loop reordered a fault-injected schedule"
+        )
+
+
+# ---------------------------------------------------------------------------
+# the accelerated loop itself
+# ---------------------------------------------------------------------------
+
+def test_accel_escape_hatch_forces_pure_python(monkeypatch):
+    """REPRO_ACCEL=0 must keep the extension out of a fresh import."""
+    import subprocess
+    import sys
+
+    code = (
+        "import repro.sim.engine as e; "
+        "import sys; sys.exit(0 if e._crun is None else 1)"
+    )
+    env = {"PYTHONPATH": "src", "PATH": "/usr/bin:/bin", "REPRO_ACCEL": "0"}
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          cwd=str(__import__("pathlib").Path(__file__).parents[1]))
+    assert proc.returncode == 0
+
+
+@pytest.mark.skipif(engine._crun is None, reason="accelerated kernel not built")
+def test_accel_error_paths_match_python():
+    """Exceptions escaping the C loop must leave the kernel reentrant
+    (bucket restored, _tick reset) exactly like the Python loop."""
+    for runner in RUNNERS:
+        sim = Simulator()
+
+        def boomer():
+            yield sim.delay(5)
+            raise RuntimeError("boom")
+
+        def bystander():
+            yield sim.delay(5)
+            yield sim.delay(1)
+            return sim.now
+
+        sim.process(boomer())
+        p = sim.process(bystander())
+        with pytest.raises(RuntimeError, match="boom"):
+            if runner == "python":
+                sim._run_py(None)
+            else:
+                sim.run()
+        assert sim._tick == -1      # insert routing reset
+        # The kernel is reentrant after the error: the bystander's
+        # same-tick entry survived and still runs.
+        if runner == "python":
+            sim._run_py(None)
+        else:
+            sim.run()
+        assert p.value == 6

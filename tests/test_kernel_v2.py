@@ -315,17 +315,19 @@ def test_timeout_pool_caps_at_limit():
 # ---------------------------------------------------------------------------
 
 def test_wheel_overflow_delay_fires():
+    from repro.sim.engine import _WHEEL_SIZE
+
     sim = Simulator(scheduler="wheel")
 
     def proc():
         yield sim.delay(3)
-        yield sim.delay(100_000)   # far beyond the 4096-tick window
-        yield sim.delay(4096)      # lands exactly on the next window
+        yield sim.delay(100_000)        # far beyond the wheel window
+        yield sim.delay(_WHEEL_SIZE)    # lands exactly on the next window
         return sim.now
 
     p = sim.process(proc())
     sim.run()
-    assert p.value == 3 + 100_000 + 4096
+    assert p.value == 3 + 100_000 + _WHEEL_SIZE
     assert sim.stats()["wheel_overflow"] == 0
 
 
