@@ -5,15 +5,18 @@ Runs, in order of increasing specificity:
 
 1. **Tier-1 tests** — ``python -m pytest -x -q`` over ``tests/`` (the
    ROADMAP's verify gate).
-2. **Kernel check** — ``scripts/check_kernel.py``: scheduler A/B
+2. **API surface check** — ``scripts/check_api.py``: the public
+   exports, facade signatures and registry vocabularies against the
+   checked-in ``scripts/api_surface.json`` snapshot.
+3. **Kernel check** — ``scripts/check_kernel.py``: scheduler A/B
    digest sweep, accelerated-vs-pure-Python digest parity, and the
    full-matrix bench regression gate against ``BENCH_kernel.json``
    (tier-1 test files are skipped here; step 1 already ran them).
-3. **Observability check** — ``scripts/check_observability.py``:
+4. **Observability check** — ``scripts/check_observability.py``:
    metrics/manifest/trace validation on a quick figure1 run.
-4. **Span check** — ``scripts/check_observability.py --spans``:
+5. **Span check** — ``scripts/check_observability.py --spans``:
    lifecycle spans balanced against the counter surface for every NI.
-5. **Robustness check** — ``scripts/check_robustness.py``: faults-off
+6. **Robustness check** — ``scripts/check_robustness.py``: faults-off
    byte-identity, fixed-seed chaos determinism across ``--jobs``,
    watchdog firing on an engineered deadlock, and killed-worker
    sweep recovery with a flagged manifest.
@@ -67,6 +70,7 @@ def main(argv=None) -> int:
         kernel_args.append("--skip-bench")
     steps = [
         ("tier-1 tests", [py, "-m", "pytest", "-x", "-q", "tests/"]),
+        ("api surface check", [py, "scripts/check_api.py"]),
         ("kernel check", kernel_args),
         ("observability check", [py, "scripts/check_observability.py"]),
         ("span check", [py, "scripts/check_observability.py", "--spans"]),

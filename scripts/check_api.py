@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Public-API surface gate.
+
+Snapshots the surface a downstream user programs against — the
+``__all__`` of :mod:`repro`, :mod:`repro.api` and
+:mod:`repro.transfer` (with callable signatures), plus the built-in
+registry vocabularies (NIs, workloads, transfer ops) — and compares
+it against the checked-in snapshot ``scripts/api_surface.json``.
+
+The gate makes API drift a *decision* instead of an accident: renaming
+an export, changing a facade signature, or (un)registering a built-in
+fails CI until the snapshot is regenerated on purpose.
+
+Usage::
+
+    python scripts/check_api.py            # compare, exit 1 on drift
+    python scripts/check_api.py --update   # rewrite the snapshot
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SNAPSHOT_PATH = os.path.join(ROOT, "scripts", "api_surface.json")
+
+#: Modules whose ``__all__`` (plus signatures) is under the gate.
+MODULES = ("repro", "repro.api", "repro.transfer")
+
+
+def describe(obj) -> dict:
+    """A JSON-friendly shape for one exported name."""
+    if inspect.isclass(obj):
+        entry = {"kind": "class"}
+    elif callable(obj):
+        entry = {"kind": "function"}
+    else:
+        return {"kind": type(obj).__name__}
+    try:
+        entry["signature"] = str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        pass
+    return entry
+
+
+def snapshot() -> dict:
+    surface = {}
+    for mod_name in MODULES:
+        mod = importlib.import_module(mod_name)
+        names = sorted(mod.__all__)
+        assert len(names) == len(set(names)), f"duplicate in {mod_name}.__all__"
+        surface[mod_name] = {
+            name: describe(getattr(mod, name)) for name in names
+        }
+    from repro import api
+
+    surface["registries"] = {
+        "nis": sorted(api.list_nis()),
+        "workloads": sorted(api.list_workloads()),
+        "ops": sorted(api.list_ops()),
+    }
+    return surface
+
+
+def diff(expected: dict, actual: dict):
+    """Human-readable drift lines between two snapshots."""
+    lines = []
+    for section in sorted(set(expected) | set(actual)):
+        want = expected.get(section, {})
+        have = actual.get(section, {})
+        for name in sorted(set(want) | set(have)):
+            if name not in have:
+                lines.append(f"{section}: removed {name!r}")
+            elif name not in want:
+                lines.append(f"{section}: added {name!r}")
+            elif want[name] != have[name]:
+                lines.append(
+                    f"{section}: changed {name!r}: "
+                    f"{want[name]} -> {have[name]}"
+                )
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite scripts/api_surface.json from the live surface",
+    )
+    args = parser.parse_args(argv)
+
+    actual = snapshot()
+    if args.update:
+        with open(SNAPSHOT_PATH, "w") as fh:
+            json.dump(actual, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"check_api: snapshot written to {SNAPSHOT_PATH}")
+        return 0
+
+    if not os.path.exists(SNAPSHOT_PATH):
+        print("check_api: FAIL (no snapshot; run with --update first)")
+        return 1
+    with open(SNAPSHOT_PATH) as fh:
+        expected = json.load(fh)
+    lines = diff(expected, actual)
+    if lines:
+        for line in lines:
+            print(f"  {line}")
+        print(
+            f"check_api: FAIL ({len(lines)} drift(s); if intentional, "
+            "rerun with --update and commit the snapshot)"
+        )
+        return 1
+    exports = sum(len(v) for v in actual.values())
+    print(f"check_api: PASS ({exports} exported names match the snapshot)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    sys.exit(main())

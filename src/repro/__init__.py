@@ -18,6 +18,11 @@ Quickstart (see :mod:`repro.api` for the full facade)::
     print(result.workload.extras["round_trip_us"])
     print(result.metrics["node0.ni.messages_sent"])
 
+    from repro import run_collective
+
+    result = run_collective("bcast", ni="cni512q", nodes=8, payload=1024)
+    print(result.workload.extras["op_latency_us"])
+
 See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure, and
 docs/observability.md for the metrics/trace/manifest surface.
@@ -33,13 +38,16 @@ from repro.node import Machine, Node
 from repro.ni import ALL_NI_NAMES, COHERENT_NI_NAMES, FIFO_NI_NAMES, make_ni, ni_class
 from repro.api import (
     RunResult,
+    Spec,
     build_machine,
     list_nis,
+    list_ops,
     list_workloads,
+    run_collective,
     run_workload,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ALL_NI_NAMES",
@@ -51,12 +59,15 @@ __all__ = [
     "Node",
     "RunResult",
     "SoftwareCosts",
+    "Spec",
     "SystemParams",
     "__version__",
     "build_machine",
     "list_nis",
+    "list_ops",
     "list_workloads",
     "make_ni",
     "ni_class",
+    "run_collective",
     "run_workload",
 ]

@@ -4,12 +4,20 @@ The rest of the package is organised the way the simulator is built
 (sim kernel, memory system, NIs, runtime, workloads, experiments).
 This module is organised the way a *user* asks questions:
 
-- what can I simulate? — :func:`list_nis`, :func:`list_workloads`;
+- what can I simulate? — :func:`list_nis`, :func:`list_workloads`,
+  :func:`list_ops`;
 - give me a machine — :func:`build_machine`;
 - run this workload on that NI and show me everything —
   :func:`run_workload`, returning a :class:`RunResult` that bundles
   the workload's measurements with the machine's full metrics
-  snapshot (``machine.obs``; see docs/observability.md).
+  snapshot (``machine.obs``; see docs/observability.md);
+- run a collective or one-sided transfer op (repro.transfer) —
+  :func:`run_collective`, same :class:`RunResult`.
+
+Anywhere a name string is accepted, a :class:`Spec` — a name plus
+constructor overrides — is too: ``Spec("cni32qm", recv_queue_blocks=8)``
+for an NI builds a registered variant; ``Spec("pingpong", rounds=50)``
+for a workload carries its kwargs.
 
 Quickstart::
 
@@ -19,6 +27,10 @@ Quickstart::
                               payload_bytes=64, rounds=100)
     print(result.workload.extras["round_trip_us"])
     print(result.metrics["node0.ni.messages_sent"])
+
+    result = api.run_collective("bcast", ni="cni512q", nodes=8,
+                                payload=1024)
+    print(result.workload.extras["op_latency_us"])
 """
 
 from __future__ import annotations
@@ -39,6 +51,54 @@ from repro.workloads.base import Workload, WorkloadResult
 #: macrobenchmark registry (the paper's two microbenchmarks).
 MICRO_NAMES: Tuple[str, ...] = ("pingpong", "stream")
 
+__all__ = [
+    "MICRO_NAMES",
+    "RunResult",
+    "Spec",
+    "build_machine",
+    "list_nis",
+    "list_ops",
+    "list_workloads",
+    "run_collective",
+    "run_workload",
+]
+
+
+class Spec:
+    """A registry name plus constructor overrides.
+
+    Accepted anywhere the facade takes a name string:
+
+    - as an NI — :func:`build_machine` / :func:`run_workload` register
+      a :func:`~repro.ni.registry.variant` with the given class-attr
+      overrides (``Spec("cni32qm", recv_queue_blocks=8)``);
+    - as a workload — :func:`run_workload` passes the kwargs to the
+      workload constructor (``Spec("stream", payload_bytes=4096)``);
+    - as a transfer op — :func:`run_collective` passes the kwargs to
+      the op constructor (``Spec("put", payload=4096,
+      protocol="rendezvous")``).
+    """
+
+    __slots__ = ("name", "kwargs")
+
+    def __init__(self, name: str, **kwargs: Any):
+        self.name = name
+        self.kwargs = kwargs
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            [repr(self.name)]
+            + [f"{k}={v!r}" for k, v in sorted(self.kwargs.items())]
+        )
+        return f"Spec({inner})"
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Spec) and self.name == other.name
+                and self.kwargs == other.kwargs)
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(sorted(self.kwargs.items()))))
+
 
 def list_nis() -> Tuple[str, ...]:
     """Registered NI names (the seven built-ins plus any variants)."""
@@ -54,9 +114,30 @@ def list_workloads() -> Tuple[str, ...]:
     return MICRO_NAMES + registry.names()
 
 
+def list_ops() -> Tuple[str, ...]:
+    """Every transfer-op name :func:`run_collective` accepts."""
+    from repro.transfer import registry
+
+    return registry.names()
+
+
+def _resolve_ni(ni) -> str:
+    """A registered NI name from a name string or a :class:`Spec`."""
+    if isinstance(ni, Spec):
+        from repro.ni import registry
+
+        if not ni.kwargs:
+            return ni.name
+        suffix = "-".join(
+            f"{key}={value}" for key, value in sorted(ni.kwargs.items())
+        )
+        return registry.variant(ni.name, suffix, **ni.kwargs)
+    return ni
+
+
 def build_machine(
     *,
-    ni: str = "cni32qm",
+    ni: Any = "cni32qm",
     num_nodes: Optional[int] = None,
     params: Optional[SystemParams] = None,
     costs: Optional[SoftwareCosts] = None,
@@ -64,18 +145,21 @@ def build_machine(
     """A ready-to-run :class:`~repro.node.Machine`.
 
     Defaults follow the paper: Table 3 system parameters, Table 3
-    software costs, 16 nodes, and the winning ``cni32qm`` NI.
+    software costs, 16 nodes, and the winning ``cni32qm`` NI.  ``ni``
+    is a registered name or a :class:`Spec` whose kwargs become a
+    registered variant's class-attr overrides.
     """
     return Machine(
         params or DEFAULT_PARAMS,
         costs or DEFAULT_COSTS,
-        ni,
+        _resolve_ni(ni),
         num_nodes=num_nodes,
     )
 
 
 def _resolve_workload(workload, **kwargs) -> Workload:
-    """A :class:`Workload` instance from a name or an instance."""
+    """A :class:`Workload` instance from a name, :class:`Spec`, or
+    instance."""
     if isinstance(workload, Workload):
         if kwargs:
             raise ValueError(
@@ -83,6 +167,14 @@ def _resolve_workload(workload, **kwargs) -> Workload:
                 f"got an instance plus {sorted(kwargs)}"
             )
         return workload
+    if isinstance(workload, Spec):
+        overlap = set(workload.kwargs) & set(kwargs)
+        if overlap:
+            raise ValueError(
+                f"workload kwargs given twice: {sorted(overlap)}"
+            )
+        merged = {**workload.kwargs, **kwargs}
+        return _resolve_workload(workload.name, **merged)
     from repro.workloads.micro import PingPong, StreamBandwidth
 
     if workload == "pingpong":
@@ -155,4 +247,50 @@ def run_workload(
         workload=result,
         metrics=machine.obs.snapshot(),
         machine=machine,
+    )
+
+
+def run_collective(
+    op: Any = "barrier",
+    *,
+    ni: Any = "cni32qm",
+    nodes: int = 8,
+    rounds: Optional[int] = None,
+    params: Optional[SystemParams] = None,
+    costs: Optional[SoftwareCosts] = None,
+    spans: bool = False,
+    **op_kwargs: Any,
+) -> RunResult:
+    """Run one transfer op for ``rounds`` rounds on ``nodes`` nodes.
+
+    ``op`` is a name from :func:`list_ops` (constructor kwargs pass
+    through, e.g. ``payload=4096, protocol="rendezvous"``), a
+    :class:`Spec`, or a ready
+    :class:`~repro.transfer.ops.TransferOp` instance.  Returns the
+    same :class:`RunResult` as :func:`run_workload`; per-op latency
+    and goodput land in ``result.workload.extras``.
+    """
+    from repro.transfer.ops import TransferOp
+    from repro.workloads.collectives import OpRun
+
+    if isinstance(op, Spec):
+        overlap = set(op.kwargs) & set(op_kwargs)
+        if overlap:
+            raise ValueError(f"op kwargs given twice: {sorted(overlap)}")
+        op_kwargs = {**op.kwargs, **op_kwargs}
+        op = op.name
+    if isinstance(op, str):
+        from repro.transfer import registry
+
+        op = registry.create(op, **op_kwargs)
+    elif op_kwargs:
+        raise ValueError(
+            "op kwargs only apply when constructing by name; "
+            f"got an instance plus {sorted(op_kwargs)}"
+        )
+    if not isinstance(op, TransferOp):
+        raise TypeError(f"not a transfer op: {op!r}")
+    return run_workload(
+        ni=ni, workload=OpRun(op, nodes=nodes, rounds=rounds),
+        num_nodes=nodes, params=params, costs=costs, spans=spans,
     )

@@ -85,6 +85,13 @@ class SystemParams:
     #: fabric of the paper with every fault hook structurally absent —
     #: results are byte-identical to builds without the subsystem.
     faults: Optional["FaultConfig"] = None
+    #: One-sided transfer protocol switchover (repro.transfer): puts and
+    #: gets with payloads of at least this many bytes use the rendezvous
+    #: protocol (RTS/CTS handshake before the data stream); smaller
+    #: transfers go eager.  The MPICH2-over-InfiniBand convention: eager
+    #: saves a round trip, rendezvous saves the target from buffering
+    #: unexpected bulk data.
+    rendezvous_threshold: int = 1024
 
     # -- derived ------------------------------------------------------
 
@@ -150,6 +157,8 @@ class SystemParams:
             )
         if self.sim_scheduler not in ("heap", "wheel"):
             raise ValueError(f"unknown sim_scheduler {self.sim_scheduler!r}")
+        if self.rendezvous_threshold < 1:
+            raise ValueError("rendezvous_threshold must be >= 1")
         if self.faults is not None:
             self.faults.validate()
             if self.network_topology is not None:
@@ -201,6 +210,21 @@ class SoftwareCosts:
     #: messages hammer the still-full receiver; the value approximates
     #: the receiver's per-message drain time.
     retry_backoff: int = 600
+    #: Per-segment software overhead of packing/unpacking a
+    #: non-contiguous payload through a staging buffer (address
+    #: arithmetic, loop control) on top of the per-word copy cost.
+    #: Host-staged NIs pay this per strided/vector segment; NIs with
+    #: gather/scatter offload walk the descriptor themselves at NI
+    #: memory speed instead (see repro.transfer.descriptors).
+    pack_segment: int = 60
+    #: Processor cost to hand a collective/RMA control message to an NI
+    #: that sources it from its queue region (one posted doorbell store
+    #: plus descriptor word), replacing ``send_setup`` when the NI
+    #: advertises ``collective_offload``.
+    offload_doorbell: int = 40
+    #: Per-8-byte-word cost of combining two reduction operands
+    #: (load + op + store).
+    combine_word: int = 3
 
     def replace(self, **changes) -> "SoftwareCosts":
         return dataclasses.replace(self, **changes)

@@ -1,0 +1,167 @@
+"""Collectives sweep: the seven NIs ranked on transfer ops (extension).
+
+The paper's benchmarks are two-sided active-message codes; this
+experiment asks how the same seven NI designs order when the traffic
+is *collectives and one-sided transfers* (repro.transfer): barrier,
+broadcast, reduction, eager and rendezvous puts/gets, and a strided
+put that stresses gather/scatter placement.
+
+Where the designs separate:
+
+- Coherent NIs (``collective_offload``) complete tree steps in their
+  queue region — a doorbell store replaces the send setup, a cached
+  observation replaces the software dispatch — so barriers and small
+  collectives run at NI speed.  Fifo NIs pay the full host path per
+  hop.
+- NIs with ``gather_scatter_offload`` walk strided payloads at
+  NI-memory speed; the rest pack segments through the processor
+  (``strided-16x64`` is the discriminating cell).
+- Rendezvous cells pay an extra control round trip before the payload
+  moves (``SystemParams.rendezvous_threshold`` picks the protocol in
+  ``auto`` mode; the grid pins it per cell so the comparison is
+  explicit).
+
+Each cell is one op swept for a fixed number of rounds on an 8-node
+machine; NIs are ranked by the geometric mean of per-op latency
+normalised to the best NI per op.  Deterministic at any ``--jobs``;
+run with ``--spans`` to partition op time into lifecycle phases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import (
+    ExperimentResult,
+    default_costs,
+    default_params,
+    label,
+)
+from repro.experiments.parallel import Job, execute, freeze_kwargs
+from repro.ni.registry import ALL_NI_NAMES
+
+#: Machine size of every cell.
+NODES = 8
+
+#: The op grid: (column key, workload name, workload kwargs).
+OP_CELLS: Tuple[Tuple[str, str, Dict[str, object]], ...] = (
+    ("barrier", "barrier_sweep", {}),
+    ("bcast-1k", "bcast_sweep", {"payload": 1024}),
+    ("reduce-512", "reduce_sweep", {"payload": 512}),
+    ("put-eager-256", "putget_sweep",
+     {"mode": "put", "payload": 256, "protocol": "eager"}),
+    ("put-rdvz-4k", "putget_sweep",
+     {"mode": "put", "payload": 4096, "protocol": "rendezvous"}),
+    ("get-eager-256", "putget_sweep",
+     {"mode": "get", "payload": 256, "protocol": "eager"}),
+    ("get-rdvz-4k", "putget_sweep",
+     {"mode": "get", "payload": 4096, "protocol": "rendezvous"}),
+    ("strided-16x64", "strided_sweep",
+     {"mode": "put", "payload": ("strided", 16, 64, 256)}),
+)
+
+ROUNDS = 12
+QUICK_ROUNDS = 4
+
+
+def plan(quick: bool = False):
+    """Jobs + keys for each (ni, op) cell."""
+    rounds = QUICK_ROUNDS if quick else ROUNDS
+    params = default_params()
+    costs = default_costs()
+    jobs: List[Job] = []
+    keys: List[Tuple[str, str]] = []
+    for ni_name in ALL_NI_NAMES:
+        for key, workload, op_kwargs in OP_CELLS:
+            kwargs = dict(op_kwargs)
+            kwargs["nodes"] = NODES
+            kwargs["rounds"] = rounds
+            jobs.append(Job(
+                label=f"collectives:{key}:{ni_name}",
+                ni=ni_name, workload=workload,
+                params=params, costs=costs,
+                kwargs=freeze_kwargs(kwargs),
+            ))
+            keys.append((ni_name, key))
+    return jobs, keys
+
+
+def run(quick: bool = False, executor=None) -> ExperimentResult:
+    jobs, keys = plan(quick)
+    cells = execute(jobs, executor)
+    matrix: Dict[Tuple[str, str], Dict[str, object]] = {}
+    for key, cell in zip(keys, cells):
+        matrix[key] = {
+            "op": cell.extras.get("op"),
+            "op_latency_us": cell.extras.get("op_latency_us"),
+            "goodput_mb_s": cell.extras.get("goodput_mb_s"),
+            "elapsed_us": cell.elapsed_us,
+            "messages_sent": cell.messages_sent,
+        }
+
+    op_keys = [key for key, _, _ in OP_CELLS]
+    #: Best (lowest) latency per op column, the normalisation base.
+    best = {
+        op: min(matrix[(ni, op)]["op_latency_us"] for ni in ALL_NI_NAMES)
+        for op in op_keys
+    }
+    ranking = []
+    for ni_name in ALL_NI_NAMES:
+        norms = [
+            matrix[(ni_name, op)]["op_latency_us"] / best[op]
+            for op in op_keys
+        ]
+        score = 1.0
+        for norm in norms:
+            score *= norm
+        score **= 1.0 / len(norms)
+        ranking.append({
+            "ni": ni_name,
+            "score": score,
+            "latencies_us": {
+                op: matrix[(ni_name, op)]["op_latency_us"] for op in op_keys
+            },
+            "goodput_mb_s": {
+                op: matrix[(ni_name, op)]["goodput_mb_s"] for op in op_keys
+                if matrix[(ni_name, op)]["goodput_mb_s"] is not None
+            },
+        })
+    ranking.sort(key=lambda entry: entry["score"])
+
+    rows = []
+    for rank, entry in enumerate(ranking, start=1):
+        rows.append(
+            [rank, label(entry["ni"]), f"{entry['score']:.2f}x"]
+            + [f"{entry['latencies_us'][op]:.1f}" for op in op_keys]
+        )
+    rounds = QUICK_ROUNDS if quick else ROUNDS
+    return ExperimentResult(
+        experiment="collectives: NI ranking on transfer ops "
+                   f"({NODES} nodes, {rounds} rounds per op, "
+                   "per-op latency in us)",
+        headers=["rank", "NI", "geo-mean"] + op_keys,
+        rows=rows,
+        notes=[
+            "geo-mean = geometric mean of per-op latency normalised "
+            "to the best NI per op (1.00x = best everywhere)",
+            "coherent NIs complete tree steps in the NI queue region "
+            "(doorbell + cached observation); fifo NIs pay the full "
+            "host send/dispatch path per hop",
+            "strided-16x64 separates NI-side gather/scatter from "
+            "host packing; rdvz cells pay an RTS/CTS round trip "
+            "before the payload moves",
+        ],
+        extras={
+            "nodes": NODES,
+            "rounds": rounds,
+            "ops": {
+                key: {"workload": workload, "kwargs": dict(kwargs)}
+                for key, workload, kwargs in OP_CELLS
+            },
+            "best_latency_us": best,
+            "matrix": {
+                f"{ni}:{op}": summary for (ni, op), summary in matrix.items()
+            },
+            "ranking": ranking,
+        },
+    )

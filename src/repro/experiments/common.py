@@ -28,6 +28,11 @@ QUICK_WORKLOAD_KWARGS: Dict[str, Dict[str, Any]] = {
     "moldyn": {"iterations": 1},
     "spsolve": {"levels": 5},
     "unstructured": {"iterations": 2},
+    "barrier_sweep": {"rounds": 5},
+    "bcast_sweep": {"rounds": 3},
+    "reduce_sweep": {"rounds": 3},
+    "putget_sweep": {"rounds": 3},
+    "strided_sweep": {"rounds": 3},
 }
 
 

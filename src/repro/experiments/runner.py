@@ -46,6 +46,7 @@ from repro.experiments import (
     ablations,
     chaos,
     cni_family,
+    collectives,
     costmodel_check,
     contention,
     figure1,
@@ -84,6 +85,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "stability": stability.run,
     "costmodel": costmodel_check.run,
     "chaos": chaos.run,
+    "collectives": collectives.run,
 }
 
 #: What "all" means (composite entries subsume the split ones).
@@ -93,8 +95,31 @@ ALL_ORDER = (
     "table1", "table2", "table3", "table4", "table5",
     "figure1", "figure3", "figure4", "ablations", "logp",
     "contention", "multiprogramming", "cni-family", "stability",
-    "costmodel",
+    "costmodel", "collectives",
 )
+
+
+def print_catalog() -> None:
+    """The unified ``--list``: experiments, NIs, workloads, ops."""
+    from repro.ni.registry import ALL_NI_NAMES, ni_class
+    from repro.transfer.registry import names as op_names
+    from repro.workloads.registry import names as workload_names
+
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print()
+    print("network interfaces:")
+    for name in ALL_NI_NAMES:
+        print(f"  {name}  ({ni_class(name).description})")
+    print()
+    print("workloads:")
+    for name in ("pingpong", "stream") + workload_names():
+        print(f"  {name}")
+    print()
+    print("transfer ops:")
+    for name in op_names():
+        print(f"  {name}")
 
 
 def expand_names(requested) -> list:
@@ -196,13 +221,14 @@ def main(argv=None) -> int:
              "(load in ui.perfetto.dev); implies span recording",
     )
     parser.add_argument(
-        "--list", action="store_true", help="list experiment names"
+        "--list", action="store_true",
+        help="list experiments, network interfaces, workloads, "
+             "and transfer ops",
     )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
-        for name in EXPERIMENTS:
-            print(name)
+        print_catalog()
         return 0
 
     names = expand_names(args.experiments)

@@ -47,10 +47,18 @@ from repro.sim import Counter, Resource, Simulator, Store, TokenPool
 #: (see tests/test_faults.py::test_bounce_storm_liveness).
 MAX_BACKOFF_BOUNCES = 6
 
-#: Message kinds covered by the reliable-delivery layer.  Control
+#: Message kinds covered by the reliable-delivery layer.  Collective
+#: and one-sided (RMA) traffic from :mod:`repro.transfer` is sequenced
+#: exactly like active messages — a lost barrier "arrive" would
+#: deadlock the machine as surely as a lost data fragment.  Control
 #: traffic (acks, returns) rides the guaranteed channel and is never
 #: sequenced.
-_RELIABLE_KINDS = (MessageKind.ACTIVE_MESSAGE, MessageKind.DATA)
+_RELIABLE_KINDS = (
+    MessageKind.ACTIVE_MESSAGE,
+    MessageKind.DATA,
+    MessageKind.COLLECTIVE,
+    MessageKind.RMA,
+)
 
 
 class FlowControlUnit:

@@ -27,6 +27,8 @@ class MessageKind(Enum):
 
     ACTIVE_MESSAGE = "am"          #: user-level active message
     DATA = "data"                  #: bulk-channel fragment
+    COLLECTIVE = "coll"            #: collective control/data (repro.transfer)
+    RMA = "rma"                    #: one-sided put/get traffic (repro.transfer)
     ACK = "ack"                    #: flow-control acknowledgment
     RETURN = "return"              #: bounced message (return-to-sender)
 

@@ -59,6 +59,19 @@ class NetworkInterface(ABC):
     description: ClassVar[str] = "?"
     #: Table 2 row for this NI.
     taxonomy: ClassVar[Optional[Taxonomy]] = None
+    #: NIC offload of collective/one-sided transfer steps (see
+    #: repro.transfer).  ``True`` means the NI can consume and source
+    #: transfer-op control traffic in its queue region: the processor
+    #: posts a doorbell (``SoftwareCosts.offload_doorbell``) instead of
+    #: running the full send setup, and observes a completed combine
+    #: with :meth:`offload_dispatch_ns` instead of the full software
+    #: dispatch.  Fifo-style NIs stay ``False``: every collective step
+    #: takes the host path through explicit processor transfers.
+    collective_offload: ClassVar[bool] = False
+    #: NI-side gather/scatter of non-contiguous (strided/vector)
+    #: payloads: the NI walks the segment descriptor at NI memory speed
+    #: instead of the processor packing through a staging buffer.
+    gather_scatter_offload: ClassVar[bool] = False
     #: Counter keys this model may emit under ``node<N>.ni.*`` — the
     #: stable metric surface (documented in docs/observability.md).
     metric_names: ClassVar[tuple] = (
@@ -126,6 +139,17 @@ class NetworkInterface(ABC):
     def wait_signal(self):
         """Event that fires when a new message becomes extractable."""
         return self.arrival_gate.wait()
+
+    def offload_dispatch_ns(self) -> int:
+        """Processor cost to observe an NI-completed transfer-op step.
+
+        Only consulted when :attr:`collective_offload` is true: the NI
+        finished the combine/deposit in its queue region and the
+        processor merely notices the flag flip.  The base model charges
+        one NI-memory access (an uncached status observation); coherent
+        NIs override with their cached-queue observation cost.
+        """
+        return self.params.ni_mem_access_ns
 
     # ------------------------------------------------------------------
     # observability

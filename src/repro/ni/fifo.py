@@ -28,6 +28,13 @@ from repro.ni.base import NetworkInterface
 class FifoNI(NetworkInterface):
     """Shared send/receive skeleton for the three fifo-based NIs."""
 
+    #: Table 2, "Processor involved? Yes" extends to transfer ops
+    #: (repro.transfer): fifo NIs have no queue-region engine, so every
+    #: collective step and every strided segment takes the host path —
+    #: full send setup, full software dispatch, processor packing.
+    collective_offload = False
+    gather_scatter_offload = False
+
     metric_names = NetworkInterface.metric_names + (
         "processor_retries",
         "messages_received",

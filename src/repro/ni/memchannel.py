@@ -47,6 +47,12 @@ class MemoryChannelNI(CoherentNI):
     recv_queue_blocks = 256
     prefetch = False
     queue_home = "memory"
+    #: Receive side is coherent, so arrived collective steps are
+    #: NI-combined (``collective_offload`` stays True), but the
+    #: AP3000-style *send* side is processor-managed through the block
+    #: buffer: no descriptor engine, so non-contiguous payloads are
+    #: host-packed.
+    gather_scatter_offload = False
 
     def _blocked_poll(self) -> Generator:
         # The AP3000-style send side monitors NI status with uncached

@@ -95,17 +95,6 @@ def variant(base_name: str, suffix: str, **class_attrs) -> str:
     return name
 
 
-def register_variant(name: str, cls: Type[NetworkInterface]) -> None:
-    """Deprecated alias of :func:`register`."""
-    import warnings
-
-    warnings.warn(
-        "register_variant() is deprecated; use repro.ni.registry.register()",
-        DeprecationWarning, stacklevel=2,
-    )
-    register(name, cls)
-
-
 # Long-standing public names, kept as plain (non-deprecated) aliases:
 # the experiment corpus and Machine construction use them heavily.
 ni_class = get

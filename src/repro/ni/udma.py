@@ -59,6 +59,12 @@ class UdmaNI(FifoNI):
     #: leave this False and use the threshold fallback.
     always_udma = False
 
+    #: UDMA moves one *contiguous* region per two-instruction
+    #: initiation; a strided payload would need one initiation per
+    #: segment, so non-contiguous transfers are host-packed first
+    #: (``gather_scatter_offload`` stays False) and collectives take
+    #: the host path like every fifo NI.
+
     def _setup(self) -> None:
         super()._setup()
         self._requester = NIRequester(f"udma{self.node.node_id}")

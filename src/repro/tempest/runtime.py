@@ -36,6 +36,10 @@ class Runtime:
         self.costs = node.costs
         self.params = node.params
         self._handlers: Dict[str, Callable] = {}
+        #: Handler names registered with ``offload=True`` (transfer-op
+        #: control steps an offload-capable NI completes in its queue
+        #: region; see repro.transfer).
+        self._offload_handlers: set = set()
         #: Extracted messages whose handlers have not yet run.
         self._deferred: Deque[Message] = deque()
         self.counters = Counter()
@@ -55,15 +59,26 @@ class Runtime:
     # handlers
     # ------------------------------------------------------------------
 
-    def register_handler(self, name: str, fn: Callable) -> None:
+    def register_handler(
+        self, name: str, fn: Callable, offload: bool = False
+    ) -> None:
         """Register ``fn`` as the handler for messages tagged ``name``.
 
         ``fn(runtime, message)`` may be a plain function or a generator
         function (for handlers that consume simulated time).
+
+        ``offload=True`` marks the handler as a transfer-op control
+        step an offload-capable NI (``ni.collective_offload``) can
+        complete in its queue region: dispatch then costs
+        ``ni.offload_dispatch_ns()`` — the processor observing the
+        finished step — instead of the full software dispatch.  On
+        host-path NIs the flag is inert.
         """
         if name in self._handlers:
             raise ValueError(f"handler {name!r} already registered")
         self._handlers[name] = fn
+        if offload:
+            self._offload_handlers.add(name)
 
     def handler_registered(self, name: str) -> bool:
         return name in self._handlers
@@ -80,12 +95,18 @@ class Runtime:
         body: Any = None,
         kind: MessageKind = MessageKind.ACTIVE_MESSAGE,
         record: bool = True,
+        offload: bool = False,
     ) -> Generator:
         """Send one active message (blocking, processor context).
 
         ``record=False`` suppresses the size-histogram entry — bulk
         channels use it for fragments and log one logical size instead
         (Table 4 reports user-level message sizes).
+
+        ``offload=True`` marks a transfer-op step: on an NI with
+        ``collective_offload`` the processor posts a doorbell
+        (``costs.offload_doorbell``) instead of running the full send
+        setup.  Host-path NIs ignore the flag and pay ``send_setup``.
         """
         if payload_bytes > self.params.max_payload_bytes:
             raise ValueError(
@@ -106,7 +127,10 @@ class Runtime:
         if tracer.enabled:
             tracer.log(self._trace_src, "send_start",
                        uid=msg.uid, handler=handler, dst=dst, size=msg.size)
-        yield self.sim.delay(self.costs.send_setup)
+        if offload and self.node.ni.collective_offload:
+            yield self.sim.delay(self.costs.offload_doorbell)
+        else:
+            yield self.sim.delay(self.costs.send_setup)
         yield from self.node.ni.send_message(msg)
         if tracer.enabled:
             tracer.log(self._trace_src, "send_done", uid=msg.uid)
@@ -202,7 +226,13 @@ class Runtime:
             # Dispatch begins: the span leaves receive-side buffering.
             spans.mark(msg, "handler")
         timer.push("receive")
-        yield self.sim.delay(self.costs.receive_dispatch)
+        ni = node.ni
+        if ni.collective_offload and msg.handler in self._offload_handlers:
+            # The NI already completed this transfer-op step in its
+            # queue region; the processor just observes the result.
+            yield self.sim.delay(ni.offload_dispatch_ns())
+        else:
+            yield self.sim.delay(self.costs.receive_dispatch)
         timer.pop()
         yield from self._dispatch(msg)
         self._counts["handled"] += 1

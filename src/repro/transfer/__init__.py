@@ -1,0 +1,63 @@
+"""Collectives and one-sided transfers as first-class scenarios.
+
+This package layers a transfer-operation vocabulary on the Tempest
+runtime and the seven NI models:
+
+- :mod:`repro.transfer.descriptors` — what a transfer moves
+  (:class:`Contiguous`, :class:`Strided`, :class:`Vector` payloads,
+  with NI-side gather/scatter cost accounting);
+- :mod:`repro.transfer.ops` — the op vocabulary (:class:`Barrier`,
+  :class:`Broadcast`, :class:`Reduce`, :class:`Put`, :class:`Get`);
+- :mod:`repro.transfer.engine` — the per-machine
+  :class:`TransferEngine` that executes ops (binomial-tree
+  collectives, eager/rendezvous one-sided protocols);
+- :mod:`repro.transfer.registry` — ``register``/``get``/``create``/
+  ``names``, the same idiom as the NI and workload registries.
+
+The quickest way in is the facade::
+
+    import repro.api as api
+    result = api.run_collective("bcast", ni="cni512q", nodes=8,
+                                payload=1024)
+"""
+
+from repro.transfer.descriptors import (
+    Contiguous,
+    Descriptor,
+    Strided,
+    Vector,
+    as_descriptor,
+)
+from repro.transfer.engine import TransferEngine, tree_children, tree_parent
+from repro.transfer.ops import (
+    PROTOCOLS,
+    Barrier,
+    Broadcast,
+    Get,
+    Put,
+    Reduce,
+    TransferOp,
+)
+from repro.transfer.registry import create, get, names, register
+
+__all__ = [
+    "Contiguous",
+    "Descriptor",
+    "Strided",
+    "Vector",
+    "as_descriptor",
+    "TransferEngine",
+    "tree_parent",
+    "tree_children",
+    "PROTOCOLS",
+    "TransferOp",
+    "Barrier",
+    "Broadcast",
+    "Reduce",
+    "Put",
+    "Get",
+    "register",
+    "get",
+    "create",
+    "names",
+]

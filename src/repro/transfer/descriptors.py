@@ -1,0 +1,160 @@
+"""Payload descriptors for one-sided and collective transfers.
+
+A descriptor says *what* a transfer op moves: a contiguous byte range,
+a strided walk (``count`` blocks of ``block_bytes`` every
+``stride_bytes`` — matrix columns, halo faces), or an arbitrary
+vector of segment lengths (gather lists).
+
+Descriptors exist so the cost model can distinguish NIs that walk a
+segment list themselves (``ni.gather_scatter_offload``) from NIs whose
+processor must pack the segments through a staging buffer first.  The
+wire always carries ``nbytes`` contiguous payload either way — the
+difference is who paid to make it contiguous, which is exactly the
+paper's data-transfer question applied to non-contiguous payloads.
+
+Descriptors are frozen and hashable so they can ride inside
+:class:`~repro.experiments.parallel.Job` kwargs; :func:`as_descriptor`
+also accepts JSON-friendly specs (an ``int`` for contiguous bytes, or
+tagged tuples like ``("strided", 16, 64, 256)``) so sweep cells stay
+picklable and cache keys stay deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Base class for transfer payload descriptors."""
+
+    kind: ClassVar[str] = "abstract"
+
+    @property
+    def nbytes(self) -> int:
+        """Total user bytes the descriptor covers."""
+        raise NotImplementedError
+
+    @property
+    def segments(self) -> int:
+        """Number of distinct contiguous segments."""
+        raise NotImplementedError
+
+    def spec(self) -> Union[int, Tuple]:
+        """JSON-friendly round-trippable form (see :func:`as_descriptor`)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Contiguous(Descriptor):
+    """One contiguous region of ``size`` bytes (no pack/unpack cost)."""
+
+    size: int
+    kind: ClassVar[str] = "contig"
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("contiguous size must be >= 0")
+
+    @property
+    def nbytes(self) -> int:
+        return self.size
+
+    @property
+    def segments(self) -> int:
+        return 1
+
+    def spec(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class Strided(Descriptor):
+    """``count`` blocks of ``block_bytes``, one every ``stride_bytes``.
+
+    The classic non-contiguous shape (column of a row-major matrix,
+    face of a 3-D halo).  ``stride_bytes`` must be at least
+    ``block_bytes`` (segments may not overlap).
+    """
+
+    count: int
+    block_bytes: int
+    stride_bytes: int
+    kind: ClassVar[str] = "strided"
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("strided count must be >= 1")
+        if self.block_bytes < 1:
+            raise ValueError("strided block_bytes must be >= 1")
+        if self.stride_bytes < self.block_bytes:
+            raise ValueError("stride_bytes must be >= block_bytes")
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.block_bytes
+
+    @property
+    def segments(self) -> int:
+        return self.count
+
+    def spec(self) -> Tuple:
+        return ("strided", self.count, self.block_bytes, self.stride_bytes)
+
+
+@dataclass(frozen=True)
+class Vector(Descriptor):
+    """An explicit list of segment lengths (irregular gather list)."""
+
+    lengths: Tuple[int, ...]
+    kind: ClassVar[str] = "vector"
+
+    def __post_init__(self) -> None:
+        lengths = tuple(self.lengths)
+        object.__setattr__(self, "lengths", lengths)
+        if not lengths:
+            raise ValueError("vector needs at least one segment")
+        if any(n < 1 for n in lengths):
+            raise ValueError("vector segment lengths must be >= 1")
+
+    @property
+    def nbytes(self) -> int:
+        return sum(self.lengths)
+
+    @property
+    def segments(self) -> int:
+        return len(self.lengths)
+
+    def spec(self) -> Tuple:
+        return ("vector",) + self.lengths
+
+
+#: Anything :func:`as_descriptor` accepts.
+DescriptorSpec = Union[Descriptor, int, tuple, list]
+
+
+def as_descriptor(spec: DescriptorSpec) -> Descriptor:
+    """Coerce ``spec`` to a :class:`Descriptor`.
+
+    - a :class:`Descriptor` passes through;
+    - an ``int`` means ``Contiguous(spec)``;
+    - a tagged tuple/list round-trips :meth:`Descriptor.spec`:
+      ``("contig", n)``, ``("strided", count, block, stride)``,
+      ``("vector", len0, len1, ...)``.
+    """
+    if isinstance(spec, Descriptor):
+        return spec
+    if isinstance(spec, bool):
+        raise TypeError(f"not a payload descriptor: {spec!r}")
+    if isinstance(spec, int):
+        return Contiguous(spec)
+    if isinstance(spec, (tuple, list)) and spec:
+        tag = spec[0]
+        if tag == "contig" and len(spec) == 2:
+            return Contiguous(spec[1])
+        if tag == "strided" and len(spec) == 4:
+            return Strided(spec[1], spec[2], spec[3])
+        if tag == "vector" and len(spec) >= 2:
+            return Vector(tuple(spec[1:]))
+    raise TypeError(f"not a payload descriptor: {spec!r}")

@@ -1,0 +1,516 @@
+"""The per-machine transfer engine.
+
+One :class:`TransferEngine` per machine executes the op vocabulary of
+:mod:`repro.transfer.ops` on top of the Tempest runtime: collectives
+walk binomial trees of small control messages, one-sided puts/gets
+run an eager or rendezvous protocol over fragmenting RMA streams, and
+non-contiguous payloads pay a gather/scatter cost on whichever side
+sources or sinks the data.
+
+Where the NI models differentiate (the paper's data-transfer question
+applied to transfer ops):
+
+- On NIs with ``collective_offload`` (the coherent family), every
+  control step is posted with a doorbell
+  (``SoftwareCosts.offload_doorbell``) instead of the full send setup,
+  and arriving steps cost ``ni.offload_dispatch_ns()`` instead of the
+  full software dispatch — the NI completes the step in its queue
+  region and the processor merely observes it.  Fifo-family NIs pay
+  the host path for every hop of every tree.
+- On NIs with ``gather_scatter_offload``, the NI walks strided/vector
+  segment lists at NI-memory speed; otherwise the processor packs
+  (or unpacks) through a staging buffer at
+  ``SoftwareCosts.pack_segment`` per segment plus per-word copy cost.
+- Puts and gets at or above ``SystemParams.rendezvous_threshold``
+  switch from the eager protocol to rendezvous (RTS/CTS handshake
+  before the payload moves), trading an extra control round trip for
+  not buffering the payload at the receiver.
+
+All engine state is per-machine and updated deterministically from
+handler/processor context, so sweeps over transfer ops stay
+byte-identical under any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Set, Tuple
+
+from repro.network.message import MessageKind, fragment_payload
+from repro.sim import Counter
+from repro.transfer.descriptors import as_descriptor
+
+#: Payload of pure control messages (4 B + 8 B header = 12 B wire).
+CTRL_PAYLOAD = 4
+#: Payload of control messages that carry a transfer header
+#: (xfer id + length).
+HEADER_PAYLOAD = 8
+
+
+def tree_parent(rel: int) -> int:
+    """Parent of ``rel`` in a binomial tree rooted at relative rank 0."""
+    return rel - (rel & -rel)
+
+
+def tree_children(rel: int, n: int) -> List[int]:
+    """Children of ``rel`` in a binomial tree over relative ranks
+    ``0..n-1`` (rel + 1, rel + 2, rel + 4, ... below rel's low bit)."""
+    limit = (rel & -rel) if rel else n
+    kids = []
+    k = 1
+    while k < limit and rel + k < n:
+        kids.append(rel + k)
+        k <<= 1
+    return kids
+
+
+class TransferEngine:
+    """Executes transfer ops on one machine (see module docstring)."""
+
+    #: Prefix of every handler name this engine registers.
+    HANDLER_PREFIX = "xfer_"
+
+    def __init__(self, machine) -> None:
+        if getattr(machine, "transfer", None) is not None:
+            raise ValueError(
+                "machine already has a TransferEngine; "
+                "use TransferEngine.for_machine()"
+            )
+        self.machine = machine
+        self.n = len(machine)
+        self.params = machine.params
+        self.costs = machine.costs
+        self.counters = Counter()
+
+        # barrier state
+        self._bar_generation = [0] * self.n
+        self._bar_released = [0] * self.n
+        self._bar_arrivals: Dict[Tuple[int, int], int] = {}
+        # broadcast state
+        self._bcast_generation = [0] * self.n
+        self._bcast_done = [0] * self.n
+        self._bcast_got: Dict[Tuple[int, int], int] = {}
+        # reduce state
+        self._red_generation = [0] * self.n
+        self._red_parts: Dict[Tuple[int, int], list] = {}
+        self._red_got: Dict[Tuple[int, int, int], int] = {}
+        #: generation -> combined value at the root (checkable results).
+        self.reduce_results: Dict[int, object] = {}
+        # one-sided state (xfer ids are unique machine-wide)
+        self._next_xfer = 0
+        self._put_got: Dict[int, int] = {}
+        self._put_meta: Dict[int, Tuple[int, int]] = {}
+        self._cts: Set[int] = set()
+        self._acked: Set[int] = set()
+        self._get_got: Dict[int, int] = {}
+        self._get_done: Set[int] = set()
+        self._get_pending: Dict[int, Tuple[int, int, int]] = {}
+
+        for node in machine:
+            rt = node.runtime
+            reg = rt.register_handler
+            # Collective control steps and RMA protocol steps are all
+            # offload-eligible: coherent NIs complete them in the
+            # queue region (see repro.tempest.runtime).
+            reg("xfer_bar_arrive", self._on_bar_arrive, offload=True)
+            reg("xfer_bar_go", self._on_bar_go, offload=True)
+            reg("xfer_bcast", self._on_bcast, offload=True)
+            reg("xfer_red", self._on_red, offload=True)
+            reg("xfer_rts", self._on_rts, offload=True)
+            reg("xfer_cts", self._on_cts, offload=True)
+            reg("xfer_put", self._on_put, offload=True)
+            reg("xfer_put_ack", self._on_put_ack, offload=True)
+            reg("xfer_get_req", self._on_get_req, offload=True)
+            reg("xfer_get_cts", self._on_get_cts, offload=True)
+            reg("xfer_get_go", self._on_get_go, offload=True)
+            reg("xfer_get_data", self._on_get_data, offload=True)
+        machine.transfer = self
+        machine.obs.mount("transfer", self.counters)
+
+    @classmethod
+    def for_machine(cls, machine) -> "TransferEngine":
+        """The machine's engine, creating it on first use."""
+        engine = getattr(machine, "transfer", None)
+        if engine is None:
+            engine = cls(machine)
+        return engine
+
+    # ------------------------------------------------------------------
+    # op execution entry point
+    # ------------------------------------------------------------------
+
+    def execute(self, op, node) -> Generator:
+        """Run ``node``'s share of ``op`` (processor context)."""
+        yield from op.execute(self, node)
+
+    # ------------------------------------------------------------------
+    # gather/scatter cost model
+    # ------------------------------------------------------------------
+
+    def _pack_ns(self, node, segments: int, total: int) -> int:
+        """Cost of making ``total`` bytes in ``segments`` pieces
+        contiguous (or scattering them back out)."""
+        if segments <= 1:
+            return 0
+        if node.ni.gather_scatter_offload:
+            # The NI walks the segment descriptor at NI-memory speed.
+            self.counters.add("ni_gathers")
+            return segments * self.params.ni_mem_access_ns
+        # The processor packs through a staging buffer: per-segment
+        # bookkeeping plus the copy itself.
+        self.counters.add("host_packs")
+        words = max(1, -(-total // 8))
+        return segments * self.costs.pack_segment + words * self.costs.copy_word
+
+    def _pack(self, node, segments: int, total: int) -> Generator:
+        ns = self._pack_ns(node, segments, total)
+        if ns:
+            yield node.sim.delay(ns)
+
+    # ------------------------------------------------------------------
+    # fragment streaming (shared by bcast/reduce/put/get data paths)
+    # ------------------------------------------------------------------
+
+    def _stream(self, runtime, dst: int, handler: str, total: int,
+                kind: MessageKind, body_head: tuple) -> Generator:
+        """Send ``total`` payload bytes to ``dst`` as a fragment stream.
+
+        Records one logical message size (Table 4 reports user-level
+        sizes); each fragment's body is ``body_head + (frag_bytes,)``.
+        """
+        runtime.sent_sizes.add(total + self.params.header_bytes)
+        fragments = fragment_payload(
+            total,
+            max_message_bytes=self.params.network_message_bytes,
+            header_bytes=self.params.header_bytes,
+        )
+        for frag in fragments:
+            yield from runtime.send(
+                dst, handler, frag, body=body_head + (frag,),
+                kind=kind, record=False, offload=True,
+            )
+
+    # ------------------------------------------------------------------
+    # barrier (binomial tree rooted at node 0)
+    # ------------------------------------------------------------------
+
+    def barrier(self, node) -> Generator:
+        """Block until every node has entered this barrier generation."""
+        rank = node.node_id
+        gen = self._bar_generation[rank] + 1
+        self._bar_generation[rank] = gen
+        if rank == 0:
+            self.counters.add("barriers")
+        if self.n == 1:
+            self._bar_released[rank] = gen
+            return
+        runtime = node.runtime
+        kids = tree_children(rank, self.n)
+        if kids:
+            key = (rank, gen)
+            yield from runtime.wait_for(
+                lambda: self._bar_arrivals.get(key, 0) >= len(kids)
+            )
+            del self._bar_arrivals[key]
+        if rank == 0:
+            self._bar_released[0] = gen
+            yield from self._send_go(runtime, gen)
+        else:
+            yield from runtime.send(
+                tree_parent(rank), "xfer_bar_arrive", CTRL_PAYLOAD,
+                body=gen, kind=MessageKind.COLLECTIVE, offload=True,
+            )
+            yield from runtime.wait_for(
+                lambda: self._bar_released[rank] >= gen
+            )
+
+    def _send_go(self, runtime, gen: int) -> Generator:
+        for kid in tree_children(runtime.node.node_id, self.n):
+            yield from runtime.send(
+                kid, "xfer_bar_go", CTRL_PAYLOAD,
+                body=gen, kind=MessageKind.COLLECTIVE, offload=True,
+            )
+
+    def _on_bar_arrive(self, runtime, msg) -> None:
+        key = (runtime.node.node_id, msg.body)
+        self._bar_arrivals[key] = self._bar_arrivals.get(key, 0) + 1
+
+    def _on_bar_go(self, runtime, msg) -> Generator:
+        gen = msg.body
+        rank = runtime.node.node_id
+        if gen > self._bar_released[rank]:
+            self._bar_released[rank] = gen
+        yield from self._send_go(runtime, gen)
+
+    # ------------------------------------------------------------------
+    # broadcast (binomial tree rooted at `root`)
+    # ------------------------------------------------------------------
+
+    def broadcast(self, node, root: int, payload) -> Generator:
+        """Deliver ``payload`` from ``root`` to every node."""
+        desc = as_descriptor(payload)
+        total = desc.nbytes
+        rank = node.node_id
+        gen = self._bcast_generation[rank] + 1
+        self._bcast_generation[rank] = gen
+        if rank == root:
+            self.counters.add("broadcasts")
+        if self.n == 1:
+            return
+        runtime = node.runtime
+        if rank == root:
+            # Gather once at the root; interior forwards re-send the
+            # already-contiguous buffer.
+            yield from self._pack(node, desc.segments, total)
+            yield from self._bcast_forward(runtime, gen, root, total)
+        else:
+            yield from runtime.wait_for(
+                lambda: self._bcast_done[rank] >= gen
+            )
+
+    def _bcast_forward(self, runtime, gen: int, root: int,
+                       total: int) -> Generator:
+        rank = runtime.node.node_id
+        rel = (rank - root) % self.n
+        for kid_rel in tree_children(rel, self.n):
+            kid = (kid_rel + root) % self.n
+            yield from self._stream(
+                runtime, kid, "xfer_bcast", total,
+                MessageKind.COLLECTIVE, (gen, root, total),
+            )
+
+    def _on_bcast(self, runtime, msg) -> Generator:
+        gen, root, total, frag = msg.body
+        rank = runtime.node.node_id
+        key = (rank, gen)
+        got = self._bcast_got.get(key, 0) + frag
+        if got < total:
+            self._bcast_got[key] = got
+            return
+        self._bcast_got.pop(key, None)
+        if gen > self._bcast_done[rank]:
+            self._bcast_done[rank] = gen
+        # Store-and-forward down the tree.
+        yield from self._bcast_forward(runtime, gen, root, total)
+
+    # ------------------------------------------------------------------
+    # reduce (binomial tree rooted at `root`, data flows leaves -> root)
+    # ------------------------------------------------------------------
+
+    def reduce(self, node, root: int, payload, value=0) -> Generator:
+        """Combine every node's ``value`` at ``root`` (sum semantics:
+        numbers add, equal-length tuples add elementwise).
+
+        Returns the combined value at the root, ``None`` elsewhere.
+        The root's results are also kept in :attr:`reduce_results`,
+        keyed by generation, for end-to-end verification.
+        """
+        desc = as_descriptor(payload)
+        total = desc.nbytes
+        rank = node.node_id
+        gen = self._red_generation[rank] + 1
+        self._red_generation[rank] = gen
+        runtime = node.runtime
+        rel = (rank - root) % self.n
+        kids = tree_children(rel, self.n)
+        if kids:
+            key = (rank, gen)
+            yield from runtime.wait_for(
+                lambda: len(self._red_parts.get(key, ())) >= len(kids)
+            )
+            parts = self._red_parts.pop(key)
+            # The combine itself is arithmetic the processor always
+            # performs, per contribution and per 8-byte word.
+            words = max(1, -(-total // 8))
+            yield node.sim.delay(
+                len(parts) * self.costs.combine_word * words
+            )
+            for part in parts:
+                value = _combine(value, part)
+        if rel == 0:
+            self.counters.add("reduces")
+            self.reduce_results[gen] = value
+            return value
+        # Contributions from a strided/vector source are gathered
+        # before they can be sent up.
+        yield from self._pack(node, desc.segments, total)
+        parent = (tree_parent(rel) + root) % self.n
+        yield from self._stream(
+            runtime, parent, "xfer_red", total,
+            MessageKind.COLLECTIVE, (gen, rank, total, value),
+        )
+        return None
+
+    def _on_red(self, runtime, msg) -> None:
+        gen, src, total, value, frag = msg.body
+        rank = runtime.node.node_id
+        key = (rank, gen, src)
+        got = self._red_got.get(key, 0) + frag
+        if got < total:
+            self._red_got[key] = got
+            return
+        self._red_got.pop(key, None)
+        self._red_parts.setdefault((rank, gen), []).append(value)
+
+    # ------------------------------------------------------------------
+    # one-sided put (eager / rendezvous)
+    # ------------------------------------------------------------------
+
+    def put(self, node, target: int, payload,
+            protocol: str = "auto") -> Generator:
+        """Deposit ``payload`` at ``target`` (origin processor context).
+
+        Blocks until the target acknowledges full receipt (remote
+        completion), so back-to-back puts measure the full protocol.
+        """
+        desc = as_descriptor(payload)
+        total = desc.nbytes
+        runtime = node.runtime
+        xfer = self._next_xfer
+        self._next_xfer += 1
+        rendezvous = self._use_rendezvous(protocol, total)
+        # Gather the source into a contiguous wire buffer.
+        yield from self._pack(node, desc.segments, total)
+        if rendezvous:
+            self.counters.add("rendezvous_puts")
+            yield from runtime.send(
+                target, "xfer_rts", HEADER_PAYLOAD,
+                body=(xfer, total), kind=MessageKind.RMA, offload=True,
+            )
+            yield from runtime.wait_for(lambda: xfer in self._cts)
+            self._cts.discard(xfer)
+        else:
+            self.counters.add("eager_puts")
+        self._put_meta[xfer] = (total, desc.segments)
+        yield from self._stream(
+            runtime, target, "xfer_put", total,
+            MessageKind.RMA, (xfer, total, desc.segments),
+        )
+        yield from runtime.wait_for(lambda: xfer in self._acked)
+        self._acked.discard(xfer)
+        self._put_meta.pop(xfer, None)
+        self.counters.add("puts")
+        self.counters.add("put_bytes", total)
+
+    def _use_rendezvous(self, protocol: str, total: int) -> bool:
+        if protocol == "rendezvous":
+            return True
+        if protocol == "eager":
+            return False
+        return total >= self.params.rendezvous_threshold
+
+    def _on_rts(self, runtime, msg) -> Generator:
+        # The target posts the landing buffer and clears the sender.
+        xfer, _total = msg.body
+        yield from runtime.send(
+            msg.src, "xfer_cts", CTRL_PAYLOAD,
+            body=xfer, kind=MessageKind.RMA, offload=True,
+        )
+
+    def _on_cts(self, runtime, msg) -> None:
+        self._cts.add(msg.body)
+
+    def _on_put(self, runtime, msg) -> Generator:
+        xfer, total, segments, frag = msg.body
+        got = self._put_got.get(xfer, 0) + frag
+        if got < total:
+            self._put_got[xfer] = got
+            return
+        self._put_got.pop(xfer, None)
+        # Scatter into a non-contiguous destination, then signal
+        # remote completion.
+        yield from self._pack(runtime.node, segments, total)
+        yield from runtime.send(
+            msg.src, "xfer_put_ack", CTRL_PAYLOAD,
+            body=xfer, kind=MessageKind.RMA, offload=True,
+        )
+
+    def _on_put_ack(self, runtime, msg) -> None:
+        self._acked.add(msg.body)
+
+    # ------------------------------------------------------------------
+    # one-sided get (eager / rendezvous)
+    # ------------------------------------------------------------------
+
+    def get(self, node, target: int, payload,
+            protocol: str = "auto") -> Generator:
+        """Fetch ``payload`` from ``target`` (origin processor context).
+
+        Eager: the request triggers an immediate data stream back.
+        Rendezvous: the target first confirms (CTS), the origin posts
+        its landing buffer and releases the stream (go) — one extra
+        control round trip, no receiver-side staging.
+        """
+        desc = as_descriptor(payload)
+        total = desc.nbytes
+        runtime = node.runtime
+        xfer = self._next_xfer
+        self._next_xfer += 1
+        rendezvous = self._use_rendezvous(protocol, total)
+        self.counters.add(
+            "rendezvous_gets" if rendezvous else "eager_gets"
+        )
+        yield from runtime.send(
+            target, "xfer_get_req", HEADER_PAYLOAD,
+            body=(xfer, node.node_id, total, desc.segments,
+                  1 if rendezvous else 0),
+            kind=MessageKind.RMA, offload=True,
+        )
+        yield from runtime.wait_for(lambda: xfer in self._get_done)
+        self._get_done.discard(xfer)
+        # Scatter into a non-contiguous local destination.
+        yield from self._pack(node, desc.segments, total)
+        self.counters.add("gets")
+        self.counters.add("get_bytes", total)
+
+    def _on_get_req(self, runtime, msg) -> Generator:
+        xfer, origin, total, segments, rendezvous = msg.body
+        # The target gathers the requested bytes (it sources the data).
+        yield from self._pack(runtime.node, segments, total)
+        if rendezvous:
+            self._get_pending[xfer] = (origin, total, segments)
+            yield from runtime.send(
+                origin, "xfer_get_cts", CTRL_PAYLOAD,
+                body=xfer, kind=MessageKind.RMA, offload=True,
+            )
+        else:
+            yield from self._stream(
+                runtime, origin, "xfer_get_data", total,
+                MessageKind.RMA, (xfer, total),
+            )
+
+    def _on_get_cts(self, runtime, msg) -> Generator:
+        # Origin side: landing buffer is posted; release the stream.
+        yield from runtime.send(
+            msg.src, "xfer_get_go", CTRL_PAYLOAD,
+            body=msg.body, kind=MessageKind.RMA, offload=True,
+        )
+
+    def _on_get_go(self, runtime, msg) -> Generator:
+        xfer = msg.body
+        origin, total, _segments = self._get_pending.pop(xfer)
+        yield from self._stream(
+            runtime, origin, "xfer_get_data", total,
+            MessageKind.RMA, (xfer, total),
+        )
+
+    def _on_get_data(self, runtime, msg) -> None:
+        xfer, total, frag = msg.body
+        got = self._get_got.get(xfer, 0) + frag
+        if got >= total:
+            self._get_got.pop(xfer, None)
+            self._get_done.add(xfer)
+        else:
+            self._get_got[xfer] = got
+
+
+def _combine(a, b):
+    """Sum semantics for reduce contributions."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        if len(a) != len(b):
+            raise ValueError("cannot combine tuples of different lengths")
+        return tuple(x + y for x, y in zip(a, b))
+    return a + b

@@ -1,0 +1,181 @@
+"""The transfer-op vocabulary: collectives and one-sided transfers.
+
+An op is a frozen, declarative description of one communication
+pattern — *what* moves, between *whom*, under which protocol — that a
+:class:`~repro.transfer.engine.TransferEngine` knows how to execute on
+a machine.  Ops are hashable and round-trippable through JSON-friendly
+specs (payloads coerce via
+:func:`~repro.transfer.descriptors.as_descriptor`), so they ride
+inside sweep jobs and cache keys unchanged.
+
+Every op exposes the same three hooks the generic harness drives:
+
+- :meth:`TransferOp.execute` — the per-node processor-context
+  generator (every node calls it; ops with a single active side no-op
+  on bystanders, who then service the network at the enclosing
+  barrier);
+- :meth:`TransferOp.moved_bytes` — logical user bytes delivered per
+  op execution, for goodput;
+- :meth:`TransferOp.describe` — a short human label for tables.
+
+Register new ops with :func:`repro.transfer.registry.register`; the
+five canonical ones below are pre-registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Generator
+
+from repro.transfer.descriptors import DescriptorSpec, as_descriptor
+
+#: Protocol choices for one-sided ops.
+PROTOCOLS = ("auto", "eager", "rendezvous")
+
+
+@dataclass(frozen=True)
+class TransferOp:
+    """Base class for transfer operations."""
+
+    op_name: ClassVar[str] = "abstract"
+
+    def execute(self, engine, node) -> Generator:
+        """Run this node's share of the op (timed generator)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def moved_bytes(self, num_nodes: int) -> int:
+        """Logical user bytes delivered per execution (goodput basis)."""
+        return 0
+
+    def describe(self) -> str:
+        return self.op_name
+
+
+def _coerce_payload(op, attr: str = "payload") -> None:
+    object.__setattr__(op, attr, as_descriptor(getattr(op, attr)))
+
+
+def _check_protocol(protocol: str) -> None:
+    if protocol not in PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; choose from {PROTOCOLS}"
+        )
+
+
+@dataclass(frozen=True)
+class Barrier(TransferOp):
+    """Global synchronisation: no payload, pure control traffic."""
+
+    op_name: ClassVar[str] = "barrier"
+
+    def execute(self, engine, node) -> Generator:
+        yield from engine.barrier(node)
+
+
+@dataclass(frozen=True)
+class Broadcast(TransferOp):
+    """Root sends ``payload`` to every other node (binomial tree)."""
+
+    payload: DescriptorSpec = 256
+    root: int = 0
+    op_name: ClassVar[str] = "bcast"
+
+    def __post_init__(self) -> None:
+        _coerce_payload(self)
+        if self.root < 0:
+            raise ValueError("broadcast root must be >= 0")
+
+    def execute(self, engine, node) -> Generator:
+        yield from engine.broadcast(node, self.root, self.payload)
+
+    def moved_bytes(self, num_nodes: int) -> int:
+        return (num_nodes - 1) * self.payload.nbytes
+
+    def describe(self) -> str:
+        return f"bcast({self.payload.nbytes}B)"
+
+
+@dataclass(frozen=True)
+class Reduce(TransferOp):
+    """Every node contributes ``payload``; root combines (binomial tree)."""
+
+    payload: DescriptorSpec = 256
+    root: int = 0
+    op_name: ClassVar[str] = "reduce"
+
+    def __post_init__(self) -> None:
+        _coerce_payload(self)
+        if self.root < 0:
+            raise ValueError("reduce root must be >= 0")
+
+    def execute(self, engine, node) -> Generator:
+        # Contribute this node's rank so the combined result is
+        # end-to-end checkable (sum of 0..n-1).
+        yield from engine.reduce(
+            node, self.root, self.payload, value=node.node_id
+        )
+
+    def moved_bytes(self, num_nodes: int) -> int:
+        return (num_nodes - 1) * self.payload.nbytes
+
+    def describe(self) -> str:
+        return f"reduce({self.payload.nbytes}B)"
+
+
+@dataclass(frozen=True)
+class Put(TransferOp):
+    """One-sided write: ``origin`` deposits ``payload`` at ``target``."""
+
+    payload: DescriptorSpec = 256
+    origin: int = 0
+    target: int = 1
+    protocol: str = "auto"
+    op_name: ClassVar[str] = "put"
+
+    def __post_init__(self) -> None:
+        _coerce_payload(self)
+        _check_protocol(self.protocol)
+        if self.origin == self.target:
+            raise ValueError("put endpoints must differ")
+
+    def execute(self, engine, node) -> Generator:
+        if node.node_id == self.origin:
+            yield from engine.put(
+                node, self.target, self.payload, protocol=self.protocol
+            )
+
+    def moved_bytes(self, num_nodes: int) -> int:
+        return self.payload.nbytes
+
+    def describe(self) -> str:
+        return f"put({self.payload.nbytes}B,{self.protocol})"
+
+
+@dataclass(frozen=True)
+class Get(TransferOp):
+    """One-sided read: ``origin`` fetches ``payload`` from ``target``."""
+
+    payload: DescriptorSpec = 256
+    origin: int = 0
+    target: int = 1
+    protocol: str = "auto"
+    op_name: ClassVar[str] = "get"
+
+    def __post_init__(self) -> None:
+        _coerce_payload(self)
+        _check_protocol(self.protocol)
+        if self.origin == self.target:
+            raise ValueError("get endpoints must differ")
+
+    def execute(self, engine, node) -> Generator:
+        if node.node_id == self.origin:
+            yield from engine.get(
+                node, self.target, self.payload, protocol=self.protocol
+            )
+
+    def moved_bytes(self, num_nodes: int) -> int:
+        return self.payload.nbytes
+
+    def describe(self) -> str:
+        return f"get({self.payload.nbytes}B,{self.protocol})"

@@ -1,0 +1,44 @@
+"""Registry of transfer operations.
+
+The surface mirrors :mod:`repro.ni.registry` and
+:mod:`repro.workloads.registry` — ``register``/``get``/``create``/
+``names`` — so callers learn one idiom for all three vocabularies.
+The five canonical ops (barrier, bcast, reduce, put, get) are
+pre-registered; experiments and user code may register more.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.transfer.ops import Barrier, Broadcast, Get, Put, Reduce, TransferOp
+
+_REGISTRY: Dict[str, Type[TransferOp]] = {
+    cls.op_name: cls for cls in (Barrier, Broadcast, Reduce, Put, Get)
+}
+
+
+def register(name: str, cls: Type[TransferOp]) -> None:
+    """Register a transfer-op class under ``name`` (overwrites)."""
+    _REGISTRY[name] = cls
+
+
+def get(name: str) -> Type[TransferOp]:
+    """The transfer-op class registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown transfer op {name!r}; known: {known}"
+        ) from None
+
+
+def create(name: str, **kwargs) -> TransferOp:
+    """Construct a transfer op by name with optional overrides."""
+    return get(name)(**kwargs)
+
+
+def names() -> Tuple[str, ...]:
+    """Every registered transfer-op name, sorted."""
+    return tuple(sorted(_REGISTRY))

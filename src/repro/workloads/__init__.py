@@ -23,18 +23,35 @@ moldyn      bulk ring reduction              12 B, 140 B, 3084 B
 spsolve     DAG active messages              20 B (91%)
 unstructured single-producer multi-consumer  batched bulk (~351 B avg)
 ========== ================================ ==========================
+
+Transfer-op sweeps (:mod:`repro.workloads.collectives`) —
+``barrier_sweep``, ``bcast_sweep``, ``reduce_sweep``, ``putget_sweep``,
+``strided_sweep`` — run one :mod:`repro.transfer` op per round and
+report per-op latency and goodput.
 """
 
 from repro.workloads.base import Workload, WorkloadResult, run_macrobenchmark
+from repro.workloads.collectives import (
+    BarrierSweep,
+    BcastSweep,
+    PutGetSweep,
+    ReduceSweep,
+    StridedSweep,
+)
 from repro.workloads.micro import PingPong, StreamBandwidth
-from repro.workloads.registry import MACRO_NAMES, make_workload
+from repro.workloads.registry import COLLECTIVE_NAMES, MACRO_NAMES
 
 __all__ = [
+    "COLLECTIVE_NAMES",
     "MACRO_NAMES",
+    "BarrierSweep",
+    "BcastSweep",
     "PingPong",
+    "PutGetSweep",
+    "ReduceSweep",
     "StreamBandwidth",
+    "StridedSweep",
     "Workload",
     "WorkloadResult",
-    "make_workload",
     "run_macrobenchmark",
 ]

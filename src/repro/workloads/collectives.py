@@ -1,0 +1,190 @@
+"""Transfer-op sweep workloads (collectives and one-sided transfers).
+
+Each sweep runs one :mod:`repro.transfer` op for a fixed number of
+rounds on an N-node machine and reports per-op latency (and, for
+payload-carrying ops, goodput).  Rounds are interlocked with a global
+barrier where the op itself does not synchronise, so every round
+exercises the same quiescent starting state and the measured time
+divides cleanly.
+
+These are registry workloads (``barrier_sweep``, ``bcast_sweep``,
+``reduce_sweep``, ``putget_sweep``, ``strided_sweep``): they ride the
+same :class:`~repro.experiments.parallel.Job` machinery as the
+macrobenchmarks, and all constructor kwargs are JSON-friendly (payload
+descriptors as ints or tagged tuples) so sweep cells stay picklable
+and cache keys deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.node import Machine
+from repro.transfer.descriptors import DescriptorSpec
+from repro.transfer.engine import TransferEngine
+from repro.transfer.registry import create as create_op
+from repro.workloads.base import Workload, WorkloadResult
+
+
+class _OpSweep(Workload):
+    """Shared harness: N rounds of one transfer op, timed at node 0."""
+
+    #: Transfer-op registry name (subclasses set it; ``putget_sweep``
+    #: derives it from its ``mode`` kwarg).
+    op_name: str = ""
+    #: Whether rounds need an interlocking barrier (ops that do not
+    #: globally synchronise by themselves).
+    interlock: bool = True
+    default_rounds: int = 10
+
+    def __init__(self, nodes: int = 8, rounds: Optional[int] = None,
+                 **op_kwargs):
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        self.num_nodes = nodes
+        self.rounds = self.default_rounds if rounds is None else int(rounds)
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.op_kwargs = dict(op_kwargs)
+
+    def make_op(self):
+        return create_op(self.op_name, **self.op_kwargs)
+
+    def prepare(self, machine: Machine) -> None:
+        self.engine = TransferEngine.for_machine(machine)
+        self.op = self.make_op()
+        self._t_start = 0
+        self._t_end = 0
+
+    def node_main(self, machine: Machine, node) -> Generator:
+        engine = self.engine
+        yield from engine.barrier(node)
+        if node.node_id == 0:
+            self._t_start = machine.sim.now
+        for _ in range(self.rounds):
+            yield from engine.execute(self.op, node)
+            if self.interlock:
+                yield from engine.barrier(node)
+        if not self.interlock:
+            # One closing barrier so the measurement covers the last
+            # round's completion on every node.
+            yield from engine.barrier(node)
+        if node.node_id == 0:
+            self._t_end = machine.sim.now
+        yield from node.runtime.drain()
+
+    def _collect(self, machine: Machine) -> WorkloadResult:
+        result = super()._collect(machine)
+        elapsed = self._t_end - self._t_start
+        moved = self.op.moved_bytes(len(machine)) * self.rounds
+        result.extras.update({
+            "op": self.op.describe(),
+            "rounds": self.rounds,
+            "op_latency_us": elapsed / self.rounds / 1000.0,
+        })
+        if moved:
+            result.extras["moved_bytes"] = moved
+            # bytes/ns * 1e9 ns/s / 1e6 B/MB = bytes/ns * 1000.
+            result.extras["goodput_mb_s"] = moved * 1000.0 / elapsed
+        return result
+
+
+class OpRun(_OpSweep):
+    """Sweep one pre-built :class:`~repro.transfer.ops.TransferOp`
+    instance (the :func:`repro.api.run_collective` harness).
+
+    Not in the workload registry: it carries an op *instance*, where
+    registry workloads carry JSON-friendly kwargs.  Ops that block
+    until global completion (barrier) or remote completion (put/get)
+    need no interlocking barrier; tree collectives get one.
+    """
+
+    name = "op_run"
+
+    def __init__(self, op, nodes: int = 8, rounds: Optional[int] = None):
+        self._op_instance = op
+        self.interlock = op.op_name in ("bcast", "reduce")
+        super().__init__(nodes=nodes, rounds=rounds)
+
+    def make_op(self):
+        return self._op_instance
+
+
+class BarrierSweep(_OpSweep):
+    """Back-to-back global barriers (pure control traffic)."""
+
+    name = "barrier_sweep"
+    op_name = "barrier"
+    #: A barrier is its own interlock.
+    interlock = False
+    default_rounds = 20
+
+
+class BcastSweep(_OpSweep):
+    """Binomial-tree broadcast of ``payload`` bytes from node 0."""
+
+    name = "bcast_sweep"
+    op_name = "bcast"
+
+    def __init__(self, nodes: int = 8, rounds: Optional[int] = None,
+                 payload: DescriptorSpec = 1024, root: int = 0):
+        super().__init__(nodes, rounds, payload=payload, root=root)
+
+
+class ReduceSweep(_OpSweep):
+    """Binomial-tree reduction of ``payload`` bytes to node 0."""
+
+    name = "reduce_sweep"
+    op_name = "reduce"
+
+    def __init__(self, nodes: int = 8, rounds: Optional[int] = None,
+                 payload: DescriptorSpec = 512, root: int = 0):
+        super().__init__(nodes, rounds, payload=payload, root=root)
+
+
+class PutGetSweep(_OpSweep):
+    """Back-to-back one-sided puts (or gets) between two nodes.
+
+    Bystander nodes proceed straight to the closing barrier and
+    service the network there, so the measurement is the origin's
+    protocol latency, not barrier overhead.
+    """
+
+    name = "putget_sweep"
+    #: Origin issues puts/gets back-to-back; no per-round barrier.
+    interlock = False
+
+    def __init__(self, nodes: int = 8, rounds: Optional[int] = None,
+                 mode: str = "put", payload: DescriptorSpec = 256,
+                 protocol: str = "auto", origin: int = 0, target: int = 1):
+        if mode not in ("put", "get"):
+            raise ValueError(f"mode must be 'put' or 'get', not {mode!r}")
+        if nodes < 2:
+            raise ValueError("putget_sweep needs at least 2 nodes")
+        self.mode = mode
+        self.op_name = mode
+        super().__init__(
+            nodes, rounds,
+            payload=payload, protocol=protocol, origin=origin, target=target,
+        )
+
+
+class StridedSweep(PutGetSweep):
+    """One-sided transfers of a strided payload.
+
+    The default payload (16 blocks of 64 B every 256 B) separates NIs
+    that walk segment descriptors themselves
+    (``ni.gather_scatter_offload``) from NIs whose processor packs the
+    segments through a staging buffer first.
+    """
+
+    name = "strided_sweep"
+
+    def __init__(self, nodes: int = 8, rounds: Optional[int] = None,
+                 mode: str = "put",
+                 payload: DescriptorSpec = ("strided", 16, 64, 256),
+                 protocol: str = "auto", origin: int = 0, target: int = 1):
+        super().__init__(
+            nodes, rounds, mode=mode, payload=payload,
+            protocol=protocol, origin=origin, target=target,
+        )

@@ -1,19 +1,26 @@
-"""Registry of the seven macrobenchmarks (Table 4 order).
+"""Registry of the macrobenchmarks and transfer-op sweeps.
 
-The surface mirrors :mod:`repro.ni.registry` — ``register``/``get``/
-``create``/``names`` — so callers learn one idiom for both.  The
-original function names (``workload_class``, ``make_workload``) remain
-as deprecated aliases.
+The surface mirrors :mod:`repro.ni.registry` and
+:mod:`repro.transfer.registry` — ``register``/``get``/``create``/
+``names`` — so callers learn one idiom for all three vocabularies.
+(The pre-1.4 aliases ``workload_class`` and ``make_workload`` have
+been removed; use :func:`get` and :func:`create`.)
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Tuple, Type
 
 from repro.workloads.appbt import Appbt
 from repro.workloads.barnes import Barnes
 from repro.workloads.base import Workload
+from repro.workloads.collectives import (
+    BarrierSweep,
+    BcastSweep,
+    PutGetSweep,
+    ReduceSweep,
+    StridedSweep,
+)
 from repro.workloads.dsmc import Dsmc
 from repro.workloads.em3d import Em3d
 from repro.workloads.moldyn import Moldyn
@@ -22,12 +29,21 @@ from repro.workloads.unstructured import Unstructured
 
 _REGISTRY: Dict[str, Type[Workload]] = {
     cls.name: cls
-    for cls in (Appbt, Barnes, Dsmc, Em3d, Moldyn, Spsolve, Unstructured)
+    for cls in (
+        Appbt, Barnes, Dsmc, Em3d, Moldyn, Spsolve, Unstructured,
+        BarrierSweep, BcastSweep, ReduceSweep, PutGetSweep, StridedSweep,
+    )
 }
 
 #: The seven macrobenchmarks, in the paper's (alphabetical) order.
 MACRO_NAMES: Tuple[str, ...] = (
     "appbt", "barnes", "dsmc", "em3d", "moldyn", "spsolve", "unstructured",
+)
+
+#: The transfer-op sweeps (repro.transfer scenarios).
+COLLECTIVE_NAMES: Tuple[str, ...] = (
+    "barrier_sweep", "bcast_sweep", "reduce_sweep", "putget_sweep",
+    "strided_sweep",
 )
 
 
@@ -58,24 +74,3 @@ def create(name: str, **kwargs) -> Workload:
 def names() -> Tuple[str, ...]:
     """Every registered workload name, sorted."""
     return tuple(sorted(_REGISTRY))
-
-
-# -- deprecated aliases ---------------------------------------------------
-
-
-def workload_class(name: str) -> Type[Workload]:
-    """Deprecated alias of :func:`get`."""
-    warnings.warn(
-        "workload_class() is deprecated; use repro.workloads.registry.get()",
-        DeprecationWarning, stacklevel=2,
-    )
-    return get(name)
-
-
-def make_workload(name: str, **kwargs) -> Workload:
-    """Deprecated alias of :func:`create`."""
-    warnings.warn(
-        "make_workload() is deprecated; use repro.workloads.registry.create()",
-        DeprecationWarning, stacklevel=2,
-    )
-    return create(name, **kwargs)

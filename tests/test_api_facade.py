@@ -19,10 +19,13 @@ def test_listings():
 
 def test_top_level_exports():
     assert repro.run_workload is api.run_workload
+    assert repro.run_collective is api.run_collective
     assert repro.build_machine is api.build_machine
     assert repro.list_nis is api.list_nis
     assert repro.list_workloads is api.list_workloads
-    assert repro.__version__ == "1.3.0"
+    assert repro.list_ops is api.list_ops
+    assert repro.Spec is api.Spec
+    assert repro.__version__ == "1.4.0"
 
 
 @pytest.mark.parametrize("ni", ALL_NI_NAMES)
@@ -105,27 +108,74 @@ def test_workload_register_roundtrip():
         registry._REGISTRY.pop("fake-for-test")
 
 
-# -- deprecated aliases still work, loudly -----------------------------
+# -- pre-1.4 deprecated aliases are gone --------------------------------
 
 
-def test_deprecated_workload_aliases_warn():
-    from repro.workloads import registry
+def test_deprecated_aliases_removed():
+    import repro.ni.registry as ni_registry
+    import repro.workloads
+    import repro.workloads.registry as workload_registry
 
-    with pytest.warns(DeprecationWarning, match="workload_class"):
-        cls = registry.workload_class("em3d")
-    assert cls is registry.get("em3d")
-    with pytest.warns(DeprecationWarning, match="make_workload"):
-        wl = registry.make_workload("em3d", iterations=1)
-    assert isinstance(wl, cls)
+    assert not hasattr(workload_registry, "workload_class")
+    assert not hasattr(workload_registry, "make_workload")
+    assert not hasattr(repro.workloads, "make_workload")
+    assert not hasattr(ni_registry, "register_variant")
 
 
-def test_deprecated_register_variant_warns():
-    from repro.ni import registry
+# -- transfer-op surface -------------------------------------------------
 
-    base = registry.get("cm5")
-    with pytest.warns(DeprecationWarning, match="register_variant"):
-        registry.register_variant("cm5@test-alias", base)
-    try:
-        assert registry.get("cm5@test-alias") is base
-    finally:
-        registry._REGISTRY.pop("cm5@test-alias")
+
+def test_list_ops():
+    ops = api.list_ops()
+    assert ops == tuple(sorted(ops))
+    assert {"barrier", "bcast", "reduce", "put", "get"} <= set(ops)
+
+
+def test_op_registry_surface():
+    from repro.transfer import registry
+    from repro.transfer.ops import Put, TransferOp
+
+    assert registry.get("put") is Put
+    op = registry.create("put", payload=512, protocol="eager")
+    assert isinstance(op, TransferOp)
+    assert op.payload.nbytes == 512
+    with pytest.raises(ValueError):
+        registry.get("definitely-not-an-op")
+
+
+def test_spec_for_ni_and_workload():
+    spec = api.Spec("cni32qm", recv_queue_blocks=64)
+    machine = api.build_machine(ni=spec, num_nodes=2)
+    assert machine.node(0).ni.recv_queue_blocks == 64
+    assert machine.node(0).ni.ni_name == "cni32qm"
+    result = api.run_workload(
+        ni="cm5", workload=api.Spec("pingpong", rounds=2),
+        payload_bytes=64,
+    )
+    assert result.workload.extras["round_trip_us"] > 0
+    with pytest.raises(ValueError, match="twice"):
+        api.run_workload(
+            workload=api.Spec("pingpong", rounds=2), rounds=3,
+        )
+
+
+def test_run_collective_basic():
+    result = api.run_collective(
+        "reduce", ni="cni32qm", nodes=4, rounds=2, payload=256,
+    )
+    extras = result.workload.extras
+    assert extras["op"] == "reduce(256B)"
+    assert extras["op_latency_us"] > 0
+    assert extras["goodput_mb_s"] > 0
+    assert result.machine.transfer.reduce_results  # combined values kept
+
+
+def test_run_collective_rejects_bad_input():
+    from repro.transfer.ops import Put
+
+    with pytest.raises(ValueError, match="unknown transfer op"):
+        api.run_collective("nope")
+    with pytest.raises(ValueError, match="instance plus"):
+        api.run_collective(Put(payload=64), payload=128)
+    with pytest.raises(TypeError, match="not a transfer op"):
+        api.run_collective(42)

@@ -1,0 +1,134 @@
+"""Collectives as first-class scenarios: every transfer op on every
+NI through the api facade, the sweep workloads, span partitioning of
+op time, and --jobs determinism of the collectives experiment."""
+
+import pytest
+
+from repro import ALL_NI_NAMES, api
+from repro.experiments import collectives
+from repro.experiments.parallel import SweepExecutor
+from repro.workloads import COLLECTIVE_NAMES
+from repro.workloads.registry import create, names
+
+#: Cheap per-op configs: every op completes in well under a second.
+QUICK_OPS = {
+    "barrier": {},
+    "bcast": {"payload": 256},
+    "reduce": {"payload": 128},
+    "put": {"payload": 256},
+    "get": {"payload": 256},
+}
+
+
+# -- every op on every NI ----------------------------------------------
+
+
+@pytest.mark.parametrize("ni", ALL_NI_NAMES)
+@pytest.mark.parametrize("op", sorted(QUICK_OPS))
+def test_every_op_on_every_ni(op, ni):
+    result = api.run_collective(
+        op, ni=ni, nodes=4, rounds=2, **QUICK_OPS[op],
+    )
+    extras = result.workload.extras
+    assert extras["op_latency_us"] > 0
+    assert extras["rounds"] == 2
+    assert result.metrics["node0.ni.messages_sent"] > 0
+    fractions = result.breakdown()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+
+def test_collectives_deterministic_per_config():
+    a = api.run_collective("bcast", ni="ap3000", nodes=8, payload=1024)
+    b = api.run_collective("bcast", ni="ap3000", nodes=8, payload=1024)
+    assert a.elapsed_us == b.elapsed_us
+    assert a.metrics == b.metrics
+
+
+# -- sweep workloads ----------------------------------------------------
+
+
+def test_sweeps_are_registered():
+    assert set(COLLECTIVE_NAMES) <= set(names())
+    assert set(COLLECTIVE_NAMES) <= set(api.list_workloads())
+
+
+def test_sweep_workloads_validate_inputs():
+    with pytest.raises(ValueError):
+        create("barrier_sweep", nodes=0)
+    with pytest.raises(ValueError):
+        create("bcast_sweep", rounds=0)
+    with pytest.raises(ValueError):
+        create("putget_sweep", mode="teleport")
+    with pytest.raises(ValueError):
+        create("putget_sweep", nodes=1)
+
+
+def test_putget_sweep_runs_both_modes():
+    for mode in ("put", "get"):
+        result = api.run_workload(
+            ni="cni512q",
+            workload=api.Spec("putget_sweep", mode=mode, nodes=4,
+                              rounds=2, payload=512),
+            num_nodes=4,
+        )
+        extras = result.workload.extras
+        assert extras["op"].startswith(mode)
+        assert extras["goodput_mb_s"] > 0
+
+
+def test_strided_sweep_default_payload_discriminates():
+    result = api.run_workload(
+        ni="cni32qm", workload=api.Spec("strided_sweep", nodes=2, rounds=2),
+        num_nodes=2,
+    )
+    assert result.machine.transfer.counters["ni_gathers"] > 0
+
+
+# -- spans partition op time -------------------------------------------
+
+
+@pytest.mark.parametrize("op", ["barrier", "put"])
+def test_spans_partition_collective_latency(op):
+    result = api.run_collective(
+        op, ni="cni32qm", nodes=4, rounds=2, spans=True, **QUICK_OPS[op],
+    )
+    spans = result.spans
+    assert spans, "span recording produced no completed spans"
+    for span in spans:
+        durations = span.phase_durations()
+        assert sum(durations.values()) == span.latency_ns()
+        assert all(ns >= 0 for ns in durations.values())
+
+
+# -- the collectives experiment ----------------------------------------
+
+
+def test_collectives_plan_covers_the_grid():
+    jobs, keys = collectives.plan(quick=True)
+    assert len(jobs) == len(ALL_NI_NAMES) * len(collectives.OP_CELLS)
+    assert len(set(job.label for job in jobs)) == len(jobs)
+    assert {ni for ni, _ in keys} == set(ALL_NI_NAMES)
+
+
+def test_collectives_jobs_1_equals_jobs_4():
+    """The ISSUE's determinism gate: byte-identical cells at any --jobs."""
+    jobs, _ = collectives.plan(quick=True)
+    serial = SweepExecutor(jobs=1, cache=None).map(jobs)
+    parallel = SweepExecutor(jobs=4, cache=None).map(jobs)
+    assert [c.label for c in serial] == [j.label for j in jobs]
+    assert serial == parallel
+
+
+def test_collectives_experiment_ranks_all_nis():
+    executor = SweepExecutor(jobs=1, cache=None)
+    result = collectives.run(quick=True, executor=executor)
+    assert len(result.rows) == len(ALL_NI_NAMES)
+    ranks = [row[0] for row in result.rows]
+    assert ranks == sorted(ranks)
+    # The best NI normalises to 1.00x and coherent beats fifo overall.
+    assert result.rows[0][2] == "1.00x"
+    best = result.extras["ranking"][0]["ni"]
+    worst = result.extras["ranking"][-1]["ni"]
+    assert best.startswith("cni")
+    assert worst in ("cm5", "udma", "ap3000")
+    assert "collectives" in result.experiment

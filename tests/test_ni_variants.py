@@ -3,7 +3,7 @@
 import pytest
 
 from repro import DEFAULT_COSTS, DEFAULT_PARAMS, Machine
-from repro.ni.registry import ni_class, register_variant, variant
+from repro.ni.registry import ni_class, register, variant
 
 
 def test_variant_registers_subclass_with_overrides():
@@ -29,7 +29,13 @@ def test_variant_reregistration_overwrites():
     assert ni_class("cm5@x") is not None
 
 
-def test_register_variant_direct():
+def test_register_direct():
     cls = ni_class("cm5")
-    register_variant("my-cm5", cls)
+    register("my-cm5", cls)
     assert ni_class("my-cm5") is cls
+
+
+def test_register_variant_alias_removed():
+    import repro.ni.registry as registry
+
+    assert not hasattr(registry, "register_variant")

@@ -1,0 +1,107 @@
+"""Payload descriptors for the transfer-op API (repro.transfer)."""
+
+import pytest
+
+from repro.transfer import (
+    Contiguous,
+    Descriptor,
+    Strided,
+    Vector,
+    as_descriptor,
+)
+
+
+# -- shapes -------------------------------------------------------------
+
+
+def test_contiguous_shape():
+    d = Contiguous(4096)
+    assert d.nbytes == 4096
+    assert d.segments == 1
+    assert d.spec() == 4096
+    assert Contiguous(0).nbytes == 0
+
+
+def test_strided_shape():
+    d = Strided(count=16, block_bytes=64, stride_bytes=256)
+    assert d.nbytes == 16 * 64
+    assert d.segments == 16
+    assert d.spec() == ("strided", 16, 64, 256)
+
+
+def test_vector_shape():
+    d = Vector((100, 28, 4))
+    assert d.nbytes == 132
+    assert d.segments == 3
+    assert d.spec() == ("vector", 100, 28, 4)
+    assert Vector([8, 8]).lengths == (8, 8)   # list coerced to tuple
+
+
+def test_descriptors_are_frozen_and_hashable():
+    d = Strided(4, 32, 64)
+    with pytest.raises(AttributeError):
+        d.count = 8
+    assert len({d, Strided(4, 32, 64), Contiguous(128)}) == 2
+
+
+# -- validation ---------------------------------------------------------
+
+
+def test_contiguous_rejects_negative():
+    with pytest.raises(ValueError):
+        Contiguous(-1)
+
+
+def test_strided_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        Strided(0, 64, 256)          # no blocks
+    with pytest.raises(ValueError):
+        Strided(4, 0, 256)           # empty blocks
+    with pytest.raises(ValueError):
+        Strided(4, 64, 32)           # overlapping: stride < block
+
+
+def test_vector_rejects_bad_lengths():
+    with pytest.raises(ValueError):
+        Vector(())
+    with pytest.raises(ValueError):
+        Vector((64, -1))
+
+
+# -- as_descriptor coercion ---------------------------------------------
+
+
+def test_as_descriptor_passthrough_and_int():
+    d = Strided(2, 8, 16)
+    assert as_descriptor(d) is d
+    out = as_descriptor(256)
+    assert isinstance(out, Contiguous) and out.size == 256
+
+
+def test_as_descriptor_tagged_specs():
+    strided = as_descriptor(("strided", 16, 64, 256))
+    assert strided == Strided(16, 64, 256)
+    vector = as_descriptor(["vector", 100, 28])     # lists accepted too
+    assert vector == Vector((100, 28))
+
+
+def test_as_descriptor_spec_roundtrip():
+    for d in (Contiguous(512), Strided(8, 32, 64), Vector((12, 140))):
+        assert as_descriptor(d.spec()) == d
+
+
+def test_as_descriptor_rejects_junk():
+    with pytest.raises(TypeError):
+        as_descriptor(True)                   # bool is not a size
+    with pytest.raises(TypeError):
+        as_descriptor("4096")
+    with pytest.raises(TypeError):
+        as_descriptor(("spiral", 1, 2, 3))    # unknown tag
+    with pytest.raises(TypeError):
+        as_descriptor(None)
+
+
+def test_descriptor_base_is_abstract_vocabulary():
+    assert issubclass(Contiguous, Descriptor)
+    assert issubclass(Strided, Descriptor)
+    assert issubclass(Vector, Descriptor)

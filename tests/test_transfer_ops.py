@@ -1,0 +1,207 @@
+"""The transfer-op vocabulary and the per-machine TransferEngine:
+binomial-tree helpers, op construction, protocol selection,
+gather/scatter cost attribution, and end-to-end op semantics."""
+
+import pytest
+
+from repro import DEFAULT_PARAMS, api
+from repro.transfer import (
+    Barrier,
+    Broadcast,
+    Get,
+    Put,
+    Reduce,
+    Strided,
+    TransferEngine,
+    tree_children,
+    tree_parent,
+)
+
+
+# -- binomial tree helpers ----------------------------------------------
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 13, 16, 64])
+def test_tree_is_a_spanning_tree(n):
+    """Every non-root rank has exactly one parent that lists it as a
+    child, and the parent is always closer to the root."""
+    for rel in range(1, n):
+        parent = tree_parent(rel)
+        assert 0 <= parent < rel
+        assert rel in tree_children(parent, n)
+    reached = [0]
+    frontier = [0]
+    while frontier:
+        nxt = []
+        for rel in frontier:
+            nxt.extend(tree_children(rel, n))
+        reached.extend(nxt)
+        frontier = nxt
+    assert sorted(reached) == list(range(n))
+
+
+def test_tree_children_bounded_by_low_bit():
+    # rel=4 (low bit 4) may own rel+1, rel+2 but never rel+4.
+    assert tree_children(4, 16) == [5, 6]
+    assert tree_children(0, 16) == [1, 2, 4, 8]
+    assert tree_children(0, 1) == []
+
+
+# -- op construction ----------------------------------------------------
+
+
+def test_ops_coerce_payload_specs():
+    op = Broadcast(payload=("strided", 4, 64, 128))
+    assert op.payload == Strided(4, 64, 128)
+    assert op.moved_bytes(8) == 7 * 256
+    assert Put(payload=512).moved_bytes(8) == 512
+    assert Barrier().moved_bytes(8) == 0
+
+
+def test_ops_validate_protocol():
+    with pytest.raises(ValueError):
+        Put(payload=64, protocol="psychic")
+    with pytest.raises(ValueError):
+        Get(payload=64, protocol="")
+    assert Get(payload=64, protocol="rendezvous").protocol == "rendezvous"
+
+
+def test_ops_are_frozen():
+    op = Reduce(payload=128)
+    with pytest.raises(AttributeError):
+        op.root = 3
+
+
+# -- engine wiring ------------------------------------------------------
+
+
+def test_one_engine_per_machine():
+    machine = api.build_machine(ni="cni32qm", num_nodes=2)
+    engine = TransferEngine.for_machine(machine)
+    assert TransferEngine.for_machine(machine) is engine
+    assert machine.transfer is engine
+    with pytest.raises(ValueError, match="already has"):
+        TransferEngine(machine)
+
+
+def test_engine_counters_are_mounted():
+    result = api.run_collective("barrier", ni="cni32qm", nodes=4, rounds=3)
+    snapshot = result.machine.metrics_snapshot()
+    # 3 measured rounds + the harness's opening and closing barriers.
+    assert snapshot["transfer.barriers"] == 5
+
+
+# -- op semantics (via the api facade) ----------------------------------
+
+
+def test_reduce_combines_node_ids():
+    nodes = 5
+    result = api.run_collective(
+        "reduce", ni="cni32qm", nodes=nodes, rounds=2, payload=64,
+    )
+    results = result.machine.transfer.reduce_results
+    expected = sum(range(nodes))
+    assert len(results) == 2
+    assert all(value == expected for value in results.values())
+
+
+def test_reduce_supports_nonzero_root():
+    result = api.run_collective(
+        "reduce", ni="cm5", nodes=4, rounds=1, payload=64, root=2,
+    )
+    assert result.machine.transfer.reduce_results[1] == 6
+
+
+def test_bcast_supports_nonzero_root():
+    result = api.run_collective(
+        "bcast", ni="udma", nodes=4, rounds=2, payload=256, root=3,
+    )
+    assert result.machine.transfer.counters["broadcasts"] == 2
+    assert result.workload.extras["goodput_mb_s"] > 0
+
+
+def test_put_switches_protocol_at_threshold():
+    threshold = DEFAULT_PARAMS.rendezvous_threshold
+    eager = api.run_collective(
+        "put", ni="cni32qm", nodes=2, rounds=2, payload=threshold - 8,
+    )
+    counters = eager.machine.transfer.counters
+    assert counters["eager_puts"] == 2 and counters["rendezvous_puts"] == 0
+    rdvz = api.run_collective(
+        "put", ni="cni32qm", nodes=2, rounds=2, payload=threshold,
+    )
+    counters = rdvz.machine.transfer.counters
+    assert counters["rendezvous_puts"] == 2 and counters["eager_puts"] == 0
+    # Explicit protocol overrides the size heuristic.
+    forced = api.run_collective(
+        "put", ni="cni32qm", nodes=2, rounds=1,
+        payload=threshold * 4, protocol="eager",
+    )
+    assert forced.machine.transfer.counters["eager_puts"] == 1
+
+
+def test_rendezvous_put_pays_the_handshake():
+    eager = api.run_collective(
+        "put", ni="cni32qm", nodes=2, rounds=4,
+        payload=2048, protocol="eager",
+    )
+    rdvz = api.run_collective(
+        "put", ni="cni32qm", nodes=2, rounds=4,
+        payload=2048, protocol="rendezvous",
+    )
+    assert (rdvz.workload.extras["op_latency_us"]
+            > eager.workload.extras["op_latency_us"])
+
+
+def test_get_round_trips_and_counts_bytes():
+    result = api.run_collective(
+        "get", ni="cni32qm", nodes=2, rounds=3,
+        payload=4096, protocol="rendezvous",
+    )
+    counters = result.machine.transfer.counters
+    assert counters["gets"] == 3
+    assert counters["rendezvous_gets"] == 3
+    assert counters["get_bytes"] == 3 * 4096
+    assert result.workload.extras["goodput_mb_s"] > 0
+
+
+def test_zero_byte_put_completes():
+    result = api.run_collective(
+        "put", ni="cm5", nodes=2, rounds=2, payload=0,
+    )
+    assert result.machine.transfer.counters["puts"] == 2
+
+
+# -- NI differentiation -------------------------------------------------
+
+
+def test_strided_put_gather_attribution():
+    """Coherent NIs walk the segment list; fifo NIs host-pack."""
+    payload = ("strided", 16, 64, 256)
+    offload = api.run_collective(
+        "put", ni="cni32qm", nodes=2, rounds=1, payload=payload,
+    )
+    counters = offload.machine.transfer.counters
+    assert counters["ni_gathers"] > 0 and counters["host_packs"] == 0
+    host = api.run_collective(
+        "put", ni="cm5", nodes=2, rounds=1, payload=payload,
+    )
+    counters = host.machine.transfer.counters
+    assert counters["host_packs"] > 0 and counters["ni_gathers"] == 0
+
+
+def test_memchannel_host_stages_the_send_side():
+    """MemoryChannel receives coherently but its AP3000-style send side
+    has no descriptor engine: strided sources are host-packed."""
+    result = api.run_collective(
+        "put", ni="memchannel", nodes=2, rounds=1,
+        payload=("strided", 8, 64, 128),
+    )
+    assert result.machine.transfer.counters["host_packs"] > 0
+
+
+def test_barrier_offload_beats_host_path():
+    fifo = api.run_collective("barrier", ni="cm5", nodes=8, rounds=5)
+    cni = api.run_collective("barrier", ni="cni32qm", nodes=8, rounds=5)
+    assert (cni.workload.extras["op_latency_us"]
+            < fifo.workload.extras["op_latency_us"])

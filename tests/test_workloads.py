@@ -3,9 +3,9 @@
 import pytest
 
 from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
-from repro.workloads import MACRO_NAMES, make_workload
+from repro.workloads import MACRO_NAMES
 from repro.workloads.base import WorkloadResult, run_macrobenchmark
-from repro.workloads.registry import workload_class
+from repro.workloads.registry import create, get
 
 QUICK = {
     "appbt": {"iterations": 1},
@@ -21,7 +21,7 @@ QUICK = {
 def quick_run(name, ni_name="cni32qm", params=None, **extra):
     kwargs = dict(QUICK[name])
     kwargs.update(extra)
-    workload = make_workload(name, **kwargs)
+    workload = create(name, **kwargs)
     return workload.run(
         params=params or DEFAULT_PARAMS, costs=DEFAULT_COSTS,
         ni_name=ni_name,
@@ -54,12 +54,12 @@ def test_macros_run_on_fifo_nis(name):
 
 def test_registry_rejects_unknown():
     with pytest.raises(ValueError):
-        make_workload("nonexistent")
+        create("nonexistent")
 
 
 def test_registry_names_match_classes():
     for name in MACRO_NAMES:
-        assert workload_class(name).name == name
+        assert get(name).name == name
 
 
 def test_run_macrobenchmark_helper():
@@ -143,7 +143,7 @@ def test_breakdown_fractions_sum_to_one():
 
 
 def test_spsolve_all_vertices_fire():
-    workload = make_workload("spsolve", levels=4, width=48)
+    workload = create("spsolve", levels=4, width=48)
     workload.run(params=DEFAULT_PARAMS, costs=DEFAULT_COSTS,
                  ni_name="cni32qm")
     assert workload._fired == workload._expected_fires()
