@@ -20,6 +20,10 @@ Runs, in order of increasing specificity:
    byte-identity, fixed-seed chaos determinism across ``--jobs``,
    watchdog firing on an engineered deadlock, and killed-worker
    sweep recovery with a flagged manifest.
+7. **Shard check** — ``scripts/check_shard.py``: sharded runs are
+   digest-identical to the single-process reference (1=2=4 shards,
+   both partitions, both transports), kernel digests reproduce
+   run-to-run, and a killed shard raises a structured failure.
 
 Each step streams its own output; the summary at the end names any
 step that failed.  Exit status 0 = everything passed.
@@ -75,6 +79,7 @@ def main(argv=None) -> int:
         ("observability check", [py, "scripts/check_observability.py"]),
         ("span check", [py, "scripts/check_observability.py", "--spans"]),
         ("robustness check", [py, "scripts/check_robustness.py"]),
+        ("shard check", [py, "scripts/check_shard.py"]),
     ]
 
     failures = []

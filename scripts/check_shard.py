@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""CI check for the sharded-simulation layer (:mod:`repro.shard`).
+
+Four gates, each an invariant the conservative time-window runner must
+keep:
+
+1. **Shard-count invariance** — on two cells (the paper's abstract
+   40ns fabric and a contended-timing mesh), the merged model digest
+   of a 2- and 4-shard run equals the 1-shard single-process
+   reference, under both partition strategies.  This is the headline
+   contract: sharding changes wall-clock, never results.
+2. **Kernel-digest reproducibility** — running the same 4-shard job
+   twice produces identical per-shard kernel
+   :class:`~repro.sim.ScheduleDigest`\\ s: each shard's event schedule
+   is a pure function of the job, not of process timing.
+3. **Transport parity** — the fork (pipe worker) and inline
+   (in-process) transports agree on model digest *and* per-shard
+   kernel digests: the framing is invisible to the simulation.
+4. **Failure detection** — a shard hard-killed mid-window
+   (``die_at_window``) surfaces as a structured
+   :class:`~repro.shard.ShardFailure` naming the shard, window, and
+   exit code, instead of a hang or a silent partial result.
+
+Exit status 0 = all good; 1 = a gate failed (details on stderr).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_shard.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS  # noqa: E402
+from repro.shard import ShardFailure, ShardJob, run_sharded  # noqa: E402
+
+
+def fail(msg: str) -> int:
+    print(f"check_shard: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def _job(topology, shards, partition="stride", **overrides):
+    params = DEFAULT_PARAMS.replace(
+        ordered_delivery=True,
+        network_topology=topology,
+        flow_control_buffers=8,
+    )
+    kwargs = dict(compute_ns=2000, iterations=2, payload_bytes=64)
+    fabric = dict(fabric_hop_ns=20, fabric_link_ns_per_32b=40) \
+        if topology else {}
+    return ShardJob(
+        workload="halo", ni="cni32qm",
+        params=params, costs=DEFAULT_COSTS,
+        num_nodes=64, num_shards=shards, partition=partition,
+        kwargs=tuple(sorted(kwargs.items())),
+        collect_digest=True, **fabric, **overrides,
+    )
+
+
+# -- gate 1: shard-count invariance ------------------------------------
+
+
+def check_shard_counts() -> int:
+    for topology in (None, "mesh"):
+        name = topology or "abstract"
+        reference = run_sharded(_job(topology, 1), transport="inline")
+        for partition in ("block", "stride"):
+            for shards in (2, 4):
+                result = run_sharded(
+                    _job(topology, shards, partition=partition),
+                    transport="inline",
+                )
+                if result.model_digest != reference.model_digest:
+                    return fail(
+                        f"{name}/{partition}: {shards}-shard digest "
+                        f"{result.model_digest} != 1-shard reference "
+                        f"{reference.model_digest}"
+                    )
+        print(f"shard-count invariance: OK ({name}: 1=2=4 shards, "
+              f"block and stride, digest "
+              f"{reference.model_digest[:12]})")
+    return 0
+
+
+# -- gate 2: kernel-digest run-to-run reproducibility ------------------
+
+
+def check_reproducibility() -> int:
+    first = run_sharded(_job("mesh", 4), transport="inline")
+    second = run_sharded(_job("mesh", 4), transport="inline")
+    if first.kernel_digests != second.kernel_digests:
+        return fail(
+            "per-shard kernel digests differ between identical runs:\n"
+            f"  {first.kernel_digests}\n  {second.kernel_digests}"
+        )
+    print("kernel-digest reproducibility: OK "
+          f"({len(first.kernel_digests)} shards, run-to-run identical)")
+    return 0
+
+
+# -- gate 3: fork == inline --------------------------------------------
+
+
+def check_transport_parity() -> int:
+    inline = run_sharded(_job("mesh", 2), transport="inline")
+    forked = run_sharded(_job("mesh", 2), transport="fork")
+    if forked.model_digest != inline.model_digest:
+        return fail(
+            f"fork model digest {forked.model_digest} != inline "
+            f"{inline.model_digest}"
+        )
+    if forked.kernel_digests != inline.kernel_digests:
+        return fail(
+            "fork kernel digests differ from inline:\n"
+            f"  fork   {forked.kernel_digests}\n"
+            f"  inline {inline.kernel_digests}"
+        )
+    print("transport parity: OK (fork == inline, model + kernel digests)")
+    return 0
+
+
+# -- gate 4: killed shard -> structured failure ------------------------
+
+
+def check_kill_one_shard() -> int:
+    job = _job("mesh", 4, die_at_window=(1, 2))
+    try:
+        run_sharded(job, transport="fork")
+    except ShardFailure as exc:
+        report = exc.report
+        if report.get("shard") != 1:
+            return fail(f"failure names shard {report.get('shard')}, "
+                        "expected 1")
+        if report.get("exitcode") != 1:
+            return fail(f"failure exitcode {report.get('exitcode')}, "
+                        "expected 1")
+        if not isinstance(report.get("window"), int):
+            return fail(f"failure window missing: {report}")
+        print(f"kill-one-shard: OK (shard 1 died at window "
+              f"{report['window']}, reason {report['reason']!r})")
+        return 0
+    return fail("run with a killed shard completed without ShardFailure")
+
+
+def main() -> int:
+    for gate in (
+        check_shard_counts,
+        check_reproducibility,
+        check_transport_parity,
+        check_kill_one_shard,
+    ):
+        code = gate()
+        if code != 0:
+            return code
+    print("check_shard: PASS (all gates)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

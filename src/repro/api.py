@@ -60,6 +60,7 @@ __all__ = [
     "list_ops",
     "list_workloads",
     "run_collective",
+    "run_sharded",
     "run_workload",
 ]
 
@@ -294,3 +295,57 @@ def run_collective(
         ni=ni, workload=OpRun(op, nodes=nodes, rounds=rounds),
         num_nodes=nodes, params=params, costs=costs, spans=spans,
     )
+
+
+def run_sharded(
+    *,
+    ni: str = "cni32qm",
+    workload: Any = "halo",
+    num_nodes: int = 64,
+    shards: int = 4,
+    partition: str = "stride",
+    topology: Optional[str] = None,
+    params: Optional[SystemParams] = None,
+    costs: Optional[SoftwareCosts] = None,
+    collect_digest: bool = False,
+    transport: Optional[str] = None,
+    **workload_kwargs: Any,
+):
+    """Run one machine split across ``shards`` worker processes.
+
+    The sharded runner (see :mod:`repro.shard` and "Sharded
+    execution" in docs/architecture.md) partitions the nodes across
+    shards and synchronizes them with conservative time windows;
+    results are bit-identical to a 1-shard run.  ``workload`` must be
+    a *shardable* registry name or :class:`Spec` (nodes interact only
+    through the network); ``topology`` optionally selects a concrete
+    fabric (``"mesh"``/``"torus"``).  Ordered delivery is forced on —
+    results match a 1-shard ordered run, not the unordered default
+    path.  Returns a :class:`~repro.shard.ShardResult`;
+    ``collect_digest=True`` fills its digest fields.
+    """
+    from repro.shard import ShardJob
+    from repro.shard import run_sharded as _run_sharded
+
+    if isinstance(workload, Spec):
+        overlap = set(workload.kwargs) & set(workload_kwargs)
+        if overlap:
+            raise ValueError(
+                f"workload kwargs given twice: {sorted(overlap)}"
+            )
+        workload_kwargs = {**workload.kwargs, **workload_kwargs}
+        workload = workload.name
+    base = params or DEFAULT_PARAMS
+    job = ShardJob(
+        workload=workload,
+        ni=ni,
+        params=base.replace(ordered_delivery=True,
+                            network_topology=topology),
+        costs=costs or DEFAULT_COSTS,
+        num_nodes=num_nodes,
+        num_shards=shards,
+        partition=partition,
+        kwargs=tuple(sorted(workload_kwargs.items())),
+        collect_digest=collect_digest,
+    )
+    return _run_sharded(job, transport=transport)

@@ -59,9 +59,25 @@ class SystemParams:
     #: CNI_512Q's bandwidth advantage over the StarT-JR-like NI.
     memory_banking: bool = False
     #: Network topology: ``None`` (the paper's abstract constant-latency
-    #: network) or "mesh" (2D mesh with link contention — extension;
-    #: see repro.network.topology).
+    #: network), "mesh" (2D mesh with link contention — extension; see
+    #: repro.network.topology), or "torus" (the mesh with wraparound
+    #: links and shortest-direction dimension-order routing).
     network_topology: Optional[str] = None
+    #: Canonical arrival ordering (repro.shard): every message bound
+    #: for a node at tick T — data and control alike — is parked in a
+    #: per-tick inbox and delivered by an end-of-tick flush, node by
+    #: node in ascending id, sorted by ``(send_time, src, src_seq)``
+    #: within a node.  This makes the per-node delivery streams a pure
+    #: function of the model (independent of kernel event interleaving
+    #: across nodes), which is what lets a sharded run reproduce the
+    #: single-process reference bit-for-bit.  Off by default — the
+    #: normal path is byte-identical to previous releases.  Requires
+    #: the heap scheduler; incompatible with fault injection (the
+    #: injector's RNG is consumed in global event order).  Mesh/torus
+    #: data messages use the fabric's contention-free static latency
+    #: (hops x hop_ns + serialization) in this mode, since shared link
+    #: queues are cross-node state a partition cannot reproduce.
+    ordered_delivery: bool = False
     #: Record a machine-wide event trace (message life cycles) —
     #: see repro.tools.timeline.  Off by default: tracing costs time
     #: and memory.
@@ -147,10 +163,25 @@ class SystemParams:
             raise ValueError("header must be smaller than a network message")
         if self.flow_control_buffers is not None and self.flow_control_buffers < 1:
             raise ValueError("flow_control_buffers must be >= 1 or None")
-        if self.network_topology not in (None, "mesh"):
+        if self.network_topology not in (None, "mesh", "torus"):
             raise ValueError(
                 f"unknown network_topology {self.network_topology!r}"
             )
+        if self.network_latency_ns < 1:
+            raise ValueError("network_latency_ns must be >= 1")
+        if self.ordered_delivery:
+            if self.sim_scheduler != "heap":
+                raise ValueError(
+                    "ordered_delivery requires the heap scheduler (the "
+                    "end-of-tick flush hook is a heap-loop feature)"
+                )
+            if self.faults is not None:
+                raise ValueError(
+                    "ordered_delivery is incompatible with fault "
+                    "injection: the injector draws from one RNG in "
+                    "global event order, which a node-partitioned run "
+                    "cannot reproduce"
+                )
         if self.coherence_protocol not in ("MOESI", "MESI"):
             raise ValueError(
                 f"unknown coherence_protocol {self.coherence_protocol!r}"

@@ -149,6 +149,26 @@ class ExperimentResult:
         )
 
 
+#: Machine-size override installed by the runner's ``--nodes`` flag;
+#: ``None`` means each experiment's own default.  Experiments that
+#: sweep or size machines consult it through :func:`resolve_nodes`.
+_NODES_OVERRIDE: Optional[int] = None
+
+
+def set_default_nodes(num_nodes: Optional[int]) -> None:
+    """Install (or clear) the global ``--nodes`` machine-size override."""
+    global _NODES_OVERRIDE
+    if num_nodes is not None and num_nodes < 2:
+        raise ValueError(f"--nodes must be >= 2, got {num_nodes}")
+    _NODES_OVERRIDE = num_nodes
+
+
+def resolve_nodes(default: int) -> int:
+    """The machine size an experiment should use: the ``--nodes``
+    override when one is installed, else ``default``."""
+    return default if _NODES_OVERRIDE is None else _NODES_OVERRIDE
+
+
 def default_params(
     flow_control_buffers: Any = "default",
 ) -> SystemParams:

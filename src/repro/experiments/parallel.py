@@ -86,6 +86,12 @@ class Job:
     #: only when the params select a real topology.
     fabric_hop_ns: Optional[int] = None
     fabric_link_ns_per_32b: Optional[int] = None
+    #: Run the cell through :mod:`repro.shard` with this many worker
+    #: shards (``0`` = the ordinary single-process path).  Requires a
+    #: shardable workload and forces ``ordered_delivery``; the numbers
+    #: are digest-identical to a 1-shard reference, not to the
+    #: unordered default path (see docs/architecture.md).
+    shards: int = 0
 
 
 class SizeHistogram:
@@ -203,8 +209,54 @@ class CellResult:
         )
 
 
+def _run_sharded_cell(job: Job) -> CellResult:
+    """Shard-mode cell execution: hand the job to :mod:`repro.shard`
+    and fold the merged :class:`~repro.shard.ShardResult` into the
+    ordinary :class:`CellResult` shape."""
+    from repro.shard import ShardJob, run_sharded
+
+    if job.num_nodes is None:
+        raise ValueError(
+            f"job {job.label!r}: sharded cells must pin num_nodes"
+        )
+    shard_job = ShardJob(
+        workload=job.workload,
+        ni=job.ni,
+        params=job.params,
+        costs=job.costs,
+        num_nodes=job.num_nodes,
+        num_shards=job.shards,
+        kwargs=job.kwargs,
+        variant=job.variant,
+        always_udma=job.always_udma,
+        sender_throttle_ns=job.sender_throttle_ns,
+        fabric_hop_ns=job.fabric_hop_ns,
+        fabric_link_ns_per_32b=job.fabric_link_ns_per_32b,
+    )
+    result = run_sharded(shard_job)
+    extras = dict(result.extras)
+    extras["shards"] = result.num_shards
+    return CellResult(
+        label=job.label,
+        elapsed_ns=result.elapsed_ns,
+        states=dict(result.states),
+        messages_sent=result.messages_sent,
+        bounces=result.bounces,
+        flow_control_buffers=result.flow_control_buffers,
+        extras=extras,
+        size_buckets=dict(result.size_buckets),
+        ni_counters=tuple(
+            result.ni_counters[node_id]
+            for node_id in sorted(result.ni_counters)
+        ),
+        metrics=dict(result.metrics),
+    )
+
+
 def run_cell(job: Job) -> CellResult:
     """Execute one job from scratch (worker-process entry point)."""
+    if job.shards:
+        return _run_sharded_cell(job)
     # Imports stay local: workers only pay for what they run, and the
     # module import itself stays cheap for the CLI.
     from repro.ni.registry import variant as register_ni_variant

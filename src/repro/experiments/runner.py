@@ -54,6 +54,7 @@ from repro.experiments import (
     figure4,
     logp,
     multiprogramming,
+    scale,
     stability,
     table1,
     table2,
@@ -86,11 +87,14 @@ EXPERIMENTS: Dict[str, Callable] = {
     "costmodel": costmodel_check.run,
     "chaos": chaos.run,
     "collectives": collectives.run,
+    "contention_scale": scale.run,
 }
 
 #: What "all" means (composite entries subsume the split ones).
 #: ``chaos`` is deliberately absent: ``all`` regenerates the paper's
 #: fault-free artefact set; the fault-injection sweep is opt-in.
+#: ``contention_scale`` is likewise opt-in: its 1024-node cells are
+#: far bigger than anything the paper's artefact set needs.
 ALL_ORDER = (
     "table1", "table2", "table3", "table4", "table5",
     "figure1", "figure3", "figure4", "ablations", "logp",
@@ -187,6 +191,12 @@ def main(argv=None) -> int:
         help="recompute every cell, bypassing .repro-cache/",
     )
     parser.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="machine-size override for experiments that sweep or "
+             "size machines (e.g. contention_scale runs only its "
+             "N-node cells)",
+    )
+    parser.add_argument(
         "--job-timeout", type=float, default=None, metavar="SECONDS",
         dest="job_timeout",
         help="wall-clock bound per sweep cell in pool runs; a cell "
@@ -230,6 +240,11 @@ def main(argv=None) -> int:
     if args.list or not args.experiments:
         print_catalog()
         return 0
+
+    if args.nodes is not None:
+        from repro.experiments.common import set_default_nodes
+
+        set_default_nodes(args.nodes)
 
     names = expand_names(args.experiments)
     unknown = [n for n in names if n not in EXPERIMENTS]

@@ -1,0 +1,123 @@
+"""Large-machine scaling sweep over the sharded runtime (extension).
+
+The paper simulates 64-node machines; its contention argument (Section
+5.1.2, and our ``contention`` experiment) is about whether the abstract
+40 ns fabric distorts the NI comparison.  This sweep pushes the same
+question up the machine-size axis: a nearest-neighbour halo exchange on
+64/256/1024 nodes, on the paper's ideal fabric and on a real mesh with
+SAN-class links, executed through :mod:`repro.shard` so the big cells
+run on multiple worker processes (the per-cell numbers are digest-
+identical to a single-process run of the same ordered configuration —
+see docs/architecture.md, "Sharded execution").
+
+Columns worth reading: the ideal-vs-mesh gap *grows* with machine size
+(mesh diameter scales as sqrt(N) while the abstract fabric stays flat),
+which bounds how far the paper's flat-network extrapolation stretches;
+``windows``/``cross-shard`` report what the conservative-window engine
+paid to get the cell parallelised.
+
+``--nodes N`` clamps the sweep to the single machine size N (handy for
+poking at one point of the curve).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    default_costs,
+    default_params,
+    resolve_nodes,
+)
+from repro.experiments.contention import MESH_HOP_NS, MESH_LINK_NS_PER_32B
+from repro.experiments.parallel import Job, execute, freeze_kwargs
+
+#: Machine sizes: the paper's 64 plus two scale-up points.
+SCALE_NODES = (64, 256, 1024)
+QUICK_NODES = (16, 64)
+#: The best CNI from Table 5 — the NI whose ranking the paper's
+#: conclusions lean on hardest.
+SCALE_NI = "cni32qm"
+#: Worker shards per cell (the bench sweeps this; the experiment just
+#: wants the big cells to finish).
+SCALE_SHARDS = 4
+
+
+def _halo_kwargs(quick: bool) -> dict:
+    return {
+        "iterations": 2 if quick else 5,
+        "compute_ns": 2000,
+        "payload_bytes": 64,
+    }
+
+
+def _job(num_nodes: int, topology, quick: bool) -> Job:
+    params = default_params(flow_control_buffers=8).replace(
+        network_topology=topology,
+        ordered_delivery=True,
+    )
+    return Job(
+        label=f"contention_scale:halo:{SCALE_NI}"
+              f":{topology or 'ideal'}:n={num_nodes}",
+        ni=SCALE_NI, workload="halo", params=params,
+        costs=default_costs(),
+        kwargs=freeze_kwargs(_halo_kwargs(quick)),
+        num_nodes=num_nodes,
+        shards=min(SCALE_SHARDS, num_nodes),
+        fabric_hop_ns=MESH_HOP_NS,
+        fabric_link_ns_per_32b=MESH_LINK_NS_PER_32B,
+    )
+
+
+def run(quick: bool = False, executor=None) -> ExperimentResult:
+    node_counts = QUICK_NODES if quick else SCALE_NODES
+    override = resolve_nodes(0)
+    if override:
+        node_counts = (override,)
+    jobs = [
+        _job(num_nodes, topology, quick)
+        for num_nodes in node_counts
+        for topology in (None, "mesh")
+    ]
+    cells = iter(execute(jobs, executor))
+    rows = []
+    gaps = {}
+    for num_nodes in node_counts:
+        elapsed = {}
+        stats = {}
+        for topology in (None, "mesh"):
+            cell = next(cells)
+            elapsed[topology] = cell.elapsed_us
+            stats[topology] = cell.metrics
+        gap = elapsed["mesh"] / elapsed[None] - 1
+        gaps[num_nodes] = gap
+        mesh_metrics = stats["mesh"]
+        rows.append([
+            num_nodes,
+            f"{elapsed[None]:.1f}",
+            f"{elapsed['mesh']:.1f}",
+            f"{gap * 100:+.1f}%",
+            int(mesh_metrics.get("shard.shards", 1)),
+            int(mesh_metrics.get("shard.windows", 0)),
+            int(mesh_metrics.get("shard.cross_shard_messages", 0)),
+        ])
+    monotone = all(
+        gaps[a] <= gaps[b] + 1e-9
+        for a, b in zip(node_counts, node_counts[1:])
+    )
+    return ExperimentResult(
+        experiment="Contention at scale "
+                    "(halo exchange, ideal vs mesh, sharded)",
+        headers=["Nodes", "ideal us", "mesh us", "mesh gap",
+                 "shards", "windows", "cross-shard"],
+        rows=rows,
+        notes=[
+            "ideal-vs-mesh gap "
+            + ("grows monotonically with machine size — the flat-network "
+               "assumption costs more the bigger the machine"
+               if monotone else
+               "is not monotone in machine size here"),
+            f"cells executed via repro.shard ({SCALE_SHARDS} worker "
+            "shards); numbers are digest-identical to a 1-shard run",
+        ],
+        extras={"gaps": gaps},
+    )

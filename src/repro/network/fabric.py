@@ -31,6 +31,11 @@ ArrivalHook = Callable[[Message], None]
 _KIND_KEYS = {kind: "kind:" + kind.value for kind in MessageKind}
 
 
+def _entry_key(entry):
+    """Canonical within-node delivery order: ``(send_time, src, src_seq)``."""
+    return entry[0]
+
+
 class Network:
     """Interconnect between NIs.
 
@@ -66,6 +71,27 @@ class Network:
         self.counters = Counter()
         #: Raw counter dict for the injection/delivery hot path.
         self._counts = self.counters._counts
+        #: Canonical arrival ordering (see ``SystemParams.ordered_delivery``
+        #: and repro.shard).  When on, every message is parked in
+        #: ``_inbox[when][dst]`` and delivered by the kernel's
+        #: end-of-tick flush hook in ``(send_time, src, src_seq)`` order.
+        self.ordered = params.ordered_delivery
+        #: ``when -> {dst -> [(key, msg, control), ...]}`` pending
+        #: arrivals (ordered mode only).
+        self._inbox: Dict[int, Dict[int, list]] = {}
+        #: Per-source injection sequence numbers (ordered mode only).
+        self._src_seq: Dict[int, int] = {}
+        #: Nodes that live on other shards: messages to them are queued
+        #: in ``remote_outbox`` as ``(when, key, msg, control)`` for the
+        #: shard runner to route instead of being delivered locally.
+        self._remote_nodes = frozenset()
+        self.remote_outbox: list = []
+        #: Optional delivery-stream recorder, called as
+        #: ``hook(dst, when, msg, control)`` for every ordered delivery
+        #: (see repro.shard.digest.DeliveryDigest).
+        self._streams = None
+        if self.ordered:
+            sim._eot_hook = self._flush_tick
 
     # -- wiring ---------------------------------------------------------
 
@@ -100,7 +126,10 @@ class Network:
                 "network message limit; fragment it first"
             )
         if msg.dst not in self._data_endpoints:
-            raise ValueError(f"destination node {msg.dst} not registered")
+            if msg.dst not in self._remote_nodes:
+                raise ValueError(
+                    f"destination node {msg.dst} not registered"
+                )
         msg.sent_at = self.sim.now
         if self.spans.enabled:
             # Flight start; untracked messages (acks, returns) no-op.
@@ -110,13 +139,17 @@ class Network:
                             src=msg.src, dst=msg.dst, size=msg.size)
         kind = msg.kind
         control = kind is MessageKind.ACK or kind is MessageKind.RETURN
-        table = self._control_endpoints if control else self._data_endpoints
-        hook = table[msg.dst]
         counts = self._counts
         counts["injected"] += 1
         counts[_KIND_KEYS[kind]] += 1
         if not control:
             counts["data_bytes"] += msg.size
+
+        if self.ordered:
+            self._inject_ordered(msg, control)
+            return
+        hook = (self._control_endpoints if control
+                else self._data_endpoints)[msg.dst]
 
         deliveries = 1
         extra_delay = 0
@@ -169,3 +202,110 @@ class Network:
                 sim._now + latency + copy * self.params.network_latency_ns,
                 deliver,
             )
+
+    # -- ordered delivery (repro.shard) ---------------------------------
+
+    def attach_shard(self, remote_nodes) -> None:
+        """Declare the nodes that live on other shards.
+
+        Messages addressed to them are queued in :attr:`remote_outbox`
+        (as ``(when, key, msg, control)`` tuples, arrival time already
+        computed) for the shard runner to route; everything else is
+        unchanged.  Ordered mode only.
+        """
+        if not self.ordered:
+            raise ValueError("attach_shard requires ordered_delivery")
+        remote = frozenset(remote_nodes)
+        overlap = remote & set(self._data_endpoints)
+        if overlap:
+            raise ValueError(
+                f"nodes {sorted(overlap)} are local and remote at once"
+            )
+        self._remote_nodes = remote
+
+    def _inject_ordered(self, msg: Message, control: bool) -> None:
+        """Stamp ``src_seq``, compute the arrival tick, and park the
+        message — locally in the inbox, or in ``remote_outbox`` if the
+        destination lives on another shard."""
+        src = msg.src
+        seq = self._src_seq.get(src, 0)
+        self._src_seq[src] = seq + 1
+        msg.src_seq = seq
+        if control or self.fabric is None:
+            latency = self.params.network_latency_ns
+        else:
+            # Contention-free static fabric latency: link queues are
+            # cross-node shared state a partition cannot reproduce, so
+            # ordered mode charges the idle-fabric closed form.
+            latency = self.fabric.static_latency_ns(
+                msg.src, msg.dst, msg.size
+            )
+        when = msg.sent_at + latency
+        key = (msg.sent_at, src, seq)
+        if msg.dst in self._remote_nodes:
+            self.remote_outbox.append((when, key, msg, control))
+            self._counts["cross_shard"] += 1
+            return
+        self.deposit(when, key, msg, control)
+
+    def deposit(self, when: int, key, msg: Message, control: bool) -> None:
+        """Park an arrival in the per-tick inbox (ordered mode).
+
+        Public because the shard runner calls it to inject cross-shard
+        messages at their exact precomputed ``(when, key)``.  The first
+        deposit for a tick schedules an inert anchor event so the
+        kernel visits arrival-only ticks and ``peek()`` sees them.
+        """
+        inbox = self._inbox
+        tick = inbox.get(when)
+        if tick is None:
+            tick = inbox[when] = {}
+            sim = self.sim
+            anchor = Event(sim)
+            anchor._ok = True
+            anchor._value = None
+            sim._insert(when, anchor)
+        entries = tick.get(msg.dst)
+        if entries is None:
+            tick[msg.dst] = [(key, msg, control)]
+        else:
+            entries.append((key, msg, control))
+
+    def _flush_tick(self, when: int) -> bool:
+        """Kernel end-of-tick hook: deliver pending arrivals for tick
+        ``when``, one node per call.
+
+        Delivering one node at a time (lowest id first) and returning
+        lets that node's synchronous same-tick cascade — ack injection,
+        handler scheduling — fully drain before the next node's flush,
+        so the per-node delivery order is identical no matter how nodes
+        are partitioned across shards.  Within a node, entries sort by
+        ``(send_time, src, src_seq)``, a pure function of the model.
+        """
+        tick = self._inbox.get(when)
+        if not tick:
+            return False
+        node = min(tick)
+        entries = tick.pop(node)
+        if not tick:
+            del self._inbox[when]
+        if len(entries) > 1:
+            entries.sort(key=_entry_key)
+        counts = self._counts
+        fabric = self.fabric
+        streams = self._streams
+        data_hook = self._data_endpoints[node]
+        control_hook = self._control_endpoints[node]
+        for key, msg, control in entries:
+            counts["delivered"] += 1
+            if fabric is not None and not control:
+                fc = fabric.counters._counts
+                fc["delivered"] += 1
+                fc["total_delay_ns"] += when - msg.sent_at
+                fc["link_traversals"] += fabric.static_hops(
+                    msg.src, msg.dst
+                )
+            if streams is not None:
+                streams(node, when, msg, control)
+            (control_hook if control else data_hook)(msg)
+        return True

@@ -63,11 +63,18 @@ class Message:
     - ``corrupted`` — payload corrupted in flight (set by the fault
       injector; detected and cleared by the receiver's checksum, which
       discards the message so retransmission can recover it).
+    - ``src_seq`` — per-source injection sequence number, assigned by
+      the network when ``SystemParams.ordered_delivery`` is on and
+      carried on the wire: same-tick arrivals at a node are delivered
+      in ``(send_time, src, src_seq)`` order, which is what makes a
+      sharded run reproduce the single-process reference exactly (see
+      repro.shard).  ``None`` on the normal path.
     """
 
     __slots__ = (
         "src", "dst", "size", "kind", "handler", "body", "uid",
         "sent_at", "bounces", "span_id", "rel_seq", "corrupted",
+        "src_seq",
     )
 
     def __init__(
@@ -84,6 +91,7 @@ class Message:
         span_id: Optional[int] = None,
         rel_seq: Optional[int] = None,
         corrupted: bool = False,
+        src_seq: Optional[int] = None,
     ):
         if size <= 0:
             raise ValueError(f"message size must be positive, got {size}")
@@ -103,6 +111,7 @@ class Message:
         self.span_id = span_id
         self.rel_seq = rel_seq
         self.corrupted = corrupted
+        self.src_seq = src_seq
 
     @property
     def payload_bytes(self) -> int:

@@ -31,6 +31,11 @@ DEFAULT_HOP_NS = 10
 #: Link serialization time for 32 bytes, ns (≈ 3.2 GB/s links).
 DEFAULT_LINK_NS_PER_32B = 10
 
+#: Dimension-order routes cached per fabric, keyed by ``(src, dst)``.
+#: Bounded so a 1024-node all-to-all (~1M pairs) cannot hold every
+#: route alive; real traffic is neighbor-heavy and far smaller.
+ROUTE_CACHE_MAX = 4096
+
 Link = Tuple[int, int]
 
 
@@ -53,6 +58,11 @@ class MeshFabric:
         self.width = max(1, int(math.isqrt(num_nodes)))
         self.height = -(-num_nodes // self.width)
         self._links: Dict[Link, Resource] = {}
+        #: LRU route cache: ``(src, dst) -> [Link, ...]``.  Routes were
+        #: recomputed per message and showed up in big-node profiles;
+        #: insertion-ordered dict + move-to-end on hit gives LRU
+        #: eviction without an OrderedDict.
+        self._route_cache: Dict[Tuple[int, int], List[Link]] = {}
         self.counters = Counter()
 
     # -- geometry -------------------------------------------------------
@@ -61,7 +71,26 @@ class MeshFabric:
         return node % self.width, node // self.width
 
     def route(self, src: int, dst: int) -> List[Link]:
-        """Dimension-order route: X first, then Y; unit-step links."""
+        """Dimension-order route: X first, then Y; unit-step links.
+
+        Cached (LRU, :data:`ROUTE_CACHE_MAX` entries).  Callers only
+        iterate the returned list; treat it as read-only.
+        """
+        cache = self._route_cache
+        key = (src, dst)
+        hops = cache.get(key)
+        if hops is not None:
+            # Move-to-end keeps the hot working set resident.
+            del cache[key]
+            cache[key] = hops
+            return hops
+        hops = self._compute_route(src, dst)
+        if len(cache) >= ROUTE_CACHE_MAX:
+            del cache[next(iter(cache))]
+        cache[key] = hops
+        return hops
+
+    def _compute_route(self, src: int, dst: int) -> List[Link]:
         if src == dst:
             return []
         x0, y0 = self.coords(src)
@@ -80,6 +109,26 @@ class MeshFabric:
             hops.append((here, nxt))
             here = nxt
         return hops
+
+    def static_hops(self, src: int, dst: int) -> int:
+        """Hop count of the dimension-order route (no route build)."""
+        x0, y0 = self.coords(src)
+        x1, y1 = self.coords(dst)
+        return abs(x1 - x0) + abs(y1 - y0)
+
+    def static_latency_ns(self, src: int, dst: int, size: int) -> int:
+        """Contention-free delivery latency for a ``size``-byte message.
+
+        The ordered-delivery mode (repro.shard) uses this closed form
+        instead of walking link resources: head latency per hop plus
+        the tail's serialization — exactly what :meth:`deliver` charges
+        on an idle fabric.
+        """
+        beats = max(1, -(-size // 32))
+        return (
+            self.static_hops(src, dst) * self.hop_ns
+            + beats * self.link_ns_per_32b
+        )
 
     def _link(self, link: Link) -> Resource:
         resource = self._links.get(link)
@@ -130,3 +179,141 @@ class MeshFabric:
         if not delivered:
             return 0.0
         return self.counters["total_delay_ns"] / delivered
+
+
+class TorusFabric(MeshFabric):
+    """The mesh with wraparound links: each dimension is a ring and the
+    dimension-order router takes the shorter direction (ties go the
+    positive way).  Requires a full ``width x height`` rectangle —
+    a ragged last row would leave some wrap links dangling."""
+
+    def __init__(self, sim, params, num_nodes, hop_ns=DEFAULT_HOP_NS,
+                 link_ns_per_32b=DEFAULT_LINK_NS_PER_32B):
+        super().__init__(sim, params, num_nodes, hop_ns, link_ns_per_32b)
+        if self.width * self.height != num_nodes:
+            raise ValueError(
+                f"torus requires a full rectangle; {num_nodes} nodes do "
+                f"not fill {self.width}x{self.height}"
+            )
+
+    @staticmethod
+    def _ring_step(here: int, there: int, size: int) -> int:
+        """+1/-1 step from ``here`` toward ``there`` on a ring."""
+        forward = (there - here) % size
+        backward = (here - there) % size
+        return 1 if forward <= backward else -1
+
+    def _compute_route(self, src: int, dst: int) -> List[Link]:
+        if src == dst:
+            return []
+        width, height = self.width, self.height
+        x, y = self.coords(src)
+        x1, y1 = self.coords(dst)
+        hops: List[Link] = []
+        here = src
+        if x != x1:
+            step = self._ring_step(x, x1, width)
+            while x != x1:
+                x = (x + step) % width
+                nxt = y * width + x
+                hops.append((here, nxt))
+                here = nxt
+        if y != y1:
+            step = self._ring_step(y, y1, height)
+            while y != y1:
+                y = (y + step) % height
+                nxt = y * width + x
+                hops.append((here, nxt))
+                here = nxt
+        return hops
+
+    def static_hops(self, src: int, dst: int) -> int:
+        x0, y0 = self.coords(src)
+        x1, y1 = self.coords(dst)
+        dx = abs(x1 - x0)
+        dy = abs(y1 - y0)
+        return min(dx, self.width - dx) + min(dy, self.height - dy)
+
+
+#: Fabric classes by ``SystemParams.network_topology`` value.
+FABRICS = {"mesh": MeshFabric, "torus": TorusFabric}
+
+
+def block_partition(num_nodes: int, num_shards: int) -> Tuple[int, ...]:
+    """Contiguous block partition: node ``i`` belongs to shard
+    ``i * num_shards // num_nodes``.
+
+    Node ids are row-major, so contiguous id blocks are row bands of
+    the mesh/torus — cross-shard traffic crosses a band boundary, and
+    every shard gets ``num_nodes / num_shards`` nodes (±1).
+    """
+    if not 1 <= num_shards <= num_nodes:
+        raise ValueError(
+            f"num_shards must be in [1, {num_nodes}], got {num_shards}"
+        )
+    return tuple(i * num_shards // num_nodes for i in range(num_nodes))
+
+
+def stride_partition(num_nodes: int, num_shards: int) -> Tuple[int, ...]:
+    """Round-robin partition: node ``i`` belongs to shard
+    ``i % num_shards``.
+
+    Every shard holds nodes spread across the whole mesh, so at any
+    simulated instant the shards carry statistically identical event
+    load — the per-window balance the conservative barrier turns
+    directly into parallel speedup.  The price is cross-shard traffic
+    volume (east/west mesh neighbours are almost always remote), which
+    costs worker-side blob packing, not barrier-loop serial time.
+    """
+    if not 1 <= num_shards <= num_nodes:
+        raise ValueError(
+            f"num_shards must be in [1, {num_nodes}], got {num_shards}"
+        )
+    return tuple(i % num_shards for i in range(num_nodes))
+
+
+#: Partition strategies selectable via ``ShardJob.partition``.
+PARTITIONS = {
+    "block": block_partition,
+    "stride": stride_partition,
+}
+
+
+def min_cross_shard_latency_ns(
+    num_nodes: int,
+    assign: Tuple[int, ...],
+    hop_ns: int,
+    link_ns_per_32b: int,
+    torus: bool = False,
+) -> int:
+    """Minimum contention-free data latency between any two nodes in
+    *different* shards — the topology half of the conservative
+    lookahead bound (the smallest message is one 32-byte beat).
+
+    O(pairs) with an early exit at the 1-hop floor, which contiguous
+    block partitions hit immediately (adjacent rows straddle every
+    band boundary).
+    """
+    width = max(1, int(math.isqrt(num_nodes)))
+    height = -(-num_nodes // width)
+    floor_hops = 1
+    best = None
+    for src in range(num_nodes):
+        x0, y0 = src % width, src // width
+        shard = assign[src]
+        for dst in range(src + 1, num_nodes):
+            if assign[dst] == shard:
+                continue
+            dx = abs(dst % width - x0)
+            dy = abs(dst // width - y0)
+            if torus:
+                dx = min(dx, width - dx)
+                dy = min(dy, height - dy)
+            hops = dx + dy
+            if best is None or hops < best:
+                best = hops
+                if best <= floor_hops:
+                    return best * hop_ns + link_ns_per_32b
+    if best is None:
+        raise ValueError("partition has no cross-shard pair")
+    return best * hop_ns + link_ns_per_32b

@@ -114,9 +114,14 @@ class Node:
         if ns:
             yield self.sim.delay(ns)
 
-    def finish(self) -> None:
-        """Freeze the processor timer at the end of a run."""
-        self.timer.finish()
+    def finish(self, at: Optional[int] = None) -> None:
+        """Freeze the processor timer at the end of a run.
+
+        ``at`` clamps the final interval to that timestamp — sharded
+        runs overshoot the global completion time by up to one window
+        and clamp back so state totals match the reference exactly.
+        """
+        self.timer.finish(at=at)
 
     def __repr__(self) -> str:
         return f"<Node {self.node_id} ni={self.ni.ni_name}>"
@@ -131,6 +136,7 @@ class Machine:
         costs: SoftwareCosts,
         ni_name: str,
         num_nodes: Optional[int] = None,
+        shard: Optional[tuple] = None,
     ):
         from repro.network.fabric import Network  # local to avoid cycle
 
@@ -139,18 +145,49 @@ class Machine:
         self.costs = costs
         self.ni_name = ni_name
         self.sim = Simulator(scheduler=params.sim_scheduler)
-        fabric = None
-        if params.network_topology == "mesh":
-            from repro.network.topology import MeshFabric
-
-            count_hint = num_nodes if num_nodes is not None else params.num_nodes
-            fabric = MeshFabric(self.sim, params, count_hint)
-        self.network = Network(self.sim, params, fabric=fabric)
         count = num_nodes if num_nodes is not None else params.num_nodes
+        #: Logical machine size.  Equals ``len(self.nodes)`` except in a
+        #: shard, which hosts only its assigned subset of node ids.
+        self.total_nodes = count
+        fabric = None
+        if params.network_topology is not None:
+            from repro.network.topology import FABRICS
+
+            fabric = FABRICS[params.network_topology](self.sim, params, count)
+        self.network = Network(self.sim, params, fabric=fabric)
+        #: ``(shard_id, assign)`` when this Machine is one shard of a
+        #: partitioned run (see repro.shard): ``assign[node_id]`` is the
+        #: owning shard for every logical node.  Only the owned nodes
+        #: are constructed; the rest are declared remote to the network.
+        self.shard_id: Optional[int] = None
+        if shard is None:
+            local_ids = range(count)
+        else:
+            shard_id, assign = shard
+            if not params.ordered_delivery:
+                raise ValueError(
+                    "sharded construction requires ordered_delivery "
+                    "(canonical arrival ordering is what makes the "
+                    "partition reproduce the reference)"
+                )
+            if len(assign) != count:
+                raise ValueError(
+                    f"partition covers {len(assign)} nodes, machine has "
+                    f"{count}"
+                )
+            self.shard_id = shard_id
+            local_ids = [i for i in range(count) if assign[i] == shard_id]
+            if not local_ids:
+                raise ValueError(f"shard {shard_id} owns no nodes")
         self.nodes: List[Node] = [
             Node(self.sim, self.network, i, params, costs, ni_name)
-            for i in range(count)
+            for i in local_ids
         ]
+        self._node_index = {node.node_id: node for node in self.nodes}
+        if shard is not None:
+            self.network.attach_shard(
+                i for i in range(count) if assign[i] != self.shard_id
+            )
         #: The machine's metrics registry; every component mounts its
         #: instruments here under a stable dotted path (see
         #: docs/observability.md).  Mounting is read-only bookkeeping —
@@ -186,12 +223,12 @@ class Machine:
         return len(self.nodes)
 
     def node(self, node_id: int) -> Node:
-        return self.nodes[node_id]
+        return self._node_index[node_id]
 
-    def finish(self) -> None:
+    def finish(self, at: Optional[int] = None) -> None:
         """Freeze all processor timers (call after the run completes)."""
         for node in self.nodes:
-            node.finish()
+            node.finish(at=at)
 
     def state_breakdown(self) -> dict:
         """Merged per-state processor time across all nodes."""

@@ -323,6 +323,31 @@ SIM_SCHEDULER_GAUGE_KEYS = (
     "wheel_overflow",
 )
 
+#: Sharded-run gauges (see repro.shard).  These are stamped into the
+#: merged snapshot by the shard runner — they describe the *run*, not
+#: any one machine, so no per-simulator mount exists.  ``windows`` is
+#: the number of conservative time windows executed; ``barrier_wait_ns``
+#: the wall-clock (not simulated) time shards spent idle at window
+#: barriers waiting for the slowest peer, summed over shards;
+#: ``cross_shard_messages`` the messages that crossed a shard boundary;
+#: ``lookahead_ns`` the static minimum cross-shard latency bounding the
+#: window width; ``shards`` the worker count.  All are excluded from
+#: the partition-invariant model digest (they legitimately vary with
+#: the shard count), as is ``net.cross_shard``.
+#: ``busy_ns`` is total wall-clock spent inside shard kernels;
+#: ``critical_path_ns`` sums the per-window *maximum* shard busy time
+#: — the kernel wall a host with >= ``shards`` free cores would pay
+#: (windows end at barriers, so the slowest shard is the window).
+SHARD_GAUGE_KEYS = (
+    "shard.windows",
+    "shard.barrier_wait_ns",
+    "shard.cross_shard_messages",
+    "shard.lookahead_ns",
+    "shard.shards",
+    "shard.busy_ns",
+    "shard.critical_path_ns",
+)
+
 
 def mount_simulator(
     registry: "MetricsRegistry", sim, include_scheduler_internals: bool = False

@@ -1,0 +1,48 @@
+"""Sharded multi-process simulation (conservative time windows).
+
+Partition one simulated machine's nodes across worker processes, each
+running its own Kernel-v3 :class:`~repro.sim.Simulator`, synchronized
+by conservative lookahead barriers — and produce results identical to
+the single-process reference, gated by digests.  See
+docs/architecture.md ("Sharded execution") for the algorithm and the
+determinism argument.
+
+Quick use::
+
+    from repro.shard import ShardJob, run_sharded
+
+    job = ShardJob(
+        workload="halo", ni="cni32qm",
+        params=DEFAULT_PARAMS.replace(
+            network_topology="mesh", ordered_delivery=True),
+        costs=DEFAULT_COSTS, num_nodes=256, num_shards=4,
+    )
+    result = run_sharded(job)       # ShardResult
+
+Experiments reach the same machinery through ``Job(shards=N)`` in
+:mod:`repro.experiments.parallel`.
+"""
+
+from repro.network.topology import (
+    PARTITIONS,
+    block_partition,
+    stride_partition,
+)
+from repro.shard.digest import DeliveryDigest, merged_digest
+from repro.shard.plan import ShardPlan
+from repro.shard.runner import ShardFailure, ShardResult, run_sharded
+from repro.shard.worker import ShardJob, ShardSlice
+
+__all__ = [
+    "DeliveryDigest",
+    "PARTITIONS",
+    "ShardFailure",
+    "ShardJob",
+    "ShardPlan",
+    "ShardResult",
+    "ShardSlice",
+    "block_partition",
+    "merged_digest",
+    "run_sharded",
+    "stride_partition",
+]

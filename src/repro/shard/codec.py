@@ -1,0 +1,228 @@
+"""Pickle-free wire encoding for the shard channels.
+
+Every frame that crosses a worker pipe is a one-byte type tag followed
+by a tagged binary object tree: fixed-width struct fields for numbers,
+length-prefixed UTF-8 for strings, and a dedicated record layout for
+:class:`~repro.network.message.Message` (including nested messages, as
+return-to-sender bounces carry the original message in their body).
+
+Pickle is deliberately off the wire.  The frames are the inner loop of
+the shard barrier — a few hundred of them per simulated microsecond —
+and the struct layout both avoids pickle's per-object machinery and
+pins the byte format independent of Python object internals, so the
+digest-checked determinism contract cannot be perturbed by pickle
+protocol details.
+
+``Message.uid`` intentionally does not cross the wire: uids are a
+process-local allocation counter, excluded from every digest, and the
+receiving shard stamps a fresh local uid on decode.
+"""
+
+from __future__ import annotations
+
+from struct import Struct
+from typing import Any, List, Tuple
+
+from repro.network.message import Message, MessageKind
+
+# -- frame types --------------------------------------------------------
+
+READY = 0         #: worker -> parent: construction done, first next_time
+WINDOW = 1        #: parent -> worker: (until, deposits)
+WINDOW_DONE = 2   #: worker -> parent: (done, done_time, next_time, outbox)
+FINISH = 3        #: parent -> worker: global completion time
+RESULT = 4        #: worker -> parent: final measurement dict
+ERROR = 5         #: worker -> parent: traceback text
+
+_KINDS = tuple(MessageKind)
+_KIND_INDEX = {kind: i for i, kind in enumerate(_KINDS)}
+
+_I64 = Struct("<q")
+_F64 = Struct("<d")
+_U32 = Struct("<I")
+#: Message record: flags, src, dst, size, bounces, sent_at, src_seq.
+_MSG = Struct("<BIIIIqq")
+
+_F_HANDLER = 0x10  # handler string follows
+_F_CORRUPT = 0x20  # corrupted flag (never set in shard runs; kept for
+                   # codec completeness and round-trip tests)
+
+_NONE_SEQ = -1     # src_seq wire value for ``None``
+
+
+def _enc_obj(buf: bytearray, obj: Any) -> None:
+    if obj is None:
+        buf += b"N"
+    elif obj is True:
+        buf += b"T"
+    elif obj is False:
+        buf += b"F"
+    elif type(obj) is int:
+        if -(1 << 63) <= obj < (1 << 63):
+            buf += b"i"
+            buf += _I64.pack(obj)
+        else:
+            text = str(obj).encode()
+            buf += b"I"
+            buf += _U32.pack(len(text))
+            buf += text
+    elif type(obj) is float:
+        buf += b"f"
+        buf += _F64.pack(obj)
+    elif type(obj) is str:
+        text = obj.encode()
+        buf += b"s"
+        buf += _U32.pack(len(text))
+        buf += text
+    elif type(obj) is bytes:
+        buf += b"b"
+        buf += _U32.pack(len(obj))
+        buf += obj
+    elif type(obj) is tuple:
+        buf += b"t"
+        buf += _U32.pack(len(obj))
+        for item in obj:
+            _enc_obj(buf, item)
+    elif type(obj) is list:
+        buf += b"l"
+        buf += _U32.pack(len(obj))
+        for item in obj:
+            _enc_obj(buf, item)
+    elif type(obj) is dict:
+        buf += b"d"
+        buf += _U32.pack(len(obj))
+        for key, value in obj.items():
+            _enc_obj(buf, key)
+            _enc_obj(buf, value)
+    elif type(obj) is Message:
+        buf += b"M"
+        flags = _KIND_INDEX[obj.kind]
+        if obj.handler is not None:
+            flags |= _F_HANDLER
+        if obj.corrupted:
+            flags |= _F_CORRUPT
+        buf += _MSG.pack(
+            flags, obj.src, obj.dst, obj.size, obj.bounces,
+            obj.sent_at if obj.sent_at is not None else -1,
+            obj.src_seq if obj.src_seq is not None else _NONE_SEQ,
+        )
+        if obj.handler is not None:
+            text = obj.handler.encode()
+            buf += _U32.pack(len(text))
+            buf += text
+        _enc_obj(buf, obj.body)
+    else:
+        raise TypeError(
+            f"cannot encode {type(obj).__name__} for the shard channel"
+        )
+
+
+def _dec_obj(data: memoryview, off: int) -> Tuple[Any, int]:
+    tag = data[off]
+    off += 1
+    if tag == 0x4E:  # N
+        return None, off
+    if tag == 0x54:  # T
+        return True, off
+    if tag == 0x46:  # F
+        return False, off
+    if tag == 0x69:  # i
+        return _I64.unpack_from(data, off)[0], off + 8
+    if tag == 0x49:  # I
+        (n,) = _U32.unpack_from(data, off)
+        off += 4
+        return int(bytes(data[off:off + n])), off + n
+    if tag == 0x66:  # f
+        return _F64.unpack_from(data, off)[0], off + 8
+    if tag == 0x73:  # s
+        (n,) = _U32.unpack_from(data, off)
+        off += 4
+        return bytes(data[off:off + n]).decode(), off + n
+    if tag == 0x62:  # b
+        (n,) = _U32.unpack_from(data, off)
+        off += 4
+        return bytes(data[off:off + n]), off + n
+    if tag in (0x74, 0x6C):  # t / l
+        (n,) = _U32.unpack_from(data, off)
+        off += 4
+        items: List[Any] = []
+        for _ in range(n):
+            item, off = _dec_obj(data, off)
+            items.append(item)
+        return (tuple(items) if tag == 0x74 else items), off
+    if tag == 0x64:  # d
+        (n,) = _U32.unpack_from(data, off)
+        off += 4
+        out = {}
+        for _ in range(n):
+            key, off = _dec_obj(data, off)
+            value, off = _dec_obj(data, off)
+            out[key] = value
+        return out, off
+    if tag == 0x4D:  # M
+        flags, src, dst, size, bounces, sent_at, src_seq = _MSG.unpack_from(
+            data, off
+        )
+        off += _MSG.size
+        handler = None
+        if flags & _F_HANDLER:
+            (n,) = _U32.unpack_from(data, off)
+            off += 4
+            handler = bytes(data[off:off + n]).decode()
+            off += n
+        body, off = _dec_obj(data, off)
+        msg = Message(
+            src, dst, size,
+            kind=_KINDS[flags & 0x0F],
+            handler=handler,
+            body=body,
+            sent_at=None if sent_at == -1 else sent_at,
+            bounces=bounces,
+            corrupted=bool(flags & _F_CORRUPT),
+            src_seq=None if src_seq == _NONE_SEQ else src_seq,
+        )
+        return msg, off
+    raise ValueError(f"bad shard-channel tag {tag:#x} at offset {off - 1}")
+
+
+def pack(obj: Any) -> bytes:
+    """Encode a bare object tree (no frame tag).
+
+    Used for the pre-partitioned cross-shard outbox chunks: the sending
+    worker packs each destination shard's ``[(when, msg), ...]`` list
+    into one blob, the parent routes the blob as opaque bytes (nested
+    inside ordinary frames via the ``bytes`` tag), and only the
+    receiving worker unpacks it — Message decoding never happens on the
+    parent's serial path.
+    """
+    buf = bytearray()
+    _enc_obj(buf, obj)
+    return bytes(buf)
+
+
+def unpack(data: bytes) -> Any:
+    view = memoryview(data)
+    obj, off = _dec_obj(view, 0)
+    if off != len(data):
+        raise ValueError(
+            f"trailing bytes in shard blob ({len(data) - off} unread)"
+        )
+    return obj
+
+
+def encode(ftype: int, payload: Any = None) -> bytes:
+    """One frame: type byte + tagged payload tree."""
+    buf = bytearray()
+    buf.append(ftype)
+    _enc_obj(buf, payload)
+    return bytes(buf)
+
+
+def decode(data: bytes) -> Tuple[int, Any]:
+    view = memoryview(data)
+    payload, off = _dec_obj(view, 1)
+    if off != len(data):
+        raise ValueError(
+            f"trailing bytes in shard frame ({len(data) - off} unread)"
+        )
+    return data[0], payload

@@ -1,0 +1,98 @@
+"""Model-level determinism digests for sharded runs.
+
+Two fingerprints gate a sharded run (see docs/architecture.md, Sharded
+execution):
+
+- The **delivery digest** (this module): a per-node blake2b over the
+  node's delivered message stream — ``(when, send_time, src, src_seq,
+  size, kind, control)`` per delivery, in delivery order — plus a
+  merged machine digest folding in every model metric.  Per-node
+  streams are a pure function of the model under canonical arrival
+  ordering, so this digest is *partition-invariant*: it must come out
+  identical for 1, 2, or 4 shards, and identical to the ordered
+  single-process reference.
+
+- The **kernel ScheduleDigest** (:class:`repro.sim.trace.ScheduleDigest`),
+  collected per shard: every ``(time, seq)`` the shard's kernel
+  processed.  Kernel sequence numbers are allocation order, which
+  differs across shard *counts* by construction, so this digest gates
+  run-to-run reproducibility at a *fixed* shard count only.
+
+Excluded from the merged digest: ``sim.*`` (kernel internals — events
+processed per shard obviously differ), ``shard.*`` (the sharding
+harness's own gauges), and ``net.cross_shard`` (zero by definition in
+a single-process run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from struct import Struct
+from typing import Dict, Iterable, Mapping
+
+from repro.network.message import Message, MessageKind
+
+_REC = Struct("<qqIIIB")
+_KIND_INDEX = {kind: i for i, kind in enumerate(MessageKind)}
+
+#: Metric paths that legitimately differ between shard counts.
+EXCLUDED_PREFIXES = ("sim.", "shard.")
+EXCLUDED_KEYS = frozenset({"net.cross_shard"})
+
+
+class DeliveryDigest:
+    """Per-node delivered-stream hashes (ordered-delivery runs).
+
+    Attach with ``network._streams = digest.record``; the flush loop
+    calls it once per delivery.
+    """
+
+    __slots__ = ("_hashes", "count")
+
+    def __init__(self) -> None:
+        self._hashes: Dict[int, "hashlib._Hash"] = {}
+        self.count = 0
+
+    def record(self, dst: int, when: int, msg: Message, control: bool) -> None:
+        h = self._hashes.get(dst)
+        if h is None:
+            h = self._hashes[dst] = hashlib.blake2b(digest_size=16)
+        h.update(_REC.pack(
+            when,
+            msg.sent_at if msg.sent_at is not None else -1,
+            msg.src,
+            msg.src_seq if msg.src_seq is not None else 0xFFFFFFFF,
+            msg.size,
+            (_KIND_INDEX[msg.kind] << 1) | control,
+        ))
+        self.count += 1
+
+    def node_digests(self) -> Dict[int, str]:
+        return {node: h.hexdigest() for node, h in self._hashes.items()}
+
+
+def model_metrics(snapshot: Mapping[str, float]) -> Dict[str, float]:
+    """The partition-invariant subset of a metrics snapshot."""
+    return {
+        key: value
+        for key, value in snapshot.items()
+        if not key.startswith(EXCLUDED_PREFIXES) and key not in EXCLUDED_KEYS
+    }
+
+
+def merged_digest(
+    node_digests: Mapping[int, str],
+    snapshot: Mapping[str, float],
+    extra: Iterable = (),
+) -> str:
+    """One machine-level fingerprint: every node stream plus every
+    model metric (filtered), plus any ``extra`` items (e.g. the global
+    completion time)."""
+    h = hashlib.blake2b(digest_size=16)
+    for node in sorted(node_digests):
+        h.update(b"%d:%s;" % (node, node_digests[node].encode()))
+    for key, value in sorted(model_metrics(snapshot).items()):
+        h.update(f"{key}={value!r};".encode())
+    for item in extra:
+        h.update(f"|{item!r}".encode())
+    return h.hexdigest()

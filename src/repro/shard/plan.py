@@ -1,0 +1,101 @@
+"""Partition planning and lookahead for sharded runs.
+
+A :class:`ShardPlan` fixes everything both sides of the fork must agree
+on: how many logical nodes exist, which shard owns each node, and the
+conservative *lookahead* — the minimum latency any message needs to
+cross a shard boundary.  The lookahead is what makes time-window
+synchronization safe: if every shard has processed all events up to
+``t``, no cross-shard message produced at or after ``t`` can arrive
+before ``t + lookahead``, so every shard may run freely through
+``t + lookahead - 1`` without waiting for the others.
+
+Both latency models bound the lookahead statically:
+
+- the paper's abstract fabric delivers everything after exactly
+  ``network_latency_ns`` (40ns in Table 3);
+- the mesh/torus static model charges ``hops * hop_ns`` plus at least
+  one 32-byte beat of serialization, minimized over cross-shard pairs
+  by :func:`repro.network.topology.min_cross_shard_latency_ns`.
+
+Control traffic (acks, returns) always rides the constant-latency
+second network, so the lookahead is the minimum of the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.config import SystemParams
+from repro.network.topology import (
+    DEFAULT_HOP_NS,
+    DEFAULT_LINK_NS_PER_32B,
+    PARTITIONS,
+    min_cross_shard_latency_ns,
+)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Node partition plus the window lookahead it admits."""
+
+    num_nodes: int
+    num_shards: int
+    #: ``assign[node_id] -> shard_id`` for every logical node.
+    assign: Tuple[int, ...]
+    #: Conservative window width, ns (>= 1).
+    lookahead_ns: int
+
+    @classmethod
+    def build(
+        cls,
+        params: SystemParams,
+        num_nodes: Optional[int] = None,
+        num_shards: int = 1,
+        hop_ns: Optional[int] = None,
+        link_ns_per_32b: Optional[int] = None,
+        partition: str = "stride",
+    ) -> "ShardPlan":
+        """Plan a partition of the machine under ``params``.
+
+        ``partition`` picks the node->shard map (see
+        ``repro.network.topology.PARTITIONS``): ``"stride"`` (default)
+        spreads each shard across the whole machine for per-window load
+        balance; ``"block"`` keeps row bands contiguous, minimizing
+        cross-shard traffic volume.  Results are digest-identical
+        either way — only wall-clock changes.
+
+        ``hop_ns``/``link_ns_per_32b`` mirror the per-job fabric timing
+        overrides (see :class:`repro.experiments.parallel.Job`) so the
+        lookahead matches the fabric the cell will actually run.
+        """
+        count = num_nodes if num_nodes is not None else params.num_nodes
+        try:
+            assign = PARTITIONS[partition](count, num_shards)
+        except KeyError:
+            raise ValueError(
+                f"unknown partition {partition!r}; "
+                f"known: {', '.join(sorted(PARTITIONS))}"
+            ) from None
+        lookahead = params.network_latency_ns
+        if params.network_topology is not None and num_shards > 1:
+            fabric_min = min_cross_shard_latency_ns(
+                count,
+                assign,
+                hop_ns if hop_ns is not None else DEFAULT_HOP_NS,
+                (link_ns_per_32b if link_ns_per_32b is not None
+                 else DEFAULT_LINK_NS_PER_32B),
+                torus=params.network_topology == "torus",
+            )
+            lookahead = min(lookahead, fabric_min)
+        return cls(
+            num_nodes=count,
+            num_shards=num_shards,
+            assign=assign,
+            lookahead_ns=max(1, lookahead),
+        )
+
+    def local_nodes(self, shard_id: int) -> Tuple[int, ...]:
+        return tuple(
+            i for i in range(self.num_nodes) if self.assign[i] == shard_id
+        )

@@ -1,0 +1,430 @@
+"""Conservative time-window orchestration of shard workers.
+
+The parent is a star router running the classic conservative-PDES
+window loop:
+
+1. ``t_min`` = the earliest pending event anywhere — the minimum of
+   every shard's next event time and every undelivered cross-shard
+   message's arrival time.
+2. Every shard runs freely through ``until = t_min + lookahead - 1``:
+   any message sent inside the window arrives at or after
+   ``t_min + lookahead``, strictly beyond it, so nothing a shard does
+   this window can affect another shard *within* the window.
+3. Outboxes are exchanged at the barrier and deposited at their exact
+   precomputed ``(arrival, (send_time, src, src_seq))`` keys before
+   the next window, where canonical arrival ordering
+   (``SystemParams.ordered_delivery``) delivers them in the same order
+   the single-process reference would.
+
+Termination needs no global traffic: a shard is done when its node
+programs have finished (workloads quiesce locally — see
+``HaloExchange``), and the run is done when every shard is done and no
+cross-shard message is undelivered.  The global completion time is the
+max of the shard completion times; state timers are clamped to it.
+
+Two transports share :class:`~repro.shard.worker.ShardSlice`
+unchanged: ``fork`` (long-lived worker processes over pipes, the real
+thing) and ``inline`` (every shard in this process, windows executed
+sequentially — same frames, same codec round-trip, same results; used
+for 1-shard references, property tests, and as the fallback inside
+daemonic pool workers that may not fork children).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import merge_snapshots
+from repro.shard import codec
+from repro.shard.digest import merged_digest
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import ShardJob, ShardSlice, worker_main
+
+#: Parent-side wait before declaring a silent worker dead, seconds.
+WINDOW_TIMEOUT_S = 300.0
+_POLL_S = 2.0
+
+
+class ShardFailure(RuntimeError):
+    """A shard died, errored, or the run wedged; ``report`` says how."""
+
+    def __init__(self, report: Dict[str, Any]):
+        super().__init__(
+            f"sharded run failed: {report.get('reason', 'unknown')} "
+            f"(shard={report.get('shard')}, window={report.get('window')})"
+        )
+        self.report = report
+
+
+@dataclass
+class ShardResult:
+    """Merged measurements of one sharded run."""
+
+    workload: str
+    ni_name: str
+    num_nodes: int
+    num_shards: int
+    #: Global completion time (max shard done-time), ns.
+    elapsed_ns: int
+    states: Dict[str, int]
+    messages_sent: int
+    bounces: int
+    flow_control_buffers: Optional[int]
+    size_buckets: Dict[int, int]
+    extras: Dict[str, Any]
+    #: Per-node NI counter snapshots keyed by node id (all shards).
+    ni_counters: Dict[int, Dict[str, int]]
+    #: Leaf-wise merged metrics snapshot plus ``shard.*`` gauges.
+    metrics: Dict[str, float]
+    #: Per-node delivered-stream digests (``collect_digest`` runs only).
+    node_digests: Dict[int, str] = field(default_factory=dict)
+    #: Per-shard kernel ScheduleDigests, indexed by shard id.
+    kernel_digests: Tuple[str, ...] = ()
+    #: Machine-level model digest — partition-invariant.
+    model_digest: Optional[str] = None
+    #: Window count, barrier wait, cross-shard volume (see
+    #: ``SHARD_GAUGE_KEYS`` in repro.obs.metrics).
+    shard_stats: Dict[str, int] = field(default_factory=dict)
+
+
+# -- transports ---------------------------------------------------------
+
+
+class _InlineTransport:
+    """All shards in this process; frames still round-trip the codec so
+    the bytes exercised are the same ones the pipes would carry."""
+
+    def __init__(self, job: ShardJob, plan: ShardPlan):
+        self.slices = [
+            ShardSlice(job, plan, sid) for sid in range(plan.num_shards)
+        ]
+
+    def ready(self) -> List[Optional[int]]:
+        return [s.next_time() for s in self.slices]
+
+    def window(self, until: int, deposits: List[list]) -> List[tuple]:
+        # Deposit-all *then* run-all: the barrier semantics of the fork
+        # transport, so kernel digests match across transports.
+        for slice_, batch in zip(self.slices, deposits):
+            _, decoded = codec.decode(codec.encode(codec.WINDOW, batch))
+            slice_.deposit(decoded)
+        reports = []
+        for slice_ in self.slices:
+            slice_.run_window(until)
+            _, report = codec.decode(
+                codec.encode(codec.WINDOW_DONE, slice_.window_report())
+            )
+            reports.append(report)
+        return reports
+
+    def finish(self, t_global: int) -> List[Dict[str, Any]]:
+        return [
+            codec.decode(
+                codec.encode(codec.RESULT, s.result(t_global))
+            )[1]
+            for s in self.slices
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class _ForkTransport:
+    """One forked worker per shard, framed over duplex pipes."""
+
+    def __init__(self, job: ShardJob, plan: ShardPlan):
+        ctx = multiprocessing.get_context("fork")
+        self.conns = []
+        self.procs = []
+        self.window_index = 0
+        self.barrier_wait_ns = 0
+        for sid in range(plan.num_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(job, plan, sid, child_conn),
+                daemon=True,
+                name=f"repro-shard-{sid}",
+            )
+            proc.start()
+            child_conn.close()
+            self.conns.append(parent_conn)
+            self.procs.append(proc)
+
+    def _fail(self, sid: int, phase: str, **detail) -> None:
+        # Reap the dead worker first: a closed pipe can be observed
+        # before the child is join()ed, at which point ``exitcode``
+        # would still read None.
+        self.procs[sid].join(timeout=1.0)
+        report = {
+            "reason": detail.pop("reason", "shard died"),
+            "shard": sid,
+            "phase": phase,
+            "window": self.window_index,
+            "exitcode": self.procs[sid].exitcode,
+        }
+        report.update(detail)
+        self.close()
+        raise ShardFailure(report)
+
+    def _collect(self, phase: str) -> List[Any]:
+        """One frame from every shard, with liveness + timeout checks."""
+        pending = {conn: sid for sid, conn in enumerate(self.conns)}
+        replies: Dict[int, Any] = {}
+        arrivals: Dict[int, float] = {}
+        deadline = time.monotonic() + WINDOW_TIMEOUT_S
+        while pending:
+            ready = multiprocessing.connection.wait(
+                list(pending), timeout=_POLL_S
+            )
+            if not ready:
+                for conn, sid in list(pending.items()):
+                    if not self.procs[sid].is_alive():
+                        self._fail(sid, phase)
+                if time.monotonic() > deadline:
+                    self._fail(
+                        min(pending.values()), phase, reason="timeout",
+                        timeout_s=WINDOW_TIMEOUT_S,
+                    )
+                continue
+            for conn in ready:
+                sid = pending[conn]
+                try:
+                    data = conn.recv_bytes()
+                except (EOFError, OSError):
+                    self._fail(sid, phase)
+                ftype, payload = codec.decode(data)
+                if ftype == codec.ERROR:
+                    self._fail(
+                        sid, phase, reason="shard error", traceback=payload
+                    )
+                replies[sid] = (ftype, payload)
+                arrivals[sid] = time.monotonic()
+                del pending[conn]
+        if arrivals:
+            # Idle time spent waiting for the slowest shard: the cost
+            # of the conservative barrier.
+            last = max(arrivals.values())
+            self.barrier_wait_ns += int(
+                sum(last - t for t in arrivals.values()) * 1e9
+            )
+        return [replies[sid][1] for sid in range(len(self.conns))]
+
+    def ready(self) -> List[Optional[int]]:
+        return self._collect("ready")
+
+    def window(self, until: int, deposits: List[list]) -> List[tuple]:
+        self.window_index += 1
+        for conn, batch in zip(self.conns, deposits):
+            conn.send_bytes(codec.encode(codec.WINDOW, (until, batch)))
+        return self._collect("window")
+
+    def finish(self, t_global: int) -> List[Dict[str, Any]]:
+        for conn in self.conns:
+            conn.send_bytes(codec.encode(codec.FINISH, t_global))
+        return self._collect("finish")
+
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.procs:
+            proc.join(timeout=5.0)
+
+
+# -- the window loop ----------------------------------------------------
+
+
+def _validated(job: ShardJob) -> ShardJob:
+    import dataclasses
+
+    params = job.params
+    if not params.ordered_delivery:
+        params = params.replace(ordered_delivery=True)
+        job = dataclasses.replace(job, params=params)
+    if params.faults is not None:
+        raise ValueError("sharded runs are incompatible with fault injection")
+    if params.tracing or params.spans:
+        raise ValueError(
+            "sharded runs do not support tracing/spans (machine-local "
+            "record streams cannot be merged deterministically)"
+        )
+    if params.sim_scheduler != "heap":
+        raise ValueError("sharded runs require the heap scheduler")
+    if job.num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    return job
+
+
+def run_sharded(
+    job: ShardJob, transport: Optional[str] = None
+) -> ShardResult:
+    """Run one sharded cell and merge the shard measurements.
+
+    ``transport`` is ``"fork"`` (worker processes; the default),
+    ``"inline"`` (same windows in-process — identical results, no
+    parallelism), or ``None`` to pick: fork unless this process is
+    daemonic (e.g. a ``multiprocessing.Pool`` worker) or the run has a
+    single shard.
+    """
+    job = _validated(job)
+    plan = ShardPlan.build(
+        job.params, job.num_nodes, job.num_shards,
+        hop_ns=job.fabric_hop_ns,
+        link_ns_per_32b=job.fabric_link_ns_per_32b,
+        partition=job.partition,
+    )
+    if transport is None:
+        daemonic = multiprocessing.current_process().daemon
+        transport = (
+            "inline" if job.num_shards == 1 or daemonic else "fork"
+        )
+    if transport == "inline":
+        channel = _InlineTransport(job, plan)
+    elif transport == "fork":
+        channel = _ForkTransport(job, plan)
+    else:
+        raise ValueError(f"unknown shard transport {transport!r}")
+
+    shards = plan.num_shards
+    lookahead = plan.lookahead_ns
+    # A single shard exchanges nothing, so any window width is safe;
+    # jumping in huge windows keeps the 1-shard reference from paying
+    # thousands of pointless barrier rounds.  N-shard runs use the
+    # conservative lookahead.  Both run the same deadline-based kernel
+    # loop (ticks always complete — including the end-of-tick flush),
+    # which is what keeps delivery streams identical across widths.
+    window_width = lookahead if shards > 1 else (1 << 40)
+    try:
+        next_times = channel.ready()
+        pending: List[list] = [[] for _ in range(shards)]
+        done = [False] * shards
+        done_times: List[Optional[int]] = [None] * shards
+        windows = 0
+        cross_shard = 0
+        busy_ns = 0
+        # Per-window max of the shard busy times: the wall a host with
+        # >= num_shards free cores would spend inside the kernel
+        # (shards run concurrently; every window ends at a barrier).
+        critical_ns = 0
+        while True:
+            if all(done) and not any(pending):
+                break
+            candidates = [t for t in next_times if t is not None]
+            candidates.extend(
+                min_when for batch in pending
+                for min_when, _count, _blob in batch
+            )
+            if not candidates:
+                raise ShardFailure({
+                    "reason": "quiescent",
+                    "shard": None,
+                    "window": windows,
+                    "detail": "no shard has events but not all are done",
+                    "done": list(done),
+                })
+            t_min = min(candidates)
+            until = t_min + window_width - 1
+            windows += 1
+            deposits = [
+                [blob for _min_when, _count, blob in batch]
+                for batch in pending
+            ]
+            pending = [[] for _ in range(shards)]
+            reports = channel.window(until, deposits)
+            window_busy = []
+            for sid, (is_done, done_time, next_time, outbox,
+                      shard_busy) in enumerate(reports):
+                if is_done:
+                    done[sid] = True
+                    done_times[sid] = done_time
+                next_times[sid] = next_time
+                window_busy.append(shard_busy)
+                for target, (min_when, count, blob) in sorted(
+                    outbox.items()
+                ):
+                    pending[target].append((min_when, count, blob))
+                    cross_shard += count
+            busy_ns += sum(window_busy)
+            critical_ns += max(window_busy)
+        t_global = max(
+            dt for dt in done_times if dt is not None
+        )
+        shard_results = channel.finish(t_global)
+    finally:
+        channel.close()
+
+    return _merge(job, plan, shard_results, t_global, {
+        "windows": windows,
+        "cross_shard_messages": cross_shard,
+        "lookahead_ns": lookahead,
+        "shards": shards,
+        "barrier_wait_ns": getattr(channel, "barrier_wait_ns", 0),
+        "busy_ns": busy_ns,
+        "critical_path_ns": critical_ns,
+    })
+
+
+def _merge(
+    job: ShardJob,
+    plan: ShardPlan,
+    shard_results: List[Dict[str, Any]],
+    t_global: int,
+    shard_stats: Dict[str, int],
+) -> ShardResult:
+    states: Dict[str, int] = {}
+    size_buckets: Dict[int, int] = {}
+    ni_counters: Dict[int, Dict[str, int]] = {}
+    node_digests: Dict[int, str] = {}
+    kernel_digests: List[str] = []
+    messages_sent = 0
+    bounces = 0
+    for result in sorted(shard_results, key=lambda r: r["shard"]):
+        for state, ns in result["states"].items():
+            states[state] = states.get(state, 0) + ns
+        for value, count in result["size_buckets"].items():
+            size_buckets[value] = size_buckets.get(value, 0) + count
+        for node_id, counters in result["ni_counters"].items():
+            ni_counters[int(node_id)] = counters
+        messages_sent += result["messages_sent"]
+        bounces += result["bounces"]
+        for node_id, digest in result.get("node_digests", {}).items():
+            node_digests[int(node_id)] = digest
+        if "kernel_digest" in result:
+            kernel_digests.append(result["kernel_digest"])
+    metrics = merge_snapshots([r["metrics"] for r in shard_results])
+    for key, value in shard_stats.items():
+        metrics[f"shard.{key}"] = value
+    model_digest = None
+    if node_digests:
+        model_digest = merged_digest(
+            node_digests, metrics, extra=(t_global,)
+        )
+    return ShardResult(
+        workload=job.workload,
+        ni_name=job.ni,
+        num_nodes=plan.num_nodes,
+        num_shards=plan.num_shards,
+        elapsed_ns=t_global,
+        states=states,
+        messages_sent=messages_sent,
+        bounces=bounces,
+        flow_control_buffers=job.params.flow_control_buffers,
+        size_buckets=size_buckets,
+        extras=dict(shard_results[0].get("extras", {})),
+        ni_counters=ni_counters,
+        metrics=metrics,
+        node_digests=node_digests,
+        kernel_digests=tuple(kernel_digests),
+        model_digest=model_digest,
+        shard_stats=shard_stats,
+    )

@@ -1,0 +1,266 @@
+"""One shard: a Machine hosting a subset of nodes, driven in windows.
+
+:class:`ShardSlice` is the per-shard engine, used identically by the
+forked pipe workers (:func:`worker_main`) and by the in-process
+``inline`` transport (see :mod:`repro.shard.runner`) — which is how we
+know the two transports produce the same results: they run the same
+object through the same calls, only the framing differs.
+
+Window protocol (worker side):
+
+1. ``READY`` — construction finished; report the first ``next_time``.
+2. For each ``WINDOW (until, deposits)``: deposit the cross-shard
+   arrivals at their exact precomputed ``(when, (send_time, src,
+   src_seq))`` keys, run the kernel through ``until`` (inclusive),
+   then answer ``WINDOW_DONE (done, done_time, next_time, outbox)``
+   with everything local nodes sent to other shards this window.
+3. ``FINISH (t_global)`` — clamp the state timers to the global
+   completion time and answer ``RESULT`` with the shard's
+   measurements (plus digests when requested).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import SoftwareCosts, SystemParams
+from repro.network.message import Message, MessageKind
+from repro.shard import codec
+from repro.shard.digest import DeliveryDigest
+from repro.shard.plan import ShardPlan
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """Everything a sharded run needs, shard-id excluded (picklable —
+    it crosses the fork once at spawn; per-window traffic uses the
+    struct codec)."""
+
+    workload: str
+    ni: str
+    params: SystemParams
+    costs: SoftwareCosts
+    num_nodes: int
+    num_shards: int
+    #: Workload constructor kwargs, as ``((name, value), ...)``.
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: Optional NI variant ``(suffix, ((attr, value), ...))`` — see
+    #: :class:`repro.experiments.parallel.Job`.
+    variant: Optional[Tuple[str, Tuple[Tuple[str, Any], ...]]] = None
+    always_udma: bool = False
+    sender_throttle_ns: int = 0
+    fabric_hop_ns: Optional[int] = None
+    fabric_link_ns_per_32b: Optional[int] = None
+    #: Node->shard map strategy (see ``ShardPlan.build``): ``"stride"``
+    #: balances per-window load, ``"block"`` minimizes cross-shard
+    #: traffic.  Digest-identical results either way.
+    partition: str = "stride"
+    #: Collect the delivery digest + per-shard kernel ScheduleDigest.
+    #: Off for timed benchmark runs (hashing every event isn't free);
+    #: on for every determinism check.
+    collect_digest: bool = False
+    #: Test hook: ``(shard_id, window_index)`` at which that shard
+    #: hard-exits (os._exit) — exercises the parent's failure
+    #: detection.  ``None`` in real runs.
+    die_at_window: Optional[Tuple[int, int]] = None
+
+
+def _is_control(msg: Message) -> bool:
+    return msg.kind is MessageKind.ACK or msg.kind is MessageKind.RETURN
+
+
+class ShardSlice:
+    """One shard's machine, workload slice, and window bookkeeping."""
+
+    def __init__(self, job: ShardJob, plan: ShardPlan, shard_id: int):
+        from repro.node import Machine
+        from repro.workloads.registry import create as create_workload
+
+        self.job = job
+        self.plan = plan
+        self.shard_id = shard_id
+        ni_name = job.ni
+        if job.variant is not None:
+            from repro.ni.registry import variant as register_ni_variant
+
+            suffix, attrs = job.variant
+            ni_name = register_ni_variant(job.ni, suffix, **dict(attrs))
+        self.workload = create_workload(job.workload, **dict(job.kwargs))
+        if not getattr(self.workload, "shardable", False):
+            raise ValueError(
+                f"workload {job.workload!r} is not shardable (nodes may "
+                "share Python state; see Workload.shardable)"
+            )
+        self.workload.num_nodes = job.num_nodes
+        self.machine = Machine(
+            job.params, job.costs, ni_name,
+            num_nodes=job.num_nodes,
+            shard=(shard_id, plan.assign),
+        )
+        machine = self.machine
+        if job.always_udma:
+            for node in machine:
+                node.ni.always_udma = True
+        if job.sender_throttle_ns and 0 in machine._node_index:
+            machine.node(0).ni.throttle_ns = job.sender_throttle_ns
+        fabric = machine.network.fabric
+        if fabric is not None:
+            if job.fabric_hop_ns is not None:
+                fabric.hop_ns = job.fabric_hop_ns
+            if job.fabric_link_ns_per_32b is not None:
+                fabric.link_ns_per_32b = job.fabric_link_ns_per_32b
+
+        self.delivery_digest: Optional[DeliveryDigest] = None
+        self.kernel_digest = None
+        if job.collect_digest:
+            from repro.sim.trace import ScheduleDigest
+
+            self.delivery_digest = DeliveryDigest()
+            machine.network._streams = self.delivery_digest.record
+            self.kernel_digest = ScheduleDigest()
+            machine.sim._schedule_hook = self.kernel_digest.update
+
+        self.done_time: Optional[int] = None
+        done = self.workload.launch(machine)
+
+        def _mark_done(_event) -> None:
+            self.done_time = machine.sim.now
+
+        done.add_callback(_mark_done)
+        self._done_event = done
+        self.windows = 0
+        self.busy_ns = 0
+
+    # -- window protocol ------------------------------------------------
+
+    def next_time(self) -> Optional[int]:
+        return self.machine.sim.peek()
+
+    def deposit(self, blobs: List[bytes]) -> None:
+        """Unpack cross-shard outbox blobs (see :func:`codec.pack`) and
+        inject each arrival at its exact key."""
+        network = self.machine.network
+        for blob in blobs:
+            for when, msg in codec.unpack(blob):
+                network.deposit(
+                    when, (msg.sent_at, msg.src, msg.src_seq), msg,
+                    _is_control(msg),
+                )
+
+    def run_window(self, until: int) -> None:
+        self.windows += 1
+        start = time.perf_counter_ns()
+        self.machine.sim.run(until=until)
+        self.busy_ns += time.perf_counter_ns() - start
+
+    def drain_outbox(self) -> Dict[int, Tuple[int, int, bytes]]:
+        """Cross-shard messages produced this window, pre-partitioned
+        by destination shard: ``{target: (min_when, count, blob)}``.
+
+        The blob packs ``[(when, msg), ...]``; ``min_when`` is what the
+        parent's window-floor computation needs and ``count`` its
+        traffic accounting, so the parent routes opaque bytes and never
+        decodes a Message — that work stays on the (parallel) workers
+        instead of the (serial) barrier loop.
+        """
+        network = self.machine.network
+        out = network.remote_outbox
+        if not out:
+            return {}
+        network.remote_outbox = []
+        assign = self.plan.assign
+        grouped: Dict[int, list] = {}
+        for when, _key, msg, _control in out:
+            grouped.setdefault(assign[msg.dst], []).append((when, msg))
+        return {
+            target: (
+                min(when for when, _msg in entries),
+                len(entries),
+                codec.pack(entries),
+            )
+            for target, entries in grouped.items()
+        }
+
+    def window_report(self) -> tuple:
+        """``(done, done_time, next_time, outbox, busy_ns)`` after a
+        window.  ``busy_ns`` is wall-clock spent inside the kernel this
+        window — the critical-path accounting the bench uses; it never
+        feeds a digest."""
+        busy, self.busy_ns = self.busy_ns, 0
+        return (
+            self.done_time is not None,
+            -1 if self.done_time is None else self.done_time,
+            self.next_time(),
+            self.drain_outbox(),
+            busy,
+        )
+
+    # -- results --------------------------------------------------------
+
+    def result(self, t_global: int) -> Dict[str, Any]:
+        """Final shard measurements (codec-encodable plain data)."""
+        machine = self.machine
+        machine.finish(at=t_global)
+        workload_result = self.workload.collect(machine)
+        out: Dict[str, Any] = {
+            "shard": self.shard_id,
+            "done_time": self.done_time,
+            "windows": self.windows,
+            "states": dict(workload_result.states),
+            "messages_sent": workload_result.messages_sent,
+            "bounces": workload_result.bounces,
+            "size_buckets": dict(workload_result.message_sizes.buckets()),
+            "extras": dict(workload_result.extras),
+            "ni_counters": {
+                node.node_id: dict(node.ni.counters.as_dict())
+                for node in machine
+            },
+            "metrics": dict(machine.metrics_snapshot()),
+        }
+        if self.delivery_digest is not None:
+            out["node_digests"] = {
+                str(node): digest
+                for node, digest in self.delivery_digest.node_digests().items()
+            }
+            out["kernel_digest"] = self.kernel_digest.hexdigest()
+            out["kernel_events"] = self.kernel_digest.count
+        return out
+
+
+def worker_main(job: ShardJob, plan: ShardPlan, shard_id: int, conn) -> None:
+    """Forked worker entry: serve the window protocol over ``conn``."""
+    try:
+        shard = ShardSlice(job, plan, shard_id)
+        conn.send_bytes(codec.encode(codec.READY, shard.next_time()))
+        window = 0
+        while True:
+            ftype, payload = codec.decode(conn.recv_bytes())
+            if ftype == codec.WINDOW:
+                if job.die_at_window is not None and \
+                        job.die_at_window == (shard_id, window):
+                    os._exit(1)
+                window += 1
+                until, deposits = payload
+                shard.deposit(deposits)
+                shard.run_window(until)
+                conn.send_bytes(codec.encode(
+                    codec.WINDOW_DONE, shard.window_report()
+                ))
+            elif ftype == codec.FINISH:
+                conn.send_bytes(codec.encode(
+                    codec.RESULT, shard.result(payload)
+                ))
+                return
+            else:
+                raise ValueError(f"unexpected frame type {ftype}")
+    except Exception:
+        try:
+            conn.send_bytes(codec.encode(
+                codec.ERROR, traceback.format_exc()
+            ))
+        except OSError:
+            pass

@@ -148,6 +148,15 @@ class Simulator:
         #: harness's window into the batched dispatch order.  ``None``
         #: (the default) costs one hoisted is-not-None check per event.
         self._schedule_hook = None
+        #: Optional ``hook(when) -> bool`` invoked by the batched heap
+        #: loops when tick ``when`` is exhausted (heap prefix drained,
+        #: bucket consumed).  A truthy return means the hook scheduled
+        #: new same-tick entries (necessarily into the bucket, since
+        #: ``_tick == when``) and the tick must keep draining.  The
+        #: ordered-delivery network layer uses it to flush pending
+        #: arrivals in canonical order (see repro.shard).  Heap
+        #: scheduler only; ``step()`` refuses to run while it is set.
+        self._eot_hook = None
         #: Free list of processed, value-less Timeouts ready for reuse.
         self._timeout_pool: List[Timeout] = []
         #: The process currently being advanced (set by Process._resume);
@@ -332,6 +341,11 @@ class Simulator:
         :class:`~repro.sim.trace.ScheduleDigest` uses to fingerprint an
         execution for the scheduler A/B determinism check.
         """
+        if self._eot_hook is not None:
+            raise SimulationError(
+                "step() cannot honor an end-of-tick hook (ordered "
+                "delivery); drive this simulator with run()"
+            )
         queue = self._queue
         pool = self._timeout_pool
         while True:
@@ -396,7 +410,7 @@ class Simulator:
         always carry larger sequence numbers than the heap's remaining
         same-tick prefix.
         """
-        if _crun is not None:
+        if _crun is not None and self._eot_hook is None:
             return _crun(self, until)
         return self._run_py(until)
 
@@ -406,6 +420,7 @@ class Simulator:
         pool = self._timeout_pool
         bucket = self._bucket
         hook = self._schedule_hook
+        eot = self._eot_hook
 
         if until is None:
             while queue:
@@ -446,7 +461,20 @@ class Simulator:
                             seq, obj = bucket[k]
                             k += 1
                         else:
-                            break
+                            # Tick exhausted: let the end-of-tick hook
+                            # flush parked arrivals.  Each call handles
+                            # one node; a flush whose deliveries
+                            # schedule nothing same-tick just moves on
+                            # to the next node, so keep calling until
+                            # the bucket grows or the hook runs dry.
+                            while (eot is not None and eot(when)
+                                   and k >= len(bucket)):
+                                pass
+                            if k < len(bucket):
+                                seq, obj = bucket[k]
+                                k += 1
+                            else:
+                                break
                 except BaseException:
                     self._restore_bucket(when, k)
                     raise
@@ -506,7 +534,20 @@ class Simulator:
                             seq, obj = bucket[k]
                             k += 1
                         else:
-                            break
+                            # Tick exhausted: let the end-of-tick hook
+                            # flush parked arrivals.  Each call handles
+                            # one node; a flush whose deliveries
+                            # schedule nothing same-tick just moves on
+                            # to the next node, so keep calling until
+                            # the bucket grows or the hook runs dry.
+                            while (eot is not None and eot(when)
+                                   and k >= len(bucket)):
+                                pass
+                            if k < len(bucket):
+                                seq, obj = bucket[k]
+                                k += 1
+                            else:
+                                break
                 finally:
                     self._tick = -1
                     self._restore_bucket(when, k)
@@ -558,7 +599,20 @@ class Simulator:
                         seq, obj = bucket[k]
                         k += 1
                     else:
-                        break
+                        # Tick exhausted: let the end-of-tick hook
+                        # flush parked arrivals.  Each call handles
+                        # one node; a flush whose deliveries
+                        # schedule nothing same-tick just moves on
+                        # to the next node, so keep calling until
+                        # the bucket grows or the hook runs dry.
+                        while (eot is not None and eot(when)
+                               and k >= len(bucket)):
+                            pass
+                        if k < len(bucket):
+                            seq, obj = bucket[k]
+                            k += 1
+                        else:
+                            break
             except BaseException:
                 self._restore_bucket(when, k)
                 raise
@@ -779,6 +833,11 @@ class _WheelSimulator(Simulator):
         self._wcount += n - k
 
     def run(self, until: Any = None) -> Any:
+        if self._eot_hook is not None:
+            raise SimulationError(
+                "end-of-tick hooks (ordered delivery) require the heap "
+                "scheduler"
+            )
         slots = self._slots
         pool = self._timeout_pool
         hook = self._schedule_hook

@@ -184,11 +184,17 @@ class StateTimer:
         """Return to the state saved by the matching :meth:`push`."""
         self.enter(self._stack.pop())
 
-    def finish(self) -> None:
-        """Credit the trailing interval and freeze the timer."""
+    def finish(self, at: "Optional[int]" = None) -> None:
+        """Credit the trailing interval and freeze the timer.
+
+        ``at`` caps the final interval at that timestamp (used by
+        sharded runs, whose kernels overshoot the global completion
+        time by up to one synchronization window).
+        """
         if not self._finished:
-            self._totals[self._state] += self.sim.now - self._since
-            self._since = self.sim.now
+            end = self.sim.now if at is None else min(at, self.sim.now)
+            self._totals[self._state] += max(0, end - self._since)
+            self._since = end
             self._finished = True
 
     def total(self, state: str) -> int:

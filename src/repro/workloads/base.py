@@ -87,6 +87,13 @@ class Workload(ABC):
     #: Number of nodes this workload needs (None = machine default).
     num_nodes: Optional[int] = None
 
+    #: Whether ``repro.shard.run_sharded`` may partition this workload
+    #: across worker processes.  Requires that ``node_main`` touch only
+    #: its own node plus the network — no cross-node Python state
+    #: (shared barriers/channels built in ``prepare`` disqualify a
+    #: workload, since each shard constructs only its own nodes).
+    shardable: bool = False
+
     def build_machine(
         self,
         params: SystemParams,

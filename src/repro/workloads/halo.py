@@ -1,0 +1,127 @@
+"""Halo exchange: the scaling workload behind ``contention_scale``.
+
+Each node owns one cell of the machine's 2D grid (the same row-major
+geometry :class:`~repro.network.topology.MeshFabric` routes over) and,
+per iteration, computes for a fixed interval, sends one boundary
+message to each of its up-to-four grid neighbors, then waits until all
+of its neighbors' boundaries for that iteration have arrived — the
+communication skeleton of every stencil/iterative-solver code, and the
+reason 2D meshes were built in the first place: all data traffic is
+nearest-neighbor.
+
+The workload is *shardable* (see :mod:`repro.shard`): nodes share no
+Python state — every interaction crosses the network — so a row-band
+partition of the grid across worker processes reproduces the
+single-process run exactly under canonical arrival ordering.  The
+final quiesce (wait until every sent message is acknowledged) keeps
+shard termination local: a shard is done when its own nodes have
+received everything they are owed and every outbound message is
+acked, with no end-of-run barrier traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generator, List
+
+from repro.workloads.base import Workload
+
+
+class HaloExchange(Workload):
+    """Iterated nearest-neighbor boundary exchange on the node grid."""
+
+    name = "halo"
+    shardable = True
+
+    def __init__(
+        self,
+        iterations: int = 20,
+        compute_ns: int = 2000,
+        payload_bytes: int = 64,
+        num_nodes: int = 64,
+        depth: int = 1,
+    ):
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.iterations = iterations
+        self.compute_ns = compute_ns
+        self.payload_bytes = payload_bytes
+        self.num_nodes = num_nodes
+        #: Messages per neighbor per iteration — a deep halo (or a
+        #: boundary surface too large for one network message) ships as
+        #: several fragments; the receiver needs all of them.
+        self.depth = depth
+
+    @staticmethod
+    def neighbors(node_id: int, num_nodes: int) -> List[int]:
+        """4-neighborhood on the machine's row-major grid.
+
+        Same geometry as ``MeshFabric``: ``width = isqrt(n)`` columns,
+        rows filled in id order (the last row may be ragged — ids
+        ``>= num_nodes`` simply do not exist and are skipped).
+        """
+        width = max(1, int(math.isqrt(num_nodes)))
+        x, y = node_id % width, node_id // width
+        height = -(-num_nodes // width)
+        out = []
+        if y > 0:
+            out.append(node_id - width)
+        if x > 0:
+            out.append(node_id - 1)
+        if x + 1 < width and node_id + 1 < num_nodes:
+            out.append(node_id + 1)
+        if y + 1 < height and node_id + width < num_nodes:
+            out.append(node_id + width)
+        return out
+
+    def node_main(self, machine, node) -> Generator:
+        runtime = node.runtime
+        total = machine.total_nodes
+        nbrs = self.neighbors(node.node_id, total)
+        #: Boundary arrivals per iteration (handlers bump, main waits).
+        arrived: Dict[int, int] = {}
+
+        def on_halo(_runtime, message) -> None:
+            arrived[message.body] = arrived.get(message.body, 0) + 1
+
+        runtime.register_handler("halo", on_halo)
+        payload = self.payload_bytes
+        for iteration in range(self.iterations):
+            yield from node.compute(self.compute_ns)
+            for _fragment in range(self.depth):
+                for dst in nbrs:
+                    self.log_message(payload)
+                    yield from runtime.send(
+                        dst, "halo", payload, body=iteration
+                    )
+            need = len(nbrs) * self.depth
+            yield from runtime.wait_for(
+                lambda it=iteration: arrived.get(it, 0) >= need
+            )
+        # Quiesce locally: every message this node injected has been
+        # accepted and acknowledged (bounced sends retry until they
+        # land), so nothing of ours is still in flight when the run
+        # ends.  Purely local — no end-of-run barrier messages, which
+        # is what lets each shard detect completion on its own.
+        counts = node.ni.fcu._counts
+        yield from runtime.wait_for(
+            lambda: counts["acked"] >= counts["sent"]
+        )
+
+    def collect(self, machine):
+        result = super().collect(machine)
+        result.extras.update(self.config_extras())
+        return result
+
+    def config_extras(self) -> Dict[str, int]:
+        """Config-only extras (identical on every shard)."""
+        return {
+            "iterations": self.iterations,
+            "compute_ns": self.compute_ns,
+            "payload_bytes": self.payload_bytes,
+            "depth": self.depth,
+        }

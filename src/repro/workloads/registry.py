@@ -23,6 +23,7 @@ from repro.workloads.collectives import (
 )
 from repro.workloads.dsmc import Dsmc
 from repro.workloads.em3d import Em3d
+from repro.workloads.halo import HaloExchange
 from repro.workloads.moldyn import Moldyn
 from repro.workloads.spsolve import Spsolve
 from repro.workloads.unstructured import Unstructured
@@ -30,7 +31,8 @@ from repro.workloads.unstructured import Unstructured
 _REGISTRY: Dict[str, Type[Workload]] = {
     cls.name: cls
     for cls in (
-        Appbt, Barnes, Dsmc, Em3d, Moldyn, Spsolve, Unstructured,
+        Appbt, Barnes, Dsmc, Em3d, HaloExchange, Moldyn, Spsolve,
+        Unstructured,
         BarrierSweep, BcastSweep, ReduceSweep, PutGetSweep, StridedSweep,
     )
 }

@@ -139,4 +139,109 @@ def test_machine_with_mesh_topology_end_to_end():
 
 def test_bad_topology_rejected():
     with pytest.raises(ValueError):
-        DEFAULT_PARAMS.replace(network_topology="torus").validate()
+        DEFAULT_PARAMS.replace(network_topology="hypercube").validate()
+
+
+# ------------------------------------------------- non-square meshes
+
+def test_mesh_geometry_non_square_24():
+    _, mesh = make_mesh(24)
+    assert (mesh.width, mesh.height) == (4, 6)
+    assert mesh.coords(23) == (3, 5)
+    for src, dst in ((0, 23), (7, 16), (22, 1)):
+        x0, y0 = mesh.coords(src)
+        x1, y1 = mesh.coords(dst)
+        assert len(mesh.route(src, dst)) == abs(x1 - x0) + abs(y1 - y0)
+
+
+def test_mesh_geometry_ragged_96():
+    _, mesh = make_mesh(96)
+    # isqrt(96) = 9 columns; 96 = 10 full rows + 6 in the last.
+    assert (mesh.width, mesh.height) == (9, 11)
+    assert mesh.coords(95) == (5, 10)
+    assert mesh.static_hops(0, 95) == 5 + 10
+    assert len(mesh.route(0, 95)) == 15
+
+
+def test_non_square_mesh_conserves_messages():
+    sim, mesh = make_mesh(24)
+    arrivals = {}
+
+    def arrive(msg):
+        arrivals[msg.dst] = arrivals.get(msg.dst, 0) + 1
+
+    for src in range(24):
+        dst = (src + 5) % 24
+        sim.process(mesh.deliver(Message(src=src, dst=dst, size=64),
+                                 arrive))
+    sim.run()
+    # Every message delivered exactly once: no loss, no duplication.
+    assert mesh.counters["delivered"] == 24
+    assert sorted(arrivals) == list(range(24))
+    assert all(count == 1 for count in arrivals.values())
+
+
+# ------------------------------------------------------- route cache
+
+def test_route_cache_hits_return_same_list():
+    _, mesh = make_mesh(16)
+    first = mesh.route(0, 15)
+    assert mesh.route(0, 15) is first       # cached object reused
+
+
+def test_route_cache_evicts_lru(monkeypatch):
+    from repro.network import topology
+
+    monkeypatch.setattr(topology, "ROUTE_CACHE_MAX", 3)
+    _, mesh = make_mesh(16)
+    a = mesh.route(0, 1)
+    mesh.route(0, 2)
+    mesh.route(0, 3)
+    assert mesh.route(0, 1) is a            # hit moves (0,1) to the end
+    mesh.route(0, 4)                        # evicts (0,2), the LRU
+    assert (0, 2) not in mesh._route_cache
+    assert (0, 1) in mesh._route_cache
+    assert len(mesh._route_cache) == 3
+
+
+# ------------------------------------------------------------- torus
+
+def test_torus_wraps_the_shorter_way():
+    from repro.network.topology import TorusFabric
+
+    sim = Simulator()
+    torus = TorusFabric(sim, DEFAULT_PARAMS, 16)
+    # 0 (0,0) -> 3 (3,0): one wrap hop backwards, not three forward.
+    assert torus.route(0, 3) == [(0, 3)]
+    assert torus.static_hops(0, 3) == 1
+    # Ties (distance 2 either way on a 4-ring) go the positive way.
+    assert torus.route(0, 2) == [(0, 1), (1, 2)]
+    # Opposite corner is one wrap in each dimension, not 3+3.
+    assert torus.static_hops(0, 15) == 2
+    assert torus.route(0, 15) == [(0, 3), (3, 15)]
+
+
+def test_torus_requires_full_rectangle():
+    from repro.network.topology import TorusFabric
+
+    with pytest.raises(ValueError):
+        TorusFabric(Simulator(), DEFAULT_PARAMS, 10)
+
+
+# -------------------------------------------------------- partitions
+
+def test_block_and_stride_partitions():
+    from repro.network.topology import (
+        PARTITIONS, block_partition, stride_partition,
+    )
+
+    assert block_partition(8, 2) == (0, 0, 0, 0, 1, 1, 1, 1)
+    assert stride_partition(8, 2) == (0, 1, 0, 1, 0, 1, 0, 1)
+    for partition in PARTITIONS.values():
+        assign = partition(10, 3)
+        assert len(assign) == 10
+        assert set(assign) == {0, 1, 2}
+        with pytest.raises(ValueError):
+            partition(4, 5)
+        with pytest.raises(ValueError):
+            partition(4, 0)

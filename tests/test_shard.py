@@ -1,0 +1,232 @@
+"""Tests for the sharded-simulation layer (repro.shard).
+
+Covers the pieces individually — wire codec, end-of-tick flush hook,
+window-bounded ``run(until=...)``, canonical ordered delivery — and
+then the headline contract end to end: a sharded run is bit-identical
+to the single-process reference, on both transports, and a dead shard
+surfaces as a structured failure.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.network import Message, Network
+from repro.network.message import MessageKind
+from repro.shard import ShardFailure, ShardJob, codec, run_sharded
+from repro.sim import Simulator
+from repro.sim.events import SimulationError
+
+
+def halo_job(num_shards, num_nodes=16, topology=None, **overrides):
+    params = DEFAULT_PARAMS.replace(
+        ordered_delivery=True,
+        network_topology=topology,
+        flow_control_buffers=8,
+    )
+    return ShardJob(
+        workload="halo", ni="cni32qm",
+        params=params, costs=DEFAULT_COSTS,
+        num_nodes=num_nodes, num_shards=num_shards,
+        kwargs=(("compute_ns", 1000), ("iterations", 2),
+                ("payload_bytes", 32)),
+        collect_digest=True,
+        **overrides,
+    )
+
+
+# ------------------------------------------------------------ codec
+
+def test_codec_roundtrips_scalars_and_containers():
+    for obj in (None, True, False, 0, -1, 1 << 40, -(1 << 62),
+                1 << 80,                       # bigint (text fallback)
+                3.25, "plain", "unicódé ❤",
+                b"\x00raw\xff", (), [], {},
+                (1, "two", [3.0, {"four": b"5"}], (None,))):
+        assert codec.unpack(codec.pack(obj)) == obj
+
+
+def test_codec_roundtrips_messages_including_nested():
+    inner = Message(src=3, dst=0, size=64, handler="halo", body=7,
+                    sent_at=120, src_seq=9)
+    bounce = Message(src=0, dst=3, size=8, kind=MessageKind.RETURN,
+                     body=inner, bounces=2, sent_at=200)
+    out = codec.unpack(codec.pack([(200, bounce)]))
+    [(when, decoded)] = out
+    assert when == 200
+    assert decoded.kind is MessageKind.RETURN
+    assert decoded.bounces == 2
+    assert decoded.src_seq is None
+    assert decoded.body.handler == "halo"
+    assert decoded.body.src_seq == 9
+    assert decoded.body.sent_at == 120
+
+
+def test_codec_frames_and_error_cases():
+    frame = codec.encode(codec.WINDOW, (100, [[b"blob"]]))
+    ftype, payload = codec.decode(frame)
+    assert ftype == codec.WINDOW
+    assert payload == (100, [[b"blob"]])
+    with pytest.raises(TypeError):
+        codec.pack(object())
+    with pytest.raises(ValueError):
+        codec.unpack(codec.pack(1) + b"junk")
+
+
+# ------------------------------------- end-of-tick hook + run(until=)
+
+def test_step_refuses_eot_hook():
+    sim = Simulator()
+    sim._eot_hook = lambda when: False
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_wheel_scheduler_refuses_eot_hook():
+    sim = Simulator(scheduler="wheel")
+    sim._eot_hook = lambda when: False
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_eot_hook_can_extend_the_tick():
+    """A hook that schedules same-tick work keeps the tick draining."""
+    sim = Simulator()
+    seen = []
+    injected = []
+
+    def hook(when):
+        if when == 10 and not injected:
+            injected.append(True)
+            ev = sim.event()
+            ev.add_callback(lambda e: seen.append("late"))
+            ev.succeed(delay=0)
+            return True
+        return False
+
+    sim._eot_hook = hook
+    first = sim.event()
+    first.add_callback(lambda e: seen.append("early"))
+    first.succeed(delay=10)
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    for t in (5, 50, 51):
+        ev = sim.event()
+        ev.add_callback(lambda e, t=t: fired.append(t))
+        ev.succeed(delay=t)
+    sim.run(until=50)
+    assert fired == [5, 50]
+    assert sim.now == 50
+    sim.run()
+    assert fired == [5, 50, 51]
+
+
+# ------------------------------------------------- ordered delivery
+
+def test_ordered_delivery_is_canonical_within_a_tick():
+    """Same-tick arrivals deliver in (send_time, src, src_seq) order,
+    regardless of injection order."""
+    params = DEFAULT_PARAMS.replace(ordered_delivery=True)
+    sim = Simulator()
+    net = Network(sim, params)
+    got = []
+    net.register(0, lambda m: got.append((m.src, m.src_seq)),
+                 lambda m: None)
+
+    def burst():
+        # Inject from high src to low src at the same tick; canonical
+        # order must come out sorted by src regardless.
+        for src in (3, 2, 1):
+            net.inject(Message(src=src, dst=0, size=32,
+                               sent_at=sim.now))
+        yield sim.timeout(1)
+
+    sim.process(burst())
+    sim.run()
+    assert got == [(1, 0), (2, 0), (3, 0)]
+
+
+# --------------------------------------------------- end-to-end runs
+
+def test_sharded_matches_single_process_reference():
+    reference = run_sharded(halo_job(1), transport="inline")
+    for shards in (2, 4):
+        result = run_sharded(halo_job(shards), transport="inline")
+        assert result.model_digest == reference.model_digest
+        assert result.elapsed_ns == reference.elapsed_ns
+        assert result.messages_sent == reference.messages_sent
+        assert result.ni_counters == reference.ni_counters
+
+
+def test_partitions_are_digest_identical():
+    block = run_sharded(halo_job(4, partition="block"),
+                        transport="inline")
+    stride = run_sharded(halo_job(4, partition="stride"),
+                         transport="inline")
+    assert block.model_digest == stride.model_digest
+
+
+def test_fork_matches_inline():
+    inline = run_sharded(halo_job(2, topology="mesh"),
+                         transport="inline")
+    forked = run_sharded(halo_job(2, topology="mesh"),
+                         transport="fork")
+    assert forked.model_digest == inline.model_digest
+    assert forked.kernel_digests == inline.kernel_digests
+
+
+def test_shard_stats_surface_in_metrics():
+    result = run_sharded(halo_job(2), transport="inline")
+    assert result.metrics["shard.shards"] == 2
+    assert result.metrics["shard.windows"] == result.shard_stats["windows"]
+    assert result.shard_stats["busy_ns"] >= \
+        result.shard_stats["critical_path_ns"] > 0
+
+
+def test_killed_shard_raises_structured_failure():
+    job = halo_job(2, die_at_window=(1, 1))
+    with pytest.raises(ShardFailure) as exc_info:
+        run_sharded(job, transport="fork")
+    report = exc_info.value.report
+    assert report["shard"] == 1
+    assert report["exitcode"] == 1
+    assert isinstance(report["window"], int)
+
+
+# ------------------------------------------------------- validation
+
+def test_sharding_rejects_faults():
+    from repro.faults import FaultConfig
+
+    job = halo_job(2)
+    bad = job.params.replace(faults=FaultConfig(seed=1))
+    with pytest.raises(ValueError, match="fault"):
+        run_sharded(ShardJob(**{**job.__dict__, "params": bad}))
+
+
+def test_sharding_rejects_spans_and_wheel():
+    job = halo_job(2)
+    with pytest.raises(ValueError, match="spans"):
+        run_sharded(ShardJob(**{
+            **job.__dict__, "params": job.params.replace(spans=True)}))
+    with pytest.raises(ValueError, match="heap"):
+        run_sharded(ShardJob(**{
+            **job.__dict__,
+            "params": job.params.replace(sim_scheduler="wheel")}))
+
+
+def test_sharding_rejects_unknown_partition():
+    with pytest.raises(ValueError, match="partition"):
+        run_sharded(halo_job(2, partition="spiral"))
+
+
+def test_sharding_rejects_unshardable_workload():
+    job = halo_job(2)
+    with pytest.raises(ValueError, match="shardable"):
+        run_sharded(ShardJob(**{
+            **job.__dict__, "workload": "em3d", "kwargs": ()}),
+            transport="inline")

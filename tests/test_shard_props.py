@@ -1,0 +1,47 @@
+"""Property-based tests for sharded-run determinism.
+
+The contract under test: for *any* small halo configuration, shard
+count, and partition strategy, the merged model digest of a sharded
+run equals the single-process (1-shard) reference — sharding is a
+wall-clock optimization, never a behavioural knob.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.shard import ShardJob, run_sharded
+
+
+def _digest(num_nodes, shards, partition, iterations, compute_ns):
+    params = DEFAULT_PARAMS.replace(
+        ordered_delivery=True, flow_control_buffers=4,
+    )
+    job = ShardJob(
+        workload="halo", ni="cni32qm",
+        params=params, costs=DEFAULT_COSTS,
+        num_nodes=num_nodes, num_shards=shards, partition=partition,
+        kwargs=(("compute_ns", compute_ns),
+                ("iterations", iterations),
+                ("payload_bytes", 16)),
+        collect_digest=True,
+    )
+    return run_sharded(job, transport="inline").model_digest
+
+
+@given(
+    st.integers(min_value=4, max_value=16),
+    st.sampled_from([2, 4]),
+    st.sampled_from(["block", "stride"]),
+    st.integers(min_value=1, max_value=3),
+    st.sampled_from([0, 700, 2000]),
+)
+@settings(max_examples=20, deadline=None)
+def test_shard_count_never_changes_the_digest(
+    num_nodes, shards, partition, iterations, compute_ns
+):
+    shards = min(shards, num_nodes)
+    reference = _digest(num_nodes, 1, "block", iterations, compute_ns)
+    sharded = _digest(num_nodes, shards, partition, iterations,
+                      compute_ns)
+    assert sharded == reference
