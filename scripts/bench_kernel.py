@@ -19,8 +19,9 @@ The output (``BENCH_kernel.json``) carries one record per
 (cell, scheduler) — schema ``{scheduler, events, events_per_sec,
 deterministic, ...}`` — plus legacy headline fields for the first
 cell's default scheduler, so the events/sec trajectory across commits
-stays comparable, plus a ``span_overhead`` record pricing lifecycle
-span recording (spans off vs on) on the headline cell, plus a
+stays comparable, plus ``span_overhead`` / ``timeline_overhead``
+records pricing lifecycle span recording and timeline boundary
+sampling (each off vs on) on the headline cell, plus a
 ``history`` array: one entry per recorded benchmark run (carried
 forward from the previous report file, so optimization rounds
 accumulate a before/after trail; ``--note`` labels the new entry).
@@ -89,12 +90,13 @@ CELLS = [
 SCHEDULERS = ("heap", "wheel")
 
 
-def _build_machine(ni_name, fcb, scheduler, spans=False):
+def _build_machine(ni_name, fcb, scheduler, spans=False, timeline_ns=0):
     from repro.experiments.common import default_costs, default_params
     from repro.node import Machine
 
     params = default_params(fcb).replace(sim_scheduler=scheduler,
-                                         spans=spans)
+                                         spans=spans,
+                                         timeline_ns=timeline_ns)
     return Machine(params, default_costs(), ni_name, num_nodes=2)
 
 
@@ -124,7 +126,8 @@ def digest_cell(ni_name, fcb, make_workloads, scheduler):
     return digest, events
 
 
-def run_cell(ni_name, fcb, make_workloads, scheduler, spans=False):
+def run_cell(ni_name, fcb, make_workloads, scheduler, spans=False,
+             timeline_ns=0):
     """One timed repetition; returns (wall_s, events, signature)."""
     workloads = make_workloads()
     gc_was_enabled = gc.isenabled()
@@ -135,7 +138,8 @@ def run_cell(ni_name, fcb, make_workloads, scheduler, spans=False):
         events = 0
         results = []
         for workload in workloads:
-            machine = _build_machine(ni_name, fcb, scheduler, spans=spans)
+            machine = _build_machine(ni_name, fcb, scheduler, spans=spans,
+                                     timeline_ns=timeline_ns)
             results.append(workload.run(machine))
             events += machine.sim._seq
         wall = time.perf_counter() - t0
@@ -243,6 +247,49 @@ def bench_span_overhead(reps, verbose=True):
     return record
 
 
+def bench_timeline_overhead(reps, verbose=True):
+    """Timeline-off vs timeline-on timings of the headline cell (heap).
+
+    The off leg is the same configuration as the headline record, so it
+    doubles as a sanity check that timeline *support* (the schedule-hook
+    chain and the ``timeline is not None`` guards) costs nothing when
+    off; the on leg prices boundary sampling at a 10 µs interval.
+    """
+    key, ni_name, fcb, make_workloads = CELLS[0]
+    interval_ns = 10_000
+    walls = {False: [], True: []}
+    for sampled in (False, True):
+        for _rep in range(reps):
+            wall, _events, _sig = run_cell(
+                ni_name, fcb, make_workloads, "heap",
+                timeline_ns=interval_ns if sampled else 0,
+            )
+            walls[sampled].append(wall)
+        walls[sampled].sort()
+    # Boundaries crossed in one instrumented run (for the report's scale).
+    boundaries = 0
+    for workload in make_workloads():
+        machine = _build_machine(ni_name, fcb, "heap",
+                                 timeline_ns=interval_ns)
+        workload.run(machine)
+        boundaries += len(machine.timeline_jsonable()["ticks"])
+    off_best, on_best = walls[False][0], walls[True][0]
+    overhead_pct = round(100.0 * (on_best - off_best) / off_best, 1)
+    record = {
+        "cell": key,
+        "scheduler": "heap",
+        "interval_ns": interval_ns,
+        "boundaries_sampled": boundaries,
+        "timeline_off_best_wall_s": round(off_best, 6),
+        "timeline_on_best_wall_s": round(on_best, 6),
+        "overhead_pct": overhead_pct,
+    }
+    if verbose:
+        print(f"[{key}] timeline off {off_best:.4f}s  on {on_best:.4f}s  "
+              f"({boundaries} boundaries, +{overhead_pct}%)")
+    return record
+
+
 def profile_cell(cell, top=15):
     """Profile one (warm) run of a cell under the heap scheduler."""
     key, ni_name, fcb, make_workloads = cell
@@ -303,6 +350,7 @@ def main(argv=None) -> int:
     for cell in cells:
         matrix.extend(bench_cell(cell, reps))
     span_overhead = bench_span_overhead(reps)
+    timeline_overhead = bench_timeline_overhead(reps)
 
     ok = all(rec["deterministic"] for rec in matrix)
     headline = matrix[0]  # first cell, heap scheduler
@@ -335,6 +383,8 @@ def main(argv=None) -> int:
         "matrix": matrix,
         # Lifecycle-span recording cost on the headline cell.
         "span_overhead": span_overhead,
+        # Timeline boundary-sampling cost on the headline cell.
+        "timeline_overhead": timeline_overhead,
         # Recorded-run trail (oldest first); optimization rounds land
         # here with their ``--note`` labels.
         "history": history,

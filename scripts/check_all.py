@@ -24,6 +24,10 @@ Runs, in order of increasing specificity:
    digest-identical to the single-process reference (1=2=4 shards,
    both partitions, both transports), kernel digests reproduce
    run-to-run, and a killed shard raises a structured failure.
+8. **Replay check** — ``scripts/check_replay.py``: capture→replay
+   digest identity for a plain cell, a chaos (faults-on) cell, and a
+   4-shard run, plus timeline partition invariance (1 shard ≡ 4
+   shards) and schedule neutrality.
 
 Each step streams its own output; the summary at the end names any
 step that failed.  Exit status 0 = everything passed.
@@ -80,6 +84,7 @@ def main(argv=None) -> int:
         ("span check", [py, "scripts/check_observability.py", "--spans"]),
         ("robustness check", [py, "scripts/check_robustness.py"]),
         ("shard check", [py, "scripts/check_shard.py"]),
+        ("replay check", [py, "scripts/check_replay.py"]),
     ]
 
     failures = []

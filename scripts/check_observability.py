@@ -4,8 +4,8 @@
 Runs ``repro-experiments figure1 --quick`` in-process with
 ``--metrics`` (and ``--trace``), then validates:
 
-1. the metrics file exists, is schema 1, and has non-empty cells and
-   totals;
+1. the metrics file exists, carries the current export schema, and
+   has non-empty cells and totals;
 2. ``manifest.json`` appeared next to it and passes
    :func:`repro.obs.validate_manifest` (exact key set, cell labels,
    cache block);
@@ -62,7 +62,9 @@ def run_runner(argv, tag):
 def check_metrics_file(path: str):
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
-    if payload.get("schema") != 1:
+    from repro.obs.export import SCHEMA_VERSION
+
+    if payload.get("schema") != SCHEMA_VERSION:
         raise SystemExit(fail(f"metrics schema is {payload.get('schema')!r}"))
     if not payload.get("cells"):
         raise SystemExit(fail("metrics file has no cells"))

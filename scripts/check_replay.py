@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""CI check for capture/replay and timeline telemetry (docs/replay.md).
+
+Four gates, each an invariant the flight-recorder/replay layer must
+keep:
+
+1. **Plain-cell replay** — capture a fault-free pingpong cell, write
+   the ``.rprc`` file, read it back, replay: the fresh kernel
+   :class:`~repro.sim.trace.ScheduleDigest` and metrics snapshot must
+   equal the captured ones bit-for-bit.
+2. **Chaos-cell replay** — same contract with fault injection on (a
+   fixed ``FaultConfig`` seed with drops, duplicates, and ack loss):
+   the fault stream is part of the captured inputs, so the failure
+   pattern replays exactly.
+3. **Sharded replay** — a 4-shard halo cell captures per-shard kernel
+   digests plus the merged model digest; replay re-shards and must
+   reproduce all of them.
+4. **Timeline invariance** — the merged timeline of a sharded run is
+   identical at 1 and 4 shards (partition-invariant sampling), and
+   sampling never perturbs the schedule: the kernel digest with the
+   timeline on equals the digest with it off.
+
+Exit status 0 = all good; 1 = a gate failed (details on stderr).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_replay.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS  # noqa: E402
+from repro.experiments.parallel import (  # noqa: E402
+    Job,
+    freeze_kwargs,
+    run_cell,
+)
+from repro.faults.config import FaultConfig  # noqa: E402
+from repro.replay import (  # noqa: E402
+    ReplayMismatch,
+    capture_run,
+    replay,
+    write_capture,
+)
+
+
+def fail(msg: str) -> int:
+    print(f"check_replay: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def _pingpong_job(label, params, **kwargs):
+    merged = dict(payload_bytes=64, rounds=20)
+    merged.update(kwargs)
+    return Job(
+        label=label, ni="cni32qm", workload="pingpong",
+        params=params, costs=DEFAULT_COSTS,
+        kwargs=freeze_kwargs(merged),
+    )
+
+
+def _halo_job(label, shards, params):
+    return Job(
+        label=label, ni="cni32qm", workload="halo",
+        params=params, costs=DEFAULT_COSTS,
+        num_nodes=64, shards=shards,
+        kwargs=freeze_kwargs(
+            dict(compute_ns=2000, iterations=2, payload_bytes=64)
+        ),
+    )
+
+
+def _replay_gate(name, job, tmp) -> int:
+    _result, capture = capture_run(job)
+    path = write_capture(os.path.join(tmp, f"{name}.rprc"), capture)
+    try:
+        report = replay(path)
+    except ReplayMismatch as exc:
+        return fail(f"{name}: {exc}")
+    if not report.ok:
+        return fail(f"{name}: replay report not ok: {report.summary()}")
+    print(f"check_replay: {name}: capture at {path} replayed bit-exactly "
+          f"(digest {list(capture['digest'].values())[0]!r:.20}...)")
+    return 0
+
+
+def check_plain(tmp) -> int:
+    return _replay_gate("plain", _pingpong_job(
+        "check:plain", DEFAULT_PARAMS), tmp)
+
+
+def check_chaos(tmp) -> int:
+    chaos = DEFAULT_PARAMS.replace(
+        faults=FaultConfig(seed=1998, drop_prob=0.05,
+                           duplicate_prob=0.02, ack_drop_prob=0.02),
+    )
+    return _replay_gate("chaos", _pingpong_job(
+        "check:chaos", chaos, rounds=30), tmp)
+
+
+def check_sharded(tmp) -> int:
+    params = DEFAULT_PARAMS.replace(
+        ordered_delivery=True, flow_control_buffers=8,
+    )
+    job = _halo_job("check:halo4", 4, params)
+    _result, capture = capture_run(job)
+    if capture["kind"] != "sharded":
+        return fail("sharded capture not marked sharded")
+    if len(capture["digest"]["kernel"]) != 4:
+        return fail(
+            f"expected 4 per-shard kernel digests, got "
+            f"{len(capture['digest']['kernel'])}"
+        )
+    if not capture["digest"]["model"]:
+        return fail("sharded capture missing the model digest")
+    return _replay_gate("sharded", job, tmp)
+
+
+def check_timeline() -> int:
+    params = DEFAULT_PARAMS.replace(
+        ordered_delivery=True, flow_control_buffers=8, timeline_ns=1000,
+    )
+    timelines = {}
+    for shards in (1, 4):
+        cell = run_cell(_halo_job(f"check:tl{shards}", shards, params))
+        if cell.timeline is None or not cell.timeline["series"]:
+            return fail(f"{shards}-shard run produced no timeline")
+        timelines[shards] = cell.timeline
+    if timelines[1] != timelines[4]:
+        keys1 = set(timelines[1]["series"])
+        keys4 = set(timelines[4]["series"])
+        return fail(
+            "merged timeline differs between 1 and 4 shards "
+            f"(series only in 1-shard: {sorted(keys1 - keys4)[:5]}, "
+            f"only in 4-shard: {sorted(keys4 - keys1)[:5]})"
+        )
+    print(f"check_replay: timeline: 1-shard == 4-shard "
+          f"({len(timelines[1]['series'])} series x "
+          f"{len(timelines[1]['ticks'])} boundaries)")
+
+    def digest_of(params):
+        job = _pingpong_job("check:tl-digest", params)
+        from dataclasses import replace
+
+        return run_cell(replace(job, collect_digest=True)).digest["schedule"]
+
+    plain = digest_of(DEFAULT_PARAMS)
+    sampled = digest_of(DEFAULT_PARAMS.replace(timeline_ns=3000))
+    if plain != sampled:
+        return fail("timeline sampling perturbed the kernel schedule "
+                    f"({plain} != {sampled})")
+    print("check_replay: timeline: sampling is schedule-neutral "
+          "(digests identical on/off)")
+    return 0
+
+
+def main() -> int:
+    status = 0
+    with tempfile.TemporaryDirectory(prefix="check_replay_") as tmp:
+        status |= check_plain(tmp)
+        status |= check_chaos(tmp)
+        status |= check_sharded(tmp)
+    status |= check_timeline()
+    if status == 0:
+        print("check_replay: PASS (plain, chaos, sharded, timeline)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

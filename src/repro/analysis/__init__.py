@@ -2,6 +2,7 @@
 span-based latency decomposition (Figure 1 for message latency)."""
 
 from repro.analysis.costmodel import CostModel, predict
+from repro.analysis.diff import RunDiff, diff_runs
 from repro.analysis.latency import (
     LatencyDecomposition,
     decompose,
@@ -13,7 +14,9 @@ from repro.analysis.latency import (
 __all__ = [
     "CostModel",
     "LatencyDecomposition",
+    "RunDiff",
     "decompose",
+    "diff_runs",
     "latency_report",
     "percentile",
     "phase_share",

@@ -1,0 +1,173 @@
+"""Run-to-run differencing — "where did these two runs diverge?".
+
+A replay mismatch (or any unexpected drift between two runs of the
+same cell) raises the question this module answers: *when* the runs
+first diverged and *what* moved.  :func:`diff_runs` takes two run
+payloads — :class:`~repro.experiments.parallel.CellResult` objects or
+their ``to_jsonable()`` dicts — and reports:
+
+- the first simulated-time boundary at which the two timeline series
+  disagree (requires both runs to carry a timeline at the same
+  sampling interval — run with ``--timeline`` / ``timeline_ns``);
+- every metric leaf whose final value differs;
+- per-phase span-time deltas (total ns spent in ``send_overhead``,
+  ``wire``, ... across all spans), when both runs carry spans.
+
+The first-divergence tick is the headline: metrics name the *symptom*
+(a counter ended up different), the timeline names the *moment* —
+everything before that boundary matched, so the cause lives in that
+one sampling window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["RunDiff", "diff_runs"]
+
+
+def _as_payload(run) -> Dict[str, Any]:
+    """Normalize a CellResult / jsonable dict to a plain dict view."""
+    if hasattr(run, "to_jsonable"):
+        return run.to_jsonable()
+    if isinstance(run, dict):
+        return run
+    raise TypeError(
+        f"cannot diff {type(run).__name__}; pass a CellResult or its "
+        "to_jsonable() dict"
+    )
+
+
+def _metric_deltas(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> Dict[str, Tuple[Any, Any]]:
+    out: Dict[str, Tuple[Any, Any]] = {}
+    for path in set(a) | set(b):
+        va, vb = a.get(path), b.get(path)
+        if va != vb:
+            out[path] = (va, vb)
+    return out
+
+
+def _first_divergence(
+    ta: Optional[Dict[str, Any]], tb: Optional[Dict[str, Any]]
+) -> Optional[int]:
+    """First boundary time (ns) where the two timelines disagree, or
+    ``None`` if they never do (or either run has no timeline)."""
+    if not ta or not tb:
+        return None
+    if ta.get("interval_ns") != tb.get("interval_ns"):
+        raise ValueError(
+            f"timelines sampled at different intervals "
+            f"({ta.get('interval_ns')} vs {tb.get('interval_ns')} ns); "
+            "re-run with matching timeline_ns to compare"
+        )
+    interval = ta["interval_ns"]
+    sa, sb = ta.get("series", {}), tb.get("series", {})
+    ticks_a, ticks_b = ta.get("ticks", []), tb.get("ticks", [])
+    ticks = ticks_a if len(ticks_a) >= len(ticks_b) else ticks_b
+    n = max(
+        max((len(v) for v in sa.values()), default=0),
+        max((len(v) for v in sb.values()), default=0),
+    )
+    paths = sorted(set(sa) | set(sb))
+    for idx in range(n):
+        for path in paths:
+            va = sa.get(path)
+            vb = sb.get(path)
+            xa = va[idx] if va and idx < len(va) else None
+            xb = vb[idx] if vb and idx < len(vb) else None
+            if xa != xb:
+                return ticks[idx] if idx < len(ticks) else (idx + 1) * interval
+    return None
+
+
+def _phase_totals(spans) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for span in spans:
+        phases = span.get("phases", {}) if isinstance(span, dict) else {}
+        for phase, ns in phases.items():
+            totals[phase] = totals.get(phase, 0) + ns
+    return totals
+
+
+@dataclass
+class RunDiff:
+    """What :func:`diff_runs` found (``format()`` for a readable view)."""
+
+    #: Both runs identical in every compared dimension.
+    identical: bool
+    #: First timeline boundary (simulated ns) where the series differ;
+    #: ``None`` when they never do or timelines are missing.
+    first_divergence_ns: Optional[int]
+    #: ``{path: (a, b)}`` for metric leaves with different final values.
+    metric_deltas: Dict[str, Tuple[Any, Any]] = field(default_factory=dict)
+    #: ``{phase: (a_total_ns, b_total_ns)}`` where the per-phase span
+    #: totals differ (empty when either run carries no spans).
+    span_phase_deltas: Dict[str, Tuple[int, int]] = field(
+        default_factory=dict
+    )
+    #: ``(a, b)`` elapsed times when they differ, else ``None``.
+    elapsed_delta: Optional[Tuple[int, int]] = None
+
+    def format(self, limit: int = 12) -> str:
+        if self.identical:
+            return "runs identical (metrics, timeline, spans, elapsed)"
+        lines = ["runs differ:"]
+        if self.elapsed_delta is not None:
+            a, b = self.elapsed_delta
+            lines.append(f"  elapsed_ns: {a} vs {b} ({b - a:+d})")
+        if self.first_divergence_ns is not None:
+            lines.append(
+                f"  first timeline divergence at t={self.first_divergence_ns} ns"
+            )
+        if self.metric_deltas:
+            lines.append(f"  {len(self.metric_deltas)} metric leaf(s) differ:")
+            for path in sorted(self.metric_deltas)[:limit]:
+                a, b = self.metric_deltas[path]
+                lines.append(f"    {path}: {a!r} vs {b!r}")
+            if len(self.metric_deltas) > limit:
+                lines.append(
+                    f"    ... {len(self.metric_deltas) - limit} more"
+                )
+        for phase, (a, b) in sorted(self.span_phase_deltas.items()):
+            lines.append(f"  span phase {phase}: {a} ns vs {b} ns")
+        return "\n".join(lines)
+
+
+def diff_runs(a, b) -> RunDiff:
+    """Structured comparison of two runs of (nominally) the same cell.
+
+    ``a`` and ``b`` are :class:`~repro.experiments.parallel.CellResult`
+    objects or their jsonable dicts.  Comparison dimensions degrade
+    gracefully: timelines/spans are only compared when both runs carry
+    them, metrics always are.
+    """
+    pa, pb = _as_payload(a), _as_payload(b)
+    metric_deltas = _metric_deltas(
+        pa.get("metrics", {}), pb.get("metrics", {})
+    )
+    first_div = _first_divergence(pa.get("timeline"), pb.get("timeline"))
+    span_deltas: Dict[str, Tuple[int, int]] = {}
+    spans_a, spans_b = pa.get("spans", ()), pb.get("spans", ())
+    if spans_a and spans_b:
+        ta, tb = _phase_totals(spans_a), _phase_totals(spans_b)
+        for phase in sorted(set(ta) | set(tb)):
+            va, vb = ta.get(phase, 0), tb.get(phase, 0)
+            if va != vb:
+                span_deltas[phase] = (va, vb)
+    elapsed = None
+    ea, eb = pa.get("elapsed_ns"), pb.get("elapsed_ns")
+    if ea is not None and eb is not None and ea != eb:
+        elapsed = (ea, eb)
+    return RunDiff(
+        identical=(
+            not metric_deltas and first_div is None and not span_deltas
+            and elapsed is None
+        ),
+        first_divergence_ns=first_div,
+        metric_deltas=metric_deltas,
+        span_phase_deltas=span_deltas,
+        elapsed_delta=elapsed,
+    )

@@ -59,6 +59,7 @@ __all__ = [
     "list_nis",
     "list_ops",
     "list_workloads",
+    "replay",
     "run_collective",
     "run_sharded",
     "run_workload",
@@ -349,3 +350,19 @@ def run_sharded(
         collect_digest=collect_digest,
     )
     return _run_sharded(job, transport=transport)
+
+
+def replay(capture, *, strict: bool = True):
+    """Re-execute a captured run and verify it reproduces bit-exactly.
+
+    ``capture`` is an ``.rprc`` file path (written by the experiment
+    runner's ``--capture`` or :func:`repro.replay.write_capture`) or a
+    payload dict.  Returns a :class:`repro.replay.ReplayReport`; with
+    ``strict`` (the default) a divergence raises
+    :class:`repro.replay.ReplayMismatch` whose report names the
+    diverging digest and every metric leaf that moved.  See
+    docs/replay.md.
+    """
+    from repro.replay import replay as _replay
+
+    return _replay(capture, strict=strict)

@@ -101,6 +101,24 @@ class SystemParams:
     #: fabric of the paper with every fault hook structurally absent —
     #: results are byte-identical to builds without the subsystem.
     faults: Optional["FaultConfig"] = None
+    #: Flight recorder: capacity of the bounded ring buffer that keeps
+    #: the *last N* trace records (and span completions) for post-mortem
+    #: dumps — see repro.obs.flight.  0 (the default) disables it; the
+    #: disabled path is the same one-flag check as ``tracing``.  Unlike
+    #: ``tracing`` the ring never grows, so it is safe to leave on for
+    #: long chaos runs.
+    flight_recorder: int = 0
+    #: Timeline telemetry: snapshot the metrics registry every this many
+    #: simulated ns into a columnar series — see repro.obs.timeline.
+    #: 0 (the default) disables it.  Sampling is piggybacked on the
+    #: kernel schedule hook and never schedules events, so the event
+    #: schedule (and every ScheduleDigest) is unchanged by turning it
+    #: on.
+    timeline_ns: int = 0
+    #: Optional dotted-path prefixes restricting which metric paths the
+    #: timeline records (``("net.", "node0.ni.")``).  ``None`` records
+    #: every mounted path.
+    timeline_paths: Optional[tuple] = None
     #: One-sided transfer protocol switchover (repro.transfer): puts and
     #: gets with payloads of at least this many bytes use the rendezvous
     #: protocol (RTS/CTS handshake before the data stream); smaller
@@ -190,6 +208,18 @@ class SystemParams:
             raise ValueError(f"unknown sim_scheduler {self.sim_scheduler!r}")
         if self.rendezvous_threshold < 1:
             raise ValueError("rendezvous_threshold must be >= 1")
+        if self.flight_recorder < 0:
+            raise ValueError("flight_recorder must be >= 0 (ring capacity)")
+        if self.timeline_ns < 0:
+            raise ValueError("timeline_ns must be >= 0 (sample interval)")
+        if self.timeline_paths is not None:
+            if self.timeline_ns == 0:
+                raise ValueError(
+                    "timeline_paths without timeline_ns has no effect; "
+                    "set a sampling interval"
+                )
+            if not all(isinstance(p, str) for p in self.timeline_paths):
+                raise ValueError("timeline_paths must be path-prefix strings")
         if self.faults is not None:
             self.faults.validate()
             if self.network_topology is not None:

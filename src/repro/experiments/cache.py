@@ -52,6 +52,8 @@ def job_key(job: Job) -> str:
         "sender_throttle_ns": job.sender_throttle_ns,
         "fabric_hop_ns": job.fabric_hop_ns,
         "fabric_link_ns_per_32b": job.fabric_link_ns_per_32b,
+        "shards": job.shards,
+        "collect_digest": job.collect_digest,
     }
     blob = json.dumps(spec, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

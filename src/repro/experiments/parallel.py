@@ -41,9 +41,9 @@ from repro.config import SoftwareCosts, SystemParams
 
 #: Version tag of the serialized :class:`CellResult` form; entries
 #: written under another schema are cache misses, not errors.  Bumped
-#: to 2 when lifecycle spans joined the payload (old cache entries age
-#: out on first read).
-RESULT_SCHEMA = 2
+#: to 2 when lifecycle spans joined the payload, to 3 when the digest
+#: and timeline joined it (old cache entries age out on first read).
+RESULT_SCHEMA = 3
 
 #: Workload names handled directly by :func:`run_cell` (the two
 #: microbenchmarks are not in the macrobenchmark registry).
@@ -92,6 +92,11 @@ class Job:
     #: are digest-identical to a 1-shard reference, not to the
     #: unordered default path (see docs/architecture.md).
     shards: int = 0
+    #: Collect the kernel :class:`~repro.sim.trace.ScheduleDigest` (and
+    #: in shard mode the model digest) into ``CellResult.digest`` — the
+    #: replay identity check (see repro.replay).  Off by default:
+    #: hashing every event isn't free.
+    collect_digest: bool = False
 
 
 class SizeHistogram:
@@ -149,6 +154,13 @@ class CellResult:
     #: machine-local, so this payload is identical whether the cell ran
     #: in-process or in a pool worker.
     spans: Tuple[Dict[str, Any], ...] = ()
+    #: Schedule digest when the job ran with ``collect_digest``:
+    #: ``{"schedule": hex, "events": n}`` for plain cells,
+    #: ``{"kernel": [hex, ...], "model": hex}`` for sharded cells.
+    digest: Optional[Dict[str, Any]] = None
+    #: Timeline series (see repro.obs.timeline) when the job ran with
+    #: ``params.timeline_ns`` set.
+    timeline: Optional[Dict[str, Any]] = None
 
     @property
     def elapsed_us(self) -> float:
@@ -177,6 +189,8 @@ class CellResult:
             "metrics": dict(self.metrics),
             "trace": [dict(r) for r in self.trace],
             "spans": [dict(s) for s in self.spans],
+            "digest": self.digest,
+            "timeline": self.timeline,
         }
 
     @classmethod
@@ -206,6 +220,8 @@ class CellResult:
             metrics=dict(data.get("metrics", {})),
             trace=tuple(dict(r) for r in data.get("trace", ())),
             spans=tuple(dict(s) for s in data.get("spans", ())),
+            digest=data.get("digest"),
+            timeline=data.get("timeline"),
         )
 
 
@@ -232,10 +248,17 @@ def _run_sharded_cell(job: Job) -> CellResult:
         sender_throttle_ns=job.sender_throttle_ns,
         fabric_hop_ns=job.fabric_hop_ns,
         fabric_link_ns_per_32b=job.fabric_link_ns_per_32b,
+        collect_digest=job.collect_digest,
     )
     result = run_sharded(shard_job)
     extras = dict(result.extras)
     extras["shards"] = result.num_shards
+    digest = None
+    if job.collect_digest:
+        digest = {
+            "kernel": list(result.kernel_digests),
+            "model": result.model_digest,
+        }
     return CellResult(
         label=job.label,
         elapsed_ns=result.elapsed_ns,
@@ -250,6 +273,9 @@ def _run_sharded_cell(job: Job) -> CellResult:
             for node_id in sorted(result.ni_counters)
         ),
         metrics=dict(result.metrics),
+        spans=tuple(result.spans),
+        digest=digest,
+        timeline=result.timeline,
     )
 
 
@@ -297,6 +323,14 @@ def run_cell(job: Job) -> CellResult:
         if job.fabric_link_ns_per_32b is not None:
             fabric.link_ns_per_32b = job.fabric_link_ns_per_32b
 
+    digest = None
+    if job.collect_digest:
+        from repro.sim.trace import ScheduleDigest
+
+        schedule_digest = ScheduleDigest()
+        # Chain rather than assign: the timeline sampler (when
+        # params.timeline_ns is set) already holds the hook slot.
+        machine.sim.add_schedule_hook(schedule_digest.update)
     from repro.faults.report import DeliveryFailure
 
     try:
@@ -304,12 +338,25 @@ def run_cell(job: Job) -> CellResult:
     except DeliveryFailure as exc:
         # A faulty cell that could not complete is a *result*, not a
         # harness crash: collect what the machine measured up to the
-        # failure and carry the structured report in the extras.
+        # failure and carry the structured report in the extras — plus
+        # the flight-recorder ring when one was on, so the last moments
+        # before the failure ship with the result.
         result = workload.collect(machine)
         result.extras["delivery_failure"] = exc.report
+        if machine.flight is not None:
+            result.extras["flight"] = machine.flight.to_jsonable()
+    if job.collect_digest:
+        schedule_digest.update_snapshot(machine.metrics_snapshot())
+        digest = {
+            "schedule": schedule_digest.hexdigest(),
+            "events": schedule_digest.count,
+        }
     tracer = machine.network.tracer
     trace: Tuple[Dict[str, Any], ...] = ()
-    if tracer.enabled:
+    # ``tracer.full`` distinguishes real tracing from the ring-only
+    # mode the flight recorder enables: the ring is incident payload,
+    # not a trace export.
+    if tracer.enabled and tracer.full:
         from repro.obs.export import trace_records_jsonable
 
         trace = tuple(trace_records_jsonable(tracer.records, cell=job.label))
@@ -331,6 +378,8 @@ def run_cell(job: Job) -> CellResult:
         metrics=machine.obs.snapshot(),
         trace=trace,
         spans=spans,
+        digest=digest,
+        timeline=machine.timeline_jsonable(),
     )
 
 
@@ -383,6 +432,8 @@ class SweepExecutor:
 
     def __init__(self, jobs: Optional[int] = None, cache=None,
                  tracing: bool = False, spans: bool = False,
+                 timeline_ns: int = 0, flight: int = 0,
+                 collect_digest: bool = False,
                  job_timeout_s: Optional[float] = None,
                  retry_limit: int = 1,
                  cell_fn: Optional[Callable[[Job], CellResult]] = None):
@@ -395,6 +446,13 @@ class SweepExecutor:
         #: Force ``params.spans`` on for every job (``--spans``); same
         #: rewrite-the-spec discipline, same cache-key consequences.
         self.spans = spans
+        #: Force ``params.timeline_ns`` for every job (``--timeline``);
+        #: same rewrite-the-spec discipline.
+        self.timeline_ns = timeline_ns
+        #: Force ``params.flight_recorder`` for every job (``--flight``).
+        self.flight = flight
+        #: Force ``Job.collect_digest`` for every job (``--capture``).
+        self.collect_digest = collect_digest
         #: Wall-clock bound per cell in pool runs; ``None`` = no bound.
         self.job_timeout_s = job_timeout_s
         #: Re-executions allowed per cell after a crash/timeout.
@@ -426,6 +484,26 @@ class SweepExecutor:
             jobs = [
                 job if job.params.spans
                 else replace(job, params=replace(job.params, spans=True))
+                for job in jobs
+            ]
+        if self.timeline_ns:
+            jobs = [
+                job if job.params.timeline_ns == self.timeline_ns
+                else replace(job, params=replace(
+                    job.params, timeline_ns=self.timeline_ns))
+                for job in jobs
+            ]
+        if self.flight:
+            jobs = [
+                job if job.params.flight_recorder == self.flight
+                else replace(job, params=replace(
+                    job.params, flight_recorder=self.flight))
+                for job in jobs
+            ]
+        if self.collect_digest:
+            jobs = [
+                job if job.collect_digest
+                else replace(job, collect_digest=True)
                 for job in jobs
             ]
         results: List[Optional[CellResult]] = [None] * len(jobs)

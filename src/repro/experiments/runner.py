@@ -28,9 +28,21 @@ Observability (see docs/observability.md):
   report (p50/p95/p99 + mean ns-per-phase); ``--perfetto PATH``
   additionally writes a Chrome Trace Event Format file loadable in
   ui.perfetto.dev.
+- ``--timeline PATH`` samples every cell's metrics registry on a fixed
+  simulated-time grid (``--timeline-ns``, default 10 us) and writes
+  the columnar series as JSON; with ``--perfetto`` the series also
+  become counter tracks in the trace.
+- ``--flight N`` arms a bounded flight recorder (last N trace/span
+  records) in every cell; on a delivery failure the ring is dumped
+  into an ``incident-*.json`` next to the manifest.
+- ``--capture DIR`` collects the kernel schedule digest for every cell
+  and writes one ``.rprc`` capture file per cell into DIR —
+  re-runnable bit-exactly with ``repro-experiments replay FILE...``
+  or :func:`repro.api.replay` (see docs/replay.md).
 - Whenever ``--json``/``--metrics``/``--trace``/``--spans``/
-  ``--perfetto`` is given, a ``manifest.json`` provenance record is
-  written next to the first of those outputs.
+  ``--perfetto``/``--timeline``/``--capture`` is given, a
+  ``manifest.json`` provenance record is written next to the first of
+  those outputs.
 """
 
 from __future__ import annotations
@@ -231,11 +243,36 @@ def main(argv=None) -> int:
              "(load in ui.perfetto.dev); implies span recording",
     )
     parser.add_argument(
+        "--timeline", metavar="PATH", dest="timeline_path",
+        help="sample every cell's metrics on a fixed simulated-time "
+             "grid and write the columnar series to PATH",
+    )
+    parser.add_argument(
+        "--timeline-ns", type=int, default=10_000, metavar="NS",
+        dest="timeline_ns",
+        help="timeline sampling interval in simulated ns "
+             "(default 10000; used with --timeline)",
+    )
+    parser.add_argument(
+        "--flight", type=int, default=0, metavar="N",
+        help="keep a flight recorder of the last N trace/span records "
+             "in every cell; dumped on delivery failure",
+    )
+    parser.add_argument(
+        "--capture", metavar="DIR", dest="capture_dir",
+        help="collect schedule digests and write one .rprc capture "
+             "per cell into DIR (replay with 'repro-experiments "
+             "replay FILE...')",
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list experiments, network interfaces, workloads, "
              "and transfer ops",
     )
     args = parser.parse_args(argv)
+
+    if args.experiments and args.experiments[0] == "replay":
+        return _run_replay(args.experiments[1:])
 
     if args.list or not args.experiments:
         print_catalog()
@@ -257,6 +294,9 @@ def main(argv=None) -> int:
     executor = SweepExecutor(
         jobs=args.jobs, cache=cache, tracing=bool(args.trace_path),
         spans=bool(args.spans_path or args.perfetto_path),
+        timeline_ns=args.timeline_ns if args.timeline_path else 0,
+        flight=args.flight,
+        collect_digest=bool(args.capture_dir),
         job_timeout_s=args.job_timeout,
     )
 
@@ -377,8 +417,76 @@ def _write_observability(args, executor, names, wall_time_s) -> int:
             print("latency decomposition (from spans):")
             print(latency_report(cell_spans))
 
+    if args.timeline_path:
+        timelines = [
+            (job.label, cell.timeline) for job, cell, _cached in completed
+            if cell.timeline is not None
+        ]
+        payload = {
+            "interval_ns": args.timeline_ns,
+            "cells": [
+                {"cell": label, **series} for label, series in timelines
+            ],
+        }
+        try:
+            write_json(args.timeline_path, payload)
+        except OSError as exc:
+            print(f"cannot write {args.timeline_path}: {exc}",
+                  file=sys.stderr)
+            status = 1
+        else:
+            print(f"[{len(timelines)} cell timelines written to "
+                  f"{args.timeline_path}]")
+        if args.perfetto_path and timelines:
+            # Re-export with counter tracks alongside the span tracks.
+            from repro.obs.spans import export_perfetto
+
+            cell_spans = [
+                (job.label, cell.spans) for job, cell, _cached in completed
+                if cell.spans
+            ]
+            try:
+                count = export_perfetto(
+                    args.perfetto_path, cell_spans, timelines=timelines,
+                )
+            except OSError as exc:
+                print(f"cannot write {args.perfetto_path}: {exc}",
+                      file=sys.stderr)
+                status = 1
+            else:
+                print(f"[{count} trace events (incl. counter tracks) "
+                      f"written to {args.perfetto_path}]")
+
+    if args.capture_dir:
+        from repro.replay import (
+            CAPTURE_SUFFIX,
+            capture_result,
+            write_capture,
+        )
+
+        written = 0
+        for job, cell, _cached in completed:
+            if cell.digest is None:
+                # Cached hit from a pre-digest run: label it skipped
+                # rather than silently writing an uncheckable capture.
+                print(f"[capture skipped for {job.label}: no digest "
+                      "(cached result?); re-run with --no-cache]",
+                      file=sys.stderr)
+                continue
+            path = _capture_path(args.capture_dir, job.label)
+            try:
+                write_capture(path, capture_result(job, cell))
+            except OSError as exc:
+                print(f"cannot write {path}: {exc}", file=sys.stderr)
+                status = 1
+            else:
+                written += 1
+        print(f"[{written} captures written to {args.capture_dir}/"
+              f"*{CAPTURE_SUFFIX}]")
+
     anchor = (args.json_path or args.metrics_path or args.trace_path
-              or args.spans_path or args.perfetto_path)
+              or args.spans_path or args.perfetto_path
+              or args.timeline_path or args.capture_dir)
     if anchor:
         cache = executor.cache
         cells = []
@@ -421,6 +529,8 @@ def _write_observability(args, executor, names, wall_time_s) -> int:
                 "trace": args.trace_path,
                 "spans": args.spans_path,
                 "perfetto": args.perfetto_path,
+                "timeline": args.timeline_path,
+                "capture": args.capture_dir,
             },
         )
         manifest_path = manifest_path_for(anchor)
@@ -431,6 +541,92 @@ def _write_observability(args, executor, names, wall_time_s) -> int:
             status = 1
         else:
             print(f"[manifest written to {manifest_path}]")
+        status = _dump_incidents(manifest_path, executor) or status
+    return status
+
+
+def _capture_path(capture_dir: str, label: str) -> str:
+    """Capture file path for a cell label (filesystem-safe)."""
+    import os
+
+    from repro.replay import CAPTURE_SUFFIX
+
+    return os.path.join(capture_dir, _safe_label(label) + CAPTURE_SUFFIX)
+
+
+def _safe_label(label: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in label
+    )
+
+
+def _dump_incidents(manifest_path: str, executor) -> int:
+    """Write an ``incident-<label>.json`` next to the manifest for
+    every cell that ended in a delivery failure: the structured
+    failure report plus the flight-recorder ring (when one was armed)
+    and, when the cell carried a digest, an ``.rprc`` capture of the
+    failing inputs — everything needed to replay the failure."""
+    import os
+
+    from repro.obs.export import write_json
+
+    status = 0
+    out_dir = os.path.dirname(os.path.abspath(manifest_path))
+    for job, cell, _cached in executor.completed:
+        failure = cell.extras.get("delivery_failure")
+        if failure is None:
+            continue
+        incident = {
+            "label": job.label,
+            "delivery_failure": failure,
+            "flight": cell.extras.get("flight"),
+            "capture": None,
+        }
+        if cell.digest is not None:
+            from repro.replay import capture_result, write_capture
+
+            capture_path = _capture_path(out_dir, "incident-" + job.label)
+            try:
+                write_capture(capture_path, capture_result(job, cell))
+            except OSError as exc:
+                print(f"cannot write {capture_path}: {exc}",
+                      file=sys.stderr)
+                status = 1
+            else:
+                incident["capture"] = capture_path
+        path = os.path.join(
+            out_dir, f"incident-{_safe_label(job.label)}.json"
+        )
+        try:
+            write_json(path, incident)
+        except OSError as exc:
+            print(f"cannot write {path}: {exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"[incident report written to {path}]")
+    return status
+
+
+def _run_replay(paths) -> int:
+    """The ``repro-experiments replay FILE...`` subcommand: re-execute
+    each capture and verify bit-exact reproduction."""
+    if not paths:
+        print("usage: repro-experiments replay CAPTURE.rprc [...]",
+              file=sys.stderr)
+        return 2
+    from repro.replay import replay
+
+    status = 0
+    for path in paths:
+        try:
+            report = replay(path, strict=False)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        print(report.summary())
+        if not report.ok:
+            status = 1
     return status
 
 

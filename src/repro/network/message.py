@@ -69,12 +69,19 @@ class Message:
       in ``(send_time, src, src_seq)`` order, which is what makes a
       sharded run reproduce the single-process reference exactly (see
       repro.shard).  ``None`` on the normal path.
+    - ``span_ordinal`` — shard-stable span identity: the per-source
+      ordinal of the span this message belongs to, assigned together
+      with ``span_id`` when spans are on.  ``span_id`` indexes one
+      machine's local recorder and means nothing to another process;
+      ``(src, span_ordinal)`` names the same span everywhere, so it is
+      the key the shard codec carries on the wire and the merge step
+      grafts remote phase fragments with (see repro.shard.runner).
     """
 
     __slots__ = (
         "src", "dst", "size", "kind", "handler", "body", "uid",
         "sent_at", "bounces", "span_id", "rel_seq", "corrupted",
-        "src_seq",
+        "src_seq", "span_ordinal",
     )
 
     def __init__(
@@ -92,6 +99,7 @@ class Message:
         rel_seq: Optional[int] = None,
         corrupted: bool = False,
         src_seq: Optional[int] = None,
+        span_ordinal: Optional[int] = None,
     ):
         if size <= 0:
             raise ValueError(f"message size must be positive, got {size}")
@@ -112,6 +120,7 @@ class Message:
         self.rel_seq = rel_seq
         self.corrupted = corrupted
         self.src_seq = src_seq
+        self.span_ordinal = span_ordinal
 
     @property
     def payload_bytes(self) -> int:

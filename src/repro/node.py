@@ -207,6 +207,29 @@ class Machine:
             self.faults.mount_metrics(self.obs)
         for node in self.nodes:
             node.mount_metrics(self.obs)
+        #: The flight recorder (see repro.obs.flight): a bounded ring
+        #: of the last ``params.flight_recorder`` trace records, fed by
+        #: the tracer (ring-only unless full tracing is also on) and by
+        #: span completions.  ``None`` when disabled.
+        self.flight = None
+        if params.flight_recorder:
+            from repro.obs.flight import FlightRecorder
+
+            self.flight = FlightRecorder(params.flight_recorder)
+            self.network.tracer.attach_ring(self.flight)
+            self.spans.ring = self.flight
+        #: The timeline sampler (see repro.obs.timeline): snapshots the
+        #: registry every ``params.timeline_ns`` simulated ns via the
+        #: kernel schedule hook.  ``None`` when disabled.  Call
+        #: :meth:`timeline_jsonable` after the run for the series.
+        self.timeline = None
+        if params.timeline_ns:
+            from repro.obs.timeline import TimelineSampler
+
+            self.timeline = TimelineSampler(
+                self.obs, params.timeline_ns, paths=params.timeline_paths,
+            )
+            self.sim.add_schedule_hook(self.timeline.on_event)
 
     def metrics_snapshot(self) -> dict:
         """Flat ``{dotted.path: number}`` view of every mounted metric."""
@@ -215,6 +238,17 @@ class Machine:
     def spans_jsonable(self) -> list:
         """Completed lifecycle spans as plain JSON objects."""
         return self.spans.to_jsonable()
+
+    def timeline_jsonable(self) -> Optional[dict]:
+        """The run's timeline series (``None`` when sampling is off).
+
+        Finalizes the sampler at the current simulated time, so
+        trailing boundaries up to the run's end are filled in.
+        """
+        if self.timeline is None:
+            return None
+        self.timeline.finalize(self.sim.now)
+        return self.timeline.to_jsonable()
 
     def __iter__(self) -> Iterator[Node]:
         return iter(self.nodes)

@@ -17,6 +17,13 @@ surface that evidence flows through:
   becomes a timed span with typed phases (``send_overhead`` /
   ``send_buffering`` / ``wire`` / ``recv_buffering`` / ``handler``),
   exportable to Perfetto via :func:`export_perfetto`.
+- :mod:`repro.obs.flight` — the flight recorder: a bounded ring of the
+  last N trace records, always-on at near-zero cost, dumped
+  automatically when a run fails (see docs/replay.md).
+- :mod:`repro.obs.timeline` — timeline telemetry: a
+  :class:`TimelineSampler` snapshots metric paths every K simulated ns
+  into columnar series, summable with :func:`merge_timelines` and
+  renderable as Perfetto counter tracks.
 
 See docs/observability.md for the path naming convention and the
 manifest schema.
@@ -48,20 +55,32 @@ from repro.obs.metrics import (
     merge_snapshots,
     mount_simulator,
 )
+from repro.obs.flight import FLIGHT_SCHEMA, FlightRecorder
 from repro.obs.spans import (
     PHASES,
     SPAN_SCHEMA,
     Span,
     SpanRecorder,
     export_perfetto,
+    merge_shard_spans,
+    perfetto_counter_events,
     perfetto_events,
+)
+from repro.obs.timeline import (
+    TIMELINE_SCHEMA,
+    TimelineSampler,
+    merge_timelines,
 )
 
 __all__ = [
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "MANIFEST_KEYS",
     "NULL_INSTRUMENT",
     "PHASES",
     "SCHEMA_VERSION",
+    "TIMELINE_SCHEMA",
+    "TimelineSampler",
     "SIM_GAUGE_KEYS",
     "SIM_SCHEDULER_GAUGE_KEYS",
     "SPAN_SCHEMA",
@@ -77,9 +96,12 @@ __all__ = [
     "export_perfetto",
     "git_describe",
     "manifest_path_for",
+    "merge_shard_spans",
     "merge_snapshots",
+    "merge_timelines",
     "metrics_payload",
     "mount_simulator",
+    "perfetto_counter_events",
     "perfetto_events",
     "read_trace_jsonl",
     "trace_records_jsonable",

@@ -27,10 +27,12 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.obs.metrics import merge_snapshots
 
-#: Schema version shared by every exported artifact.
-SCHEMA_VERSION = 1
+#: Schema version shared by every exported artifact.  Version 2 added
+#: the ``replay_of`` provenance key and the ``capture``/``timeline``
+#: output slots; schema-1 manifests (no ``replay_of``) still validate.
+SCHEMA_VERSION = 2
 
-#: The exact top-level key set of ``manifest.json`` (schema version 1).
+#: The exact top-level key set of ``manifest.json`` (schema version 2).
 #: docs/observability.md documents each; the CI check enforces the set.
 MANIFEST_KEYS = frozenset({
     "schema",          # int, == SCHEMA_VERSION
@@ -45,9 +47,14 @@ MANIFEST_KEYS = frozenset({
     "wall_time_s",     # end-to-end harness wall clock
     "sim_time_ns",     # sum of per-cell simulated time
     "cache",           # {enabled, hits, misses, corrupt_entries}
-    "outputs",         # {json, metrics, trace, spans, perfetto} paths
+    "outputs",         # {json, metrics, trace, spans, perfetto,
+                       #  capture, timeline} paths
     "status",          # "complete" | "partial" (cells failed retries)
+    "replay_of",       # capture path this run replayed, or None
 })
+
+#: Keys that did not exist in schema 1 (tolerated as absent there).
+_SCHEMA_2_KEYS = frozenset({"replay_of"})
 
 
 def git_describe(cwd: Optional[str] = None) -> Optional[str]:
@@ -175,8 +182,9 @@ def build_manifest(
     outputs: Dict[str, Optional[str]],
     cache_corrupt_entries: int = 0,
     status: str = "complete",
+    replay_of: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Assemble a schema-1 run manifest (see :data:`MANIFEST_KEYS`).
+    """Assemble a schema-2 run manifest (see :data:`MANIFEST_KEYS`).
 
     ``status`` is ``"complete"`` or ``"partial"`` — partial manifests
     record sweeps where cells stayed failed after bounded re-execution
@@ -211,23 +219,33 @@ def build_manifest(
         },
         "outputs": dict(outputs),
         "status": status,
+        "replay_of": replay_of,
     }
     assert set(manifest) == set(MANIFEST_KEYS)
     return manifest
 
 
 def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
-    """Problems with a manifest dict (empty list == valid)."""
+    """Problems with a manifest dict (empty list == valid).
+
+    Accepts the current schema and schema 1 (written by releases
+    before the capture/replay layer): a schema-1 manifest simply lacks
+    the keys in :data:`_SCHEMA_2_KEYS`.
+    """
     problems = []
-    missing = MANIFEST_KEYS - set(manifest)
-    extra = set(manifest) - MANIFEST_KEYS
+    schema = manifest.get("schema")
+    expected_keys = MANIFEST_KEYS
+    if schema == 1:
+        expected_keys = MANIFEST_KEYS - _SCHEMA_2_KEYS
+    missing = expected_keys - set(manifest)
+    extra = set(manifest) - expected_keys
     if missing:
         problems.append(f"missing keys: {', '.join(sorted(missing))}")
     if extra:
         problems.append(f"unexpected keys: {', '.join(sorted(extra))}")
-    if manifest.get("schema") != SCHEMA_VERSION:
+    if schema not in (1, SCHEMA_VERSION):
         problems.append(
-            f"schema is {manifest.get('schema')!r}, expected {SCHEMA_VERSION}"
+            f"schema is {schema!r}, expected {SCHEMA_VERSION} (or 1)"
         )
     cells = manifest.get("cells")
     if not isinstance(cells, list):

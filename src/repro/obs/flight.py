@@ -1,0 +1,91 @@
+"""Flight recorder: a bounded ring of the most recent trace records.
+
+Full tracing (``SystemParams.tracing``) keeps *every* record, which is
+the right tool for a short diagnostic run and the wrong one for a long
+chaos soak — an unbounded list, and most of it irrelevant by the time
+something goes wrong.  The flight recorder keeps only the **last N**
+records in a fixed-size ring, so it can stay on for the whole run at
+near-zero cost: the hot path pays the same single ``tracer.enabled``
+check as full tracing, and recording is one modulo store with no
+allocation beyond the record tuple itself.
+
+Wiring: :class:`~repro.node.Machine` builds a :class:`FlightRecorder`
+when ``SystemParams.flight_recorder > 0`` and attaches it to the
+machine's :class:`~repro.sim.trace.Tracer` (ring-only mode unless full
+tracing is also on) and :class:`~repro.obs.spans.SpanRecorder` (span
+completions land in the ring too, tagged ``category="span"``).  On a
+:class:`~repro.faults.DeliveryFailure` or a sweep-level failure the
+harness dumps ``ring.to_jsonable()`` next to the manifest — the last
+moments before the incident, ready for ``repro.analysis`` or a human.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.sim.trace import TraceRecord
+
+#: Version tag of the dumped ring payload.
+FLIGHT_SCHEMA = 1
+
+
+class FlightRecorder:
+    """Fixed-capacity ring buffer of :class:`TraceRecord` entries.
+
+    ``log`` overwrites the oldest entry once ``capacity`` records have
+    been seen; ``records()`` returns the survivors oldest-first.
+    ``recorded`` counts every record ever offered, so a dump states how
+    much history was evicted.
+    """
+
+    __slots__ = ("capacity", "recorded", "_ring", "_next")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.recorded = 0
+        self._ring: List[TraceRecord] = []
+        self._next = 0
+
+    def log(self, time: int, source: str, category: str,
+            detail: Dict[str, Any]) -> None:
+        record = TraceRecord(time, source, category, detail)
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(record)
+        else:
+            ring[self._next] = record
+            self._next = (self._next + 1) % self.capacity
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def records(self) -> List[TraceRecord]:
+        """Surviving records, oldest first."""
+        ring = self._ring
+        if len(ring) < self.capacity:
+            return list(ring)
+        cut = self._next
+        return ring[cut:] + ring[:cut]
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._next = 0
+        self.recorded = 0
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON dump payload (the incident artifact)."""
+        records = self.records()
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "evicted": self.recorded - len(records),
+            "records": [r.to_jsonable() for r in records],
+        }
+
+    def __repr__(self) -> str:
+        return (f"<FlightRecorder {len(self._ring)}/{self.capacity} "
+                f"({self.recorded} recorded)>")

@@ -60,7 +60,7 @@ class Span:
 
     __slots__ = (
         "span_id", "src", "dst", "size", "handler",
-        "begin_ns", "end_ns", "transitions", "annotations",
+        "begin_ns", "end_ns", "transitions", "annotations", "ordinal",
     )
 
     def __init__(
@@ -71,6 +71,7 @@ class Span:
         size: int,
         handler: Optional[str],
         begin_ns: int,
+        ordinal: Optional[int] = None,
     ):
         self.span_id = span_id
         self.src = src
@@ -78,6 +79,9 @@ class Span:
         self.size = size
         self.handler = handler
         self.begin_ns = begin_ns
+        #: Per-source ordinal — the shard-stable half of the span's
+        #: identity ``(src, ordinal)``; see Message.span_ordinal.
+        self.ordinal = ordinal
         #: ``None`` until the handler completes.
         self.end_ns: Optional[int] = None
         #: ``(phase, enter_time)`` pairs, time-ordered; the span is in
@@ -133,6 +137,8 @@ class Span:
             "transitions": [[phase, t] for phase, t in self.transitions],
             "annotations": dict(sorted(self.annotations.items())),
         }
+        if self.ordinal is not None:
+            entry["ordinal"] = self.ordinal
         if self.end_ns is not None:
             entry["latency_ns"] = self.latency_ns()
             entry["phases"] = {
@@ -146,6 +152,7 @@ class Span:
         span = cls(
             data["span_id"], data["src"], data["dst"], data["size"],
             data["handler"], data["begin_ns"],
+            ordinal=data.get("ordinal"),
         )
         span.transitions = [
             (phase, t) for phase, t in data["transitions"]
@@ -165,6 +172,46 @@ class Span:
         )
 
 
+class _RemoteFragment:
+    """Receive-side span activity for a message whose span was opened
+    on another shard.
+
+    Under sharded execution (:mod:`repro.shard`) a span begins on the
+    source node's shard; when the message crosses a shard boundary,
+    marks/annotations/end on the destination shard land in one of
+    these — same ``transitions``/``annotations``/``end_ns`` shape as a
+    :class:`Span`, so the recording methods treat both uniformly — and
+    the merge step grafts it back onto the origin span by its
+    ``(src, ordinal)`` key.
+    """
+
+    __slots__ = ("src", "ordinal", "end_ns", "transitions", "annotations")
+
+    def __init__(self, src: int, ordinal: int):
+        self.src = src
+        self.ordinal = ordinal
+        self.end_ns: Optional[int] = None
+        self.transitions: List[Tuple[str, int]] = []
+        self.annotations: Dict[str, int] = {}
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "src": self.src,
+            "ordinal": self.ordinal,
+            "end_ns": self.end_ns,
+            "transitions": [[phase, t] for phase, t in self.transitions],
+            "annotations": dict(sorted(self.annotations.items())),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "_RemoteFragment":
+        frag = cls(data["src"], data["ordinal"])
+        frag.end_ns = data.get("end_ns")
+        frag.transitions = [(phase, t) for phase, t in data["transitions"]]
+        frag.annotations = dict(data.get("annotations", {}))
+        return frag
+
+
 class SpanRecorder:
     """Records message lifecycles for one machine.
 
@@ -179,21 +226,59 @@ class SpanRecorder:
         self.enabled = enabled
         #: All spans, indexed by span id (== list position).
         self.spans: List[Span] = []
+        #: Per-source ordinal counters (shard-stable span identity).
+        self._ordinals: Dict[int, int] = {}
+        #: ``(src, ordinal) -> span_id`` for locally opened spans.
+        self._by_key: Dict[Tuple[int, int], int] = {}
+        #: Receive-side fragments for spans opened on other shards.
+        self.remote: Dict[Tuple[int, int], _RemoteFragment] = {}
+        #: Optional :class:`repro.obs.flight.FlightRecorder`: span
+        #: completions are mirrored into the ring as trace records.
+        self.ring = None
+        #: Collapse marks repeating the current phase as they arrive
+        #: (the classic single-machine behavior).  The shard runner
+        #: turns this off: with the receive side of a span on another
+        #: shard, "repeating the current phase" is not locally
+        #: decidable (wire -> remote recv_buffering -> wire again on a
+        #: bounce), so every mark is kept and the merge step collapses
+        #: once over the time-sorted union.
+        self.collapse = True
 
     # -- recording -----------------------------------------------------
 
     def begin(self, msg) -> None:
         """Open a span for ``msg`` (entering ``send_overhead`` now).
 
-        Assigns the message its machine-local ``span_id``; phase marks
-        downstream find the span through it.
+        Assigns the message its machine-local ``span_id`` (phase marks
+        downstream find the span through it) and its shard-stable
+        ``(src, ordinal)`` identity.
         """
         span_id = len(self.spans)
+        ordinal = self._ordinals.get(msg.src, 0)
+        self._ordinals[msg.src] = ordinal + 1
         msg.span_id = span_id
+        msg.span_ordinal = ordinal
+        self._by_key[(msg.src, ordinal)] = span_id
         self.spans.append(
             Span(span_id, msg.src, msg.dst, msg.size, msg.handler,
-                 self.sim.now)
+                 self.sim.now, ordinal=ordinal)
         )
+
+    def _lookup(self, msg):
+        """Span (or remote fragment) for a message without a local
+        ``span_id`` — the decoded-off-the-wire path under sharding."""
+        ordinal = getattr(msg, "span_ordinal", None)
+        if ordinal is None:
+            return None
+        key = (msg.src, ordinal)
+        span_id = self._by_key.get(key)
+        if span_id is not None:
+            msg.span_id = span_id  # cache for later marks
+            return self.spans[span_id]
+        frag = self.remote.get(key)
+        if frag is None:
+            frag = self.remote[key] = _RemoteFragment(msg.src, ordinal)
+        return frag
 
     def mark(self, msg, phase: str) -> None:
         """Transition ``msg``'s span into ``phase`` at the current time.
@@ -202,30 +287,52 @@ class SpanRecorder:
         closed) and for marks repeating the current phase.
         """
         span_id = getattr(msg, "span_id", None)
-        if span_id is None:
-            return
-        span = self.spans[span_id]
+        if span_id is not None:
+            span = self.spans[span_id]
+        else:
+            span = self._lookup(msg)
+            if span is None:
+                return
         if span.end_ns is not None:
             return
-        if span.transitions[-1][0] != phase:
-            span.transitions.append((phase, self.sim.now))
+        transitions = span.transitions
+        if (not self.collapse or not transitions
+                or transitions[-1][0] != phase):
+            transitions.append((phase, self.sim.now))
 
     def annotate(self, msg, label: str, count: int = 1) -> None:
         """Count a data-path event against ``msg``'s span."""
         span_id = getattr(msg, "span_id", None)
-        if span_id is None:
-            return
-        annotations = self.spans[span_id].annotations
+        if span_id is not None:
+            span = self.spans[span_id]
+        else:
+            span = self._lookup(msg)
+            if span is None:
+                return
+        annotations = span.annotations
         annotations[label] = annotations.get(label, 0) + count
 
     def end(self, msg) -> None:
         """Close ``msg``'s span (handler complete) at the current time."""
         span_id = getattr(msg, "span_id", None)
-        if span_id is None:
-            return
-        span = self.spans[span_id]
+        if span_id is not None:
+            span = self.spans[span_id]
+        else:
+            span = self._lookup(msg)
+            if span is None:
+                return
         if span.end_ns is None:
             span.end_ns = self.sim.now
+            ring = self.ring
+            if ring is not None and isinstance(span, Span):
+                ring.log(self.sim.now, f"node{span.src}", "span", {
+                    "span_id": span.span_id,
+                    "src": span.src,
+                    "dst": span.dst,
+                    "size": span.size,
+                    "handler": span.handler,
+                    "latency_ns": span.end_ns - span.begin_ns,
+                })
 
     # -- reading -------------------------------------------------------
 
@@ -241,12 +348,81 @@ class SpanRecorder:
         """Completed spans as plain JSON objects (deterministic)."""
         return [span.to_jsonable() for span in self.completed()]
 
+    def shard_export(self) -> Dict[str, Any]:
+        """Everything the shard runner ships to the parent: every
+        locally opened span — open ones included, their receive side
+        may have run on another shard — plus the remote fragments this
+        shard recorded for other shards' spans (see
+        :class:`_RemoteFragment` and ``repro.shard.runner._merge``)."""
+        return {
+            "spans": [span.to_jsonable() for span in self.spans],
+            "remote": [frag.to_jsonable() for frag in self.remote.values()],
+        }
+
     def __len__(self) -> int:
         return len(self.spans)
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"
         return f"<SpanRecorder {state}, {len(self.spans)} spans>"
+
+
+# -- sharded-run span merge --------------------------------------------
+
+
+def merge_shard_spans(
+    exports: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Merge per-shard :meth:`SpanRecorder.shard_export` payloads into
+    one machine-wide span list.
+
+    Each span's identity is its ``(src, ordinal)`` key: the origin
+    shard contributes the :class:`Span` (send-side transitions), other
+    shards contribute :class:`_RemoteFragment` activity (receive-side
+    transitions, annotations, the close).  Grafting sorts the union of
+    transitions by time (stable, origin first on ties), collapses
+    consecutive phase repeats, sums annotations, and takes the latest
+    close.  The result keeps complete spans only, sorted by
+    ``(begin_ns, src, ordinal)`` with span ids renumbered from zero —
+    a pure function of the model, byte-identical at any shard count.
+    """
+    by_key: Dict[Tuple[int, int], Span] = {}
+    for export in exports:
+        for data in export["spans"]:
+            span = Span.from_jsonable(data)
+            by_key[(span.src, span.ordinal)] = span
+    for export in exports:
+        for data in export["remote"]:
+            frag = _RemoteFragment.from_jsonable(data)
+            span = by_key.get((frag.src, frag.ordinal))
+            if span is None:
+                continue
+            span.transitions = sorted(
+                span.transitions + frag.transitions,
+                key=lambda pt: pt[1],
+            )
+            if frag.end_ns is not None and (
+                span.end_ns is None or frag.end_ns > span.end_ns
+            ):
+                span.end_ns = frag.end_ns
+            for label, count in frag.annotations.items():
+                span.annotations[label] = (
+                    span.annotations.get(label, 0) + count
+                )
+    merged = sorted(
+        (span for span in by_key.values() if span.complete),
+        key=lambda s: (s.begin_ns, s.src, s.ordinal),
+    )
+    out: List[Dict[str, Any]] = []
+    for span_id, span in enumerate(merged):
+        collapsed: List[Tuple[str, int]] = []
+        for phase, t in span.transitions:
+            if not collapsed or collapsed[-1][0] != phase:
+                collapsed.append((phase, t))
+        span.transitions = collapsed
+        span.span_id = span_id
+        out.append(span.to_jsonable())
+    return out
 
 
 # -- Perfetto / Chrome Trace Event Format export -----------------------
@@ -336,19 +512,80 @@ def perfetto_events(
     return events
 
 
+#: Default counter-track selection: the series a timeline usually
+#: carries that are worth a dedicated Perfetto track — queue depths,
+#: retransmission totals, shard barrier waits, flow-control bounces.
+_COUNTER_HINTS: Tuple[str, ...] = (
+    "queue", "retransmit", "barrier", "bounce",
+)
+
+
+def perfetto_counter_events(
+    timeline: Dict[str, Any],
+    *,
+    pid: int = 0,
+    label: Optional[str] = None,
+    paths: Optional[Iterable[str]] = None,
+) -> List[Dict[str, Any]]:
+    """Chrome Trace Event Format counter (``"ph": "C"``) events from a
+    timeline payload (:meth:`repro.obs.timeline.TimelineSampler.to_jsonable`).
+
+    One counter track per selected series, sampled at every timeline
+    boundary.  ``paths`` selects series whose dotted path contains any
+    of the given substrings; the default selection covers queue
+    depths, retransmits, barrier waits, and bounces.  All tracks share
+    ``pid`` so they group under one process block in the UI.
+    """
+    hints = tuple(paths) if paths is not None else _COUNTER_HINTS
+    prefix = f"{label}:" if label else ""
+    events: List[Dict[str, Any]] = []
+    ticks = timeline.get("ticks", ())
+    for path, column in sorted(timeline.get("series", {}).items()):
+        if hints and not any(hint in path for hint in hints):
+            continue
+        name = f"{prefix}{path}"
+        for tick, value in zip(ticks, column):
+            events.append({
+                "ph": "C",
+                "cat": "timeline",
+                "name": name,
+                "ts": tick / 1000.0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": value},
+            })
+    if events:
+        events.append({
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"{prefix}counters"},
+        })
+    return events
+
+
 def export_perfetto(
     path: str,
     cells: Union[
         Iterable[Union[Span, Dict[str, Any]]],
         Sequence[Tuple[str, Iterable[Union[Span, Dict[str, Any]]]]],
     ],
+    timelines: Optional[
+        Sequence[Tuple[Optional[str], Dict[str, Any]]]
+    ] = None,
+    counter_paths: Optional[Iterable[str]] = None,
 ) -> int:
-    """Write spans as a Chrome Trace Event Format JSON file.
+    """Write spans (and optional timeline counters) as a Chrome Trace
+    Event Format JSON file.
 
     ``cells`` is either a bare span iterable (one machine) or a
     sequence of ``(label, spans)`` pairs (an experiment sweep); each
-    cell gets its own block of node tracks.  The output loads directly
-    in https://ui.perfetto.dev.  Returns the event count.
+    cell gets its own block of node tracks.  ``timelines`` optionally
+    adds counter tracks: a sequence of ``(label, timeline_payload)``
+    pairs, each rendered as one extra process block of counters (see
+    :func:`perfetto_counter_events`).  The output loads directly in
+    https://ui.perfetto.dev.  Returns the event count.
     """
     cells = list(cells)
     pairs: List[Tuple[Optional[str], List[Any]]]
@@ -365,6 +602,13 @@ def export_perfetto(
         events.extend(cell_events)
         max_pid = max((e["pid"] for e in cell_events), default=pid_offset - 1)
         pid_offset = max_pid + 1
+    for label, timeline in (timelines or ()):
+        counter_events = perfetto_counter_events(
+            timeline, pid=pid_offset, label=label, paths=counter_paths,
+        )
+        events.extend(counter_events)
+        if counter_events:
+            pid_offset += 1
     payload = {"traceEvents": events, "displayTimeUnit": "ms"}
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, sort_keys=True)

@@ -1,0 +1,178 @@
+"""Timeline telemetry: periodic metric sampling over simulated time.
+
+End-of-run snapshots answer *how much*; they cannot answer *when*.  A
+:class:`TimelineSampler` snapshots the metrics registry every ``K``
+simulated nanoseconds into a columnar series — one row of boundary
+times (``ticks``) plus one column per dotted metric path — so a chaos
+stall, a queue-depth ramp, or a retransmit storm shows up at the
+interval where it happened.
+
+Sampling piggybacks on the kernel's schedule hook
+(:meth:`~repro.sim.Simulator.add_schedule_hook`): before the first
+event at or past a boundary is dispatched, the registry is read once
+and that reading stands for every boundary passed since (metrics are
+piecewise-constant between events).  The sampler never schedules
+events, so the event schedule — and every :class:`ScheduleDigest` —
+is bit-identical with the timeline on or off, and the series itself is
+a pure function of the run (deterministic across ``--jobs`` counts and
+shard counts).
+
+Series are *summable* the same way metric snapshots are:
+:func:`merge_timelines` adds series leaf-wise per boundary (holding
+the last value of a shorter series), which is how per-shard timelines
+merge into one machine-wide timeline and how sweep cells aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+#: Version tag of the columnar payload.
+TIMELINE_SCHEMA = 1
+
+
+class TimelineSampler:
+    """Samples a :class:`~repro.obs.metrics.MetricsRegistry` every
+    ``interval_ns`` of simulated time.
+
+    ``paths`` optionally restricts the recorded columns to dotted paths
+    with any of the given prefixes.  Install with
+    ``sim.add_schedule_hook(sampler.on_event)`` and call
+    :meth:`finalize` when the run ends so trailing boundaries (idle
+    tail, shard windows past the last local event) are filled in.
+    """
+
+    __slots__ = ("interval", "registry", "prefixes", "ticks", "series",
+                 "end_ns", "_next")
+
+    def __init__(self, registry, interval_ns: int,
+                 paths: Optional[Sequence[str]] = None):
+        if interval_ns < 1:
+            raise ValueError(f"interval_ns must be >= 1, got {interval_ns}")
+        self.registry = registry
+        self.interval = interval_ns
+        self.prefixes = tuple(paths) if paths else None
+        #: Boundary times, ascending multiples of ``interval``.
+        self.ticks: List[int] = []
+        #: ``{dotted.path: [value at each boundary]}``.
+        self.series: Dict[str, List[float]] = {}
+        self.end_ns: Optional[int] = None
+        self._next = interval_ns
+
+    def _sample(self) -> Dict[str, float]:
+        snap = self.registry.snapshot()
+        if self.prefixes is not None:
+            snap = {k: v for k, v in snap.items()
+                    if k.startswith(self.prefixes)}
+        return snap
+
+    def _record(self, upto: int) -> None:
+        """Record one registry reading for every boundary <= ``upto``."""
+        snap = self._sample()
+        series = self.series
+        ticks = self.ticks
+        nxt = self._next
+        while nxt <= upto:
+            depth = len(ticks)
+            ticks.append(nxt)
+            for key, value in snap.items():
+                col = series.get(key)
+                if col is None:
+                    # A path that appeared mid-run: backfill zeros so
+                    # every column stays tick-aligned.
+                    col = series[key] = [0.0] * depth
+                col.append(value)
+            if len(snap) != len(series):
+                for key, col in series.items():
+                    if len(col) <= depth:
+                        col.append(col[-1] if col else 0.0)
+            nxt += self.interval
+        self._next = nxt
+
+    def on_event(self, when: int, seq: int) -> None:
+        """Kernel schedule hook: sample when an event crosses a
+        boundary.  The common case is one integer compare."""
+        if when >= self._next:
+            self._record(when)
+
+    def finalize(self, end_ns: int) -> None:
+        """Fill boundaries up to ``end_ns`` and pin the run length.
+
+        Safe to call repeatedly with non-decreasing ``end_ns`` (the
+        sweep harness finalizes at workload end; the shard runner at
+        the global done time).
+        """
+        if end_ns >= self._next:
+            self._record(end_ns)
+        if self.end_ns is None or end_ns > self.end_ns:
+            self.end_ns = end_ns
+
+    def __len__(self) -> int:
+        return len(self.ticks)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "schema": TIMELINE_SCHEMA,
+            "interval_ns": self.interval,
+            "end_ns": self.end_ns,
+            "ticks": list(self.ticks),
+            "series": {k: list(v) for k, v in sorted(self.series.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (f"<TimelineSampler every {self.interval}ns: "
+                f"{len(self.ticks)} samples x {len(self.series)} paths>")
+
+
+def merge_timelines(timelines: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum timeline payloads leaf-wise per boundary.
+
+    All inputs must share ``interval_ns``.  Boundary ``i`` of the
+    result is the sum over inputs of their value at boundary ``i``; an
+    input whose series is shorter contributes its last value (counters
+    are piecewise-constant after their shard goes idle).  The result's
+    ``ticks`` is the longest input's.
+    """
+    merged: Dict[str, List[float]] = {}
+    interval = None
+    ticks: List[int] = []
+    end_ns = None
+    for payload in timelines:
+        if payload.get("schema") != TIMELINE_SCHEMA:
+            raise ValueError(
+                f"timeline schema {payload.get('schema')!r} != "
+                f"{TIMELINE_SCHEMA}"
+            )
+        if interval is None:
+            interval = payload["interval_ns"]
+        elif payload["interval_ns"] != interval:
+            raise ValueError(
+                f"cannot merge timelines with different intervals "
+                f"({interval} vs {payload['interval_ns']})"
+            )
+        if len(payload["ticks"]) > len(ticks):
+            ticks = list(payload["ticks"])
+        pe = payload.get("end_ns")
+        if pe is not None and (end_ns is None or pe > end_ns):
+            end_ns = pe
+        for key, col in payload["series"].items():
+            acc = merged.get(key)
+            if acc is None:
+                merged[key] = list(col)
+            else:
+                if len(col) > len(acc):
+                    acc.extend([acc[-1] if acc else 0.0]
+                               * (len(col) - len(acc)))
+                hold = col[-1] if col else 0.0
+                for i in range(len(acc)):
+                    acc[i] += col[i] if i < len(col) else hold
+    for key, acc in merged.items():
+        if len(acc) < len(ticks):
+            acc.extend([acc[-1] if acc else 0.0] * (len(ticks) - len(acc)))
+    return {
+        "schema": TIMELINE_SCHEMA,
+        "interval_ns": interval,
+        "end_ns": end_ns,
+        "ticks": ticks,
+        "series": dict(sorted(merged.items())),
+    }

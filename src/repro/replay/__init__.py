@@ -1,0 +1,378 @@
+"""repro.replay — deterministic capture and replay of runs.
+
+Simulations here are deterministic functions of their inputs, and the
+kernel's :class:`~repro.sim.trace.ScheduleDigest` hashes every event
+the scheduler admits — so a run can be *captured* (all inputs + the
+digest it produced) and later *replayed*: re-execute from the captured
+inputs and check the fresh digest against the recorded one.  A match
+is bit-level proof the run reproduced; a mismatch is a structured
+report of exactly what diverged (version skew, digest, metrics).
+
+The capture is a small binary file (``.rprc``): the 4-byte magic
+``RPRC``, one version byte, then the payload dict encoded with the
+same pickle-free struct codec the shard channels use
+(:mod:`repro.shard.codec`) — the byte format is pinned independent of
+Python object internals.  The payload records full provenance:
+
+- the complete :class:`~repro.experiments.parallel.Job` spec —
+  :class:`~repro.config.SystemParams` (including the nested
+  :class:`~repro.faults.config.FaultConfig` and its seed),
+  :class:`~repro.config.SoftwareCosts`, workload + NI names and
+  kwargs, machine tweaks, shard count;
+- the package version and git description of the capturing checkout;
+- the run's digest — ``{"schedule", "events"}`` for a plain cell,
+  ``{"kernel": [per-shard...], "model"}`` for a sharded one;
+- the final metrics snapshot and elapsed time.
+
+Entry points: :func:`capture_result` + :func:`write_capture` on the
+recording side (the experiment runner's ``--capture`` does this for
+every cell), :func:`replay` / :func:`repro.api.replay` on the
+checking side.  See docs/replay.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: Format version of the capture payload.  Bump when the payload
+#: layout changes; :func:`read_capture` refuses versions it does not
+#: know rather than guessing.
+CAPTURE_SCHEMA = 1
+
+#: Leading magic of a capture file.
+CAPTURE_MAGIC = b"RPRC"
+
+#: Conventional capture-file extension.
+CAPTURE_SUFFIX = ".rprc"
+
+__all__ = [
+    "CAPTURE_MAGIC",
+    "CAPTURE_SCHEMA",
+    "CAPTURE_SUFFIX",
+    "ReplayMismatch",
+    "ReplayReport",
+    "capture_result",
+    "capture_run",
+    "job_from_capture",
+    "read_capture",
+    "replay",
+    "write_capture",
+]
+
+
+# -- job spec <-> plain data --------------------------------------------
+
+
+def _job_spec(job) -> Dict[str, Any]:
+    """The complete :class:`Job` as a codec-encodable plain tree."""
+    return {
+        "label": job.label,
+        "ni": job.ni,
+        "workload": job.workload,
+        "kwargs": tuple(job.kwargs),
+        "variant": job.variant,
+        "params": asdict(job.params),
+        "costs": asdict(job.costs),
+        "num_nodes": job.num_nodes,
+        "always_udma": job.always_udma,
+        "sender_throttle_ns": job.sender_throttle_ns,
+        "fabric_hop_ns": job.fabric_hop_ns,
+        "fabric_link_ns_per_32b": job.fabric_link_ns_per_32b,
+        "shards": job.shards,
+    }
+
+
+def _params_from(spec: Dict[str, Any]):
+    from repro.config import SystemParams
+    from repro.faults.config import FaultConfig
+
+    fields = dict(spec)
+    faults = fields.pop("faults", None)
+    if faults is not None:
+        faults = FaultConfig(**faults)
+    # Tuple-typed fields come back from the codec as-is, but survive a
+    # JSON detour (manifest debugging) as lists.
+    paths = fields.get("timeline_paths")
+    if paths is not None:
+        fields["timeline_paths"] = tuple(paths)
+    return SystemParams(faults=faults, **fields)
+
+
+def _freeze_pairs(pairs) -> Tuple[Tuple[str, Any], ...]:
+    return tuple((str(k), v) for k, v in pairs)
+
+
+def job_from_capture(capture: Dict[str, Any]):
+    """Rebuild the executable :class:`Job` from a capture payload.
+
+    ``collect_digest`` is forced on — a replay without a fresh digest
+    could not check anything.
+    """
+    from repro.config import SoftwareCosts
+    from repro.experiments.parallel import Job
+
+    spec = capture["job"]
+    variant = spec.get("variant")
+    if variant is not None:
+        suffix, attrs = variant
+        variant = (suffix, _freeze_pairs(attrs))
+    return Job(
+        label=spec["label"],
+        ni=spec["ni"],
+        workload=spec["workload"],
+        params=_params_from(spec["params"]),
+        costs=SoftwareCosts(**spec["costs"]),
+        kwargs=_freeze_pairs(spec["kwargs"]),
+        variant=variant,
+        num_nodes=spec["num_nodes"],
+        always_udma=spec["always_udma"],
+        sender_throttle_ns=spec["sender_throttle_ns"],
+        fabric_hop_ns=spec["fabric_hop_ns"],
+        fabric_link_ns_per_32b=spec["fabric_link_ns_per_32b"],
+        shards=spec["shards"],
+        collect_digest=True,
+    )
+
+
+# -- capture construction / IO ------------------------------------------
+
+
+def capture_result(job, result, replay_of: Optional[str] = None) -> Dict[str, Any]:
+    """The capture payload for ``result = run_cell(job)``.
+
+    The job must have run with ``collect_digest=True`` — the recorded
+    digest is the replay identity check.
+    """
+    import repro
+    from repro.obs.export import git_describe
+    from repro.shard.digest import model_metrics
+
+    if result.digest is None:
+        raise ValueError(
+            f"cell {job.label!r} carries no digest; run it with "
+            "collect_digest=True to make it capturable"
+        )
+    return {
+        "schema": CAPTURE_SCHEMA,
+        "repro_version": repro.__version__,
+        "git": git_describe(),
+        "kind": "sharded" if job.shards else "cell",
+        "label": job.label,
+        "job": _job_spec(job),
+        "digest": dict(result.digest),
+        # Only the *model* metrics are captured: shard runs fold
+        # wall-clock scheduling stats (barrier wait, worker busy time)
+        # into the snapshot under excluded prefixes, and those
+        # legitimately differ run to run on a real host.
+        "metrics": model_metrics(result.metrics),
+        "elapsed_ns": result.elapsed_ns,
+        "replay_of": replay_of,
+    }
+
+
+def write_capture(path: str, capture: Dict[str, Any]) -> str:
+    """Write a capture payload as an ``.rprc`` file; returns ``path``."""
+    from repro.shard import codec
+
+    blob = CAPTURE_MAGIC + bytes([CAPTURE_SCHEMA]) + codec.pack(capture)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    return path
+
+
+def read_capture(path: str) -> Dict[str, Any]:
+    """Load and validate an ``.rprc`` capture file."""
+    from repro.shard import codec
+
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if blob[: len(CAPTURE_MAGIC)] != CAPTURE_MAGIC:
+        raise ValueError(f"{path}: not a capture file (bad magic)")
+    version = blob[len(CAPTURE_MAGIC)]
+    if version != CAPTURE_SCHEMA:
+        raise ValueError(
+            f"{path}: capture version {version} not supported "
+            f"(this build reads {CAPTURE_SCHEMA})"
+        )
+    capture = codec.unpack(blob[len(CAPTURE_MAGIC) + 1:])
+    if not isinstance(capture, dict) or capture.get("schema") != CAPTURE_SCHEMA:
+        raise ValueError(f"{path}: malformed capture payload")
+    return capture
+
+
+def capture_run(job) -> Tuple[Any, Dict[str, Any]]:
+    """Run one cell with digest collection and capture it.
+
+    Convenience for scripts and tests: forces ``collect_digest``,
+    executes :func:`~repro.experiments.parallel.run_cell`, and returns
+    ``(result, capture)``.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.parallel import run_cell
+
+    if not job.collect_digest:
+        job = replace(job, collect_digest=True)
+    result = run_cell(job)
+    return result, capture_result(job, result)
+
+
+# -- replay -------------------------------------------------------------
+
+
+@dataclass
+class ReplayReport:
+    """What a replay established, mismatch or not."""
+
+    label: str
+    #: Digest and metrics both reproduced bit-identically.
+    ok: bool
+    digest_match: bool
+    metrics_match: bool
+    expected_digest: Dict[str, Any]
+    actual_digest: Dict[str, Any]
+    #: ``{path: (expected, actual)}`` for metric leaves that differ
+    #: (paths missing on one side pair with ``None``).
+    metric_deltas: Dict[str, Tuple[Any, Any]] = field(default_factory=dict)
+    #: ``(captured, current)`` when the package version or git state
+    #: at replay time differs from capture time — context for a
+    #: mismatch, never itself a failure.
+    version_skew: Optional[Tuple[str, str]] = None
+    git_skew: Optional[Tuple[Any, Any]] = None
+    elapsed_ns: Optional[Tuple[int, int]] = None
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "ok": self.ok,
+            "digest_match": self.digest_match,
+            "metrics_match": self.metrics_match,
+            "expected_digest": self.expected_digest,
+            "actual_digest": self.actual_digest,
+            "metric_deltas": {
+                k: list(v) for k, v in self.metric_deltas.items()
+            },
+            "version_skew": (
+                list(self.version_skew) if self.version_skew else None
+            ),
+            "git_skew": list(self.git_skew) if self.git_skew else None,
+            "elapsed_ns": list(self.elapsed_ns) if self.elapsed_ns else None,
+        }
+
+    def summary(self) -> str:
+        if self.ok:
+            note = ""
+            if self.version_skew or self.git_skew:
+                note = " (despite version skew)"
+            return f"replay OK: {self.label} reproduced bit-identically{note}"
+        lines = [f"replay MISMATCH: {self.label}"]
+        if not self.digest_match:
+            lines.append(
+                f"  digest: expected {self.expected_digest!r}, "
+                f"got {self.actual_digest!r}"
+            )
+        if not self.metrics_match:
+            lines.append(f"  metrics: {len(self.metric_deltas)} leaf(s) differ")
+            for path in sorted(self.metric_deltas)[:8]:
+                exp, act = self.metric_deltas[path]
+                lines.append(f"    {path}: {exp!r} -> {act!r}")
+            if len(self.metric_deltas) > 8:
+                lines.append(
+                    f"    ... {len(self.metric_deltas) - 8} more"
+                )
+        if self.version_skew:
+            lines.append(
+                f"  version skew: captured under {self.version_skew[0]}, "
+                f"replaying under {self.version_skew[1]}"
+            )
+        if self.git_skew:
+            lines.append(
+                f"  git skew: captured at {self.git_skew[0]!r}, "
+                f"replaying at {self.git_skew[1]!r}"
+            )
+        return "\n".join(lines)
+
+
+class ReplayMismatch(AssertionError):
+    """The replayed run did not reproduce the captured one."""
+
+    def __init__(self, report: ReplayReport):
+        self.report = report
+        super().__init__(report.summary())
+
+
+def _metric_deltas(
+    expected: Dict[str, Any], actual: Dict[str, Any]
+) -> Dict[str, Tuple[Any, Any]]:
+    deltas: Dict[str, Tuple[Any, Any]] = {}
+    for path in set(expected) | set(actual):
+        exp, act = expected.get(path), actual.get(path)
+        if exp != act:
+            deltas[path] = (exp, act)
+    return deltas
+
+
+def replay(
+    capture: Union[str, Dict[str, Any]],
+    *,
+    strict: bool = True,
+):
+    """Re-execute a captured run and verify it reproduces.
+
+    ``capture`` is a payload dict or a path to an ``.rprc`` file.  The
+    captured job is rebuilt and run from scratch (sharded captures
+    re-shard identically); the fresh :class:`ScheduleDigest` and
+    metrics snapshot are compared against the recorded ones.  Returns
+    a :class:`ReplayReport`; with ``strict`` (the default) a
+    divergence raises :class:`ReplayMismatch` carrying the same
+    report.  Version or git skew between capture and replay is
+    reported as context but is not itself a failure — matching digests
+    across versions is the *point* of keeping the determinism
+    contract.
+    """
+    import repro
+    from repro.experiments.parallel import run_cell
+    from repro.obs.export import git_describe
+    from repro.shard.digest import model_metrics
+
+    if isinstance(capture, (str, os.PathLike)):
+        capture = read_capture(os.fspath(capture))
+    job = job_from_capture(capture)
+    result = run_cell(job)
+
+    expected_digest = dict(capture["digest"])
+    actual_digest = dict(result.digest or {})
+    digest_match = expected_digest == actual_digest
+    deltas = _metric_deltas(
+        capture["metrics"], model_metrics(result.metrics)
+    )
+    metrics_match = not deltas
+
+    version_skew = None
+    if capture.get("repro_version") != repro.__version__:
+        version_skew = (capture.get("repro_version"), repro.__version__)
+    git_skew = None
+    current_git = git_describe()
+    if capture.get("git") != current_git:
+        git_skew = (capture.get("git"), current_git)
+
+    report = ReplayReport(
+        label=capture["label"],
+        ok=digest_match and metrics_match,
+        digest_match=digest_match,
+        metrics_match=metrics_match,
+        expected_digest=expected_digest,
+        actual_digest=actual_digest,
+        metric_deltas=deltas,
+        version_skew=version_skew,
+        git_skew=git_skew,
+        elapsed_ns=(capture["elapsed_ns"], result.elapsed_ns),
+    )
+    if strict and not report.ok:
+        raise ReplayMismatch(report)
+    return report

@@ -46,6 +46,10 @@ _MSG = Struct("<BIIIIqq")
 _F_HANDLER = 0x10  # handler string follows
 _F_CORRUPT = 0x20  # corrupted flag (never set in shard runs; kept for
                    # codec completeness and round-trip tests)
+_F_SPAN = 0x40     # span_ordinal i64 follows (spans enabled: the
+                   # shard-stable (src, ordinal) span identity rides
+                   # the wire so the receiving shard's marks attach to
+                   # the right span at merge time)
 
 _NONE_SEQ = -1     # src_seq wire value for ``None``
 
@@ -101,6 +105,8 @@ def _enc_obj(buf: bytearray, obj: Any) -> None:
             flags |= _F_HANDLER
         if obj.corrupted:
             flags |= _F_CORRUPT
+        if obj.span_ordinal is not None:
+            flags |= _F_SPAN
         buf += _MSG.pack(
             flags, obj.src, obj.dst, obj.size, obj.bounces,
             obj.sent_at if obj.sent_at is not None else -1,
@@ -110,6 +116,8 @@ def _enc_obj(buf: bytearray, obj: Any) -> None:
             text = obj.handler.encode()
             buf += _U32.pack(len(text))
             buf += text
+        if obj.span_ordinal is not None:
+            buf += _I64.pack(obj.span_ordinal)
         _enc_obj(buf, obj.body)
     else:
         raise TypeError(
@@ -170,6 +178,10 @@ def _dec_obj(data: memoryview, off: int) -> Tuple[Any, int]:
             off += 4
             handler = bytes(data[off:off + n]).decode()
             off += n
+        span_ordinal = None
+        if flags & _F_SPAN:
+            (span_ordinal,) = _I64.unpack_from(data, off)
+            off += 8
         body, off = _dec_obj(data, off)
         msg = Message(
             src, dst, size,
@@ -180,6 +192,7 @@ def _dec_obj(data: memoryview, off: int) -> Tuple[Any, int]:
             bounces=bounces,
             corrupted=bool(flags & _F_CORRUPT),
             src_seq=None if src_seq == _NONE_SEQ else src_seq,
+            span_ordinal=span_ordinal,
         )
         return msg, off
     raise ValueError(f"bad shard-channel tag {tag:#x} at offset {off - 1}")

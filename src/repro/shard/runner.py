@@ -89,6 +89,14 @@ class ShardResult:
     #: Window count, barrier wait, cross-shard volume (see
     #: ``SHARD_GAUGE_KEYS`` in repro.obs.metrics).
     shard_stats: Dict[str, int] = field(default_factory=dict)
+    #: Merged completed lifecycle spans (plain JSON objects, canonical
+    #: order, ids renumbered) — only when ``params.spans`` was on; see
+    #: :func:`repro.obs.spans.merge_shard_spans`.
+    spans: Tuple[Dict[str, Any], ...] = ()
+    #: Merged timeline series (leaf-wise shard sum) — only when
+    #: ``params.timeline_ns`` was set; see
+    #: :func:`repro.obs.timeline.merge_timelines`.
+    timeline: Optional[Dict[str, Any]] = None
 
 
 # -- transports ---------------------------------------------------------
@@ -253,10 +261,17 @@ def _validated(job: ShardJob) -> ShardJob:
         job = dataclasses.replace(job, params=params)
     if params.faults is not None:
         raise ValueError("sharded runs are incompatible with fault injection")
-    if params.tracing or params.spans:
+    if params.tracing:
+        # Spans merge deterministically — each span has a shard-stable
+        # (src, ordinal) identity and phase marks carry simulated
+        # timestamps (see repro.obs.spans.merge_shard_spans).  Trace
+        # records do not: the tracer logs in kernel dispatch order,
+        # which interleaves *across* nodes and is therefore not a pure
+        # function of the model under partitioning.
         raise ValueError(
-            "sharded runs do not support tracing/spans (machine-local "
-            "record streams cannot be merged deterministically)"
+            "sharded runs do not support full tracing (trace record "
+            "interleaving across nodes is not partition-invariant); "
+            "spans and the flight recorder are supported"
         )
     if params.sim_scheduler != "heap":
         raise ValueError("sharded runs require the heap scheduler")
@@ -404,6 +419,24 @@ def _merge(
     metrics = merge_snapshots([r["metrics"] for r in shard_results])
     for key, value in shard_stats.items():
         metrics[f"shard.{key}"] = value
+    spans: Tuple[Dict[str, Any], ...] = ()
+    if any("spans" in r for r in shard_results):
+        from repro.obs.spans import merge_shard_spans
+
+        spans = tuple(merge_shard_spans(
+            [r["spans"] for r in sorted(shard_results,
+                                        key=lambda r: r["shard"])
+             if "spans" in r]
+        ))
+    timeline = None
+    if any("timeline" in r for r in shard_results):
+        from repro.obs.timeline import merge_timelines
+
+        timeline = merge_timelines(
+            [r["timeline"] for r in sorted(shard_results,
+                                           key=lambda r: r["shard"])
+             if "timeline" in r]
+        )
     model_digest = None
     if node_digests:
         model_digest = merged_digest(
@@ -427,4 +460,6 @@ def _merge(
         kernel_digests=tuple(kernel_digests),
         model_digest=model_digest,
         shard_stats=shard_stats,
+        spans=spans,
+        timeline=timeline,
     )

@@ -114,6 +114,13 @@ class ShardSlice:
             if job.fabric_link_ns_per_32b is not None:
                 fabric.link_ns_per_32b = job.fabric_link_ns_per_32b
 
+        if machine.spans.enabled:
+            # Cross-shard spans: marks for a remote-origin span are not
+            # locally collapsible — record every mark and let the merge
+            # collapse over the time-sorted union (see
+            # repro.obs.spans.merge_shard_spans).
+            machine.spans.collapse = False
+
         self.delivery_digest: Optional[DeliveryDigest] = None
         self.kernel_digest = None
         if job.collect_digest:
@@ -122,7 +129,9 @@ class ShardSlice:
             self.delivery_digest = DeliveryDigest()
             machine.network._streams = self.delivery_digest.record
             self.kernel_digest = ScheduleDigest()
-            machine.sim._schedule_hook = self.kernel_digest.update
+            # Chain rather than assign: the timeline sampler (when
+            # params.timeline_ns is set) already holds the hook slot.
+            machine.sim.add_schedule_hook(self.kernel_digest.update)
 
         self.done_time: Optional[int] = None
         done = self.workload.launch(machine)
@@ -221,6 +230,21 @@ class ShardSlice:
             },
             "metrics": dict(machine.metrics_snapshot()),
         }
+        if machine.spans.enabled:
+            out["spans"] = machine.spans.shard_export()
+        if machine.timeline is not None:
+            # Finalize at the *global* completion time so every shard
+            # reports the same boundary count and the merged sum is
+            # partition-invariant.  Partition-*variant* columns
+            # (per-shard kernel gauges, cross-shard traffic — the same
+            # exclusions the model digest applies) are dropped so the
+            # merged timeline is identical at any shard count.
+            from repro.shard.digest import model_metrics
+
+            machine.timeline.finalize(t_global)
+            payload = machine.timeline.to_jsonable()
+            payload["series"] = model_metrics(payload["series"])
+            out["timeline"] = payload
         if self.delivery_digest is not None:
             out["node_digests"] = {
                 str(node): digest

@@ -318,6 +318,29 @@ class Simulator:
                 return True
         return False
 
+    def add_schedule_hook(self, fn) -> None:
+        """Install ``fn(when, seq)`` as a schedule hook, chaining it
+        after any hook already present.
+
+        :attr:`_schedule_hook` is a single slot read once per ``run()``
+        (Python and C loops alike); consumers that may coexist — the
+        ScheduleDigest collector, the shard runner's per-shard digest,
+        the timeline sampler — must go through this method so none of
+        them silently clobbers another.  With no prior hook this is
+        exactly ``self._schedule_hook = fn`` (no wrapper, no extra
+        call); with one, both hooks run in installation order.
+        """
+        prev = self._schedule_hook
+        if prev is None:
+            self._schedule_hook = fn
+            return
+
+        def chained(when: int, seq: int, _prev=prev, _fn=fn) -> None:
+            _prev(when, seq)
+            _fn(when, seq)
+
+        self._schedule_hook = chained
+
     def peek(self) -> Optional[int]:
         """Time of the next live entry, or ``None`` if the queue is empty.
 

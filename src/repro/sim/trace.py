@@ -96,18 +96,49 @@ class TraceRecord(NamedTuple):
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` entries when enabled."""
+    """Collects :class:`TraceRecord` entries when enabled.
+
+    Two sinks share the one ``enabled`` hot-path check:
+
+    - the unbounded :attr:`records` list (full tracing, ``full=True`` —
+      the classic mode, and what setting ``enabled`` directly gives);
+    - an optional bounded ring (:meth:`attach_ring`, see
+      :mod:`repro.obs.flight`) that keeps only the last N records, for
+      always-on post-mortem capture.
+
+    Either or both may be active; call sites never change.
+    """
 
     def __init__(self, sim: "Simulator", enabled: bool = False):  # noqa: F821
         self.sim = sim
         self.enabled = enabled
+        #: Whether the unbounded list records.  Tracks ``enabled``
+        #: unless a ring was attached on an otherwise-disabled tracer
+        #: (ring-only mode).  ``enabled = True`` after construction
+        #: keeps working: ``log`` treats a ring-less tracer as full.
+        self.full = enabled
+        #: Bounded ring sink (:class:`repro.obs.flight.FlightRecorder`),
+        #: or ``None``.
+        self.ring = None
         self.records: List[TraceRecord] = []
+
+    def attach_ring(self, ring) -> None:
+        """Route records into ``ring`` (keeping the list sink only if
+        full tracing was already on) and enable the tracer."""
+        if self.ring is None:
+            self.full = self.enabled
+        self.ring = ring
+        self.enabled = True
 
     def log(self, source: str, category: str, **detail: Any) -> None:
         if self.enabled:
-            self.records.append(
-                TraceRecord(self.sim.now, source, category, detail)
-            )
+            ring = self.ring
+            if ring is None or self.full:
+                self.records.append(
+                    TraceRecord(self.sim.now, source, category, detail)
+                )
+            if ring is not None:
+                ring.log(self.sim.now, source, category, detail)
 
     def filter(
         self,

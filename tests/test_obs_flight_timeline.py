@@ -1,0 +1,264 @@
+"""Flight recorder, timeline telemetry, sharded spans, and the
+schema-2 manifest."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.faults.config import FaultConfig
+from repro.obs.flight import FLIGHT_SCHEMA, FlightRecorder
+from repro.obs.timeline import TimelineSampler, merge_timelines
+
+
+# ------------------------------------------------- flight recorder
+
+
+def test_flight_ring_bounds_and_eviction():
+    ring = FlightRecorder(4)
+    assert len(ring) == 0
+    for i in range(10):
+        ring.log(i * 100, f"src{i}", "cat", {"i": i})
+    assert len(ring) == 4
+    assert ring.recorded == 10
+    records = ring.records()
+    # Oldest-first, and only the *last* four survive.
+    assert [r[3]["i"] for r in records] == [6, 7, 8, 9]
+    payload = ring.to_jsonable()
+    assert payload["schema"] == FLIGHT_SCHEMA
+    assert payload["capacity"] == 4
+    assert payload["evicted"] == 6
+    ring.clear()
+    assert len(ring) == 0 and ring.recorded == 0
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=64),
+    count=st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=40, deadline=None)
+def test_flight_ring_always_keeps_last_capacity(capacity, count):
+    ring = FlightRecorder(capacity)
+    for i in range(count):
+        ring.log(i, "s", "c", {"i": i})
+    kept = [r[3]["i"] for r in ring.records()]
+    assert kept == list(range(max(0, count - capacity), count))
+
+
+def test_flight_ring_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        FlightRecorder(0)
+
+
+def test_flight_recorder_survives_fault_storm():
+    """A heavy fault storm overflows the ring by orders of magnitude;
+    the ring must stay bounded and keep only the newest records."""
+    params = DEFAULT_PARAMS.replace(
+        flight_recorder=64,
+        faults=FaultConfig(seed=7, drop_prob=0.2, duplicate_prob=0.1,
+                           ack_drop_prob=0.1),
+    )
+    result = api.run_workload(
+        ni="cni32qm", workload="pingpong", payload_bytes=64, rounds=50,
+        params=params,
+    )
+    flight = result.machine.flight
+    assert flight is not None
+    assert len(flight) == 64
+    assert flight.recorded > 64  # storms overflow the ring
+    times = [r[0] for r in flight.records()]
+    assert times == sorted(times)  # oldest-first ordering preserved
+    # Ring-only mode: the unbounded trace list stayed empty.
+    assert result.machine.network.tracer.records == []
+
+
+def test_flight_ring_does_not_break_full_tracing():
+    params = DEFAULT_PARAMS.replace(tracing=True, flight_recorder=8)
+    result = api.run_workload(
+        ni="cni32qm", workload="pingpong", payload_bytes=16, rounds=3,
+        params=params,
+    )
+    tracer = result.machine.network.tracer
+    assert tracer.full and tracer.records  # full list still recorded
+    assert len(result.machine.flight) <= 8
+
+
+def test_spans_tap_into_flight_ring():
+    params = DEFAULT_PARAMS.replace(spans=True, flight_recorder=128)
+    result = api.run_workload(
+        ni="cni32qm", workload="pingpong", payload_bytes=16, rounds=3,
+        params=params,
+    )
+    categories = {r[2] for r in result.machine.flight.records()}
+    assert "span" in categories
+
+
+# ----------------------------------------------------- timeline
+
+
+def _run(params, **kwargs):
+    defaults = dict(ni="cni32qm", workload="pingpong",
+                    payload_bytes=64, rounds=10)
+    defaults.update(kwargs)
+    return api.run_workload(params=params, **defaults)
+
+
+def test_timeline_sampler_columnar_shape():
+    result = _run(DEFAULT_PARAMS.replace(timeline_ns=5000))
+    payload = result.machine.timeline_jsonable()
+    assert payload["interval_ns"] == 5000
+    assert payload["ticks"]
+    assert payload["ticks"] == [
+        5000 * (i + 1) for i in range(len(payload["ticks"]))
+    ]
+    assert payload["series"]
+    for path, series in payload["series"].items():
+        assert len(series) == len(payload["ticks"])
+    # Counters are cumulative: series never decrease, and the last
+    # boundary reading never exceeds the end-of-run snapshot (events
+    # after the final boundary are not in any sample).
+    sent = payload["series"]["node0.ni.messages_sent"]
+    assert sent == sorted(sent)
+    assert 0 < sent[-1] <= result.metrics["node0.ni.messages_sent"]
+
+
+def test_timeline_path_prefix_filter():
+    result = _run(DEFAULT_PARAMS.replace(
+        timeline_ns=5000, timeline_paths=("node0.ni.", "net.")
+    ))
+    payload = result.machine.timeline_jsonable()
+    assert payload["series"]
+    assert all(
+        k.startswith(("node0.ni.", "net.")) for k in payload["series"]
+    )
+
+
+def test_timeline_never_perturbs_the_schedule():
+    """Sampling must be pure observation: the kernel digest with the
+    timeline on equals the digest with it off."""
+    from repro.experiments.parallel import Job, freeze_kwargs, run_cell
+
+    def digest(params):
+        job = Job(label="tl:digest", ni="cni32qm", workload="pingpong",
+                  params=params, costs=DEFAULT_COSTS,
+                  kwargs=freeze_kwargs({"payload_bytes": 64, "rounds": 10}),
+                  collect_digest=True)
+        return run_cell(job).digest["schedule"]
+
+    assert digest(DEFAULT_PARAMS) == \
+        digest(DEFAULT_PARAMS.replace(timeline_ns=3000))
+
+
+def test_timeline_merge_sums_leafwise():
+    a = {"schema": 1, "interval_ns": 100, "end_ns": 300,
+         "ticks": [100, 200, 300],
+         "series": {"x": [1, 2, 3], "only_a": [5, 5, 5]}}
+    b = {"schema": 1, "interval_ns": 100, "end_ns": 200,
+         "ticks": [100, 200],
+         "series": {"x": [10, 20]}}
+    merged = merge_timelines([a, b])
+    assert merged["ticks"] == [100, 200, 300]
+    # Shorter series hold their last value across the tail.
+    assert merged["series"]["x"] == [11, 22, 23]
+    assert merged["series"]["only_a"] == [5, 5, 5]
+    with pytest.raises(ValueError, match="interval"):
+        merge_timelines([a, {**b, "interval_ns": 999}])
+
+
+def test_timeline_partition_invariant_under_sharding():
+    def merged_timeline(shards):
+        result = api.run_sharded(
+            ni="cni32qm", workload="halo", num_nodes=16, shards=shards,
+            params=DEFAULT_PARAMS.replace(timeline_ns=2000,
+                                          flow_control_buffers=8),
+            transport="inline",
+            compute_ns=1000, iterations=2, payload_bytes=32,
+        )
+        return result.timeline
+
+    one, four = merged_timeline(1), merged_timeline(4)
+    assert one is not None and one["series"]
+    assert one == four
+
+
+# ------------------------------------------------- sharded spans
+
+
+def _sharded_spans(shards, transport="inline"):
+    result = api.run_sharded(
+        ni="cni32qm", workload="halo", num_nodes=16, shards=shards,
+        params=DEFAULT_PARAMS.replace(spans=True, flow_control_buffers=8),
+        transport=transport,
+        compute_ns=1000, iterations=2, payload_bytes=32,
+    )
+    return result.spans
+
+
+def test_sharded_spans_identical_at_any_shard_count():
+    one = _sharded_spans(1)
+    assert one  # spans actually recorded
+    blob = json.dumps(one, sort_keys=True)
+    for shards in (2, 4):
+        assert json.dumps(_sharded_spans(shards), sort_keys=True) == blob
+
+
+def test_sharded_spans_identical_across_transports():
+    inline = _sharded_spans(2, transport="inline")
+    fork = _sharded_spans(2, transport="fork")
+    assert inline == fork
+
+
+def test_sharded_spans_have_phases_and_ordinals():
+    spans = _sharded_spans(2)
+    assert all("ordinal" in s for s in spans)
+    phases = set()
+    for span in spans:
+        phases.update(span["phases"])
+    assert "wire" in phases and "handler" in phases
+    # Renumbered ids are dense from 0.
+    assert sorted(s["span_id"] for s in spans) == list(range(len(spans)))
+
+
+# -------------------------------------------------- manifest schema
+
+
+def test_manifest_schema_2_has_replay_of():
+    from repro.obs.export import (
+        MANIFEST_KEYS,
+        SCHEMA_VERSION,
+        build_manifest,
+        validate_manifest,
+    )
+
+    assert SCHEMA_VERSION == 2
+    manifest = build_manifest(
+        experiments=["x"], quick=False, jobs=1, cells=[],
+        wall_time_s=0.0, cache_enabled=False, cache_hits=0,
+        cache_misses=0, outputs={}, replay_of="some/cell.rprc",
+    )
+    assert manifest["schema"] == 2
+    assert manifest["replay_of"] == "some/cell.rprc"
+    assert set(manifest) == set(MANIFEST_KEYS)
+    assert validate_manifest(manifest) == []
+
+
+def test_validate_manifest_accepts_schema_1():
+    """Backward compat: manifests written before the capture/timeline
+    outputs existed (schema 1, no ``replay_of``) still validate."""
+    from repro.obs.export import build_manifest, validate_manifest
+
+    manifest = build_manifest(
+        experiments=["x"], quick=False, jobs=1, cells=[],
+        wall_time_s=0.0, cache_enabled=False, cache_hits=0,
+        cache_misses=0, outputs={},
+    )
+    old = {k: v for k, v in manifest.items() if k != "replay_of"}
+    old["schema"] = 1
+    assert validate_manifest(old) == []
+    # A schema-1 manifest that *does* carry schema-2 keys is flagged.
+    extra = dict(old)
+    extra["replay_of"] = None
+    assert validate_manifest(extra)

@@ -291,7 +291,7 @@ def test_metrics_identical_serial_vs_parallel():
         [(c.label, c.metrics) for c in parallel]
     )
     assert payload_s == payload_p
-    assert payload_s["schema"] == 1
+    assert payload_s["schema"] == 2
 
 
 def test_executor_records_completed_history():
@@ -339,7 +339,7 @@ def test_trace_jsonl_round_trip(tmp_path):
 def test_cell_result_schema_round_trip():
     cell = run_cell(_jobs()[0])
     data = json.loads(json.dumps(cell.to_jsonable()))
-    assert data["schema"] == 2  # 2 added the spans field
+    assert data["schema"] == 3  # 3 added digest + timeline
     back = CellResult.from_jsonable(data)
     assert back == cell
 
@@ -412,7 +412,7 @@ def test_runner_writes_metrics_trace_and_manifest(tmp_path):
     ])
     assert code == 0
     payload = json.loads(metrics.read_text())
-    assert payload["schema"] == 1 and payload["cells"] and payload["totals"]
+    assert payload["schema"] == 2 and payload["cells"] and payload["totals"]
     records = read_trace_jsonl(str(trace))
     assert records
     assert {r["category"] for r in records} <= {"wire", "accept"}

@@ -1,0 +1,261 @@
+"""Capture/replay: codec round-trips, bit-exact replay, mismatch
+reports, and the run-diff analysis."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.experiments.parallel import Job, freeze_kwargs, run_cell
+from repro.faults.config import FaultConfig
+from repro.replay import (
+    CAPTURE_MAGIC,
+    CAPTURE_SCHEMA,
+    ReplayMismatch,
+    capture_result,
+    capture_run,
+    job_from_capture,
+    read_capture,
+    replay,
+    write_capture,
+)
+
+
+def _job(**overrides):
+    base = dict(
+        label="replay:pingpong",
+        ni="cni32qm",
+        workload="pingpong",
+        params=DEFAULT_PARAMS,
+        costs=DEFAULT_COSTS,
+        kwargs=freeze_kwargs({"payload_bytes": 64, "rounds": 5}),
+    )
+    base.update(overrides)
+    return Job(**base)
+
+
+# ------------------------------------------------- capture round-trip
+
+
+_probs = st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    drop=_probs,
+    corrupt=_probs,
+    fcb=st.integers(min_value=1, max_value=64),
+    timeline_ns=st.sampled_from([0, 1000, 12345]),
+    flight=st.integers(min_value=0, max_value=256),
+    payload=st.integers(min_value=1, max_value=4096),
+)
+@settings(max_examples=30, deadline=None)
+def test_capture_file_round_trips_any_spec(
+    tmp_path_factory, seed, drop, corrupt, fcb, timeline_ns, flight,
+    payload,
+):
+    params = DEFAULT_PARAMS.replace(
+        flow_control_buffers=fcb,
+        timeline_ns=timeline_ns,
+        timeline_paths=("node0.", "net.") if timeline_ns else None,
+        flight_recorder=flight,
+        faults=FaultConfig(seed=seed, drop_prob=drop,
+                           corrupt_prob=corrupt),
+    )
+    job = _job(
+        params=params,
+        kwargs=freeze_kwargs({"payload_bytes": payload, "rounds": 3}),
+        collect_digest=True,
+    )
+
+    class _FakeResult:
+        digest = {"schedule": "ab" * 16, "events": 12345}
+        metrics = {"node0.ni.messages_sent": 3.0, "net.delivered": 6}
+        elapsed_ns = 98765
+
+    capture = capture_result(job, _FakeResult())
+    path = str(tmp_path_factory.mktemp("cap") / "cell.rprc")
+    write_capture(path, capture)
+    with open(path, "rb") as fh:
+        assert fh.read(4) == CAPTURE_MAGIC
+    loaded = read_capture(path)
+    assert loaded == capture
+    assert loaded["schema"] == CAPTURE_SCHEMA
+
+    rebuilt = job_from_capture(loaded)
+    assert rebuilt.params == job.params
+    assert rebuilt.costs == job.costs
+    assert rebuilt.kwargs == job.kwargs
+    assert rebuilt.label == job.label
+    assert rebuilt.collect_digest
+
+
+def test_capture_requires_digest():
+    job = _job()
+    result = run_cell(job)  # no collect_digest
+    with pytest.raises(ValueError, match="digest"):
+        capture_result(job, result)
+
+
+def test_read_capture_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.rprc"
+    path.write_bytes(b"JUNKdata")
+    with pytest.raises(ValueError, match="magic"):
+        read_capture(str(path))
+    path.write_bytes(CAPTURE_MAGIC + bytes([99]))
+    with pytest.raises(ValueError, match="version"):
+        read_capture(str(path))
+
+
+# ------------------------------------------------------------ replay
+
+
+def test_replay_reproduces_plain_cell(tmp_path):
+    result, capture = capture_run(_job())
+    path = write_capture(str(tmp_path / "plain.rprc"), capture)
+    report = replay(path)
+    assert report.ok and report.digest_match and report.metrics_match
+    assert report.actual_digest == capture["digest"]
+    assert "OK" in report.summary()
+
+
+def test_replay_reproduces_chaos_cell(tmp_path):
+    chaos = DEFAULT_PARAMS.replace(
+        faults=FaultConfig(seed=1998, drop_prob=0.05, duplicate_prob=0.02)
+    )
+    _result, capture = capture_run(_job(params=chaos, label="replay:chaos"))
+    path = write_capture(str(tmp_path / "chaos.rprc"), capture)
+    assert replay(path).ok
+
+
+def test_replay_reproduces_sharded_cell(tmp_path):
+    job = Job(
+        label="replay:halo4",
+        ni="cni32qm",
+        workload="halo",
+        params=DEFAULT_PARAMS.replace(ordered_delivery=True,
+                                      flow_control_buffers=8),
+        costs=DEFAULT_COSTS,
+        num_nodes=16,
+        shards=4,
+        kwargs=freeze_kwargs(
+            {"compute_ns": 1000, "iterations": 2, "payload_bytes": 32}
+        ),
+    )
+    _result, capture = capture_run(job)
+    assert capture["kind"] == "sharded"
+    assert len(capture["digest"]["kernel"]) == 4
+    path = write_capture(str(tmp_path / "halo.rprc"), capture)
+    report = replay(path)
+    assert report.ok
+
+
+def test_replay_mismatch_is_structured(tmp_path):
+    _result, capture = capture_run(_job())
+    capture["digest"]["schedule"] = "00" * 32
+    capture["metrics"]["node0.ni.messages_sent"] = -1
+    with pytest.raises(ReplayMismatch) as exc_info:
+        replay(capture)
+    report = exc_info.value.report
+    assert not report.ok and not report.digest_match
+    assert "node0.ni.messages_sent" in report.metric_deltas
+    assert "MISMATCH" in str(exc_info.value)
+    # Non-strict mode returns the same report instead of raising.
+    assert not replay(capture, strict=False).ok
+
+
+def test_replay_reports_version_skew(tmp_path):
+    _result, capture = capture_run(_job())
+    capture["repro_version"] = "0.0.1"
+    report = replay(capture)
+    assert report.ok  # skew is context, not failure
+    assert report.version_skew == ("0.0.1", __import__("repro").__version__)
+
+
+def test_api_replay_facade(tmp_path):
+    from repro import api
+
+    _result, capture = capture_run(_job())
+    path = write_capture(str(tmp_path / "cell.rprc"), capture)
+    assert api.replay(path).ok
+
+
+def test_runner_replay_subcommand(tmp_path, capsys):
+    from repro.experiments.runner import main
+
+    _result, capture = capture_run(_job())
+    path = write_capture(str(tmp_path / "cell.rprc"), capture)
+    assert main(["replay", path]) == 0
+    assert "replay OK" in capsys.readouterr().out
+    capture["digest"]["schedule"] = "00" * 32
+    bad = write_capture(str(tmp_path / "bad.rprc"), capture)
+    assert main(["replay", bad]) == 1
+    assert main(["replay"]) == 2
+    assert main(["replay", str(tmp_path / "missing.rprc")]) == 2
+
+
+def test_runner_capture_flag_writes_replayable_files(tmp_path):
+    from repro.experiments.runner import main
+    from repro.replay import replay as replay_fn
+
+    capture_dir = tmp_path / "captures"
+    code = main([
+        "table5-latency", "--quick", "--no-cache",
+        "--capture", str(capture_dir),
+        "--json", str(tmp_path / "results.json"),
+    ])
+    assert code == 0
+    files = sorted(os.listdir(capture_dir))
+    assert files and all(f.endswith(".rprc") for f in files)
+    report = replay_fn(str(capture_dir / files[0]))
+    assert report.ok
+    # Manifest records the capture directory.
+    import json
+
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["outputs"]["capture"] == str(capture_dir)
+    assert "replay_of" in manifest
+
+
+# ---------------------------------------------------------- diff_runs
+
+
+def test_diff_runs_identical_and_divergent():
+    from repro.analysis import diff_runs
+
+    params = DEFAULT_PARAMS.replace(timeline_ns=5000, spans=True)
+    a = run_cell(_job(params=params))
+    b = run_cell(_job(params=params))
+    diff = diff_runs(a, b)
+    assert diff.identical
+    assert "identical" in diff.format()
+
+    c = run_cell(_job(
+        params=params,
+        kwargs=freeze_kwargs({"payload_bytes": 256, "rounds": 5}),
+    ))
+    diff = diff_runs(a, c)
+    assert not diff.identical
+    assert diff.metric_deltas
+    assert diff.first_divergence_ns is not None
+    assert diff.first_divergence_ns % 5000 == 0
+    assert diff.span_phase_deltas  # bigger payload moves wire time
+    assert "differ" in diff.format()
+
+
+def test_diff_runs_works_on_jsonable_dicts():
+    from repro.analysis import diff_runs
+
+    a = run_cell(_job())
+    assert diff_runs(a.to_jsonable(), a.to_jsonable()).identical
+
+
+def test_diff_runs_rejects_interval_mismatch():
+    from repro.analysis import diff_runs
+
+    a = run_cell(_job(params=DEFAULT_PARAMS.replace(timeline_ns=1000)))
+    b = run_cell(_job(params=DEFAULT_PARAMS.replace(timeline_ns=2000)))
+    with pytest.raises(ValueError, match="interval"):
+        diff_runs(a, b)

@@ -208,11 +208,14 @@ def test_sharding_rejects_faults():
         run_sharded(ShardJob(**{**job.__dict__, "params": bad}))
 
 
-def test_sharding_rejects_spans_and_wheel():
+def test_sharding_rejects_tracing_and_wheel():
+    # Spans are supported under sharding (merged in canonical order);
+    # full tracing is not — record interleaving across nodes is not
+    # partition-invariant.
     job = halo_job(2)
-    with pytest.raises(ValueError, match="spans"):
+    with pytest.raises(ValueError, match="tracing"):
         run_sharded(ShardJob(**{
-            **job.__dict__, "params": job.params.replace(spans=True)}))
+            **job.__dict__, "params": job.params.replace(tracing=True)}))
     with pytest.raises(ValueError, match="heap"):
         run_sharded(ShardJob(**{
             **job.__dict__,
