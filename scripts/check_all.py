@@ -28,6 +28,10 @@ Runs, in order of increasing specificity:
    digest identity for a plain cell, a chaos (faults-on) cell, and a
    4-shard run, plus timeline partition invariance (1 shard ≡ 4
    shards) and schedule neutrality.
+9. **Service check** — ``scripts/check_service.py``: the job-server
+   chaos gate — ``kill -9`` a worker mid-cell and the server
+   mid-sweep, restart, and prove zero lost / zero duplicated cells,
+   a valid manifest, and a replayable poison-cell incident capture.
 
 Each step streams its own output; the summary at the end names any
 step that failed.  Exit status 0 = everything passed.
@@ -85,6 +89,7 @@ def main(argv=None) -> int:
         ("robustness check", [py, "scripts/check_robustness.py"]),
         ("shard check", [py, "scripts/check_shard.py"]),
         ("replay check", [py, "scripts/check_replay.py"]),
+        ("service check", [py, "scripts/check_service.py"]),
     ]
 
     failures = []

@@ -30,7 +30,7 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SNAPSHOT_PATH = os.path.join(ROOT, "scripts", "api_surface.json")
 
 #: Modules whose ``__all__`` (plus signatures) is under the gate.
-MODULES = ("repro", "repro.api", "repro.transfer")
+MODULES = ("repro", "repro.api", "repro.service", "repro.transfer")
 
 
 def describe(obj) -> dict:

@@ -1,0 +1,312 @@
+#!/usr/bin/env python
+"""Chaos gate for the WAL-backed job service (docs/service.md).
+
+One end-to-end sweep run under deliberately hostile conditions:
+
+1. Start the server as a real OS process on a fixed port, with an
+   external worker pool (so this script can ``kill -9`` the workers
+   directly).
+2. Submit a sweep mixing fast cells, slow cells (so kills land
+   mid-cell), and one deterministic *poison* cell (100% packet drop
+   with a tiny retry budget — it fails identically every attempt).
+3. ``kill -9`` a worker mid-cell and spawn a replacement.
+4. ``kill -9`` the server mid-sweep and restart it on the same root
+   and port — the surviving workers reconnect on their own.
+5. Wait for the sweep to finish, then assert the recovery contract:
+
+   * zero lost cells — every submitted label reaches a terminal state;
+   * zero duplicated cells — each label settles exactly once (the WAL
+     fold shows one terminal status per cell; duplicate completion
+     *attempts* are absorbed and only counted as telemetry);
+   * the poison cell is quarantined, not retried forever, and its
+     incident capture replays cleanly via ``repro-experiments
+     replay``;
+   * the sweep manifest is written and passes
+     :func:`repro.obs.export.validate_manifest`.
+
+Exit status 0 = all good; 1 = a gate failed (details on stderr).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS  # noqa: E402
+from repro.experiments.parallel import Job, freeze_kwargs  # noqa: E402
+from repro.faults.config import FaultConfig  # noqa: E402
+from repro.obs.export import validate_manifest  # noqa: E402
+from repro.service.client import (  # noqa: E402
+    ServiceClient,
+    ServiceUnavailable,
+)
+from repro.service.wal import DONE, QUARANTINED, ServiceWAL  # noqa: E402
+
+POISON_LABEL = "poison:pingpong"
+SWEEP = "chaos-gate"
+
+
+def fail(msg: str) -> int:
+    print(f"check_service: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _pingpong(label: str, *, rounds: int, payload: int,
+              faults: FaultConfig = None) -> Job:
+    params = DEFAULT_PARAMS
+    if faults is not None:
+        params = params.replace(faults=faults)
+    return Job(label=label, ni="cni32qm", workload="pingpong",
+               params=params, costs=DEFAULT_COSTS,
+               kwargs=freeze_kwargs({"payload_bytes": payload,
+                                     "rounds": rounds}),
+               collect_digest=True)
+
+
+def _jobs():
+    """10 fast cells, 4 slow cells (~1s each, so SIGKILLs land
+    mid-cell), and one deterministic poison cell."""
+    jobs = [_pingpong(f"fast:{i}", rounds=2, payload=32 + 8 * i)
+            for i in range(10)]
+    jobs += [_pingpong(f"slow:{i}", rounds=250, payload=1024 + i)
+             for i in range(4)]
+    jobs.append(_pingpong(
+        POISON_LABEL, rounds=2, payload=32,
+        faults=FaultConfig(seed=1, drop_prob=1.0, reliable=True,
+                           retry_timeout_ns=500,
+                           retry_timeout_cap_ns=2000, retry_budget=2,
+                           watchdog=True, watchdog_quiet_ns=60_000)))
+    return jobs
+
+
+class Procs:
+    """Track live subprocesses so failures never leak orphans."""
+
+    def __init__(self, url: str, root: str, cache: str, port: int):
+        self.url = url
+        self.root = root
+        self.cache = cache
+        self.port = port
+        self.server = None
+        self.workers = []
+        self._env = dict(os.environ)
+        self._env["PYTHONPATH"] = os.path.join(REPO, "src")
+
+    def start_server(self):
+        self.server = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.server",
+             "--root", self.root, "--port", str(self.port),
+             "--cache", self.cache, "--workers", "0",
+             "--lease-timeout", "2"],
+            cwd=REPO, env=self._env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+
+    def spawn_worker(self, name: str):
+        self.workers.append(subprocess.Popen(
+            [sys.executable, "-m", "repro.service.worker",
+             "--server", self.url, "--worker-id", name,
+             "--cache", self.cache, "--poll", "0.05"],
+            cwd=REPO, env=self._env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        ))
+
+    def cleanup(self):
+        for proc in self.workers + ([self.server] if self.server else []):
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5
+        for proc in self.workers + ([self.server] if self.server else []):
+            try:
+                proc.wait(max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+def _wait_health(client: ServiceClient, timeout_s: float = 15.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            client.health()
+            return True
+        except (ServiceUnavailable, OSError):
+            time.sleep(0.05)
+    return False
+
+
+def _wait_done_at_least(client: ServiceClient, n: int,
+                        timeout_s: float = 60.0):
+    """Poll until >= n cells settled; returns the status, or None if
+    the sweep finished first (chaos would be a no-op) or timed out."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            status = client.status(SWEEP)
+        except ServiceUnavailable:
+            time.sleep(0.05)
+            continue
+        settled = status["done"] + status["quarantined"]
+        if settled >= n:
+            return status
+        time.sleep(0.05)
+    return None
+
+
+def run_gate(tmp: str) -> int:
+    root = os.path.join(tmp, "svc")
+    cache = os.path.join(tmp, "cache")
+    port = _free_port()
+    url = f"http://127.0.0.1:{port}"
+    procs = Procs(url, root, cache, port)
+    client = ServiceClient(url, worker="chaos-gate", timeout_s=10.0)
+    jobs = _jobs()
+    labels = {job.label for job in jobs}
+    try:
+        procs.start_server()
+        if not _wait_health(client):
+            return fail("server did not come up")
+        for i in range(2):
+            procs.spawn_worker(f"chaos-w{i}")
+
+        client.submit(SWEEP, jobs, tenant="chaos")
+        print(f"[1/5] submitted {len(jobs)} cells "
+              f"({len(jobs) - 1} runnable + 1 poison) on port {port}")
+
+        # -- chaos 1: SIGKILL a worker mid-cell, spawn a replacement.
+        status = _wait_done_at_least(client, 2)
+        if status is None:
+            return fail("no progress before worker kill")
+        if status["finished"]:
+            return fail("sweep finished before worker kill — gate "
+                        "needs slower cells")
+        victim = procs.workers[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(5)
+        procs.spawn_worker("chaos-w-replacement")
+        print(f"[2/5] kill -9 worker pid={victim.pid} at "
+              f"{status['done'] + status['quarantined']} settled; "
+              f"replacement spawned")
+
+        # -- chaos 2: SIGKILL the server mid-sweep, restart on the
+        # same root and port.  Surviving workers reconnect on their
+        # own; in-flight leases are voided and requeued.
+        status = _wait_done_at_least(client, max(4, len(jobs) // 2))
+        if status is None:
+            return fail("no progress before server kill")
+        if status["finished"]:
+            return fail("sweep finished before server kill — gate "
+                        "needs slower cells")
+        os.kill(procs.server.pid, signal.SIGKILL)
+        procs.server.wait(5)
+        print(f"[3/5] kill -9 server pid={procs.server.pid} at "
+              f"{status['done'] + status['quarantined']} settled; "
+              f"restarting on port {port}")
+        procs.start_server()
+        if not _wait_health(client):
+            return fail("server did not come back after kill -9")
+
+        # -- recovery: the sweep must finish with every cell settled.
+        final = client.wait(SWEEP, timeout_s=120.0, poll_s=0.1)
+        print(f"[4/5] sweep finished: done={final['done']} "
+              f"quarantined={final['quarantined']}")
+        if final["pending"] != 0:
+            return fail(f"lost cells: {final['pending']} still pending")
+        if final["quarantined"] != 1:
+            return fail(f"expected exactly the poison cell in "
+                        f"quarantine, got {final['quarantined']}")
+        if final["done"] != len(jobs) - 1:
+            return fail(f"expected {len(jobs) - 1} done, "
+                        f"got {final['done']}")
+
+        # Zero lost / zero duplicated, proven from the durable log:
+        # replay the WAL from disk and check every submitted label
+        # holds exactly one terminal status.
+        state = ServiceWAL.read_state(os.path.join(root, "wal"))
+        sweep_state = state.sweeps.get(SWEEP)
+        if sweep_state is None:
+            return fail("sweep missing from recovered WAL state")
+        walled = {c.label: c.status for c in sweep_state.cells.values()}
+        if set(walled) != labels:
+            return fail(f"WAL labels diverge from submission: "
+                        f"{set(walled) ^ labels}")
+        for label, status_ in sorted(walled.items()):
+            want = QUARANTINED if label == POISON_LABEL else DONE
+            if status_ != want:
+                return fail(f"cell {label!r} ended {status_!r}, "
+                            f"expected {want!r}")
+
+        result = client.result(SWEEP)
+        manifest_path = result["manifest"]
+        if not (manifest_path and os.path.exists(manifest_path)):
+            return fail("manifest missing after recovery")
+        manifest = json.load(open(manifest_path))
+        problems = validate_manifest(manifest)
+        if problems:
+            return fail(f"manifest invalid: {problems}")
+        if len(manifest["cells"]) != len(jobs):
+            return fail(f"manifest lists {len(manifest['cells'])} "
+                        f"cells, expected {len(jobs)}")
+        if manifest["status"] != "partial":
+            return fail(f"manifest status {manifest['status']!r}, "
+                        f"expected 'partial' (one quarantined cell)")
+
+        # -- the quarantine report must carry a replayable capture.
+        poison = next(c for c in result["cells"]
+                      if c["label"] == POISON_LABEL)
+        capture = (poison.get("report") or {}).get("capture")
+        if not (capture and os.path.exists(capture)):
+            return fail("poison cell has no incident capture")
+        replay = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner",
+             "replay", capture],
+            cwd=REPO, env=procs._env, capture_output=True, text=True,
+        )
+        if replay.returncode != 0:
+            return fail(f"incident capture failed to replay:\n"
+                        f"{replay.stdout}{replay.stderr}")
+        print(f"[5/5] poison quarantined after "
+              f"{poison['attempts']} attempts; incident capture "
+              f"replayed bit-exactly")
+
+        dupes = state.duplicate_completions
+        print(f"check_service: PASS (zero lost, zero duplicated; "
+              f"{dupes} duplicate completion attempt(s) absorbed)")
+        return 0
+    finally:
+        try:
+            client.drain()
+        except (ServiceUnavailable, OSError):
+            pass
+        procs.cleanup()
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="check_service_")
+    try:
+        return run_gate(tmp)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

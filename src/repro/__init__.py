@@ -47,7 +47,7 @@ from repro.api import (
     run_workload,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ALL_NI_NAMES",

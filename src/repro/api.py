@@ -63,6 +63,9 @@ __all__ = [
     "run_collective",
     "run_sharded",
     "run_workload",
+    "submit_sweep",
+    "sweep_result",
+    "sweep_status",
 ]
 
 
@@ -366,3 +369,58 @@ def replay(capture, *, strict: bool = True):
     from repro.replay import replay as _replay
 
     return _replay(capture, strict=strict)
+
+
+def _service_client(service):
+    """A :class:`repro.service.client.ServiceClient` from a service
+    root directory, a server URL, or an existing client."""
+    from repro.service.client import ServiceClient
+
+    if isinstance(service, ServiceClient):
+        return service
+    if isinstance(service, str) and service.startswith("http"):
+        return ServiceClient(service)
+    return ServiceClient.from_dir(service)
+
+
+def submit_sweep(
+    service,
+    sweep: str,
+    jobs,
+    *,
+    tenant: str = "default",
+    weight: int = 1,
+    wait: bool = False,
+    timeout_s: float = 600.0,
+):
+    """Submit a sweep of jobs to a running job server.
+
+    ``service`` is a service root directory (holding ``server.json``),
+    a server URL, or a :class:`~repro.service.client.ServiceClient`;
+    ``jobs`` is an iterable of
+    :class:`~repro.experiments.parallel.Job` (or pre-encoded
+    ``{label, spec}`` dicts).  Submission is idempotent on the sweep
+    id: resubmitting a known sweep is acknowledged without duplicating
+    cells.  With ``wait`` the call blocks until the sweep settles and
+    returns its final status; otherwise it returns the submission
+    acknowledgement.  Start a server with ``repro-experiments serve``;
+    see docs/service.md.
+    """
+    client = _service_client(service)
+    response = client.submit(sweep, jobs, tenant=tenant, weight=weight)
+    if not wait:
+        return response
+    return client.wait(sweep, timeout_s=timeout_s)
+
+
+def sweep_status(service, sweep: Optional[str] = None):
+    """Queue state of one sweep (or the whole server when ``sweep`` is
+    None): pending/done/quarantined counts, finished/clean flags."""
+    return _service_client(service).status(sweep)
+
+
+def sweep_result(service, sweep: str):
+    """Final per-cell states of a sweep plus the paths that matter:
+    the per-sweep ``manifest-<sweep>.json`` and the shared result
+    cache directory the completed cells live in."""
+    return _service_client(service).result(sweep)

@@ -15,6 +15,18 @@ Layout: ``.repro-cache/<key[:2]>/<key>.json`` — JSON for
 debuggability (``cat`` a cell to see what was measured).  Writes are
 atomic (tmp file + rename).  Unserializable or unreadable entries
 degrade to cache misses, never to errors.
+
+The store is safe for **concurrent multi-process writers** (the job
+service points every worker at one shared directory): each writer
+stages its entry in a private ``mkstemp`` file and publishes it with
+one atomic ``os.replace``, so readers never observe a torn entry and
+racing writers of the same key both leave a complete one (last rename
+wins — the entries are byte-identical anyway, being content-addressed
+results of a deterministic cell).  Any lock/rename race the OS can
+still surface (a directory swept away mid-write, a target briefly
+pinned on platforms that refuse to replace open files) degrades to a
+logged miss, and the staging file is unlinked on every failure path so
+crashes cannot litter the store with growing ``.tmp`` debris.
 """
 
 from __future__ import annotations
@@ -110,6 +122,7 @@ class ResultCache:
             blob = json.dumps(result.to_jsonable())
         except (TypeError, ValueError):
             return  # workload extras that don't serialize: just skip
+        tmp = None
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -118,14 +131,30 @@ class ResultCache:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 fh.write(blob)
             os.replace(tmp, path)
-        except OSError:
-            return  # read-only or full filesystem: run uncached
+            tmp = None
+        except OSError as exc:
+            # Read-only or full filesystem, the shard directory swept
+            # away under us, or a rename race another process lost us:
+            # the run continues uncached, with a note.
+            _log.warning("cannot write cache entry %s (%s); running "
+                         "uncached", path, exc)
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     def clear(self) -> None:
-        """Drop every cached cell (keeps the directory)."""
+        """Drop every cached cell (keeps the directory).
+
+        Also sweeps ``.tmp`` staging files orphaned by killed writers —
+        harmless to correctness (they are never read), but worth
+        reclaiming.
+        """
         for dirpath, _dirnames, filenames in os.walk(self.root):
             for filename in filenames:
-                if filename.endswith(".json"):
+                if filename.endswith((".json", ".tmp")):
                     try:
                         os.unlink(os.path.join(dirpath, filename))
                     except OSError:

@@ -1,0 +1,94 @@
+"""Jobization: experiment names -> plain :class:`Job` lists.
+
+The sweep experiments all build their cells through module-level
+``plan()`` functions; this module gives them one front door so callers
+that want *jobs* rather than *formatted artefacts* — chiefly the job
+service's ``repro-experiments submit`` path, which ships every cell to
+a :class:`~repro.service.server.SweepServer` instead of a local
+:class:`~repro.experiments.parallel.SweepExecutor` — can plan any
+sweepable experiment by name.
+
+Pure-formatting experiments (table1/2/3, the taxonomy material) have
+no cells to jobize and are deliberately absent; :func:`plan_jobs`
+raises ``KeyError`` with the supported names for them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+
+def _figure1_jobs(quick: bool) -> List:
+    from repro.experiments import figure1
+    from repro.workloads.registry import MACRO_NAMES
+
+    jobs = []
+    for name in MACRO_NAMES:
+        jobs.extend(figure1.plan(name, quick))
+    return jobs
+
+
+def _figure3_jobs(quick: bool) -> List:
+    from repro.experiments import figure3
+
+    names = tuple(figure3.FIFO_NI_NAMES) + tuple(figure3.COHERENT_NI_NAMES)
+    jobs, _keys = figure3.plan_matrix(
+        names, figure3.FCB_LEVELS, quick, figure3.MACRO_NAMES
+    )
+    return jobs
+
+
+def _planners() -> Dict[str, Callable[[bool], List]]:
+    from repro.experiments import (
+        chaos,
+        cni_family,
+        collectives,
+        figure4,
+        multiprogramming,
+        table4,
+        table5,
+    )
+    from repro.workloads.registry import MACRO_NAMES
+
+    return {
+        "chaos": lambda quick: chaos.plan(quick)[0],
+        "collectives": lambda quick: collectives.plan(quick)[0],
+        "cni-family": cni_family.plan,
+        "figure1": _figure1_jobs,
+        "figure3": _figure3_jobs,
+        "figure4": lambda quick: figure4.plan(quick, MACRO_NAMES),
+        "multiprogramming": multiprogramming.plan,
+        "table4": lambda quick: table4.plan(quick, "cni32qm"),
+        "table5": getattr(table5, "plan", None),
+    }
+
+
+def sweepable_experiments() -> List[str]:
+    """Names :func:`plan_jobs` accepts, sorted."""
+    return sorted(k for k, v in _planners().items() if v is not None)
+
+
+def plan_jobs(name: str, quick: bool = False, *,
+              collect_digest: bool = False) -> List:
+    """The :class:`Job` list experiment ``name`` would sweep.
+
+    ``collect_digest`` forces digest collection on every job — what a
+    service submission wants, so quarantined cells come back as
+    replayable ``.rprc`` captures.
+    """
+    from dataclasses import replace
+
+    planners = _planners()
+    planner = planners.get(name)
+    if planner is None:
+        raise KeyError(
+            f"experiment {name!r} has no job plan; sweepable: "
+            f"{', '.join(sweepable_experiments())}"
+        )
+    jobs = list(planner(quick))
+    if collect_digest:
+        jobs = [
+            job if job.collect_digest else replace(job, collect_digest=True)
+            for job in jobs
+        ]
+    return jobs

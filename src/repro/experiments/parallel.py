@@ -393,6 +393,105 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return os.cpu_count() or 1
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout/quarantine discipline for cell execution.
+
+    One frozen, :class:`~repro.config.SystemParams`-style config object
+    surfacing the knobs that used to live buried in
+    :class:`SweepExecutor` keyword arguments, so batch sweeps and the
+    job service (:mod:`repro.service`) read the same budget from one
+    place — and the run manifest records it (the ``retry`` slot,
+    manifest schema 3).
+
+    The policy does **not** enter the content-addressed cache key: it
+    changes when and how often a cell executes, never what the cell
+    computes.
+    """
+
+    #: Attributable re-executions allowed per cell after a crash,
+    #: timeout, or in-cell exception (the :class:`SweepExecutor`
+    #: budget; a cell failing ``retry_limit + 1`` times stays failed).
+    retry_limit: int = 1
+    #: Wall-clock bound per cell in pool runs; ``None`` = unbounded.
+    job_timeout_s: Optional[float] = None
+    #: Failed attempts before the job service quarantines a job as
+    #: poison (lease expiries, delivery failures, and worker crashes
+    #: all count — see docs/service.md).
+    quarantine_attempts: int = 3
+    #: Requeue backoff before attempt ``n + 1``, reusing the
+    #: reliable-delivery backoff discipline
+    #: (:func:`repro.faults.reliability.retransmit_backoff`): capped
+    #: exponential, ``backoff_base_s * backoff_factor**n`` up to
+    #: ``backoff_cap_s``.
+    backoff_base_s: float = 0.05
+    backoff_factor: int = 2
+    backoff_cap_s: float = 5.0
+
+    def replace(self, **changes) -> "RetryPolicy":
+        from dataclasses import replace as _replace
+
+        return _replace(self, **changes)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an inconsistent policy."""
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        if self.job_timeout_s is not None and self.job_timeout_s <= 0:
+            raise ValueError("job_timeout_s must be positive or None")
+        if self.quarantine_attempts < 1:
+            raise ValueError("quarantine_attempts must be >= 1")
+        if self.backoff_base_s <= 0:
+            raise ValueError("backoff_base_s must be positive")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("backoff_cap_s must be >= backoff_base_s")
+
+    def backoff_s(self, attempts: int) -> float:
+        """Seconds to wait before attempt ``attempts + 1``.
+
+        Delegates to the reliability layer's
+        :func:`~repro.faults.reliability.retransmit_backoff` (the
+        schedule is specified in integer ns there; this converts the
+        policy's second-valued knobs through it and back), so the
+        service requeue ladder and the simulated retransmit ladder
+        share one capped-exponential discipline.
+        """
+        from repro.faults.config import FaultConfig
+        from repro.faults.reliability import retransmit_backoff
+
+        config = FaultConfig(
+            retry_timeout_ns=max(1, int(self.backoff_base_s * 1e9)),
+            retry_backoff_factor=self.backoff_factor,
+            retry_timeout_cap_ns=max(1, int(self.backoff_cap_s * 1e9)),
+        )
+        return retransmit_backoff(attempts, config) / 1e9
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "retry_limit": self.retry_limit,
+            "job_timeout_s": self.job_timeout_s,
+            "quarantine_attempts": self.quarantine_attempts,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_factor": self.backoff_factor,
+            "backoff_cap_s": self.backoff_cap_s,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "RetryPolicy":
+        return cls(**{k: data[k] for k in (
+            "retry_limit", "job_timeout_s", "quarantine_attempts",
+            "backoff_base_s", "backoff_factor", "backoff_cap_s",
+        ) if k in data})
+
+
+#: The default discipline (what the bare executor always did: one
+#: re-execution, no timeout) — importable so call sites can
+#: ``DEFAULT_RETRY_POLICY.replace(...)``.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
 class SweepFailure(RuntimeError):
     """One or more cells could not be computed despite re-execution.
 
@@ -435,7 +534,8 @@ class SweepExecutor:
                  timeline_ns: int = 0, flight: int = 0,
                  collect_digest: bool = False,
                  job_timeout_s: Optional[float] = None,
-                 retry_limit: int = 1,
+                 retry_limit: Optional[int] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
                  cell_fn: Optional[Callable[[Job], CellResult]] = None):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
@@ -453,10 +553,22 @@ class SweepExecutor:
         self.flight = flight
         #: Force ``Job.collect_digest`` for every job (``--capture``).
         self.collect_digest = collect_digest
+        #: The retry/timeout discipline, one config object (see
+        #: :class:`RetryPolicy`).  The legacy ``job_timeout_s`` /
+        #: ``retry_limit`` keywords overlay the given (or default)
+        #: policy, so old call sites keep working and the manifest
+        #: still records one coherent policy.
+        policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        if job_timeout_s is not None:
+            policy = policy.replace(job_timeout_s=job_timeout_s)
+        if retry_limit is not None:
+            policy = policy.replace(retry_limit=max(0, int(retry_limit)))
+        policy.validate()
+        self.retry_policy = policy
         #: Wall-clock bound per cell in pool runs; ``None`` = no bound.
-        self.job_timeout_s = job_timeout_s
+        self.job_timeout_s = policy.job_timeout_s
         #: Re-executions allowed per cell after a crash/timeout.
-        self.retry_limit = max(0, int(retry_limit))
+        self.retry_limit = policy.retry_limit
         #: The function workers run (a picklable module-level callable;
         #: tests substitute crashy stand-ins for :func:`run_cell`).
         self.cell_fn = cell_fn if cell_fn is not None else run_cell

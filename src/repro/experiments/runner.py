@@ -181,6 +181,13 @@ def _parse_trace_filter(values) -> list:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Service subcommands take their own flags, so they peel off
+    # before the sweep parser sees the argument list.
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
+    if argv and argv[0] == "submit":
+        return _run_submit(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -213,6 +220,13 @@ def main(argv=None) -> int:
         dest="job_timeout",
         help="wall-clock bound per sweep cell in pool runs; a cell "
              "that exceeds it is re-executed once on a fresh worker",
+    )
+    parser.add_argument(
+        "--retry-limit", type=int, default=None, metavar="N",
+        dest="retry_limit",
+        help="attributable re-executions allowed per sweep cell after "
+             "a crash/timeout (default 1; recorded in the manifest's "
+             "retry slot)",
     )
     parser.add_argument(
         "--json", metavar="PATH", dest="json_path",
@@ -298,6 +312,7 @@ def main(argv=None) -> int:
         flight=args.flight,
         collect_digest=bool(args.capture_dir),
         job_timeout_s=args.job_timeout,
+        retry_limit=args.retry_limit,
     )
 
     run_start = time.time()
@@ -523,6 +538,7 @@ def _write_observability(args, executor, names, wall_time_s) -> int:
                 cache.corrupt_entries if cache is not None else 0
             ),
             status="partial" if executor.failures else "complete",
+            retry_policy=executor.retry_policy,
             outputs={
                 "json": args.json_path,
                 "metrics": args.metrics_path,
@@ -605,6 +621,80 @@ def _dump_incidents(manifest_path: str, executor) -> int:
         else:
             print(f"[incident report written to {path}]")
     return status
+
+
+def _run_serve(argv) -> int:
+    """The ``repro-experiments serve`` subcommand: run the WAL-backed
+    job server in the foreground (SIGTERM drains gracefully)."""
+    from repro.service.server import main as serve_main
+
+    return serve_main(argv)
+
+
+def _run_submit(argv) -> int:
+    """The ``repro-experiments submit`` subcommand: plan an
+    experiment's cells and ship them to a running job server."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments submit",
+        description="Submit experiment sweeps to a repro job server "
+                    "(start one with 'repro-experiments serve').",
+    )
+    parser.add_argument("experiments", nargs="+",
+                        help="sweepable experiment names (see "
+                             "'submit --list-plans')")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads / fewer rounds")
+    parser.add_argument("--root", default=".repro-service",
+                        help="service root holding server.json")
+    parser.add_argument("--url", default=None,
+                        help="server URL (overrides --root discovery)")
+    parser.add_argument("--sweep", default=None,
+                        help="sweep id (default: derived from names)")
+    parser.add_argument("--tenant", default="default")
+    parser.add_argument("--weight", type=int, default=1)
+    parser.add_argument("--wait", action="store_true",
+                        help="block until the sweep finishes")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait with --wait")
+    parser.add_argument("--list-plans", action="store_true",
+                        help="list sweepable experiments and exit")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.jobize import plan_jobs, sweepable_experiments
+    from repro.service.client import ServiceClient, ServiceUnavailable
+
+    if args.list_plans:
+        print("\n".join(sweepable_experiments()))
+        return 0
+    names = expand_names(args.experiments)
+    jobs = []
+    try:
+        for name in names:
+            jobs.extend(plan_jobs(name, args.quick, collect_digest=True))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    sweep = args.sweep or "-".join(names) + ("-quick" if args.quick else "")
+    try:
+        client = (ServiceClient(args.url) if args.url
+                  else ServiceClient.from_dir(args.root))
+        response = client.submit(sweep, jobs, tenant=args.tenant,
+                                 weight=args.weight)
+    except (OSError, ServiceUnavailable) as exc:
+        print(f"cannot reach job server: {exc}", file=sys.stderr)
+        return 2
+    note = "" if response["accepted"] else " (already submitted)"
+    print(f"[sweep {sweep!r}: {response['cells']} cells{note}]")
+    if not args.wait:
+        return 0
+    try:
+        status = client.wait(sweep, timeout_s=args.timeout)
+    except TimeoutError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"[sweep {sweep!r} finished: {status['done']} done, "
+          f"{status['quarantined']} quarantined]")
+    return 0 if status.get("clean") else 1
 
 
 def _run_replay(paths) -> int:

@@ -29,10 +29,13 @@ from repro.obs.metrics import merge_snapshots
 
 #: Schema version shared by every exported artifact.  Version 2 added
 #: the ``replay_of`` provenance key and the ``capture``/``timeline``
-#: output slots; schema-1 manifests (no ``replay_of``) still validate.
-SCHEMA_VERSION = 2
+#: output slots; version 3 added the ``retry`` policy record (the
+#: :class:`~repro.experiments.parallel.RetryPolicy` the run executed
+#: under).  Manifests from older schemas still validate without their
+#: later keys.
+SCHEMA_VERSION = 3
 
-#: The exact top-level key set of ``manifest.json`` (schema version 2).
+#: The exact top-level key set of ``manifest.json`` (schema version 3).
 #: docs/observability.md documents each; the CI check enforces the set.
 MANIFEST_KEYS = frozenset({
     "schema",          # int, == SCHEMA_VERSION
@@ -51,10 +54,14 @@ MANIFEST_KEYS = frozenset({
                        #  capture, timeline} paths
     "status",          # "complete" | "partial" (cells failed retries)
     "replay_of",       # capture path this run replayed, or None
+    "retry",           # RetryPolicy.to_jsonable() the run executed under
 })
 
 #: Keys that did not exist in schema 1 (tolerated as absent there).
 _SCHEMA_2_KEYS = frozenset({"replay_of"})
+
+#: Keys new in schema 3 (tolerated as absent in schemas 1 and 2).
+_SCHEMA_3_KEYS = frozenset({"retry"})
 
 
 def git_describe(cwd: Optional[str] = None) -> Optional[str]:
@@ -183,8 +190,9 @@ def build_manifest(
     cache_corrupt_entries: int = 0,
     status: str = "complete",
     replay_of: Optional[str] = None,
+    retry_policy: Optional[Any] = None,
 ) -> Dict[str, Any]:
-    """Assemble a schema-2 run manifest (see :data:`MANIFEST_KEYS`).
+    """Assemble a schema-3 run manifest (see :data:`MANIFEST_KEYS`).
 
     ``status`` is ``"complete"`` or ``"partial"`` — partial manifests
     record sweeps where cells stayed failed after bounded re-execution
@@ -196,9 +204,12 @@ def build_manifest(
 
     import repro
     from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+    from repro.experiments.parallel import DEFAULT_RETRY_POLICY
 
     if status not in ("complete", "partial"):
         raise ValueError(f"unknown manifest status {status!r}")
+    if retry_policy is None:
+        retry_policy = DEFAULT_RETRY_POLICY
     manifest = {
         "schema": SCHEMA_VERSION,
         "version": repro.__version__,
@@ -220,6 +231,7 @@ def build_manifest(
         "outputs": dict(outputs),
         "status": status,
         "replay_of": replay_of,
+        "retry": retry_policy.to_jsonable(),
     }
     assert set(manifest) == set(MANIFEST_KEYS)
     return manifest
@@ -228,24 +240,27 @@ def build_manifest(
 def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
     """Problems with a manifest dict (empty list == valid).
 
-    Accepts the current schema and schema 1 (written by releases
-    before the capture/replay layer): a schema-1 manifest simply lacks
-    the keys in :data:`_SCHEMA_2_KEYS`.
+    Accepts the current schema and the older ones (written by releases
+    before the capture/replay and retry-policy layers): an old-schema
+    manifest simply lacks the keys introduced after it
+    (:data:`_SCHEMA_2_KEYS`, :data:`_SCHEMA_3_KEYS`).
     """
     problems = []
     schema = manifest.get("schema")
     expected_keys = MANIFEST_KEYS
+    if schema in (1, 2):
+        expected_keys = expected_keys - _SCHEMA_3_KEYS
     if schema == 1:
-        expected_keys = MANIFEST_KEYS - _SCHEMA_2_KEYS
+        expected_keys = expected_keys - _SCHEMA_2_KEYS
     missing = expected_keys - set(manifest)
     extra = set(manifest) - expected_keys
     if missing:
         problems.append(f"missing keys: {', '.join(sorted(missing))}")
     if extra:
         problems.append(f"unexpected keys: {', '.join(sorted(extra))}")
-    if schema not in (1, SCHEMA_VERSION):
+    if schema not in (1, 2, SCHEMA_VERSION):
         problems.append(
-            f"schema is {schema!r}, expected {SCHEMA_VERSION} (or 1)"
+            f"schema is {schema!r}, expected {SCHEMA_VERSION} (or 1/2)"
         )
     cells = manifest.get("cells")
     if not isinstance(cells, list):

@@ -56,6 +56,8 @@ __all__ = [
     "capture_result",
     "capture_run",
     "job_from_capture",
+    "job_from_spec",
+    "job_to_spec",
     "read_capture",
     "replay",
     "write_capture",
@@ -65,8 +67,14 @@ __all__ = [
 # -- job spec <-> plain data --------------------------------------------
 
 
-def _job_spec(job) -> Dict[str, Any]:
-    """The complete :class:`Job` as a codec-encodable plain tree."""
+def job_to_spec(job) -> Dict[str, Any]:
+    """The complete :class:`Job` as a codec-encodable plain tree.
+
+    The inverse of :func:`job_from_spec`; this is both the ``job``
+    slot of a capture payload and the wire form the job service
+    (:mod:`repro.service`) ships between server and workers — one spec
+    vocabulary for both, so anything submittable is also capturable.
+    """
     return {
         "label": job.label,
         "ni": job.ni,
@@ -81,6 +89,7 @@ def _job_spec(job) -> Dict[str, Any]:
         "fabric_hop_ns": job.fabric_hop_ns,
         "fabric_link_ns_per_32b": job.fabric_link_ns_per_32b,
         "shards": job.shards,
+        "collect_digest": job.collect_digest,
     }
 
 
@@ -104,16 +113,20 @@ def _freeze_pairs(pairs) -> Tuple[Tuple[str, Any], ...]:
     return tuple((str(k), v) for k, v in pairs)
 
 
-def job_from_capture(capture: Dict[str, Any]):
-    """Rebuild the executable :class:`Job` from a capture payload.
+def job_from_spec(spec: Dict[str, Any],
+                  *, collect_digest: Optional[bool] = None):
+    """Rebuild an executable :class:`Job` from a plain spec tree.
 
-    ``collect_digest`` is forced on — a replay without a fresh digest
-    could not check anything.
+    Accepts both codec output (tuples intact) and a JSON round trip
+    (tuples arrive as lists): pair lists re-freeze into the hashable
+    tuple form the :class:`Job` dataclass expects.  ``collect_digest``
+    overrides the spec's own flag when given (replay forces it on;
+    the job service keeps whatever was submitted — specs from releases
+    before the flag joined the spec default to off).
     """
     from repro.config import SoftwareCosts
     from repro.experiments.parallel import Job
 
-    spec = capture["job"]
     variant = spec.get("variant")
     if variant is not None:
         suffix, attrs = variant
@@ -132,8 +145,20 @@ def job_from_capture(capture: Dict[str, Any]):
         fabric_hop_ns=spec["fabric_hop_ns"],
         fabric_link_ns_per_32b=spec["fabric_link_ns_per_32b"],
         shards=spec["shards"],
-        collect_digest=True,
+        collect_digest=(
+            bool(spec.get("collect_digest", False))
+            if collect_digest is None else collect_digest
+        ),
     )
+
+
+def job_from_capture(capture: Dict[str, Any]):
+    """Rebuild the executable :class:`Job` from a capture payload.
+
+    ``collect_digest`` is forced on — a replay without a fresh digest
+    could not check anything.
+    """
+    return job_from_spec(capture["job"], collect_digest=True)
 
 
 # -- capture construction / IO ------------------------------------------
@@ -160,7 +185,7 @@ def capture_result(job, result, replay_of: Optional[str] = None) -> Dict[str, An
         "git": git_describe(),
         "kind": "sharded" if job.shards else "cell",
         "label": job.label,
-        "job": _job_spec(job),
+        "job": job_to_spec(job),
         "digest": dict(result.digest),
         # Only the *model* metrics are captured: shard runs fold
         # wall-clock scheduling stats (barrier wait, worker busy time)

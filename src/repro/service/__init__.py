@@ -1,0 +1,50 @@
+"""repro.service — crash-tolerant sweep-as-a-service.
+
+A local job server that accepts sweep submissions over HTTP, persists
+them in a write-ahead-logged queue, and dispatches cells to a pool of
+lease-based worker processes.  Kill anything at any time — a worker
+mid-cell, the server mid-sweep — restart it, and the sweep completes
+with zero lost and zero double-counted cells; exactly-once *effects*
+ride on the content-addressed result cache rather than on fragile
+transport guarantees.  ``scripts/check_service.py`` proves exactly
+that with a chaos gate.
+
+Pieces (see docs/service.md for the full tour):
+
+- :mod:`repro.service.wal` — append-only JSONL log + folded queue
+  state; idempotent replay, atomic snapshot rotation.
+- :mod:`repro.service.lease` — lease grants, heartbeats, expiry.
+- :mod:`repro.service.fairness` — per-tenant smooth weighted
+  round-robin dispatch.
+- :mod:`repro.service.server` — the asyncio HTTP server tying it all
+  together (also ``python -m repro.service.server`` /
+  ``repro-experiments serve``).
+- :mod:`repro.service.worker` — the subprocess that leases, runs, and
+  completes cells (``python -m repro.service.worker``).
+- :mod:`repro.service.client` — blocking client used by workers, the
+  ``repro-experiments submit`` CLI, and tests.
+"""
+
+from repro.service.fairness import WeightedRoundRobin
+from repro.service.lease import Lease, LeaseManager
+from repro.service.server import SERVER_INFO, SweepServer
+from repro.service.wal import (
+    WAL_SCHEMA,
+    CellState,
+    QueueState,
+    ServiceWAL,
+    SweepState,
+)
+
+__all__ = [
+    "SERVER_INFO",
+    "WAL_SCHEMA",
+    "CellState",
+    "Lease",
+    "LeaseManager",
+    "QueueState",
+    "ServiceWAL",
+    "SweepServer",
+    "SweepState",
+    "WeightedRoundRobin",
+]

@@ -1,0 +1,158 @@
+"""Blocking HTTP client for the job service.
+
+Used three ways: by workers (lease / heartbeat / complete), by the
+``repro-experiments submit`` CLI, and by tests.  Plain
+:mod:`http.client` over a fresh connection per request (the server
+speaks ``Connection: close``), JSON bodies both directions.  Transport
+failures raise :class:`ServiceUnavailable`; HTTP error statuses raise
+:class:`ServiceError` carrying the server's JSON error payload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+from urllib.parse import urlencode, urlsplit
+
+from repro.service.server import SERVER_INFO
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+
+
+class ServiceUnavailable(ConnectionError):
+    """The server could not be reached at all."""
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client for one :class:`SweepServer`."""
+
+    def __init__(self, base_url: str, *, worker: str = "client",
+                 timeout_s: float = 30.0):
+        url = urlsplit(base_url)
+        if url.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {base_url!r}")
+        netloc = url.netloc or url.path  # accept "host:port" too
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port or 80)
+        self.worker = worker
+        self.timeout_s = timeout_s
+
+    @classmethod
+    def from_dir(cls, root: str, **kwargs) -> "ServiceClient":
+        """Connect via the ``server.json`` discovery file in ``root``."""
+        with open(os.path.join(root, SERVER_INFO), "r",
+                  encoding="utf-8") as fh:
+            info = json.load(fh)
+        return cls(f"http://{info['host']}:{info['port']}", **kwargs)
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers = {"Content-Type": "application/json",
+                           "Content-Length": str(len(payload))}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceUnavailable(str(exc)) from exc
+        finally:
+            conn.close()
+        try:
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError as exc:
+            raise ServiceError(response.status,
+                               {"error": f"non-JSON body: {exc}"})
+        if response.status != 200:
+            raise ServiceError(response.status, data)
+        return data
+
+    # -- submission side ----------------------------------------------
+
+    def submit(self, sweep: str, jobs, *, tenant: str = "default",
+               weight: int = 1) -> Dict[str, Any]:
+        """Submit a sweep of :class:`Job` objects (or pre-built
+        ``{label, spec}`` dicts)."""
+        from repro.replay import job_to_spec
+
+        cells: List[Dict[str, Any]] = []
+        for job in jobs:
+            if isinstance(job, dict):
+                cells.append({"label": job["label"], "spec": job["spec"]})
+            else:
+                cells.append({"label": job.label, "spec": job_to_spec(job)})
+        return self._request("POST", "/submit", {
+            "sweep": sweep, "tenant": tenant, "weight": weight,
+            "cells": cells,
+        })
+
+    def status(self, sweep: Optional[str] = None) -> Dict[str, Any]:
+        path = "/status"
+        if sweep is not None:
+            path += "?" + urlencode({"sweep": sweep})
+        return self._request("GET", path)
+
+    def result(self, sweep: str) -> Dict[str, Any]:
+        return self._request("GET",
+                             "/result?" + urlencode({"sweep": sweep}))
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def drain(self) -> Dict[str, Any]:
+        return self._request("POST", "/drain", {})
+
+    def wait(self, sweep: str, *, timeout_s: float = 120.0,
+             poll_s: float = 0.2) -> Dict[str, Any]:
+        """Block until a sweep finishes; returns its final status."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(sweep)
+            if status.get("finished"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"sweep {sweep!r} not finished after {timeout_s}s: "
+                    f"{status}"
+                )
+            time.sleep(poll_s)
+
+    # -- worker side --------------------------------------------------
+
+    def lease(self) -> Dict[str, Any]:
+        return self._request("POST", "/lease", {"worker": self.worker})
+
+    def heartbeat(self, lease_id: str) -> Dict[str, Any]:
+        return self._request("POST", "/heartbeat", {"lease": lease_id})
+
+    def complete(self, lease_id: str, *, sweep: str, label: str,
+                 ok: bool, key: Optional[str] = None,
+                 cached: bool = False, elapsed_ns: Optional[int] = None,
+                 error: Optional[str] = None,
+                 kind: str = "worker_error") -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "lease": lease_id, "sweep": sweep, "label": label, "ok": ok,
+            "key": key, "cached": cached, "elapsed_ns": elapsed_ns,
+        }
+        if not ok:
+            body["error"] = error or "unspecified failure"
+            body["kind"] = kind
+        return self._request("POST", "/complete", body)

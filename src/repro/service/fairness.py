@@ -1,0 +1,51 @@
+"""Per-tenant fairness for the job service's dispatch loop.
+
+Smooth weighted round-robin (the nginx variant): each pick adds every
+candidate's weight to its running current-weight, takes the maximum,
+and subtracts the total weight from the winner.  Over any window the
+pick counts converge to the weight ratios, and the interleaving is
+smooth — a weight-3 tenant gets a-a-b-a, not a-a-a-b — so no tenant's
+sweep stalls behind a heavier tenant's burst.
+
+The scheduler is deliberately stateless about tenants that vanish:
+current-weights for tenants absent from a pick are kept (they resume
+with their accumulated priority, which is what fairness wants when a
+tenant's queue briefly empties), but :meth:`forget` drops them once a
+tenant has no sweeps at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+
+class WeightedRoundRobin:
+    """Smooth WRR picker over a changing candidate set."""
+
+    def __init__(self) -> None:
+        self._current: Dict[str, int] = {}
+        self.picks: Dict[str, int] = {}
+
+    def pick(self, candidates: Mapping[str, int]) -> Optional[str]:
+        """Pick one tenant from ``{tenant: weight}``; None if empty.
+
+        Weights clamp to >= 1 so a mis-submitted weight can never
+        starve its own tenant.
+        """
+        if not candidates:
+            return None
+        weights = {t: max(1, int(w)) for t, w in candidates.items()}
+        total = sum(weights.values())
+        best: Optional[str] = None
+        for tenant in sorted(weights):  # name tie-break, deterministic
+            self._current[tenant] = \
+                self._current.get(tenant, 0) + weights[tenant]
+            if best is None or self._current[tenant] > self._current[best]:
+                best = tenant
+        assert best is not None
+        self._current[best] -= total
+        self.picks[best] = self.picks.get(best, 0) + 1
+        return best
+
+    def forget(self, tenant: str) -> None:
+        self._current.pop(tenant, None)

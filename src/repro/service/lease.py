@@ -1,0 +1,90 @@
+"""Lease bookkeeping for dispatched cells.
+
+A lease is the server's promise that exactly one worker is running a
+cell *right now* — and the worker's obligation to keep heartbeating or
+lose it.  Leases are intentionally **in-memory only**: after a server
+crash every lease is void, the WAL says which cells are still pending,
+and the conservative recovery is to hand them out again.  The
+exactly-once guarantee therefore never rests on leases; it rests on
+the idempotent completion records in :mod:`repro.service.wal` and the
+content-addressed result cache (a re-executed cell is a cache hit).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class Lease:
+    lease_id: str
+    sweep: str
+    label: str
+    worker: str
+    granted: float
+    expires: float
+
+
+class LeaseManager:
+    """Grant, renew, and expire leases against a monotonic clock."""
+
+    def __init__(self, timeout_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if timeout_s <= 0:
+            raise ValueError("lease timeout must be positive")
+        self.timeout_s = timeout_s
+        self._clock = clock
+        self._leases: Dict[str, Lease] = {}
+        self._serial = 0
+        self.granted = 0
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def grant(self, sweep: str, label: str, worker: str) -> Lease:
+        self._serial += 1
+        now = self._clock()
+        lease = Lease(
+            lease_id=f"lease-{self._serial:08d}",
+            sweep=sweep, label=label, worker=worker,
+            granted=now, expires=now + self.timeout_s,
+        )
+        self._leases[lease.lease_id] = lease
+        self.granted += 1
+        return lease
+
+    def renew(self, lease_id: str) -> bool:
+        """Extend the lease from a heartbeat; False if unknown/expired."""
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            return False
+        lease.expires = self._clock() + self.timeout_s
+        return True
+
+    def release(self, lease_id: str) -> Optional[Lease]:
+        return self._leases.pop(lease_id, None)
+
+    def find(self, lease_id: str) -> Optional[Lease]:
+        return self._leases.get(lease_id)
+
+    def expire(self) -> List[Lease]:
+        """Pop and return every lease past its deadline."""
+        now = self._clock()
+        dead = [l for l in self._leases.values() if l.expires <= now]
+        for lease in dead:
+            del self._leases[lease.lease_id]
+        self.expired += len(dead)
+        return dead
+
+    def leased_labels(self) -> Dict[str, set]:
+        """``sweep -> {label, ...}`` currently out on lease."""
+        out: Dict[str, set] = {}
+        for lease in self._leases.values():
+            out.setdefault(lease.sweep, set()).add(lease.label)
+        return out
+
+    def active(self) -> List[Lease]:
+        return list(self._leases.values())

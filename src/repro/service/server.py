@@ -1,0 +1,711 @@
+"""The sweep-as-a-service job server.
+
+One asyncio process owning three things:
+
+- the **WAL** (:class:`~repro.service.wal.ServiceWAL`) — every queue
+  transition is durable before it is acknowledged, so ``kill -9`` at
+  any instant loses nothing that was accepted;
+- the **lease table** (:class:`~repro.service.lease.LeaseManager`) —
+  in-memory by design; a restart voids every lease and the pending
+  cells are simply re-dispatched;
+- a minimal **HTTP/1.1 endpoint** on localhost — stdlib only
+  (``asyncio.start_server`` + hand-rolled request parsing), JSON in
+  and out, ``Connection: close`` per request.  Discovery is a
+  ``server.json`` (host, port, pid) written into the service root.
+
+Exactly-once effects do not come from the transport (workers crash,
+leases expire, completions race): they come from the content-addressed
+result cache — a re-executed cell is a cache hit producing the
+byte-identical result — plus the WAL's refusal to double-complete a
+cell.  Duplicated *work* is possible (and counted); duplicated
+*results* are not.
+
+Failure handling per cell attempt: the failure is logged (``fail``
+record), the cell re-enters the queue after a capped exponential
+backoff (:meth:`RetryPolicy.backoff_s`, the same discipline
+``repro.faults.reliability`` uses for retransmits), and once its
+attempt count reaches ``RetryPolicy.quarantine_attempts`` the cell is
+**quarantined**: removed from dispatch with a structured failure
+report, an ``incident-<label>.json`` next to the service manifest,
+and — when the failing result carries a schedule digest — a
+replayable ``incident-<label>.rprc`` flight capture.
+
+Dispatch order is per-tenant smooth weighted round-robin
+(:class:`~repro.service.fairness.WeightedRoundRobin`), so one tenant's
+thousand-cell sweep cannot starve another's ten-cell one.
+
+``SIGTERM`` means graceful drain: stop granting leases (workers see
+``drain: true`` and exit), let in-flight cells finish or expire, then
+stop serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.fairness import WeightedRoundRobin
+from repro.service.lease import LeaseManager
+from repro.service.wal import PENDING, CellState, ServiceWAL
+
+#: Discovery file written into the service root.
+SERVER_INFO = "server.json"
+
+_log = logging.getLogger("repro.service.server")
+
+
+def _safe_name(name: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in name
+    )
+
+
+class SweepServer:
+    """WAL-backed job server dispatching sweep cells to leased workers."""
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: Optional[str] = None,
+        retry_policy: Optional[Any] = None,
+        lease_timeout_s: float = 30.0,
+        workers: int = 0,
+        wal_rotate_records: int = 4096,
+        wal_fsync: bool = True,
+    ):
+        from repro.experiments.parallel import DEFAULT_RETRY_POLICY
+
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.host = host
+        self.port = port
+        self.cache_dir = cache_dir or os.path.join(self.root, "cache")
+        self.policy = (retry_policy if retry_policy is not None
+                       else DEFAULT_RETRY_POLICY)
+        self.policy.validate()
+        self.wal = ServiceWAL(
+            os.path.join(self.root, "wal"),
+            rotate_records=wal_rotate_records, fsync=wal_fsync,
+        )
+        self.leases = LeaseManager(lease_timeout_s)
+        self.wrr = WeightedRoundRobin()
+        self.draining = False
+        self.worker_count = workers
+        self._worker_procs: List[subprocess.Popen] = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._expiry_task: Optional[asyncio.Task] = None
+        self._stopped = asyncio.Event()
+        #: ``(sweep, label) -> monotonic deadline`` backoff gate.
+        self._not_before: Dict[Tuple[str, str], float] = {}
+        #: Sweeps whose manifest has been written this process life
+        #: (recovery re-writes manifests for sweeps that finished while
+        #: down — idempotent, the content is WAL-derived).
+        self._manifested: set = set()
+        self._sweep_started: Dict[str, float] = {}
+        self._setup_metrics()
+
+    def _setup_metrics(self) -> None:
+        self.obs = MetricsRegistry()
+        scope = self.obs.scope("service")
+        self._c = {
+            name: scope.counter(name) for name in (
+                "submits", "cells_submitted", "leases_granted",
+                "heartbeats", "completions", "duplicate_completions",
+                "cached_completions", "failures", "lease_expiries",
+                "quarantines", "retries_scheduled", "wal_records",
+                "manifests_written",
+            )
+        }
+        scope.gauge("pending",
+                    lambda: self.wal.state.counts()[PENDING])
+        scope.gauge("done", lambda: self.wal.state.counts()["done"])
+        scope.gauge("quarantined",
+                    lambda: self.wal.state.counts()["quarantined"])
+        scope.gauge("leased", lambda: len(self.leases))
+        scope.gauge("sweeps", lambda: len(self.wal.state.sweeps))
+        scope.gauge("draining", lambda: int(self.draining))
+        scope.gauge("wal_rotations", lambda: self.wal.rotations)
+        scope.gauge("wal_replayed", lambda: self.wal.records_replayed)
+        scope.gauge("wal_dropped", lambda: self.wal.records_dropped)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, write ``server.json``, spawn workers; returns (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        info = {"host": self.host, "port": self.port, "pid": os.getpid()}
+        with open(os.path.join(self.root, SERVER_INFO), "w",
+                  encoding="utf-8") as fh:
+            json.dump(info, fh)
+        # Manifests for sweeps that completed while the server was down
+        # (crash between last completion and manifest write).
+        for sweep_id, sweep in self.wal.state.sweeps.items():
+            if sweep.done and sweep.cells:
+                self._write_manifest(sweep_id)
+        for i in range(self.worker_count):
+            self.spawn_worker(f"w{i}")
+        self._expiry_task = \
+            asyncio.get_running_loop().create_task(self._expiry_loop())
+        _log.info("serving at http://%s:%d (root %s)",
+                  self.host, self.port, self.root)
+        return self.host, self.port
+
+    def spawn_worker(self, worker_id: str) -> subprocess.Popen:
+        """Start one worker subprocess pointed at this server."""
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.worker",
+             "--server", f"http://{self.host}:{self.port}",
+             "--worker-id", worker_id,
+             "--cache", self.cache_dir],
+        )
+        self._worker_procs.append(proc)
+        return proc
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.drain)
+            except (NotImplementedError, RuntimeError):
+                pass
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop granting leases, finish in-flight."""
+        if not self.draining:
+            _log.info("draining: no new leases, waiting for in-flight")
+            self.draining = True
+
+    async def serve_forever(self) -> None:
+        """Serve until drained (or :meth:`stop`); then clean up."""
+        assert self._server is not None, "call start() first"
+        try:
+            while not self._stopped.is_set():
+                if self.draining and not len(self.leases):
+                    break
+                try:
+                    await asyncio.wait_for(self._stopped.wait(), 0.2)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            await self.close()
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+    async def close(self) -> None:
+        if self._expiry_task is not None:
+            self._expiry_task.cancel()
+            self._expiry_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for proc in self._worker_procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._worker_procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        self.wal.close()
+
+    async def _expiry_loop(self) -> None:
+        interval = max(0.05, min(1.0, self.leases.timeout_s / 4))
+        while self._server is not None:
+            await asyncio.sleep(interval)
+            for lease in self.leases.expire():
+                self._c["lease_expiries"].add()
+                _log.warning("lease %s on %s/%s (worker %s) expired",
+                             lease.lease_id, lease.sweep, lease.label,
+                             lease.worker)
+                self._record_failure(
+                    lease.sweep, lease.label,
+                    error=f"lease expired on worker {lease.worker}",
+                    kind="lease_expired",
+                )
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except Exception as exc:  # never kill the accept loop
+            _log.exception("request handling failed")
+            status, payload = 500, {"error": repr(exc)}
+        body = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  500: "Internal Server Error"}.get(status, "Error")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("ascii") + body
+        )
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        request_line = (await reader.readline()).decode("ascii",
+                                                        "replace").strip()
+        if not request_line:
+            return 400, {"error": "empty request"}
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {"error": f"malformed request line {request_line!r}"}
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("ascii",
+                                                    "replace").strip()
+            if not line:
+                break
+            if ":" in line:
+                key, value = line.split(":", 1)
+                headers[key.strip().lower()] = value.strip()
+        body: Dict[str, Any] = {}
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except ValueError:
+                return 400, {"error": "body is not JSON"}
+        url = urlsplit(target)
+        query = {k: v[0] for k, v in parse_qs(url.query).items()}
+        return self._route(method, url.path, query, body)
+
+    def _route(self, method: str, path: str, query: Dict[str, str],
+               body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        routes = {
+            ("POST", "/submit"): self._on_submit,
+            ("POST", "/lease"): self._on_lease,
+            ("POST", "/heartbeat"): self._on_heartbeat,
+            ("POST", "/complete"): self._on_complete,
+            ("POST", "/drain"): self._on_drain,
+            ("GET", "/status"): self._on_status,
+            ("GET", "/result"): self._on_result,
+            ("GET", "/metrics"): self._on_metrics,
+            ("GET", "/health"): self._on_health,
+        }
+        handler = routes.get((method, path))
+        if handler is None:
+            return 404, {"error": f"no route for {method} {path}"}
+        try:
+            return handler(query, body)
+        except (KeyError, TypeError, ValueError) as exc:
+            return 400, {"error": f"bad request: {exc!r}"}
+
+    # -- endpoints -----------------------------------------------------
+
+    def _on_submit(self, _query, body) -> Tuple[int, Dict[str, Any]]:
+        sweep_id = str(body["sweep"])
+        cells = body["cells"]
+        if not isinstance(cells, list) or not cells:
+            return 400, {"error": "cells must be a non-empty list"}
+        for cell in cells:
+            if "label" not in cell or "spec" not in cell:
+                return 400, {"error": "each cell needs label and spec"}
+        record = {
+            "op": "submit",
+            "sweep": sweep_id,
+            "tenant": str(body.get("tenant", "default")),
+            "weight": int(body.get("weight", 1)),
+            "cells": [
+                {"label": str(c["label"]), "spec": c["spec"]}
+                for c in cells
+            ],
+        }
+        accepted = self.wal.append(record)
+        if accepted:
+            self._c["submits"].add()
+            self._c["cells_submitted"].add(len(record["cells"]))
+            self._c["wal_records"].add()
+            self._sweep_started[sweep_id] = time.monotonic()
+        sweep = self.wal.state.sweep(sweep_id)
+        return 200, {
+            "sweep": sweep_id,
+            "accepted": accepted,  # False == idempotent resubmission
+            "cells": len(sweep.cells) if sweep else 0,
+        }
+
+    def _eligible(self) -> Dict[str, List[Tuple[str, CellState]]]:
+        """Pending cells grantable right now, grouped by tenant."""
+        leased = self.leases.leased_labels()
+        now = time.monotonic()
+        out: Dict[str, List[Tuple[str, CellState]]] = {}
+        for tenant, cells in self.wal.state.pending_by_tenant().items():
+            ready = [
+                (sweep_id, cell) for sweep_id, cell in cells
+                if cell.label not in leased.get(sweep_id, set())
+                and self._not_before.get((sweep_id, cell.label), 0.0) <= now
+            ]
+            if ready:
+                out[tenant] = ready
+        return out
+
+    def _on_lease(self, _query, body) -> Tuple[int, Dict[str, Any]]:
+        worker = str(body.get("worker", "anonymous"))
+        if self.draining:
+            return 200, {"empty": True, "drain": True}
+        eligible = self._eligible()
+        if not eligible:
+            backlog = any(self.wal.state.pending_by_tenant().values())
+            return 200, {"empty": True, "drain": False,
+                         "backoff": backlog}
+        weights = {
+            tenant: max(
+                self.wal.state.sweeps[sweep_id].weight
+                for sweep_id, _cell in cells
+            )
+            for tenant, cells in eligible.items()
+        }
+        tenant = self.wrr.pick(weights)
+        sweep_id, cell = eligible[tenant][0]
+        lease = self.leases.grant(sweep_id, cell.label, worker)
+        self._c["leases_granted"].add()
+        return 200, {
+            "lease": lease.lease_id,
+            "sweep": sweep_id,
+            "label": cell.label,
+            "spec": cell.spec,
+            "attempts": cell.attempts,
+            "timeout_s": self.leases.timeout_s,
+        }
+
+    def _on_heartbeat(self, _query, body) -> Tuple[int, Dict[str, Any]]:
+        ok = self.leases.renew(str(body["lease"]))
+        if ok:
+            self._c["heartbeats"].add()
+        return 200, {"ok": ok}
+
+    def _on_complete(self, _query, body) -> Tuple[int, Dict[str, Any]]:
+        lease_id = str(body["lease"])
+        lease = self.leases.release(lease_id)
+        # An expired/unknown lease does NOT void the report: the work
+        # is done and the WAL decides idempotently whether it counts.
+        sweep_id = str(body.get("sweep") or (lease.sweep if lease else ""))
+        label = str(body.get("label") or (lease.label if lease else ""))
+        if not sweep_id or not label:
+            return 400, {"error": "complete needs sweep and label"}
+        if body.get("ok", False):
+            applied = self.wal.append({
+                "op": "complete", "sweep": sweep_id, "label": label,
+                "key": body.get("key"),
+                "cached": bool(body.get("cached", False)),
+                "elapsed_ns": body.get("elapsed_ns"),
+            })
+            if applied:
+                self._c["completions"].add()
+                self._c["wal_records"].add()
+                if body.get("cached"):
+                    self._c["cached_completions"].add()
+                self._not_before.pop((sweep_id, label), None)
+                self._maybe_finish_sweep(sweep_id)
+            else:
+                self._c["duplicate_completions"].add()
+            return 200, {"applied": applied,
+                         "duplicate": not applied}
+        self._record_failure(
+            sweep_id, label,
+            error=str(body.get("error", "worker reported failure")),
+            kind=str(body.get("kind", "worker_error")),
+            key=body.get("key"),
+        )
+        return 200, {"applied": True, "duplicate": False}
+
+    def _on_drain(self, _query, _body) -> Tuple[int, Dict[str, Any]]:
+        self.drain()
+        return 200, {"draining": True}
+
+    def _on_status(self, query, _body) -> Tuple[int, Dict[str, Any]]:
+        sweep_id = query.get("sweep")
+        if sweep_id is None:
+            counts = self.wal.state.counts()
+            return 200, {
+                "sweeps": counts["sweeps"],
+                "pending": counts[PENDING],
+                "done": counts["done"],
+                "quarantined": counts["quarantined"],
+                "leased": len(self.leases),
+                "draining": self.draining,
+            }
+        sweep = self.wal.state.sweep(sweep_id)
+        if sweep is None:
+            return 404, {"error": f"unknown sweep {sweep_id!r}"}
+        counts = sweep.counts()
+        return 200, {
+            "sweep": sweep_id,
+            "tenant": sweep.tenant,
+            "weight": sweep.weight,
+            "pending": counts[PENDING],
+            "done": counts["done"],
+            "quarantined": counts["quarantined"],
+            "finished": sweep.done,
+            "clean": sweep.clean,
+        }
+
+    def _on_result(self, query, _body) -> Tuple[int, Dict[str, Any]]:
+        sweep_id = query.get("sweep")
+        if sweep_id is None:
+            return 400, {"error": "result needs ?sweep="}
+        sweep = self.wal.state.sweep(sweep_id)
+        if sweep is None:
+            return 404, {"error": f"unknown sweep {sweep_id!r}"}
+        manifest = self._manifest_path(sweep_id)
+        return 200, {
+            "sweep": sweep_id,
+            "finished": sweep.done,
+            "clean": sweep.clean,
+            "manifest": manifest if os.path.exists(manifest) else None,
+            "cache_dir": self.cache_dir,
+            "cells": [c.to_jsonable() for c in sweep.cells.values()],
+        }
+
+    def _on_metrics(self, _query, _body) -> Tuple[int, Dict[str, Any]]:
+        return 200, self.obs.snapshot()
+
+    def _on_health(self, _query, _body) -> Tuple[int, Dict[str, Any]]:
+        return 200, {"ok": True, "pid": os.getpid(),
+                     "draining": self.draining}
+
+    # -- failure / retry / quarantine ----------------------------------
+
+    def _record_failure(self, sweep_id: str, label: str, *,
+                        error: str, kind: str,
+                        key: Optional[str] = None) -> None:
+        applied = self.wal.append({
+            "op": "fail", "sweep": sweep_id, "label": label,
+            "error": error, "kind": kind,
+        })
+        if not applied:
+            return  # settled cell; late/duplicate failure report
+        self._c["failures"].add()
+        self._c["wal_records"].add()
+        cell = self.wal.state.cell(sweep_id, label)
+        if cell.attempts >= self.policy.quarantine_attempts:
+            self._quarantine(sweep_id, cell, key)
+        else:
+            delay = self.policy.backoff_s(cell.attempts)
+            self._not_before[(sweep_id, label)] = time.monotonic() + delay
+            self._c["retries_scheduled"].add()
+            _log.info("cell %s/%s failed (%s), attempt %d/%d; retry "
+                      "in %.3fs", sweep_id, label, kind, cell.attempts,
+                      self.policy.quarantine_attempts, delay)
+        self._maybe_finish_sweep(sweep_id)
+
+    def _quarantine(self, sweep_id: str, cell: CellState,
+                    key: Optional[str]) -> None:
+        report = {
+            "sweep": sweep_id,
+            "label": cell.label,
+            "attempts": cell.attempts,
+            "errors": list(cell.errors),
+            "key": key,
+            "incident": None,
+            "capture": None,
+        }
+        incident_paths = self._write_incident(sweep_id, cell)
+        report.update(incident_paths)
+        self.wal.append({
+            "op": "quarantine", "sweep": sweep_id, "label": cell.label,
+            "report": report,
+        })
+        self._not_before.pop((sweep_id, cell.label), None)
+        self._c["quarantines"].add()
+        self._c["wal_records"].add()
+        _log.error("cell %s/%s quarantined after %d attempts: %s",
+                   sweep_id, cell.label, cell.attempts,
+                   cell.errors[-1] if cell.errors else "?")
+
+    def _write_incident(self, sweep_id: str,
+                        cell: CellState) -> Dict[str, Optional[str]]:
+        """Dump ``incident-<label>.json`` (+ ``.rprc`` flight capture
+        when the failing result carries a digest) into the service root.
+
+        The capture is rebuilt server-side from the shared result
+        cache: the worker cached the failing :class:`CellResult`
+        (delivery failures still *return* a result), so the server can
+        load it by content key and package job + digest into the same
+        ``.rprc`` format ``repro-experiments replay`` consumes.
+        """
+        from repro.experiments.cache import ResultCache
+        from repro.obs.export import write_json
+        from repro.replay import (CAPTURE_SUFFIX, capture_result,
+                                  job_from_spec, write_capture)
+
+        stem = f"incident-{_safe_name(sweep_id)}-{_safe_name(cell.label)}"
+        out: Dict[str, Optional[str]] = {"incident": None, "capture": None}
+        incident: Dict[str, Any] = {
+            "label": cell.label,
+            "sweep": sweep_id,
+            "attempts": cell.attempts,
+            "errors": list(cell.errors),
+            "delivery_failure": None,
+            "flight": None,
+            "capture": None,
+        }
+        try:
+            job = job_from_spec(cell.spec)
+            result = ResultCache(self.cache_dir).get(job)
+        except Exception as exc:
+            result = None
+            _log.warning("cannot load cached result for incident %s "
+                         "(%s)", stem, exc)
+        if result is not None:
+            incident["delivery_failure"] = \
+                result.extras.get("delivery_failure")
+            incident["flight"] = result.extras.get("flight")
+            if result.digest is not None:
+                capture_path = os.path.join(self.root,
+                                            stem + CAPTURE_SUFFIX)
+                try:
+                    write_capture(capture_path,
+                                  capture_result(job, result))
+                    incident["capture"] = capture_path
+                    out["capture"] = capture_path
+                except (OSError, ValueError) as exc:
+                    _log.warning("cannot write %s (%s)",
+                                 capture_path, exc)
+        path = os.path.join(self.root, stem + ".json")
+        try:
+            write_json(path, incident)
+            out["incident"] = path
+        except OSError as exc:
+            _log.warning("cannot write %s (%s)", path, exc)
+        return out
+
+    # -- per-sweep manifest --------------------------------------------
+
+    def _manifest_path(self, sweep_id: str) -> str:
+        return os.path.join(self.root,
+                            f"manifest-{_safe_name(sweep_id)}.json")
+
+    def _maybe_finish_sweep(self, sweep_id: str) -> None:
+        sweep = self.wal.state.sweep(sweep_id)
+        if sweep is None or not sweep.done or sweep_id in self._manifested:
+            return
+        self._write_manifest(sweep_id)
+
+    def _write_manifest(self, sweep_id: str) -> None:
+        from repro.obs.export import build_manifest, write_json
+
+        sweep = self.wal.state.sweep(sweep_id)
+        cells = []
+        hits = 0
+        for cell in sweep.cells.values():
+            entry: Dict[str, Any] = {
+                "label": cell.label,
+                "elapsed_ns": cell.elapsed_ns or 0,
+                "cached": cell.cached,
+            }
+            if cell.attempts:
+                entry["attempts"] = cell.attempts
+            if cell.status == "quarantined":
+                entry["failed"] = True
+            cells.append(entry)
+            hits += int(cell.cached)
+        started = self._sweep_started.get(sweep_id)
+        wall = 0.0 if started is None else time.monotonic() - started
+        manifest = build_manifest(
+            experiments=[f"service:{sweep_id}"],
+            quick=False,
+            jobs=max(1, self.worker_count),
+            cells=cells,
+            wall_time_s=wall,
+            cache_enabled=True,
+            cache_hits=hits,
+            cache_misses=len(cells) - hits,
+            outputs={"cache_dir": self.cache_dir},
+            status="complete" if sweep.clean else "partial",
+            retry_policy=self.policy,
+        )
+        path = self._manifest_path(sweep_id)
+        try:
+            write_json(path, manifest)
+        except OSError as exc:
+            _log.warning("cannot write %s (%s)", path, exc)
+            return
+        self._manifested.add(sweep_id)
+        self._c["manifests_written"].add()
+        _log.info("sweep %s finished (%s); manifest at %s",
+                  sweep_id, manifest["status"], path)
+
+
+async def _amain(args) -> int:
+    server = SweepServer(
+        args.root,
+        host=args.host, port=args.port,
+        cache_dir=args.cache,
+        lease_timeout_s=args.lease_timeout,
+        workers=args.workers,
+        wal_fsync=not args.no_fsync,
+    )
+    await server.start()
+    server.install_signal_handlers()
+    print(f"[repro.service] http://{server.host}:{server.port} "
+          f"root={server.root} workers={args.workers}", flush=True)
+    await server.serve_forever()
+    return 0
+
+
+def add_arguments(parser) -> None:
+    """CLI flags shared by ``python -m repro.service.server`` and the
+    ``repro-experiments serve`` subcommand."""
+    parser.add_argument("--root", default=".repro-service",
+                        help="service state directory (WAL, manifests, "
+                             "incidents, server.json)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 = pick a free port (see server.json)")
+    parser.add_argument("--cache", default=None,
+                        help="shared result-cache directory "
+                             "(default <root>/cache)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker subprocesses to spawn (0 = bring "
+                             "your own)")
+    parser.add_argument("--lease-timeout", type=float, default=30.0,
+                        help="seconds a worker may go silent before "
+                             "its cell is requeued")
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="skip fsync on WAL appends (tests only)")
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="WAL-backed sweep job server (see docs/service.md)",
+    )
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    logging.basicConfig(level=logging.INFO,
+                        format="%(asctime)s %(name)s %(message)s")
+    return asyncio.run(_amain(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,542 @@
+"""Write-ahead log and durable queue state for the job service.
+
+Every state transition of the service — a sweep submitted, a cell
+completed, an attempt failed, a job quarantined — is one JSON record
+appended to a log segment *before* the in-memory state mutates.  A
+restarted server (or a test, or a human with ``jq``) reconstructs the
+exact queue state by replaying the log; leases, heartbeats, and
+backoff deadlines are deliberately **not** logged, because on restart
+every in-flight lease is void anyway — the conservative recovery is
+"anything not completed or quarantined is pending again".
+
+Properties the design leans on (property-tested in
+``tests/test_service_wal.py``):
+
+- **Idempotent replay.**  :meth:`QueueState.apply` ignores duplicate
+  records (a second ``complete`` for a done cell, a resubmission of a
+  known sweep), so replaying any prefix of the log, any number of
+  times, yields the same state — and a cell can never be completed
+  twice no matter how a worker crash, a lease expiry, and a slow
+  duplicate completion interleave.
+- **Torn tails are expected.**  A crash mid-append leaves a partial
+  final line; recovery drops it (and counts it) instead of failing.
+  Anything before a torn line was already synced by an earlier append.
+- **Atomic rotation.**  When the live segment grows past
+  ``rotate_records`` records, the current state is written as a
+  ``snapshot`` record into ``wal-<n+1>.jsonl.tmp`` and published with
+  one ``os.replace``; older segments are then deleted best-effort.  A
+  crash at *any* point leaves a replayable directory: before the
+  rename the old segments are intact (the ``.tmp`` is ignored), after
+  it the snapshot record resets replay state, so stale older segments
+  are harmless prefix noise.
+
+Layout: ``<root>/wal-000001.jsonl``, ``wal-000002.jsonl``, ... —
+ascending segment indices, highest is live.  Records are one JSON
+object per line with an ``op`` key; see :data:`RECORD_OPS`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Format version stamped into snapshot records; replay refuses
+#: snapshots from a future format rather than misreading them.
+WAL_SCHEMA = 1
+
+#: Every record ``op`` the log may contain.
+RECORD_OPS = ("submit", "complete", "fail", "quarantine", "snapshot")
+
+#: Cell status vocabulary (the per-cell state machine is
+#: pending -> done | quarantined; "leased" is in-memory server state,
+#: never durable).
+PENDING, DONE, QUARANTINED = "pending", "done", "quarantined"
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{6})\.jsonl$")
+
+_log = logging.getLogger("repro.service.wal")
+
+
+def _segment_name(index: int) -> str:
+    return f"wal-{index:06d}.jsonl"
+
+
+@dataclass
+class CellState:
+    """Durable state of one job (cell) inside a sweep."""
+
+    label: str
+    #: The plain job spec tree (:func:`repro.replay.job_to_spec`).
+    spec: Dict[str, Any]
+    status: str = PENDING
+    #: Failed attempts so far (lease expiries, delivery failures,
+    #: worker errors) — compared against
+    #: :attr:`~repro.experiments.parallel.RetryPolicy.quarantine_attempts`.
+    attempts: int = 0
+    errors: List[str] = field(default_factory=list)
+    #: Content-addressed cache key of the completed result.
+    key: Optional[str] = None
+    #: Whether the completing worker found the result already cached.
+    cached: bool = False
+    elapsed_ns: Optional[int] = None
+    #: Structured failure report carried by a quarantine record.
+    report: Optional[Dict[str, Any]] = None
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "spec": self.spec,
+            "status": self.status,
+            "attempts": self.attempts,
+            "errors": list(self.errors),
+            "key": self.key,
+            "cached": self.cached,
+            "elapsed_ns": self.elapsed_ns,
+            "report": self.report,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "CellState":
+        return cls(
+            label=data["label"],
+            spec=dict(data["spec"]),
+            status=data["status"],
+            attempts=int(data["attempts"]),
+            errors=list(data["errors"]),
+            key=data["key"],
+            cached=bool(data["cached"]),
+            elapsed_ns=data["elapsed_ns"],
+            report=data["report"],
+        )
+
+
+@dataclass
+class SweepState:
+    """Durable state of one submitted sweep."""
+
+    sweep: str
+    tenant: str = "default"
+    weight: int = 1
+    #: Cells in submission order (dict preserves insertion order).
+    cells: Dict[str, CellState] = field(default_factory=dict)
+
+    def counts(self) -> Dict[str, int]:
+        out = {PENDING: 0, DONE: 0, QUARANTINED: 0}
+        for cell in self.cells.values():
+            out[cell.status] += 1
+        return out
+
+    @property
+    def done(self) -> bool:
+        """No cell is pending (every cell done or quarantined)."""
+        return all(c.status != PENDING for c in self.cells.values())
+
+    @property
+    def clean(self) -> bool:
+        """Every cell completed (no quarantines)."""
+        return all(c.status == DONE for c in self.cells.values())
+
+    def pending(self) -> List[CellState]:
+        return [c for c in self.cells.values() if c.status == PENDING]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.sweep,
+            "tenant": self.tenant,
+            "weight": self.weight,
+            "cells": [c.to_jsonable() for c in self.cells.values()],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "SweepState":
+        state = cls(
+            sweep=data["sweep"],
+            tenant=data["tenant"],
+            weight=int(data["weight"]),
+        )
+        for cell in data["cells"]:
+            loaded = CellState.from_jsonable(cell)
+            state.cells[loaded.label] = loaded
+        return state
+
+
+class QueueState:
+    """The folded view of a record stream.
+
+    Pure bookkeeping: every mutation goes through :meth:`apply`, which
+    is total (never raises on any well-formed record, whatever the
+    current state) and idempotent in the sense the module docstring
+    spells out — the properties WAL recovery rests on.
+    """
+
+    def __init__(self) -> None:
+        self.sweeps: Dict[str, SweepState] = {}
+        #: ``complete`` records ignored because the cell was already
+        #: done — the exactly-once accounting the chaos gate audits
+        #: (a duplicated *record* is fine; a duplicated *effect* is
+        #: impossible because completion is keyed on the cell status).
+        self.duplicate_completions = 0
+        #: Records that referenced unknown sweeps/cells (stale clients,
+        #: cross-restart completions for pruned sweeps) — ignored.
+        self.orphan_records = 0
+        #: Attempt-stamped ``fail`` records whose attempt was already
+        #: folded in (replayed stale prefixes) — ignored.
+        self.stale_failures = 0
+
+    # -- queries -------------------------------------------------------
+
+    def sweep(self, sweep_id: str) -> Optional[SweepState]:
+        return self.sweeps.get(sweep_id)
+
+    def cell(self, sweep_id: str, label: str) -> Optional[CellState]:
+        sweep = self.sweeps.get(sweep_id)
+        return None if sweep is None else sweep.cells.get(label)
+
+    def pending_by_tenant(self) -> Dict[str, List[Tuple[str, CellState]]]:
+        """``tenant -> [(sweep_id, cell), ...]`` in submission order."""
+        out: Dict[str, List[Tuple[str, CellState]]] = {}
+        for sweep in self.sweeps.values():
+            for cell in sweep.pending():
+                out.setdefault(sweep.tenant, []).append((sweep.sweep, cell))
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        out = {PENDING: 0, DONE: 0, QUARANTINED: 0, "sweeps": len(self.sweeps)}
+        for sweep in self.sweeps.values():
+            for status, n in sweep.counts().items():
+                out[status] += n
+        return out
+
+    # -- mutation ------------------------------------------------------
+
+    def apply(self, record: Dict[str, Any]) -> bool:
+        """Fold one record; returns False when it was a no-op."""
+        op = record.get("op")
+        if op == "submit":
+            return self._apply_submit(record)
+        if op == "complete":
+            return self._apply_complete(record)
+        if op == "fail":
+            return self._apply_fail(record)
+        if op == "quarantine":
+            return self._apply_quarantine(record)
+        if op == "snapshot":
+            # Snapshots are segment bootstraps, not incremental records;
+            # mid-stream they *replace* the state (see recovery).
+            self.replace_with(QueueState.from_jsonable(record["state"]))
+            return True
+        _log.warning("ignoring unknown WAL record op %r", op)
+        return False
+
+    def _apply_submit(self, record: Dict[str, Any]) -> bool:
+        sweep_id = record["sweep"]
+        if sweep_id in self.sweeps:
+            return False  # duplicate submission (client retry): no-op
+        sweep = SweepState(
+            sweep=sweep_id,
+            tenant=record.get("tenant", "default"),
+            weight=max(1, int(record.get("weight", 1))),
+        )
+        for cell in record["cells"]:
+            label = cell["label"]
+            if label in sweep.cells:
+                continue  # duplicate label inside one submission
+            sweep.cells[label] = CellState(label=label, spec=cell["spec"])
+        self.sweeps[sweep_id] = sweep
+        return True
+
+    def _apply_complete(self, record: Dict[str, Any]) -> bool:
+        cell = self.cell(record["sweep"], record["label"])
+        if cell is None:
+            self.orphan_records += 1
+            return False
+        if cell.status != PENDING:
+            if cell.status == DONE:
+                self.duplicate_completions += 1
+            return False  # never double-complete (or un-quarantine)
+        cell.status = DONE
+        cell.key = record.get("key")
+        cell.cached = bool(record.get("cached", False))
+        cell.elapsed_ns = record.get("elapsed_ns")
+        return True
+
+    def _apply_fail(self, record: Dict[str, Any]) -> bool:
+        cell = self.cell(record["sweep"], record["label"])
+        if cell is None:
+            self.orphan_records += 1
+            return False
+        if cell.status != PENDING:
+            return False  # late failure report for a settled cell
+        attempt = record.get("attempt")
+        if attempt is not None and int(attempt) <= cell.attempts:
+            # A replayed (stale-prefix) failure record: the attempt it
+            # described is already folded in.  Without this check a
+            # duplicated segment would double-count attempts — the one
+            # record type where "cell still pending" does not imply
+            # "record not yet applied".
+            self.stale_failures += 1
+            return False
+        cell.attempts = (
+            int(attempt) if attempt is not None else cell.attempts + 1
+        )
+        cell.errors.append(str(record.get("error", "unknown")))
+        return True
+
+    def _apply_quarantine(self, record: Dict[str, Any]) -> bool:
+        cell = self.cell(record["sweep"], record["label"])
+        if cell is None:
+            self.orphan_records += 1
+            return False
+        if cell.status != PENDING:
+            return False
+        cell.status = QUARANTINED
+        cell.report = record.get("report")
+        return True
+
+    def replace_with(self, other: "QueueState") -> None:
+        self.sweeps = other.sweeps
+        self.duplicate_completions = other.duplicate_completions
+        self.orphan_records = other.orphan_records
+        self.stale_failures = other.stale_failures
+
+    # -- (de)serialization (snapshot records) --------------------------
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "schema": WAL_SCHEMA,
+            "sweeps": [s.to_jsonable() for s in self.sweeps.values()],
+            "duplicate_completions": self.duplicate_completions,
+            "orphan_records": self.orphan_records,
+            "stale_failures": self.stale_failures,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "QueueState":
+        if data.get("schema") != WAL_SCHEMA:
+            raise ValueError(
+                f"WAL snapshot schema {data.get('schema')!r} != {WAL_SCHEMA}"
+            )
+        state = cls()
+        for sweep in data["sweeps"]:
+            loaded = SweepState.from_jsonable(sweep)
+            state.sweeps[loaded.sweep] = loaded
+        state.duplicate_completions = int(data["duplicate_completions"])
+        state.orphan_records = int(data["orphan_records"])
+        state.stale_failures = int(data.get("stale_failures", 0))
+        return state
+
+    def __eq__(self, other: Any) -> bool:
+        """Queue-state equality — the idempotent-replay invariant.
+
+        Compares the sweeps (every cell's status, attempts, errors,
+        result metadata) and deliberately NOT the telemetry counters:
+        ``duplicate_completions``/``orphan_records``/``stale_failures``
+        count how much noise a particular replay saw, which varies
+        with duplicated prefixes even though the resulting queue is
+        identical.
+        """
+        if not isinstance(other, QueueState):
+            return NotImplemented
+        return (
+            [s.to_jsonable() for s in self.sweeps.values()]
+            == [s.to_jsonable() for s in other.sweeps.values()]
+        )
+
+
+class ServiceWAL:
+    """The append-only log plus the live state it folds into.
+
+    Single-writer by design: the server owns the instance, and every
+    state change goes ``wal.append(record)`` — the record is applied to
+    :attr:`state` first (a no-op record is *not* written, keeping the
+    log free of known noise), then serialized, flushed, and optionally
+    fsynced before the caller proceeds.
+    """
+
+    def __init__(self, root: str, *, rotate_records: int = 4096,
+                 fsync: bool = True):
+        if rotate_records < 2:
+            raise ValueError("rotate_records must be >= 2")
+        self.root = root
+        self.rotate_records = rotate_records
+        self.fsync = fsync
+        self.state = QueueState()
+        #: Records folded during recovery (snapshot bootstraps count 1).
+        self.records_replayed = 0
+        #: Torn/undecodable lines dropped during recovery.
+        self.records_dropped = 0
+        self.rotations = 0
+        os.makedirs(root, exist_ok=True)
+        self._index, self._live_count = self._recover()
+        live = os.path.join(root, _segment_name(self._index))
+        self._trim_torn_tail(live)
+        self._fh = open(live, "a", encoding="utf-8")
+
+    # -- recovery ------------------------------------------------------
+
+    @staticmethod
+    def segments(root: str) -> List[Tuple[int, str]]:
+        """``(index, path)`` of every complete segment, ascending."""
+        out = []
+        try:
+            names = os.listdir(root)
+        except FileNotFoundError:
+            return []
+        for name in names:
+            match = _SEGMENT_RE.match(name)
+            if match:
+                out.append((int(match.group(1)), os.path.join(root, name)))
+        return sorted(out)
+
+    @staticmethod
+    def _iter_records(path: str) -> Iterator[Tuple[Optional[Dict], bool]]:
+        """Yield ``(record, torn)`` per line; torn lines yield
+        ``(None, True)``.  A file that vanished mid-iteration (another
+        process rotating) yields nothing."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    text = line.strip()
+                    if not text:
+                        continue
+                    try:
+                        record = json.loads(text)
+                    except ValueError:
+                        yield None, True
+                        continue
+                    if not isinstance(record, dict):
+                        yield None, True
+                        continue
+                    yield record, False
+        except OSError:
+            return
+
+    @classmethod
+    def read_state(cls, root: str) -> QueueState:
+        """Fold the log at ``root`` into a fresh :class:`QueueState`
+        without opening it for writing (pure replay — what a second
+        reader, a status tool, or the property tests use)."""
+        state = QueueState()
+        for _index, path in cls.segments(root):
+            for record, torn in cls._iter_records(path):
+                if not torn:
+                    state.apply(record)
+        return state
+
+    @staticmethod
+    def _trim_torn_tail(path: str) -> None:
+        """Drop a partial final line (kill -9 mid-append) so the next
+        append starts on its own line instead of extending the
+        fragment into a second unparseable record."""
+        try:
+            with open(path, "r+b") as fh:
+                blob = fh.read()
+                if not blob or blob.endswith(b"\n"):
+                    return
+                keep = blob.rfind(b"\n") + 1  # 0 when no newline at all
+                fh.truncate(keep)
+        except OSError:
+            pass
+
+    def _recover(self) -> Tuple[int, int]:
+        segments = self.segments(self.root)
+        if not segments:
+            return 1, 0
+        live_count = 0
+        for index, path in segments:
+            count = 0
+            for record, torn in self._iter_records(path):
+                if torn:
+                    self.records_dropped += 1
+                    _log.warning("dropping torn WAL line in %s", path)
+                    continue
+                self.state.apply(record)
+                self.records_replayed += 1
+                count += 1
+            live_count = count
+        return segments[-1][0], live_count
+
+    # -- appends -------------------------------------------------------
+
+    @staticmethod
+    def stamp(record: Dict[str, Any],
+              state: "QueueState") -> Dict[str, Any]:
+        """The durable form of ``record`` against ``state``.
+
+        ``fail`` is the one incremental record type whose raw form is
+        not idempotent (each application bumps the attempt counter of
+        a still-pending cell), so the durable form carries the attempt
+        index it produces — replaying it against a state that already
+        folded it becomes a no-op.  Every other op is returned as-is.
+        """
+        if record.get("op") == "fail" and "attempt" not in record:
+            cell = state.cell(record.get("sweep"), record.get("label"))
+            if cell is not None:
+                record = dict(record)
+                record["attempt"] = cell.attempts + 1
+        return record
+
+    def append(self, record: Dict[str, Any]) -> bool:
+        """Fold ``record`` into the state and persist it.
+
+        Returns False (and writes nothing) when the record is a no-op
+        on the current state — duplicate completions, stale failures —
+        so the log stays an exact account of effective transitions.
+        """
+        if record.get("op") not in RECORD_OPS or record["op"] == "snapshot":
+            raise ValueError(f"not an appendable record: {record!r}")
+        record = self.stamp(record, self.state)
+        if not self.state.apply(record):
+            return False
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._live_count += 1
+        if self._live_count >= self.rotate_records:
+            self._rotate()
+        return True
+
+    def _rotate(self) -> None:
+        """Publish a snapshot segment atomically and retire the rest."""
+        next_index = self._index + 1
+        final = os.path.join(self.root, _segment_name(next_index))
+        tmp = final + ".tmp"
+        snapshot = {"op": "snapshot", "state": self.state.to_jsonable()}
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(snapshot, separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        old_fh, old_index = self._fh, self._index
+        self._fh = open(final, "a", encoding="utf-8")
+        self._index, self._live_count = next_index, 1
+        self.rotations += 1
+        old_fh.close()
+        # GC older segments; correctness never depends on it (replay
+        # past a snapshot record resets state), so failures just leave
+        # prefix noise for the next rotation to retry.
+        for index, path in self.segments(self.root):
+            if index <= old_index:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        try:
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+        finally:
+            self._fh.close()
+
+    def __enter__(self) -> "ServiceWAL":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

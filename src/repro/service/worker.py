@@ -1,0 +1,143 @@
+"""Lease-based worker: pull a cell, run it, complete it.
+
+Runs as its own OS process (``python -m repro.service.worker``) so the
+chaos gate can ``kill -9`` it mid-cell and prove nothing is lost: the
+lease expires, the server requeues the cell, and another worker's
+re-execution is a content-addressed cache hit (or an identical
+recomputation — the cells are deterministic).
+
+The loop per cell:
+
+1. ``POST /lease`` — get ``{lease, sweep, label, spec}``, or back off
+   when the queue is empty, or exit when the server says ``drain``.
+2. Rebuild the :class:`Job` from the spec
+   (:func:`repro.replay.job_from_spec` — the same vocabulary captures
+   use), check the shared :class:`ResultCache`, and run
+   :func:`run_cell` on a miss.  A heartbeat thread renews the lease
+   while the cell computes.
+3. Cache the result (multi-writer safe), then ``POST /complete``.  A
+   result whose extras carry a ``delivery_failure`` report is
+   completed with ``ok: false`` — the *server* owns the retry /
+   quarantine decision; the worker just reports faithfully.
+
+Crashes in the cell function surface as ``ok: false`` completions with
+the error string; crashes of the whole worker surface as lease expiry.
+Completion failures never ack-then-lose: the WAL record lands on the
+server before the HTTP response is sent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+import threading
+import time
+import traceback
+
+from repro.service.client import ServiceClient, ServiceUnavailable
+
+
+def _heartbeat_loop(client: "ServiceClient", lease_id: str,
+                    interval_s: float, stop: threading.Event) -> None:
+    while not stop.wait(interval_s):
+        try:
+            client.heartbeat(lease_id)
+        except ServiceUnavailable:
+            return  # server gone; the lease will expire on its own
+
+
+def run_one(client: ServiceClient, cache, grant) -> None:
+    """Execute one granted cell and report the outcome."""
+    from repro.experiments.cache import job_key
+    from repro.experiments.parallel import run_cell
+    from repro.replay import job_from_spec
+
+    lease_id = grant["lease"]
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(client, lease_id, max(0.05, grant["timeout_s"] / 3), stop),
+        daemon=True,
+    )
+    beat.start()
+    try:
+        job = job_from_spec(grant["spec"])
+        key = job_key(job)
+        result = cache.get(job)
+        cached = result is not None
+        if result is None:
+            result = run_cell(job)
+            cache.put(job, result)
+        failure = result.extras.get("delivery_failure")
+        if failure is not None:
+            client.complete(
+                lease_id, sweep=grant["sweep"], label=grant["label"],
+                ok=False, key=key, kind="delivery_failure",
+                error=f"delivery failure: {failure.get('reason', '?')}",
+            )
+        else:
+            client.complete(
+                lease_id, sweep=grant["sweep"], label=grant["label"],
+                ok=True, key=key, cached=cached,
+                elapsed_ns=result.elapsed_ns,
+            )
+    except Exception:
+        client.complete(
+            lease_id, sweep=grant["sweep"], label=grant["label"],
+            ok=False, kind="worker_error",
+            error=traceback.format_exc(limit=8),
+        )
+    finally:
+        stop.set()
+        beat.join(timeout=1.0)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-service-worker",
+        description="lease-based cell worker for the repro job server",
+    )
+    parser.add_argument("--server", required=True,
+                        help="server base URL, e.g. http://127.0.0.1:8431")
+    parser.add_argument("--worker-id",
+                        default=f"{socket.gethostname()}-{id(object())}")
+    parser.add_argument("--cache", required=True,
+                        help="shared result-cache directory")
+    parser.add_argument("--poll", type=float, default=0.2,
+                        help="idle poll interval when the queue is empty")
+    parser.add_argument("--max-cells", type=int, default=None,
+                        help="exit after N cells (tests)")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.cache import ResultCache
+
+    client = ServiceClient(args.server, worker=args.worker_id)
+    cache = ResultCache(args.cache)
+    done = 0
+    while args.max_cells is None or done < args.max_cells:
+        try:
+            grant = client.lease()
+        except ServiceUnavailable:
+            time.sleep(args.poll)
+            continue
+        if grant.get("drain"):
+            break
+        if grant.get("empty"):
+            time.sleep(args.poll)
+            continue
+        try:
+            run_one(client, cache, grant)
+        except ServiceUnavailable:
+            # Server died mid-completion (or mid-heartbeat): the lease
+            # expires server-side on restart, our result is already in
+            # the shared cache, so the retry is a cache hit.  Keep
+            # polling for the reborn server.
+            time.sleep(args.poll)
+            continue
+        done += 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,7 @@ def test_top_level_exports():
     assert repro.list_workloads is api.list_workloads
     assert repro.list_ops is api.list_ops
     assert repro.Spec is api.Spec
-    assert repro.__version__ == "1.6.0"
+    assert repro.__version__ == "1.7.0"
 
 
 @pytest.mark.parametrize("ni", ALL_NI_NAMES)

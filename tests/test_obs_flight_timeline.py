@@ -225,7 +225,7 @@ def test_sharded_spans_have_phases_and_ordinals():
 # -------------------------------------------------- manifest schema
 
 
-def test_manifest_schema_2_has_replay_of():
+def test_manifest_schema_3_has_replay_of_and_retry():
     from repro.obs.export import (
         MANIFEST_KEYS,
         SCHEMA_VERSION,
@@ -233,21 +233,39 @@ def test_manifest_schema_2_has_replay_of():
         validate_manifest,
     )
 
-    assert SCHEMA_VERSION == 2
+    assert SCHEMA_VERSION == 3
     manifest = build_manifest(
         experiments=["x"], quick=False, jobs=1, cells=[],
         wall_time_s=0.0, cache_enabled=False, cache_hits=0,
         cache_misses=0, outputs={}, replay_of="some/cell.rprc",
     )
-    assert manifest["schema"] == 2
+    assert manifest["schema"] == 3
     assert manifest["replay_of"] == "some/cell.rprc"
+    assert manifest["retry"]["retry_limit"] == 1
     assert set(manifest) == set(MANIFEST_KEYS)
     assert validate_manifest(manifest) == []
 
 
-def test_validate_manifest_accepts_schema_1():
+def test_manifest_records_custom_retry_policy():
+    from repro.experiments.parallel import RetryPolicy
+    from repro.obs.export import build_manifest, validate_manifest
+
+    policy = RetryPolicy(retry_limit=4, job_timeout_s=7.5,
+                         quarantine_attempts=2)
+    manifest = build_manifest(
+        experiments=["x"], quick=False, jobs=1, cells=[],
+        wall_time_s=0.0, cache_enabled=False, cache_hits=0,
+        cache_misses=0, outputs={}, retry_policy=policy,
+    )
+    assert manifest["retry"] == policy.to_jsonable()
+    assert RetryPolicy.from_jsonable(manifest["retry"]) == policy
+    assert validate_manifest(manifest) == []
+
+
+def test_validate_manifest_accepts_old_schemas():
     """Backward compat: manifests written before the capture/timeline
-    outputs existed (schema 1, no ``replay_of``) still validate."""
+    outputs (schema 1, no ``replay_of``) and before the retry-policy
+    record (schema 2, no ``retry``) still validate."""
     from repro.obs.export import build_manifest, validate_manifest
 
     manifest = build_manifest(
@@ -255,7 +273,10 @@ def test_validate_manifest_accepts_schema_1():
         wall_time_s=0.0, cache_enabled=False, cache_hits=0,
         cache_misses=0, outputs={},
     )
-    old = {k: v for k, v in manifest.items() if k != "replay_of"}
+    two = {k: v for k, v in manifest.items() if k != "retry"}
+    two["schema"] = 2
+    assert validate_manifest(two) == []
+    old = {k: v for k, v in two.items() if k != "replay_of"}
     old["schema"] = 1
     assert validate_manifest(old) == []
     # A schema-1 manifest that *does* carry schema-2 keys is flagged.

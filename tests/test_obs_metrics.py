@@ -291,7 +291,7 @@ def test_metrics_identical_serial_vs_parallel():
         [(c.label, c.metrics) for c in parallel]
     )
     assert payload_s == payload_p
-    assert payload_s["schema"] == 2
+    assert payload_s["schema"] == 3
 
 
 def test_executor_records_completed_history():
@@ -412,7 +412,7 @@ def test_runner_writes_metrics_trace_and_manifest(tmp_path):
     ])
     assert code == 0
     payload = json.loads(metrics.read_text())
-    assert payload["schema"] == 2 and payload["cells"] and payload["totals"]
+    assert payload["schema"] == 3 and payload["cells"] and payload["totals"]
     records = read_trace_jsonl(str(trace))
     assert records
     assert {r["category"] for r in records} <= {"wire", "accept"}

@@ -290,7 +290,7 @@ def test_runner_spans_and_perfetto_flags(tmp_path):
     ])
     assert code == 0
     payload = json.loads(spans.read_text())
-    assert payload["schema"] == 2 and payload["span_schema"] == 1
+    assert payload["schema"] == 3 and payload["span_schema"] == 1
     assert payload["cells"]
     for label, cell_spans in payload["cells"].items():
         assert cell_spans, label

@@ -237,3 +237,80 @@ def test_cell_errors_name_the_experiment():
         result.cell("nope", "latency")
     with pytest.raises(KeyError, match="demo.*no column 'zap'.*latency"):
         result.cell("cm5", "zap")
+
+
+# ------------------------------------- concurrent multi-process writes
+
+
+def _minimal_cell(label="conc") -> CellResult:
+    return CellResult(label=label, elapsed_ns=1, states={},
+                      messages_sent=0, bounces=0,
+                      flow_control_buffers=None)
+
+
+def _conc_job() -> Job:
+    return Job(label="conc", ni="cm5", workload="pingpong",
+               params=default_params(), costs=DEFAULT_COSTS,
+               kwargs=freeze_kwargs(dict(payload_bytes=8, rounds=1)))
+
+
+def _hammer_put(args):
+    """Worker for the multi-process write race (module-level so it
+    pickles under any multiprocessing start method)."""
+    root, rounds = args
+    cache = ResultCache(root)
+    job, result = _conc_job(), _minimal_cell()
+    for _ in range(rounds):
+        cache.put(job, result)
+    return True
+
+
+def test_cache_concurrent_multiprocess_writers_same_key(tmp_path):
+    """The job service points every worker at one shared cache
+    directory: racing writers of the same content key must always
+    leave one complete, loadable entry and zero staging debris."""
+    import multiprocessing
+
+    root = str(tmp_path / "shared-cache")
+    with multiprocessing.Pool(4) as pool:
+        assert all(pool.map(_hammer_put, [(root, 30)] * 4))
+    cache = ResultCache(root)
+    loaded = cache.get(_conc_job())
+    assert loaded is not None and loaded.label == "conc"
+    assert cache.corrupt_entries == 0
+    leftovers = [
+        name
+        for _dir, _subdirs, files in __import__("os").walk(root)
+        for name in files if name.endswith(".tmp")
+    ]
+    assert leftovers == []
+
+
+def test_cache_put_failure_degrades_to_logged_miss(tmp_path, caplog):
+    """An unwritable store (here: the root is a *file*) must never
+    raise out of put(); the run continues uncached with a warning."""
+    import logging
+
+    root = tmp_path / "not-a-dir"
+    root.write_text("occupied")
+    cache = ResultCache(str(root))
+    with caplog.at_level(logging.WARNING, logger="repro.cache"):
+        cache.put(_conc_job(), _minimal_cell())  # must not raise
+    assert any("running uncached" in r.message for r in caplog.records)
+    assert cache.get(_conc_job()) is None  # a plain miss afterwards
+
+
+def test_cache_clear_sweeps_orphaned_tmp_files(tmp_path):
+    import os
+
+    cache = ResultCache(str(tmp_path))
+    cache.put(_conc_job(), _minimal_cell())
+    shard = next(
+        os.path.join(tmp_path, d) for d in os.listdir(tmp_path)
+        if os.path.isdir(os.path.join(tmp_path, d))
+    )
+    orphan = os.path.join(shard, "killed-writer.tmp")
+    open(orphan, "w").close()
+    cache.clear()
+    assert not os.path.exists(orphan)
+    assert cache.get(_conc_job()) is None

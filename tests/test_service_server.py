@@ -1,0 +1,567 @@
+"""The job service end to end: leases, retries, fairness, quarantine,
+crash recovery, the API facade, and the retry-policy config surface.
+
+The server runs on a background thread with a real socket; the
+blocking :class:`ServiceClient` plays both the submitting user and
+(manually) the workers, which lets the tests drive failure
+interleavings — expired leases, duplicate completions, poison cells —
+deterministically.  One test uses a real worker subprocess; the full
+kill -9 chaos story lives in ``scripts/check_service.py``.
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.config import DEFAULT_COSTS, DEFAULT_PARAMS
+from repro.experiments.parallel import (
+    DEFAULT_RETRY_POLICY,
+    Job,
+    RetryPolicy,
+    SweepExecutor,
+    freeze_kwargs,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.fairness import WeightedRoundRobin
+from repro.service.lease import LeaseManager
+from repro.service.server import SweepServer
+
+
+# --------------------------------------------------- unit: fairness
+
+
+def test_wrr_smooth_3_to_1_interleaving():
+    wrr = WeightedRoundRobin()
+    picks = [wrr.pick({"a": 3, "b": 1}) for _ in range(8)]
+    assert picks == ["a", "a", "b", "a", "a", "a", "b", "a"]
+
+
+def test_wrr_equal_weights_alternate():
+    wrr = WeightedRoundRobin()
+    picks = [wrr.pick({"x": 1, "y": 1}) for _ in range(6)]
+    assert picks.count("x") == picks.count("y") == 3
+    assert picks[:2] != picks[1:3] or picks[0] != picks[1]
+
+
+def test_wrr_never_starves_and_clamps_bad_weights():
+    wrr = WeightedRoundRobin()
+    picks = [wrr.pick({"big": 100, "small": 0}) for _ in range(101)]
+    assert "small" in picks  # weight clamped to 1, still scheduled
+    assert wrr.pick({}) is None
+
+
+def test_wrr_absent_tenant_resumes_with_priority():
+    wrr = WeightedRoundRobin()
+    for _ in range(4):
+        assert wrr.pick({"a": 1}) == "a"
+    # b arrives with zero history; smooth WRR gives it the next slot
+    # eventually without letting it monopolize.
+    picks = [wrr.pick({"a": 1, "b": 1}) for _ in range(4)]
+    assert picks.count("b") == 2
+
+
+# ----------------------------------------------------- unit: leases
+
+
+def test_lease_grant_renew_expire_with_fake_clock():
+    now = [0.0]
+    leases = LeaseManager(timeout_s=10.0, clock=lambda: now[0])
+    lease = leases.grant("s", "cell", "w0")
+    assert leases.find(lease.lease_id) is lease
+    now[0] = 8.0
+    assert leases.renew(lease.lease_id)  # extends to t=18
+    now[0] = 15.0
+    assert leases.expire() == []
+    now[0] = 18.0
+    assert [l.lease_id for l in leases.expire()] == [lease.lease_id]
+    assert leases.expired == 1 and len(leases) == 0
+    assert not leases.renew(lease.lease_id)  # gone
+
+
+def test_lease_leased_labels_groups_by_sweep():
+    leases = LeaseManager(timeout_s=5.0)
+    leases.grant("s1", "a", "w0")
+    leases.grant("s1", "b", "w1")
+    leases.grant("s2", "a", "w2")
+    grouped = leases.leased_labels()
+    assert grouped == {"s1": {"a", "b"}, "s2": {"a"}}
+
+
+def test_lease_timeout_must_be_positive():
+    with pytest.raises(ValueError):
+        LeaseManager(timeout_s=0)
+
+
+# ------------------------------------------------ unit: retry policy
+
+
+def test_retry_policy_validate_rejects_bad_fields():
+    for bad in (
+        {"retry_limit": -1},
+        {"job_timeout_s": 0.0},
+        {"quarantine_attempts": 0},
+        {"backoff_base_s": 0.0},
+        {"backoff_factor": 0},
+        {"backoff_cap_s": 0.001},  # below base
+    ):
+        with pytest.raises(ValueError):
+            DEFAULT_RETRY_POLICY.replace(**bad).validate()
+
+
+def test_retry_policy_backoff_matches_reliability_ladder():
+    """The service requeue ladder IS the retransmit ladder: capped
+    exponential with the same exponent discipline."""
+    policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2,
+                         backoff_cap_s=0.5)
+    delays = [policy.backoff_s(n) for n in range(5)]
+    assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+    assert delays == sorted(delays)  # monotone non-decreasing
+
+
+def test_executor_accepts_policy_and_legacy_kwargs_overlay():
+    policy = RetryPolicy(retry_limit=5, job_timeout_s=9.0)
+    executor = SweepExecutor(jobs=1, retry_policy=policy)
+    assert executor.retry_policy == policy
+    assert executor.retry_limit == 5 and executor.job_timeout_s == 9.0
+    # Legacy kwargs overlay onto the policy, not past it.
+    executor = SweepExecutor(jobs=1, retry_policy=policy, retry_limit=2)
+    assert executor.retry_policy.retry_limit == 2
+    assert executor.retry_policy.job_timeout_s == 9.0
+
+
+def test_retry_policy_jsonable_roundtrip():
+    policy = RetryPolicy(retry_limit=4, job_timeout_s=7.5,
+                         quarantine_attempts=2, backoff_base_s=0.01,
+                         backoff_factor=3, backoff_cap_s=1.0)
+    assert RetryPolicy.from_jsonable(policy.to_jsonable()) == policy
+    assert RetryPolicy.from_jsonable({}) == RetryPolicy()
+
+
+# ------------------------------------------- server thread fixture
+
+
+class ServiceThread:
+    """A SweepServer on its own thread + event loop, for blocking
+    clients."""
+
+    def __init__(self, root, **kwargs):
+        self.root = str(root)
+        self.kwargs = dict(kwargs)
+        self.kwargs.setdefault("wal_fsync", False)
+        self.server = None
+        self.loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self.loop = asyncio.get_running_loop()
+        self.server = SweepServer(self.root, **self.kwargs)
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_forever()
+
+    def start(self) -> ServiceClient:
+        self._thread.start()
+        assert self._ready.wait(15), "server did not come up"
+        return ServiceClient.from_dir(self.root)
+
+    def stop(self):
+        if self.loop is not None and self.server is not None:
+            self.loop.call_soon_threadsafe(self.server.stop)
+        self._thread.join(15)
+        assert not self._thread.is_alive()
+
+
+def _toy_cells(n, prefix="cell"):
+    """Submittable cells with opaque specs (never executed)."""
+    return [{"label": f"{prefix}{i}", "spec": {"toy": i}}
+            for i in range(n)]
+
+
+def _tiny_job(label, **over):
+    kwargs = {"payload_bytes": 32, "rounds": 2}
+    kwargs.update(over)
+    return Job(label=label, ni="cni32qm", workload="pingpong",
+               params=DEFAULT_PARAMS, costs=DEFAULT_COSTS,
+               kwargs=freeze_kwargs(kwargs), collect_digest=True)
+
+
+# ---------------------------------------------------- e2e: happy path
+
+
+def test_submit_lease_complete_manifest_cycle(tmp_path):
+    service = ServiceThread(tmp_path)
+    client = service.start()
+    try:
+        response = client.submit("s1", _toy_cells(2), tenant="t")
+        assert response == {"sweep": "s1", "accepted": True, "cells": 2}
+        # Idempotent resubmission: acknowledged, nothing duplicated.
+        again = client.submit("s1", _toy_cells(2), tenant="t")
+        assert again["accepted"] is False and again["cells"] == 2
+        for _ in range(2):
+            grant = client.lease()
+            assert grant["sweep"] == "s1"
+            client.complete(grant["lease"], sweep="s1",
+                            label=grant["label"], ok=True,
+                            key=f"k-{grant['label']}", elapsed_ns=7)
+        assert client.lease()["empty"] is True
+        status = client.status("s1")
+        assert status["finished"] and status["clean"]
+        result = client.result("s1")
+        assert result["manifest"] and os.path.exists(result["manifest"])
+        manifest = json.load(open(result["manifest"]))
+        assert manifest["status"] == "complete"
+        assert manifest["retry"] == DEFAULT_RETRY_POLICY.to_jsonable()
+        assert {c["label"] for c in manifest["cells"]} == \
+            {"cell0", "cell1"}
+        snapshot = client.metrics()
+        assert snapshot["service.completions"] == 2
+        assert snapshot["service.duplicate_completions"] == 0
+    finally:
+        service.stop()
+
+
+def test_duplicate_completion_is_idempotent_noop(tmp_path):
+    service = ServiceThread(tmp_path)
+    client = service.start()
+    try:
+        client.submit("s", _toy_cells(1))
+        grant = client.lease()
+        first = client.complete(grant["lease"], sweep="s",
+                                label=grant["label"], ok=True, key="k")
+        assert first["applied"] is True
+        # A slow duplicate (expired lease id, same work) must not
+        # double-complete.
+        second = client.complete(grant["lease"], sweep="s",
+                                 label=grant["label"], ok=True, key="k")
+        assert second == {"applied": False, "duplicate": True}
+        assert client.metrics()["service.duplicate_completions"] == 1
+        assert client.status("s")["done"] == 1
+    finally:
+        service.stop()
+
+
+def test_unknown_routes_and_bad_bodies_are_4xx(tmp_path):
+    service = ServiceThread(tmp_path)
+    client = service.start()
+    try:
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client._request("POST", "/submit", {"sweep": "s",
+                                                "cells": []})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.status("ghost")
+        assert err.value.status == 404
+    finally:
+        service.stop()
+
+
+# ------------------------------------------- e2e: leases and retries
+
+
+def test_expired_lease_requeues_cell(tmp_path):
+    service = ServiceThread(
+        tmp_path, lease_timeout_s=0.2,
+        retry_policy=RetryPolicy(quarantine_attempts=5,
+                                 backoff_base_s=0.01,
+                                 backoff_cap_s=0.02),
+    )
+    client = service.start()
+    try:
+        client.submit("s", _toy_cells(1))
+        grant = client.lease()
+        assert grant["attempts"] == 0
+        # Walk away (simulated worker kill): no heartbeat, no complete.
+        deadline = time.monotonic() + 10
+        regrant = {"empty": True}
+        while regrant.get("empty") and time.monotonic() < deadline:
+            time.sleep(0.05)
+            regrant = client.lease()
+        assert regrant["label"] == grant["label"]
+        assert regrant["attempts"] == 1  # the expiry was recorded
+        assert client.metrics()["service.lease_expiries"] >= 1
+        client.complete(regrant["lease"], sweep="s",
+                        label=regrant["label"], ok=True, key="k")
+        assert client.status("s")["clean"]
+    finally:
+        service.stop()
+
+
+def test_heartbeat_keeps_lease_alive(tmp_path):
+    service = ServiceThread(tmp_path, lease_timeout_s=0.3)
+    client = service.start()
+    try:
+        client.submit("s", _toy_cells(1))
+        grant = client.lease()
+        for _ in range(5):
+            time.sleep(0.1)
+            assert client.heartbeat(grant["lease"])["ok"]
+        # 0.5s > timeout, but heartbeats kept it: still leased, not
+        # re-grantable.
+        assert client.lease()["empty"] is True
+        assert client.metrics()["service.lease_expiries"] == 0
+    finally:
+        service.stop()
+
+
+def test_failed_attempts_backoff_then_quarantine_partial_manifest(tmp_path):
+    policy = RetryPolicy(quarantine_attempts=2, backoff_base_s=0.01,
+                         backoff_factor=2, backoff_cap_s=0.05)
+    service = ServiceThread(tmp_path, retry_policy=policy)
+    client = service.start()
+    try:
+        client.submit("s", _toy_cells(2))
+        # Fail cell0 twice; complete anything else normally.
+        fails = 0
+        deadline = time.monotonic() + 20
+        while fails < 2 and time.monotonic() < deadline:
+            grant = client.lease()
+            if grant.get("empty"):
+                time.sleep(0.02)  # backoff gate still closed
+                continue
+            if grant["label"] == "cell0":
+                assert grant["attempts"] == fails
+                client.complete(grant["lease"], sweep="s",
+                                label="cell0", ok=False,
+                                error=f"boom {fails}",
+                                kind="worker_error")
+                fails += 1
+            else:
+                client.complete(grant["lease"], sweep="s",
+                                label=grant["label"], ok=True, key="k1")
+        while not client.status("s")["finished"] and \
+                time.monotonic() < deadline:
+            grant = client.lease()
+            if grant.get("empty"):
+                time.sleep(0.02)
+                continue
+            client.complete(grant["lease"], sweep="s",
+                            label=grant["label"], ok=True, key="k1")
+        status = client.status("s")
+        assert status["quarantined"] == 1 and status["finished"]
+        assert not status["clean"]
+        result = client.result("s")
+        manifest = json.load(open(result["manifest"]))
+        assert manifest["status"] == "partial"
+        failed = [c for c in manifest["cells"] if c.get("failed")]
+        assert [c["label"] for c in failed] == ["cell0"]
+        assert failed[0]["attempts"] == 2
+        # The quarantine report landed on the cell state and on disk.
+        cell = [c for c in result["cells"] if c["label"] == "cell0"][0]
+        assert cell["status"] == "quarantined"
+        assert cell["report"]["errors"] == ["boom 0", "boom 1"]
+        incident = cell["report"]["incident"]
+        assert incident and os.path.exists(incident)
+        payload = json.load(open(incident))
+        assert payload["label"] == "cell0" and payload["attempts"] == 2
+    finally:
+        service.stop()
+
+
+def test_fairness_interleaves_tenants_by_weight(tmp_path):
+    service = ServiceThread(tmp_path)
+    client = service.start()
+    try:
+        client.submit("alice-sweep", _toy_cells(8, "a"),
+                      tenant="alice", weight=3)
+        client.submit("bob-sweep", _toy_cells(8, "b"),
+                      tenant="bob", weight=1)
+        order = []
+        for _ in range(8):
+            grant = client.lease()
+            order.append(grant["sweep"])
+            client.complete(grant["lease"], sweep=grant["sweep"],
+                            label=grant["label"], ok=True, key="k")
+        # 3:1 split, and bob is interleaved, not tail-queued.
+        assert order.count("alice-sweep") == 6
+        assert order.count("bob-sweep") == 2
+        assert "bob-sweep" in order[:4]
+    finally:
+        service.stop()
+
+
+# ------------------------------------------ e2e: crash and recovery
+
+
+def test_server_restart_recovers_queue_and_voids_leases(tmp_path):
+    service = ServiceThread(tmp_path)
+    client = service.start()
+    try:
+        client.submit("s", _toy_cells(3))
+        grant = client.lease()
+        client.complete(grant["lease"], sweep="s",
+                        label=grant["label"], ok=True, key="k")
+        client.lease()  # a second lease we will "crash" holding
+    finally:
+        service.stop()  # hard stop: no drain, lease still out
+    reborn = ServiceThread(tmp_path)
+    client = reborn.start()
+    try:
+        status = client.status("s")
+        assert status["done"] == 1 and status["pending"] == 2
+        # Both pending cells (including the one leased at crash time)
+        # are grantable immediately: leases are not durable state.
+        labels = set()
+        for _ in range(2):
+            regrant = client.lease()
+            labels.add(regrant["label"])
+            client.complete(regrant["lease"], sweep="s",
+                            label=regrant["label"], ok=True, key="k")
+        assert len(labels) == 2
+        assert client.status("s")["clean"]
+        assert os.path.exists(client.result("s")["manifest"])
+    finally:
+        reborn.stop()
+
+
+def test_finished_sweep_manifest_written_on_restart(tmp_path):
+    """Crash between the last completion and the manifest write: the
+    reborn server notices the finished sweep during recovery and
+    writes the manifest."""
+    service = ServiceThread(tmp_path)
+    client = service.start()
+    try:
+        client.submit("s", _toy_cells(1))
+        grant = client.lease()
+        client.complete(grant["lease"], sweep="s",
+                        label=grant["label"], ok=True, key="k")
+        manifest = client.result("s")["manifest"]
+    finally:
+        service.stop()
+    os.unlink(manifest)  # simulate dying before the write landed
+    reborn = ServiceThread(tmp_path)
+    client = reborn.start()
+    try:
+        assert os.path.exists(client.result("s")["manifest"])
+    finally:
+        reborn.stop()
+
+
+# ------------------------------- e2e: real workers + the api facade
+
+
+def test_real_worker_subprocess_runs_cells(tmp_path):
+    service = ServiceThread(tmp_path, workers=1)
+    client = service.start()
+    try:
+        jobs = [_tiny_job(f"svc:{i}") for i in range(2)]
+        client.submit("real", jobs, tenant="it")
+        status = client.wait("real", timeout_s=120)
+        assert status["clean"]
+        result = client.result("real")
+        keys = {c["key"] for c in result["cells"]}
+        assert len(keys) == 2 and None not in keys
+        # Exactly-once effects: the results are in the shared cache
+        # under those content keys.
+        from repro.experiments.cache import ResultCache, job_key
+
+        cache = ResultCache(result["cache_dir"])
+        for job in jobs:
+            assert job_key(job) in keys
+            cached = cache.get(job)
+            assert cached is not None and cached.digest is not None
+    finally:
+        service.stop()
+
+
+def test_api_facade_submit_status_result(tmp_path):
+    from repro import api
+
+    service = ServiceThread(tmp_path, workers=1)
+    service.start()
+    try:
+        root = str(tmp_path)
+        jobs = [_tiny_job("api:0")]
+        ack = api.submit_sweep(root, "api-sweep", jobs)
+        assert ack["accepted"] and ack["cells"] == 1
+        final = api.submit_sweep(root, "api-sweep", jobs, wait=True,
+                                 timeout_s=120)
+        assert final["finished"] and final["clean"]
+        assert api.sweep_status(root)["sweeps"] == 1
+        result = api.sweep_result(root, "api-sweep")
+        assert result["cells"][0]["status"] == "done"
+    finally:
+        service.stop()
+
+
+def test_drain_refuses_new_leases_and_serves_status(tmp_path):
+    service = ServiceThread(tmp_path)
+    client = service.start()
+    try:
+        client.submit("s", _toy_cells(1))
+        assert client.drain()["draining"] is True
+        grant = client.lease()
+        assert grant == {"empty": True, "drain": True}
+        assert client.status()["draining"] is True
+    finally:
+        service.stop()
+
+
+# ----------------------------- quarantine produces a replayable rprc
+
+
+def test_quarantined_poison_cell_dumps_replayable_capture(tmp_path):
+    """A deterministically failing cell (retry budget exhausted under
+    100% drop) quarantines with an incident capture that
+    repro.replay can re-execute bit-exactly."""
+    from repro.experiments.cache import ResultCache, job_key
+    from repro.experiments.parallel import run_cell
+    from repro.faults.config import FaultConfig
+    from repro.replay import job_from_capture, read_capture
+
+    poison = Job(
+        label="poison:pingpong",
+        ni="cni32qm", workload="pingpong",
+        params=DEFAULT_PARAMS.replace(faults=FaultConfig(
+            seed=1, drop_prob=1.0, reliable=True,
+            retry_timeout_ns=500, retry_timeout_cap_ns=2000,
+            retry_budget=2, watchdog=True, watchdog_quiet_ns=60_000,
+        )),
+        costs=DEFAULT_COSTS,
+        kwargs=freeze_kwargs({"payload_bytes": 32, "rounds": 2}),
+        collect_digest=True,
+    )
+    policy = RetryPolicy(quarantine_attempts=1, backoff_base_s=0.01,
+                         backoff_cap_s=0.02)
+    service = ServiceThread(tmp_path, retry_policy=policy)
+    client = service.start()
+    try:
+        client.submit("poison", [poison])
+        grant = client.lease()
+        # Worker-style execution: run, cache, report the failure.
+        job = poison
+        result = run_cell(job)
+        assert result.extras.get("delivery_failure")
+        cache = ResultCache(os.path.join(str(tmp_path), "cache"))
+        cache.put(job, result)
+        client.complete(grant["lease"], sweep="poison",
+                        label=job.label, ok=False, key=job_key(job),
+                        kind="delivery_failure",
+                        error="delivery failure: no_progress")
+        cell = client.result("poison")["cells"][0]
+        assert cell["status"] == "quarantined"
+        capture_path = cell["report"]["capture"]
+        assert capture_path and capture_path.endswith(".rprc")
+        capture = read_capture(capture_path)
+        assert capture["label"] == job.label
+        rebuilt = job_from_capture(capture)
+        assert rebuilt.params.faults.drop_prob == 1.0
+        # Replaying the incident reproduces the failure bit-exactly.
+        from repro import api
+
+        report = api.replay(capture_path, strict=False)
+        assert report.ok, report.summary()
+        incident = json.load(open(cell["report"]["incident"]))
+        assert incident["delivery_failure"]["reason"]
+    finally:
+        service.stop()

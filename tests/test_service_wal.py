@@ -1,0 +1,329 @@
+"""WAL durability properties: idempotent replay, crash tolerance,
+atomic rotation, and the never-double-complete guarantee.
+
+The hypothesis strategies generate arbitrary record streams (valid
+submissions interleaved with duplicate, stale, and orphan records) and
+arbitrary crash points (byte-level log truncation); the properties
+assert the invariants the job server's recovery story rests on.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.wal import (
+    DONE,
+    PENDING,
+    QUARANTINED,
+    QueueState,
+    ServiceWAL,
+)
+
+# ------------------------------------------------ record strategies
+
+_LABELS = ["a", "b", "c", "d"]
+_SWEEPS = ["s1", "s2"]
+
+
+def _spec(label):
+    # The WAL never interprets specs; any JSON tree is a valid payload.
+    return {"label": label, "ni": "x", "payload": 1}
+
+
+_submits = st.builds(
+    lambda sweep, tenant, weight, labels: {
+        "op": "submit", "sweep": sweep, "tenant": tenant,
+        "weight": weight,
+        "cells": [{"label": l, "spec": _spec(l)} for l in labels],
+    },
+    sweep=st.sampled_from(_SWEEPS),
+    tenant=st.sampled_from(["t1", "t2"]),
+    weight=st.integers(min_value=1, max_value=5),
+    labels=st.lists(st.sampled_from(_LABELS), min_size=1, max_size=4,
+                    unique=True),
+)
+
+_completes = st.builds(
+    lambda sweep, label, cached: {
+        "op": "complete", "sweep": sweep, "label": label,
+        "key": f"key-{label}", "cached": cached, "elapsed_ns": 10,
+    },
+    sweep=st.sampled_from(_SWEEPS),
+    label=st.sampled_from(_LABELS),
+    cached=st.booleans(),
+)
+
+_fails = st.builds(
+    lambda sweep, label, kind: {
+        "op": "fail", "sweep": sweep, "label": label,
+        "error": "boom", "kind": kind,
+    },
+    sweep=st.sampled_from(_SWEEPS),
+    label=st.sampled_from(_LABELS),
+    kind=st.sampled_from(["lease_expired", "worker_error",
+                          "delivery_failure"]),
+)
+
+_quarantines = st.builds(
+    lambda sweep, label: {
+        "op": "quarantine", "sweep": sweep, "label": label,
+        "report": {"attempts": 3},
+    },
+    sweep=st.sampled_from(_SWEEPS),
+    label=st.sampled_from(_LABELS),
+)
+
+_records = st.lists(
+    st.one_of(_submits, _completes, _fails, _quarantines),
+    min_size=0, max_size=40,
+)
+
+
+def _fold(records):
+    state = QueueState()
+    for record in records:
+        state.apply(record)
+    return state
+
+
+# ------------------------------------------------ replay idempotence
+
+
+def _effective_log(records):
+    """What a ServiceWAL would actually persist: no-op records (orphan
+    completions, duplicate submits, late failures) never reach disk,
+    so a durable log is always causally ordered, and ``fail`` records
+    are attempt-stamped so their replay is a no-op.  Hypothesis found
+    that the prefix-replay property genuinely needs both: an *orphan*
+    quarantine replayed after a later submit would apply on the second
+    pass (why ``ServiceWAL.append`` refuses to log no-ops), and a
+    replayed raw ``fail`` would double-count the attempt (why durable
+    fail records carry the attempt index — ``ServiceWAL.stamp``)."""
+    state = QueueState()
+    out = []
+    for record in records:
+        record = ServiceWAL.stamp(record, state)
+        if state.apply(record):
+            out.append(record)
+    return out
+
+
+@given(records=_records, prefix=st.integers(min_value=0, max_value=40),
+       repeats=st.integers(min_value=1, max_value=3))
+@settings(max_examples=100, deadline=None)
+def test_replay_any_prefix_any_number_of_times_is_idempotent(
+        records, prefix, repeats):
+    """Folding any prefix of the durable log (even several times over)
+    before the full log yields exactly the state of folding the log
+    once — the property that makes stale older segments after a
+    crashed rotation harmless."""
+    log = _effective_log(records)
+    reference = _fold(log)
+    noisy = log[:prefix] * repeats + log
+    assert _fold(noisy) == reference
+
+
+@given(records=_records)
+@settings(max_examples=100, deadline=None)
+def test_replay_never_double_completes(records):
+    """No interleaving of duplicate completions, late failures, and
+    quarantines can complete a cell twice or resurrect a settled one:
+    every cell ends in exactly one terminal state, and the sum of
+    effective transitions per cell is bounded by one settle."""
+    state = QueueState()
+    settled_order = {}  # (sweep, label) -> first terminal status
+    for record in records:
+        changed = state.apply(record)
+        if record["op"] in ("complete", "quarantine") and changed:
+            key = (record["sweep"], record["label"])
+            assert key not in settled_order, "cell settled twice"
+            settled_order[key] = record["op"]
+    for sweep in state.sweeps.values():
+        for cell in sweep.cells.values():
+            key = (sweep.sweep, cell.label)
+            if cell.status == DONE:
+                assert settled_order.get(key) == "complete"
+            elif cell.status == QUARANTINED:
+                assert settled_order.get(key) == "quarantine"
+            else:
+                assert key not in settled_order
+
+
+@given(records=_records, rotate=st.integers(min_value=2, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_wal_roundtrip_through_disk_with_rotation(tmp_path_factory,
+                                                  records, rotate):
+    """Appending through a ServiceWAL (with rotation snapshots firing
+    mid-stream) and replaying the directory reproduces the in-memory
+    fold exactly."""
+    root = str(tmp_path_factory.mktemp("wal"))
+    reference = _fold(records)
+    with ServiceWAL(root, rotate_records=rotate, fsync=False) as wal:
+        for record in records:
+            wal.append(record)
+        live = wal.state
+        assert live == reference
+    assert ServiceWAL.read_state(root) == reference
+    # And a full writer-side recovery agrees too.
+    with ServiceWAL(root, rotate_records=rotate, fsync=False) as again:
+        assert again.state == reference
+        assert again.records_dropped == 0
+
+
+@given(records=_records, cut=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=60, deadline=None)
+def test_crash_at_any_byte_recovers_a_valid_prefix(tmp_path_factory,
+                                                   records, cut):
+    """Truncating the live segment at an arbitrary byte (the on-disk
+    image of a kill -9 mid-append) recovers the state of some prefix
+    of the effective records — never an error, never an invented
+    transition."""
+    root = str(tmp_path_factory.mktemp("wal"))
+    effective = []
+    with ServiceWAL(root, rotate_records=10_000, fsync=False) as wal:
+        for record in records:
+            if wal.append(record):
+                effective.append(record)
+    path = os.path.join(root, "wal-000001.jsonl")
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.truncate(min(cut, size))
+    recovered = ServiceWAL(root, rotate_records=10_000, fsync=False)
+    try:
+        candidates = [
+            _fold(effective[:k]) for k in range(len(effective) + 1)
+        ]
+        assert any(recovered.state == c for c in candidates)
+        assert recovered.records_dropped <= 1
+    finally:
+        recovered.close()
+
+
+# ------------------------------------------------ directed cases
+
+
+def test_duplicate_submit_is_acknowledged_not_duplicated(tmp_path):
+    wal = ServiceWAL(str(tmp_path), fsync=False)
+    record = {"op": "submit", "sweep": "s", "tenant": "t", "weight": 1,
+              "cells": [{"label": "a", "spec": {}}]}
+    assert wal.append(record) is True
+    assert wal.append(dict(record)) is False  # no-op, not even logged
+    wal.close()
+    lines = open(tmp_path / "wal-000001.jsonl").read().splitlines()
+    assert len(lines) == 1
+
+
+def test_duplicate_completion_counted_and_ignored(tmp_path):
+    wal = ServiceWAL(str(tmp_path), fsync=False)
+    wal.append({"op": "submit", "sweep": "s", "cells":
+                [{"label": "a", "spec": {}}]})
+    done = {"op": "complete", "sweep": "s", "label": "a",
+            "key": "k", "cached": False, "elapsed_ns": 5}
+    assert wal.append(done) is True
+    assert wal.append(dict(done)) is False
+    assert wal.state.duplicate_completions == 1
+    cell = wal.state.cell("s", "a")
+    assert cell.status == DONE and cell.key == "k"
+    wal.close()
+
+
+def test_orphan_records_are_ignored_and_counted(tmp_path):
+    wal = ServiceWAL(str(tmp_path), fsync=False)
+    assert wal.append({"op": "complete", "sweep": "ghost", "label": "x",
+                       "key": None}) is False
+    assert wal.state.orphan_records == 1
+    wal.close()
+
+
+def test_fail_then_quarantine_state_machine(tmp_path):
+    wal = ServiceWAL(str(tmp_path), fsync=False)
+    wal.append({"op": "submit", "sweep": "s", "cells":
+                [{"label": "a", "spec": {}}]})
+    for i in range(3):
+        wal.append({"op": "fail", "sweep": "s", "label": "a",
+                    "error": f"e{i}", "kind": "worker_error"})
+    cell = wal.state.cell("s", "a")
+    assert cell.attempts == 3 and cell.errors == ["e0", "e1", "e2"]
+    wal.append({"op": "quarantine", "sweep": "s", "label": "a",
+                "report": {"attempts": 3}})
+    assert wal.state.cell("s", "a").status == QUARANTINED
+    # Late records against the settled cell are all no-ops.
+    assert wal.append({"op": "fail", "sweep": "s", "label": "a",
+                       "error": "late", "kind": "worker_error"}) is False
+    assert wal.append({"op": "complete", "sweep": "s", "label": "a",
+                       "key": "k"}) is False
+    assert wal.state.cell("s", "a").status == QUARANTINED
+    wal.close()
+
+
+def test_rotation_snapshot_is_atomic_and_gcs_old_segments(tmp_path):
+    wal = ServiceWAL(str(tmp_path), rotate_records=3, fsync=False)
+    for i in range(10):
+        wal.append({"op": "submit", "sweep": f"s{i}", "cells":
+                    [{"label": "a", "spec": {}}]})
+    assert wal.rotations >= 2
+    segments = ServiceWAL.segments(str(tmp_path))
+    assert len(segments) == 1  # old segments collected
+    first_line = json.loads(
+        open(segments[0][1]).readline()
+    )
+    assert first_line["op"] == "snapshot"
+    assert not [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+    state = wal.state
+    wal.close()
+    assert ServiceWAL.read_state(str(tmp_path)) == state
+
+
+def test_torn_tail_is_dropped_and_counted(tmp_path):
+    wal = ServiceWAL(str(tmp_path), fsync=False)
+    wal.append({"op": "submit", "sweep": "s", "cells":
+                [{"label": "a", "spec": {}}]})
+    wal.close()
+    with open(tmp_path / "wal-000001.jsonl", "a") as fh:
+        fh.write('{"op": "complete", "sweep": "s", "lab')  # torn
+    recovered = ServiceWAL(str(tmp_path), fsync=False)
+    assert recovered.records_dropped == 1
+    assert recovered.state.cell("s", "a").status == PENDING
+    # The writer can keep appending past the torn tail.
+    assert recovered.append({"op": "complete", "sweep": "s",
+                             "label": "a", "key": "k"}) is True
+    recovered.close()
+    final = ServiceWAL.read_state(str(tmp_path))
+    assert final.cell("s", "a").status == DONE
+
+
+def test_replayed_fail_record_does_not_double_count_attempts(tmp_path):
+    """Regression (found by hypothesis): the durable form of a fail
+    record is attempt-stamped, so folding a stale prefix containing it
+    twice leaves attempts/errors exactly as folding it once."""
+    wal = ServiceWAL(str(tmp_path), fsync=False)
+    wal.append({"op": "submit", "sweep": "s", "cells":
+                [{"label": "a", "spec": {}}]})
+    assert wal.append({"op": "fail", "sweep": "s", "label": "a",
+                       "error": "boom", "kind": "lease_expired"}) is True
+    wal.close()
+    line = open(tmp_path / "wal-000001.jsonl").read().splitlines()[1]
+    stamped = json.loads(line)
+    assert stamped["attempt"] == 1
+    state = QueueState()
+    for record in [json.loads(l) for l in
+                   open(tmp_path / "wal-000001.jsonl")] + [stamped]:
+        state.apply(record)
+    cell = state.cell("s", "a")
+    assert cell.attempts == 1 and cell.errors == ["boom"]
+    assert state.stale_failures == 1
+
+
+def test_snapshot_schema_mismatch_refused():
+    with pytest.raises(ValueError, match="schema"):
+        QueueState.from_jsonable({"schema": 999, "sweeps": [],
+                                  "duplicate_completions": 0,
+                                  "orphan_records": 0})
+
+
+def test_rotate_records_floor():
+    with pytest.raises(ValueError):
+        ServiceWAL("/tmp/unused-wal-root", rotate_records=1)
